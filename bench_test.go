@@ -1,0 +1,154 @@
+// Benchmarks regenerating the paper's evaluation: one bench per table and
+// figure (run the experiment at Quick scale and report its wall cost), plus
+// micro-benchmarks of the hot protocol paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment outputs themselves are printed by cmd/minionbench (or the
+// corresponding go test -run TestExperiment... in internal/experiments).
+package minion
+
+import (
+	"testing"
+	"time"
+
+	"minion/internal/experiments"
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+)
+
+func benchExperiment(b *testing.B, run func(experiments.Scale) experiments.Result) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := run(experiments.Quick)
+		if r.Output == "" {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+// BenchmarkFig5Throughput regenerates Figure 5 (uTCP vs TCP throughput by
+// message size).
+func BenchmarkFig5Throughput(b *testing.B) { benchExperiment(b, experiments.Fig5) }
+
+// BenchmarkRawUTCPCPU regenerates the §8.1 raw CPU comparison.
+func BenchmarkRawUTCPCPU(b *testing.B) { benchExperiment(b, experiments.RawCPU) }
+
+// BenchmarkFig6aCOBSCPU regenerates Figure 6(a) (COBS/uCOBS CPU cost).
+func BenchmarkFig6aCOBSCPU(b *testing.B) { benchExperiment(b, experiments.Fig6a) }
+
+// BenchmarkFig6bUTLSCPU regenerates Figure 6(b) (TLS/uTLS CPU cost).
+func BenchmarkFig6bUTLSCPU(b *testing.B) { benchExperiment(b, experiments.Fig6b) }
+
+// BenchmarkFig7VoIPLatency regenerates Figure 7 (VoIP latency CDF).
+func BenchmarkFig7VoIPLatency(b *testing.B) { benchExperiment(b, experiments.Fig7) }
+
+// BenchmarkFig8BurstLoss regenerates Figure 8 (burst-loss CDF).
+func BenchmarkFig8BurstLoss(b *testing.B) { benchExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig9PESQ regenerates Figure 9 (moving quality score).
+func BenchmarkFig9PESQ(b *testing.B) { benchExperiment(b, experiments.Fig9) }
+
+// BenchmarkFig10Priority regenerates Figure 10 (send-side prioritization).
+func BenchmarkFig10Priority(b *testing.B) { benchExperiment(b, experiments.Fig10) }
+
+// BenchmarkFig11VPN regenerates Figure 11 (tunnel download vs uploads).
+func BenchmarkFig11VPN(b *testing.B) { benchExperiment(b, experiments.Fig11) }
+
+// BenchmarkFig12VPNVariants regenerates Figure 12 (modification ablation).
+func BenchmarkFig12VPNVariants(b *testing.B) { benchExperiment(b, experiments.Fig12) }
+
+// BenchmarkFig13Web regenerates Figure 13 (web page loads).
+func BenchmarkFig13Web(b *testing.B) { benchExperiment(b, experiments.Fig13) }
+
+// BenchmarkTable1Complexity regenerates Table 1 (code size).
+func BenchmarkTable1Complexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().Output == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot protocol paths -------------------------
+
+// BenchmarkMinionDatagramUCOBS measures end-to-end datagram cost over
+// uCOBS/uTCP on an ideal link (protocol CPU only; network time is virtual).
+func BenchmarkMinionDatagramUCOBS(b *testing.B) {
+	benchDatagram(b, ProtoUCOBSuTCP)
+}
+
+// BenchmarkMinionDatagramUTLS is the encrypted equivalent.
+func BenchmarkMinionDatagramUTLS(b *testing.B) {
+	benchDatagram(b, ProtoUTLSuTCP)
+}
+
+func benchDatagram(b *testing.B, proto Protocol) {
+	s := sim.New(1)
+	link := func() *netem.Link {
+		return netem.NewLink(s, netem.LinkConfig{Rate: 1_000_000_000, Delay: time.Millisecond, QueueBytes: 1 << 30})
+	}
+	pair := NewPair(s, proto, TCPConfig{NoDelay: true, SendBufBytes: 1 << 24, RecvBufBytes: 1 << 24}, link(), link())
+	n := 0
+	pair.B.OnMessage(func([]byte) { n++ })
+	s.RunUntil(time.Second)
+	msg := make([]byte, 1000)
+	b.SetBytes(int64(len(msg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pair.A.Send(msg, Options{}) != nil {
+			s.RunFor(10 * time.Millisecond)
+		}
+		if i%512 == 511 {
+			s.RunFor(50 * time.Millisecond)
+		}
+	}
+	s.RunFor(5 * time.Second)
+	b.StopTimer()
+	if n == 0 {
+		b.Fatal("no messages delivered")
+	}
+}
+
+// BenchmarkTCPBulkTransfer measures the raw substrate: 1 MiB over a fast
+// simulated link, protocol CPU only.
+func BenchmarkTCPBulkTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(int64(i))
+		fwd := netem.NewLink(s, netem.LinkConfig{Rate: 100_000_000, Delay: 5 * time.Millisecond, QueueBytes: 1 << 30})
+		back := netem.NewLink(s, netem.LinkConfig{Rate: 100_000_000, Delay: 5 * time.Millisecond, QueueBytes: 1 << 30})
+		snd, rcv := tcp.NewPair(s, tcp.Config{NoDelay: true}, tcp.Config{}, fwd, back)
+		var got int64
+		buf := make([]byte, 64*1024)
+		rcv.OnReadable(func() {
+			for {
+				k, _ := rcv.Read(buf)
+				if k == 0 {
+					return
+				}
+				got += int64(k)
+			}
+		})
+		const total = 1 << 20
+		sent := 0
+		chunk := make([]byte, 32*1024)
+		var pump func()
+		pump = func() {
+			for sent < total {
+				n, err := snd.Write(chunk)
+				sent += n
+				if err != nil {
+					return
+				}
+			}
+		}
+		snd.OnWritable(pump)
+		s.Schedule(0, pump)
+		s.RunUntil(time.Minute)
+		if got < total {
+			b.Fatalf("incomplete transfer: %d", got)
+		}
+		b.SetBytes(total)
+	}
+}

@@ -1,0 +1,93 @@
+// Send-side prioritization and message squashing (paper §4.2, §8.3).
+//
+// A game-style sender streams low-priority bulk state plus occasional
+// high-priority events over one uCOBS/uTCP connection. High-priority
+// messages are inserted ahead of queued bulk data in the send queue; with
+// the squash flag, a newer update replaces a stale one that never made it
+// onto the wire.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"minion"
+	"minion/internal/netem"
+	"minion/internal/sim"
+)
+
+func main() {
+	s := sim.New(4)
+	// A slow 500 kbps uplink: the send queue is always full.
+	slow := netem.NewLink(s, netem.LinkConfig{Rate: 500_000, Delay: 10 * time.Millisecond, QueueBytes: 16_000})
+	back := netem.NewLink(s, netem.LinkConfig{Delay: 10 * time.Millisecond})
+	pair := minion.NewPair(s, minion.ProtoUCOBSuTCP, minion.TCPConfig{NoDelay: true}, slow, back)
+
+	sentAt := map[uint64]time.Duration{}
+	type sample struct {
+		id    uint64
+		prio  uint32
+		delay time.Duration
+	}
+	var got []sample
+	pair.B.OnMessage(func(m []byte) {
+		if len(m) < 12 {
+			return
+		}
+		id := binary.BigEndian.Uint64(m)
+		prio := binary.BigEndian.Uint32(m[8:])
+		got = append(got, sample{id, prio, s.Now() - sentAt[id]})
+	})
+	s.RunUntil(time.Second)
+
+	mk := func(id uint64, prio uint32, size int) []byte {
+		m := make([]byte, 12+size)
+		binary.BigEndian.PutUint64(m, id)
+		binary.BigEndian.PutUint32(m[8:], prio)
+		return m
+	}
+
+	// Fill the queue with bulk, then interleave urgent events.
+	id := uint64(0)
+	for i := 0; i < 200; i++ {
+		id++
+		sentAt[id] = s.Now()
+		pair.A.Send(mk(id, 10, 1000), minion.Options{Priority: 10})
+		if i%50 == 25 {
+			id++
+			sentAt[id] = s.Now()
+			pair.A.Send(mk(id, 1, 40), minion.Options{Priority: 1})
+		}
+	}
+
+	// Squash demo: tag 7 carries "latest position" updates; only the
+	// newest should consume bandwidth.
+	for v := 0; v < 5; v++ {
+		id++
+		sentAt[id] = s.Now()
+		pair.A.Send(mk(id, 7, 64), minion.Options{Priority: 7, Squash: true})
+	}
+
+	s.RunFor(time.Minute)
+
+	var hi, lo, hiN, loN time.Duration
+	squashDelivered := 0
+	for _, g := range got {
+		switch g.prio {
+		case 1:
+			hi += g.delay
+			hiN++
+		case 10:
+			lo += g.delay
+			loN++
+		case 7:
+			squashDelivered++
+		}
+	}
+	fmt.Printf("high-priority events: mean delay %8v  (n=%d)\n", (hi / hiN).Round(time.Millisecond), hiN)
+	fmt.Printf("bulk messages:        mean delay %8v  (n=%d)\n", (lo / loN).Round(time.Millisecond), loN)
+	fmt.Printf("squashed updates:     %d of 5 versions actually delivered (stale ones discarded in-queue)\n", squashDelivered)
+	fmt.Println("\nHigh-priority data short-cuts data already accepted by the socket —")
+	fmt.Println("something a standard TCP send buffer cannot offer (paper §4.2).")
+}

@@ -1,0 +1,57 @@
+// Quickstart: unordered datagrams over a TCP-compatible wire.
+//
+// Two Minion endpoints talk across a simulated lossy link using uCOBS over
+// uTCP (paper §5): datagrams are COBS-framed inside a byte stream that is
+// wire-identical to TCP, yet the receiver gets each datagram the moment its
+// bytes arrive — datagrams behind a lost segment no longer block those after
+// it. Run it and watch the delivery order diverge from the send order
+// whenever a segment is lost.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"minion"
+	"minion/internal/netem"
+	"minion/internal/sim"
+)
+
+func main() {
+	s := sim.New(11)
+
+	// A 3 Mbps path with 60 ms RTT and 8% random loss — the kind of path
+	// where TCP's "latency tax" hurts interactive traffic.
+	fwd := netem.NewLink(s, netem.LinkConfig{
+		Rate: 3_000_000, Delay: 30 * time.Millisecond,
+		QueueBytes: 1 << 20, Loss: netem.BernoulliLoss{P: 0.08},
+	})
+	back := netem.NewLink(s, netem.LinkConfig{Rate: 3_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 20})
+
+	pair := minion.NewPair(s, minion.ProtoUCOBSuTCP, minion.TCPConfig{NoDelay: true}, fwd, back)
+
+	received := 0
+	pair.B.OnMessage(func(msg []byte) {
+		received++
+		fmt.Printf("t=%8v  recv %q\n", s.Now().Round(time.Millisecond), msg[:7])
+	})
+
+	// Let the TCP handshake finish, then send 20 datagrams back to back.
+	s.RunUntil(time.Second)
+	const n = 20
+	for i := 0; i < n; i++ {
+		msg := append([]byte(fmt.Sprintf("msg-%03d", i)), make([]byte, 1200)...)
+		if err := pair.A.Send(msg, minion.Options{}); err != nil {
+			fmt.Println("send failed:", err)
+		}
+	}
+	s.RunFor(30 * time.Second)
+
+	st := pair.TCPB.Stats()
+	fmt.Printf("\ndelivered %d/%d datagrams; %d arrived out of order (before the hole filled)\n",
+		received, n, st.DeliveredOOO)
+	fmt.Printf("transport: %d segments received, %d retransmitted by the sender\n",
+		st.SegsReceived, pair.TCPA.Stats().SegsRetrans)
+	fmt.Println("\nEvery byte still crossed the network inside a standard TCP stream:")
+	fmt.Println("a middlebox on the path would have seen a perfectly ordinary connection.")
+}

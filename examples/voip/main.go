@@ -1,0 +1,113 @@
+// VoIP over TCP without the latency tax (paper §8.2).
+//
+// A SPEEX-profile call (20 ms frames, 256 kbps) crosses a 3 Mbps residential
+// path while four bulk TCP flows hammer the same bottleneck. The same call
+// is carried three ways — plain TCP framing, uCOBS over uTCP, and UDP — and
+// the example prints the frame-latency distribution and the codec-perceived
+// burst losses for each, the comparison of the paper's Figures 7 and 8.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"minion/internal/metrics"
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+	"minion/internal/udp"
+	"minion/internal/voip"
+)
+
+func runCall(transport string) *voip.Call {
+	s := sim.New(7)
+	link := netem.LinkConfig{Rate: 3_000_000, Delay: 30 * time.Millisecond, QueueBytes: 48_000}
+	db := netem.NewDumbbell(s, link, link)
+
+	var call *voip.Call
+	var send func(seq int, payload []byte)
+	switch transport {
+	case "udp":
+		snd, rcv := udp.New(), udp.New()
+		udp.AttachDumbbellClient(snd, 0, db)
+		udp.AttachDumbbellServer(rcv, 0, db)
+		rcv.OnMessage(func(m []byte) { call.FrameArrivedPayload(m) })
+		send = func(seq int, p []byte) { snd.Send(p) }
+	default:
+		unordered := transport == "ucobs"
+		cfg := tcp.Config{NoDelay: true}
+		if unordered {
+			cfg.Unordered, cfg.UnorderedSend, cfg.CoalesceWrites = true, true, true
+		}
+		ta := tcp.New(s, cfg, nil)
+		tb := tcp.New(s, cfg, nil)
+		tcp.AttachDumbbellClient(ta, 0, db)
+		tcp.AttachDumbbellServer(tb, 0, db)
+		tb.Listen()
+		ta.Connect()
+		cli, srv := ucobs.New(ta), ucobs.New(tb)
+		srv.OnMessage(func(m []byte) { call.FrameArrivedPayload(m) })
+		send = func(seq int, p []byte) { cli.Send(p, ucobs.Options{}) }
+	}
+
+	// Four competing bulk flows on the same bottleneck.
+	for f := 0; f < 4; f++ {
+		snd := tcp.New(s, tcp.Config{NoDelay: true}, nil)
+		rcv := tcp.New(s, tcp.Config{}, nil)
+		tcp.AttachDumbbellClient(snd, 100+f, db)
+		tcp.AttachDumbbellServer(rcv, 100+f, db)
+		rcv.Listen()
+		snd.Connect()
+		buf := make([]byte, 64*1024)
+		rcv.OnReadable(func() {
+			for {
+				if n, _ := rcv.Read(buf); n == 0 {
+					return
+				}
+			}
+		})
+		chunk := make([]byte, 32*1024)
+		var pump func()
+		pump = func() {
+			for {
+				if _, err := snd.Write(chunk); err != nil {
+					return
+				}
+			}
+		}
+		snd.OnWritable(pump)
+		s.Schedule(10*time.Millisecond, pump)
+	}
+
+	const frames = 1500 // 30-second call
+	call = voip.NewCall(s, voip.SpeexUWB, frames, 200*time.Millisecond, send)
+	s.Schedule(time.Second, call.Start)
+	s.RunUntil(40 * time.Second)
+	return call
+}
+
+func main() {
+	fmt.Println("30s VoIP call, 3 Mbps / 60 ms RTT, 4 competing TCP flows, 200 ms jitter buffer")
+	fmt.Println()
+	tb := metrics.Table{Columns: []string{"transport", "p50 ms", "p95 ms", "<=200ms", "missed", "worst burst"}}
+	for _, tr := range []string{"tcp", "ucobs", "udp"} {
+		call := runCall(tr)
+		lat := call.Latencies()
+		worst := 0
+		for _, b := range call.BurstLosses() {
+			if b > worst {
+				worst = b
+			}
+		}
+		tb.AddRow(tr,
+			fmt.Sprintf("%.0f", lat.Percentile(50)),
+			fmt.Sprintf("%.0f", lat.Percentile(95)),
+			fmt.Sprintf("%.0f%%", 100*lat.FractionBelow(200)*call.DeliveredFraction()),
+			fmt.Sprintf("%.1f%%", 100*call.MissedFraction()),
+			fmt.Sprintf("%d frames", worst))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nuCOBS keeps nearly every frame inside the jitter budget — on a wire")
+	fmt.Println("that any firewall would wave through as an ordinary TCP connection.")
+}

@@ -1,0 +1,147 @@
+// Multistreaming web transfers over a TCP wire (paper §8.5).
+//
+// A browser-like client loads one synthetic page two ways across the same
+// 1.5 Mbps / 60 ms path: pipelined HTTP/1.1 on a plain TCP connection, and
+// parallel per-object msTCP streams on a uCOBS/uTCP connection. With
+// msTCP, objects interleave: every object's first bytes arrive early
+// instead of waiting for all earlier responses to finish.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"minion/internal/mstcp"
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+	"minion/internal/web"
+)
+
+type dgAdapter struct{ c *ucobs.Conn }
+
+func (d dgAdapter) Send(m []byte, p uint32) error { return d.c.Send(m, ucobs.Options{Priority: p}) }
+func (d dgAdapter) OnMessage(fn func([]byte))     { d.c.OnMessage(fn) }
+
+func main() {
+	page := web.Page{
+		Primary: web.Object{ID: 1, Size: 8 * 1024},
+		Secondaries: []web.Object{
+			{ID: 2, Size: 24 * 1024}, {ID: 3, Size: 4 * 1024}, {ID: 4, Size: 16 * 1024},
+			{ID: 5, Size: 2 * 1024}, {ID: 6, Size: 12 * 1024}, {ID: 7, Size: 6 * 1024},
+			{ID: 8, Size: 20 * 1024}, {ID: 9, Size: 3 * 1024},
+		},
+	}
+	fmt.Printf("page: 1 primary + %d secondaries, %d KB total, 1.5 Mbps / 60 ms RTT\n\n",
+		len(page.Secondaries), page.TotalBytes()/1024)
+
+	fmt.Println("parallel msTCP streams (per-object time to first byte):")
+	msTCP(page)
+	fmt.Println("\nWith pipelined HTTP/1.1 each object's first byte waits for every")
+	fmt.Println("earlier response to finish; msTCP interleaves them (compare fig13).")
+}
+
+func msTCP(page web.Page) {
+	s := sim.New(1)
+	linkCfg := netem.LinkConfig{Rate: 1_500_000, Delay: 30 * time.Millisecond, QueueBytes: 24_000}
+	cfg := tcp.Config{NoDelay: true, Unordered: true, UnorderedSend: true, CoalesceWrites: true}
+	srvCfg := cfg
+	srvCfg.SendBufBytes = 8 * 1024
+	ta, tb := tcp.NewPair(s, cfg, srvCfg, netem.NewLink(s, linkCfg), netem.NewLink(s, linkCfg))
+	cli := mstcp.New(dgAdapter{ucobs.New(ta)})
+	srv := mstcp.New(dgAdapter{ucobs.New(tb)})
+
+	// Round-robin server (see internal/experiments/webexp.go for the full
+	// version): one chunk per active object per round.
+	type job struct {
+		st         *mstcp.Stream
+		size, sent int
+		hdr        bool
+	}
+	var jobs []*job
+	var pump func()
+	pump = func() {
+		for len(jobs) > 0 {
+			progress := false
+			keep := jobs[:0]
+			for _, j := range jobs {
+				if !j.hdr {
+					if j.st.Send(web.EncodeResponseHeader(web.Object{Size: j.size})) != nil {
+						keep = append(keep, j)
+						continue
+					}
+					j.hdr = true
+					progress = true
+				}
+				n := 1200
+				if j.size-j.sent < n {
+					n = j.size - j.sent
+				}
+				if n > 0 {
+					if j.st.Send(make([]byte, n)) != nil {
+						keep = append(keep, j)
+						continue
+					}
+					j.sent += n
+					progress = true
+				}
+				if j.sent >= j.size {
+					if j.st.Close() != nil {
+						keep = append(keep, j)
+					}
+					continue
+				}
+				keep = append(keep, j)
+			}
+			jobs = keep
+			if !progress {
+				return
+			}
+		}
+	}
+	tb.OnWritable(pump)
+	srv.OnStream(func(st *mstcp.Stream) {
+		st.OnMessage(func(m []byte) {
+			if obj, ok := web.DecodeRequest(m); ok {
+				jobs = append(jobs, &job{st: st, size: obj.Size})
+				pump()
+			}
+		})
+	})
+
+	s.RunUntil(time.Second)
+	start := s.Now()
+	remaining := page.Requests()
+	fetch := func(o web.Object, done func()) {
+		st := cli.Open()
+		got, first := 0, true
+		st.OnMessage(func(m []byte) {
+			if first {
+				first = false
+				fmt.Printf("  object %2d (%2d KB): first byte at %6v\n",
+					o.ID, o.Size/1024, (s.Now() - start).Round(time.Millisecond))
+				return
+			}
+			got += len(m)
+			if got >= o.Size {
+				done()
+			}
+		})
+		st.Send(web.EncodeRequest(o))
+	}
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			fmt.Printf("  page complete at %v\n", (s.Now() - start).Round(time.Millisecond))
+			s.Halt()
+		}
+	}
+	fetch(page.Primary, func() {
+		for _, o := range page.Secondaries {
+			fetch(o, finish)
+		}
+		finish()
+	})
+	s.RunUntil(5 * time.Minute)
+}

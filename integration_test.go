@@ -1,0 +1,231 @@
+// Cross-stack integration and failure-injection tests: every Minion
+// protocol is driven over hostile paths (burst loss, reordering,
+// duplication, re-segmenting middleboxes, connection aborts) and must keep
+// its delivery contract.
+package minion
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+)
+
+// hostileLink combines a bursty loss model with reordering and duplication.
+func hostileLink(s *sim.Simulator) *netem.Link {
+	return netem.NewLink(s, netem.LinkConfig{
+		Rate: 5_000_000, Delay: 20 * time.Millisecond, QueueBytes: 1 << 30,
+		Loss:          &netem.GilbertElliott{PGoodBad: 0.01, PBadGood: 0.3, LossGood: 0.005, LossBad: 0.4},
+		ReorderProb:   0.03,
+		ReorderDelay:  6 * time.Millisecond,
+		DuplicateProb: 0.01,
+	})
+}
+
+// TestAllProtocolsSurviveHostilePath drives every reliable protocol stack
+// across burst loss + reordering + duplication and checks exactly-once,
+// content-intact delivery.
+func TestAllProtocolsSurviveHostilePath(t *testing.T) {
+	for _, proto := range []Protocol{ProtoUCOBSTCP, ProtoUCOBSuTCP, ProtoUTLSTCP, ProtoUTLSuTCP} {
+		t.Run(proto.String(), func(t *testing.T) {
+			s := sim.New(1234)
+			pair := NewPair(s, proto, TCPConfig{NoDelay: true}, hostileLink(s), hostileLink(s))
+			got := map[string]int{}
+			n := 0
+			pair.B.OnMessage(func(m []byte) {
+				got[string(m[:9])]++
+				n++
+			})
+			s.RunUntil(2 * time.Second)
+			const total = 300
+			sent := 0
+			var pump func()
+			pump = func() {
+				for sent < total {
+					msg := append([]byte(fmt.Sprintf("hostile-%01d", sent%10)), make([]byte, 700)...)
+					copy(msg, fmt.Sprintf("h%08d", sent))
+					if pair.A.Send(msg, Options{}) != nil {
+						return
+					}
+					sent++
+				}
+			}
+			if tcpA := pair.TCPA; tcpA != nil {
+				tcpA.OnWritable(pump)
+			}
+			s.Schedule(0, pump)
+			s.RunFor(3 * time.Minute)
+			if sent != total {
+				t.Fatalf("sender stalled at %d/%d", sent, total)
+			}
+			if n != total {
+				t.Fatalf("delivered %d/%d", n, total)
+			}
+			for k, c := range got {
+				if c != 1 {
+					t.Fatalf("message %q delivered %d times", k, c)
+				}
+			}
+		})
+	}
+}
+
+// TestUnorderedStacksThroughResegmenter chains a re-segmenting middlebox
+// (split + coalesce) into the path of the unordered stacks.
+func TestUnorderedStacksThroughResegmenter(t *testing.T) {
+	for _, proto := range []Protocol{ProtoUCOBSuTCP, ProtoUTLSuTCP} {
+		t.Run(proto.String(), func(t *testing.T) {
+			s := sim.New(55)
+			reseg := tcp.NewResegmenter(s, 0.4, 0.3)
+			link := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 15 * time.Millisecond, QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: 0.02}})
+			path := netem.Chain(reseg, link)
+			back := netem.NewLink(s, netem.LinkConfig{Delay: 15 * time.Millisecond})
+			pair := NewPair(s, proto, TCPConfig{NoDelay: true}, path, back)
+			n := 0
+			seen := map[string]bool{}
+			pair.B.OnMessage(func(m []byte) {
+				if seen[string(m)] {
+					t.Errorf("duplicate %q", m[:12])
+				}
+				seen[string(m)] = true
+				n++
+			})
+			s.RunUntil(2 * time.Second)
+			const total = 150
+			for i := 0; i < total; i++ {
+				msg := append([]byte(fmt.Sprintf("reseg-%05d-", i)), make([]byte, 400)...)
+				if err := pair.A.Send(msg, Options{}); err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+			}
+			s.RunFor(2 * time.Minute)
+			if n != total {
+				t.Fatalf("delivered %d/%d through resegmenter", n, total)
+			}
+			if reseg.Splits == 0 {
+				t.Error("middlebox never split a segment")
+			}
+		})
+	}
+}
+
+// TestAbortMidTransferSurfacesError injects a RST in the middle of a
+// datagram stream: the receiver's transport must surface the reset and the
+// application must not see corrupted datagrams.
+func TestAbortMidTransferSurfacesError(t *testing.T) {
+	s := sim.New(66)
+	link := func() *netem.Link {
+		return netem.NewLink(s, netem.LinkConfig{Rate: 2_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 30})
+	}
+	pair := NewPair(s, ProtoUCOBSuTCP, TCPConfig{NoDelay: true}, link(), link())
+	n := 0
+	pair.B.OnMessage(func(m []byte) { n++ })
+	var closeErr error
+	pair.TCPB.OnClose(func(err error) { closeErr = err })
+	s.RunUntil(time.Second)
+	for i := 0; i < 100; i++ {
+		pair.A.Send(make([]byte, 1000), Options{})
+	}
+	s.Schedule(200*time.Millisecond, pair.TCPA.Abort)
+	s.RunFor(30 * time.Second)
+	if closeErr != tcp.ErrReset {
+		t.Fatalf("close err = %v, want ErrReset", closeErr)
+	}
+	if n == 0 || n == 100 {
+		t.Fatalf("expected a partial stream before the reset, got %d/100", n)
+	}
+	if err := pair.A.Send([]byte("after"), Options{}); err == nil {
+		t.Fatal("send after abort should fail")
+	}
+}
+
+// TestZeroWindowRecoveryEndToEnd stalls a datagram receiver until the
+// window closes, then drains: the stream must resume and deliver
+// everything exactly once.
+func TestZeroWindowRecoveryEndToEnd(t *testing.T) {
+	s := sim.New(88)
+	link := func() *netem.Link {
+		return netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 30})
+	}
+	pair := NewPair(s, ProtoUCOBSTCP, TCPConfig{NoDelay: true, RecvBufBytes: 8 * 1024}, link(), link())
+	// No OnMessage handler: messages queue inside ucobs, but the TCP
+	// window closes because ucobs stops reading only when the transport
+	// buffer fills... so instead detach the pump by not running the sim's
+	// receiver drain: we simulate a slow app via Recv() polling.
+	s.RunUntil(time.Second)
+	const total = 60
+	sent := 0
+	var pump func()
+	pump = func() {
+		for sent < total {
+			if pair.A.Send(make([]byte, 1000), Options{}) != nil {
+				return
+			}
+			sent++
+		}
+	}
+	pair.TCPA.OnWritable(pump)
+	s.Schedule(0, pump)
+	// Drain slowly: 4 messages every 100ms via Recv polling.
+	got := 0
+	var drain func()
+	drain = func() {
+		for i := 0; i < 4; i++ {
+			if _, ok := pair.B.Recv(); ok {
+				got++
+			}
+		}
+		if got < total {
+			s.Schedule(100*time.Millisecond, drain)
+		}
+	}
+	s.Schedule(100*time.Millisecond, drain)
+	s.RunFor(2 * time.Minute)
+	if sent != total || got != total {
+		t.Fatalf("sent %d got %d, want %d", sent, got, total)
+	}
+}
+
+// TestBidirectionalSimultaneousLoad runs full-rate datagram traffic in
+// both directions at once on a single connection.
+func TestBidirectionalSimultaneousLoad(t *testing.T) {
+	s := sim.New(99)
+	link := func() *netem.Link {
+		return netem.NewLink(s, netem.LinkConfig{Rate: 5_000_000, Delay: 15 * time.Millisecond, QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: 0.01}})
+	}
+	pair := NewPair(s, ProtoUCOBSuTCP, TCPConfig{NoDelay: true}, link(), link())
+	aGot, bGot := 0, 0
+	pair.A.OnMessage(func([]byte) { aGot++ })
+	pair.B.OnMessage(func([]byte) { bGot++ })
+	s.RunUntil(time.Second)
+	const total = 200
+	aSent, bSent := 0, 0
+	var pumpA, pumpB func()
+	pumpA = func() {
+		for aSent < total {
+			if pair.A.Send(make([]byte, 800), Options{}) != nil {
+				return
+			}
+			aSent++
+		}
+	}
+	pumpB = func() {
+		for bSent < total {
+			if pair.B.Send(make([]byte, 800), Options{}) != nil {
+				return
+			}
+			bSent++
+		}
+	}
+	pair.TCPA.OnWritable(pumpA)
+	pair.TCPB.OnWritable(pumpB)
+	s.Schedule(0, pumpA)
+	s.Schedule(0, pumpB)
+	s.RunFor(2 * time.Minute)
+	if bGot != total || aGot != total {
+		t.Fatalf("a->b %d/%d, b->a %d/%d", bGot, total, aGot, total)
+	}
+}

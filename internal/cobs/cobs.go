@@ -1,0 +1,94 @@
+// Package cobs implements Consistent Overhead Byte Stuffing (Cheshire &
+// Baker, SIGCOMM 1997), the encoding uCOBS uses to reserve the zero byte as
+// a datagram delimiter (paper §5.2).
+//
+// COBS rewrites an arbitrary byte string so it contains no 0x00 bytes, at a
+// worst-case expansion of one byte per 254 input bytes (~0.4%): the input is
+// cut at each zero (and at runs of 254 nonzero bytes), and each chunk is
+// emitted as a one-byte "code" (distance to the next cut) followed by the
+// chunk's nonzero bytes.
+package cobs
+
+import "errors"
+
+// ErrCorrupt is returned by Decode when the input is not a valid COBS
+// encoding (embedded zero byte, truncated group, or empty input).
+var ErrCorrupt = errors.New("cobs: corrupt encoding")
+
+// MaxEncodedLen returns the worst-case encoded size of n input bytes:
+// one overhead byte per 254-byte group, with a minimum of one.
+func MaxEncodedLen(n int) int { return n + 1 + n/254 }
+
+// Encode appends the COBS encoding of src to dst and returns the extended
+// slice. The output contains no zero bytes.
+func Encode(dst, src []byte) []byte {
+	codeIdx := len(dst)
+	dst = append(dst, 0) // placeholder for the first code byte
+	code := byte(1)
+	open := true // an unfinished group whose code byte is at codeIdx
+	for _, b := range src {
+		if !open {
+			// A maximal (0xFF) group just closed; start a new group
+			// only because more input exists.
+			codeIdx = len(dst)
+			dst = append(dst, 0)
+			code = 1
+			open = true
+		}
+		if b == 0 {
+			dst[codeIdx] = code
+			// A zero always opens a fresh group: even at end of input
+			// the trailing zero is represented by a final 0x01 code.
+			codeIdx = len(dst)
+			dst = append(dst, 0)
+			code = 1
+			continue
+		}
+		dst = append(dst, b)
+		code++
+		if code == 0xFF {
+			// Maximal group: close it with no implicit zero.
+			dst[codeIdx] = code
+			open = false
+		}
+	}
+	if open {
+		dst[codeIdx] = code
+	}
+	return dst
+}
+
+// Decode appends the decoding of a complete COBS encoding src to dst.
+// It returns ErrCorrupt if src is empty, contains a zero byte, or ends in
+// the middle of a group.
+func Decode(dst, src []byte) ([]byte, error) {
+	if len(src) == 0 {
+		return dst, ErrCorrupt
+	}
+	i := 0
+	for i < len(src) {
+		code := src[i]
+		if code == 0 {
+			return dst, ErrCorrupt
+		}
+		i++
+		n := int(code) - 1
+		if i+n > len(src) {
+			return dst, ErrCorrupt
+		}
+		for _, b := range src[i : i+n] {
+			if b == 0 {
+				return dst, ErrCorrupt
+			}
+			dst = append(dst, b)
+		}
+		i += n
+		// A code of 0xFF means "254 data bytes, no implicit zero".
+		// Any other code is followed by an implicit zero unless it ends
+		// the message.
+		if code != 0xFF && i < len(src) {
+			dst = append(dst, 0)
+		}
+	}
+	return dst, nil
+}

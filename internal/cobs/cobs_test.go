@@ -1,0 +1,180 @@
+package cobs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known vectors from the COBS paper / common test suites.
+var vectors = []struct {
+	name string
+	in   []byte
+	out  []byte
+}{
+	{"empty", []byte{}, []byte{0x01}},
+	{"single zero", []byte{0x00}, []byte{0x01, 0x01}},
+	{"two zeros", []byte{0x00, 0x00}, []byte{0x01, 0x01, 0x01}},
+	{"zero in middle", []byte{0x11, 0x22, 0x00, 0x33}, []byte{0x03, 0x11, 0x22, 0x02, 0x33}},
+	{"no zeros", []byte{0x11, 0x22, 0x33, 0x44}, []byte{0x05, 0x11, 0x22, 0x33, 0x44}},
+	{"trailing zero", []byte{0x11, 0x00}, []byte{0x02, 0x11, 0x01}},
+	{"leading zero", []byte{0x00, 0x11}, []byte{0x01, 0x02, 0x11}},
+}
+
+func TestVectors(t *testing.T) {
+	for _, v := range vectors {
+		t.Run(v.name, func(t *testing.T) {
+			enc := Encode(nil, v.in)
+			if !bytes.Equal(enc, v.out) {
+				t.Fatalf("Encode(%x) = %x, want %x", v.in, enc, v.out)
+			}
+			dec, err := Decode(nil, enc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !bytes.Equal(dec, v.in) {
+				t.Fatalf("roundtrip = %x, want %x", dec, v.in)
+			}
+		})
+	}
+}
+
+func Test254NonzeroBoundary(t *testing.T) {
+	// Exactly 254 nonzero bytes: one 0xFF group, no implicit zero.
+	in := bytes.Repeat([]byte{0xAA}, 254)
+	enc := Encode(nil, in)
+	if len(enc) != 255 {
+		t.Fatalf("len = %d, want 255", len(enc))
+	}
+	if enc[0] != 0xFF {
+		t.Fatalf("code = %#x, want 0xFF", enc[0])
+	}
+	dec, err := Decode(nil, enc)
+	if err != nil || !bytes.Equal(dec, in) {
+		t.Fatalf("roundtrip failed: %v", err)
+	}
+}
+
+func Test255NonzeroBytes(t *testing.T) {
+	in := bytes.Repeat([]byte{0xAB}, 255)
+	enc := Encode(nil, in)
+	if len(enc) != 257 { // 0xFF + 254 bytes + 0x02 + 1 byte
+		t.Fatalf("len = %d, want 257", len(enc))
+	}
+	dec, err := Decode(nil, enc)
+	if err != nil || !bytes.Equal(dec, in) {
+		t.Fatalf("roundtrip failed: %v", err)
+	}
+}
+
+func Test254ThenZero(t *testing.T) {
+	in := append(bytes.Repeat([]byte{0x01}, 254), 0x00)
+	dec, err := Decode(nil, Encode(nil, in))
+	if err != nil || !bytes.Equal(dec, in) {
+		t.Fatalf("roundtrip failed: %v, got %x", err, dec)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,                // empty
+		{0x00},             // zero code
+		{0x05, 0x11},       // truncated group
+		{0x02, 0x00},       // embedded zero
+		{0x03, 0x11, 0x00}, // embedded zero at end of group
+		{0x01, 0x00},       // zero as second code
+	}
+	for i, c := range cases {
+		if _, err := Decode(nil, c); err == nil {
+			t.Errorf("case %d (%x): want error", i, c)
+		}
+	}
+}
+
+func TestEncodeAppendsToDst(t *testing.T) {
+	dst := []byte{0xDE, 0xAD}
+	out := Encode(dst, []byte{0x01})
+	if !bytes.Equal(out[:2], []byte{0xDE, 0xAD}) {
+		t.Fatal("Encode clobbered prefix")
+	}
+	if !bytes.Equal(out[2:], []byte{0x02, 0x01}) {
+		t.Fatalf("appended %x", out[2:])
+	}
+}
+
+func TestPropertyRoundtrip(t *testing.T) {
+	f := func(in []byte) bool {
+		dec, err := Decode(nil, Encode(nil, in))
+		return err == nil && bytes.Equal(dec, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNoZeros(t *testing.T) {
+	f := func(in []byte) bool {
+		return bytes.IndexByte(Encode(nil, in), 0) == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOverheadBound(t *testing.T) {
+	f := func(in []byte) bool {
+		enc := Encode(nil, in)
+		return len(enc) <= MaxEncodedLen(len(in)) && len(enc) >= len(in)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's headline number: at most 0.4% expansion for zero-free data.
+func TestWorstCaseExpansionRatio(t *testing.T) {
+	in := make([]byte, 100000)
+	for i := range in {
+		in[i] = byte(i%255) + 1 // nonzero
+	}
+	enc := Encode(nil, in)
+	ratio := float64(len(enc))/float64(len(in)) - 1
+	if ratio > 0.0041 {
+		t.Fatalf("expansion %.4f%% exceeds 0.41%%", ratio*100)
+	}
+}
+
+func TestRandomBinaryData(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(4096)
+		in := make([]byte, n)
+		r.Read(in)
+		dec, err := Decode(nil, Encode(nil, in))
+		if err != nil || !bytes.Equal(dec, in) {
+			t.Fatalf("trial %d failed (n=%d): %v", trial, n, err)
+		}
+	}
+}
+
+func BenchmarkEncode1K(b *testing.B) {
+	in := make([]byte, 1024)
+	rand.New(rand.NewSource(1)).Read(in)
+	dst := make([]byte, 0, MaxEncodedLen(len(in)))
+	b.SetBytes(int64(len(in)))
+	for i := 0; i < b.N; i++ {
+		dst = Encode(dst[:0], in)
+	}
+}
+
+func BenchmarkDecode1K(b *testing.B) {
+	in := make([]byte, 1024)
+	rand.New(rand.NewSource(1)).Read(in)
+	enc := Encode(nil, in)
+	dst := make([]byte, 0, len(in))
+	b.SetBytes(int64(len(in)))
+	for i := 0; i < b.N; i++ {
+		dst, _ = Decode(dst[:0], enc)
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"minion/internal/metrics"
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+	"minion/internal/utls"
+)
+
+// cpuRun is a measured bulk message transfer returning the components of
+// Figure 6's cost bars. "Kernel time" in the simulation is the processor
+// time of everything outside the application-level codec (TCP stack, link
+// emulation); "user time" is the real CPU spent in COBS/TLS encode/decode
+// and record scanning — the same split the paper draws inside each bar
+// (see EXPERIMENTS.md for the mapping).
+type cpuRun struct {
+	wall      time.Duration // entire simulation
+	userSend  time.Duration
+	userRecv  time.Duration
+	delivered int
+}
+
+func runCOBSTransfer(loss float64, total int, variant string) cpuRun {
+	s := sim.New(11)
+	fwd := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: loss}})
+	back := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30})
+
+	sndCfg := tcp.Config{NoDelay: true}
+	rcvCfg := tcp.Config{}
+	if variant == "ucobs" { // uCOBS = COBS framing + uTCP on both ends
+		sndCfg.UnorderedSend = true
+		sndCfg.CoalesceWrites = true
+		rcvCfg.Unordered = true
+	}
+	ta, tb := tcp.NewPair(s, sndCfg, rcvCfg, fwd, back)
+
+	var run cpuRun
+	const msgSize = 1000
+	msg := make([]byte, msgSize)
+	nMsgs := total / msgSize
+
+	switch variant {
+	case "tcp": // raw TCP baseline: no framing at all
+		got := bulkSink(tb)
+		sent := 0
+		var pump func()
+		pump = func() {
+			for sent < total {
+				n, err := ta.Write(msg)
+				sent += n
+				if err != nil {
+					return
+				}
+			}
+		}
+		ta.OnWritable(pump)
+		s.Schedule(0, pump)
+		start := time.Now()
+		s.RunUntil(10 * time.Minute)
+		run.wall = time.Since(start)
+		run.delivered = int(*got)
+	default: // "cobs" (plain TCP) or "ucobs" (uTCP)
+		a, b := ucobs.New(ta), ucobs.New(tb)
+		delivered := 0
+		b.OnMessage(func([]byte) { delivered++ })
+		sent := 0
+		var pump func()
+		pump = func() {
+			for sent < nMsgs {
+				if err := a.Send(msg, ucobs.Options{}); err != nil {
+					return
+				}
+				sent++
+			}
+		}
+		ta.OnWritable(pump)
+		s.Schedule(0, pump)
+		start := time.Now()
+		s.RunUntil(10 * time.Minute)
+		run.wall = time.Since(start)
+		run.userSend = a.Stats().CPUEncode
+		run.userRecv = b.Stats().CPUDecode
+		run.delivered = delivered * msgSize
+	}
+	return run
+}
+
+// Fig6a regenerates the COBS/uCOBS CPU cost comparison (paper §8.1,
+// Figure 6a): processing cost of the framed variants normalized to raw TCP
+// at each loss rate, split into the codec ("user") component and the rest.
+func Fig6a(sc Scale) Result {
+	losses := []float64{0.005, 0.01, 0.02}
+	total := sc.picki(1<<20, 16<<20)
+
+	tb := metrics.Table{
+		Title:   fmt.Sprintf("Processing cost of a %d MiB framed transfer, normalized to raw TCP", total>>20),
+		Columns: []string{"variant", "loss %", "user-send ms", "user-recv ms", "total xTCP"},
+	}
+	for _, loss := range losses {
+		base := runCOBSTransfer(loss, total, "tcp")
+		for _, variant := range []string{"cobs", "ucobs"} {
+			r := runCOBSTransfer(loss, total, variant)
+			tb.AddRow(variant,
+				fmt.Sprintf("%.1f", loss*100),
+				fmt.Sprintf("%.2f", float64(r.userSend)/1e6),
+				fmt.Sprintf("%.2f", float64(r.userRecv)/1e6),
+				fmt.Sprintf("%.2f", float64(r.wall)/float64(base.wall)))
+		}
+	}
+	return Result{Name: "fig6a", Title: "COBS/uCOBS CPU cost vs raw TCP", Output: tb.String()}
+}
+
+func runTLSTransfer(loss float64, total int, unordered bool) (send, recv cpuRun, bytesSealed int64) {
+	s := sim.New(13)
+	fwd := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: loss}})
+	back := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30})
+	sndCfg := tcp.Config{NoDelay: true}
+	rcvCfg := tcp.Config{}
+	if unordered {
+		rcvCfg.Unordered = true
+	}
+	ta, tb := tcp.NewPair(s, sndCfg, rcvCfg, fwd, back)
+	srv := utls.Server(tb, utls.Config{})
+	cli := utls.Client(ta, utls.Config{})
+	delivered := 0
+	srv.OnMessage(func([]byte) { delivered++ })
+
+	const msgSize = 1000
+	msg := make([]byte, msgSize)
+	nMsgs := total / msgSize
+	sent := 0
+	var pump func()
+	pump = func() {
+		for sent < nMsgs {
+			if err := cli.Send(msg, utls.Options{}); err != nil {
+				return
+			}
+			sent++
+		}
+	}
+	ta.OnWritable(pump)
+	s.Schedule(0, pump)
+	start := time.Now()
+	s.RunUntil(10 * time.Minute)
+	wall := time.Since(start)
+	send = cpuRun{wall: wall, userSend: cli.Stats().CPUSeal}
+	recv = cpuRun{wall: wall, userRecv: srv.Stats().CPUOpen, delivered: delivered * msgSize}
+	return send, recv, cli.Stats().BytesSealed
+}
+
+// Fig6b regenerates the TLS/uTLS CPU comparison (paper §8.1, Figure 6b):
+// sender cost identical; uTLS receiver within a few percent of TLS; no
+// bandwidth overhead beyond TLS.
+func Fig6b(sc Scale) Result {
+	losses := []float64{0.005, 0.01, 0.02}
+	total := sc.picki(1<<20, 16<<20)
+
+	tb := metrics.Table{
+		Title:   fmt.Sprintf("TLS vs uTLS cost for a %d MiB transfer", total>>20),
+		Columns: []string{"loss %", "seal TLS ms", "seal uTLS ms", "open TLS ms", "open uTLS ms", "recv uTLS/TLS", "extra bw"},
+	}
+	for _, loss := range losses {
+		sT, rT, bytesT := runTLSTransfer(loss, total, false)
+		sU, rU, bytesU := runTLSTransfer(loss, total, true)
+		ratio := float64(rU.userRecv) / float64(rT.userRecv)
+		tb.AddRow(
+			fmt.Sprintf("%.1f", loss*100),
+			fmt.Sprintf("%.2f", float64(sT.userSend)/1e6),
+			fmt.Sprintf("%.2f", float64(sU.userSend)/1e6),
+			fmt.Sprintf("%.2f", float64(rT.userRecv)/1e6),
+			fmt.Sprintf("%.2f", float64(rU.userRecv)/1e6),
+			fmt.Sprintf("%.3f", ratio),
+			fmt.Sprintf("%+d B", bytesU-bytesT))
+	}
+	return Result{Name: "fig6b", Title: "TLS vs uTLS CPU and bandwidth", Output: tb.String()}
+}

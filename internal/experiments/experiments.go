@@ -1,0 +1,327 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8) on the simulated substrate. Each FigN/TableN function is
+// self-contained: it builds the topology, drives the workload, and returns
+// a formatted Result whose rows correspond to the paper's plotted series.
+//
+// Absolute numbers differ from the paper (their testbed was three physical
+// machines; ours is a discrete-event simulation), but each experiment is
+// constructed so the paper's qualitative result — who wins, by roughly what
+// factor, where the crossover lies — is reproduced. EXPERIMENTS.md records
+// the paper-vs-measured comparison for every entry.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"minion/internal/metrics"
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+)
+
+// Result is one regenerated table/figure.
+type Result struct {
+	Name   string // e.g. "fig5"
+	Title  string
+	Output string // formatted rows/series
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("### %s — %s\n%s", r.Name, r.Title, r.Output)
+}
+
+// Scale controls experiment durations: Quick for tests/benches, Full for
+// the paper-scale run.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+func (sc Scale) pick(q, f time.Duration) time.Duration {
+	if sc == Quick {
+		return q
+	}
+	return f
+}
+
+func (sc Scale) picki(q, f int) int {
+	if sc == Quick {
+		return q
+	}
+	return f
+}
+
+// bulkSink drains a TCP receiver, counting payload bytes.
+func bulkSink(c *tcp.Conn) *int64 {
+	var n int64
+	buf := make([]byte, 64*1024)
+	c.OnReadable(func() {
+		for {
+			k, _ := c.Read(buf)
+			if k == 0 {
+				return
+			}
+			n += int64(k)
+		}
+	})
+	return &n
+}
+
+// unorderedSink drains a uTCP receiver in unordered mode.
+func unorderedSink(c *tcp.Conn) *int64 {
+	var n int64
+	c.OnReadable(func() {
+		for {
+			d, err := c.ReadUnordered()
+			if err != nil {
+				return
+			}
+			if d.InOrder {
+				n += int64(len(d.Data))
+			}
+		}
+	})
+	return &n
+}
+
+// bulkStreamPump writes a continuous byte stream (plain Write path).
+func bulkStreamPump(s *sim.Simulator, c *tcp.Conn, startAt time.Duration) {
+	chunk := make([]byte, 32*1024)
+	var pump func()
+	pump = func() {
+		for {
+			if _, err := c.Write(chunk); err != nil {
+				return
+			}
+		}
+	}
+	c.OnWritable(pump)
+	s.Schedule(startAt, pump)
+}
+
+// msgPump writes fixed-size messages via WriteMsg as fast as the buffer
+// allows.
+func msgPump(s *sim.Simulator, c *tcp.Conn, size int, startAt time.Duration) {
+	msg := make([]byte, size)
+	var pump func()
+	pump = func() {
+		for {
+			if _, err := c.WriteMsg(msg, tcp.WriteOptions{Tag: tcp.TagDefault}); err != nil {
+				return
+			}
+		}
+	}
+	c.OnWritable(pump)
+	s.Schedule(startAt, pump)
+}
+
+// addCompetingBulkFlow starts a client->server bulk TCP flow on a dumbbell
+// at startAt and returns the receiver's byte counter.
+func addCompetingBulkFlow(s *sim.Simulator, db *netem.Dumbbell, flow int, startAt time.Duration) *int64 {
+	snd := tcp.New(s, tcp.Config{NoDelay: true}, nil)
+	rcv := tcp.New(s, tcp.Config{}, nil)
+	tcp.AttachDumbbellClient(snd, flow, db)
+	tcp.AttachDumbbellServer(rcv, flow, db)
+	rcv.Listen()
+	s.Schedule(startAt, snd.Connect)
+	got := bulkSink(rcv)
+	bulkStreamPump(s, snd, startAt+10*time.Millisecond)
+	return got
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: raw uTCP vs TCP throughput as a function of application message
+// size (paper §8.1). The Linux artifact — congestion control counting
+// skbuffs rather than bytes — makes uTCP throughput proportional to the
+// average segment fill when messages don't pack into full segments; the
+// §8.1 coalescing fix restores parity when the MSS is a multiple of the
+// message size.
+// ---------------------------------------------------------------------------
+
+// Fig5 regenerates the throughput-vs-message-size curves.
+func Fig5(sc Scale) Result {
+	sizes := []int{181, 362, 500, 724, 1000, 1200, 1448, 1800, 2172, 2500, 2896}
+	if sc == Quick {
+		sizes = []int{362, 724, 1000, 1448, 2172, 2896}
+	}
+	dur := sc.pick(8*time.Second, 30*time.Second)
+
+	// A light random-loss regime keeps the congestion window loss-limited
+	// rather than link-limited: packet-counted Reno then pins the window
+	// to the same *segment count* regardless of segment size, so uTCP's
+	// partially-filled segments translate directly into lost throughput —
+	// the Linux skbuff-counting artifact of §8.1.
+	run := func(size int, unordered bool) float64 {
+		s := sim.New(42)
+		fwd := netem.NewLink(s, netem.LinkConfig{Rate: 2_000_000, Delay: 30 * time.Millisecond, QueueBytes: 48_000, Loss: netem.BernoulliLoss{P: 0.012}})
+		back := netem.NewLink(s, netem.LinkConfig{Rate: 2_000_000, Delay: 30 * time.Millisecond})
+		sndCfg := tcp.Config{NoDelay: true}
+		rcvCfg := tcp.Config{}
+		if unordered {
+			sndCfg.UnorderedSend = true
+			sndCfg.CoalesceWrites = true // paper's partial fix, as plotted
+			rcvCfg.Unordered = true
+		}
+		snd, rcv := tcp.NewPair(s, sndCfg, rcvCfg, fwd, back)
+		var got *int64
+		if unordered {
+			got = unorderedSink(rcv)
+		} else {
+			got = bulkSink(rcv)
+		}
+		if unordered {
+			msgPump(s, snd, size, 100*time.Millisecond)
+		} else {
+			// Plain TCP: same message-sized application writes, but the
+			// stack packs them into MSS segments.
+			msg := make([]byte, size)
+			var pump func()
+			pump = func() {
+				for {
+					if n, err := snd.Write(msg); err != nil || n < len(msg) {
+						return
+					}
+				}
+			}
+			snd.OnWritable(pump)
+			s.Schedule(100*time.Millisecond, pump)
+		}
+		s.RunUntil(dur)
+		return metrics.Mbps(*got, dur-100*time.Millisecond)
+	}
+
+	tb := metrics.Table{
+		Title:   "Throughput vs application message size (2 Mbps, 60 ms RTT)",
+		Columns: []string{"msg bytes", "TCP Mbps", "uTCP Mbps", "uTCP/TCP"},
+	}
+	for _, size := range sizes {
+		t0 := run(size, false)
+		t1 := run(size, true)
+		ratio := 0.0
+		if t0 > 0 {
+			ratio = t1 / t0
+		}
+		tb.AddRow(fmt.Sprintf("%d", size), fmt.Sprintf("%.2f", t0), fmt.Sprintf("%.2f", t1), fmt.Sprintf("%.2f", ratio))
+	}
+	return Result{Name: "fig5", Title: "Raw uTCP vs TCP throughput by message size", Output: tb.String()}
+}
+
+// ---------------------------------------------------------------------------
+// §8.1 raw CPU: uTCP's CPU cost is nearly identical to TCP's across loss
+// rates. We measure the real processor time of the whole simulated
+// transfer for each variant.
+// ---------------------------------------------------------------------------
+
+// RawCPU regenerates the §8.1 claim that raw uTCP CPU ≈ TCP CPU.
+func RawCPU(sc Scale) Result {
+	losses := []float64{0, 0.01, 0.02, 0.05}
+	total := sc.picki(1<<20, 8<<20)
+
+	run := func(loss float64, unordered bool) time.Duration {
+		s := sim.New(7)
+		fwd := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: loss}})
+		back := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30})
+		sndCfg := tcp.Config{NoDelay: true}
+		rcvCfg := tcp.Config{}
+		if unordered {
+			sndCfg.UnorderedSend = true
+			sndCfg.CoalesceWrites = true
+			rcvCfg.Unordered = true
+		}
+		snd, rcv := tcp.NewPair(s, sndCfg, rcvCfg, fwd, back)
+		var got *int64
+		if unordered {
+			got = unorderedSink(rcv)
+		} else {
+			got = bulkSink(rcv)
+		}
+		sent := 0
+		msg := make([]byte, 1448)
+		var pump func()
+		pump = func() {
+			for sent < total {
+				var n int
+				var err error
+				if unordered {
+					n, err = snd.WriteMsg(msg, tcp.WriteOptions{Tag: tcp.TagDefault})
+				} else {
+					n, err = snd.Write(msg)
+				}
+				sent += n
+				if err != nil {
+					return
+				}
+			}
+		}
+		snd.OnWritable(pump)
+		s.Schedule(0, pump)
+		start := time.Now()
+		s.RunUntil(10 * time.Minute)
+		elapsed := time.Since(start)
+		if *got < int64(total) {
+			return -1
+		}
+		return elapsed
+	}
+
+	tb := metrics.Table{
+		Title:   fmt.Sprintf("Processor time for a %d MiB transfer (whole simulation)", total>>20),
+		Columns: []string{"loss %", "TCP ms", "uTCP ms", "uTCP/TCP"},
+	}
+	for _, loss := range losses {
+		t0 := run(loss, false)
+		t1 := run(loss, true)
+		tb.AddRow(fmt.Sprintf("%.1f", loss*100),
+			fmt.Sprintf("%.1f", float64(t0)/1e6),
+			fmt.Sprintf("%.1f", float64(t1)/1e6),
+			fmt.Sprintf("%.2f", float64(t1)/float64(t0)))
+	}
+	return Result{Name: "rawcpu", Title: "Raw uTCP CPU cost vs TCP (§8.1)", Output: tb.String()}
+}
+
+// All runs every experiment at the given scale.
+func All(sc Scale) []Result {
+	return []Result{
+		Fig5(sc), RawCPU(sc),
+		Fig6a(sc), Fig6b(sc),
+		Fig7(sc), Fig8(sc), Fig9(sc),
+		Fig10(sc),
+		Fig11(sc), Fig12(sc),
+		Fig13(sc),
+		Table1(),
+	}
+}
+
+// Render formats a set of results for terminal output.
+func Render(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ucobsPairOnDumbbell builds a uCOBS connection across a dumbbell.
+// unordered selects uTCP on both endpoints.
+func ucobsPairOnDumbbell(s *sim.Simulator, db *netem.Dumbbell, flow int, unordered bool) (cli, srv *ucobs.Conn) {
+	cfg := tcp.Config{NoDelay: true}
+	if unordered {
+		cfg.UnorderedSend = true
+		cfg.Unordered = true
+		cfg.CoalesceWrites = true
+	}
+	ta := tcp.New(s, cfg, nil)
+	tb := tcp.New(s, cfg, nil)
+	tcp.AttachDumbbellClient(ta, flow, db)
+	tcp.AttachDumbbellServer(tb, flow, db)
+	tb.Listen()
+	ta.Connect()
+	return ucobs.New(ta), ucobs.New(tb)
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseTable pulls the data rows out of a rendered table.
+func parseRows(t *testing.T, out string) [][]string {
+	t.Helper()
+	var rows [][]string
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	dataStart := 0
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "---") {
+			dataStart = i + 1
+			break
+		}
+	}
+	for _, l := range lines[dataStart:] {
+		f := strings.Fields(l)
+		if len(f) > 0 {
+			rows = append(rows, f)
+		}
+	}
+	return rows
+}
+
+func fval(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// Figure 5's shape: parity at MSS-divisible sizes, a pronounced dip at
+// 1000 bytes (the skbuff-counting artifact).
+func TestFig5Shape(t *testing.T) {
+	rows := parseRows(t, Fig5(Quick).Output)
+	ratios := map[string]float64{}
+	for _, r := range rows {
+		ratios[r[0]] = fval(t, r[3])
+	}
+	for _, sz := range []string{"362", "724", "1448", "2896"} {
+		if ratios[sz] < 0.9 {
+			t.Errorf("size %s: ratio %.2f, want parity (>0.9)", sz, ratios[sz])
+		}
+	}
+	if ratios["1000"] > 0.9 {
+		t.Errorf("size 1000: ratio %.2f, want a dip (<0.9)", ratios["1000"])
+	}
+	if ratios["1000"] < 0.5 {
+		t.Errorf("size 1000: ratio %.2f implausibly deep", ratios["1000"])
+	}
+}
+
+// Figure 7's headline: under contention uCOBS delivers a (much) larger
+// fraction of frames within 200 ms than TCP, and UDP loses frames.
+func TestFig7Shape(t *testing.T) {
+	rows := parseRows(t, Fig7(Quick).Output)
+	vals := map[string][]string{}
+	for _, r := range rows {
+		vals[r[0]] = r
+	}
+	ucobs200 := fval(t, vals["uCOBS"][4])
+	tcp200 := fval(t, vals["TCP"][4])
+	udpDelivered := fval(t, vals["UDP"][7])
+	if ucobs200 <= tcp200 {
+		t.Errorf("uCOBS <=200ms %.2f not better than TCP %.2f", ucobs200, tcp200)
+	}
+	if ucobs200 < 0.90 {
+		t.Errorf("uCOBS <=200ms = %.2f, want >= 0.90", ucobs200)
+	}
+	if udpDelivered >= 1.0 {
+		t.Errorf("UDP delivered everything (%.3f); expected loss", udpDelivered)
+	}
+}
+
+// Figure 8: most uCOBS bursts are short; TCP produces long bursts.
+func TestFig8Shape(t *testing.T) {
+	rows := parseRows(t, Fig8(Quick).Output)
+	vals := map[string][]string{}
+	for _, r := range rows {
+		vals[r[0]] = r
+	}
+	// columns: transport bursts <=1 <=2 <=3 <=5 <=10 <=20 <=50
+	ucobs3 := fval(t, vals["uCOBS"][4])
+	tcp10 := fval(t, vals["TCP"][6])
+	if ucobs3 < 0.6 {
+		t.Errorf("uCOBS bursts <=3 = %.2f, want most short", ucobs3)
+	}
+	if tcp10 > 0.8 {
+		t.Errorf("TCP bursts <=10 = %.2f, want a heavy tail (>20%% longer than 10)", tcp10)
+	}
+}
+
+// Figure 9: by the heaviest-contention window TCP's quality collapses
+// below uCOBS, which stays closer to UDP.
+func TestFig9Shape(t *testing.T) {
+	rows := parseRows(t, Fig9(Quick).Output)
+	vals := map[string][]string{}
+	for _, r := range rows {
+		vals[r[0]] = r
+	}
+	last := len(vals["uCOBS"]) - 1
+	ucobs := fval(t, vals["uCOBS"][last])
+	tcp := fval(t, vals["TCP"][last])
+	udp := fval(t, vals["UDP"][last])
+	if ucobs <= tcp {
+		t.Errorf("final window: uCOBS %.2f <= TCP %.2f", ucobs, tcp)
+	}
+	if udp < 1 || udp > 4.5 || ucobs < 1 || tcp < 1 {
+		t.Errorf("scores out of range: %v %v %v", ucobs, tcp, udp)
+	}
+}
+
+// Figure 10: high-priority messages see far lower delay on uTCP only.
+func TestFig10Shape(t *testing.T) {
+	rows := parseRows(t, Fig10(Quick).Output)
+	med := map[string]float64{}
+	for _, r := range rows {
+		med[r[0]+"/"+r[1]] = fval(t, r[3])
+	}
+	if med["uTCP/high"] >= med["uTCP/low"]/3 {
+		t.Errorf("uTCP high %.1fms not ≪ low %.1fms", med["uTCP/high"], med["uTCP/low"])
+	}
+	if med["TCP/high"] < med["TCP/low"]*0.5 || med["TCP/high"] > med["TCP/low"]*2 {
+		t.Errorf("TCP classes should be similar: high %.1f low %.1f", med["TCP/high"], med["TCP/low"])
+	}
+}
+
+// Figure 11: with competing uploads, the modified tunnel clearly beats the
+// original; without uploads they are equivalent.
+func TestFig11Shape(t *testing.T) {
+	rows := parseRows(t, Fig11(Quick).Output)
+	for _, r := range rows {
+		n := r[0]
+		ratio := fval(t, r[3])
+		if n == "0" {
+			if ratio < 0.8 || ratio > 1.3 {
+				t.Errorf("no uploads: ratio %.2f, want ~1", ratio)
+			}
+			continue
+		}
+		if ratio < 1.5 {
+			t.Errorf("%s uploads: modified/original %.2f, want >= 1.5", n, ratio)
+		}
+	}
+}
+
+// Figure 13: msTCP cuts TTFB on request-heavy pages without inflating
+// total page load time.
+func TestFig13Shape(t *testing.T) {
+	rows := parseRows(t, Fig13(Quick).Output)
+	for _, r := range rows {
+		if r[0] != "9+" {
+			continue
+		}
+		ratio := fval(t, r[4])
+		if ratio > 0.85 {
+			t.Errorf("9+ TTFB ratio %.2f, want msTCP clearly faster (<0.85)", ratio)
+		}
+		loadP, loadM := fval(t, r[5]), fval(t, r[6])
+		if loadM > loadP*1.3 {
+			t.Errorf("total load inflated: %.0f vs %.0f", loadM, loadP)
+		}
+	}
+}
+
+// Table 1: the uTCP delta is a small fraction of the TCP substrate.
+func TestTable1Shape(t *testing.T) {
+	out := Table1().Output
+	rows := parseRows(t, out)
+	var tcpLoC, utcpDelta float64
+	for _, r := range rows {
+		switch r[0] {
+		case "TCP":
+			if r[1] == "substrate" {
+				tcpLoC = fval(t, r[2])
+			}
+		case "uTCP":
+			if r[1] == "additions" {
+				utcpDelta = fval(t, r[2])
+			}
+		}
+	}
+	if tcpLoC == 0 || utcpDelta == 0 {
+		t.Fatalf("LoC counting failed:\n%s", out)
+	}
+	if utcpDelta/tcpLoC > 0.2 {
+		t.Errorf("uTCP delta %.0f is %.0f%% of TCP %.0f; want a small fraction",
+			utcpDelta, 100*utcpDelta/tcpLoC, tcpLoC)
+	}
+}
+
+// Figure 6b: uTLS adds no bandwidth beyond TLS.
+func TestFig6bNoBandwidthOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cpu experiment")
+	}
+	rows := parseRows(t, Fig6b(Quick).Output)
+	for _, r := range rows {
+		if r[len(r)-1] != "B" && !strings.HasPrefix(r[len(r)-2], "+0") {
+			t.Errorf("bandwidth overhead row: %v", r)
+		}
+	}
+}
+
+// The scale knobs must actually differ.
+func TestScalePick(t *testing.T) {
+	if Quick.pick(time.Second, time.Minute) != time.Second {
+		t.Fatal("Quick pick broken")
+	}
+	if Full.pick(time.Second, time.Minute) != time.Minute {
+		t.Fatal("Full pick broken")
+	}
+	if Quick.picki(1, 2) != 1 || Full.picki(1, 2) != 2 {
+		t.Fatal("picki broken")
+	}
+}

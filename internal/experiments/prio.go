@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"minion/internal/metrics"
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+)
+
+// Fig10 regenerates the send-side prioritization experiment (paper §8.3):
+// a sender pushing messages at network-limited rate marks one in every 100
+// high-priority. Over uTCP, high-priority messages short-cut the send
+// queue and see far lower application-observed delay; over TCP both
+// classes queue FIFO and suffer alike.
+func Fig10(sc Scale) Result {
+	dur := sc.pick(10*time.Second, 40*time.Second)
+
+	run := func(unordered bool) (hi, lo metrics.Samples) {
+		s := sim.New(31)
+		fwd := netem.NewLink(s, netem.LinkConfig{Rate: 2_000_000, Delay: 30 * time.Millisecond, QueueBytes: 24_000})
+		back := netem.NewLink(s, netem.LinkConfig{Rate: 2_000_000, Delay: 30 * time.Millisecond})
+		sndCfg := tcp.Config{NoDelay: true}
+		rcvCfg := tcp.Config{}
+		if unordered {
+			sndCfg.UnorderedSend = true
+			sndCfg.CoalesceWrites = true
+			rcvCfg.Unordered = true
+		}
+		ta, tb := tcp.NewPair(s, sndCfg, rcvCfg, fwd, back)
+		a, b := ucobs.New(ta), ucobs.New(tb)
+
+		sentAt := map[uint64]time.Duration{}
+		isHigh := map[uint64]bool{}
+		b.OnMessage(func(m []byte) {
+			if len(m) < 8 {
+				return
+			}
+			id := binary.BigEndian.Uint64(m)
+			if t0, ok := sentAt[id]; ok {
+				d := s.Now() - t0
+				if isHigh[id] {
+					hi.AddDuration(d)
+				} else {
+					lo.AddDuration(d)
+				}
+				delete(sentAt, id)
+			}
+		})
+
+		var id uint64
+		msg := make([]byte, 1000)
+		var pump func()
+		pump = func() {
+			for {
+				high := id%100 == 99 // one in every 100 messages
+				prio := uint32(10)
+				if high {
+					prio = 1
+				}
+				binary.BigEndian.PutUint64(msg, id)
+				if err := a.Send(msg, ucobs.Options{Priority: prio}); err != nil {
+					return
+				}
+				sentAt[id] = s.Now()
+				isHigh[id] = high
+				id++
+			}
+		}
+		ta.OnWritable(pump)
+		s.Schedule(500*time.Millisecond, pump)
+		s.RunUntil(dur)
+		return hi, lo
+	}
+
+	tb := metrics.Table{
+		Title:   "Application-observed message delay, 1 in 100 messages high-priority (2 Mbps, 60 ms RTT)",
+		Columns: []string{"transport", "class", "n", "median ms", "p95 ms", "mean ms"},
+	}
+	for _, unordered := range []bool{false, true} {
+		name := "TCP"
+		if unordered {
+			name = "uTCP"
+		}
+		hi, lo := run(unordered)
+		for _, c := range []struct {
+			class string
+			s     *metrics.Samples
+		}{{"high", &hi}, {"low", &lo}} {
+			tb.AddRow(name, c.class,
+				fmt.Sprintf("%d", c.s.N()),
+				fmt.Sprintf("%.1f", c.s.Percentile(50)),
+				fmt.Sprintf("%.1f", c.s.Percentile(95)),
+				fmt.Sprintf("%.1f", c.s.Mean()))
+		}
+	}
+	return Result{Name: "fig10", Title: "Send-side prioritization delays", Output: tb.String()}
+}

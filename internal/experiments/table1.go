@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"minion/internal/metrics"
+)
+
+// Table1 regenerates the implementation-complexity comparison (paper §8.6,
+// Table 1): how small the uTCP and uTLS deltas are relative to the stacks
+// they extend, against the size of "native" out-of-order transports.
+//
+// For this reproduction the counts are of our own Go tree (non-blank,
+// non-comment lines, tests excluded): the TCP substrate package stands in
+// for the Linux stack, and the uTCP delta is counted structurally (the
+// declarations implementing SO_UNORDERED / SO_UNORDEREDSEND). The paper's
+// original C numbers are printed alongside for comparison; the claim being
+// reproduced is the *ratio* — unordered delivery is a small fractional
+// change to an existing stack, not a new transport.
+func Table1() Result {
+	root := repoRoot()
+
+	count := func(rel string) int {
+		n, err := countDirLoC(filepath.Join(root, rel))
+		if err != nil {
+			return -1
+		}
+		return n
+	}
+
+	tcpLoC := count("internal/tcp")
+	utcpDelta := countUTCPDelta(filepath.Join(root, "internal/tcp"))
+	cobsLoC := count("internal/cobs") + count("internal/ucobs")
+	tlsLoC := count("internal/tlsrec")
+	utlsLoC := count("internal/utls")
+
+	pct := func(d, whole int) string {
+		if whole <= 0 {
+			return "?"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(d)/float64(whole))
+	}
+
+	tb := metrics.Table{
+		Title:   "Code size (non-blank, non-comment LoC, tests excluded) vs paper Table 1",
+		Columns: []string{"component", "ours LoC", "ours delta", "paper LoC", "paper delta"},
+	}
+	tb.AddRow("TCP substrate", fmt.Sprintf("%d", tcpLoC), "-", "12982 (Linux)", "-")
+	tb.AddRow("uTCP additions", fmt.Sprintf("%d", utcpDelta), pct(utcpDelta, tcpLoC), "565", "4.6%")
+	tb.AddRow("uCOBS library (+COBS)", fmt.Sprintf("%d", cobsLoC), "-", "732", "-")
+	tb.AddRow("TLS record layer", fmt.Sprintf("%d", tlsLoC), "-", "31359 (libssl)", "-")
+	tb.AddRow("uTLS additions", fmt.Sprintf("%d", utlsLoC), pct(utlsLoC, tlsLoC+utlsLoC), "586", "1.9%")
+	tb.AddRow("native DCCP (for scale)", "-", "-", "6338", "-")
+	tb.AddRow("native SCTP (for scale)", "-", "-", "19312", "-")
+	tb.AddRow("DTLS (for scale)", "-", "-", "4734", "-")
+	return Result{Name: "table1", Title: "Implementation complexity", Output: tb.String()}
+}
+
+// repoRoot locates the module root from this source file's location.
+func repoRoot() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "."
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// countDirLoC counts non-blank, non-comment lines across a package's
+// non-test Go files (a cloc-style count, like the paper's).
+func countDirLoC(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return 0, err
+		}
+		total += countLoC(string(data))
+	}
+	return total, nil
+}
+
+// countLoC counts non-blank lines that are not entirely comment.
+func countLoC(src string) int {
+	n := 0
+	inBlock := false
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if inBlock {
+			if idx := strings.Index(t, "*/"); idx >= 0 {
+				inBlock = false
+				t = strings.TrimSpace(t[idx+2:])
+			} else {
+				continue
+			}
+		}
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		if strings.HasPrefix(t, "/*") {
+			if !strings.Contains(t, "*/") {
+				inBlock = true
+			}
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// utcpDeclNames are the declarations in internal/tcp that exist only for
+// the uTCP extensions (SO_UNORDERED receive path, SO_UNORDEREDSEND
+// priority send path) — the structural equivalent of the paper's kernel
+// patch delta.
+var utcpDeclNames = map[string]bool{
+	"WriteMsg":           true,
+	"WriteOptions":       true,
+	"enqueueWrite":       true,
+	"squash":             true,
+	"plannedPayloadLen":  true,
+	"ReadUnordered":      true,
+	"UnorderedAvailable": true,
+	"UnorderedData":      true,
+	"StreamOffsetOf":     true,
+	"TagDefault":         true,
+}
+
+// countUTCPDelta sums the source-line spans of the uTCP-specific
+// declarations in the tcp package.
+func countUTCPDelta(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return -1
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.FuncDecl:
+					if utcpDeclNames[d.Name.Name] {
+						total += span(fset, d)
+						return false
+					}
+				case *ast.TypeSpec:
+					if utcpDeclNames[d.Name.Name] {
+						total += span(fset, d)
+						return false
+					}
+				case *ast.ValueSpec:
+					for _, name := range d.Names {
+						if utcpDeclNames[name.Name] {
+							total += span(fset, d)
+							return false
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return total
+}
+
+func span(fset *token.FileSet, n ast.Node) int {
+	return fset.Position(n.End()).Line - fset.Position(n.Pos()).Line + 1
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"minion/internal/metrics"
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+	"minion/internal/vpn"
+)
+
+// vpnVariant captures the two independent OpenVPN modifications of §8.4:
+// unordered delivery at the receiving ends of the tunnel ("uCOBS") and ACK
+// prioritization at the sending ends ("priACKs") — uTCP's receiver- and
+// sender-side enhancements respectively, deployable independently (§4).
+type vpnVariant struct {
+	name      string
+	unordered bool // receiver-side SO_UNORDERED on the outer connection
+	priACKs   bool // sender-side SO_UNORDEREDSEND + ACK classification
+}
+
+var vpnVariants = []vpnVariant{
+	{"TCP", false, false},
+	{"TCP+priACKs", false, true},
+	{"uCOBS", true, false},
+	{"uCOBS+priACKs", true, true},
+}
+
+// runVPN builds the §8.4 topology — a 3 Mbps down / 0.5 Mbps up access
+// link (the median-residential profile the paper cites) carrying one VPN
+// tunnel — and runs nDown inner downloads and nUp inner uploads through it
+// for dur. It returns total inner download and upload goodput in bytes.
+func runVPN(seed int64, v vpnVariant, nDown, nUp int, dur time.Duration) (dlBytes, ulBytes int64) {
+	s := sim.New(seed)
+	up := netem.LinkConfig{Rate: 500_000, Delay: 20 * time.Millisecond, QueueBytes: 16_000}
+	down := netem.LinkConfig{Rate: 3_000_000, Delay: 20 * time.Millisecond, QueueBytes: 48_000}
+	db := netem.NewDumbbell(s, up, down)
+
+	outerCfg := tcp.Config{
+		NoDelay:        true,
+		Unordered:      v.unordered,
+		UnorderedSend:  v.priACKs,
+		CoalesceWrites: v.priACKs,
+		// OpenVPN-realistic socket buffering: with the default 256 KiB the
+		// 0.5 Mbps uplink queues seconds of tunneled data ahead of inner
+		// ACKs and the unmodified tunnel melts down completely, which
+		// overstates the paper's effect.
+		SendBufBytes: 32 * 1024,
+	}
+	outCli := tcp.New(s, outerCfg, nil)
+	outSrv := tcp.New(s, outerCfg, nil)
+	tcp.AttachDumbbellClient(outCli, 0, db)
+	tcp.AttachDumbbellServer(outSrv, 0, db)
+	outSrv.Listen()
+	outCli.Connect()
+
+	cliEnd := vpn.New(ucobs.New(outCli), v.priACKs)
+	srvEnd := vpn.New(ucobs.New(outSrv), v.priACKs)
+
+	var dlCounters, ulCounters []*int64
+	flow := uint32(1)
+	// Downloads: inner server -> inner client.
+	for i := 0; i < nDown; i++ {
+		sndr := tcp.New(s, tcp.Config{NoDelay: true}, nil) // server side
+		rcvr := tcp.New(s, tcp.Config{}, nil)              // client side
+		srvEnd.AttachConn(flow, sndr)
+		cliEnd.AttachConn(flow, rcvr)
+		rcvr.Listen()
+		sndr.Connect()
+		dlCounters = append(dlCounters, bulkSink(rcvr))
+		bulkStreamPump(s, sndr, 500*time.Millisecond)
+		flow++
+	}
+	// Uploads: inner client -> inner server.
+	for i := 0; i < nUp; i++ {
+		sndr := tcp.New(s, tcp.Config{NoDelay: true}, nil) // client side
+		rcvr := tcp.New(s, tcp.Config{}, nil)              // server side
+		cliEnd.AttachConn(flow, sndr)
+		srvEnd.AttachConn(flow, rcvr)
+		rcvr.Listen()
+		sndr.Connect()
+		ulCounters = append(ulCounters, bulkSink(rcvr))
+		bulkStreamPump(s, sndr, 500*time.Millisecond)
+		flow++
+	}
+
+	s.RunUntil(dur)
+	for _, c := range dlCounters {
+		dlBytes += *c
+	}
+	for _, c := range ulCounters {
+		ulBytes += *c
+	}
+	return dlBytes, ulBytes
+}
+
+// Fig11 regenerates the tunnel-throughput experiment: one inner download
+// against a growing number of inner uploads, original vs fully modified
+// OpenVPN. The modified tunnel roughly doubles download throughput once
+// uploads contend for the 0.5 Mbps upstream (paper §8.4).
+func Fig11(sc Scale) Result {
+	dur := sc.pick(20*time.Second, 60*time.Second)
+	maxUp := sc.picki(3, 5)
+
+	tb := metrics.Table{
+		Title:   "Inner download throughput through the tunnel vs number of competing uploads",
+		Columns: []string{"uploads", "original Mbps", "modified Mbps", "modified/original"},
+	}
+	orig := vpnVariants[0]  // TCP
+	modif := vpnVariants[3] // uCOBS+priACKs
+	for n := 0; n <= maxUp; n++ {
+		d0, _ := runVPN(41, orig, 1, n, dur)
+		d1, _ := runVPN(41, modif, 1, n, dur)
+		m0 := metrics.Mbps(d0, dur)
+		m1 := metrics.Mbps(d1, dur)
+		ratio := 0.0
+		if m0 > 0 {
+			ratio = m1 / m0
+		}
+		tb.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", m0), fmt.Sprintf("%.2f", m1), fmt.Sprintf("%.2f", ratio))
+	}
+	return Result{Name: "fig11", Title: "OpenVPN-style tunnel: download vs competing uploads", Output: tb.String()}
+}
+
+// Fig12 regenerates the modification ablation: upload and download
+// utilization for each variant in three traffic mixes (paper §8.4's
+// UL-only / 3 DL + 1 UL / DL-only scatter).
+func Fig12(sc Scale) Result {
+	dur := sc.pick(20*time.Second, 60*time.Second)
+	scenarios := []struct {
+		name       string
+		nDown, nUp int
+	}{
+		{"UL only", 0, 1},
+		{"3DL+1UL", 3, 1},
+		{"DL only", 1, 0},
+	}
+	tb := metrics.Table{
+		Title:   "Tunnel utilization by variant and traffic mix (3 Mbps down / 0.5 Mbps up)",
+		Columns: []string{"scenario", "variant", "DL Mbps", "UL Mbps"},
+	}
+	for _, sc2 := range scenarios {
+		for _, v := range vpnVariants {
+			dl, ul := runVPN(43, v, sc2.nDown, sc2.nUp, dur)
+			tb.AddRow(sc2.name, v.name,
+				fmt.Sprintf("%.2f", metrics.Mbps(dl, dur)),
+				fmt.Sprintf("%.3f", metrics.Mbps(ul, dur)))
+		}
+	}
+	return Result{Name: "fig12", Title: "Contribution of independent tunnel modifications", Output: tb.String()}
+}

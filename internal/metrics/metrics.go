@@ -1,0 +1,240 @@
+// Package metrics provides the measurement utilities the experiment
+// harness uses to regenerate the paper's tables and figures: sample
+// collections with percentiles/CDFs, time-bucketed series, and fixed-width
+// table rendering for terminal output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Samples collects float64 observations.
+type Samples struct {
+	v      []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Samples) Add(x float64) {
+	s.v = append(s.v, x)
+	s.sorted = false
+}
+
+// AddDuration appends a duration in milliseconds.
+func (s *Samples) AddDuration(d time.Duration) { s.Add(float64(d) / float64(time.Millisecond)) }
+
+// N returns the sample count.
+func (s *Samples) N() int { return len(s.v) }
+
+// Mean returns the arithmetic mean (0 for empty).
+func (s *Samples) Mean() float64 {
+	if len(s.v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.v {
+		sum += x
+	}
+	return sum / float64(len(s.v))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Samples) Stddev() float64 {
+	if len(s.v) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.v {
+		sum += (x - m) * (x - m)
+	}
+	return math.Sqrt(sum / float64(len(s.v)))
+}
+
+func (s *Samples) sortIfNeeded() {
+	if !s.sorted {
+		sort.Float64s(s.v)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (s *Samples) Percentile(p float64) float64 {
+	if len(s.v) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	rank := int(math.Ceil(p/100*float64(len(s.v)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.v) {
+		rank = len(s.v) - 1
+	}
+	return s.v[rank]
+}
+
+// Min and Max return extremes (0 for empty).
+func (s *Samples) Min() float64 {
+	if len(s.v) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	return s.v[0]
+}
+
+// Max returns the largest sample.
+func (s *Samples) Max() float64 {
+	if len(s.v) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	return s.v[len(s.v)-1]
+}
+
+// FractionBelow returns the empirical CDF at x: P(X <= x).
+func (s *Samples) FractionBelow(x float64) float64 {
+	if len(s.v) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	i := sort.SearchFloat64s(s.v, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.v))
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // cumulative fraction <= X
+}
+
+// CDF returns the empirical CDF evaluated at the given points, or at every
+// distinct sample when points is nil.
+func (s *Samples) CDF(points []float64) []CDFPoint {
+	s.sortIfNeeded()
+	if points == nil {
+		points = append([]float64(nil), s.v...)
+	}
+	out := make([]CDFPoint, len(points))
+	for i, x := range points {
+		out[i] = CDFPoint{X: x, F: s.FractionBelow(x)}
+	}
+	return out
+}
+
+// Values returns a copy of the raw samples.
+func (s *Samples) Values() []float64 { return append([]float64(nil), s.v...) }
+
+// Series accumulates (time, value) points and can aggregate into windows.
+type Series struct {
+	T []time.Duration
+	V []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// WindowMean returns per-window means over [0, end) with the given width.
+func (s *Series) WindowMean(width, end time.Duration) []float64 {
+	if width <= 0 {
+		return nil
+	}
+	n := int(end / width)
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for i, t := range s.T {
+		w := int(t / width)
+		if w >= 0 && w < n {
+			sums[w] += s.V[i]
+			counts[w]++
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return out
+}
+
+// Table renders fixed-width experiment output resembling the paper's rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprintf(strings.Split(format, "|")[i], c)
+	}
+	t.Rows = append(t.Rows, parts)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mbps converts bytes over a duration to megabits per second.
+func Mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e6
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeanStddev(t *testing.T) {
+	var s Samples
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Samples
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{50: 50, 95: 95, 100: 100, 1: 1}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySamples(t *testing.T) {
+	var s Samples
+	if s.Mean() != 0 || s.Percentile(50) != 0 || s.Min() != 0 || s.Max() != 0 || s.FractionBelow(5) != 0 {
+		t.Fatal("empty samples should return zeros")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var s Samples
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if got := s.FractionBelow(2); got != 0.5 {
+		t.Fatalf("F(2) = %v", got)
+	}
+	if got := s.FractionBelow(0.5); got != 0 {
+		t.Fatalf("F(0.5) = %v", got)
+	}
+	if got := s.FractionBelow(4); got != 1 {
+		t.Fatalf("F(4) = %v", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Samples
+	s.Add(10)
+	s.Add(20)
+	pts := s.CDF([]float64{5, 10, 15, 20})
+	want := []float64{0, 0.5, 0.5, 1}
+	for i, p := range pts {
+		if p.F != want[i] {
+			t.Fatalf("CDF[%d] = %v, want %v", i, p.F, want[i])
+		}
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Samples
+	s.AddDuration(1500 * time.Microsecond)
+	if got := s.Mean(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("ms = %v", got)
+	}
+}
+
+func TestSeriesWindowMean(t *testing.T) {
+	var sr Series
+	sr.Add(100*time.Millisecond, 1)
+	sr.Add(200*time.Millisecond, 3)
+	sr.Add(1100*time.Millisecond, 10)
+	got := sr.WindowMean(time.Second, 2*time.Second)
+	if len(got) != 2 || got[0] != 2 || got[1] != 10 {
+		t.Fatalf("windows = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "Demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("bee", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if got := Mbps(1_250_000, time.Second); got != 10 {
+		t.Fatalf("Mbps = %v", got)
+	}
+	if got := Mbps(100, 0); got != 0 {
+		t.Fatal("zero duration should yield 0")
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by [Min, Max].
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Samples
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			q := s.Percentile(p)
+			if q < last {
+				return false
+			}
+			last = q
+		}
+		return s.Percentile(0) >= s.Min() && s.Percentile(100) == s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FractionBelow agrees with a direct count.
+func TestPropertyCDFModel(t *testing.T) {
+	f := func(vals []float64, x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		var s Samples
+		n := 0
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			s.Add(v)
+			if v <= x {
+				n++
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		want := float64(n) / float64(s.N())
+		return math.Abs(s.FractionBelow(x)-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sorting stability check on repeated percentile queries after Add.
+func TestInterleavedAddQuery(t *testing.T) {
+	var s Samples
+	for i := 0; i < 50; i++ {
+		s.Add(float64(50 - i))
+		_ = s.Percentile(50)
+	}
+	vals := s.Values()
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if s.Min() != sorted[0] || s.Max() != sorted[len(sorted)-1] {
+		t.Fatal("min/max wrong after interleaved use")
+	}
+}

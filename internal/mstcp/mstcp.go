@@ -1,0 +1,225 @@
+// Package mstcp implements msTCP (paper §8.5): a multistreaming message
+// protocol providing multiple concurrent, individually-ordered message
+// streams over a single Minion datagram connection — the unordered-delivery
+// analog of SPDY/SST multistreaming, but carried in a TCP-compatible wire
+// stream.
+//
+// Each message travels as one Minion datagram with a small header
+// (stream id, per-stream sequence number, fin flag). Datagrams of different
+// streams arrive independently: a loss stalling stream A's next message
+// never delays stream B — the whole point of §8.5's web experiment. Within
+// a stream, messages are reordered into sequence before delivery.
+package mstcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// header: streamID(4) seq(4) flags(1).
+const headerSize = 9
+
+const flagFIN = 1
+
+// Errors.
+var (
+	ErrStreamClosed = errors.New("mstcp: stream closed")
+	ErrBadFrame     = errors.New("mstcp: malformed frame")
+)
+
+// Datagram is the substrate interface (satisfied by minion.Conn with an
+// adapter, or used directly with ucobs/utls connections).
+type Datagram interface {
+	Send(msg []byte, priority uint32) error
+	OnMessage(fn func(msg []byte))
+}
+
+// Stats counts connection activity.
+type Stats struct {
+	MessagesSent      int
+	MessagesDelivered int
+	StreamsOpened     int
+	StreamsClosed     int
+}
+
+// Conn multiplexes message streams over one datagram connection.
+type Conn struct {
+	d        Datagram
+	streams  map[uint32]*Stream
+	onStream func(st *Stream)
+	nextID   uint32
+	stats    Stats
+}
+
+// Stream is one ordered message stream.
+type Stream struct {
+	conn      *Conn
+	id        uint32
+	sendSeq   uint32
+	recvNext  uint32
+	pending   map[uint32][]byte // out-of-order messages awaiting their turn
+	finAt     uint32            // seq of FIN, valid when finSeen
+	finSeen   bool
+	closed    bool
+	onMessage func(msg []byte)
+	onClose   func()
+	recvQ     [][]byte
+	priority  uint32
+}
+
+// New builds a multistream connection over d. Streams opened by the peer
+// surface through OnStream.
+func New(d Datagram) *Conn {
+	c := &Conn{d: d, streams: make(map[uint32]*Stream), nextID: 1}
+	d.OnMessage(c.onDatagram)
+	return c
+}
+
+// Stats returns a copy of the counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// OnStream registers the callback for peer-initiated streams.
+func (c *Conn) OnStream(fn func(st *Stream)) { c.onStream = fn }
+
+// Open creates a new locally-initiated stream. Streams initiated by the
+// two sides use odd/even ids by convention; for the simulation both sides
+// share the id space and collisions are the caller's concern (experiments
+// open streams from one side).
+func (c *Conn) Open() *Stream {
+	id := c.nextID
+	c.nextID++
+	st := c.newStream(id)
+	return st
+}
+
+func (c *Conn) newStream(id uint32) *Stream {
+	st := &Stream{conn: c, id: id, pending: make(map[uint32][]byte)}
+	c.streams[id] = st
+	c.stats.StreamsOpened++
+	return st
+}
+
+// ID returns the stream id.
+func (st *Stream) ID() uint32 { return st.id }
+
+// SetPriority sets the uTCP send priority for subsequent messages on this
+// stream (lower = higher priority).
+func (st *Stream) SetPriority(p uint32) { st.priority = p }
+
+// OnMessage registers the in-order delivery callback.
+func (st *Stream) OnMessage(fn func(msg []byte)) { st.onMessage = fn }
+
+// OnClose registers a callback for the peer's end-of-stream.
+func (st *Stream) OnClose(fn func()) { st.onClose = fn }
+
+// Recv pops a queued message.
+func (st *Stream) Recv() (msg []byte, ok bool) {
+	if len(st.recvQ) == 0 {
+		return nil, false
+	}
+	msg = st.recvQ[0]
+	st.recvQ = st.recvQ[1:]
+	return msg, true
+}
+
+// Send transmits one message on the stream.
+func (st *Stream) Send(msg []byte) error {
+	if st.closed {
+		return ErrStreamClosed
+	}
+	return st.send(msg, 0)
+}
+
+// Close ends the stream; the peer sees OnClose after all messages arrive.
+// If the transport refuses the FIN (full buffer), Close returns the error
+// and may be retried; the stream only counts as closed once the FIN is
+// accepted.
+func (st *Stream) Close() error {
+	if st.closed {
+		return nil
+	}
+	if err := st.send(nil, flagFIN); err != nil {
+		return err
+	}
+	st.closed = true
+	st.conn.stats.StreamsClosed++
+	return nil
+}
+
+func (st *Stream) send(msg []byte, flags byte) error {
+	frame := make([]byte, headerSize+len(msg))
+	binary.BigEndian.PutUint32(frame, st.id)
+	binary.BigEndian.PutUint32(frame[4:], st.sendSeq)
+	frame[8] = flags
+	copy(frame[headerSize:], msg)
+	if err := st.conn.d.Send(frame, st.priority); err != nil {
+		// The sequence number is consumed only on success: a refused
+		// datagram (full transport buffer) must not leave a hole that
+		// would stall the peer's in-stream reassembly forever.
+		return fmt.Errorf("mstcp: %w", err)
+	}
+	st.sendSeq++
+	st.conn.stats.MessagesSent++
+	return nil
+}
+
+func (c *Conn) onDatagram(frame []byte) {
+	if len(frame) < headerSize {
+		return
+	}
+	id := binary.BigEndian.Uint32(frame)
+	seq := binary.BigEndian.Uint32(frame[4:])
+	flags := frame[8]
+	payload := frame[headerSize:]
+
+	st, ok := c.streams[id]
+	if !ok {
+		st = c.newStream(id)
+		if id >= c.nextID {
+			c.nextID = id + 1
+		}
+		if c.onStream != nil {
+			c.onStream(st)
+		}
+	}
+	if flags&flagFIN != 0 {
+		st.finSeen = true
+		st.finAt = seq
+	} else {
+		if _, dup := st.pending[seq]; !dup && seq >= st.recvNext {
+			st.pending[seq] = append([]byte(nil), payload...)
+		}
+	}
+	st.drain()
+}
+
+// drain delivers in-sequence messages and the FIN.
+func (st *Stream) drain() {
+	for {
+		if msg, ok := st.pending[st.recvNext]; ok {
+			delete(st.pending, st.recvNext)
+			st.recvNext++
+			st.conn.stats.MessagesDelivered++
+			if st.onMessage != nil {
+				st.onMessage(msg)
+			} else {
+				st.recvQ = append(st.recvQ, msg)
+			}
+			continue
+		}
+		if st.finSeen && st.recvNext == st.finAt {
+			st.recvNext++
+			if st.onClose != nil {
+				fn := st.onClose
+				st.onClose = nil
+				fn()
+			}
+		}
+		return
+	}
+}
+
+// PendingOOO returns the count of buffered out-of-order messages on the
+// stream (useful for instrumentation).
+func (st *Stream) PendingOOO() int { return len(st.pending) }

@@ -1,0 +1,269 @@
+package mstcp
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+)
+
+// ucobsDatagram adapts ucobs.Conn to the Datagram interface.
+type ucobsDatagram struct{ c *ucobs.Conn }
+
+func (u ucobsDatagram) Send(msg []byte, prio uint32) error {
+	return u.c.Send(msg, ucobs.Options{Priority: prio})
+}
+func (u ucobsDatagram) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
+
+// memDatagram is an in-memory datagram pipe with controllable delivery
+// order, for deterministic unit tests.
+type memDatagram struct {
+	peer    *memDatagram
+	handler func([]byte)
+	queue   [][]byte
+}
+
+func memPair() (*memDatagram, *memDatagram) {
+	a, b := &memDatagram{}, &memDatagram{}
+	a.peer, b.peer = b, a
+	return a, b
+}
+func (m *memDatagram) Send(msg []byte, prio uint32) error {
+	m.peer.queue = append(m.peer.queue, append([]byte(nil), msg...))
+	return nil
+}
+func (m *memDatagram) OnMessage(fn func([]byte)) { m.handler = fn }
+func (m *memDatagram) deliver(i int) {
+	msg := m.queue[i]
+	m.queue = append(m.queue[:i], m.queue[i+1:]...)
+	m.handler(msg)
+}
+func (m *memDatagram) deliverAll() {
+	for len(m.queue) > 0 {
+		m.deliver(0)
+	}
+}
+
+func TestStreamOrderingWithinStream(t *testing.T) {
+	da, db := memPair()
+	ca, cb := New(da), New(db)
+	_ = ca
+	var got []string
+	cb.OnStream(func(st *Stream) {
+		st.OnMessage(func(m []byte) { got = append(got, string(m)) })
+	})
+	st := ca.Open()
+	st.Send([]byte("m0"))
+	st.Send([]byte("m1"))
+	st.Send([]byte("m2"))
+	// Deliver out of order: 2, 0, 1 (indices shift after each removal).
+	db.deliver(2)
+	db.deliver(0)
+	db.deliver(0)
+	want := []string{"m0", "m1", "m2"}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	da, db := memPair()
+	ca, cb := New(da), New(db)
+	var got []string
+	cb.OnStream(func(st *Stream) {
+		id := st.ID()
+		st.OnMessage(func(m []byte) { got = append(got, fmt.Sprintf("s%d:%s", id, m)) })
+	})
+	s1, s2 := ca.Open(), ca.Open()
+	s1.Send([]byte("a0")) // queue[0]
+	s2.Send([]byte("b0")) // queue[1]
+	s1.Send([]byte("a1")) // queue[2]
+	// Stream 1's first message is "lost" (delayed); stream 2 must still
+	// deliver — the multistreaming point of §8.5.
+	db.deliver(1) // b0
+	if len(got) != 1 || got[0] != "s2:b0" {
+		t.Fatalf("stream 2 blocked by stream 1: %v", got)
+	}
+	db.deliverAll()
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFinDelivery(t *testing.T) {
+	da, db := memPair()
+	ca, cb := New(da), New(db)
+	closed := false
+	var msgs []string
+	cb.OnStream(func(st *Stream) {
+		st.OnMessage(func(m []byte) { msgs = append(msgs, string(m)) })
+		st.OnClose(func() { closed = true })
+	})
+	st := ca.Open()
+	st.Send([]byte("last"))
+	st.Close()
+	// FIN first, then data: close must wait for the data.
+	db.deliver(1)
+	if closed {
+		t.Fatal("closed before data delivered")
+	}
+	db.deliverAll()
+	if !closed || len(msgs) != 1 {
+		t.Fatalf("closed=%v msgs=%v", closed, msgs)
+	}
+	if err := st.Send([]byte("x")); err != ErrStreamClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestDuplicateFramesIgnored(t *testing.T) {
+	da, db := memPair()
+	ca, cb := New(da), New(db)
+	var got []string
+	cb.OnStream(func(st *Stream) {
+		st.OnMessage(func(m []byte) { got = append(got, string(m)) })
+	})
+	st := ca.Open()
+	st.Send([]byte("once"))
+	dup := append([]byte(nil), db.queue[0]...)
+	db.queue = append(db.queue, dup)
+	db.deliverAll()
+	if len(got) != 1 {
+		t.Fatalf("duplicate delivered: %v", got)
+	}
+}
+
+func TestRecvQueueWithoutHandler(t *testing.T) {
+	da, db := memPair()
+	ca, cb := New(da), New(db)
+	var stB *Stream
+	cb.OnStream(func(st *Stream) { stB = st })
+	st := ca.Open()
+	st.Send([]byte("q"))
+	db.deliverAll()
+	if stB == nil {
+		t.Fatal("no stream surfaced")
+	}
+	m, ok := stB.Recv()
+	if !ok || string(m) != "q" {
+		t.Fatalf("Recv = %q/%v", m, ok)
+	}
+}
+
+func TestMalformedFrameIgnored(t *testing.T) {
+	da, db := memPair()
+	New(da)
+	cb := New(db)
+	_ = cb
+	db.queue = append(db.queue, []byte{1, 2, 3}) // too short
+	db.deliverAll()                              // must not panic
+}
+
+// Property: per-stream order always equals send order, regardless of
+// datagram delivery permutation.
+func TestPropertyPerStreamOrder(t *testing.T) {
+	f := func(perm []byte, nStreams uint8) bool {
+		ns := int(nStreams)%4 + 1
+		da, db := memPair()
+		ca, cb := New(da), New(db)
+		got := make(map[uint32][]int)
+		cb.OnStream(func(st *Stream) {
+			id := st.ID()
+			st.OnMessage(func(m []byte) { got[id] = append(got[id], int(m[0])) })
+		})
+		streams := make([]*Stream, ns)
+		for i := range streams {
+			streams[i] = ca.Open()
+		}
+		const perStream = 6
+		for k := 0; k < perStream; k++ {
+			for _, st := range streams {
+				st.Send([]byte{byte(k)})
+			}
+		}
+		// Deliver in a permutation driven by perm bytes.
+		for len(db.queue) > 0 {
+			idx := 0
+			if len(perm) > 0 {
+				idx = int(perm[0]) % len(db.queue)
+				perm = perm[1:]
+			}
+			db.deliver(idx)
+		}
+		for _, st := range streams {
+			seq := got[st.ID()]
+			if len(seq) != perStream {
+				return false
+			}
+			for k, v := range seq {
+				if v != k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end over the real stack: msTCP over uCOBS over uTCP over a lossy
+// link — a loss on one stream must not stall the others (the §8.5 claim).
+func TestEndToEndLossIsolation(t *testing.T) {
+	s := sim.New(7)
+	fwd := netem.LinkConfig{Rate: 10_000_000, Delay: 20 * time.Millisecond, QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: 0.03}}
+	back := netem.LinkConfig{Rate: 10_000_000, Delay: 20 * time.Millisecond, QueueBytes: 1 << 30}
+	ta, tb := tcp.NewPair(s,
+		tcp.Config{NoDelay: true, UnorderedSend: true},
+		tcp.Config{Unordered: true},
+		netem.NewLink(s, fwd), netem.NewLink(s, back))
+	ca := New(ucobsDatagram{ucobs.New(ta)})
+	cb := New(ucobsDatagram{ucobs.New(tb)})
+
+	type rec struct {
+		stream uint32
+		k      int
+	}
+	var deliveries []rec
+	cb.OnStream(func(st *Stream) {
+		id := st.ID()
+		st.OnMessage(func(m []byte) { deliveries = append(deliveries, rec{id, int(m[0])}) })
+	})
+	s.RunUntil(time.Second)
+	const nStreams, perStream = 8, 40
+	streams := make([]*Stream, nStreams)
+	for i := range streams {
+		streams[i] = ca.Open()
+	}
+	for k := 0; k < perStream; k++ {
+		for _, st := range streams {
+			st.Send([]byte{byte(k)})
+		}
+	}
+	s.RunFor(time.Minute)
+	if len(deliveries) != nStreams*perStream {
+		t.Fatalf("delivered %d, want %d", len(deliveries), nStreams*perStream)
+	}
+	// Per-stream order intact.
+	next := map[uint32]int{}
+	for _, d := range deliveries {
+		if d.k != next[d.stream] {
+			t.Fatalf("stream %d out of order: got %d want %d", d.stream, d.k, next[d.stream])
+		}
+		next[d.stream]++
+	}
+	if cb.Stats().MessagesDelivered != nStreams*perStream {
+		t.Fatalf("stats: %+v", cb.Stats())
+	}
+}

@@ -1,0 +1,298 @@
+// Package netem emulates network paths: rate-limited droptail links with
+// propagation delay, loss models, reordering and duplication, plus the
+// dumbbell topology used by every contention experiment in the paper.
+//
+// It plays the role dummynet plays in the paper's testbed (§8): packets from
+// protocol endpoints enter an Element chain and come out at the far side
+// after the emulated link behaviour has been applied. Elements compose like
+// protocol layers: each has a Send input and delivers to a downstream
+// handler, so a path is built by chaining a middlebox into a link, etc.
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"minion/internal/sim"
+)
+
+// Packet is the unit carried by emulated paths. Data is an opaque protocol
+// unit (for example a *tcp.Segment); Size is its wire size in bytes including
+// all header overhead, which is what rate limiting and queue accounting use.
+// Flow is a demultiplexing key assigned by the experiment topology.
+type Packet struct {
+	Flow int
+	Data any
+	Size int
+}
+
+// Handler consumes delivered packets.
+type Handler func(Packet)
+
+// Element is a composable path stage.
+type Element interface {
+	// Send injects a packet into the element.
+	Send(Packet)
+	// SetDeliver registers the downstream consumer.
+	SetDeliver(Handler)
+}
+
+// Chain wires elems[i] to deliver into elems[i+1] and returns an Element
+// whose Send enters the first stage and whose SetDeliver sets the consumer
+// of the last stage. Chain panics if no elements are given.
+func Chain(elems ...Element) Element {
+	if len(elems) == 0 {
+		panic("netem: Chain requires at least one element")
+	}
+	for i := 0; i < len(elems)-1; i++ {
+		next := elems[i+1]
+		elems[i].SetDeliver(next.Send)
+	}
+	return chain{elems}
+}
+
+type chain struct{ elems []Element }
+
+func (c chain) Send(p Packet)        { c.elems[0].Send(p) }
+func (c chain) SetDeliver(h Handler) { c.elems[len(c.elems)-1].SetDeliver(h) }
+
+// LossModel decides whether a packet is dropped. Implementations draw from
+// the provided deterministic source.
+type LossModel interface {
+	Drop(r *rand.Rand) bool
+}
+
+// BernoulliLoss drops each packet independently with probability P.
+type BernoulliLoss struct{ P float64 }
+
+// Drop implements LossModel.
+func (b BernoulliLoss) Drop(r *rand.Rand) bool { return b.P > 0 && r.Float64() < b.P }
+
+// GilbertElliott is the classic two-state bursty loss model. In the Good
+// state packets drop with probability LossGood, in the Bad state with
+// LossBad; the chain moves Good->Bad with PGoodBad and Bad->Good with
+// PBadGood per packet.
+type GilbertElliott struct {
+	PGoodBad, PBadGood float64
+	LossGood, LossBad  float64
+	bad                bool
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(r *rand.Rand) bool {
+	if g.bad {
+		if r.Float64() < g.PBadGood {
+			g.bad = false
+		}
+	} else {
+		if r.Float64() < g.PGoodBad {
+			g.bad = true
+		}
+	}
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	return p > 0 && r.Float64() < p
+}
+
+// LinkConfig parameterizes a unidirectional Link.
+type LinkConfig struct {
+	// Rate is the service rate in bits per second. Zero means infinite
+	// (no serialization delay, no queueing).
+	Rate int64
+	// Delay is the one-way propagation delay added after serialization.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// QueueBytes bounds the droptail queue (excluding the packet in
+	// service). Zero selects a default of 64 KiB when Rate > 0.
+	QueueBytes int
+	// Loss, if non-nil, is consulted on arrival (drops happen before
+	// queueing, like dummynet's plr).
+	Loss LossModel
+	// ReorderProb is the probability that a delivered packet is held for
+	// ReorderDelay extra, letting later packets overtake it.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+	// DuplicateProb is the probability a delivered packet is delivered
+	// twice.
+	DuplicateProb float64
+}
+
+// DefaultQueueBytes is the droptail capacity used when LinkConfig.QueueBytes
+// is zero on a rate-limited link.
+const DefaultQueueBytes = 64 * 1024
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	Sent           int // packets accepted into the link
+	Delivered      int
+	DroppedLoss    int
+	DroppedQueue   int
+	BytesSent      int64
+	BytesDelivered int64
+}
+
+// Link is a unidirectional emulated link: loss model, droptail byte queue,
+// fixed service rate, propagation delay, optional reorder/duplicate.
+type Link struct {
+	sim     *sim.Simulator
+	cfg     LinkConfig
+	deliver Handler
+
+	queue      []Packet
+	queuedSize int
+	busy       bool
+
+	stats LinkStats
+}
+
+// NewLink builds a Link on the simulator.
+func NewLink(s *sim.Simulator, cfg LinkConfig) *Link {
+	if cfg.Rate > 0 && cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	return &Link{sim: s, cfg: cfg}
+}
+
+// SetDeliver implements Element.
+func (l *Link) SetDeliver(h Handler) { l.deliver = h }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueuedBytes returns the current droptail queue occupancy.
+func (l *Link) QueuedBytes() int { return l.queuedSize }
+
+// Send implements Element: the packet is subjected to the loss model, then
+// queued for service.
+func (l *Link) Send(p Packet) {
+	if l.cfg.Loss != nil && l.cfg.Loss.Drop(l.sim.Rand()) {
+		l.stats.DroppedLoss++
+		return
+	}
+	if l.cfg.Rate <= 0 {
+		// Infinite-rate link: propagation only.
+		l.stats.Sent++
+		l.stats.BytesSent += int64(p.Size)
+		l.propagate(p)
+		return
+	}
+	if l.queuedSize+p.Size > l.cfg.QueueBytes && len(l.queue) > 0 {
+		l.stats.DroppedQueue++
+		return
+	}
+	l.stats.Sent++
+	l.stats.BytesSent += int64(p.Size)
+	l.queue = append(l.queue, p)
+	l.queuedSize += p.Size
+	if !l.busy {
+		l.serveNext()
+	}
+}
+
+func (l *Link) serveNext() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p := l.queue[0]
+	l.queue = l.queue[1:]
+	l.queuedSize -= p.Size
+	tx := time.Duration(float64(p.Size*8) / float64(l.cfg.Rate) * float64(time.Second))
+	l.sim.Schedule(tx, func() {
+		l.propagate(p)
+		l.serveNext()
+	})
+}
+
+func (l *Link) propagate(p Packet) {
+	d := l.cfg.Delay
+	if l.cfg.Jitter > 0 {
+		d += time.Duration(l.sim.Rand().Int63n(int64(l.cfg.Jitter)))
+	}
+	if l.cfg.ReorderProb > 0 && l.sim.Rand().Float64() < l.cfg.ReorderProb {
+		d += l.cfg.ReorderDelay
+	}
+	dup := l.cfg.DuplicateProb > 0 && l.sim.Rand().Float64() < l.cfg.DuplicateProb
+	l.sim.Schedule(d, func() { l.emit(p) })
+	if dup {
+		l.sim.Schedule(d, func() { l.emit(p) })
+	}
+}
+
+func (l *Link) emit(p Packet) {
+	l.stats.Delivered++
+	l.stats.BytesDelivered += int64(p.Size)
+	if l.deliver != nil {
+		l.deliver(p)
+	}
+}
+
+// Demux routes delivered packets to per-flow handlers.
+type Demux struct {
+	handlers map[int]Handler
+	fallback Handler
+}
+
+// NewDemux returns an empty Demux.
+func NewDemux() *Demux { return &Demux{handlers: make(map[int]Handler)} }
+
+// Handle registers h for packets whose Flow equals flow.
+func (d *Demux) Handle(flow int, h Handler) { d.handlers[flow] = h }
+
+// HandleDefault registers a fallback for unknown flows.
+func (d *Demux) HandleDefault(h Handler) { d.fallback = h }
+
+// Deliver dispatches p; packets for unregistered flows without a fallback
+// are silently dropped (like packets to a closed port).
+func (d *Demux) Deliver(p Packet) {
+	if h, ok := d.handlers[p.Flow]; ok {
+		h(p)
+		return
+	}
+	if d.fallback != nil {
+		d.fallback(p)
+	}
+}
+
+// Dumbbell is the standard two-sided topology: all "client side" packets
+// share one bottleneck link toward the server side and vice versa. Competing
+// flows therefore contend in the same droptail queue, which is what produces
+// the latency-tax effects in the paper's Figures 7-12.
+type Dumbbell struct {
+	Up   *Link // client -> server direction
+	Down *Link // server -> client direction
+
+	upDemux   *Demux
+	downDemux *Demux
+}
+
+// NewDumbbell builds the topology from per-direction link configs.
+func NewDumbbell(s *sim.Simulator, up, down LinkConfig) *Dumbbell {
+	d := &Dumbbell{
+		Up:        NewLink(s, up),
+		Down:      NewLink(s, down),
+		upDemux:   NewDemux(),
+		downDemux: NewDemux(),
+	}
+	d.Up.SetDeliver(d.upDemux.Deliver)
+	d.Down.SetDeliver(d.downDemux.Deliver)
+	return d
+}
+
+// HandleAtServer registers the server-side receiver for a flow (packets that
+// traversed the Up link).
+func (d *Dumbbell) HandleAtServer(flow int, h Handler) { d.upDemux.Handle(flow, h) }
+
+// HandleAtClient registers the client-side receiver for a flow (packets that
+// traversed the Down link).
+func (d *Dumbbell) HandleAtClient(flow int, h Handler) { d.downDemux.Handle(flow, h) }
+
+// SendUp injects a packet in the client->server direction.
+func (d *Dumbbell) SendUp(p Packet) { d.Up.Send(p) }
+
+// SendDown injects a packet in the server->client direction.
+func (d *Dumbbell) SendDown(p Packet) { d.Down.Send(p) }

@@ -1,0 +1,283 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"minion/internal/sim"
+)
+
+func mkPkt(flow, size int) Packet { return Packet{Flow: flow, Data: nil, Size: size} }
+
+func TestInfiniteRatePropagationOnly(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, LinkConfig{Delay: 25 * time.Millisecond})
+	var at time.Duration
+	l.SetDeliver(func(Packet) { at = s.Now() })
+	l.Send(mkPkt(0, 1500))
+	s.Run()
+	if at != 25*time.Millisecond {
+		t.Fatalf("delivered at %v, want 25ms", at)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	s := sim.New(1)
+	// 1 Mbps: a 1250-byte packet takes 10ms to serialize.
+	l := NewLink(s, LinkConfig{Rate: 1_000_000, Delay: 5 * time.Millisecond})
+	var at time.Duration
+	l.SetDeliver(func(Packet) { at = s.Now() })
+	l.Send(mkPkt(0, 1250))
+	s.Run()
+	want := 15 * time.Millisecond
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestQueueingBackToBack(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, LinkConfig{Rate: 1_000_000}) // 10ms per 1250B packet
+	var times []time.Duration
+	l.SetDeliver(func(Packet) { times = append(times, s.Now()) })
+	for i := 0; i < 3; i++ {
+		l.Send(mkPkt(0, 1250))
+	}
+	s.Run()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(times) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(times))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("packet %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestDroptailQueue(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, LinkConfig{Rate: 1_000_000, QueueBytes: 2500})
+	n := 0
+	l.SetDeliver(func(Packet) { n++ })
+	// First enters service immediately; queue holds two more 1250B packets;
+	// the rest are dropped.
+	for i := 0; i < 10; i++ {
+		l.Send(mkPkt(0, 1250))
+	}
+	s.Run()
+	// in-service packet leaves the queue accounting, so after packet 1
+	// starts service the queue has room for 2 packets; when packet 2 starts
+	// service another fits, etc. With all sends at t=0: p0 in service,
+	// p1+p2 queued, p3..p9 dropped.
+	if n != 3 {
+		t.Fatalf("delivered %d, want 3", n)
+	}
+	if got := l.Stats().DroppedQueue; got != 7 {
+		t.Fatalf("queue drops = %d, want 7", got)
+	}
+}
+
+func TestBernoulliLossAll(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, LinkConfig{Loss: BernoulliLoss{P: 1.0}})
+	n := 0
+	l.SetDeliver(func(Packet) { n++ })
+	for i := 0; i < 50; i++ {
+		l.Send(mkPkt(0, 100))
+	}
+	s.Run()
+	if n != 0 {
+		t.Fatalf("delivered %d with P=1 loss", n)
+	}
+	if l.Stats().DroppedLoss != 50 {
+		t.Fatalf("loss drops = %d, want 50", l.Stats().DroppedLoss)
+	}
+}
+
+func TestBernoulliLossRate(t *testing.T) {
+	s := sim.New(42)
+	l := NewLink(s, LinkConfig{Loss: BernoulliLoss{P: 0.1}})
+	n := 0
+	l.SetDeliver(func(Packet) { n++ })
+	const total = 20000
+	for i := 0; i < total; i++ {
+		l.Send(mkPkt(0, 100))
+	}
+	s.Run()
+	rate := 1 - float64(n)/float64(total)
+	if rate < 0.08 || rate > 0.12 {
+		t.Fatalf("empirical loss %.3f, want ~0.10", rate)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := &GilbertElliott{PGoodBad: 0.05, PBadGood: 0.3, LossGood: 0, LossBad: 1}
+	losses, bursts, run := 0, 0, 0
+	const total = 50000
+	for i := 0; i < total; i++ {
+		if g.Drop(r) {
+			losses++
+			run++
+		} else {
+			if run > 0 {
+				bursts++
+			}
+			run = 0
+		}
+	}
+	if losses == 0 || bursts == 0 {
+		t.Fatal("GE model produced no losses")
+	}
+	meanBurst := float64(losses) / float64(bursts)
+	if meanBurst < 1.5 {
+		t.Fatalf("mean burst %.2f, want bursty (>1.5)", meanBurst)
+	}
+}
+
+func TestDuplicate(t *testing.T) {
+	s := sim.New(3)
+	l := NewLink(s, LinkConfig{DuplicateProb: 1.0})
+	n := 0
+	l.SetDeliver(func(Packet) { n++ })
+	l.Send(mkPkt(0, 100))
+	s.Run()
+	if n != 2 {
+		t.Fatalf("delivered %d, want 2 (duplicate)", n)
+	}
+}
+
+func TestReorder(t *testing.T) {
+	s := sim.New(5)
+	l := NewLink(s, LinkConfig{Delay: time.Millisecond, ReorderProb: 1.0, ReorderDelay: 10 * time.Millisecond})
+	var order []int
+	l.SetDeliver(func(p Packet) { order = append(order, p.Flow) })
+	l.Send(mkPkt(1, 100))
+	s.Schedule(2*time.Millisecond, func() {
+		l2cfg := LinkConfig{Delay: time.Millisecond}
+		_ = l2cfg
+		l.cfg.ReorderProb = 0 // second packet not delayed
+		l.Send(mkPkt(2, 100))
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("order = %v, want [2 1]", order)
+	}
+}
+
+func TestDemuxRouting(t *testing.T) {
+	d := NewDemux()
+	var a, b, other int
+	d.Handle(1, func(Packet) { a++ })
+	d.Handle(2, func(Packet) { b++ })
+	d.HandleDefault(func(Packet) { other++ })
+	d.Deliver(mkPkt(1, 0))
+	d.Deliver(mkPkt(2, 0))
+	d.Deliver(mkPkt(2, 0))
+	d.Deliver(mkPkt(99, 0))
+	if a != 1 || b != 2 || other != 1 {
+		t.Fatalf("a=%d b=%d other=%d", a, b, other)
+	}
+}
+
+func TestDemuxUnknownDropped(t *testing.T) {
+	d := NewDemux()
+	d.Deliver(mkPkt(5, 0)) // must not panic
+}
+
+func TestChain(t *testing.T) {
+	s := sim.New(1)
+	l1 := NewLink(s, LinkConfig{Delay: time.Millisecond})
+	l2 := NewLink(s, LinkConfig{Delay: time.Millisecond})
+	c := Chain(l1, l2)
+	var at time.Duration
+	c.SetDeliver(func(Packet) { at = s.Now() })
+	c.Send(mkPkt(0, 10))
+	s.Run()
+	if at != 2*time.Millisecond {
+		t.Fatalf("chain delivery at %v, want 2ms", at)
+	}
+}
+
+func TestChainPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chain() should panic with no elements")
+		}
+	}()
+	Chain()
+}
+
+func TestDumbbellContention(t *testing.T) {
+	s := sim.New(9)
+	// Slow shared down link.
+	db := NewDumbbell(s, LinkConfig{Delay: time.Millisecond}, LinkConfig{Rate: 1_000_000, Delay: time.Millisecond})
+	var f1, f2 []time.Duration
+	db.HandleAtClient(1, func(Packet) { f1 = append(f1, s.Now()) })
+	db.HandleAtClient(2, func(Packet) { f2 = append(f2, s.Now()) })
+	// Two flows each send 5 packets at t=0 downstream; they share the queue.
+	for i := 0; i < 5; i++ {
+		db.SendDown(mkPkt(1, 1250))
+		db.SendDown(mkPkt(2, 1250))
+	}
+	s.Run()
+	if len(f1) != 5 || len(f2) != 5 {
+		t.Fatalf("f1=%d f2=%d, want 5 each", len(f1), len(f2))
+	}
+	// Last delivery ~ 10 packets * 10ms + 1ms propagation.
+	last := f2[len(f2)-1]
+	if last < 100*time.Millisecond {
+		t.Fatalf("flows did not share bottleneck: last=%v", last)
+	}
+}
+
+// Property: a lossless, duplicate-free link delivers every packet exactly
+// once and preserves FIFO order regardless of sizes.
+func TestPropertyLinkFIFO(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := sim.New(13)
+		l := NewLink(s, LinkConfig{Rate: 8_000_000, Delay: time.Millisecond, QueueBytes: 1 << 30})
+		var got []int
+		l.SetDeliver(func(p Packet) { got = append(got, p.Flow) })
+		for i, sz := range sizes {
+			l.Send(Packet{Flow: i, Size: int(sz)%1500 + 1})
+		}
+		s.Run()
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: byte conservation — delivered + dropped == sent attempts.
+func TestPropertyConservation(t *testing.T) {
+	f := func(n uint8, lossTenths uint8) bool {
+		s := sim.New(int64(n)*7 + 1)
+		p := float64(lossTenths%10) / 10
+		l := NewLink(s, LinkConfig{Rate: 1_000_000, QueueBytes: 5000, Loss: BernoulliLoss{P: p}})
+		delivered := 0
+		l.SetDeliver(func(Packet) { delivered++ })
+		total := int(n)
+		for i := 0; i < total; i++ {
+			l.Send(mkPkt(0, 1000))
+		}
+		s.Run()
+		st := l.Stats()
+		return delivered+st.DroppedLoss+st.DroppedQueue == total && st.Delivered == delivered
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

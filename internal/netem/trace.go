@@ -1,0 +1,94 @@
+package netem
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"minion/internal/sim"
+)
+
+// Tracer is a transparent path element that records every packet passing
+// through it — the simulation's tcpdump. Chain it anywhere:
+//
+//	path := netem.Chain(tracer, link)
+//
+// Records are kept in memory (bounded by MaxRecords) and can be dumped in
+// a tcpdump-like one-line-per-packet format; Describer lets protocol
+// layers render their own payloads (internal/tcp provides one via
+// tcp.DescribeSegment).
+type Tracer struct {
+	sim     *sim.Simulator
+	deliver Handler
+
+	// Describe renders a packet payload; nil falls back to %T.
+	Describe func(p Packet) string
+	// MaxRecords bounds memory (oldest dropped); 0 means 65536.
+	MaxRecords int
+
+	records []TraceRecord
+	dropped int
+}
+
+// TraceRecord is one captured packet.
+type TraceRecord struct {
+	At   time.Duration
+	Flow int
+	Size int
+	Info string
+}
+
+// NewTracer builds a tracer on the simulator.
+func NewTracer(s *sim.Simulator) *Tracer { return &Tracer{sim: s} }
+
+// SetDeliver implements Element.
+func (t *Tracer) SetDeliver(h Handler) { t.deliver = h }
+
+// Send implements Element: record, then forward unchanged.
+func (t *Tracer) Send(p Packet) {
+	max := t.MaxRecords
+	if max == 0 {
+		max = 65536
+	}
+	info := ""
+	if t.Describe != nil {
+		info = t.Describe(p)
+	} else {
+		info = fmt.Sprintf("%T", p.Data)
+	}
+	if len(t.records) >= max {
+		t.records = t.records[1:]
+		t.dropped++
+	}
+	t.records = append(t.records, TraceRecord{At: t.sim.Now(), Flow: p.Flow, Size: p.Size, Info: info})
+	if t.deliver != nil {
+		t.deliver(p)
+	}
+}
+
+// Records returns the captured packets (oldest first).
+func (t *Tracer) Records() []TraceRecord { return append([]TraceRecord(nil), t.records...) }
+
+// Dropped reports how many old records were evicted.
+func (t *Tracer) Dropped() int { return t.dropped }
+
+// Reset clears the capture.
+func (t *Tracer) Reset() { t.records = nil; t.dropped = 0 }
+
+// Dump writes the capture in a tcpdump-like format.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, r := range t.records {
+		if _, err := fmt.Fprintf(w, "%12v flow=%d len=%d %s\n", r.At, r.Flow, r.Size, r.Info); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the whole capture.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	t.Dump(&b)
+	return b.String()
+}

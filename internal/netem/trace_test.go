@@ -1,0 +1,63 @@
+package netem
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"minion/internal/sim"
+)
+
+func TestTracerRecordsAndForwards(t *testing.T) {
+	s := sim.New(1)
+	tr := NewTracer(s)
+	link := NewLink(s, LinkConfig{Delay: time.Millisecond})
+	path := Chain(tr, link)
+	n := 0
+	path.SetDeliver(func(Packet) { n++ })
+	path.Send(Packet{Flow: 3, Data: "x", Size: 100})
+	s.Schedule(5*time.Millisecond, func() { path.Send(Packet{Flow: 3, Data: "y", Size: 50}) })
+	s.Run()
+	if n != 2 {
+		t.Fatalf("forwarded %d, want 2", n)
+	}
+	recs := tr.Records()
+	if len(recs) != 2 || recs[0].Size != 100 || recs[1].At != 5*time.Millisecond {
+		t.Fatalf("records = %+v", recs)
+	}
+	out := tr.String()
+	if !strings.Contains(out, "flow=3 len=100") {
+		t.Fatalf("dump:\n%s", out)
+	}
+}
+
+func TestTracerBoundsMemory(t *testing.T) {
+	s := sim.New(1)
+	tr := NewTracer(s)
+	tr.MaxRecords = 10
+	tr.SetDeliver(func(Packet) {})
+	for i := 0; i < 25; i++ {
+		tr.Send(Packet{Flow: i, Size: 1})
+	}
+	if len(tr.Records()) != 10 || tr.Dropped() != 15 {
+		t.Fatalf("records=%d dropped=%d", len(tr.Records()), tr.Dropped())
+	}
+	if tr.Records()[0].Flow != 15 {
+		t.Fatalf("oldest kept = %d, want 15", tr.Records()[0].Flow)
+	}
+	tr.Reset()
+	if len(tr.Records()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTracerCustomDescriber(t *testing.T) {
+	s := sim.New(1)
+	tr := NewTracer(s)
+	tr.Describe = func(p Packet) string { return "custom!" }
+	tr.SetDeliver(func(Packet) {})
+	tr.Send(Packet{Size: 1})
+	if !strings.Contains(tr.String(), "custom!") {
+		t.Fatal("describer not used")
+	}
+}

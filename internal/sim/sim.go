@@ -1,0 +1,164 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Everything in this repository that models "network time" — link
+// transmission delays, TCP retransmission timers, VoIP playout deadlines —
+// runs on a Simulator's virtual clock rather than the wall clock. This keeps
+// experiments deterministic (a seeded RNG drives all randomness) and lets
+// benchmarks measure the real CPU cost of protocol code while simulating
+// minutes of network time in milliseconds.
+//
+// The kernel is intentionally single-threaded: events execute in timestamp
+// order on the goroutine that calls Run. Protocol code above never needs
+// locks, which mirrors the event-driven structure of an OS TCP stack.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Simulator owns a virtual clock and an event queue. The zero value is not
+// usable; construct with New.
+type Simulator struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64 // tiebreaker: events at equal times run in schedule order
+	rng    *rand.Rand
+	halted bool
+}
+
+// New returns a Simulator whose random source is seeded with seed.
+// The virtual clock starts at zero.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source. All model
+// randomness (loss draws, jitter, workload generation) must come from here
+// so a run is a pure function of its seed.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Timer is a handle to a scheduled event. Stop cancels it if it has not yet
+// fired.
+type Timer struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 when not queued
+	stopped bool
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Pending reports whether the timer is scheduled and not stopped.
+func (t *Timer) Pending() bool { return t != nil && !t.stopped && t.index >= 0 }
+
+// When returns the virtual time at which the timer fires (or fired).
+func (t *Timer) When() time.Duration { return t.at }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (fn runs at the current time, after already-queued events for this
+// instant). The returned Timer may be used to cancel.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	t := &Timer{at: s.now + delay, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, t)
+	return t
+}
+
+// ScheduleAt runs fn at absolute virtual time at (clamped to now).
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Timer {
+	return s.Schedule(at-s.now, fn)
+}
+
+// Halt stops the current Run/RunUntil/RunFor call after the executing event
+// returns. Pending events remain queued.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Run executes events until the queue is empty or Halt is called.
+// It returns the number of events executed.
+func (s *Simulator) Run() int { return s.run(-1) }
+
+// RunUntil executes events with timestamps <= deadline (or until Halt).
+// The clock is left at deadline if it was reached. It returns the number of
+// events executed.
+func (s *Simulator) RunUntil(deadline time.Duration) int { return s.run(deadline) }
+
+// RunFor advances the clock by d from the current time, executing due events.
+func (s *Simulator) RunFor(d time.Duration) int { return s.run(s.now + d) }
+
+func (s *Simulator) run(deadline time.Duration) int {
+	s.halted = false
+	n := 0
+	for len(s.queue) > 0 && !s.halted {
+		next := s.queue[0]
+		if deadline >= 0 && next.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.stopped {
+			continue
+		}
+		if next.at > s.now {
+			s.now = next.at
+		}
+		next.fn()
+		n++
+	}
+	if deadline >= 0 && s.now < deadline && !s.halted {
+		s.now = deadline
+	}
+	return n
+}
+
+// Pending returns the number of queued (possibly stopped) events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// eventQueue is a min-heap of timers ordered by (time, sequence).
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(-5*time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if s.Now() != 0 {
+		t.Errorf("Now = %v, want 0", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.Schedule(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestStopNilTimer(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatal("Stop on nil timer should be false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 2) })
+	n := s.RunUntil(20 * time.Millisecond)
+	if n != 1 || len(got) != 1 {
+		t.Fatalf("RunUntil ran %d events (%v), want 1", n, got)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Errorf("clock = %v, want 20ms (advanced to deadline)", s.Now())
+	}
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("remaining event not run: %v", got)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.Schedule(10*time.Millisecond, tick)
+	}
+	s.Schedule(0, tick)
+	s.RunFor(100 * time.Millisecond)
+	// t=0,10,...,100 inclusive -> 11 ticks.
+	if count != 11 {
+		t.Fatalf("count = %d, want 11", count)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("Halt did not stop run: count = %d", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.ScheduleAt(50*time.Millisecond, func() { at = s.Now() })
+	s.Run()
+	if at != 50*time.Millisecond {
+		t.Fatalf("fired at %v, want 50ms", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Schedule(time.Millisecond, func() {
+		order = append(order, "outer")
+		s.Schedule(time.Millisecond, func() { order = append(order, "inner") })
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Errorf("Now = %v, want 2ms", s.Now())
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+// Property: events always execute in nondecreasing timestamp order,
+// regardless of scheduling order.
+func TestPropertyTimestampMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		var times []time.Duration
+		for _, d := range delays {
+			s.Schedule(time.Duration(d)*time.Microsecond, func() {
+				times = append(times, s.Now())
+			})
+		}
+		s.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clock never runs backwards even with nested re-scheduling.
+func TestPropertyClockMonotonicNested(t *testing.T) {
+	f := func(delays []uint8) bool {
+		s := New(11)
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			d := time.Duration(d) * time.Microsecond
+			s.Schedule(d, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+				s.Schedule(d/2, func() {
+					if s.Now() < last {
+						ok = false
+					}
+					last = s.Now()
+				})
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package stream maintains out-of-order byte-stream fragments.
+//
+// Both uCOBS (paper §5.2) and uTLS (paper §6.1) receive arbitrary stream
+// fragments from uTCP — each tagged with its logical offset in the sender's
+// byte stream — and must piece them together: a new segment can create a
+// fragment, extend one at either end, or fill a hole and merge two. The
+// Assembler implements exactly that bookkeeping, and IntervalSet tracks
+// which stream ranges have already been consumed so records are delivered
+// exactly once.
+package stream
+
+import "sort"
+
+// Extent is a half-open range [Start, End) of stream offsets.
+type Extent struct{ Start, End uint64 }
+
+// Len returns the extent length.
+func (e Extent) Len() int { return int(e.End - e.Start) }
+
+// Contains reports whether [start,end) lies within e.
+func (e Extent) Contains(start, end uint64) bool { return start >= e.Start && end <= e.End }
+
+type fragment struct {
+	start uint64
+	data  []byte
+}
+
+func (f *fragment) end() uint64 { return f.start + uint64(len(f.data)) }
+
+// Assembler accumulates stream fragments. The zero value is ready to use.
+type Assembler struct {
+	frags []*fragment // sorted by start, pairwise disjoint and non-adjacent
+	bytes int
+}
+
+// NewAssembler returns an empty Assembler.
+func NewAssembler() *Assembler { return &Assembler{} }
+
+// BufferedBytes returns the total bytes currently held.
+func (a *Assembler) BufferedBytes() int { return a.bytes }
+
+// Insert adds data at stream offset off, merging with existing fragments.
+// It returns the extent of the merged fragment now containing the new data.
+// Overlapping bytes are overwritten (TCP retransmissions carry identical
+// data, so the choice is unobservable in correct traces). Inserting empty
+// data returns a degenerate extent.
+func (a *Assembler) Insert(off uint64, data []byte) Extent {
+	if len(data) == 0 {
+		return Extent{off, off}
+	}
+	end := off + uint64(len(data))
+
+	// Find all fragments overlapping or adjacent to [off, end).
+	lo := sort.Search(len(a.frags), func(i int) bool { return a.frags[i].end() >= off })
+	hi := sort.Search(len(a.frags), func(i int) bool { return a.frags[i].start > end })
+
+	if lo == hi {
+		// No overlap/adjacency: fresh fragment.
+		f := &fragment{start: off, data: append([]byte(nil), data...)}
+		a.frags = append(a.frags, nil)
+		copy(a.frags[lo+1:], a.frags[lo:])
+		a.frags[lo] = f
+		a.bytes += len(data)
+		return Extent{off, end}
+	}
+
+	// Merge fragments lo..hi-1 with the new data.
+	newStart := off
+	if s := a.frags[lo].start; s < newStart {
+		newStart = s
+	}
+	newEnd := end
+	if e := a.frags[hi-1].end(); e > newEnd {
+		newEnd = e
+	}
+	merged := make([]byte, newEnd-newStart)
+	for _, f := range a.frags[lo:hi] {
+		a.bytes -= len(f.data)
+		copy(merged[f.start-newStart:], f.data)
+	}
+	copy(merged[off-newStart:], data)
+	a.bytes += len(merged)
+
+	a.frags[lo] = &fragment{start: newStart, data: merged}
+	a.frags = append(a.frags[:lo+1], a.frags[hi:]...)
+	return Extent{newStart, newEnd}
+}
+
+// Fragments returns the extents of all held fragments in offset order.
+func (a *Assembler) Fragments() []Extent {
+	out := make([]Extent, len(a.frags))
+	for i, f := range a.frags {
+		out[i] = Extent{f.start, f.end()}
+	}
+	return out
+}
+
+// Bytes returns the data for any sub-extent that is fully received.
+// The returned slice aliases internal storage and is valid until the next
+// Insert or Discard. ok is false if the extent is not fully held by a
+// single fragment.
+func (a *Assembler) Bytes(ext Extent) (data []byte, ok bool) {
+	i := sort.Search(len(a.frags), func(i int) bool { return a.frags[i].end() > ext.Start })
+	if i == len(a.frags) {
+		return nil, false
+	}
+	f := a.frags[i]
+	if !((Extent{f.start, f.end()}).Contains(ext.Start, ext.End)) {
+		return nil, false
+	}
+	return f.data[ext.Start-f.start : ext.End-f.start], true
+}
+
+// FragmentAt returns the extent of the fragment containing offset off.
+func (a *Assembler) FragmentAt(off uint64) (Extent, bool) {
+	i := sort.Search(len(a.frags), func(i int) bool { return a.frags[i].end() > off })
+	if i == len(a.frags) || a.frags[i].start > off {
+		return Extent{}, false
+	}
+	return Extent{a.frags[i].start, a.frags[i].end()}, true
+}
+
+// ContiguousEnd returns the end of the contiguous region starting at from,
+// or from itself if offset from has not been received.
+func (a *Assembler) ContiguousEnd(from uint64) uint64 {
+	if ext, ok := a.FragmentAt(from); ok {
+		return ext.End
+	}
+	return from
+}
+
+// Discard drops all data below offset upTo (trimming a fragment that
+// straddles the boundary). Used to bound memory once data is consumed.
+func (a *Assembler) Discard(upTo uint64) {
+	keep := a.frags[:0]
+	for _, f := range a.frags {
+		switch {
+		case f.end() <= upTo:
+			a.bytes -= len(f.data)
+		case f.start < upTo:
+			cut := int(upTo - f.start)
+			a.bytes -= cut
+			f.data = f.data[cut:]
+			f.start = upTo
+			keep = append(keep, f)
+		default:
+			keep = append(keep, f)
+		}
+	}
+	a.frags = keep
+}
+
+// IntervalSet is a set of half-open uint64 ranges, used to record stream
+// regions already delivered to the application.
+type IntervalSet struct {
+	ivs []Extent // sorted, disjoint, non-adjacent
+}
+
+// Add inserts [start, end) into the set, coalescing as needed.
+func (s *IntervalSet) Add(start, end uint64) {
+	if start >= end {
+		return
+	}
+	lo := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End >= start })
+	hi := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Start > end })
+	if lo < hi {
+		if s.ivs[lo].Start < start {
+			start = s.ivs[lo].Start
+		}
+		if s.ivs[hi-1].End > end {
+			end = s.ivs[hi-1].End
+		}
+	}
+	merged := Extent{start, end}
+	s.ivs = append(s.ivs[:lo], append([]Extent{merged}, s.ivs[hi:]...)...)
+}
+
+// Contains reports whether [start, end) is entirely in the set.
+func (s *IntervalSet) Contains(start, end uint64) bool {
+	if start >= end {
+		return true
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > start })
+	return i < len(s.ivs) && s.ivs[i].Contains(start, end)
+}
+
+// ContainsPoint reports whether offset p is in the set.
+func (s *IntervalSet) ContainsPoint(p uint64) bool { return s.Contains(p, p+1) }
+
+// Extents returns the set's ranges in order.
+func (s *IntervalSet) Extents() []Extent { return append([]Extent(nil), s.ivs...) }
+
+// PrevEnd returns the largest interval End that is <= p (0 if none):
+// the boundary of consumed space below p.
+func (s *IntervalSet) PrevEnd(p uint64) uint64 {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > p })
+	if i == 0 {
+		return 0
+	}
+	return s.ivs[i-1].End
+}

@@ -1,0 +1,299 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertFresh(t *testing.T) {
+	a := NewAssembler()
+	ext := a.Insert(100, []byte("hello"))
+	if ext != (Extent{100, 105}) {
+		t.Fatalf("ext = %+v", ext)
+	}
+	got, ok := a.Bytes(ext)
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Bytes = %q ok=%v", got, ok)
+	}
+}
+
+func TestInsertEmpty(t *testing.T) {
+	a := NewAssembler()
+	ext := a.Insert(5, nil)
+	if ext.Len() != 0 || a.BufferedBytes() != 0 {
+		t.Fatalf("empty insert changed state: %+v", ext)
+	}
+}
+
+func TestExtendAtEnd(t *testing.T) {
+	a := NewAssembler()
+	a.Insert(0, []byte("abc"))
+	ext := a.Insert(3, []byte("def"))
+	if ext != (Extent{0, 6}) {
+		t.Fatalf("ext = %+v, want merged {0 6}", ext)
+	}
+	got, _ := a.Bytes(Extent{0, 6})
+	if string(got) != "abcdef" {
+		t.Fatalf("got %q", got)
+	}
+	if len(a.Fragments()) != 1 {
+		t.Fatalf("fragments = %v", a.Fragments())
+	}
+}
+
+func TestExtendAtStart(t *testing.T) {
+	a := NewAssembler()
+	a.Insert(3, []byte("def"))
+	ext := a.Insert(0, []byte("abc"))
+	if ext != (Extent{0, 6}) {
+		t.Fatalf("ext = %+v", ext)
+	}
+	got, _ := a.Bytes(Extent{0, 6})
+	if string(got) != "abcdef" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFillHoleMergesTwo(t *testing.T) {
+	a := NewAssembler()
+	a.Insert(0, []byte("ab"))
+	a.Insert(4, []byte("ef"))
+	if len(a.Fragments()) != 2 {
+		t.Fatalf("want 2 fragments, got %v", a.Fragments())
+	}
+	ext := a.Insert(2, []byte("cd"))
+	if ext != (Extent{0, 6}) {
+		t.Fatalf("ext = %+v", ext)
+	}
+	if len(a.Fragments()) != 1 {
+		t.Fatalf("fragments = %v", a.Fragments())
+	}
+	got, _ := a.Bytes(Extent{0, 6})
+	if string(got) != "abcdef" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOverlapRewrite(t *testing.T) {
+	a := NewAssembler()
+	a.Insert(0, []byte("abcd"))
+	a.Insert(2, []byte("cdef")) // retransmission-style overlap
+	got, ok := a.Bytes(Extent{0, 6})
+	if !ok || string(got) != "abcdef" {
+		t.Fatalf("got %q ok=%v", got, ok)
+	}
+	if a.BufferedBytes() != 6 {
+		t.Fatalf("buffered = %d", a.BufferedBytes())
+	}
+}
+
+func TestDuplicateContained(t *testing.T) {
+	a := NewAssembler()
+	a.Insert(0, []byte("abcdef"))
+	ext := a.Insert(2, []byte("cd"))
+	if ext != (Extent{0, 6}) {
+		t.Fatalf("ext = %+v", ext)
+	}
+	if a.BufferedBytes() != 6 || len(a.Fragments()) != 1 {
+		t.Fatalf("state changed: %d bytes, %v", a.BufferedBytes(), a.Fragments())
+	}
+}
+
+func TestBytesPartialHole(t *testing.T) {
+	a := NewAssembler()
+	a.Insert(0, []byte("ab"))
+	a.Insert(4, []byte("ef"))
+	if _, ok := a.Bytes(Extent{0, 6}); ok {
+		t.Fatal("Bytes across a hole should fail")
+	}
+	if _, ok := a.Bytes(Extent{4, 6}); !ok {
+		t.Fatal("Bytes of second fragment should succeed")
+	}
+}
+
+func TestFragmentAt(t *testing.T) {
+	a := NewAssembler()
+	a.Insert(10, []byte("xyz"))
+	if _, ok := a.FragmentAt(9); ok {
+		t.Fatal("offset 9 should miss")
+	}
+	ext, ok := a.FragmentAt(11)
+	if !ok || ext != (Extent{10, 13}) {
+		t.Fatalf("FragmentAt(11) = %+v ok=%v", ext, ok)
+	}
+	if _, ok := a.FragmentAt(13); ok {
+		t.Fatal("offset 13 (one past end) should miss")
+	}
+}
+
+func TestContiguousEnd(t *testing.T) {
+	a := NewAssembler()
+	a.Insert(0, []byte("abc"))
+	a.Insert(5, []byte("fg"))
+	if got := a.ContiguousEnd(0); got != 3 {
+		t.Fatalf("ContiguousEnd(0) = %d", got)
+	}
+	if got := a.ContiguousEnd(3); got != 3 {
+		t.Fatalf("ContiguousEnd(3) = %d (hole)", got)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	a := NewAssembler()
+	a.Insert(0, []byte("abcdef"))
+	a.Insert(10, []byte("xy"))
+	a.Discard(4)
+	if _, ok := a.Bytes(Extent{0, 2}); ok {
+		t.Fatal("discarded bytes still readable")
+	}
+	got, ok := a.Bytes(Extent{4, 6})
+	if !ok || string(got) != "ef" {
+		t.Fatalf("straddle trim failed: %q ok=%v", got, ok)
+	}
+	if a.BufferedBytes() != 4 {
+		t.Fatalf("buffered = %d, want 4", a.BufferedBytes())
+	}
+	a.Discard(100)
+	if a.BufferedBytes() != 0 || len(a.Fragments()) != 0 {
+		t.Fatal("Discard(all) left data")
+	}
+}
+
+// Property: inserting the pieces of a stream in any order reconstructs it.
+func TestPropertyArrivalOrderIndependence(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := int(n)%2000 + 1
+		orig := make([]byte, total)
+		r.Read(orig)
+		// Cut into random pieces.
+		type piece struct {
+			off  int
+			data []byte
+		}
+		var pieces []piece
+		for off := 0; off < total; {
+			l := r.Intn(97) + 1
+			if off+l > total {
+				l = total - off
+			}
+			pieces = append(pieces, piece{off, orig[off : off+l]})
+			off += l
+		}
+		r.Shuffle(len(pieces), func(i, j int) { pieces[i], pieces[j] = pieces[j], pieces[i] })
+		a := NewAssembler()
+		for _, p := range pieces {
+			a.Insert(uint64(p.off), p.data)
+		}
+		if len(a.Fragments()) != 1 {
+			return false
+		}
+		got, ok := a.Bytes(Extent{0, uint64(total)})
+		return ok && bytes.Equal(got, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fragments always sorted, disjoint, non-adjacent; byte count
+// consistent.
+func TestPropertyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := NewAssembler()
+		for i := 0; i < 100; i++ {
+			off := uint64(r.Intn(500))
+			l := r.Intn(50) + 1
+			buf := make([]byte, l)
+			r.Read(buf)
+			a.Insert(off, buf)
+		}
+		exts := a.Fragments()
+		sum := 0
+		for i, e := range exts {
+			if e.Start >= e.End {
+				return false
+			}
+			if i > 0 && exts[i-1].End >= e.Start {
+				return false // overlap or adjacency: should have merged
+			}
+			sum += e.Len()
+		}
+		return sum == a.BufferedBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSetBasic(t *testing.T) {
+	var s IntervalSet
+	s.Add(10, 20)
+	if !s.Contains(10, 20) || !s.Contains(12, 15) {
+		t.Fatal("Contains failed on added range")
+	}
+	if s.Contains(9, 11) || s.Contains(19, 21) || s.Contains(30, 40) {
+		t.Fatal("Contains true outside range")
+	}
+	if !s.ContainsPoint(10) || s.ContainsPoint(20) {
+		t.Fatal("ContainsPoint boundary wrong")
+	}
+}
+
+func TestIntervalSetCoalesce(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 5)
+	s.Add(10, 15)
+	s.Add(5, 10) // bridges
+	exts := s.Extents()
+	if len(exts) != 1 || exts[0] != (Extent{0, 15}) {
+		t.Fatalf("extents = %v", exts)
+	}
+}
+
+func TestIntervalSetEmptyAdd(t *testing.T) {
+	var s IntervalSet
+	s.Add(5, 5)
+	if len(s.Extents()) != 0 {
+		t.Fatal("empty Add stored something")
+	}
+	if !s.Contains(7, 7) {
+		t.Fatal("empty range should be vacuously contained")
+	}
+}
+
+// Property: IntervalSet membership matches a bitmap model.
+func TestPropertyIntervalSetModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s IntervalSet
+		model := make([]bool, 300)
+		for i := 0; i < 60; i++ {
+			a := uint64(r.Intn(290))
+			b := a + uint64(r.Intn(10))
+			s.Add(a, b)
+			for j := a; j < b; j++ {
+				model[j] = true
+			}
+		}
+		for p := 0; p < 300; p++ {
+			if s.ContainsPoint(uint64(p)) != model[p] {
+				return false
+			}
+		}
+		// Extents must be sorted, disjoint, non-adjacent.
+		exts := s.Extents()
+		for i := 1; i < len(exts); i++ {
+			if exts[i-1].End >= exts[i].Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,566 @@
+package tcp
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+)
+
+// harness wires a sender/receiver pair over configurable links and provides
+// bulk-transfer plumbing used across tests.
+type harness struct {
+	s        *sim.Simulator
+	a, b     *Conn // a connects, b listens
+	received bytes.Buffer
+}
+
+func newHarness(t *testing.T, cfgA, cfgB Config, aToB, bToA netem.LinkConfig, seed int64) *harness {
+	t.Helper()
+	h := &harness{s: sim.New(seed)}
+	h.a, h.b = NewPair(h.s, cfgA, cfgB, netem.NewLink(h.s, aToB), netem.NewLink(h.s, bToA))
+	return h
+}
+
+// drainB keeps reading b's in-order data into h.received.
+func (h *harness) drainB() {
+	h.b.OnReadable(func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := h.b.Read(buf)
+			if n > 0 {
+				h.received.Write(buf[:n])
+			}
+			if err != nil || n == 0 {
+				return
+			}
+		}
+	})
+}
+
+// sendBulk streams total bytes from a deterministic pattern through a.
+func (h *harness) sendBulk(total int) {
+	pattern := patternBytes(total)
+	sent := 0
+	var pump func()
+	pump = func() {
+		for sent < total {
+			n, err := h.a.Write(pattern[sent:])
+			sent += n
+			if err != nil {
+				return
+			}
+		}
+		if sent >= total {
+			h.a.Close()
+		}
+	}
+	h.a.OnWritable(pump)
+	h.s.Schedule(0, pump)
+}
+
+func patternBytes(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*7 + i/251)
+	}
+	return p
+}
+
+func est(t *testing.T, h *harness) {
+	t.Helper()
+	h.s.RunUntil(5 * time.Second)
+	if h.a.State() != StateEstablished || h.b.State() != StateEstablished {
+		t.Fatalf("not established: a=%v b=%v", h.a.State(), h.b.State())
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	h := newHarness(t, Config{}, Config{}, netem.LinkConfig{Delay: 10 * time.Millisecond}, netem.LinkConfig{Delay: 10 * time.Millisecond}, 1)
+	est(t, h)
+	if h.a.SRTT() == 0 && h.b.SRTT() == 0 {
+		// SRTT comes from data segments; handshake alone need not set it.
+		t.Log("no RTT sample yet (expected)")
+	}
+}
+
+func TestHandshakeSYNLoss(t *testing.T) {
+	s := sim.New(3)
+	// Drop the first two packets in each direction, then pass everything.
+	drops := 2
+	lossy := func(inner *netem.Link) netem.Element { return inner }
+	_ = lossy
+	aToB := netem.NewLink(s, netem.LinkConfig{Delay: 5 * time.Millisecond})
+	bToA := netem.NewLink(s, netem.LinkConfig{Delay: 5 * time.Millisecond})
+	a, b := New(s, Config{}, nil), New(s, Config{}, nil)
+	a.SetOutput(func(seg *Segment) {
+		if drops > 0 {
+			drops--
+			return
+		}
+		aToB.Send(netem.Packet{Data: seg, Size: seg.WireSize()})
+	})
+	aToB.SetDeliver(func(p netem.Packet) { b.Input(p.Data.(*Segment)) })
+	b.SetOutput(func(seg *Segment) {
+		bToA.Send(netem.Packet{Data: seg, Size: seg.WireSize()})
+	})
+	bToA.SetDeliver(func(p netem.Packet) { a.Input(p.Data.(*Segment)) })
+	b.Listen()
+	a.Connect()
+	s.RunUntil(30 * time.Second)
+	if a.State() != StateEstablished || b.State() != StateEstablished {
+		t.Fatalf("handshake did not recover from SYN loss: a=%v b=%v", a.State(), b.State())
+	}
+}
+
+func TestBulkTransferLossless(t *testing.T) {
+	link := netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30}
+	h := newHarness(t, Config{NoDelay: true}, Config{}, link, link, 2)
+	const total = 1 << 20
+	h.drainB()
+	h.sendBulk(total)
+	h.s.RunUntil(60 * time.Second)
+	if got := h.received.Len(); got != total {
+		t.Fatalf("received %d bytes, want %d", got, total)
+	}
+	if !bytes.Equal(h.received.Bytes(), patternBytes(total)) {
+		t.Fatal("received data corrupted")
+	}
+	if h.a.Stats().SegsRetrans != 0 {
+		t.Errorf("lossless path had %d retransmissions", h.a.Stats().SegsRetrans)
+	}
+}
+
+func TestBulkTransferWithLoss(t *testing.T) {
+	link := netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: 0.02}}
+	back := netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30}
+	h := newHarness(t, Config{NoDelay: true}, Config{}, link, back, 5)
+	const total = 1 << 20
+	h.drainB()
+	h.sendBulk(total)
+	h.s.RunUntil(5 * time.Minute)
+	if got := h.received.Len(); got != total {
+		t.Fatalf("received %d bytes, want %d", got, total)
+	}
+	if !bytes.Equal(h.received.Bytes(), patternBytes(total)) {
+		t.Fatal("received data corrupted under loss")
+	}
+	if h.a.Stats().SegsRetrans == 0 {
+		t.Error("expected retransmissions under 2% loss")
+	}
+}
+
+func TestFastRetransmitNotTimeout(t *testing.T) {
+	// Drop exactly one data segment mid-stream; SACK-based recovery should
+	// repair it without an RTO.
+	s := sim.New(7)
+	aToB := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 20 * time.Millisecond, QueueBytes: 1 << 30})
+	bToA := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 20 * time.Millisecond, QueueBytes: 1 << 30})
+	a, b := New(s, Config{NoDelay: true}, nil), New(s, Config{}, nil)
+	dropped := false
+	a.SetOutput(func(seg *Segment) {
+		if !dropped && len(seg.Payload) > 0 && seg.Seq > a.iss+20000 {
+			dropped = true
+			return
+		}
+		aToB.Send(netem.Packet{Data: seg, Size: seg.WireSize()})
+	})
+	aToB.SetDeliver(func(p netem.Packet) { b.Input(p.Data.(*Segment)) })
+	b.SetOutput(func(seg *Segment) { bToA.Send(netem.Packet{Data: seg, Size: seg.WireSize()}) })
+	bToA.SetDeliver(func(p netem.Packet) { a.Input(p.Data.(*Segment)) })
+	b.Listen()
+	a.Connect()
+
+	var rec bytes.Buffer
+	b.OnReadable(func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, _ := b.Read(buf)
+			if n == 0 {
+				return
+			}
+			rec.Write(buf[:n])
+		}
+	})
+	const total = 200 * 1024
+	data := patternBytes(total)
+	sent := 0
+	pump := func() {
+		for sent < total {
+			n, err := a.Write(data[sent:])
+			sent += n
+			if err != nil {
+				return
+			}
+		}
+	}
+	a.OnWritable(pump)
+	s.Schedule(0, pump)
+	s.RunUntil(30 * time.Second)
+
+	if rec.Len() != total {
+		t.Fatalf("received %d, want %d", rec.Len(), total)
+	}
+	st := a.Stats()
+	if !dropped {
+		t.Fatal("test never dropped a segment")
+	}
+	if st.Timeouts != 0 {
+		t.Errorf("loss repaired via RTO (%d timeouts), want fast retransmit", st.Timeouts)
+	}
+	if st.FastRecoveries == 0 {
+		t.Error("no fast recovery recorded")
+	}
+	if st.SegsRetrans < 1 {
+		t.Error("no retransmission recorded")
+	}
+}
+
+func TestRTORecovery(t *testing.T) {
+	// Black-hole the forward path for a stretch; the RTO must fire and the
+	// transfer must still complete.
+	s := sim.New(9)
+	blackhole := true
+	s.Schedule(2*time.Second, func() { blackhole = false })
+	aToB := netem.NewLink(s, netem.LinkConfig{Delay: 10 * time.Millisecond})
+	bToA := netem.NewLink(s, netem.LinkConfig{Delay: 10 * time.Millisecond})
+	a, b := New(s, Config{NoDelay: true}, nil), New(s, Config{}, nil)
+	a.SetOutput(func(seg *Segment) {
+		if blackhole && len(seg.Payload) > 0 {
+			return
+		}
+		aToB.Send(netem.Packet{Data: seg, Size: seg.WireSize()})
+	})
+	aToB.SetDeliver(func(p netem.Packet) { b.Input(p.Data.(*Segment)) })
+	b.SetOutput(func(seg *Segment) { bToA.Send(netem.Packet{Data: seg, Size: seg.WireSize()}) })
+	bToA.SetDeliver(func(p netem.Packet) { a.Input(p.Data.(*Segment)) })
+	b.Listen()
+	a.Connect()
+	var rec bytes.Buffer
+	b.OnReadable(func() {
+		buf := make([]byte, 4096)
+		for {
+			n, _ := b.Read(buf)
+			if n == 0 {
+				return
+			}
+			rec.Write(buf[:n])
+		}
+	})
+	s.Schedule(100*time.Millisecond, func() { a.Write(patternBytes(5000)) })
+	s.RunUntil(30 * time.Second)
+	if rec.Len() != 5000 {
+		t.Fatalf("received %d, want 5000", rec.Len())
+	}
+	if a.Stats().Timeouts == 0 {
+		t.Error("expected at least one RTO")
+	}
+}
+
+func TestReorderingToleratedInOrderDelivery(t *testing.T) {
+	fwd := netem.LinkConfig{Rate: 10_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 30, ReorderProb: 0.1, ReorderDelay: 8 * time.Millisecond}
+	back := netem.LinkConfig{Delay: 10 * time.Millisecond}
+	h := newHarness(t, Config{NoDelay: true}, Config{}, fwd, back, 11)
+	const total = 300 * 1024
+	h.drainB()
+	h.sendBulk(total)
+	h.s.RunUntil(2 * time.Minute)
+	if h.received.Len() != total || !bytes.Equal(h.received.Bytes(), patternBytes(total)) {
+		t.Fatalf("in-order delivery broken under reordering: got %d bytes", h.received.Len())
+	}
+}
+
+func TestDuplicateSegmentsTolerated(t *testing.T) {
+	fwd := netem.LinkConfig{Rate: 10_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 30, DuplicateProb: 0.05}
+	back := netem.LinkConfig{Delay: 10 * time.Millisecond}
+	h := newHarness(t, Config{NoDelay: true}, Config{}, fwd, back, 13)
+	const total = 200 * 1024
+	h.drainB()
+	h.sendBulk(total)
+	h.s.RunUntil(time.Minute)
+	if h.received.Len() != total || !bytes.Equal(h.received.Bytes(), patternBytes(total)) {
+		t.Fatalf("duplicates corrupted stream: got %d bytes", h.received.Len())
+	}
+}
+
+func TestGracefulClose(t *testing.T) {
+	link := netem.LinkConfig{Delay: 5 * time.Millisecond}
+	h := newHarness(t, Config{NoDelay: true}, Config{}, link, link, 15)
+	est(t, h)
+	var eof bool
+	h.b.OnReadable(func() {
+		buf := make([]byte, 1024)
+		for {
+			n, err := h.b.Read(buf)
+			if err == io.EOF {
+				eof = true
+				h.b.Close()
+				return
+			}
+			if n == 0 {
+				return
+			}
+		}
+	})
+	h.a.Write([]byte("goodbye"))
+	h.a.Close()
+	h.s.RunUntil(10 * time.Second)
+	if !eof {
+		t.Error("receiver never saw EOF")
+	}
+	if h.a.State() != StateClosed || h.b.State() != StateClosed {
+		t.Fatalf("states after close: a=%v b=%v", h.a.State(), h.b.State())
+	}
+	if h.a.Err() != nil || h.b.Err() != nil {
+		t.Fatalf("graceful close produced errors: %v %v", h.a.Err(), h.b.Err())
+	}
+}
+
+func TestCloseDeliversQueuedData(t *testing.T) {
+	link := netem.LinkConfig{Rate: 1_000_000, Delay: 5 * time.Millisecond}
+	h := newHarness(t, Config{NoDelay: true}, Config{}, link, link, 17)
+	h.drainB()
+	const total = 100 * 1024
+	sent := 0
+	data := patternBytes(total)
+	var pump func()
+	pump = func() {
+		for sent < total {
+			n, err := h.a.Write(data[sent:])
+			sent += n
+			if err != nil {
+				return
+			}
+		}
+		h.a.Close() // close with bytes still queued
+	}
+	h.a.OnWritable(pump)
+	h.s.Schedule(0, pump)
+	h.s.RunUntil(time.Minute)
+	if h.received.Len() != total {
+		t.Fatalf("close lost queued data: %d/%d", h.received.Len(), total)
+	}
+}
+
+func TestAbortReset(t *testing.T) {
+	link := netem.LinkConfig{Delay: 5 * time.Millisecond}
+	h := newHarness(t, Config{}, Config{}, link, link, 19)
+	est(t, h)
+	var bErr error
+	h.b.OnClose(func(err error) { bErr = err })
+	h.a.Abort()
+	h.s.RunUntil(10 * time.Second)
+	if h.a.Err() != ErrReset {
+		t.Errorf("a.Err = %v, want ErrReset", h.a.Err())
+	}
+	if bErr != ErrReset {
+		t.Errorf("b close err = %v, want ErrReset", bErr)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	link := netem.LinkConfig{Delay: 5 * time.Millisecond}
+	h := newHarness(t, Config{}, Config{}, link, link, 21)
+	est(t, h)
+	h.a.Close()
+	if _, err := h.a.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Close should fail")
+	}
+}
+
+func TestFlowControlZeroWindow(t *testing.T) {
+	// Tiny receive buffer, reader that doesn't read for a while: sender
+	// must stall, then resume when the app drains.
+	link := netem.LinkConfig{Delay: 5 * time.Millisecond}
+	h := newHarness(t, Config{NoDelay: true}, Config{RecvBufBytes: 4096}, link, link, 23)
+	est(t, h)
+	const total = 64 * 1024
+	data := patternBytes(total)
+	sent := 0
+	var pump func()
+	pump = func() {
+		for sent < total {
+			n, err := h.a.Write(data[sent:])
+			sent += n
+			if err != nil {
+				return
+			}
+		}
+	}
+	h.a.OnWritable(pump)
+	h.s.Schedule(0, pump)
+	// Let the window fill.
+	h.s.RunFor(3 * time.Second)
+	if h.b.ReadAvailable() == 0 {
+		t.Fatal("nothing buffered at receiver")
+	}
+	if h.b.advertisedWindow() > 1448 {
+		t.Fatalf("window should be (nearly) closed, got %d", h.b.advertisedWindow())
+	}
+	// Now drain continuously and ensure the transfer completes.
+	var rec bytes.Buffer
+	drain := func() {
+		buf := make([]byte, 4096)
+		for {
+			n, _ := h.b.Read(buf)
+			if n == 0 {
+				return
+			}
+			rec.Write(buf[:n])
+		}
+	}
+	h.b.OnReadable(drain)
+	drain()
+	h.s.RunFor(3 * time.Minute)
+	if rec.Len() != total {
+		t.Fatalf("received %d, want %d", rec.Len(), total)
+	}
+}
+
+func TestNagleCoalescesSmallWrites(t *testing.T) {
+	link := netem.LinkConfig{Delay: 20 * time.Millisecond}
+	// Nagle ON.
+	h := newHarness(t, Config{}, Config{}, link, link, 25)
+	est(t, h)
+	for i := 0; i < 20; i++ {
+		h.a.Write([]byte("abc"))
+	}
+	h.s.RunFor(5 * time.Second)
+	// With Nagle, the 20 tiny writes must not produce 20 data segments:
+	// first write goes out alone, the rest coalesce while it is unacked.
+	dataSegs := h.a.Stats().BytesSent
+	if dataSegs != 60 {
+		t.Fatalf("bytes sent %d, want 60", dataSegs)
+	}
+	st := h.a.Stats()
+	// SYN + handshake ack + data segments; data segments should be ~2.
+	if st.SegsSent > 8 {
+		t.Errorf("Nagle off? sent %d segments for 20 tiny writes", st.SegsSent)
+	}
+}
+
+func TestNoDelaySendsImmediately(t *testing.T) {
+	link := netem.LinkConfig{Delay: 20 * time.Millisecond}
+	h := newHarness(t, Config{NoDelay: true, InitialCwnd: 10}, Config{}, link, link, 27)
+	est(t, h)
+	before := h.a.Stats().SegsSent
+	for i := 0; i < 5; i++ {
+		h.a.Write([]byte("abc"))
+	}
+	// All five go out without waiting for acks.
+	if got := h.a.Stats().SegsSent - before; got != 5 {
+		t.Fatalf("sent %d segments immediately, want 5", got)
+	}
+}
+
+func TestDelayedAckReducesAcks(t *testing.T) {
+	link := netem.LinkConfig{Rate: 10_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 30}
+	hDel := newHarness(t, Config{NoDelay: true}, Config{DelayedAck: true}, link, link, 29)
+	hDel.drainB()
+	hDel.sendBulk(256 * 1024)
+	hDel.s.RunUntil(time.Minute)
+
+	hNo := newHarness(t, Config{NoDelay: true}, Config{}, link, link, 29)
+	hNo.drainB()
+	hNo.sendBulk(256 * 1024)
+	hNo.s.RunUntil(time.Minute)
+
+	if hDel.received.Len() != 256*1024 || hNo.received.Len() != 256*1024 {
+		t.Fatal("transfers incomplete")
+	}
+	if hDel.b.Stats().AcksSent >= hNo.b.Stats().AcksSent {
+		t.Errorf("delayed ack did not reduce acks: %d vs %d", hDel.b.Stats().AcksSent, hNo.b.Stats().AcksSent)
+	}
+}
+
+func TestThroughputApproachesLinkRate(t *testing.T) {
+	link := netem.LinkConfig{Rate: 2_000_000, Delay: 30 * time.Millisecond, QueueBytes: 32 * 1024}
+	back := netem.LinkConfig{Rate: 2_000_000, Delay: 30 * time.Millisecond}
+	h := newHarness(t, Config{NoDelay: true}, Config{}, link, back, 31)
+	const total = 2 << 20
+	h.drainB()
+	h.sendBulk(total)
+	var done time.Duration
+	for step := time.Second; h.s.Now() < 2*time.Minute; {
+		h.s.RunFor(step)
+		if h.received.Len() >= total {
+			done = h.s.Now()
+			break
+		}
+	}
+	if h.received.Len() != total {
+		t.Fatalf("received %d/%d", h.received.Len(), total)
+	}
+	// Completion time should be near total*8/rate (~8.4s) plus slow-start;
+	// allow 2x slack (1s step granularity included).
+	if done > 25*time.Second {
+		t.Errorf("transfer took %v, expected ~8-15s at 2Mbps", done)
+	}
+}
+
+func TestSRTTConverges(t *testing.T) {
+	// Paced low-rate sender so no queueing delay accumulates: SRTT must
+	// converge to the 60ms path RTT.
+	link := netem.LinkConfig{Rate: 10_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30}
+	h := newHarness(t, Config{NoDelay: true}, Config{}, link, link, 33)
+	h.drainB()
+	est(t, h)
+	n := 0
+	var tick func()
+	tick = func() {
+		if n < 100 {
+			n++
+			h.a.Write(patternBytes(1000))
+			h.s.Schedule(20*time.Millisecond, tick)
+		}
+	}
+	h.s.Schedule(0, tick)
+	h.s.RunFor(time.Minute)
+	srtt := h.a.SRTT()
+	if srtt < 55*time.Millisecond || srtt > 90*time.Millisecond {
+		t.Errorf("SRTT = %v, want ~60ms", srtt)
+	}
+}
+
+func TestSegmentWireSize(t *testing.T) {
+	seg := &Segment{Payload: make([]byte, 100)}
+	if got := seg.WireSize(); got != WireOverhead+100 {
+		t.Fatalf("WireSize = %d", got)
+	}
+	seg.SACK = []SACKBlock{{1, 2}, {3, 4}}
+	if got := seg.WireSize(); got != WireOverhead+100+2+16 {
+		t.Fatalf("WireSize with SACK = %d", got)
+	}
+}
+
+func TestSeqEndSYNFIN(t *testing.T) {
+	seg := &Segment{Seq: 100, Flags: FlagSYN}
+	if seg.SeqEnd() != 101 {
+		t.Fatal("SYN should consume one seq")
+	}
+	seg = &Segment{Seq: 100, Flags: FlagFIN, Payload: []byte("ab")}
+	if seg.SeqEnd() != 103 {
+		t.Fatal("FIN should consume one seq after data")
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if (FlagSYN | FlagACK).String() != "SA" {
+		t.Fatalf("got %q", (FlagSYN | FlagACK).String())
+	}
+	if Flags(0).String() != "-" {
+		t.Fatal("zero flags should render as -")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateEstablished.String() != "Established" {
+		t.Fatal(StateEstablished.String())
+	}
+	if State(99).String() != "Invalid" {
+		t.Fatal(State(99).String())
+	}
+}

@@ -1,0 +1,81 @@
+package tcp
+
+import (
+	"minion/internal/netem"
+	"minion/internal/sim"
+)
+
+// Attach wires conn so its output segments are wrapped into netem.Packets
+// with the given flow id and pushed into path. Use the returned Handler as
+// the far endpoint's delivery function — it unwraps and calls conn.Input.
+func Attach(conn *Conn, flow int, path netem.Element) netem.Handler {
+	conn.SetOutput(func(seg *Segment) {
+		path.Send(netem.Packet{Flow: flow, Data: seg, Size: seg.WireSize()})
+	})
+	return func(p netem.Packet) {
+		if seg, ok := p.Data.(*Segment); ok {
+			conn.Input(seg)
+		}
+	}
+}
+
+// AttachDumbbellClient wires a client-side connection into a dumbbell: its
+// segments go up, and down-traffic for flow is delivered to it.
+func AttachDumbbellClient(conn *Conn, flow int, db *netem.Dumbbell) {
+	conn.SetOutput(func(seg *Segment) {
+		db.SendUp(netem.Packet{Flow: flow, Data: seg, Size: seg.WireSize()})
+	})
+	db.HandleAtClient(flow, func(p netem.Packet) {
+		if seg, ok := p.Data.(*Segment); ok {
+			conn.Input(seg)
+		}
+	})
+}
+
+// AttachDumbbellServer is the mirror of AttachDumbbellClient.
+func AttachDumbbellServer(conn *Conn, flow int, db *netem.Dumbbell) {
+	conn.SetOutput(func(seg *Segment) {
+		db.SendDown(netem.Packet{Flow: flow, Data: seg, Size: seg.WireSize()})
+	})
+	db.HandleAtServer(flow, func(p netem.Packet) {
+		if seg, ok := p.Data.(*Segment); ok {
+			conn.Input(seg)
+		}
+	})
+}
+
+// NewPair creates two connections wired through the given unidirectional
+// path elements (nil for a perfect zero-delay wire) and starts the
+// handshake (a connects, b listens). Run the simulator to establish.
+func NewPair(s *sim.Simulator, cfgA, cfgB Config, aToB, bToA netem.Element) (a, b *Conn) {
+	a = New(s, cfgA, nil)
+	b = New(s, cfgB, nil)
+	Wire(s, a, b, aToB, bToA)
+	b.Listen()
+	a.Connect()
+	return a, b
+}
+
+// Wire connects two existing Conns through optional path elements.
+func Wire(s *sim.Simulator, a, b *Conn, aToB, bToA netem.Element) {
+	if aToB == nil {
+		aToB = netem.NewLink(s, netem.LinkConfig{})
+	}
+	if bToA == nil {
+		bToA = netem.NewLink(s, netem.LinkConfig{})
+	}
+	inB := Attach(a, 0, aToB)
+	aToB.SetDeliver(func(p netem.Packet) {
+		if seg, ok := p.Data.(*Segment); ok {
+			b.Input(seg)
+		}
+	})
+	_ = inB
+	inA := Attach(b, 0, bToA)
+	bToA.SetDeliver(func(p netem.Packet) {
+		if seg, ok := p.Data.(*Segment); ok {
+			a.Input(seg)
+		}
+	})
+	_ = inA
+}

@@ -1,0 +1,142 @@
+package tcp
+
+import (
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+)
+
+// Resegmenter is a TCP-aware middlebox that re-segments a passing stream:
+// it can split a data segment's payload at an arbitrary byte boundary and
+// coalesce consecutive contiguous segments, exactly the behaviour the paper
+// warns applications about (§4.1, §5.3, citing Honda et al.): "network
+// middleboxes may silently re-segment TCP streams, making segment
+// boundaries observed at the receiver differ from the sender's original
+// transmissions". Minion's framing layers must survive it; tests and
+// experiments chain it into paths.
+type Resegmenter struct {
+	sim     *sim.Simulator
+	deliver netem.Handler
+
+	// SplitProb is the probability a data segment with >= 2 payload bytes
+	// is split into two segments at a uniformly random boundary.
+	SplitProb float64
+	// CoalesceProb is the probability a data segment is held briefly to be
+	// merged with an immediately following contiguous segment of the same
+	// flow.
+	CoalesceProb float64
+	// HoldTime is how long a to-be-coalesced segment waits for a
+	// continuation before being forwarded alone.
+	HoldTime time.Duration
+	// MaxCoalesced bounds the merged payload size.
+	MaxCoalesced int
+
+	held      map[int]*heldSeg // per flow
+	Splits    int
+	Coalesces int
+}
+
+type heldSeg struct {
+	pkt   netem.Packet
+	seg   *Segment
+	timer *sim.Timer
+}
+
+// NewResegmenter builds a middlebox with the given split/coalesce behaviour.
+func NewResegmenter(s *sim.Simulator, splitProb, coalesceProb float64) *Resegmenter {
+	return &Resegmenter{
+		sim:          s,
+		SplitProb:    splitProb,
+		CoalesceProb: coalesceProb,
+		HoldTime:     500 * time.Microsecond,
+		MaxCoalesced: 64 * 1024,
+		held:         make(map[int]*heldSeg),
+	}
+}
+
+// SetDeliver implements netem.Element.
+func (r *Resegmenter) SetDeliver(h netem.Handler) { r.deliver = h }
+
+// Send implements netem.Element.
+func (r *Resegmenter) Send(p netem.Packet) {
+	seg, ok := p.Data.(*Segment)
+	if !ok || len(seg.Payload) == 0 {
+		r.flushHeld(p.Flow)
+		r.forward(p)
+		return
+	}
+
+	// Try to extend a held segment with a contiguous continuation.
+	if h, exists := r.held[p.Flow]; exists {
+		if h.seg.Seq+uint64(len(h.seg.Payload)) == seg.Seq &&
+			len(h.seg.Payload)+len(seg.Payload) <= r.MaxCoalesced {
+			merged := h.seg.clone()
+			merged.Payload = append(merged.Payload, seg.Payload...)
+			merged.Ack = seg.Ack
+			merged.Window = seg.Window
+			h.timer.Stop()
+			delete(r.held, p.Flow)
+			r.Coalesces++
+			r.emitSegment(p.Flow, merged)
+			return
+		}
+		r.flushHeld(p.Flow)
+	}
+
+	rng := r.sim.Rand()
+	if r.CoalesceProb > 0 && rng.Float64() < r.CoalesceProb {
+		h := &heldSeg{pkt: p, seg: seg}
+		h.timer = r.sim.Schedule(r.HoldTime, func() {
+			if r.held[p.Flow] == h {
+				delete(r.held, p.Flow)
+				r.splitMaybe(p.Flow, seg)
+			}
+		})
+		r.held[p.Flow] = h
+		return
+	}
+	r.splitMaybe(p.Flow, seg)
+}
+
+func (r *Resegmenter) splitMaybe(flow int, seg *Segment) {
+	rng := r.sim.Rand()
+	if r.SplitProb > 0 && len(seg.Payload) >= 2 && rng.Float64() < r.SplitProb {
+		cut := 1 + rng.Intn(len(seg.Payload)-1)
+		r.SplitSegment(flow, seg, cut)
+		return
+	}
+	r.emitSegment(flow, seg)
+}
+
+// SplitSegment deterministically splits seg at payload offset cut and
+// forwards both halves (exported for tests reproducing paper Figure 4).
+func (r *Resegmenter) SplitSegment(flow int, seg *Segment, cut int) {
+	first := seg.clone()
+	first.Payload = first.Payload[:cut]
+	first.Flags &^= FlagFIN // FIN travels with the last byte
+	second := seg.clone()
+	second.Payload = second.Payload[cut:]
+	second.Seq = seg.Seq + uint64(cut)
+	r.Splits++
+	r.emitSegment(flow, first)
+	r.emitSegment(flow, second)
+}
+
+func (r *Resegmenter) flushHeld(flow int) {
+	if h, ok := r.held[flow]; ok {
+		h.timer.Stop()
+		delete(r.held, flow)
+		r.splitMaybe(flow, h.seg)
+	}
+}
+
+func (r *Resegmenter) emitSegment(flow int, seg *Segment) {
+	r.forward(netem.Packet{Flow: flow, Data: seg, Size: seg.WireSize()})
+}
+
+func (r *Resegmenter) forward(p netem.Packet) {
+	if r.deliver != nil {
+		r.deliver(p)
+	}
+}

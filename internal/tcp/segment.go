@@ -1,0 +1,156 @@
+// Package tcp implements the userspace TCP substrate that the Minion stack
+// runs on, including the paper's uTCP extensions (§4):
+//
+//   - SO_UNORDERED (Config.Unordered): the receive path surfaces segments to
+//     the application the moment they arrive, each prefixed with the
+//     metadata the paper's prototype prepends to read() data (stream offset
+//   - in-order flag), while keeping wire-visible behaviour — ACKs, SACKs,
+//     advertised window — byte-identical to an unmodified receiver.
+//   - SO_UNORDEREDSEND (Config.UnorderedSend): tagged application writes are
+//     inserted into the send queue ahead of lower-priority writes that have
+//     not yet been transmitted in whole or in part, never splitting another
+//     write; the optional squash flag discards superseded same-tag writes.
+//
+// The implementation is event-driven on a sim.Simulator: cumulative and
+// selective acknowledgments, RTO with Karn's algorithm and exponential
+// backoff, fast retransmit/recovery with an RFC 6675-style pipe scoreboard,
+// Reno congestion control (packet-counted by default, reproducing the Linux
+// skbuff-counting artifact the paper discusses in §7/§8.1), delayed ACKs,
+// Nagle, flow control with zero-window probing, and graceful FIN teardown.
+//
+// Sequence numbers are 64-bit internally (a simulation convenience that
+// avoids wraparound arithmetic; the paper's wire-compatibility arguments
+// concern ACK/SACK/window *behaviour*, which is unaffected and is asserted
+// by property tests against the unmodified receive path).
+package tcp
+
+// Flags is the TCP flag set carried by a Segment.
+type Flags uint8
+
+// Flag bits.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// Has reports whether all bits in f are set.
+func (fl Flags) Has(f Flags) bool { return fl&f == f }
+
+func (fl Flags) String() string {
+	s := ""
+	if fl.Has(FlagSYN) {
+		s += "S"
+	}
+	if fl.Has(FlagACK) {
+		s += "A"
+	}
+	if fl.Has(FlagFIN) {
+		s += "F"
+	}
+	if fl.Has(FlagRST) {
+		s += "R"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Wire-size constants. MSS 1448 matches the paper's testbed (1500-byte MTU
+// minus 40 bytes IP+TCP headers minus 12 bytes timestamp option).
+const (
+	IPHeaderSize  = 20
+	TCPHeaderSize = 20
+	TSOptionSize  = 12
+	// WireOverhead is the fixed per-segment cost excluding SACK options.
+	WireOverhead = IPHeaderSize + TCPHeaderSize + TSOptionSize
+	// DefaultMSS is the default maximum segment payload.
+	DefaultMSS = 1448
+	// MaxSACKBlocks is the most SACK blocks a segment carries (limited by
+	// TCP option space alongside timestamps).
+	MaxSACKBlocks = 3
+)
+
+// SACKBlock reports one received range [Start, End) in sequence space.
+type SACKBlock struct{ Start, End uint64 }
+
+// Segment is one TCP segment. Payload aliases sender buffers and must be
+// treated as immutable by the network and receiver.
+type Segment struct {
+	Seq     uint64
+	Ack     uint64
+	Flags   Flags
+	Window  int
+	Payload []byte
+	SACK    []SACKBlock
+}
+
+// SeqEnd returns the sequence number following this segment's data,
+// accounting for SYN/FIN occupying one sequence number each.
+func (s *Segment) SeqEnd() uint64 {
+	end := s.Seq + uint64(len(s.Payload))
+	if s.Flags.Has(FlagSYN) {
+		end++
+	}
+	if s.Flags.Has(FlagFIN) {
+		end++
+	}
+	return end
+}
+
+// WireSize returns the segment's size on the wire in bytes, including IP
+// and TCP headers, the timestamp option, and any SACK option.
+func (s *Segment) WireSize() int {
+	n := WireOverhead + len(s.Payload)
+	if len(s.SACK) > 0 {
+		n += 2 + 8*len(s.SACK)
+	}
+	return n
+}
+
+// clone returns a deep copy (used by middleboxes that mutate segments).
+func (s *Segment) clone() *Segment {
+	c := *s
+	c.Payload = append([]byte(nil), s.Payload...)
+	c.SACK = append([]SACKBlock(nil), s.SACK...)
+	return &c
+}
+
+// DescribeSegment renders a segment tcpdump-style for netem.Tracer:
+// "seq 100:1548 ack 17 win 65535 [SA] sack[1548:2996]".
+func DescribeSegment(data any) string {
+	seg, ok := data.(*Segment)
+	if !ok {
+		return "non-tcp"
+	}
+	s := "seq " + u64(seg.Seq)
+	if len(seg.Payload) > 0 {
+		s += ":" + u64(seg.Seq+uint64(len(seg.Payload)))
+	}
+	if seg.Flags.Has(FlagACK) {
+		s += " ack " + u64(seg.Ack)
+	}
+	s += " win " + itoa(seg.Window) + " [" + seg.Flags.String() + "]"
+	for _, b := range seg.SACK {
+		s += " sack[" + u64(b.Start) + ":" + u64(b.End) + "]"
+	}
+	return s
+}
+
+func u64(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func itoa(v int) string { return u64(uint64(v)) }

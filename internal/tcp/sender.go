@@ -1,0 +1,632 @@
+package tcp
+
+import (
+	"time"
+
+	"minion/internal/sim"
+)
+
+// appWrite is one application write waiting in the send queue. In
+// UnorderedSend mode each write is a unit for both priority insertion and
+// segmentation (the paper's skbuff-per-write rule, §7): a segment never
+// carries bytes from two writes unless CoalesceWrites packs whole writes.
+type appWrite struct {
+	data []byte
+	tag  uint32
+	off  int // bytes already pulled into segments
+}
+
+func (w *appWrite) remaining() int { return len(w.data) - w.off }
+
+// txSeg is a transmitted, not yet cumulatively acknowledged segment —
+// one entry of the retransmission queue / SACK scoreboard.
+type txSeg struct {
+	seq     uint64
+	data    []byte
+	fin     bool
+	sentAt  time.Duration
+	sacked  bool
+	lost    bool // marked for retransmission (fast retransmit or RTO)
+	retrans bool // has ever been retransmitted (Karn)
+}
+
+func (t *txSeg) end() uint64 {
+	e := t.seq + uint64(len(t.data))
+	if t.fin {
+		e++
+	}
+	return e
+}
+
+// inPipe reports whether the segment counts toward the in-flight estimate
+// (RFC 6675 "pipe"): it does unless it is SACKed or is marked lost and not
+// yet retransmitted.
+func (t *txSeg) inPipe() bool { return !t.sacked && !t.lost }
+
+type sender struct {
+	sendQ      []*appWrite
+	sendQBytes int
+
+	txSegs []*txSeg
+
+	// Congestion control (Reno). cwnd and ssthresh are in packets by
+	// default (Linux skbuff counting) or bytes if ByteCountedCwnd.
+	cwnd       float64
+	ssthresh   float64
+	inRecovery bool
+	recover    uint64 // recovery point: sndNxt when loss was detected
+	dupAcks    int
+
+	// RTT estimation (RFC 6298).
+	srtt, rttvar time.Duration
+	rtoBackoff   int
+	synRetries   int
+
+	rtxTimer     *sim.Timer
+	persistTimer *sim.Timer
+
+	nagleHold bool
+}
+
+func (c *Conn) initSender() {
+	c.cwnd = float64(c.cfg.InitialCwnd)
+	if c.cfg.ByteCountedCwnd {
+		c.cwnd *= float64(c.cfg.MSS)
+	}
+	c.ssthresh = 1 << 30
+}
+
+// SendBufAvailable returns the bytes of send-queue space available.
+func (c *Conn) SendBufAvailable() int {
+	n := c.cfg.SendBufBytes - c.sendQBytes
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// SendQueueBytes returns the bytes queued but not yet transmitted.
+func (c *Conn) SendQueueBytes() int { return c.sendQBytes }
+
+// Write queues p for in-order transmission at default priority. It accepts
+// at most SendBufAvailable() bytes and returns the count accepted; zero with
+// ErrWouldBlock when the buffer is full. The data is copied.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.writableErr(); err != nil {
+		return 0, err
+	}
+	n := len(p)
+	if avail := c.SendBufAvailable(); n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0, ErrWouldBlock
+	}
+	c.enqueueWrite(&appWrite{data: append([]byte(nil), p[:n]...), tag: TagDefault}, false)
+	c.trySend()
+	return n, nil
+}
+
+// WriteMsg queues one message as a single application write (one uTCP
+// skbuff-boundary unit) with the given options. Unlike Write it is
+// all-or-nothing: if the whole message does not fit in the send buffer it
+// queues nothing and returns ErrWouldBlock. Requires UnorderedSend for
+// priority semantics; without it the options are ignored and the message is
+// appended FIFO.
+func (c *Conn) WriteMsg(p []byte, opt WriteOptions) (int, error) {
+	if err := c.writableErr(); err != nil {
+		return 0, err
+	}
+	if opt.Squash && c.cfg.UnorderedSend {
+		c.squash(opt.Tag)
+	}
+	if len(p) > c.SendBufAvailable() {
+		return 0, ErrWouldBlock
+	}
+	w := &appWrite{data: append([]byte(nil), p...), tag: opt.Tag}
+	c.enqueueWrite(w, c.cfg.UnorderedSend)
+	c.trySend()
+	return len(p), nil
+}
+
+func (c *Conn) writableErr() error {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynSent, StateSynReceived:
+		if c.finQueued {
+			return ErrClosed
+		}
+		return nil
+	default:
+		if c.err != nil {
+			return c.err
+		}
+		return ErrClosed
+	}
+}
+
+// enqueueWrite inserts w into the send queue. With priority insertion
+// (paper §4.2) the write goes before the first queued write of strictly
+// lower priority (numerically greater tag), but never before a write that
+// has been transmitted in whole or in part — transmitted writes have left
+// the queue, and a partially transmitted head (off > 0) is immovable.
+func (c *Conn) enqueueWrite(w *appWrite, priority bool) {
+	c.sendQBytes += len(w.data)
+	if !priority {
+		c.sendQ = append(c.sendQ, w)
+		return
+	}
+	first := 0
+	if len(c.sendQ) > 0 && c.sendQ[0].off > 0 {
+		first = 1
+	}
+	pos := len(c.sendQ)
+	for i := first; i < len(c.sendQ); i++ {
+		if c.sendQ[i].tag > w.tag {
+			pos = i
+			break
+		}
+	}
+	c.sendQ = append(c.sendQ, nil)
+	copy(c.sendQ[pos+1:], c.sendQ[pos:])
+	c.sendQ[pos] = w
+}
+
+// squash removes queued, untransmitted writes with exactly tag.
+func (c *Conn) squash(tag uint32) {
+	keep := c.sendQ[:0]
+	for i, w := range c.sendQ {
+		if w.tag == tag && !(i == 0 && w.off > 0) {
+			c.sendQBytes -= len(w.data)
+			continue
+		}
+		keep = append(keep, w)
+	}
+	c.sendQ = keep
+}
+
+// pipe returns the in-flight estimate in CC units (packets or bytes).
+func (c *Conn) pipe() float64 {
+	var p float64
+	for _, t := range c.txSegs {
+		if t.inPipe() {
+			if c.cfg.ByteCountedCwnd {
+				p += float64(len(t.data))
+			} else {
+				p++
+			}
+		}
+	}
+	return p
+}
+
+func (c *Conn) ccUnit(bytes int) float64 {
+	if c.cfg.ByteCountedCwnd {
+		return float64(bytes)
+	}
+	return 1
+}
+
+// flightBytes returns transmitted-unacked payload bytes (for peer-window
+// accounting).
+func (c *Conn) flightBytes() int {
+	if len(c.txSegs) == 0 {
+		return 0
+	}
+	return int(c.sndNxt - c.sndUna)
+}
+
+// trySend is the transmission engine: retransmissions first (scoreboard
+// segments marked lost), then new data, gated by congestion window, peer
+// window, and Nagle. Finally the queued FIN, once the queue is empty.
+func (c *Conn) trySend() {
+	if c.state != StateEstablished && c.state != StateCloseWait &&
+		c.state != StateFinWait1 && c.state != StateLastAck && c.state != StateClosing {
+		return
+	}
+	for {
+		if !c.cfg.DisableCC && c.pipe() >= c.cwnd {
+			break
+		}
+		if c.retransmitNextLost() {
+			continue
+		}
+		if !c.sendNewData() {
+			break
+		}
+	}
+	c.maybeSendFIN()
+	c.maybePersist()
+}
+
+// retransmitNextLost retransmits the first scoreboard segment marked lost.
+func (c *Conn) retransmitNextLost() bool {
+	for _, t := range c.txSegs {
+		if t.lost && !t.sacked {
+			t.lost = false
+			t.retrans = true
+			t.sentAt = c.sim.Now()
+			c.stats.SegsRetrans++
+			c.stats.BytesRetrans += int64(len(t.data))
+			fl := FlagACK
+			if t.fin {
+				fl |= FlagFIN
+			}
+			c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: fl, Window: c.advertisedWindow(), Payload: t.data})
+			c.ackedWithData()
+			c.armRTO()
+			return true
+		}
+	}
+	return false
+}
+
+// sendNewData builds and transmits one segment of new data, honoring write
+// boundaries in UnorderedSend mode. Returns false when nothing was sent.
+func (c *Conn) sendNewData() bool {
+	if len(c.sendQ) == 0 {
+		return false
+	}
+	wndAvail := c.sndWnd - c.flightBytes()
+	if wndAvail <= 0 {
+		return false
+	}
+	limit := c.cfg.MSS
+	if wndAvail < limit {
+		limit = wndAvail
+	}
+
+	planned := c.plannedPayloadLen(limit)
+	if planned == 0 {
+		return false
+	}
+	// Nagle: hold small segments while data is outstanding.
+	if !c.cfg.NoDelay && planned < c.cfg.MSS && len(c.txSegs) > 0 && !c.finQueued {
+		return false
+	}
+
+	payload := c.buildPayload(limit)
+	t := &txSeg{seq: c.sndNxt, data: payload, sentAt: c.sim.Now()}
+	c.txSegs = append(c.txSegs, t)
+	c.sndNxt += uint64(len(payload))
+	c.stats.BytesSent += int64(len(payload))
+	c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: FlagACK, Window: c.advertisedWindow(), Payload: payload})
+	c.ackedWithData()
+	c.armRTO()
+	c.notifyWritable()
+	return true
+}
+
+// buildPayload pulls up to limit bytes off the send queue according to the
+// packing rules:
+//   - plain TCP: fill across write boundaries (Linux packs MSS skbuffs);
+//   - UnorderedSend: stop at the write boundary (skbuff per write);
+//   - UnorderedSend+CoalesceWrites: additionally pack following *whole*
+//     writes while they fit entirely (the paper's §8.1 partial fix).
+func (c *Conn) buildPayload(limit int) []byte {
+	var payload []byte
+	for len(c.sendQ) > 0 && len(payload) < limit {
+		w := c.sendQ[0]
+		take := w.remaining()
+		if rem := limit - len(payload); take > rem {
+			take = rem
+		}
+		if c.cfg.UnorderedSend {
+			if len(payload) > 0 {
+				// Coalescing admits only whole writes.
+				if !c.cfg.CoalesceWrites || take < w.remaining() || w.off > 0 {
+					break
+				}
+			}
+		}
+		payload = append(payload, w.data[w.off:w.off+take]...)
+		w.off += take
+		c.sendQBytes -= take
+		if w.remaining() == 0 {
+			c.sendQ = c.sendQ[1:]
+		}
+		if c.cfg.UnorderedSend && !c.cfg.CoalesceWrites {
+			break
+		}
+	}
+	return payload
+}
+
+// plannedPayloadLen computes, without consuming the queue, how many bytes
+// buildPayload would pull given the same packing rules.
+func (c *Conn) plannedPayloadLen(limit int) int {
+	total := 0
+	for i, w := range c.sendQ {
+		if total >= limit {
+			break
+		}
+		take := w.remaining()
+		if rem := limit - total; take > rem {
+			take = rem
+		}
+		if c.cfg.UnorderedSend && total > 0 {
+			if !c.cfg.CoalesceWrites || take < w.remaining() || w.off > 0 {
+				break
+			}
+		}
+		total += take
+		if c.cfg.UnorderedSend && !c.cfg.CoalesceWrites {
+			break
+		}
+		_ = i
+	}
+	return total
+}
+
+func (c *Conn) maybeSendFIN() {
+	if !c.finQueued || c.finSent || len(c.sendQ) > 0 {
+		return
+	}
+	if !c.cfg.DisableCC && c.pipe() >= c.cwnd+1 {
+		return
+	}
+	c.finSeq = c.sndNxt
+	c.finSent = true
+	t := &txSeg{seq: c.sndNxt, fin: true, sentAt: c.sim.Now()}
+	c.txSegs = append(c.txSegs, t)
+	c.sndNxt++
+	c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: FlagACK | FlagFIN, Window: c.advertisedWindow()})
+	c.ackedWithData()
+	c.armRTO()
+}
+
+// maybePersist arms the zero-window probe timer when data waits on a closed
+// peer window.
+func (c *Conn) maybePersist() {
+	if c.sndWnd > 0 || len(c.sendQ) == 0 || c.persistTimer != nil || len(c.txSegs) > 0 {
+		return
+	}
+	c.persistTimer = c.sim.Schedule(c.rto(), func() {
+		c.persistTimer = nil
+		if c.sndWnd == 0 && len(c.sendQ) > 0 && c.state == StateEstablished {
+			// One-byte window probe, sent as a real transmission so the
+			// byte is consumed exactly once.
+			w := c.sendQ[0]
+			payload := append([]byte(nil), w.data[w.off:w.off+1]...)
+			w.off++
+			c.sendQBytes--
+			if w.remaining() == 0 {
+				c.sendQ = c.sendQ[1:]
+			}
+			t := &txSeg{seq: c.sndNxt, data: payload, sentAt: c.sim.Now()}
+			c.txSegs = append(c.txSegs, t)
+			c.sndNxt++
+			c.stats.BytesSent++
+			c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: FlagACK, Window: c.advertisedWindow(), Payload: payload})
+			c.armRTO()
+			c.maybePersist()
+		}
+	})
+}
+
+// processAck handles the acknowledgment fields of an incoming segment:
+// cumulative ack, SACK scoreboard, dupack counting, loss marking,
+// congestion control, and RTT sampling.
+func (c *Conn) processAck(seg *Segment) {
+	ack := seg.Ack
+	if ack > c.sndNxt {
+		return // acks data never sent; ignore
+	}
+	oldUna := c.sndUna
+	c.sndWnd = seg.Window
+	if c.persistTimer != nil && seg.Window > 0 {
+		c.stopTimer(&c.persistTimer)
+	}
+
+	// Update SACK scoreboard.
+	for _, b := range seg.SACK {
+		for _, t := range c.txSegs {
+			if t.seq >= b.Start && t.end() <= b.End {
+				t.sacked = true
+				t.lost = false
+			}
+		}
+	}
+
+	if ack > c.sndUna {
+		c.sndUna = ack
+		c.handleNewAck(ack, oldUna)
+	} else if ack == c.sndUna && len(seg.Payload) == 0 && !seg.Flags.Has(FlagSYN|FlagFIN) && c.sndNxt > c.sndUna {
+		c.handleDupAck()
+	}
+
+	c.detectSACKLoss()
+}
+
+func (c *Conn) handleNewAck(ack, oldUna uint64) {
+	// Drop fully acked scoreboard entries; sample RTT from the newest
+	// never-retransmitted one (Karn's algorithm).
+	var ackedUnits float64
+	var rttSample time.Duration = -1
+	keep := c.txSegs[:0]
+	for _, t := range c.txSegs {
+		if t.end() <= ack {
+			ackedUnits += c.ccUnit(len(t.data))
+			if !t.retrans {
+				rttSample = c.sim.Now() - t.sentAt
+			}
+			continue
+		}
+		keep = append(keep, t)
+	}
+	c.txSegs = keep
+	if rttSample >= 0 {
+		c.updateRTT(rttSample)
+	}
+	c.rtoBackoff = 0
+	c.dupAcks = 0
+
+	if c.inRecovery {
+		if ack >= c.recover {
+			c.inRecovery = false
+			c.cwnd = c.ssthresh
+		} else {
+			// Partial ack: the next hole is lost too (NewReno).
+			if len(c.txSegs) > 0 && !c.txSegs[0].sacked {
+				c.txSegs[0].lost = true
+			}
+		}
+	} else if !c.cfg.DisableCC {
+		if c.cwnd < c.ssthresh {
+			c.cwnd += ackedUnits // slow start
+		} else {
+			unit := 1.0
+			if c.cfg.ByteCountedCwnd {
+				unit = float64(c.cfg.MSS)
+			}
+			c.cwnd += ackedUnits * unit / c.cwnd // congestion avoidance
+		}
+	}
+
+	if len(c.txSegs) == 0 {
+		c.stopTimer(&c.rtxTimer)
+	} else {
+		c.armRTO()
+	}
+	c.notifyWritable()
+}
+
+func (c *Conn) handleDupAck() {
+	c.stats.DupAcksReceived++
+	c.dupAcks++
+	if c.inRecovery || c.cfg.DisableCC {
+		return
+	}
+	if c.dupAcks >= 3 {
+		c.enterRecovery()
+	}
+}
+
+// detectSACKLoss applies the RFC 6675 heuristic: a segment is lost when
+// three segments above it have been SACKed.
+func (c *Conn) detectSACKLoss() {
+	if c.cfg.DisableCC {
+		return
+	}
+	sackedAbove := 0
+	for i := len(c.txSegs) - 1; i >= 0; i-- {
+		if c.txSegs[i].sacked {
+			sackedAbove++
+			continue
+		}
+		if sackedAbove >= 3 && !c.txSegs[i].lost && !c.txSegs[i].retrans {
+			if !c.inRecovery {
+				c.enterRecovery()
+			}
+			c.txSegs[i].lost = true
+		}
+	}
+}
+
+func (c *Conn) enterRecovery() {
+	c.inRecovery = true
+	c.recover = c.sndNxt
+	c.stats.FastRecoveries++
+	half := c.pipe() / 2
+	min := 2.0
+	if c.cfg.ByteCountedCwnd {
+		min = 2 * float64(c.cfg.MSS)
+	}
+	if half < min {
+		half = min
+	}
+	c.ssthresh = half
+	c.cwnd = c.ssthresh
+	// Mark the first unsacked segment lost so it is retransmitted.
+	for _, t := range c.txSegs {
+		if !t.sacked {
+			t.lost = true
+			break
+		}
+	}
+	c.trySend()
+}
+
+func (c *Conn) updateRTT(sample time.Duration) {
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		return
+	}
+	d := c.srtt - sample
+	if d < 0 {
+		d = -d
+	}
+	c.rttvar = (3*c.rttvar + d) / 4
+	c.srtt = (7*c.srtt + sample) / 8
+}
+
+// SRTT returns the smoothed RTT estimate (zero before the first sample).
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+// Cwnd returns the congestion window in its accounting unit.
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+func (c *Conn) rto() time.Duration {
+	rto := c.cfg.MinRTO
+	if c.srtt > 0 {
+		rto = c.srtt + 4*c.rttvar
+		if rto < c.cfg.MinRTO {
+			rto = c.cfg.MinRTO
+		}
+	} else {
+		rto = time.Second // RFC 6298 initial RTO
+	}
+	for i := 0; i < c.rtoBackoff; i++ {
+		rto *= 2
+		if rto > c.cfg.MaxRTO {
+			return c.cfg.MaxRTO
+		}
+	}
+	if rto > c.cfg.MaxRTO {
+		rto = c.cfg.MaxRTO
+	}
+	return rto
+}
+
+func (c *Conn) armRTO() {
+	c.stopTimer(&c.rtxTimer)
+	c.rtxTimer = c.sim.Schedule(c.rto(), c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	c.rtxTimer = nil
+	if len(c.txSegs) == 0 {
+		return
+	}
+	c.stats.Timeouts++
+	c.rtoBackoff++
+	if c.rtoBackoff > 10 {
+		c.teardown(ErrTimeout)
+		return
+	}
+	if !c.cfg.DisableCC {
+		half := c.pipe() / 2
+		min := 2.0
+		unit := 1.0
+		if c.cfg.ByteCountedCwnd {
+			unit = float64(c.cfg.MSS)
+			min *= unit
+		}
+		if half < min {
+			half = min
+		}
+		c.ssthresh = half
+		c.cwnd = unit // back to one segment
+	}
+	c.inRecovery = false
+	c.dupAcks = 0
+	// Go-back-N: everything unsacked is eligible for retransmission; the
+	// pipe gate doles them out as the window reopens.
+	for _, t := range c.txSegs {
+		if !t.sacked {
+			t.lost = true
+		}
+	}
+	c.trySend()
+	c.armRTO()
+}

@@ -1,0 +1,560 @@
+package tcp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+)
+
+// scriptedReceiver builds a receiver Conn in the given mode, pre-established
+// with known sequence state, and returns it plus a capture of everything it
+// emits. Used to compare wire behaviour between plain TCP and uTCP.
+func scriptedReceiver(s *sim.Simulator, unordered bool) (*Conn, *[]*Segment) {
+	var emitted []*Segment
+	c := New(s, Config{Unordered: unordered}, func(seg *Segment) {
+		emitted = append(emitted, seg.clone())
+	})
+	// Hand-establish: pretend the handshake happened with irs=1000, iss=5000.
+	c.irs, c.rcvNxt = 1000, 1001
+	c.iss, c.sndUna, c.sndNxt = 5000, 5001, 5001
+	c.state = StateEstablished
+	return c, &emitted
+}
+
+func dataSeg(seq uint64, payload []byte) *Segment {
+	return &Segment{Seq: seq, Ack: 5001, Flags: FlagACK, Window: 65535, Payload: payload}
+}
+
+func TestUnorderedImmediateDelivery(t *testing.T) {
+	s := sim.New(1)
+	c, _ := scriptedReceiver(s, true)
+
+	// Paper Figure 3: in-order segment, out-of-order segment, hole filler.
+	c.Input(dataSeg(1001, []byte("AAAA"))) // in-order
+	c.Input(dataSeg(1009, []byte("CCCC"))) // out-of-order (hole at 1005)
+	s.Run()
+
+	d1, err := c.ReadUnordered()
+	if err != nil || !d1.InOrder || d1.Offset != 0 || string(d1.Data) != "AAAA" {
+		t.Fatalf("first delivery = %+v err=%v, want in-order AAAA at 0", d1, err)
+	}
+	d2, err := c.ReadUnordered()
+	if err != nil || d2.InOrder || d2.Offset != 8 || string(d2.Data) != "CCCC" {
+		t.Fatalf("second delivery = %+v err=%v, want OOO CCCC at offset 8", d2, err)
+	}
+	if _, err := c.ReadUnordered(); err != ErrWouldBlock {
+		t.Fatalf("expected ErrWouldBlock, got %v", err)
+	}
+
+	// Hole filler arrives: uTCP delivers the contiguous span in order,
+	// which re-delivers the CCCC bytes (at-least-once semantics).
+	c.Input(dataSeg(1005, []byte("BBBB")))
+	s.Run()
+	d3, err := c.ReadUnordered()
+	if err != nil || !d3.InOrder || d3.Offset != 4 || string(d3.Data) != "BBBBCCCC" {
+		t.Fatalf("third delivery = %+v err=%v, want in-order BBBBCCCC at 4", d3, err)
+	}
+}
+
+func TestUnorderedRequiresMode(t *testing.T) {
+	s := sim.New(1)
+	c, _ := scriptedReceiver(s, false)
+	if _, err := c.ReadUnordered(); err != ErrNotUnordered {
+		t.Fatalf("got %v, want ErrNotUnordered", err)
+	}
+	c2, _ := scriptedReceiver(s, true)
+	if _, err := c2.Read(make([]byte, 10)); err != ErrNotUnordered {
+		t.Fatalf("Read in unordered mode: got %v, want ErrNotUnordered", err)
+	}
+}
+
+// The paper's central wire-compatibility claim (§4.1): the uTCP receiver
+// "maintains wire-visible behavior identical to TCP while delivering
+// segments to the application out-of-order". Property test: any segment
+// arrival schedule produces byte-identical emissions from plain and
+// unordered receivers (the unordered app drains eagerly, the plain app too).
+func TestPropertyWireCompatibleReceiver(t *testing.T) {
+	f := func(seed int64) bool {
+		runReceiver := func(unordered bool) []string {
+			s := sim.New(99) // fixed sim seed; arrival schedule from seed
+			c, emitted := scriptedReceiver(s, unordered)
+			drain := func() {
+				if unordered {
+					for {
+						if _, err := c.ReadUnordered(); err != nil {
+							break
+						}
+					}
+				} else {
+					buf := make([]byte, 1<<16)
+					for {
+						if n, _ := c.Read(buf); n == 0 {
+							break
+						}
+					}
+				}
+			}
+			r := rand.New(rand.NewSource(seed))
+			// Build a random arrival schedule over a 30-segment stream:
+			// each segment may be delayed, duplicated, or dropped.
+			stream := patternBytes(30 * 100)
+			type arrival struct {
+				at  time.Duration
+				seg *Segment
+			}
+			var arrivals []arrival
+			for i := 0; i < 30; i++ {
+				if r.Float64() < 0.15 {
+					continue // dropped
+				}
+				n := 1
+				if r.Float64() < 0.1 {
+					n = 2 // duplicated
+				}
+				for k := 0; k < n; k++ {
+					at := time.Duration(r.Intn(200)) * time.Millisecond
+					arrivals = append(arrivals, arrival{at, dataSeg(1001+uint64(i*100), stream[i*100:(i+1)*100])})
+				}
+			}
+			for _, a := range arrivals {
+				a := a
+				s.Schedule(a.at, func() { c.Input(a.seg); drain() })
+			}
+			s.Run()
+			out := make([]string, len(*emitted))
+			for i, e := range *emitted {
+				out[i] = fmt.Sprintf("seq=%d ack=%d fl=%v wnd=%d sack=%v", e.Seq, e.Ack, e.Flags, e.Window, e.SACK)
+			}
+			return out
+		}
+		plain := runReceiver(false)
+		unord := runReceiver(true)
+		if len(plain) != len(unord) {
+			return false
+		}
+		for i := range plain {
+			if plain[i] != unord[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scriptedSender builds an established sender whose emissions are captured.
+func scriptedSender(s *sim.Simulator, cfg Config) (*Conn, *[]*Segment) {
+	var emitted []*Segment
+	cfg.NoDelay = true
+	c := New(s, cfg, func(seg *Segment) { emitted = append(emitted, seg.clone()) })
+	c.iss, c.sndUna, c.sndNxt = 5000, 5001, 5001
+	c.irs, c.rcvNxt = 1000, 1001
+	c.sndWnd = 1 << 20
+	c.state = StateEstablished
+	return c, &emitted
+}
+
+func TestPrioritySendBypassesQueuedLowPriority(t *testing.T) {
+	s := sim.New(1)
+	// Congestion control off: transmission gated purely by the peer
+	// window, which the test manipulates directly.
+	cfg := Config{UnorderedSend: true, DisableCC: true}
+	c, emitted := scriptedSender(s, cfg)
+
+	// First write transmits immediately; then the window closes and the
+	// rest queue.
+	c.WriteMsg(bytes.Repeat([]byte{'a'}, 100), WriteOptions{Tag: 5})
+	c.sndWnd = 0
+	c.WriteMsg(bytes.Repeat([]byte{'b'}, 100), WriteOptions{Tag: 5})
+	c.WriteMsg(bytes.Repeat([]byte{'c'}, 100), WriteOptions{Tag: 5})
+	c.WriteMsg(bytes.Repeat([]byte{'h'}, 100), WriteOptions{Tag: 1}) // high priority
+	if len(*emitted) != 1 || (*emitted)[0].Payload[0] != 'a' {
+		t.Fatalf("expected only 'a' transmitted, got %d segs", len(*emitted))
+	}
+	// ACK the first segment and reopen the window: the high-priority write
+	// must go out before b and c. (Run bounded below the RTO: with no live
+	// peer, running to exhaustion would capture retransmissions too.)
+	c.Input(&Segment{Seq: 1001, Ack: 5101, Flags: FlagACK, Window: 1 << 20})
+	s.RunUntil(500 * time.Millisecond)
+	var order []byte
+	for _, e := range (*emitted)[1:] {
+		if len(e.Payload) > 0 {
+			order = append(order, e.Payload[0])
+		}
+	}
+	want := "hbc"
+	if string(order) != want {
+		t.Fatalf("transmission order %q, want %q", order, want)
+	}
+}
+
+func TestPriorityNeverPrecedesPartiallyTransmitted(t *testing.T) {
+	s := sim.New(1)
+	// MSS 100, peer window 100: a 250-byte write gets only its first chunk
+	// transmitted, leaving the write partially transmitted.
+	cfg := Config{UnorderedSend: true, DisableCC: true, MSS: 100}
+	c, emitted := scriptedSender(s, cfg)
+	c.sndWnd = 100
+	c.WriteMsg(bytes.Repeat([]byte{'l'}, 250), WriteOptions{Tag: 9})
+	if len(*emitted) != 1 {
+		t.Fatalf("want 1 initial segment, got %d", len(*emitted))
+	}
+	c.WriteMsg(bytes.Repeat([]byte{'h'}, 50), WriteOptions{Tag: 0})
+	// Open the window fully (bounded run: see above).
+	c.Input(&Segment{Seq: 1001, Ack: 5101, Flags: FlagACK, Window: 1 << 20})
+	s.RunUntil(500 * time.Millisecond)
+	var order []byte
+	for _, e := range (*emitted)[1:] {
+		if len(e.Payload) > 0 {
+			order = append(order, e.Payload[0])
+		}
+	}
+	// The partially transmitted 'l' write must finish before 'h' is sent:
+	// uTCP "never inserts new data into the send queue ahead of any
+	// previously-written data that has ever been transmitted in whole or in
+	// part" (paper §4.2).
+	if string(order) != "llh" {
+		t.Fatalf("order %q, want \"llh\"", order)
+	}
+}
+
+func TestPriorityInsertionRespectsWriteBoundaries(t *testing.T) {
+	s := sim.New(1)
+	cfg := Config{UnorderedSend: true, DisableCC: true, MSS: 1448}
+	c, emitted := scriptedSender(s, cfg)
+	c.sndWnd = 100
+	c.WriteMsg(bytes.Repeat([]byte{'x'}, 100), WriteOptions{Tag: 5}) // transmits
+	// Large low-priority write queued whole.
+	c.WriteMsg(bytes.Repeat([]byte{'l'}, 3000), WriteOptions{Tag: 5})
+	// High priority: must go before the whole 'l' write, never mid-write.
+	c.WriteMsg(bytes.Repeat([]byte{'h'}, 100), WriteOptions{Tag: 1})
+	c.Input(&Segment{Seq: 1001, Ack: 5101, Flags: FlagACK, Window: 1 << 20})
+	s.RunUntil(500 * time.Millisecond)
+	var order []byte
+	for _, e := range (*emitted)[1:] {
+		if len(e.Payload) > 0 {
+			order = append(order, e.Payload[0])
+		}
+	}
+	if string(order) != "hlll" {
+		t.Fatalf("order %q, want \"hlll\" (h first, l never split)", order)
+	}
+}
+
+func TestSquashReplacesSameTag(t *testing.T) {
+	s := sim.New(1)
+	cfg := Config{UnorderedSend: true, DisableCC: true}
+	c, emitted := scriptedSender(s, cfg)
+	c.WriteMsg([]byte("first"), WriteOptions{Tag: 5}) // transmits immediately
+	c.sndWnd = 0
+	c.WriteMsg([]byte("old-update"), WriteOptions{Tag: 7})
+	c.WriteMsg([]byte("other"), WriteOptions{Tag: 8})
+	// Squash tag 7: old-update must vanish, replaced by new-update.
+	c.WriteMsg([]byte("new-update"), WriteOptions{Tag: 7, Squash: true})
+	c.Input(&Segment{Seq: 1001, Ack: 5001 + 5, Flags: FlagACK, Window: 1 << 20})
+	s.RunUntil(500 * time.Millisecond)
+	var got []string
+	for _, e := range (*emitted)[1:] {
+		if len(e.Payload) > 0 {
+			got = append(got, string(e.Payload))
+		}
+	}
+	want := []string{"new-update", "other"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("after squash sent %v, want %v", got, want)
+	}
+}
+
+func TestSquashDoesNotRemoveTransmitted(t *testing.T) {
+	s := sim.New(1)
+	cfg := Config{UnorderedSend: true, DisableCC: true, MSS: 100}
+	c, _ := scriptedSender(s, cfg)
+	c.sndWnd = 100
+	// 250-byte write: first 100 bytes transmit, the rest is partially
+	// transmitted head and must survive a same-tag squash.
+	c.WriteMsg(bytes.Repeat([]byte{'l'}, 250), WriteOptions{Tag: 7})
+	c.WriteMsg([]byte("update"), WriteOptions{Tag: 7, Squash: true})
+	if c.SendQueueBytes() != 150+6 {
+		t.Fatalf("queue bytes = %d, want 156 (partial head kept)", c.SendQueueBytes())
+	}
+}
+
+// Property: per-tag FIFO — messages with the same tag are always
+// transmitted in write order, and a higher-priority (lower-tag) message
+// never trails a lower-priority one that was queued strictly after... i.e.
+// the final transmit order is a stable sort by tag of the queued order,
+// for messages enqueued while transmission is blocked.
+func TestPropertyPriorityStableSort(t *testing.T) {
+	f := func(tagsRaw []uint8) bool {
+		if len(tagsRaw) == 0 || len(tagsRaw) > 40 {
+			return true
+		}
+		s := sim.New(3)
+		cfg := Config{UnorderedSend: true, DisableCC: true}
+		c, emitted := scriptedSender(s, cfg)
+		// Block transmission entirely with a zero window.
+		c.sndWnd = 0
+		type msg struct {
+			tag uint32
+			id  byte
+		}
+		var msgs []msg
+		for i, tr := range tagsRaw {
+			m := msg{tag: uint32(tr % 5), id: byte(i)}
+			msgs = append(msgs, m)
+			c.WriteMsg([]byte{m.id, 0, 0, 0}, WriteOptions{Tag: m.tag})
+		}
+		// Open the window: everything transmits.
+		c.Input(&Segment{Seq: 1001, Ack: 5001, Flags: FlagACK, Window: 1 << 20})
+		s.RunUntil(500 * time.Millisecond)
+		// Expected: stable sort of msgs by tag.
+		expected := make([]msg, len(msgs))
+		copy(expected, msgs)
+		for i := 1; i < len(expected); i++ { // insertion sort = stable
+			for j := i; j > 0 && expected[j-1].tag > expected[j].tag; j-- {
+				expected[j-1], expected[j] = expected[j], expected[j-1]
+			}
+		}
+		var gotIDs []byte
+		for _, e := range *emitted {
+			for i := 0; i+4 <= len(e.Payload); i += 4 {
+				gotIDs = append(gotIDs, e.Payload[i])
+			}
+		}
+		if len(gotIDs) != len(expected) {
+			return false
+		}
+		for i := range expected {
+			if gotIDs[i] != expected[i].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 5 mechanism: with packet-counted congestion control, per-write
+// segmentation (no coalescing) wastes window on small segments; coalescing
+// restores full-MSS segments when messages divide the MSS evenly.
+func TestSegmentPackingModes(t *testing.T) {
+	run := func(cfg Config, msgSize, count int) (segs int, bytes int) {
+		s := sim.New(7)
+		cfg.NoDelay = true
+		cfg.DisableCC = true
+		cfg.SendBufBytes = 1 << 24
+		c, emitted := scriptedSender(s, cfg)
+		// Queue everything behind a closed window, then release it all at
+		// once so the segmenter's packing rules are what is measured.
+		c.sndWnd = 0
+		payload := make([]byte, msgSize)
+		for i := 0; i < count; i++ {
+			if _, err := c.WriteMsg(payload, WriteOptions{Tag: 5}); err != nil {
+				break
+			}
+		}
+		c.Input(&Segment{Seq: 1001, Ack: 5001, Flags: FlagACK, Window: 1 << 24})
+		s.RunUntil(500 * time.Millisecond)
+		for _, e := range *emitted {
+			if len(e.Payload) > 0 {
+				segs++
+				bytes += len(e.Payload)
+			}
+		}
+		return segs, bytes
+	}
+
+	// uTCP without coalescing: 362-byte messages -> one segment each.
+	segs, _ := run(Config{UnorderedSend: true}, 362, 40)
+	if segs != 40 {
+		t.Errorf("no-coalesce 362B: %d segments, want 40", segs)
+	}
+	// uTCP with coalescing: 362*4 = 1448 -> four messages per segment.
+	segs, _ = run(Config{UnorderedSend: true, CoalesceWrites: true}, 362, 40)
+	if segs != 10 {
+		t.Errorf("coalesce 362B: %d segments, want 10", segs)
+	}
+	// 1000-byte messages never coalesce (2000 > 1448): one per segment.
+	segs, _ = run(Config{UnorderedSend: true, CoalesceWrites: true}, 1000, 40)
+	if segs != 40 {
+		t.Errorf("coalesce 1000B: %d segments, want 40", segs)
+	}
+	// Plain TCP packs across boundaries: 40000 bytes -> ceil(40000/1448)=28.
+	segs, total := run(Config{}, 1000, 40)
+	if segs != 28 || total != 40000 {
+		t.Errorf("plain TCP: %d segments %d bytes, want 28/40000", segs, total)
+	}
+	// 2896 = 2xMSS messages split into full-MSS segments even without
+	// coalescing.
+	segs, _ = run(Config{UnorderedSend: true}, 2896, 20)
+	if segs != 40 {
+		t.Errorf("2xMSS messages: %d segments, want 40 full-MSS", segs)
+	}
+}
+
+func TestUnorderedEndToEndUnderLoss(t *testing.T) {
+	// Full stack: uTCP sender+receiver over a lossy link; OOO deliveries
+	// must arrive before the holes fill, and every byte must eventually be
+	// delivered in order too (at-least-once).
+	s := sim.New(42)
+	fwd := netem.NewLink(s, netem.LinkConfig{Rate: 3_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: 0.03}})
+	back := netem.NewLink(s, netem.LinkConfig{Rate: 3_000_000, Delay: 30 * time.Millisecond, QueueBytes: 1 << 30})
+	a, b := NewPair(s, Config{NoDelay: true, UnorderedSend: true}, Config{Unordered: true}, fwd, back)
+
+	const total = 512 * 1024
+	pattern := patternBytes(total)
+	sent := 0
+	var pump func()
+	pump = func() {
+		for sent < total {
+			n := 1000
+			if total-sent < n {
+				n = total - sent
+			}
+			if _, err := a.WriteMsg(pattern[sent:sent+n], WriteOptions{Tag: 5}); err != nil {
+				return
+			}
+			sent += n
+		}
+	}
+	a.OnWritable(pump)
+	s.Schedule(0, pump)
+
+	reconstructed := make([]byte, total)
+	covered := 0
+	oooSeen := 0
+	b.OnReadable(func() {
+		for {
+			d, err := b.ReadUnordered()
+			if err != nil {
+				return
+			}
+			if !d.InOrder {
+				oooSeen++
+			}
+			for i, by := range d.Data {
+				off := int(d.Offset) + i
+				if off < total && reconstructed[off] == 0 {
+					reconstructed[off] = by
+					covered++
+				}
+			}
+		}
+	})
+	s.RunUntil(5 * time.Minute)
+	if sent != total {
+		t.Fatalf("sender stalled at %d/%d", sent, total)
+	}
+	if !bytes.Equal(reconstructed, pattern) {
+		t.Fatal("reconstructed stream differs")
+	}
+	if oooSeen == 0 {
+		t.Error("no out-of-order deliveries under 3% loss")
+	}
+	if b.Stats().DeliveredOOO != oooSeen {
+		t.Errorf("stats OOO=%d, observed %d", b.Stats().DeliveredOOO, oooSeen)
+	}
+}
+
+func TestResegmenterSplit(t *testing.T) {
+	s := sim.New(1)
+	r := NewResegmenter(s, 0, 0)
+	var got []*Segment
+	r.SetDeliver(func(p netem.Packet) { got = append(got, p.Data.(*Segment)) })
+	seg := &Segment{Seq: 100, Ack: 1, Flags: FlagACK, Payload: []byte("abcdef")}
+	r.SplitSegment(0, seg, 2)
+	if len(got) != 2 {
+		t.Fatalf("split produced %d segments", len(got))
+	}
+	if string(got[0].Payload) != "ab" || got[0].Seq != 100 {
+		t.Fatalf("first half wrong: %q seq=%d", got[0].Payload, got[0].Seq)
+	}
+	if string(got[1].Payload) != "cdef" || got[1].Seq != 102 {
+		t.Fatalf("second half wrong: %q seq=%d", got[1].Payload, got[1].Seq)
+	}
+}
+
+func TestResegmenterCoalesce(t *testing.T) {
+	s := sim.New(1)
+	r := NewResegmenter(s, 0, 1.0) // always try to coalesce
+	var got []*Segment
+	r.SetDeliver(func(p netem.Packet) { got = append(got, p.Data.(*Segment)) })
+	r.Send(netem.Packet{Flow: 1, Data: &Segment{Seq: 100, Flags: FlagACK, Payload: []byte("abc")}, Size: 60})
+	r.Send(netem.Packet{Flow: 1, Data: &Segment{Seq: 103, Flags: FlagACK, Payload: []byte("def")}, Size: 60})
+	s.Run()
+	if len(got) != 1 {
+		t.Fatalf("coalesce produced %d segments, want 1", len(got))
+	}
+	if string(got[0].Payload) != "abcdef" || got[0].Seq != 100 {
+		t.Fatalf("merged = %q seq=%d", got[0].Payload, got[0].Seq)
+	}
+	if r.Coalesces != 1 {
+		t.Fatalf("Coalesces = %d", r.Coalesces)
+	}
+}
+
+func TestResegmenterHoldTimeout(t *testing.T) {
+	s := sim.New(1)
+	r := NewResegmenter(s, 0, 1.0)
+	var got []*Segment
+	r.SetDeliver(func(p netem.Packet) { got = append(got, p.Data.(*Segment)) })
+	r.Send(netem.Packet{Flow: 1, Data: &Segment{Seq: 100, Flags: FlagACK, Payload: []byte("abc")}, Size: 60})
+	s.Run() // no continuation: hold timer fires, segment forwarded alone
+	if len(got) != 1 || string(got[0].Payload) != "abc" {
+		t.Fatalf("held segment not released: %d", len(got))
+	}
+}
+
+func TestTransferThroughResegmenter(t *testing.T) {
+	// Full in-order transfer through an aggressive re-segmenting middlebox:
+	// stream must survive byte-exact.
+	s := sim.New(11)
+	reseg := NewResegmenter(s, 0.5, 0.3)
+	link := netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 30})
+	path := netem.Chain(reseg, link)
+	back := netem.NewLink(s, netem.LinkConfig{Delay: 10 * time.Millisecond})
+	a, b := NewPair(s, Config{NoDelay: true}, Config{}, path, back)
+	_ = a
+	var rec bytes.Buffer
+	b.OnReadable(func() {
+		buf := make([]byte, 1<<16)
+		for {
+			n, _ := b.Read(buf)
+			if n == 0 {
+				return
+			}
+			rec.Write(buf[:n])
+		}
+	})
+	const total = 300 * 1024
+	data := patternBytes(total)
+	sent := 0
+	pump := func() {
+		for sent < total {
+			n, err := a.Write(data[sent:])
+			sent += n
+			if err != nil {
+				return
+			}
+		}
+	}
+	a.OnWritable(pump)
+	s.Schedule(0, pump)
+	s.RunUntil(2 * time.Minute)
+	if rec.Len() != total || !bytes.Equal(rec.Bytes(), data) {
+		t.Fatalf("stream corrupted through resegmenter: %d/%d", rec.Len(), total)
+	}
+	if reseg.Splits == 0 || reseg.Coalesces == 0 {
+		t.Errorf("middlebox idle: splits=%d coalesces=%d", reseg.Splits, reseg.Coalesces)
+	}
+}

@@ -1,0 +1,509 @@
+// Package tlsrec implements a TLS record layer sufficient to reproduce the
+// paper's uTLS design space (§6): record framing (type, version, length),
+// an HMAC-SHA256 record MAC computed over the TLS pseudo-header (sequence
+// number, type, version, length), and the four ciphersuite classes whose
+// chaining behaviour determines whether out-of-order decryption is
+// possible:
+//
+//   - SuiteNull: no encryption, no MAC — the state during initial key
+//     negotiation; uTLS must disable out-of-order delivery here (§6.1).
+//   - SuiteStreamChained: a stream cipher whose keystream position advances
+//     across records (RC4-like, emulated with AES-CTR); records are
+//     indecipherable out of order.
+//   - SuiteCBCImplicitIV: TLS 1.0 CBC, each record's IV is the previous
+//     record's last ciphertext block; also order-bound.
+//   - SuiteCBCExplicitIV: TLS 1.1 CBC with a per-record explicit IV; the
+//     only class supporting out-of-order decryption.
+//
+// Key exchange is simulated (a pre-shared secret mixed with exchanged
+// randoms — see DESIGN.md §6): uTLS's algorithms operate purely at the
+// record layer and never depend on handshake internals.
+package tlsrec
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Record types (TLS ContentType values).
+const (
+	TypeChangeCipher byte = 20
+	TypeAlert        byte = 21
+	TypeHandshake    byte = 22
+	TypeAppData      byte = 23
+)
+
+// Protocol versions.
+const (
+	Version10 uint16 = 0x0301 // TLS 1.0: implicit IVs
+	Version11 uint16 = 0x0302 // TLS 1.1: explicit IVs
+)
+
+// HeaderSize is the TLS record header length: type(1) version(2) length(2).
+const HeaderSize = 5
+
+// MaxPlaintext is the TLS maximum record plaintext size.
+const MaxPlaintext = 16384
+
+// MaxCiphertext bounds a record body (plaintext + MAC + IV + padding).
+const MaxCiphertext = MaxPlaintext + 512
+
+const (
+	macSize   = sha256.Size
+	blockSize = aes.BlockSize
+	keySize   = 16
+)
+
+// Errors.
+var (
+	ErrMACFailure   = errors.New("tlsrec: MAC verification failed")
+	ErrBadRecord    = errors.New("tlsrec: malformed record")
+	ErrTooLarge     = errors.New("tlsrec: plaintext exceeds maximum record size")
+	ErrOrderOnly    = errors.New("tlsrec: ciphersuite cannot decrypt out of order")
+	ErrUnknownSuite = errors.New("tlsrec: unknown ciphersuite")
+)
+
+// Suite identifies a ciphersuite class.
+type Suite int
+
+// Ciphersuite classes (see package comment).
+const (
+	SuiteNull Suite = iota
+	SuiteStreamChained
+	SuiteCBCImplicitIV
+	SuiteCBCExplicitIV
+)
+
+var suiteNames = map[Suite]string{
+	SuiteNull:          "NULL",
+	SuiteStreamChained: "STREAM-CHAINED",
+	SuiteCBCImplicitIV: "CBC-IMPLICIT-IV(TLS1.0)",
+	SuiteCBCExplicitIV: "CBC-EXPLICIT-IV(TLS1.1)",
+}
+
+func (s Suite) String() string {
+	if n, ok := suiteNames[s]; ok {
+		return n
+	}
+	return "INVALID"
+}
+
+// SupportsOutOfOrder reports whether records sealed under this suite can be
+// decrypted and authenticated independently of preceding records. Only the
+// TLS 1.1 explicit-IV class qualifies; the null suite is excluded because
+// it carries no MAC to confirm a guessed record boundary (§6.1).
+func (s Suite) SupportsOutOfOrder() bool { return s == SuiteCBCExplicitIV }
+
+// Version returns the wire version the suite implies.
+func (s Suite) Version() uint16 {
+	if s == SuiteCBCExplicitIV {
+		return Version11
+	}
+	return Version10
+}
+
+// Authenticated reports whether records carry a MAC.
+func (s Suite) Authenticated() bool { return s != SuiteNull }
+
+// DeriveKeys expands a shared secret and both parties' randoms into the
+// four directional keys (client-write / server-write, cipher / MAC), in the
+// spirit of the TLS PRF (HMAC-SHA256 expansion).
+func DeriveKeys(secret, clientRandom, serverRandom []byte) *KeyBlock {
+	expand := func(label string, n int) []byte {
+		var out []byte
+		h := hmac.New(sha256.New, secret)
+		seed := append(append([]byte(label), clientRandom...), serverRandom...)
+		a := seed
+		for len(out) < n {
+			h.Reset()
+			h.Write(a)
+			a = h.Sum(nil)
+			h.Reset()
+			h.Write(a)
+			h.Write(seed)
+			out = append(out, h.Sum(nil)...)
+		}
+		return out[:n]
+	}
+	kb := &KeyBlock{}
+	km := expand("key expansion", 2*keySize+2*macSize)
+	kb.ClientWriteMAC = km[:macSize]
+	kb.ServerWriteMAC = km[macSize : 2*macSize]
+	kb.ClientWriteKey = km[2*macSize : 2*macSize+keySize]
+	kb.ServerWriteKey = km[2*macSize+keySize:]
+	return kb
+}
+
+// KeyBlock holds directional keys.
+type KeyBlock struct {
+	ClientWriteKey, ServerWriteKey []byte
+	ClientWriteMAC, ServerWriteMAC []byte
+}
+
+// Seal produces records for one direction of a connection.
+type Seal struct {
+	suite   Suite
+	version uint16
+	mac     []byte // MAC key
+	block   cipher.Block
+	seq     uint64
+	// chaining state
+	stream  cipher.Stream  // SuiteStreamChained
+	lastCBC []byte         // SuiteCBCImplicitIV: previous record's last ciphertext block
+	ivSrc   func(b []byte) // explicit IV source (tests may override via SetIVSource)
+	ivCtr   uint64
+}
+
+// NewSeal creates a sealer. cipherKey/macKey come from DeriveKeys (ignored
+// for SuiteNull).
+func NewSeal(suite Suite, cipherKey, macKey []byte) (*Seal, error) {
+	s := &Seal{suite: suite, version: suite.Version(), mac: macKey}
+	if suite == SuiteNull {
+		return s, nil
+	}
+	b, err := aes.NewCipher(cipherKey)
+	if err != nil {
+		return nil, fmt.Errorf("tlsrec: %w", err)
+	}
+	s.block = b
+	switch suite {
+	case SuiteStreamChained:
+		iv := make([]byte, blockSize)
+		s.stream = cipher.NewCTR(b, iv)
+	case SuiteCBCImplicitIV:
+		s.lastCBC = make([]byte, blockSize) // initial IV: zero block
+	case SuiteCBCExplicitIV:
+		// Explicit IVs: deterministic counter-derived IVs keep the
+		// simulation reproducible while remaining per-record unique.
+		s.ivSrc = func(iv []byte) {
+			s.ivCtr++
+			binary.BigEndian.PutUint64(iv, 0x1157c0de)
+			binary.BigEndian.PutUint64(iv[8:], s.ivCtr)
+			s.block.Encrypt(iv, iv) // whiten
+		}
+	default:
+		return nil, ErrUnknownSuite
+	}
+	return s, nil
+}
+
+// Seq returns the next record's sequence number.
+func (s *Seal) Seq() uint64 { return s.seq }
+
+// Seal frames, MACs, and encrypts plaintext as one record of recType,
+// returning the full wire record (header included). The record consumes
+// one sequence number.
+func (s *Seal) Seal(recType byte, plaintext []byte) ([]byte, error) {
+	return s.seal(recType, plaintext, s.seq)
+}
+
+// SealWithSeq seals using an explicit sequence number for the MAC
+// pseudo-header (used by the uTLS explicit-record-number extension, §6.1).
+// The internal counter still advances by one.
+func (s *Seal) SealWithSeq(recType byte, plaintext []byte, seq uint64) ([]byte, error) {
+	return s.seal(recType, plaintext, seq)
+}
+
+func (s *Seal) seal(recType byte, plaintext []byte, macSeq uint64) ([]byte, error) {
+	if len(plaintext) > MaxPlaintext {
+		return nil, ErrTooLarge
+	}
+	var body []byte
+	switch s.suite {
+	case SuiteNull:
+		body = append([]byte(nil), plaintext...)
+	case SuiteStreamChained:
+		inner := append(append([]byte(nil), plaintext...), s.computeMAC(macSeq, recType, plaintext)...)
+		body = make([]byte, len(inner))
+		s.stream.XORKeyStream(body, inner)
+	case SuiteCBCImplicitIV:
+		padded := pad(append(append([]byte(nil), plaintext...), s.computeMAC(macSeq, recType, plaintext)...))
+		body = make([]byte, len(padded))
+		enc := cipher.NewCBCEncrypter(s.block, s.lastCBC)
+		enc.CryptBlocks(body, padded)
+		s.lastCBC = append(s.lastCBC[:0], body[len(body)-blockSize:]...)
+	case SuiteCBCExplicitIV:
+		padded := pad(append(append([]byte(nil), plaintext...), s.computeMAC(macSeq, recType, plaintext)...))
+		body = make([]byte, blockSize+len(padded))
+		s.ivSrc(body[:blockSize])
+		enc := cipher.NewCBCEncrypter(s.block, body[:blockSize])
+		enc.CryptBlocks(body[blockSize:], padded)
+	}
+	s.seq++
+	rec := make([]byte, HeaderSize+len(body))
+	rec[0] = recType
+	binary.BigEndian.PutUint16(rec[1:], s.version)
+	binary.BigEndian.PutUint16(rec[3:], uint16(len(body)))
+	copy(rec[HeaderSize:], body)
+	return rec, nil
+}
+
+// computeMAC computes HMAC-SHA256 over the TLS pseudo-header and plaintext:
+// seq(8) || type(1) || version(2) || length(2) || plaintext. The length in
+// the pseudo-header is the plaintext length, as in TLS.
+func (s *Seal) computeMAC(seq uint64, recType byte, plaintext []byte) []byte {
+	h := hmac.New(sha256.New, s.mac)
+	var hdr [13]byte
+	binary.BigEndian.PutUint64(hdr[:], seq)
+	hdr[8] = recType
+	binary.BigEndian.PutUint16(hdr[9:], s.version)
+	binary.BigEndian.PutUint16(hdr[11:], uint16(len(plaintext)))
+	h.Write(hdr[:])
+	h.Write(plaintext)
+	return h.Sum(nil)
+}
+
+// pad applies TLS-style padding to a whole number of blocks: n bytes each
+// holding the value n-1.
+func pad(b []byte) []byte {
+	padLen := blockSize - len(b)%blockSize
+	for i := 0; i < padLen; i++ {
+		b = append(b, byte(padLen-1))
+	}
+	return b
+}
+
+// unpad validates and strips TLS padding.
+func unpad(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, ErrBadRecord
+	}
+	padLen := int(b[len(b)-1]) + 1
+	if padLen > len(b) || padLen > blockSize {
+		return nil, ErrBadRecord
+	}
+	for _, v := range b[len(b)-padLen:] {
+		if int(v) != padLen-1 {
+			return nil, ErrBadRecord
+		}
+	}
+	return b[:len(b)-padLen], nil
+}
+
+// Open decrypts and authenticates records for one direction.
+type Open struct {
+	suite   Suite
+	version uint16
+	mac     []byte
+	block   cipher.Block
+	seq     uint64 // next expected sequence number (in-order path)
+	stream  cipher.Stream
+	lastCBC []byte
+}
+
+// NewOpen creates an opener with keys matching the peer's Seal.
+func NewOpen(suite Suite, cipherKey, macKey []byte) (*Open, error) {
+	o := &Open{suite: suite, version: suite.Version(), mac: macKey}
+	if suite == SuiteNull {
+		return o, nil
+	}
+	b, err := aes.NewCipher(cipherKey)
+	if err != nil {
+		return nil, fmt.Errorf("tlsrec: %w", err)
+	}
+	o.block = b
+	switch suite {
+	case SuiteStreamChained:
+		iv := make([]byte, blockSize)
+		o.stream = cipher.NewCTR(b, iv)
+	case SuiteCBCImplicitIV:
+		o.lastCBC = make([]byte, blockSize)
+	case SuiteCBCExplicitIV:
+	default:
+		return nil, ErrUnknownSuite
+	}
+	return o, nil
+}
+
+// Seq returns the next in-order record number.
+func (o *Open) Seq() uint64 { return o.seq }
+
+// ParseHeader validates a 5-byte header prefix and returns its fields.
+func ParseHeader(b []byte) (recType byte, version uint16, length int, err error) {
+	if len(b) < HeaderSize {
+		return 0, 0, 0, ErrBadRecord
+	}
+	recType = b[0]
+	version = binary.BigEndian.Uint16(b[1:])
+	length = int(binary.BigEndian.Uint16(b[3:]))
+	if length > MaxCiphertext {
+		return 0, 0, 0, ErrBadRecord
+	}
+	return recType, version, length, nil
+}
+
+// PlausibleHeader reports whether the 5 bytes look like a record header of
+// the given version: known type, exact version match, in-range length.
+// This is the scanning filter of uTLS §6.1 — false positives are possible
+// and are weeded out by the MAC check.
+func PlausibleHeader(b []byte, version uint16) bool {
+	if len(b) < HeaderSize {
+		return false
+	}
+	t := b[0]
+	if t != TypeAppData && t != TypeHandshake && t != TypeAlert && t != TypeChangeCipher {
+		return false
+	}
+	if binary.BigEndian.Uint16(b[1:]) != version {
+		return false
+	}
+	n := int(binary.BigEndian.Uint16(b[3:]))
+	return n > 0 && n <= MaxCiphertext
+}
+
+// Open processes the next record in stream order (header included),
+// advancing the in-order sequence counter and any chaining state.
+func (o *Open) Open(record []byte) (recType byte, plaintext []byte, err error) {
+	recType, plaintext, err = o.openCommon(record, o.seq, true)
+	if err == nil {
+		o.seq++
+	}
+	return recType, plaintext, err
+}
+
+// SkipSeq advances the in-order sequence counter without decrypting —
+// legal only for suites without cross-record chaining, where skipping a
+// record leaves no cipher state stale. uTLS uses this to avoid
+// re-decrypting records it already delivered out of order.
+func (o *Open) SkipSeq() error {
+	if !o.suite.SupportsOutOfOrder() {
+		return ErrOrderOnly
+	}
+	o.seq++
+	return nil
+}
+
+// OpenAt decrypts and authenticates a record independently of stream
+// position, authenticating against the given record number. Only valid for
+// out-of-order-capable suites. Chaining state and the in-order counter are
+// untouched.
+func (o *Open) OpenAt(record []byte, recNum uint64) (recType byte, plaintext []byte, err error) {
+	if !o.suite.SupportsOutOfOrder() {
+		return 0, nil, ErrOrderOnly
+	}
+	return o.openCommon(record, recNum, false)
+}
+
+// DecryptNoVerify decrypts an explicit-IV record without authenticating,
+// returning plaintext||MAC. Used by the explicit-record-number extension,
+// which must read the embedded record number before it can verify. The
+// caller MUST complete verification via VerifyMAC before trusting the data.
+func (o *Open) DecryptNoVerify(record []byte) (recType byte, inner []byte, err error) {
+	if o.suite != SuiteCBCExplicitIV {
+		return 0, nil, ErrOrderOnly
+	}
+	recType, _, length, err := ParseHeader(record)
+	if err != nil {
+		return 0, nil, err
+	}
+	body := record[HeaderSize:]
+	if len(body) != length {
+		return 0, nil, ErrBadRecord
+	}
+	if len(body) < blockSize || (len(body)-blockSize)%blockSize != 0 || len(body) == blockSize {
+		return 0, nil, ErrBadRecord
+	}
+	pt := make([]byte, len(body)-blockSize)
+	dec := cipher.NewCBCDecrypter(o.block, body[:blockSize])
+	dec.CryptBlocks(pt, body[blockSize:])
+	unpadded, err := unpad(pt)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(unpadded) < macSize {
+		return 0, nil, ErrBadRecord
+	}
+	return recType, unpadded, nil
+}
+
+// VerifyMAC checks inner = plaintext||mac against the pseudo-header built
+// from (recNum, recType) and returns the plaintext.
+func (o *Open) VerifyMAC(inner []byte, recNum uint64, recType byte) ([]byte, error) {
+	if len(inner) < macSize {
+		return nil, ErrBadRecord
+	}
+	plaintext := inner[:len(inner)-macSize]
+	gotMAC := inner[len(inner)-macSize:]
+	want := o.macFor(recNum, recType, plaintext)
+	if !hmac.Equal(gotMAC, want) {
+		return nil, ErrMACFailure
+	}
+	return plaintext, nil
+}
+
+func (o *Open) openCommon(record []byte, recNum uint64, inOrder bool) (byte, []byte, error) {
+	recType, version, length, err := ParseHeader(record)
+	if err != nil {
+		return 0, nil, err
+	}
+	if version != o.version {
+		return 0, nil, ErrBadRecord
+	}
+	body := record[HeaderSize:]
+	if len(body) != length {
+		return 0, nil, ErrBadRecord
+	}
+	switch o.suite {
+	case SuiteNull:
+		return recType, append([]byte(nil), body...), nil
+	case SuiteStreamChained:
+		if !inOrder {
+			return 0, nil, ErrOrderOnly
+		}
+		inner := make([]byte, len(body))
+		o.stream.XORKeyStream(inner, body)
+		pt, err := o.VerifyMAC(inner, recNum, recType)
+		if err != nil {
+			return 0, nil, err
+		}
+		return recType, pt, nil
+	case SuiteCBCImplicitIV:
+		if !inOrder {
+			return 0, nil, ErrOrderOnly
+		}
+		if len(body) == 0 || len(body)%blockSize != 0 {
+			return 0, nil, ErrBadRecord
+		}
+		pt := make([]byte, len(body))
+		dec := cipher.NewCBCDecrypter(o.block, o.lastCBC)
+		dec.CryptBlocks(pt, body)
+		o.lastCBC = append(o.lastCBC[:0], body[len(body)-blockSize:]...)
+		unpadded, err := unpad(pt)
+		if err != nil {
+			return 0, nil, err
+		}
+		ptOnly, err := o.VerifyMAC(unpadded, recNum, recType)
+		if err != nil {
+			return 0, nil, err
+		}
+		return recType, ptOnly, nil
+	case SuiteCBCExplicitIV:
+		recType2, inner, err := o.DecryptNoVerify(record)
+		if err != nil {
+			return 0, nil, err
+		}
+		pt, err := o.VerifyMAC(inner, recNum, recType2)
+		if err != nil {
+			return 0, nil, err
+		}
+		return recType2, pt, nil
+	}
+	return 0, nil, ErrUnknownSuite
+}
+
+func (o *Open) macFor(seq uint64, recType byte, plaintext []byte) []byte {
+	h := hmac.New(sha256.New, o.mac)
+	var hdr [13]byte
+	binary.BigEndian.PutUint64(hdr[:], seq)
+	hdr[8] = recType
+	binary.BigEndian.PutUint16(hdr[9:], o.version)
+	binary.BigEndian.PutUint16(hdr[11:], uint16(len(plaintext)))
+	h.Write(hdr[:])
+	h.Write(plaintext)
+	return h.Sum(nil)
+}

@@ -1,0 +1,312 @@
+// Package ucobs implements uCOBS (paper §5): a general-purpose datagram
+// delivery service atop TCP or uTCP streams.
+//
+// Each datagram is COBS-encoded (so its body contains no zero byte) and
+// written to the stream as 0x00 || cobs(msg) || 0x00 in a single
+// application write. Because records are delimited by a reserved byte value
+// on *both* ends (§5.3), a receiver holding an arbitrary fragment of the
+// stream can recognize and deliver any record that lies entirely within the
+// fragment — no preceding stream context needed — which is exactly what
+// out-of-order uTCP delivery requires, and it remains correct when
+// middleboxes re-segment the stream (paper Figure 4).
+//
+// On an unordered (uTCP) connection, records are delivered the moment all
+// their bytes arrive; on a plain TCP connection uCOBS degrades gracefully
+// to in-order record delivery. Either way each record is delivered exactly
+// once.
+package ucobs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"minion/internal/cobs"
+	"minion/internal/stream"
+	"minion/internal/tcp"
+)
+
+// Marker is the reserved delimiter byte value.
+const Marker byte = 0x00
+
+// DefaultMaxMessageSize bounds decoded datagram size (guards the decoder
+// against corrupt length runs).
+const DefaultMaxMessageSize = 256 * 1024
+
+// Errors.
+var (
+	ErrTooLarge = errors.New("ucobs: message exceeds maximum size")
+	ErrClosed   = errors.New("ucobs: connection closed")
+)
+
+// Options mirror the uTCP send header (paper §4.2/§7).
+type Options struct {
+	// Priority tag: lower value = higher priority (0 is highest).
+	Priority uint32
+	// Squash replaces queued untransmitted messages with the same tag.
+	Squash bool
+}
+
+// Stats counts protocol activity. CPUEncode/CPUDecode accumulate the real
+// processor time spent in COBS encoding and in record scanning/decoding —
+// the "user time" the paper's Figure 6(a) reports.
+type Stats struct {
+	MessagesSent      int
+	MessagesDelivered int
+	DeliveredOOO      int // delivered from out-of-order fragments
+	BytesEncoded      int64
+	BytesDecoded      int64
+	CorruptRecords    int
+	CPUEncode         time.Duration
+	CPUDecode         time.Duration
+}
+
+// Conn is a uCOBS datagram connection bound to a TCP or uTCP stream.
+type Conn struct {
+	tc        *tcp.Conn
+	unordered bool
+
+	// Unordered receive state: local reassembly of uTCP fragments plus the
+	// delivered-interval set that enforces exactly-once record delivery.
+	// Delivered intervals cover whole frames (markers included), so
+	// adjacent frames coalesce and the set's first extent is the
+	// fully-consumed stream prefix.
+	asm       *stream.Assembler
+	delivered stream.IntervalSet
+
+	// Ordered (fallback) receive state: streaming COBS parser.
+	parseBuf []byte
+	inRecord bool
+
+	maxMsg    int
+	onMessage func(msg []byte)
+	recvQ     [][]byte
+	stats     Stats
+
+	encBuf []byte
+}
+
+// New binds a uCOBS connection to tc. If tc has the SO_UNORDERED receive
+// path enabled the out-of-order delivery machinery is used; otherwise uCOBS
+// falls back to in-order parsing (paper §5.2 "Reception").
+func New(tc *tcp.Conn) *Conn {
+	c := &Conn{
+		tc:        tc,
+		unordered: tc.Config().Unordered,
+		asm:       stream.NewAssembler(),
+		maxMsg:    DefaultMaxMessageSize,
+	}
+	tc.OnReadable(c.pump)
+	return c
+}
+
+// Transport returns the underlying TCP connection.
+func (c *Conn) Transport() *tcp.Conn { return c.tc }
+
+// Stats returns a copy of the counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// SetMaxMessageSize overrides the decoded-size bound.
+func (c *Conn) SetMaxMessageSize(n int) { c.maxMsg = n }
+
+// OnMessage registers the delivery callback. Messages delivered while no
+// callback is registered queue for Recv.
+func (c *Conn) OnMessage(fn func(msg []byte)) { c.onMessage = fn }
+
+// Recv pops a queued message; ok is false when none is pending.
+func (c *Conn) Recv() (msg []byte, ok bool) {
+	if len(c.recvQ) == 0 {
+		return nil, false
+	}
+	msg = c.recvQ[0]
+	c.recvQ = c.recvQ[1:]
+	return msg, true
+}
+
+// Pending returns the number of queued received messages.
+func (c *Conn) Pending() int { return len(c.recvQ) }
+
+// Send COBS-encodes msg, frames it with leading and trailing markers, and
+// writes it as one application write so uTCP send-side reordering preserves
+// the delimiting invariant (paper §5.2 "Transmission").
+func (c *Conn) Send(msg []byte, opt Options) error {
+	if len(msg) > c.maxMsg {
+		return ErrTooLarge
+	}
+	t0 := time.Now()
+	c.encBuf = c.encBuf[:0]
+	c.encBuf = append(c.encBuf, Marker)
+	c.encBuf = cobs.Encode(c.encBuf, msg)
+	c.encBuf = append(c.encBuf, Marker)
+	c.stats.CPUEncode += time.Since(t0)
+	c.stats.BytesEncoded += int64(len(c.encBuf))
+
+	_, err := c.tc.WriteMsg(c.encBuf, tcp.WriteOptions{Tag: opt.Priority, Squash: opt.Squash})
+	if err != nil {
+		return fmt.Errorf("ucobs: send: %w", err)
+	}
+	c.stats.MessagesSent++
+	return nil
+}
+
+// SendBufAvailable reports the transport send-buffer space (frame overhead
+// not included).
+func (c *Conn) SendBufAvailable() int { return c.tc.SendBufAvailable() }
+
+// Close closes the underlying stream.
+func (c *Conn) Close() { c.tc.Close() }
+
+// pump drains the transport and extracts deliverable records.
+func (c *Conn) pump() {
+	if c.unordered {
+		c.pumpUnordered()
+	} else {
+		c.pumpOrdered()
+	}
+}
+
+func (c *Conn) pumpUnordered() {
+	for {
+		d, err := c.tc.ReadUnordered()
+		if err != nil {
+			return
+		}
+		cumulative := uint64(0)
+		if d.InOrder {
+			cumulative = d.Offset + uint64(len(d.Data))
+		}
+		ext := c.asm.Insert(d.Offset, d.Data)
+		// Incremental scan: new bytes can only complete a record whose
+		// start lies in the undelivered gap below the insert point, so the
+		// scan window begins at the last delivered-frame boundary at or
+		// below the new data — everything earlier was consumed by prior
+		// deliveries. This keeps per-segment scan work proportional to
+		// outstanding (undelivered) data instead of the whole fragment.
+		scan := ext
+		if boundary := c.delivered.PrevEnd(d.Offset); boundary > scan.Start {
+			if boundary >= ext.End {
+				boundary = ext.End
+			}
+			scan.Start = boundary
+		}
+		c.scanExtent(scan, cumulative)
+	}
+}
+
+// scanExtent looks for complete records inside the (merged) fragment ext:
+// maximal nonzero runs whose bounding markers are both inside the fragment.
+// cumulative is the end of the in-order prefix (0 if this was an
+// out-of-order fragment) and distinguishes in-order deliveries for stats.
+func (c *Conn) scanExtent(ext stream.Extent, cumulative uint64) {
+	t0 := time.Now()
+	defer func() { c.stats.CPUDecode += time.Since(t0) }()
+	data, ok := c.asm.Bytes(ext)
+	if !ok {
+		return
+	}
+	base := ext.Start
+	i := 0
+	for i < len(data) {
+		if data[i] != Marker {
+			i++
+			continue
+		}
+		// data[i] is a marker: find the next marker.
+		j := i + 1
+		for j < len(data) && data[j] != Marker {
+			j++
+		}
+		if j >= len(data) {
+			break // run reaches fragment end: trailing marker not yet seen
+		}
+		if j > i+1 {
+			start, end := base+uint64(i+1), base+uint64(j)
+			if !c.delivered.Contains(start, end) {
+				c.deliverRecord(data[i+1:j], start, end, cumulative)
+			}
+		}
+		i = j
+	}
+	c.gc()
+}
+
+func (c *Conn) deliverRecord(enc []byte, start, end, cumulative uint64) {
+	// Mark the whole frame consumed, bounding markers included: frame i's
+	// trailing marker and frame i+1's leading marker are distinct bytes,
+	// so consecutive frames' ranges [start-1, end+1) tile the stream
+	// exactly and coalesce in the interval set.
+	c.delivered.Add(start-1, end+1)
+	msg, err := cobs.Decode(nil, enc)
+	if err != nil || len(msg) > c.maxMsg {
+		// A record that fails to decode means sender/stream corruption;
+		// drop it (TCP's checksum makes this effectively unreachable, but
+		// defensive decoding keeps one bad frame from wedging the scan).
+		c.stats.CorruptRecords++
+		return
+	}
+	c.stats.MessagesDelivered++
+	c.stats.BytesDecoded += int64(len(msg))
+	if cumulative == 0 || end > cumulative {
+		// The record was completed by an out-of-order fragment: it was
+		// delivered ahead of the cumulative point, i.e. before standard
+		// TCP could have delivered it.
+		c.stats.DeliveredOOO++
+	}
+	if c.onMessage != nil {
+		c.onMessage(msg)
+	} else {
+		c.recvQ = append(c.recvQ, msg)
+	}
+}
+
+// gc discards assembler data over the fully-delivered stream prefix: every
+// byte below the first delivered extent's end belongs to frames already
+// handed to the application, and the next frame's leading marker lies at or
+// beyond that boundary.
+func (c *Conn) gc() {
+	exts := c.delivered.Extents()
+	if len(exts) > 0 && exts[0].Start == 0 {
+		c.asm.Discard(exts[0].End)
+	}
+}
+
+// pumpOrdered implements the fallback path on plain TCP: a streaming parser
+// that skips to a marker, collects the nonzero run, and decodes at the
+// closing marker.
+func (c *Conn) pumpOrdered() {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := c.tc.Read(buf)
+		if n == 0 || err != nil {
+			return
+		}
+		t0 := time.Now()
+		for _, b := range buf[:n] {
+			if b == Marker {
+				if c.inRecord && len(c.parseBuf) > 0 {
+					msg, derr := cobs.Decode(nil, c.parseBuf)
+					if derr != nil || len(msg) > c.maxMsg {
+						c.stats.CorruptRecords++
+					} else {
+						c.stats.MessagesDelivered++
+						c.stats.BytesDecoded += int64(len(msg))
+						if c.onMessage != nil {
+							c.onMessage(msg)
+						} else {
+							c.recvQ = append(c.recvQ, msg)
+						}
+					}
+				}
+				c.parseBuf = c.parseBuf[:0]
+				c.inRecord = true
+				continue
+			}
+			if c.inRecord {
+				c.parseBuf = append(c.parseBuf, b)
+			}
+			// Bytes before the first marker ever seen are skipped: they
+			// belong to a record whose start we missed.
+		}
+		c.stats.CPUDecode += time.Since(t0)
+	}
+}

@@ -1,0 +1,117 @@
+// Package udp provides a simulated UDP datagram transport and the trivial
+// Minion shim over it (paper §3.2: "Minion also adds trivial shim layers
+// atop OS-level datagram transports, such as UDP and DCCP, to give
+// applications a consistent API for unordered delivery").
+//
+// UDP has no reliability, ordering, or congestion control: datagrams map
+// one-to-one onto network packets with 28 bytes of header overhead
+// (IP 20 + UDP 8).
+package udp
+
+import (
+	"errors"
+
+	"minion/internal/netem"
+)
+
+// HeaderOverhead is the per-datagram wire overhead (IP + UDP headers).
+const HeaderOverhead = 28
+
+// MaxDatagram is the largest datagram accepted (stand-in for the practical
+// pre-fragmentation bound applications observe).
+const MaxDatagram = 64 * 1024
+
+// ErrTooLarge is returned for datagrams over MaxDatagram.
+var ErrTooLarge = errors.New("udp: datagram too large")
+
+// Stats counts socket activity.
+type Stats struct {
+	Sent     int
+	Received int
+}
+
+// Conn is one endpoint of a simulated UDP flow. Wire it to a path with
+// SetOutput/Input like a tcp.Conn, or use Wire.
+type Conn struct {
+	out       func(payload []byte, wireSize int)
+	onMessage func(msg []byte)
+	recvQ     [][]byte
+	stats     Stats
+}
+
+// New returns an unwired UDP endpoint.
+func New() *Conn { return &Conn{} }
+
+// SetOutput sets the packet output function.
+func (c *Conn) SetOutput(out func(payload []byte, wireSize int)) { c.out = out }
+
+// Input delivers a datagram arriving from the network.
+func (c *Conn) Input(payload []byte) {
+	c.stats.Received++
+	msg := append([]byte(nil), payload...)
+	if c.onMessage != nil {
+		c.onMessage(msg)
+		return
+	}
+	c.recvQ = append(c.recvQ, msg)
+}
+
+// Send transmits one datagram. There is no buffering or blocking: UDP
+// either hands the packet to the path or (never) fails.
+func (c *Conn) Send(msg []byte) error {
+	if len(msg) > MaxDatagram {
+		return ErrTooLarge
+	}
+	c.stats.Sent++
+	if c.out != nil {
+		c.out(append([]byte(nil), msg...), len(msg)+HeaderOverhead)
+	}
+	return nil
+}
+
+// OnMessage registers the delivery callback; without one, datagrams queue.
+func (c *Conn) OnMessage(fn func(msg []byte)) { c.onMessage = fn }
+
+// Recv pops a queued datagram.
+func (c *Conn) Recv() (msg []byte, ok bool) {
+	if len(c.recvQ) == 0 {
+		return nil, false
+	}
+	msg = c.recvQ[0]
+	c.recvQ = c.recvQ[1:]
+	return msg, true
+}
+
+// Pending returns queued datagrams.
+func (c *Conn) Pending() int { return len(c.recvQ) }
+
+// Stats returns a copy of the counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// Wire connects two UDP endpoints through unidirectional path elements.
+func Wire(a, b *Conn, aToB, bToA netem.Element) {
+	a.SetOutput(func(payload []byte, size int) {
+		aToB.Send(netem.Packet{Data: payload, Size: size})
+	})
+	aToB.SetDeliver(func(p netem.Packet) { b.Input(p.Data.([]byte)) })
+	b.SetOutput(func(payload []byte, size int) {
+		bToA.Send(netem.Packet{Data: payload, Size: size})
+	})
+	bToA.SetDeliver(func(p netem.Packet) { a.Input(p.Data.([]byte)) })
+}
+
+// AttachDumbbellClient wires a client-side endpoint into a dumbbell flow.
+func AttachDumbbellClient(c *Conn, flow int, db *netem.Dumbbell) {
+	c.SetOutput(func(payload []byte, size int) {
+		db.SendUp(netem.Packet{Flow: flow, Data: payload, Size: size})
+	})
+	db.HandleAtClient(flow, func(p netem.Packet) { c.Input(p.Data.([]byte)) })
+}
+
+// AttachDumbbellServer is the mirror of AttachDumbbellClient.
+func AttachDumbbellServer(c *Conn, flow int, db *netem.Dumbbell) {
+	c.SetOutput(func(payload []byte, size int) {
+		db.SendDown(netem.Packet{Flow: flow, Data: payload, Size: size})
+	})
+	db.HandleAtServer(flow, func(p netem.Packet) { c.Input(p.Data.([]byte)) })
+}

@@ -1,0 +1,77 @@
+package udp
+
+import (
+	"testing"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+)
+
+func TestRoundtrip(t *testing.T) {
+	s := sim.New(1)
+	a, b := New(), New()
+	Wire(a, b,
+		netem.NewLink(s, netem.LinkConfig{Delay: 5 * time.Millisecond}),
+		netem.NewLink(s, netem.LinkConfig{Delay: 5 * time.Millisecond}))
+	var got []string
+	b.OnMessage(func(m []byte) { got = append(got, string(m)) })
+	a.Send([]byte("one"))
+	a.Send([]byte("two"))
+	s.Run()
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("got %v", got)
+	}
+	if a.Stats().Sent != 2 || b.Stats().Received != 2 {
+		t.Fatalf("stats: %+v %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestNoRetransmissionUnderLoss(t *testing.T) {
+	s := sim.New(2)
+	a, b := New(), New()
+	Wire(a, b,
+		netem.NewLink(s, netem.LinkConfig{Loss: netem.BernoulliLoss{P: 1.0}}),
+		netem.NewLink(s, netem.LinkConfig{}))
+	got := 0
+	b.OnMessage(func([]byte) { got++ })
+	for i := 0; i < 10; i++ {
+		a.Send([]byte("x"))
+	}
+	s.Run()
+	if got != 0 {
+		t.Fatalf("UDP delivered %d datagrams through a 100%% lossy link", got)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	a := New()
+	if err := a.Send(make([]byte, MaxDatagram+1)); err != ErrTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecvQueue(t *testing.T) {
+	a := New()
+	a.Input([]byte("q1"))
+	a.Input([]byte("q2"))
+	if a.Pending() != 2 {
+		t.Fatalf("pending = %d", a.Pending())
+	}
+	m, ok := a.Recv()
+	if !ok || string(m) != "q1" {
+		t.Fatalf("Recv = %q", m)
+	}
+}
+
+func TestWireOverheadAccounted(t *testing.T) {
+	s := sim.New(3)
+	a, b := New(), New()
+	link := netem.NewLink(s, netem.LinkConfig{})
+	Wire(a, b, link, netem.NewLink(s, netem.LinkConfig{}))
+	a.Send(make([]byte, 100))
+	s.Run()
+	if got := link.Stats().BytesSent; got != 100+HeaderOverhead {
+		t.Fatalf("wire bytes = %d, want %d", got, 100+HeaderOverhead)
+	}
+}

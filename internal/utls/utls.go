@@ -1,0 +1,669 @@
+// Package utls implements uTLS (paper §6): out-of-order datagram delivery
+// coaxed from the standard TCP-oriented TLS wire format.
+//
+// The sender is ordinary TLS: each datagram is sealed as one application-
+// data record. The receiver, when running over uTCP, additionally scans
+// out-of-order stream fragments for byte sequences that could be TLS record
+// headers (§6.1 "Locating record headers out-of-order"), predicts the
+// record's TLS record number from the in-order record count and the average
+// record size ("Record numbers used in MAC computation"), and attempts
+// MAC verification for a window of adjacent numbers. A MAC success both
+// authenticates the record and confirms the guessed boundary; a failure
+// means a false positive and scanning continues. Records a receiver cannot
+// verify out of order are still delivered in order later — uTLS never does
+// worse than TLS.
+//
+// Out-of-order delivery requires a ciphersuite without cross-record
+// chaining (TLS 1.1 explicit-IV CBC — "Encryption state chaining") and is
+// disabled under the null ciphersuite, which has no MAC to confirm guesses.
+//
+// The package also implements the paper's proposed future extension
+// (Config.ExplicitRecNum): the sender prepends the record number to the
+// plaintext under encryption, eliminating prediction and enabling
+// send-side prioritization, with no middlebox-visible wire change.
+package utls
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"minion/internal/stream"
+	"minion/internal/tcp"
+	"minion/internal/tlsrec"
+)
+
+// Errors.
+var (
+	ErrHandshake  = errors.New("utls: handshake failed")
+	ErrNotReady   = errors.New("utls: handshake not complete")
+	ErrTooLarge   = errors.New("utls: message exceeds record capacity")
+	ErrPriorities = errors.New("utls: send priorities require the explicit record number extension")
+)
+
+// defaultPSK is the simulated pre-shared secret standing in for the TLS key
+// exchange (documented substitution, DESIGN.md §6).
+var defaultPSK = []byte("minion-simulated-master-secret")
+
+// maxSealOverhead is the worst-case bytes Seal adds to a plaintext:
+// header(5) + explicit IV(16) + MAC(32) + padding(<=16) + record num(8).
+const maxSealOverhead = tlsrec.HeaderSize + 16 + 32 + 16 + 8
+
+// Options mirrors ucobs.Options for the uniform Minion datagram API.
+type Options struct {
+	Priority uint32
+	Squash   bool
+}
+
+// Config parameterizes a uTLS endpoint.
+type Config struct {
+	// Suite is the proposed/preferred ciphersuite class. Zero value means
+	// SuiteCBCExplicitIV (TLS 1.1), the class that permits out-of-order
+	// delivery. Negotiation picks the weaker of the two endpoints'
+	// proposals, mirroring "permit older ciphersuites to maximize
+	// interoperability, at the risk of sacrificing out-of-order delivery".
+	Suite tlsrec.Suite
+	// PredictWindow is how many adjacent record numbers are tried around
+	// the estimate (default 3 on each side).
+	PredictWindow int
+	// ExplicitRecNum enables the §6.1 extension on this endpoint; it takes
+	// effect only if both endpoints enable it (negotiated in the
+	// handshake, invisibly to middleboxes since the number travels under
+	// encryption).
+	ExplicitRecNum bool
+	// PSK overrides the simulated pre-shared secret.
+	PSK []byte
+}
+
+func (cfg Config) defaults() Config {
+	if cfg.Suite == tlsrec.SuiteNull {
+		cfg.Suite = tlsrec.SuiteCBCExplicitIV
+	}
+	if cfg.PredictWindow == 0 {
+		cfg.PredictWindow = 3
+	}
+	if cfg.PSK == nil {
+		cfg.PSK = defaultPSK
+	}
+	return cfg
+}
+
+// Stats counts protocol activity. CPUSeal/CPUOpen accumulate real
+// processor time spent sealing and opening/scanning records — the "user
+// time" the paper's Figure 6(b) compares between TLS and uTLS.
+type Stats struct {
+	MessagesSent      int
+	MessagesDelivered int
+	DeliveredOOO      int // delivered from out-of-order fragments
+	HeaderCandidates  int // plausible headers found in OOO fragments
+	FalsePositives    int // candidates that failed every MAC attempt
+	MACAttempts       int // OpenAt attempts during prediction
+	PredictExact      int // verified on first predicted number
+	BytesSealed       int64
+	CPUSeal           time.Duration
+	CPUOpen           time.Duration
+}
+
+type anchor struct {
+	off uint64 // stream offset of a verified record header (data epoch)
+	num uint64 // its record number
+}
+
+// Conn is a uTLS datagram connection over a TCP or uTCP stream.
+type Conn struct {
+	tc       *tcp.Conn
+	cfg      Config
+	isClient bool
+
+	handshakeDone bool
+	explicitOn    bool
+	suite         tlsrec.Suite
+	myRandom      []byte
+	seal          *tlsrec.Seal
+	open          *tlsrec.Open
+
+	unordered bool // OOO machinery active (uTCP + capable suite)
+
+	asm        *stream.Assembler
+	inOrderPos uint64 // stream offset of the next in-order record header
+	epochStart uint64 // stream offset where the data epoch begins
+
+	deliveredOOO map[uint64]bool // record numbers delivered ahead of order
+	scanned      stream.IntervalSet
+	anchors      []anchor
+	falsePos     map[uint64]bool
+	avgRecLen    float64
+
+	pendingSend [][]byte // app data queued before the handshake completes
+	pendingOpts []Options
+
+	onMessage func(msg []byte)
+	onReady   func()
+	recvQ     [][]byte
+	stats     Stats
+}
+
+// Client creates the client side of a uTLS connection over tc and starts
+// the handshake (tc should be connected or connecting).
+func Client(tc *tcp.Conn, cfg Config) *Conn {
+	c := newConn(tc, cfg, true)
+	c.startHandshake()
+	return c
+}
+
+// Server creates the server side of a uTLS connection over tc.
+func Server(tc *tcp.Conn, cfg Config) *Conn {
+	return newConn(tc, cfg, false)
+}
+
+func newConn(tc *tcp.Conn, cfg Config, isClient bool) *Conn {
+	c := &Conn{
+		tc:           tc,
+		cfg:          cfg.defaults(),
+		isClient:     isClient,
+		asm:          stream.NewAssembler(),
+		deliveredOOO: make(map[uint64]bool),
+		falsePos:     make(map[uint64]bool),
+	}
+	tc.OnReadable(c.pump)
+	return c
+}
+
+// Transport returns the underlying TCP connection.
+func (c *Conn) Transport() *tcp.Conn { return c.tc }
+
+// Stats returns a copy of the counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// Suite returns the negotiated ciphersuite (valid after the handshake).
+func (c *Conn) Suite() tlsrec.Suite { return c.suite }
+
+// ExplicitRecNumActive reports whether the §6.1 extension was negotiated.
+func (c *Conn) ExplicitRecNumActive() bool { return c.explicitOn }
+
+// Ready reports handshake completion.
+func (c *Conn) Ready() bool { return c.handshakeDone }
+
+// OnReady registers a callback invoked when the handshake completes.
+func (c *Conn) OnReady(fn func()) {
+	c.onReady = fn
+	if c.handshakeDone && fn != nil {
+		fn()
+	}
+}
+
+// OnMessage registers the delivery callback; without one, messages queue
+// for Recv.
+func (c *Conn) OnMessage(fn func(msg []byte)) { c.onMessage = fn }
+
+// Recv pops a queued message.
+func (c *Conn) Recv() (msg []byte, ok bool) {
+	if len(c.recvQ) == 0 {
+		return nil, false
+	}
+	msg = c.recvQ[0]
+	c.recvQ = c.recvQ[1:]
+	return msg, true
+}
+
+// Pending returns queued received messages.
+func (c *Conn) Pending() int { return len(c.recvQ) }
+
+// Close closes the underlying stream.
+func (c *Conn) Close() { c.tc.Close() }
+
+// handshake wire format: kind(1) random(16) suite(1) flags(1).
+const (
+	hsClientHello        byte = 1
+	hsServerHello        byte = 2
+	hsFlagExplicitRecNum byte = 1
+	hsLen                     = 19
+)
+
+func (c *Conn) startHandshake() {
+	c.myRandom = make([]byte, 16)
+	// Derive the random from the connection's deterministic environment:
+	// the simulation provides no crypto/rand, and key secrecy is out of
+	// scope for the reproduction (see DESIGN.md §6).
+	for i := range c.myRandom {
+		c.myRandom[i] = byte(i*31 + 7)
+	}
+	if c.isClient {
+		c.myRandom[0] = 0xC1
+	} else {
+		c.myRandom[0] = 0x5E
+	}
+	msg := make([]byte, hsLen)
+	if c.isClient {
+		msg[0] = hsClientHello
+	} else {
+		msg[0] = hsServerHello
+	}
+	copy(msg[1:17], c.myRandom)
+	msg[17] = byte(c.cfg.Suite)
+	if c.cfg.ExplicitRecNum {
+		msg[18] |= hsFlagExplicitRecNum
+	}
+	// Handshake records travel under the null "ciphersuite".
+	nullSeal, _ := tlsrec.NewSeal(tlsrec.SuiteNull, nil, nil)
+	rec, _ := nullSeal.Seal(tlsrec.TypeHandshake, msg)
+	c.tc.Write(rec)
+}
+
+func (c *Conn) handleHandshake(payload []byte) error {
+	if len(payload) != hsLen {
+		return ErrHandshake
+	}
+	kind := payload[0]
+	peerRandom := append([]byte(nil), payload[1:17]...)
+	peerSuite := tlsrec.Suite(payload[17])
+	peerExplicit := payload[18]&hsFlagExplicitRecNum != 0
+
+	if c.isClient && kind != hsServerHello || !c.isClient && kind != hsClientHello {
+		return ErrHandshake
+	}
+	if !c.isClient {
+		// Server replies with its own hello before deriving keys.
+		c.startHandshake()
+	}
+
+	// Negotiate: the weaker suite wins (interoperability-first); the
+	// extension requires both sides.
+	c.suite = c.cfg.Suite
+	if peerSuite < c.suite {
+		c.suite = peerSuite
+	}
+	c.explicitOn = c.cfg.ExplicitRecNum && peerExplicit && c.suite.SupportsOutOfOrder()
+
+	clientRandom, serverRandom := c.myRandom, peerRandom
+	if !c.isClient {
+		clientRandom, serverRandom = peerRandom, c.myRandom
+	}
+	kb := tlsrec.DeriveKeys(c.cfg.PSK, clientRandom, serverRandom)
+	var err error
+	if c.isClient {
+		c.seal, err = tlsrec.NewSeal(c.suite, kb.ClientWriteKey, kb.ClientWriteMAC)
+		if err == nil {
+			c.open, err = tlsrec.NewOpen(c.suite, kb.ServerWriteKey, kb.ServerWriteMAC)
+		}
+	} else {
+		c.seal, err = tlsrec.NewSeal(c.suite, kb.ServerWriteKey, kb.ServerWriteMAC)
+		if err == nil {
+			c.open, err = tlsrec.NewOpen(c.suite, kb.ClientWriteKey, kb.ClientWriteMAC)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("utls: key setup: %w", err)
+	}
+	c.handshakeDone = true
+	c.epochStart = c.inOrderPos
+	// Out-of-order machinery engages only with uTCP underneath and a
+	// chaining-free, authenticated suite (§6.1: under the null suite or a
+	// chained suite, uTLS "disables out-of-order delivery").
+	c.unordered = c.tc.Config().Unordered && c.suite.SupportsOutOfOrder()
+	c.avgRecLen = 0
+
+	if c.onReady != nil {
+		c.onReady()
+	}
+	// Flush writes queued during the handshake.
+	pend, opts := c.pendingSend, c.pendingOpts
+	c.pendingSend, c.pendingOpts = nil, nil
+	for i, m := range pend {
+		c.Send(m, opts[i])
+	}
+	return nil
+}
+
+// Send seals msg as one TLS application-data record and writes it to the
+// stream. Priorities (and squash) are honored only with the explicit
+// record number extension: standard uTLS cannot reorder its send queue
+// because the receiver predicts record numbers from stream position (§6.1).
+func (c *Conn) Send(msg []byte, opt Options) error {
+	if !c.handshakeDone {
+		c.pendingSend = append(c.pendingSend, append([]byte(nil), msg...))
+		c.pendingOpts = append(c.pendingOpts, opt)
+		return nil
+	}
+	limit := tlsrec.MaxPlaintext
+	if c.explicitOn {
+		limit -= 8
+	}
+	if len(msg) > limit {
+		return ErrTooLarge
+	}
+	// Sealing is not undoable: it consumes a record number and advances
+	// chaining state. Refuse up front if the transport cannot take the
+	// whole record, so a failed write never desynchronizes the receiver's
+	// record numbering.
+	if c.tc.SendBufAvailable() < len(msg)+maxSealOverhead {
+		return tcp.ErrWouldBlock
+	}
+	var rec []byte
+	var err error
+	if c.explicitOn {
+		seq := c.seal.Seq()
+		plaintext := make([]byte, 8+len(msg))
+		binary.BigEndian.PutUint64(plaintext, seq)
+		copy(plaintext[8:], msg)
+		t0 := time.Now()
+		rec, err = c.seal.Seal(tlsrec.TypeAppData, plaintext)
+		c.stats.CPUSeal += time.Since(t0)
+		if err != nil {
+			return err
+		}
+		c.stats.BytesSealed += int64(len(rec))
+		c.stats.MessagesSent++
+		_, werr := c.tc.WriteMsg(rec, tcp.WriteOptions{Tag: opt.Priority, Squash: opt.Squash})
+		return werr
+	}
+	if opt.Priority != 0 || opt.Squash {
+		return ErrPriorities
+	}
+	t0 := time.Now()
+	rec, err = c.seal.Seal(tlsrec.TypeAppData, msg)
+	c.stats.CPUSeal += time.Since(t0)
+	if err != nil {
+		return err
+	}
+	c.stats.BytesSealed += int64(len(rec))
+	c.stats.MessagesSent++
+	_, werr := c.tc.Write(rec)
+	return werr
+}
+
+// pump drains the transport.
+func (c *Conn) pump() {
+	if c.tc.Config().Unordered {
+		for {
+			d, err := c.tc.ReadUnordered()
+			if err != nil {
+				return
+			}
+			ext := c.asm.Insert(d.Offset, d.Data)
+			c.advanceInOrder()
+			if c.unordered && !d.InOrder {
+				// Incremental scan: only from the last verified record
+				// boundary below the new bytes — earlier regions were
+				// already scanned when their bytes arrived (false-positive
+				// offsets are cached; missed records fall back to the
+				// in-order path).
+				scan := ext
+				if b := c.scanned.PrevEnd(d.Offset); b > scan.Start && b < ext.End {
+					scan.Start = b
+				}
+				c.scanFragment(scan)
+			}
+			c.gc()
+		}
+	}
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := c.tc.Read(buf)
+		if n == 0 || err != nil {
+			return
+		}
+		c.asm.Insert(c.asm.ContiguousEnd(c.inOrderPos), buf[:n])
+		c.advanceInOrder()
+		c.gc()
+	}
+}
+
+// advanceInOrder parses complete records at the in-order position — the
+// standard TLS receive path. Records already delivered out-of-order are
+// skipped (exactly-once), but still parsed so sequence numbers and chaining
+// state advance.
+func (c *Conn) advanceInOrder() {
+	for {
+		end := c.asm.ContiguousEnd(c.inOrderPos)
+		if end < c.inOrderPos+tlsrec.HeaderSize {
+			return
+		}
+		hdr, ok := c.asm.Bytes(stream.Extent{Start: c.inOrderPos, End: c.inOrderPos + tlsrec.HeaderSize})
+		if !ok {
+			return
+		}
+		_, _, length, err := tlsrec.ParseHeader(hdr)
+		if err != nil {
+			// In-order garbage means a broken peer; nothing better to do
+			// than stall (TLS would alert and abort).
+			return
+		}
+		recEnd := c.inOrderPos + tlsrec.HeaderSize + uint64(length)
+		if end < recEnd {
+			return
+		}
+		record, ok := c.asm.Bytes(stream.Extent{Start: c.inOrderPos, End: recEnd})
+		if !ok {
+			return
+		}
+		c.processInOrderRecord(record)
+		c.inOrderPos = recEnd
+	}
+}
+
+func (c *Conn) processInOrderRecord(record []byte) {
+	t0 := time.Now()
+	defer func() { c.stats.CPUOpen += time.Since(t0) }()
+	if !c.handshakeDone {
+		nullOpen, _ := tlsrec.NewOpen(tlsrec.SuiteNull, nil, nil)
+		typ, payload, err := nullOpen.Open(record)
+		if err == nil && typ == tlsrec.TypeHandshake {
+			c.handleHandshake(payload)
+		}
+		return
+	}
+	if c.explicitOn {
+		recNum, msg, err := c.openExplicit(record)
+		if err != nil {
+			return
+		}
+		if c.deliveredOOO[recNum] {
+			delete(c.deliveredOOO, recNum)
+			c.noteRecord(len(record))
+			return
+		}
+		c.noteRecord(len(record))
+		c.deliver(msg, false)
+		return
+	}
+	recNum := c.open.Seq()
+	if c.deliveredOOO[recNum] {
+		// Already delivered out of order: advance the record counter
+		// without paying for decryption again (the wire bytes were MAC-
+		// verified when delivered). This keeps the uTLS receiver's cost
+		// close to TLS's (paper: within 7%).
+		if err := c.open.SkipSeq(); err == nil {
+			delete(c.deliveredOOO, recNum)
+			c.noteRecord(len(record))
+			return
+		}
+	}
+	typ, msg, err := c.open.Open(record)
+	if err != nil || typ != tlsrec.TypeAppData {
+		return
+	}
+	c.noteRecord(len(record))
+	c.deliver(msg, false)
+}
+
+func (c *Conn) openExplicit(record []byte) (uint64, []byte, error) {
+	typ, inner, err := c.open.DecryptNoVerify(record)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(inner) < 8+32 {
+		return 0, nil, tlsrec.ErrBadRecord
+	}
+	plaintextLen := len(inner) - 32
+	recNum := binary.BigEndian.Uint64(inner[:8])
+	pt, err := c.open.VerifyMAC(inner, recNum, typ)
+	if err != nil {
+		return 0, nil, err
+	}
+	_ = plaintextLen
+	return recNum, pt[8:], nil
+}
+
+// scanFragment is the uTLS out-of-order path: hunt for plausible record
+// headers in a fragment beyond the in-order position, guess record numbers,
+// and let the MAC arbitrate (§6.1).
+func (c *Conn) scanFragment(ext stream.Extent) {
+	t0 := time.Now()
+	defer func() { c.stats.CPUOpen += time.Since(t0) }()
+	if ext.End <= c.inOrderPos {
+		return
+	}
+	if ext.Start < c.inOrderPos {
+		ext.Start = c.inOrderPos
+	}
+	data, ok := c.asm.Bytes(ext)
+	if !ok {
+		return
+	}
+	version := c.suite.Version()
+	off := 0
+	for off+tlsrec.HeaderSize <= len(data) {
+		absOff := ext.Start + uint64(off)
+		if c.scanned.ContainsPoint(absOff) || c.falsePos[absOff] {
+			off++
+			continue
+		}
+		hdr := data[off : off+tlsrec.HeaderSize]
+		if !tlsrec.PlausibleHeader(hdr, version) {
+			off++
+			continue
+		}
+		_, _, length, err := tlsrec.ParseHeader(hdr)
+		if err != nil {
+			off++
+			continue
+		}
+		recEnd := off + tlsrec.HeaderSize + length
+		if recEnd > len(data) {
+			// The record doesn't lie fully in this fragment: cannot verify
+			// yet; it may complete when the fragment grows.
+			off++
+			continue
+		}
+		c.stats.HeaderCandidates++
+		record := data[off:recEnd]
+		if recNum, msg, ok := c.tryVerify(record, absOff); ok {
+			c.deliveredOOO[recNum] = true
+			c.scanned.Add(absOff, absOff+uint64(len(record)))
+			c.anchors = append(c.anchors, anchor{off: absOff, num: recNum})
+			c.noteRecord(len(record))
+			c.deliver(msg, true)
+			off = recEnd
+			continue
+		}
+		c.stats.FalsePositives++
+		c.falsePos[absOff] = true
+		off++
+	}
+}
+
+// tryVerify authenticates a candidate record, either via the embedded
+// explicit record number or by trying predicted numbers.
+func (c *Conn) tryVerify(record []byte, absOff uint64) (uint64, []byte, bool) {
+	if c.explicitOn {
+		c.stats.MACAttempts++
+		recNum, msg, err := c.openExplicit(record)
+		if err != nil {
+			return 0, nil, false
+		}
+		if c.deliveredOOO[recNum] {
+			return 0, nil, false // duplicate fragment of a delivered record
+		}
+		c.stats.PredictExact++
+		return recNum, msg, true
+	}
+	est := c.predictRecNum(absOff)
+	for k := 0; k <= c.cfg.PredictWindow; k++ {
+		for _, sign := range []int64{1, -1} {
+			if k == 0 && sign == -1 {
+				continue
+			}
+			n := int64(est) + sign*int64(k)
+			if n < 0 {
+				continue
+			}
+			recNum := uint64(n)
+			if c.deliveredOOO[recNum] {
+				continue
+			}
+			c.stats.MACAttempts++
+			typ, msg, err := c.open.OpenAt(record, recNum)
+			if err == nil && typ == tlsrec.TypeAppData {
+				if k == 0 {
+					c.stats.PredictExact++
+				}
+				return recNum, msg, true
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+// predictRecNum estimates the record number of a record starting at stream
+// offset absOff: from the nearest verified anchor at or below absOff (the
+// in-order position is always an anchor), advance by gap/averageRecordSize
+// (§6.1: "heuristics such as the average size of past records").
+func (c *Conn) predictRecNum(absOff uint64) uint64 {
+	baseOff := c.inOrderPos
+	baseNum := c.open.Seq()
+	for _, a := range c.anchors {
+		if a.off <= absOff && a.off > baseOff {
+			baseOff = a.off
+			baseNum = a.num
+		}
+		// Anchors above can bound from the other side too; nearest-below
+		// is the primary estimator.
+	}
+	avg := c.avgRecLen
+	if avg <= 0 {
+		avg = 512 // before any sample, assume mid-size records
+	}
+	gap := float64(absOff - baseOff)
+	return baseNum + uint64(gap/avg+0.5)
+}
+
+// noteRecord updates the running average record size.
+func (c *Conn) noteRecord(wireLen int) {
+	if c.avgRecLen == 0 {
+		c.avgRecLen = float64(wireLen)
+		return
+	}
+	c.avgRecLen = 0.875*c.avgRecLen + 0.125*float64(wireLen)
+}
+
+func (c *Conn) deliver(msg []byte, ooo bool) {
+	c.stats.MessagesDelivered++
+	if ooo {
+		c.stats.DeliveredOOO++
+	}
+	out := append([]byte(nil), msg...)
+	if c.onMessage != nil {
+		c.onMessage(out)
+	} else {
+		c.recvQ = append(c.recvQ, out)
+	}
+}
+
+// gc discards consumed stream data. Everything below the in-order position
+// has been parsed; fragments above stay until the in-order pass reaches
+// them (the uTLS receiver keeps OOO-delivered records to re-parse them for
+// counter advancement, like the prototype).
+func (c *Conn) gc() {
+	c.asm.Discard(c.inOrderPos)
+	if len(c.anchors) > 64 {
+		keep := c.anchors[:0]
+		for _, a := range c.anchors {
+			if a.off >= c.inOrderPos {
+				keep = append(keep, a)
+			}
+		}
+		c.anchors = keep
+	}
+}

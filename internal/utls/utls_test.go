@@ -1,0 +1,392 @@
+package utls
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/tlsrec"
+)
+
+type harness struct {
+	s        *sim.Simulator
+	cli, srv *Conn
+	tcli     *tcp.Conn
+	tsrv     *tcp.Conn
+	got      [][]byte
+}
+
+func fastLink() netem.LinkConfig {
+	return netem.LinkConfig{Rate: 10_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 30}
+}
+
+func newHarness(t *testing.T, seed int64, cliCfg, srvCfg Config, sndTCP, rcvTCP tcp.Config, fwd, back netem.LinkConfig) *harness {
+	t.Helper()
+	h := &harness{s: sim.New(seed)}
+	sndTCP.NoDelay = true
+	h.tcli, h.tsrv = tcp.NewPair(h.s, sndTCP, rcvTCP, netem.NewLink(h.s, fwd), netem.NewLink(h.s, back))
+	h.srv = Server(h.tsrv, srvCfg)
+	h.cli = Client(h.tcli, cliCfg)
+	h.srv.OnMessage(func(m []byte) { h.got = append(h.got, append([]byte(nil), m...)) })
+	return h
+}
+
+func TestHandshakeNegotiation(t *testing.T) {
+	h := newHarness(t, 1, Config{}, Config{}, tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	h.s.RunUntil(2 * time.Second)
+	if !h.cli.Ready() || !h.srv.Ready() {
+		t.Fatal("handshake incomplete")
+	}
+	if h.cli.Suite() != tlsrec.SuiteCBCExplicitIV || h.srv.Suite() != tlsrec.SuiteCBCExplicitIV {
+		t.Fatalf("negotiated %v/%v, want CBC-explicit both", h.cli.Suite(), h.srv.Suite())
+	}
+}
+
+func TestNegotiationPicksWeakerSuite(t *testing.T) {
+	h := newHarness(t, 2,
+		Config{Suite: tlsrec.SuiteCBCExplicitIV},
+		Config{Suite: tlsrec.SuiteCBCImplicitIV},
+		tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	h.s.RunUntil(2 * time.Second)
+	if h.cli.Suite() != tlsrec.SuiteCBCImplicitIV || h.srv.Suite() != tlsrec.SuiteCBCImplicitIV {
+		t.Fatalf("negotiated %v/%v, want implicit-IV both", h.cli.Suite(), h.srv.Suite())
+	}
+}
+
+func TestRoundtripOrderedAllSuites(t *testing.T) {
+	for _, suite := range []tlsrec.Suite{tlsrec.SuiteStreamChained, tlsrec.SuiteCBCImplicitIV, tlsrec.SuiteCBCExplicitIV} {
+		t.Run(suite.String(), func(t *testing.T) {
+			h := newHarness(t, 3, Config{Suite: suite}, Config{Suite: suite}, tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+			h.s.RunUntil(2 * time.Second)
+			var want [][]byte
+			for i := 0; i < 30; i++ {
+				m := []byte(fmt.Sprintf("secret-%02d \x17\x03\x02", i))
+				want = append(want, m)
+				if err := h.cli.Send(m, Options{}); err != nil {
+					t.Fatalf("Send: %v", err)
+				}
+			}
+			h.s.RunFor(10 * time.Second)
+			if len(h.got) != len(want) {
+				t.Fatalf("delivered %d, want %d", len(h.got), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(h.got[i], want[i]) {
+					t.Fatalf("msg %d mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+func TestSendBeforeHandshakeQueues(t *testing.T) {
+	h := newHarness(t, 4, Config{}, Config{}, tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	// Send immediately, before any handshake roundtrip.
+	h.cli.Send([]byte("early"), Options{})
+	h.s.RunUntil(5 * time.Second)
+	if len(h.got) != 1 || string(h.got[0]) != "early" {
+		t.Fatalf("early send lost: %v", h.got)
+	}
+}
+
+func TestOutOfOrderDeliveryUnderLoss(t *testing.T) {
+	fwd := fastLink()
+	fwd.Loss = netem.BernoulliLoss{P: 0.05}
+	h := newHarness(t, 5, Config{}, Config{},
+		tcp.Config{}, tcp.Config{Unordered: true}, fwd, fastLink())
+	h.s.RunUntil(2 * time.Second)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := h.cli.Send([]byte(fmt.Sprintf("rec-%04d", i)), Options{}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	h.s.RunFor(2 * time.Minute)
+	if len(h.got) != n {
+		t.Fatalf("delivered %d, want %d", len(h.got), n)
+	}
+	seen := map[string]bool{}
+	for _, m := range h.got {
+		if seen[string(m)] {
+			t.Fatalf("duplicate delivery %q", m)
+		}
+		seen[string(m)] = true
+	}
+	st := h.srv.Stats()
+	if st.DeliveredOOO == 0 {
+		t.Error("no out-of-order deliveries under 5% loss")
+	}
+	if st.MACAttempts == 0 {
+		t.Error("no MAC-verified predictions")
+	}
+	t.Logf("uTLS stats: %+v", st)
+}
+
+func TestChainedSuiteDisablesOOO(t *testing.T) {
+	// TLS 1.0 implicit IV over uTCP: out-of-order delivery must be
+	// disabled, everything arrives in order, zero OOO deliveries.
+	fwd := fastLink()
+	fwd.Loss = netem.BernoulliLoss{P: 0.03}
+	h := newHarness(t, 6, Config{Suite: tlsrec.SuiteCBCImplicitIV}, Config{Suite: tlsrec.SuiteCBCImplicitIV},
+		tcp.Config{}, tcp.Config{Unordered: true}, fwd, fastLink())
+	h.s.RunUntil(2 * time.Second)
+	const n = 100
+	for i := 0; i < n; i++ {
+		h.cli.Send([]byte(fmt.Sprintf("ord-%03d", i)), Options{})
+	}
+	h.s.RunFor(time.Minute)
+	if len(h.got) != n {
+		t.Fatalf("delivered %d, want %d", len(h.got), n)
+	}
+	for i := 0; i < n; i++ {
+		if string(h.got[i]) != fmt.Sprintf("ord-%03d", i) {
+			t.Fatalf("order violated at %d: %q", i, h.got[i])
+		}
+	}
+	if h.srv.Stats().DeliveredOOO != 0 {
+		t.Fatalf("chained suite delivered %d OOO", h.srv.Stats().DeliveredOOO)
+	}
+}
+
+func TestExplicitRecNumExtension(t *testing.T) {
+	fwd := fastLink()
+	fwd.Loss = netem.BernoulliLoss{P: 0.05}
+	h := newHarness(t, 7,
+		Config{ExplicitRecNum: true}, Config{ExplicitRecNum: true},
+		tcp.Config{UnorderedSend: true}, tcp.Config{Unordered: true}, fwd, fastLink())
+	h.s.RunUntil(2 * time.Second)
+	if !h.cli.ExplicitRecNumActive() || !h.srv.ExplicitRecNumActive() {
+		t.Fatal("extension not negotiated")
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		// Priorities are legal with the extension.
+		if err := h.cli.Send([]byte(fmt.Sprintf("x-%04d", i)), Options{Priority: uint32(i % 3)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	h.s.RunFor(2 * time.Minute)
+	if len(h.got) != n {
+		t.Fatalf("delivered %d, want %d", len(h.got), n)
+	}
+	seen := map[string]bool{}
+	for _, m := range h.got {
+		if seen[string(m)] {
+			t.Fatalf("duplicate %q", m)
+		}
+		seen[string(m)] = true
+	}
+	st := h.srv.Stats()
+	if st.DeliveredOOO == 0 {
+		t.Error("extension path had no OOO deliveries")
+	}
+}
+
+func TestExplicitRecNumRequiresBothSides(t *testing.T) {
+	h := newHarness(t, 8, Config{ExplicitRecNum: true}, Config{},
+		tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	h.s.RunUntil(2 * time.Second)
+	if h.cli.ExplicitRecNumActive() || h.srv.ExplicitRecNumActive() {
+		t.Fatal("extension active without mutual agreement")
+	}
+}
+
+func TestPrioritiesRejectedWithoutExtension(t *testing.T) {
+	h := newHarness(t, 9, Config{}, Config{}, tcp.Config{UnorderedSend: true}, tcp.Config{}, fastLink(), fastLink())
+	h.s.RunUntil(2 * time.Second)
+	if err := h.cli.Send([]byte("hi"), Options{Priority: 1}); err != ErrPriorities {
+		t.Fatalf("err = %v, want ErrPriorities", err)
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	h := newHarness(t, 10, Config{}, Config{}, tcp.Config{Unordered: true}, tcp.Config{Unordered: true}, fastLink(), fastLink())
+	var cliGot [][]byte
+	h.cli.OnMessage(func(m []byte) { cliGot = append(cliGot, append([]byte(nil), m...)) })
+	h.s.RunUntil(2 * time.Second)
+	h.cli.Send([]byte("ping"), Options{})
+	h.srv.Send([]byte("pong"), Options{})
+	h.s.RunFor(5 * time.Second)
+	if len(h.got) != 1 || string(h.got[0]) != "ping" {
+		t.Fatalf("server got %v", h.got)
+	}
+	if len(cliGot) != 1 || string(cliGot[0]) != "pong" {
+		t.Fatalf("client got %v", cliGot)
+	}
+}
+
+func TestNoBandwidthOverheadBeyondTLS(t *testing.T) {
+	// Paper: "uTLS adds no bandwidth overhead beyond standard TLS 1.1."
+	// Identical payload sequences must produce identical sealed byte
+	// counts whether or not the receiver runs unordered.
+	run := func(unordered bool) int64 {
+		rcv := tcp.Config{Unordered: unordered}
+		h := newHarness(t, 11, Config{}, Config{}, tcp.Config{}, rcv, fastLink(), fastLink())
+		h.s.RunUntil(2 * time.Second)
+		for i := 0; i < 50; i++ {
+			h.cli.Send(make([]byte, 512), Options{})
+		}
+		h.s.RunFor(10 * time.Second)
+		return h.cli.Stats().BytesSealed
+	}
+	plain, unord := run(false), run(true)
+	if plain != unord {
+		t.Fatalf("sealed bytes differ: %d vs %d", plain, unord)
+	}
+}
+
+func TestMessageTooLarge(t *testing.T) {
+	h := newHarness(t, 12, Config{}, Config{}, tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	h.s.RunUntil(2 * time.Second)
+	if err := h.cli.Send(make([]byte, tlsrec.MaxPlaintext+1), Options{}); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestRecvQueueWithoutHandler(t *testing.T) {
+	h := newHarness(t, 13, Config{}, Config{}, tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	h.srv.OnMessage(nil)
+	h.s.RunUntil(2 * time.Second)
+	h.cli.Send([]byte("queued"), Options{})
+	h.s.RunFor(3 * time.Second)
+	if h.srv.Pending() != 1 {
+		t.Fatalf("pending = %d", h.srv.Pending())
+	}
+	m, ok := h.srv.Recv()
+	if !ok || string(m) != "queued" {
+		t.Fatalf("Recv = %q/%v", m, ok)
+	}
+}
+
+// Variable record sizes stress record-number prediction: the estimator must
+// recover via the ± window or fall back to in-order delivery, never
+// duplicate or corrupt.
+func TestPredictionWithVariableRecordSizes(t *testing.T) {
+	fwd := fastLink()
+	fwd.Loss = netem.BernoulliLoss{P: 0.04}
+	h := newHarness(t, 14, Config{PredictWindow: 4}, Config{PredictWindow: 4},
+		tcp.Config{}, tcp.Config{Unordered: true}, fwd, fastLink())
+	h.s.RunUntil(2 * time.Second)
+	r := rand.New(rand.NewSource(99))
+	const n = 250
+	want := map[string]bool{}
+	var queue [][]byte
+	for i := 0; i < n; i++ {
+		size := 10 + r.Intn(2000)
+		m := []byte(fmt.Sprintf("v-%04d-%s", i, bytes.Repeat([]byte{'z'}, size)))
+		want[string(m)] = true
+		queue = append(queue, m)
+	}
+	var pump func()
+	pump = func() {
+		for len(queue) > 0 {
+			if err := h.cli.Send(queue[0], Options{}); err != nil {
+				return // send buffer full; resume on writable
+			}
+			queue = queue[1:]
+		}
+	}
+	h.tcli.OnWritable(pump)
+	h.s.Schedule(0, pump)
+	h.s.RunFor(3 * time.Minute)
+	if len(queue) > 0 {
+		t.Fatalf("sender stalled with %d queued", len(queue))
+	}
+	if len(h.got) != n {
+		sentStats := h.cli.Stats()
+		t.Fatalf("delivered %d, want %d (cli=%+v srv=%+v)", len(h.got), n, sentStats, h.srv.Stats())
+	}
+	for _, m := range h.got {
+		if !want[string(m)] {
+			t.Fatal("corrupted or duplicated message")
+		}
+		delete(want, string(m))
+	}
+	t.Logf("stats: %+v", h.srv.Stats())
+}
+
+// Property: lossy + reordering + duplicating path, random payload sizes:
+// exactly-once, content-intact delivery.
+func TestPropertyExactlyOnceIntact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fwd := fastLink()
+		fwd.Loss = netem.BernoulliLoss{P: 0.03}
+		fwd.ReorderProb = 0.05
+		fwd.ReorderDelay = 4 * time.Millisecond
+		fwd.DuplicateProb = 0.02
+		s := sim.New(seed ^ 0x7715)
+		tcli, tsrv := tcp.NewPair(s, tcp.Config{NoDelay: true}, tcp.Config{Unordered: true},
+			netem.NewLink(s, fwd), netem.NewLink(s, fastLink()))
+		srv := Server(tsrv, Config{})
+		cli := Client(tcli, Config{})
+		var got [][]byte
+		srv.OnMessage(func(m []byte) { got = append(got, append([]byte(nil), m...)) })
+		s.RunUntil(2 * time.Second)
+		n := r.Intn(40) + 1
+		counts := map[string]int{}
+		for i := 0; i < n; i++ {
+			m := make([]byte, r.Intn(1500)+1)
+			r.Read(m)
+			counts[string(m)]++
+			if err := cli.Send(m, Options{}); err != nil {
+				return false
+			}
+		}
+		s.RunFor(2 * time.Minute)
+		if len(got) != n {
+			return false
+		}
+		for _, m := range got {
+			counts[string(m)]--
+			if counts[string(m)] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Adversarial framing: payloads that look exactly like TLS record headers
+// must not confuse the scanner (the MAC weeds out false positives).
+func TestFalsePositiveHeadersInPayload(t *testing.T) {
+	fwd := fastLink()
+	fwd.Loss = netem.BernoulliLoss{P: 0.08}
+	h := newHarness(t, 15, Config{}, Config{},
+		tcp.Config{}, tcp.Config{Unordered: true}, fwd, fastLink())
+	h.s.RunUntil(2 * time.Second)
+	// Fill payloads with fake headers: type 23, version 3.2, small lengths.
+	fake := bytes.Repeat([]byte{0x17, 0x03, 0x02, 0x00, 0x30}, 100)
+	const n = 150
+	for i := 0; i < n; i++ {
+		m := append([]byte(fmt.Sprintf("f-%04d|", i)), fake...)
+		if err := h.cli.Send(m, Options{}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	h.s.RunFor(2 * time.Minute)
+	if len(h.got) != n {
+		t.Fatalf("delivered %d, want %d", len(h.got), n)
+	}
+	seen := map[string]bool{}
+	for _, m := range h.got {
+		if seen[string(m)] {
+			t.Fatal("duplicate")
+		}
+		seen[string(m)] = true
+	}
+	st := h.srv.Stats()
+	if st.FalsePositives == 0 {
+		t.Log("note: no false positives encountered (loss pattern may not have exposed fake headers)")
+	}
+	t.Logf("stats: %+v", st)
+}

@@ -1,0 +1,280 @@
+// Package voip models the paper's conferencing workload (§8.2): a codec
+// emitting fixed-interval voice frames (the SPEEX ultra-wideband profile:
+// 20 ms frames at 256 kbps), a playout jitter buffer, burst-loss
+// accounting, and a perceptual quality estimator.
+//
+// Quality substitution (DESIGN.md §6): the paper scores audio with ITU
+// PESQ by comparing decoded waveforms. Reproducing a DSP pipeline is out of
+// scope, so quality is estimated with the ITU-T G.107 E-model, the standard
+// computational stand-in: a rating R is reduced by delay impairment and by
+// (burst-weighted) frame loss, then mapped to a MOS-like 1.0–4.5 score.
+// The estimator preserves exactly the structure the figure demonstrates —
+// quality falls with loss, burstiness and delay — so relative transport
+// comparisons (the paper's point) carry over.
+package voip
+
+import (
+	"encoding/binary"
+	"time"
+
+	"minion/internal/metrics"
+	"minion/internal/sim"
+)
+
+// Codec describes a constant-bitrate frame source.
+type Codec struct {
+	FrameInterval time.Duration
+	Bitrate       int // bits per second
+}
+
+// SpeexUWB is the paper's codec profile: ultra-wideband (32 kHz) SPEEX at
+// a 256 kbps average rate, one frame every 20 ms.
+var SpeexUWB = Codec{FrameInterval: 20 * time.Millisecond, Bitrate: 256_000}
+
+// FrameSize returns the payload bytes per frame.
+func (c Codec) FrameSize() int {
+	return int(float64(c.Bitrate) / 8 * c.FrameInterval.Seconds())
+}
+
+// frameHeader is the encoded per-frame header: sequence number.
+const frameHeader = 4
+
+// EncodeFrame builds a frame payload carrying its sequence number.
+func EncodeFrame(seq int, size int) []byte {
+	if size < frameHeader {
+		size = frameHeader
+	}
+	f := make([]byte, size)
+	binary.BigEndian.PutUint32(f, uint32(seq))
+	for i := frameHeader; i < size; i++ {
+		f[i] = byte(seq + i) // pseudo-audio
+	}
+	return f
+}
+
+// DecodeFrameSeq extracts the sequence number.
+func DecodeFrameSeq(f []byte) (int, bool) {
+	if len(f) < frameHeader {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint32(f)), true
+}
+
+type frameRecord struct {
+	sentAt    time.Duration
+	arrivedAt time.Duration // -1 if never
+}
+
+// Call drives one simulated VoIP call and records per-frame fate.
+type Call struct {
+	s      *sim.Simulator
+	codec  Codec
+	n      int
+	jitter time.Duration // playout buffer depth
+	sendFn func(seq int, payload []byte)
+
+	startAt time.Duration
+	frames  []frameRecord
+}
+
+// NewCall prepares a call of n frames with the given jitter buffer depth.
+// sendFn transmits a frame over whatever transport the experiment wires up;
+// the receiving side must call FrameArrived when a frame is decoded.
+func NewCall(s *sim.Simulator, codec Codec, n int, jitterBuffer time.Duration, sendFn func(seq int, payload []byte)) *Call {
+	frames := make([]frameRecord, n)
+	for i := range frames {
+		frames[i].arrivedAt = -1
+	}
+	return &Call{s: s, codec: codec, n: n, jitter: jitterBuffer, sendFn: sendFn, frames: frames}
+}
+
+// Start schedules frame emission at the codec cadence, beginning now.
+func (c *Call) Start() {
+	c.startAt = c.s.Now()
+	size := c.codec.FrameSize()
+	var emit func(seq int)
+	emit = func(seq int) {
+		if seq >= c.n {
+			return
+		}
+		c.frames[seq].sentAt = c.s.Now()
+		c.sendFn(seq, EncodeFrame(seq, size))
+		c.s.Schedule(c.codec.FrameInterval, func() { emit(seq + 1) })
+	}
+	emit(0)
+}
+
+// FrameArrived records delivery of frame seq at the current virtual time.
+// Duplicate arrivals keep the earliest.
+func (c *Call) FrameArrived(seq int) {
+	if seq < 0 || seq >= c.n {
+		return
+	}
+	if c.frames[seq].arrivedAt < 0 {
+		c.frames[seq].arrivedAt = c.s.Now()
+	}
+}
+
+// FrameArrivedPayload decodes the sequence number and records arrival.
+func (c *Call) FrameArrivedPayload(payload []byte) {
+	if seq, ok := DecodeFrameSeq(payload); ok {
+		c.FrameArrived(seq)
+	}
+}
+
+// playoutDeadline is when frame seq must be available for decode: the
+// send-clock start plus the jitter buffer plus the frame's position.
+func (c *Call) playoutDeadline(seq int) time.Duration {
+	return c.startAt + c.jitter + time.Duration(seq)*c.codec.FrameInterval
+}
+
+// Latencies returns one-way frame delays (ms) for frames that arrived
+// (paper Figure 7's CDF).
+func (c *Call) Latencies() *metrics.Samples {
+	s := &metrics.Samples{}
+	for _, f := range c.frames {
+		if f.arrivedAt >= 0 {
+			s.AddDuration(f.arrivedAt - f.sentAt)
+		}
+	}
+	return s
+}
+
+// DeliveredFraction is the fraction of frames that arrived at all.
+func (c *Call) DeliveredFraction() float64 {
+	got := 0
+	for _, f := range c.frames {
+		if f.arrivedAt >= 0 {
+			got++
+		}
+	}
+	return float64(got) / float64(len(c.frames))
+}
+
+// Missed reports whether frame seq missed its playout deadline (lost or
+// late) — the codec-perceived loss of §8.2.
+func (c *Call) Missed(seq int) bool {
+	f := c.frames[seq]
+	return f.arrivedAt < 0 || f.arrivedAt > c.playoutDeadline(seq)
+}
+
+// MissedFraction is the codec-perceived loss rate.
+func (c *Call) MissedFraction() float64 {
+	miss := 0
+	for i := range c.frames {
+		if c.Missed(i) {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(c.frames))
+}
+
+// BurstLosses returns the lengths of maximal runs of consecutive frames
+// that missed their playout time (paper Figure 8).
+func (c *Call) BurstLosses() []int {
+	var bursts []int
+	run := 0
+	for i := range c.frames {
+		if c.Missed(i) {
+			run++
+			continue
+		}
+		if run > 0 {
+			bursts = append(bursts, run)
+			run = 0
+		}
+	}
+	if run > 0 {
+		bursts = append(bursts, run)
+	}
+	return bursts
+}
+
+// MOSWindows scores the call in consecutive windows of the given width
+// (paper Figure 9's moving PESQ score; see the package comment for the
+// substitution rationale). The returned slice has one score per window
+// over the call's duration.
+func (c *Call) MOSWindows(window time.Duration) []float64 {
+	total := time.Duration(c.n) * c.codec.FrameInterval
+	nw := int((total + window - 1) / window)
+	scores := make([]float64, nw)
+	for w := 0; w < nw; w++ {
+		lo := time.Duration(w) * window
+		hi := lo + window
+		first := int(lo / c.codec.FrameInterval)
+		last := int(hi / c.codec.FrameInterval)
+		if last > c.n {
+			last = c.n
+		}
+		miss, count, bursts, run := 0, 0, 0, 0
+		var delaySum time.Duration
+		delayed := 0
+		for i := first; i < last; i++ {
+			count++
+			if c.Missed(i) {
+				miss++
+				run++
+			} else {
+				if run > 0 {
+					bursts++
+				}
+				run = 0
+				delaySum += c.frames[i].arrivedAt - c.frames[i].sentAt
+				delayed++
+			}
+		}
+		if run > 0 {
+			bursts++
+		}
+		meanDelayMs := float64(c.jitter) / float64(time.Millisecond)
+		if delayed > 0 {
+			meanDelayMs += float64(delaySum) / float64(delayed) / float64(time.Millisecond)
+		}
+		lossPct := 0.0
+		if count > 0 {
+			lossPct = 100 * float64(miss) / float64(count)
+		}
+		burstR := 1.0
+		if bursts > 0 {
+			burstR = float64(miss) / float64(bursts)
+		}
+		scores[w] = EModelMOS(meanDelayMs, lossPct, burstR)
+	}
+	return scores
+}
+
+// EModelMOS computes a MOS-like score from one-way delay (ms), frame loss
+// percentage, and mean burst length (G.107-style simplified E-model).
+func EModelMOS(delayMs, lossPct, meanBurst float64) float64 {
+	r := 93.2
+	// Delay impairment Id.
+	r -= 0.024 * delayMs
+	if delayMs > 177.3 {
+		r -= 0.11 * (delayMs - 177.3)
+	}
+	// Loss impairment Ie-eff with burstiness: bursty loss is perceptually
+	// worse, modelled by scaling the codec robustness factor Bpl down with
+	// the mean burst length (BurstR in G.107).
+	const ie0, bpl = 0.0, 8.0
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	r -= ie0 + (95-ie0)*lossPct/(lossPct+bpl/meanBurst)
+	// Map R to MOS.
+	var mos float64
+	switch {
+	case r <= 0:
+		mos = 1
+	case r >= 100:
+		mos = 4.5
+	default:
+		mos = 1 + 0.035*r + 7e-6*r*(r-60)*(100-r)
+	}
+	if mos < 1 {
+		mos = 1
+	}
+	if mos > 4.5 {
+		mos = 4.5
+	}
+	return mos
+}

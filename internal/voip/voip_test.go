@@ -1,0 +1,180 @@
+package voip
+
+import (
+	"testing"
+	"time"
+
+	"minion/internal/sim"
+)
+
+func TestCodecFrameSize(t *testing.T) {
+	// 256 kbps at 20ms frames = 640 bytes per frame.
+	if got := SpeexUWB.FrameSize(); got != 640 {
+		t.Fatalf("FrameSize = %d, want 640", got)
+	}
+}
+
+func TestFrameEncodeDecode(t *testing.T) {
+	f := EncodeFrame(1234, 640)
+	if len(f) != 640 {
+		t.Fatalf("len = %d", len(f))
+	}
+	seq, ok := DecodeFrameSeq(f)
+	if !ok || seq != 1234 {
+		t.Fatalf("seq = %d ok=%v", seq, ok)
+	}
+	if _, ok := DecodeFrameSeq([]byte{1}); ok {
+		t.Fatal("short frame decoded")
+	}
+}
+
+func TestCallEmissionCadence(t *testing.T) {
+	s := sim.New(1)
+	var sentAt []time.Duration
+	call := NewCall(s, SpeexUWB, 10, 200*time.Millisecond, func(seq int, payload []byte) {
+		sentAt = append(sentAt, s.Now())
+	})
+	call.Start()
+	s.Run()
+	if len(sentAt) != 10 {
+		t.Fatalf("emitted %d frames", len(sentAt))
+	}
+	for i, at := range sentAt {
+		want := time.Duration(i) * 20 * time.Millisecond
+		if at != want {
+			t.Fatalf("frame %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// perfectDelivery wires frames back with a constant delay.
+func runCall(t *testing.T, n int, jitterBuf, delay time.Duration, dropEvery int) *Call {
+	t.Helper()
+	s := sim.New(2)
+	var call *Call
+	call = NewCall(s, SpeexUWB, n, jitterBuf, func(seq int, payload []byte) {
+		if dropEvery > 0 && seq%dropEvery == 0 {
+			return
+		}
+		p := append([]byte(nil), payload...)
+		s.Schedule(delay, func() { call.FrameArrivedPayload(p) })
+	})
+	call.Start()
+	s.Run()
+	return call
+}
+
+func TestLatenciesAndDelivery(t *testing.T) {
+	call := runCall(t, 100, 200*time.Millisecond, 30*time.Millisecond, 0)
+	if got := call.DeliveredFraction(); got != 1 {
+		t.Fatalf("delivered %v", got)
+	}
+	lat := call.Latencies()
+	if lat.N() != 100 || lat.Mean() != 30 {
+		t.Fatalf("latency mean = %v n=%d", lat.Mean(), lat.N())
+	}
+	if call.MissedFraction() != 0 {
+		t.Fatalf("missed = %v", call.MissedFraction())
+	}
+}
+
+func TestMissedPlayoutLateFrames(t *testing.T) {
+	// Delay exceeds the jitter buffer: every frame misses playout.
+	call := runCall(t, 50, 50*time.Millisecond, 100*time.Millisecond, 0)
+	if got := call.MissedFraction(); got != 1 {
+		t.Fatalf("missed = %v, want 1", got)
+	}
+	if got := call.DeliveredFraction(); got != 1 {
+		t.Fatalf("frames did arrive: %v", got)
+	}
+}
+
+func TestBurstLosses(t *testing.T) {
+	s := sim.New(3)
+	var call *Call
+	call = NewCall(s, SpeexUWB, 20, 100*time.Millisecond, func(seq int, payload []byte) {
+		// Drop frames 5,6,7 and 12.
+		if seq == 5 || seq == 6 || seq == 7 || seq == 12 {
+			return
+		}
+		p := append([]byte(nil), payload...)
+		s.Schedule(10*time.Millisecond, func() { call.FrameArrivedPayload(p) })
+	})
+	call.Start()
+	s.Run()
+	bursts := call.BurstLosses()
+	if len(bursts) != 2 || bursts[0] != 3 || bursts[1] != 1 {
+		t.Fatalf("bursts = %v, want [3 1]", bursts)
+	}
+}
+
+func TestDuplicateArrivalKeepsEarliest(t *testing.T) {
+	s := sim.New(4)
+	var call *Call
+	call = NewCall(s, SpeexUWB, 1, 100*time.Millisecond, func(seq int, payload []byte) {
+		s.Schedule(10*time.Millisecond, func() { call.FrameArrived(seq) })
+		s.Schedule(50*time.Millisecond, func() { call.FrameArrived(seq) })
+	})
+	call.Start()
+	s.Run()
+	if got := call.Latencies().Mean(); got != 10 {
+		t.Fatalf("latency = %v, want 10 (earliest)", got)
+	}
+}
+
+func TestMOSQualityOrdering(t *testing.T) {
+	perfect := EModelMOS(60, 0, 1)
+	lossy := EModelMOS(60, 5, 1)
+	bursty := EModelMOS(60, 5, 8)
+	delayed := EModelMOS(400, 0, 1)
+	if !(perfect > lossy) {
+		t.Fatalf("loss should hurt: %v vs %v", perfect, lossy)
+	}
+	if !(lossy > bursty) {
+		t.Fatalf("burstiness should hurt more: %v vs %v", lossy, bursty)
+	}
+	if !(perfect > delayed) {
+		t.Fatalf("delay should hurt: %v vs %v", perfect, delayed)
+	}
+	if perfect > 4.5 || bursty < 1 {
+		t.Fatalf("MOS out of range: %v %v", perfect, bursty)
+	}
+}
+
+func TestMOSBounds(t *testing.T) {
+	if got := EModelMOS(2000, 100, 20); got != 1 {
+		t.Fatalf("catastrophic call MOS = %v, want 1", got)
+	}
+	if got := EModelMOS(0, 0, 1); got < 4.0 || got > 4.5 {
+		t.Fatalf("ideal call MOS = %v, want ~4.4", got)
+	}
+}
+
+func TestMOSWindows(t *testing.T) {
+	// 10s call: first half perfect, second half all frames dropped.
+	s := sim.New(5)
+	n := 500 // 10s of 20ms frames
+	var call *Call
+	call = NewCall(s, SpeexUWB, n, 100*time.Millisecond, func(seq int, payload []byte) {
+		if seq >= n/2 {
+			return
+		}
+		p := append([]byte(nil), payload...)
+		s.Schedule(20*time.Millisecond, func() { call.FrameArrivedPayload(p) })
+	})
+	call.Start()
+	s.Run()
+	scores := call.MOSWindows(2 * time.Second)
+	if len(scores) != 5 {
+		t.Fatalf("windows = %d", len(scores))
+	}
+	if scores[0] < 4 {
+		t.Fatalf("clean window MOS %v", scores[0])
+	}
+	if scores[4] > 1.5 {
+		t.Fatalf("dead window MOS %v", scores[4])
+	}
+	if !(scores[0] > scores[4]) {
+		t.Fatal("quality should collapse in the lossy half")
+	}
+}

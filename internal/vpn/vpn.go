@@ -1,0 +1,156 @@
+// Package vpn models the paper's OpenVPN experiment (§8.4): IP packets of
+// inner flows tunneled through a TCP-family connection, with the two
+// modifications the paper makes to OpenVPN:
+//
+//  1. carrying tunneled packets over uCOBS (unordered delivery instead of
+//     strict stream order), and
+//  2. classifying tunneled TCP ACKs and sending them at higher priority
+//     through the uTCP send queue ("priACKs").
+//
+// Inner traffic is real TCP (minion/internal/tcp) — the tunnel
+// encapsulates whole segments, so all TCP-in-TCP effects (meltdown
+// dynamics, masked losses, RTT inflation) emerge from the actual
+// protocols rather than from a model.
+package vpn
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+)
+
+// Priorities used for tunneled packets (uTCP tags: lower = higher).
+const (
+	PriorityACK  = 1
+	PriorityData = 10
+)
+
+// ErrBadPacket reports an undecodable encapsulated packet.
+var ErrBadPacket = errors.New("vpn: malformed encapsulated packet")
+
+// Stats counts tunnel endpoint activity.
+type Stats struct {
+	PacketsIn     int // decapsulated and delivered to inner flows
+	PacketsOut    int // encapsulated and sent
+	ACKsExpedited int
+	BytesOut      int64
+}
+
+// Endpoint is one side of a VPN tunnel: it encapsulates inner TCP segments
+// into datagrams on the outer connection and routes decapsulated packets
+// to the registered inner flows.
+type Endpoint struct {
+	outer    *ucobs.Conn
+	priACKs  bool
+	handlers map[uint32]func(*tcp.Segment)
+	stats    Stats
+}
+
+// New creates a tunnel endpoint over the outer uCOBS connection. With
+// priACKs, tunneled pure-ACK segments are sent at PriorityACK so they
+// bypass queued bulk data in the uTCP send queue (the paper's second
+// OpenVPN modification).
+func New(outer *ucobs.Conn, priACKs bool) *Endpoint {
+	e := &Endpoint{outer: outer, priACKs: priACKs, handlers: make(map[uint32]func(*tcp.Segment))}
+	outer.OnMessage(e.onDatagram)
+	return e
+}
+
+// Stats returns a copy of the counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Handle registers the delivery function for inner flow id.
+func (e *Endpoint) Handle(flow uint32, fn func(*tcp.Segment)) { e.handlers[flow] = fn }
+
+// Send encapsulates one inner segment.
+func (e *Endpoint) Send(flow uint32, seg *tcp.Segment) error {
+	pkt := MarshalSegment(flow, seg)
+	prio := uint32(PriorityData)
+	if e.priACKs && IsPureACK(seg) {
+		prio = PriorityACK
+		e.stats.ACKsExpedited++
+	}
+	e.stats.PacketsOut++
+	e.stats.BytesOut += int64(len(pkt))
+	return e.outer.Send(pkt, ucobs.Options{Priority: prio})
+}
+
+// AttachConn wires an inner TCP connection into the tunnel: its segments
+// are encapsulated under flow id, and arriving packets for that flow feed
+// its input.
+func (e *Endpoint) AttachConn(flow uint32, c *tcp.Conn) {
+	c.SetOutput(func(seg *tcp.Segment) { e.Send(flow, seg) })
+	e.Handle(flow, c.Input)
+}
+
+func (e *Endpoint) onDatagram(msg []byte) {
+	flow, seg, err := UnmarshalSegment(msg)
+	if err != nil {
+		return
+	}
+	e.stats.PacketsIn++
+	if fn, ok := e.handlers[flow]; ok {
+		fn(seg)
+	}
+}
+
+// IsPureACK reports whether a segment carries only acknowledgment (no
+// payload, no SYN/FIN) — the classification the modified OpenVPN applies.
+func IsPureACK(seg *tcp.Segment) bool {
+	return len(seg.Payload) == 0 && seg.Flags.Has(tcp.FlagACK) &&
+		!seg.Flags.Has(tcp.FlagSYN) && !seg.Flags.Has(tcp.FlagFIN) && !seg.Flags.Has(tcp.FlagRST)
+}
+
+// MarshalSegment encodes an inner segment for tunneling:
+// flow(4) seq(8) ack(8) flags(1) window(4) nsack(1) sacks(16 each)
+// payload.
+func MarshalSegment(flow uint32, seg *tcp.Segment) []byte {
+	n := 4 + 8 + 8 + 1 + 4 + 1 + 16*len(seg.SACK) + len(seg.Payload)
+	b := make([]byte, n)
+	binary.BigEndian.PutUint32(b, flow)
+	binary.BigEndian.PutUint64(b[4:], seg.Seq)
+	binary.BigEndian.PutUint64(b[12:], seg.Ack)
+	b[20] = byte(seg.Flags)
+	binary.BigEndian.PutUint32(b[21:], uint32(seg.Window))
+	b[25] = byte(len(seg.SACK))
+	off := 26
+	for _, s := range seg.SACK {
+		binary.BigEndian.PutUint64(b[off:], s.Start)
+		binary.BigEndian.PutUint64(b[off+8:], s.End)
+		off += 16
+	}
+	copy(b[off:], seg.Payload)
+	return b
+}
+
+// UnmarshalSegment decodes a tunneled packet.
+func UnmarshalSegment(b []byte) (flow uint32, seg *tcp.Segment, err error) {
+	if len(b) < 26 {
+		return 0, nil, ErrBadPacket
+	}
+	flow = binary.BigEndian.Uint32(b)
+	seg = &tcp.Segment{
+		Seq:    binary.BigEndian.Uint64(b[4:]),
+		Ack:    binary.BigEndian.Uint64(b[12:]),
+		Flags:  tcp.Flags(b[20]),
+		Window: int(binary.BigEndian.Uint32(b[21:])),
+	}
+	nsack := int(b[25])
+	off := 26
+	if len(b) < off+16*nsack {
+		return 0, nil, ErrBadPacket
+	}
+	for i := 0; i < nsack; i++ {
+		seg.SACK = append(seg.SACK, tcp.SACKBlock{
+			Start: binary.BigEndian.Uint64(b[off:]),
+			End:   binary.BigEndian.Uint64(b[off+8:]),
+		})
+		off += 16
+	}
+	if off < len(b) {
+		seg.Payload = append([]byte(nil), b[off:]...)
+	}
+	return flow, seg, nil
+}

@@ -1,0 +1,208 @@
+package vpn
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+)
+
+func TestSegmentCodecRoundtrip(t *testing.T) {
+	seg := &tcp.Segment{
+		Seq: 12345678901, Ack: 987654321,
+		Flags: tcp.FlagACK | tcp.FlagFIN, Window: 65535,
+		SACK:    []tcp.SACKBlock{{Start: 1, End: 100}, {Start: 200, End: 300}},
+		Payload: []byte("inner data"),
+	}
+	flow, got, err := UnmarshalSegment(MarshalSegment(7, seg))
+	if err != nil || flow != 7 {
+		t.Fatalf("unmarshal: %v flow=%d", err, flow)
+	}
+	if got.Seq != seg.Seq || got.Ack != seg.Ack || got.Flags != seg.Flags || got.Window != seg.Window {
+		t.Fatalf("fields mismatch: %+v", got)
+	}
+	if len(got.SACK) != 2 || got.SACK[1] != seg.SACK[1] {
+		t.Fatalf("sack mismatch: %v", got.SACK)
+	}
+	if !bytes.Equal(got.Payload, seg.Payload) {
+		t.Fatalf("payload %q", got.Payload)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	if _, _, err := UnmarshalSegment([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	// Claimed SACK count beyond buffer.
+	seg := &tcp.Segment{Flags: tcp.FlagACK}
+	b := MarshalSegment(1, seg)
+	b[25] = 10
+	if _, _, err := UnmarshalSegment(b); err == nil {
+		t.Fatal("bad sack count accepted")
+	}
+}
+
+func TestPropertySegmentCodec(t *testing.T) {
+	f := func(seq, ack uint64, flags uint8, window uint32, payload []byte, flow uint32) bool {
+		seg := &tcp.Segment{Seq: seq, Ack: ack, Flags: tcp.Flags(flags), Window: int(window), Payload: payload}
+		gotFlow, got, err := UnmarshalSegment(MarshalSegment(flow, seg))
+		if err != nil || gotFlow != flow {
+			return false
+		}
+		return got.Seq == seq && got.Ack == ack && got.Flags == tcp.Flags(flags) &&
+			got.Window == int(window) && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPureACK(t *testing.T) {
+	cases := []struct {
+		seg  tcp.Segment
+		want bool
+	}{
+		{tcp.Segment{Flags: tcp.FlagACK}, true},
+		{tcp.Segment{Flags: tcp.FlagACK, SACK: []tcp.SACKBlock{{Start: 1, End: 2}}}, true},
+		{tcp.Segment{Flags: tcp.FlagACK, Payload: []byte{1}}, false},
+		{tcp.Segment{Flags: tcp.FlagACK | tcp.FlagSYN}, false},
+		{tcp.Segment{Flags: tcp.FlagACK | tcp.FlagFIN}, false},
+		{tcp.Segment{Flags: tcp.FlagRST | tcp.FlagACK}, false},
+	}
+	for i, c := range cases {
+		if got := IsPureACK(&c.seg); got != c.want {
+			t.Errorf("case %d: %v", i, got)
+		}
+	}
+}
+
+// buildTunnel creates a tunnel over a bidirectional outer path and returns
+// the two endpoints.
+func buildTunnel(s *sim.Simulator, unordered, priACKs bool, up, down netem.LinkConfig) (*Endpoint, *Endpoint) {
+	outerCfgA := tcp.Config{NoDelay: true}
+	outerCfgB := tcp.Config{NoDelay: true}
+	if unordered {
+		outerCfgA.UnorderedSend, outerCfgA.Unordered = true, true
+		outerCfgB.UnorderedSend, outerCfgB.Unordered = true, true
+	}
+	ta, tb := tcp.NewPair(s, outerCfgA, outerCfgB, netem.NewLink(s, up), netem.NewLink(s, down))
+	return New(ucobs.New(ta), priACKs), New(ucobs.New(tb), priACKs)
+}
+
+func TestTunnelCarriesInnerTCP(t *testing.T) {
+	s := sim.New(1)
+	link := netem.LinkConfig{Rate: 3_000_000, Delay: 20 * time.Millisecond}
+	cliEnd, srvEnd := buildTunnel(s, true, true, link, link)
+
+	// Inner TCP connection through the tunnel.
+	inner1 := tcp.New(s, tcp.Config{NoDelay: true}, nil)
+	inner2 := tcp.New(s, tcp.Config{}, nil)
+	cliEnd.AttachConn(1, inner1)
+	srvEnd.AttachConn(1, inner2)
+	inner2.Listen()
+	inner1.Connect()
+
+	var rec bytes.Buffer
+	inner2.OnReadable(func() {
+		buf := make([]byte, 1<<16)
+		for {
+			n, _ := inner2.Read(buf)
+			if n == 0 {
+				return
+			}
+			rec.Write(buf[:n])
+		}
+	})
+	payload := make([]byte, 100*1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	sent := 0
+	pump := func() {
+		for sent < len(payload) {
+			n, err := inner1.Write(payload[sent:])
+			sent += n
+			if err != nil {
+				return
+			}
+		}
+	}
+	inner1.OnWritable(pump)
+	s.Schedule(100*time.Millisecond, pump)
+	s.RunUntil(time.Minute)
+	if rec.Len() != len(payload) || !bytes.Equal(rec.Bytes(), payload) {
+		t.Fatalf("inner transfer corrupt: %d/%d", rec.Len(), len(payload))
+	}
+	if cliEnd.Stats().PacketsOut == 0 || srvEnd.Stats().PacketsIn == 0 {
+		t.Fatalf("tunnel idle: %+v %+v", cliEnd.Stats(), srvEnd.Stats())
+	}
+}
+
+func TestACKClassificationCounts(t *testing.T) {
+	s := sim.New(2)
+	link := netem.LinkConfig{Rate: 3_000_000, Delay: 10 * time.Millisecond}
+	cliEnd, srvEnd := buildTunnel(s, true, true, link, link)
+	inner1 := tcp.New(s, tcp.Config{NoDelay: true}, nil)
+	inner2 := tcp.New(s, tcp.Config{}, nil)
+	cliEnd.AttachConn(1, inner1)
+	srvEnd.AttachConn(1, inner2)
+	inner2.Listen()
+	inner1.Connect()
+	inner2.OnReadable(func() {
+		buf := make([]byte, 1<<16)
+		for {
+			if n, _ := inner2.Read(buf); n == 0 {
+				return
+			}
+		}
+	})
+	s.Schedule(50*time.Millisecond, func() { inner1.Write(make([]byte, 50000)) })
+	s.RunUntil(10 * time.Second)
+	// The receiver side tunnels back pure ACKs: they must be classified.
+	if srvEnd.Stats().ACKsExpedited == 0 {
+		t.Fatalf("no ACKs expedited: %+v", srvEnd.Stats())
+	}
+}
+
+func TestMultipleFlowsIsolated(t *testing.T) {
+	s := sim.New(3)
+	link := netem.LinkConfig{Rate: 3_000_000, Delay: 10 * time.Millisecond}
+	cliEnd, srvEnd := buildTunnel(s, true, false, link, link)
+	const flows = 3
+	recs := make([]*bytes.Buffer, flows)
+	for f := 0; f < flows; f++ {
+		f := f
+		a := tcp.New(s, tcp.Config{NoDelay: true}, nil)
+		b := tcp.New(s, tcp.Config{}, nil)
+		cliEnd.AttachConn(uint32(f), a)
+		srvEnd.AttachConn(uint32(f), b)
+		b.Listen()
+		a.Connect()
+		recs[f] = &bytes.Buffer{}
+		b.OnReadable(func() {
+			buf := make([]byte, 1<<16)
+			for {
+				n, _ := b.Read(buf)
+				if n == 0 {
+					return
+				}
+				recs[f].Write(buf[:n])
+			}
+		})
+		s.Schedule(50*time.Millisecond, func() { a.Write(bytes.Repeat([]byte{byte('A' + f)}, 20000)) })
+	}
+	s.RunUntil(30 * time.Second)
+	for f := 0; f < flows; f++ {
+		if recs[f].Len() != 20000 {
+			t.Fatalf("flow %d received %d", f, recs[f].Len())
+		}
+		if recs[f].Bytes()[0] != byte('A'+f) {
+			t.Fatalf("flow %d crossed wires", f)
+		}
+	}
+}

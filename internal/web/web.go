@@ -1,0 +1,161 @@
+// Package web implements the paper's trace-driven web workload (§8.5):
+// pages consisting of a primary HTML object followed by embedded secondary
+// objects, loaded either with pipelined HTTP/1.1 over one persistent TCP
+// connection, or with parallel HTTP/1.0-style requests over msTCP streams.
+//
+// Trace substitution (DESIGN.md §6): the paper replays a fragment of the
+// UC Berkeley Home IP trace from the Internet Traffic Archive, which is
+// not available offline. TraceGen synthesizes a seeded workload with the
+// trace's documented shape — heavy-tailed object sizes (log-normal body,
+// Pareto tail) and a secondary-object count spanning the paper's three
+// buckets (1-2, 3-8, 9+ requests per page). Both page-load models consume
+// the same trace, so the comparison the figure makes is preserved.
+package web
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// Object is one fetchable resource.
+type Object struct {
+	ID   uint32
+	Size int // response body bytes
+}
+
+// Page is a primary object plus its embedded secondaries. The browser
+// model fetches the primary first, then all secondaries in parallel
+// (pessimistically assuming no secondary is known before the primary
+// completes — as in the paper).
+type Page struct {
+	Primary     Object
+	Secondaries []Object
+}
+
+// Requests returns the total request count (primary + secondaries).
+func (p Page) Requests() int { return 1 + len(p.Secondaries) }
+
+// TotalBytes returns the page weight.
+func (p Page) TotalBytes() int {
+	n := p.Primary.Size
+	for _, o := range p.Secondaries {
+		n += o.Size
+	}
+	return n
+}
+
+// Bucket classifies a page into the paper's three columns.
+func (p Page) Bucket() string {
+	switch n := p.Requests(); {
+	case n <= 2:
+		return "1-2"
+	case n <= 8:
+		return "3-8"
+	default:
+		return "9+"
+	}
+}
+
+// TraceGen generates a deterministic synthetic trace.
+type TraceGen struct {
+	r      *rand.Rand
+	nextID uint32
+}
+
+// NewTraceGen seeds a generator.
+func NewTraceGen(seed int64) *TraceGen {
+	return &TraceGen{r: rand.New(rand.NewSource(seed)), nextID: 1}
+}
+
+// objectSize draws a heavy-tailed object size: log-normal body with a
+// Pareto tail, clamped to [128B, 256KB] (Home-IP-like: median a few KB).
+func (g *TraceGen) objectSize(median float64) int {
+	var size float64
+	if g.r.Float64() < 0.95 {
+		size = math.Exp(math.Log(median) + 0.8*g.r.NormFloat64())
+	} else {
+		// Pareto tail, alpha 1.2.
+		size = median * 4 * math.Pow(g.r.Float64(), -1/1.2)
+	}
+	if size < 128 {
+		size = 128
+	}
+	if size > 256*1024 {
+		size = 256 * 1024
+	}
+	return int(size)
+}
+
+// Page generates the next page. Secondary counts are drawn from a mixture
+// matching the paper's buckets: ~30% of pages have 0-1 secondaries, ~45%
+// have 2-7, ~25% have 8-25.
+func (g *TraceGen) Page() Page {
+	var nsec int
+	switch x := g.r.Float64(); {
+	case x < 0.30:
+		nsec = g.r.Intn(2)
+	case x < 0.75:
+		nsec = 2 + g.r.Intn(6)
+	default:
+		nsec = 8 + g.r.Intn(18)
+	}
+	p := Page{Primary: Object{ID: g.nextID, Size: g.objectSize(6 * 1024)}}
+	g.nextID++
+	for i := 0; i < nsec; i++ {
+		p.Secondaries = append(p.Secondaries, Object{ID: g.nextID, Size: g.objectSize(3 * 1024)})
+		g.nextID++
+	}
+	return p
+}
+
+// Trace generates n pages.
+func (g *TraceGen) Trace(n int) []Page {
+	pages := make([]Page, n)
+	for i := range pages {
+		pages[i] = g.Page()
+	}
+	return pages
+}
+
+// Wire protocol shared by both page-load models: a request is
+// [id(4) size(4)] (8 bytes, standing in for an HTTP GET line), a response
+// is [id(4) size(4)] followed by size body bytes.
+
+// RequestSize is the wire size of one request.
+const RequestSize = 8
+
+// respHeader is the response header length.
+const respHeader = 8
+
+// EncodeRequest builds a request frame.
+func EncodeRequest(o Object) []byte {
+	b := make([]byte, RequestSize)
+	binary.BigEndian.PutUint32(b, o.ID)
+	binary.BigEndian.PutUint32(b[4:], uint32(o.Size))
+	return b
+}
+
+// DecodeRequest parses a request frame.
+func DecodeRequest(b []byte) (Object, bool) {
+	if len(b) < RequestSize {
+		return Object{}, false
+	}
+	return Object{ID: binary.BigEndian.Uint32(b), Size: int(binary.BigEndian.Uint32(b[4:]))}, true
+}
+
+// EncodeResponseHeader builds the response header.
+func EncodeResponseHeader(o Object) []byte {
+	b := make([]byte, respHeader)
+	binary.BigEndian.PutUint32(b, o.ID)
+	binary.BigEndian.PutUint32(b[4:], uint32(o.Size))
+	return b
+}
+
+// DecodeResponseHeader parses a response header.
+func DecodeResponseHeader(b []byte) (Object, bool) {
+	if len(b) < respHeader {
+		return Object{}, false
+	}
+	return Object{ID: binary.BigEndian.Uint32(b), Size: int(binary.BigEndian.Uint32(b[4:]))}, true
+}

@@ -1,0 +1,97 @@
+package web
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceDeterministic(t *testing.T) {
+	a := NewTraceGen(42).Trace(50)
+	b := NewTraceGen(42).Trace(50)
+	for i := range a {
+		if a[i].Primary != b[i].Primary || len(a[i].Secondaries) != len(b[i].Secondaries) {
+			t.Fatalf("trace not deterministic at page %d", i)
+		}
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	pages := NewTraceGen(7).Trace(2000)
+	buckets := map[string]int{}
+	var totalBytes, totalObjs int
+	for _, p := range pages {
+		buckets[p.Bucket()]++
+		totalBytes += p.TotalBytes()
+		totalObjs += p.Requests()
+		if p.Primary.Size < 128 || p.Primary.Size > 256*1024 {
+			t.Fatalf("primary size out of range: %d", p.Primary.Size)
+		}
+	}
+	// All three paper buckets must be well populated.
+	for _, b := range []string{"1-2", "3-8", "9+"} {
+		if buckets[b] < 100 {
+			t.Fatalf("bucket %s has only %d pages: %v", b, buckets[b], buckets)
+		}
+	}
+	mean := float64(totalBytes) / float64(totalObjs)
+	if mean < 1024 || mean > 64*1024 {
+		t.Fatalf("mean object size %v implausible for a Home-IP-like trace", mean)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	mk := func(nsec int) Page {
+		p := Page{Primary: Object{ID: 1, Size: 100}}
+		for i := 0; i < nsec; i++ {
+			p.Secondaries = append(p.Secondaries, Object{ID: uint32(i + 2), Size: 100})
+		}
+		return p
+	}
+	cases := map[int]string{0: "1-2", 1: "1-2", 2: "3-8", 7: "3-8", 8: "9+", 20: "9+"}
+	for nsec, want := range cases {
+		if got := mk(nsec).Bucket(); got != want {
+			t.Errorf("nsec=%d bucket=%s want %s", nsec, got, want)
+		}
+	}
+}
+
+func TestRequestCodec(t *testing.T) {
+	o := Object{ID: 77, Size: 4096}
+	got, ok := DecodeRequest(EncodeRequest(o))
+	if !ok || got != o {
+		t.Fatalf("roundtrip = %+v ok=%v", got, ok)
+	}
+	if _, ok := DecodeRequest([]byte{1}); ok {
+		t.Fatal("short request decoded")
+	}
+}
+
+func TestResponseHeaderCodec(t *testing.T) {
+	o := Object{ID: 9, Size: 123456}
+	got, ok := DecodeResponseHeader(EncodeResponseHeader(o))
+	if !ok || got != o {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestPropertyCodecs(t *testing.T) {
+	f := func(id uint32, size uint32) bool {
+		o := Object{ID: id, Size: int(size)}
+		a, ok1 := DecodeRequest(EncodeRequest(o))
+		b, ok2 := DecodeResponseHeader(EncodeResponseHeader(o))
+		return ok1 && ok2 && a == o && b == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	p := Page{Primary: Object{Size: 100}, Secondaries: []Object{{Size: 50}, {Size: 25}}}
+	if p.TotalBytes() != 175 {
+		t.Fatalf("TotalBytes = %d", p.TotalBytes())
+	}
+	if p.Requests() != 3 {
+		t.Fatalf("Requests = %d", p.Requests())
+	}
+}

@@ -1,0 +1,263 @@
+// Package minion is the public facade of the Minion architecture
+// (Nowlan et al., "Fitting Square Pegs Through Round Pipes: Unordered
+// Delivery Wire-Compatible with TCP and TLS", NSDI 2012): a uniform
+// unordered-datagram service that applications link in like DTLS, carried
+// over whichever substrate the network permits (paper §3).
+//
+// The Conn interface is implemented by every Minion protocol:
+//
+//   - uCOBS over TCP or uTCP (minion/internal/ucobs): plain datagrams,
+//     COBS-framed inside a byte-stream wire-identical to TCP;
+//   - uTLS over TCP or uTCP (minion/internal/utls): encrypted datagrams
+//     inside a stream wire-identical to TLS/HTTPS;
+//   - the UDP shim (minion/internal/udp) for paths where UDP works.
+//
+// Pair constructors wire two endpoints through simulated network paths
+// (minion/internal/netem); Negotiate implements the simple
+// "try UDP, fall back to the TCP family" selection the paper describes
+// applications using today (§3.2).
+package minion
+
+import (
+	"errors"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+	"minion/internal/udp"
+	"minion/internal/utls"
+)
+
+// Options control one datagram send (the uTCP tag header, paper §4.2).
+type Options struct {
+	// Priority: lower value = higher priority; priority takes effect only
+	// when the sender's substrate supports send-side reordering.
+	Priority uint32
+	// Squash replaces queued untransmitted datagrams with the same tag.
+	Squash bool
+}
+
+// Conn is Minion's uniform unordered datagram interface (paper §3.1).
+type Conn interface {
+	// Send transmits one datagram. Delivery is unordered: later datagrams
+	// may arrive first. Reliability depends on the substrate (TCP-family
+	// substrates are reliable, UDP is not).
+	Send(msg []byte, opt Options) error
+	// Recv pops a received datagram queued while no OnMessage handler was
+	// registered.
+	Recv() (msg []byte, ok bool)
+	// OnMessage registers the delivery callback.
+	OnMessage(fn func(msg []byte))
+	// Close tears the connection down (graceful where the substrate
+	// supports it).
+	Close()
+}
+
+// Protocol selects a Minion substrate stack.
+type Protocol int
+
+// Available protocol stacks.
+const (
+	// ProtoUDP is the shim over plain (simulated) UDP.
+	ProtoUDP Protocol = iota
+	// ProtoUCOBSTCP is uCOBS over unmodified TCP: in-order datagram
+	// delivery, maximal compatibility.
+	ProtoUCOBSTCP
+	// ProtoUCOBSuTCP is uCOBS over uTCP: true unordered delivery plus
+	// send-side prioritization.
+	ProtoUCOBSuTCP
+	// ProtoUTLSTCP is uTLS over unmodified TCP (wire-identical to HTTPS).
+	ProtoUTLSTCP
+	// ProtoUTLSuTCP is uTLS over uTCP: encrypted unordered delivery.
+	ProtoUTLSuTCP
+)
+
+var protoNames = map[Protocol]string{
+	ProtoUDP:       "udp",
+	ProtoUCOBSTCP:  "ucobs/tcp",
+	ProtoUCOBSuTCP: "ucobs/utcp",
+	ProtoUTLSTCP:   "utls/tcp",
+	ProtoUTLSuTCP:  "utls/utcp",
+}
+
+func (p Protocol) String() string {
+	if n, ok := protoNames[p]; ok {
+		return n
+	}
+	return "invalid"
+}
+
+// Unordered reports whether the stack delivers datagrams out of order
+// (relieving TCP's latency tax, §3.1).
+func (p Protocol) Unordered() bool { return p != ProtoUCOBSTCP && p != ProtoUTLSTCP }
+
+// Secure reports whether the stack encrypts and authenticates payloads.
+func (p Protocol) Secure() bool { return p == ProtoUTLSTCP || p == ProtoUTLSuTCP }
+
+// Reliable reports whether every datagram is eventually delivered.
+func (p Protocol) Reliable() bool { return p != ProtoUDP }
+
+// Preferences describe what an application wants from its substrate
+// (input to Negotiate).
+type Preferences struct {
+	// RequireSecure restricts selection to end-to-end encrypted stacks.
+	RequireSecure bool
+	// RequireReliable excludes UDP.
+	RequireReliable bool
+	// PreferUnordered favors out-of-order-capable stacks.
+	PreferUnordered bool
+}
+
+// PathConstraints describe what the network permits, as discovered by
+// probing (paper §3.2: applications commonly "attempt a UDP connection
+// first and fall back to TCP if that fails").
+type PathConstraints struct {
+	// UDPBlocked: middleboxes drop UDP on this path.
+	UDPBlocked bool
+	// TCPOnly443: only TLS-looking traffic on port 443 survives
+	// (the hostile-network case motivating uTLS, §6).
+	TCPOnly443 bool
+	// PeerSupportsUTCP: the remote OS has the uTCP extensions.
+	PeerSupportsUTCP bool
+}
+
+// Negotiate picks the best protocol satisfying prefs under the path
+// constraints — Minion's currently-simple protocol selection (§3.2; the
+// dynamic negotiation protocol is future work in the paper too).
+func Negotiate(prefs Preferences, path PathConstraints) Protocol {
+	if path.TCPOnly443 || prefs.RequireSecure {
+		if path.PeerSupportsUTCP {
+			return ProtoUTLSuTCP
+		}
+		return ProtoUTLSTCP
+	}
+	if !path.UDPBlocked && !prefs.RequireReliable && prefs.PreferUnordered {
+		return ProtoUDP
+	}
+	if path.PeerSupportsUTCP {
+		return ProtoUCOBSuTCP
+	}
+	return ProtoUCOBSTCP
+}
+
+// TCPConfig tunes the TCP-family substrates built by NewPair.
+type TCPConfig struct {
+	// NoDelay disables Nagle (recommended for datagram traffic; the
+	// paper's experiments disable it).
+	NoDelay bool
+	// CoalesceWrites enables the §8.1 small-write packing fix on uTCP.
+	CoalesceWrites bool
+	// SendBufBytes/RecvBufBytes override socket buffer sizes.
+	SendBufBytes, RecvBufBytes int
+	// ExplicitRecNum enables the uTLS §6.1 extension on both endpoints.
+	ExplicitRecNum bool
+}
+
+// Pair is a connected pair of Minion endpoints plus access to the
+// underlying transports for instrumentation.
+type Pair struct {
+	A, B Conn
+	// TCPA/TCPB are the underlying TCP connections (nil for ProtoUDP).
+	TCPA, TCPB *tcp.Conn
+	// UDPA/UDPB are the underlying UDP endpoints (nil otherwise).
+	UDPA, UDPB *udp.Conn
+}
+
+// NewPair builds a connected pair of Minion endpoints of the given
+// protocol, wired through the two unidirectional path elements (nil for
+// ideal wires). Run the simulator to complete connection establishment.
+func NewPair(s *sim.Simulator, proto Protocol, cfg TCPConfig, aToB, bToA netem.Element) *Pair {
+	switch proto {
+	case ProtoUDP:
+		ua, ub := udp.New(), udp.New()
+		if aToB == nil {
+			aToB = netem.NewLink(s, netem.LinkConfig{})
+		}
+		if bToA == nil {
+			bToA = netem.NewLink(s, netem.LinkConfig{})
+		}
+		udp.Wire(ua, ub, aToB, bToA)
+		return &Pair{A: udpConn{ua}, B: udpConn{ub}, UDPA: ua, UDPB: ub}
+	case ProtoUCOBSTCP, ProtoUCOBSuTCP:
+		ta, tb := tcp.NewPair(s, cfg.tcpConfig(proto.Unordered()), cfg.tcpConfig(proto.Unordered()), aToB, bToA)
+		return &Pair{A: ucobsConn{ucobs.New(ta)}, B: ucobsConn{ucobs.New(tb)}, TCPA: ta, TCPB: tb}
+	case ProtoUTLSTCP, ProtoUTLSuTCP:
+		ta, tb := tcp.NewPair(s, cfg.tcpConfig(proto.Unordered()), cfg.tcpConfig(proto.Unordered()), aToB, bToA)
+		ucfg := utls.Config{ExplicitRecNum: cfg.ExplicitRecNum}
+		srv := utls.Server(tb, ucfg)
+		cli := utls.Client(ta, ucfg)
+		return &Pair{A: utlsConn{cli}, B: utlsConn{srv}, TCPA: ta, TCPB: tb}
+	}
+	panic("minion: unknown protocol")
+}
+
+func (cfg TCPConfig) tcpConfig(unordered bool) tcp.Config {
+	return tcp.Config{
+		NoDelay:        cfg.NoDelay,
+		Unordered:      unordered,
+		UnorderedSend:  unordered,
+		CoalesceWrites: cfg.CoalesceWrites || unordered, // fix on by default for uTCP
+		SendBufBytes:   cfg.SendBufBytes,
+		RecvBufBytes:   cfg.RecvBufBytes,
+	}
+}
+
+// ErrUnreliableSubstrate is returned by udp sends that cannot honor
+// options requiring reliability-side machinery.
+var ErrUnreliableSubstrate = errors.New("minion: substrate does not support this option")
+
+// udpConn adapts udp.Conn to the Minion interface (the trivial shim).
+type udpConn struct{ c *udp.Conn }
+
+func (u udpConn) Send(msg []byte, opt Options) error {
+	// UDP has no send queue: priority and squash are meaningless but
+	// harmless (every datagram departs immediately).
+	return u.c.Send(msg)
+}
+func (u udpConn) Recv() ([]byte, bool)      { return u.c.Recv() }
+func (u udpConn) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
+func (u udpConn) Close()                    {}
+
+// ucobsConn adapts ucobs.Conn.
+type ucobsConn struct{ c *ucobs.Conn }
+
+func (u ucobsConn) Send(msg []byte, opt Options) error {
+	return u.c.Send(msg, ucobs.Options{Priority: opt.Priority, Squash: opt.Squash})
+}
+func (u ucobsConn) Recv() ([]byte, bool)      { return u.c.Recv() }
+func (u ucobsConn) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
+func (u ucobsConn) Close()                    { u.c.Close() }
+
+// UCOBS exposes the underlying protocol connection for stats.
+func (u ucobsConn) UCOBS() *ucobs.Conn { return u.c }
+
+// utlsConn adapts utls.Conn.
+type utlsConn struct{ c *utls.Conn }
+
+func (u utlsConn) Send(msg []byte, opt Options) error {
+	return u.c.Send(msg, utls.Options{Priority: opt.Priority, Squash: opt.Squash})
+}
+func (u utlsConn) Recv() ([]byte, bool)      { return u.c.Recv() }
+func (u utlsConn) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
+func (u utlsConn) Close()                    { u.c.Close() }
+
+// UTLS exposes the underlying protocol connection for stats.
+func (u utlsConn) UTLS() *utls.Conn { return u.c }
+
+// UCOBSOf extracts the uCOBS connection from a Minion Conn, if that is its
+// substrate.
+func UCOBSOf(c Conn) (*ucobs.Conn, bool) {
+	if u, ok := c.(ucobsConn); ok {
+		return u.c, true
+	}
+	return nil, false
+}
+
+// UTLSOf extracts the uTLS connection from a Minion Conn.
+func UTLSOf(c Conn) (*utls.Conn, bool) {
+	if u, ok := c.(utlsConn); ok {
+		return u.c, true
+	}
+	return nil, false
+}

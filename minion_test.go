@@ -1,0 +1,168 @@
+package minion
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+)
+
+func lossyLink(s *sim.Simulator, p float64) *netem.Link {
+	return netem.NewLink(s, netem.LinkConfig{
+		Rate: 10_000_000, Delay: 15 * time.Millisecond,
+		QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: p},
+	})
+}
+
+func cleanLink(s *sim.Simulator) *netem.Link {
+	return netem.NewLink(s, netem.LinkConfig{Rate: 10_000_000, Delay: 15 * time.Millisecond, QueueBytes: 1 << 30})
+}
+
+func TestAllProtocolsRoundtrip(t *testing.T) {
+	protos := []Protocol{ProtoUDP, ProtoUCOBSTCP, ProtoUCOBSuTCP, ProtoUTLSTCP, ProtoUTLSuTCP}
+	for _, proto := range protos {
+		t.Run(proto.String(), func(t *testing.T) {
+			s := sim.New(1)
+			pair := NewPair(s, proto, TCPConfig{NoDelay: true}, cleanLink(s), cleanLink(s))
+			var got []string
+			pair.B.OnMessage(func(m []byte) { got = append(got, string(m)) })
+			s.RunUntil(2 * time.Second)
+			const n = 20
+			for i := 0; i < n; i++ {
+				if err := pair.A.Send([]byte(fmt.Sprintf("msg-%02d", i)), Options{}); err != nil {
+					t.Fatalf("Send: %v", err)
+				}
+			}
+			s.RunFor(10 * time.Second)
+			if len(got) != n {
+				t.Fatalf("%v delivered %d/%d", proto, len(got), n)
+			}
+		})
+	}
+}
+
+func TestUnorderedProtocolsDeliverOOO(t *testing.T) {
+	for _, proto := range []Protocol{ProtoUCOBSuTCP, ProtoUTLSuTCP} {
+		t.Run(proto.String(), func(t *testing.T) {
+			s := sim.New(3)
+			pair := NewPair(s, proto, TCPConfig{NoDelay: true}, lossyLink(s, 0.05), cleanLink(s))
+			n := 0
+			pair.B.OnMessage(func([]byte) { n++ })
+			s.RunUntil(2 * time.Second)
+			// Large messages so each spans its own segment: losses then
+			// create holes that later segments overtake.
+			const total = 200
+			for i := 0; i < total; i++ {
+				msg := append([]byte(fmt.Sprintf("m%04d", i)), make([]byte, 1200)...)
+				pair.A.Send(msg, Options{})
+			}
+			s.RunFor(time.Minute)
+			if n != total {
+				t.Fatalf("delivered %d/%d", n, total)
+			}
+			ooo := 0
+			if u, ok := UCOBSOf(pair.B); ok {
+				ooo = u.Stats().DeliveredOOO
+			} else if u, ok := UTLSOf(pair.B); ok {
+				ooo = u.Stats().DeliveredOOO
+			}
+			if ooo == 0 {
+				t.Errorf("%v: no OOO deliveries under loss", proto)
+			}
+		})
+	}
+}
+
+func TestUDPIsUnreliable(t *testing.T) {
+	s := sim.New(5)
+	pair := NewPair(s, ProtoUDP, TCPConfig{}, lossyLink(s, 0.5), cleanLink(s))
+	n := 0
+	pair.B.OnMessage(func([]byte) { n++ })
+	for i := 0; i < 100; i++ {
+		pair.A.Send([]byte("d"), Options{})
+	}
+	s.Run()
+	if n == 0 || n == 100 {
+		t.Fatalf("expected partial delivery, got %d/100", n)
+	}
+}
+
+func TestProtocolPredicates(t *testing.T) {
+	cases := []struct {
+		p                           Protocol
+		unordered, secure, reliable bool
+	}{
+		{ProtoUDP, true, false, false},
+		{ProtoUCOBSTCP, false, false, true},
+		{ProtoUCOBSuTCP, true, false, true},
+		{ProtoUTLSTCP, false, true, true},
+		{ProtoUTLSuTCP, true, true, true},
+	}
+	for _, c := range cases {
+		if c.p.Unordered() != c.unordered || c.p.Secure() != c.secure || c.p.Reliable() != c.reliable {
+			t.Errorf("%v predicates wrong", c.p)
+		}
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		name  string
+		prefs Preferences
+		path  PathConstraints
+		want  Protocol
+	}{
+		{"open network, latency app", Preferences{PreferUnordered: true}, PathConstraints{}, ProtoUDP},
+		{"udp blocked", Preferences{PreferUnordered: true}, PathConstraints{UDPBlocked: true}, ProtoUCOBSTCP},
+		{"udp blocked, peer utcp", Preferences{PreferUnordered: true}, PathConstraints{UDPBlocked: true, PeerSupportsUTCP: true}, ProtoUCOBSuTCP},
+		{"hostile 443-only", Preferences{}, PathConstraints{TCPOnly443: true}, ProtoUTLSTCP},
+		{"hostile 443-only, peer utcp", Preferences{}, PathConstraints{TCPOnly443: true, PeerSupportsUTCP: true}, ProtoUTLSuTCP},
+		{"secure required", Preferences{RequireSecure: true}, PathConstraints{}, ProtoUTLSTCP},
+		{"reliable required", Preferences{RequireReliable: true, PreferUnordered: true}, PathConstraints{}, ProtoUCOBSTCP},
+	}
+	for _, c := range cases {
+		if got := Negotiate(c.prefs, c.path); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPriorityPassthrough(t *testing.T) {
+	// High-priority datagrams queued behind bulk data must arrive earlier
+	// on a uCOBS/uTCP pair (send-side prioritization end to end).
+	s := sim.New(9)
+	slow := netem.NewLink(s, netem.LinkConfig{Rate: 500_000, Delay: 10 * time.Millisecond})
+	back := cleanLink(s)
+	pair := NewPair(s, ProtoUCOBSuTCP, TCPConfig{NoDelay: true}, slow, back)
+	type arrival struct {
+		msg string
+		at  time.Duration
+	}
+	var got []arrival
+	pair.B.OnMessage(func(m []byte) { got = append(got, arrival{string(m[:2]), s.Now()}) })
+	s.RunUntil(2 * time.Second)
+	// Queue a burst of low-priority bulk then one high-priority message.
+	for i := 0; i < 30; i++ {
+		pair.A.Send(append([]byte("lo"), make([]byte, 1000)...), Options{Priority: 10})
+	}
+	pair.A.Send([]byte("hi"), Options{Priority: 1})
+	s.RunFor(30 * time.Second)
+	if len(got) != 31 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	pos := -1
+	for i, a := range got {
+		if a.msg == "hi" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		t.Fatal("high priority message lost")
+	}
+	if pos > 10 {
+		t.Fatalf("high-priority message arrived at position %d of 31", pos)
+	}
+}
