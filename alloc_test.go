@@ -1,0 +1,103 @@
+package minion
+
+import (
+	"testing"
+	"time"
+
+	"minion/internal/sim"
+)
+
+// The allocation benchmarks measure the steady-state cost of one datagram
+// traversing the full stack — app → frame/seal → (u)TCP segment build →
+// netem link → receiver reassembly → record extraction → app callback —
+// which is the hot path the zero-copy buffer layer (internal/buf) exists
+// for. Run with -benchmem; bench/BASELINE.md records the pre- and
+// post-refactor numbers.
+
+// hotPair builds an established pair with an ideal (zero-delay, infinite
+// rate) path so the measurement isolates protocol CPU/allocation cost.
+func hotPair(tb testing.TB, proto Protocol) (*sim.Simulator, *Pair) {
+	tb.Helper()
+	s := sim.New(42)
+	pair := NewPair(s, proto, TCPConfig{NoDelay: true}, nil, nil)
+	s.RunUntil(2 * time.Second)
+	return s, pair
+}
+
+// runDatagrams pushes n datagrams of size bytes through the pair one at a
+// time, running the simulator after each send so every datagram completes
+// the full send→deliver round trip (including ACK processing).
+func runDatagrams(tb testing.TB, s *sim.Simulator, pair *Pair, n, size int) {
+	tb.Helper()
+	delivered := 0
+	pair.B.OnMessage(func([]byte) { delivered++ })
+	msg := make([]byte, size)
+	for i := 0; i < n; i++ {
+		if err := pair.A.Send(msg, Options{}); err != nil {
+			tb.Fatalf("Send: %v", err)
+		}
+		s.Run()
+	}
+	if delivered != n {
+		tb.Fatalf("delivered %d/%d datagrams", delivered, n)
+	}
+}
+
+func benchHotPath(b *testing.B, proto Protocol, size int) {
+	s, pair := hotPair(b, proto)
+	// Warm up pools and any lazily-built state before measuring.
+	runDatagrams(b, s, pair, 32, size)
+	b.ReportAllocs()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	runDatagrams(b, s, pair, b.N, size)
+}
+
+func BenchmarkHotPathUCOBSuTCP(b *testing.B)      { benchHotPath(b, ProtoUCOBSuTCP, 1000) }
+func BenchmarkHotPathUCOBSuTCPSmall(b *testing.B) { benchHotPath(b, ProtoUCOBSuTCP, 64) }
+func BenchmarkHotPathUCOBSTCP(b *testing.B)       { benchHotPath(b, ProtoUCOBSTCP, 1000) }
+func BenchmarkHotPathUTLSuTCP(b *testing.B)       { benchHotPath(b, ProtoUTLSuTCP, 1000) }
+func BenchmarkHotPathUDP(b *testing.B)            { benchHotPath(b, ProtoUDP, 1000) }
+
+// allocsPerDatagram reports the average allocations for one full
+// send→deliver round trip on an established connection.
+func allocsPerDatagram(t *testing.T, proto Protocol, size int) float64 {
+	s, pair := hotPair(t, proto)
+	runDatagrams(t, s, pair, 32, size) // warm-up
+	const batch = 16
+	return testing.AllocsPerRun(50, func() {
+		runDatagrams(t, s, pair, batch, size)
+	}) / batch
+}
+
+// TestAllocsUCOBSuTCPHotPath pins the allocation budget of the uCOBS/uTCP
+// datagram path. The pre-refactor datapath cost 31 allocs per datagram
+// (see bench/BASELINE.md); the pooled buffer layer must keep it under half
+// of that. The bound is deliberately loose against the measured value
+// (~13) so the test catches regressions to per-layer copying, not
+// allocator noise.
+func TestAllocsUCOBSuTCPHotPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	got := allocsPerDatagram(t, ProtoUCOBSuTCP, 1000)
+	const budget = 14.5 // less than half the 31-alloc pre-refactor baseline
+	if got > budget {
+		t.Errorf("uCOBS/uTCP hot path: %.1f allocs/datagram, budget %.1f", got, budget)
+	}
+	t.Logf("uCOBS/uTCP hot path: %.1f allocs/datagram", got)
+}
+
+// TestAllocsUTLSuTCPHotPath pins the uTLS/uTCP budget the same way
+// (pre-refactor baseline 43 allocs/datagram, ~19 after the refactor).
+func TestAllocsUTLSuTCPHotPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	got := allocsPerDatagram(t, ProtoUTLSuTCP, 1000)
+	const budget = 21.0 // less than half the 43-alloc pre-refactor baseline
+	if got > budget {
+		t.Errorf("uTLS/uTCP hot path: %.1f allocs/datagram, budget %.1f", got, budget)
+	}
+	t.Logf("uTLS/uTCP hot path: %.1f allocs/datagram", got)
+}

@@ -1,0 +1,3 @@
+module minion
+
+go 1.24

@@ -1,0 +1,251 @@
+// Package buf provides the pooled, reference-counted byte buffers that the
+// whole Minion datagram datapath passes between layers instead of freshly
+// allocated []byte slices.
+//
+// A Buffer is a view (offset + length) into a shared backing arena. Arenas
+// come from size-classed free lists over sync.Pool (64 B … 64 KiB in
+// power-of-two classes; larger requests get exact, unpooled allocations),
+// and carry an atomic reference count. Retain/Slice add references, Release
+// drops one; when the count reaches zero the arena returns to its class
+// pool for reuse. Slicing is zero-copy: a slice is a new view over the same
+// arena with its own reference.
+//
+// Ownership rules (enforced by convention across the stack):
+//
+//   - Get/GetCap/From/Adopt return a Buffer owned by the caller (one
+//     reference). Passing a Buffer to a function documented as "taking
+//     ownership" transfers that reference; the caller must not touch the
+//     Buffer afterwards.
+//   - A layer that needs bytes to outlive the call it received them in
+//     takes its own reference with Retain or Slice and Releases it when
+//     done.
+//   - Releasing more references than were taken panics ("buf: release of
+//     released buffer") — over-release is the only way pooled memory can be
+//     corrupted, so it fails loudly rather than silently recycling live
+//     data. Forgetting a Release is safe: the arena is simply garbage
+//     collected instead of reused.
+//   - Detach converts a Buffer into an ordinary garbage-collected []byte
+//     (the arena is permanently removed from pooling), for handing data to
+//     code outside the buffer discipline, e.g. Recv()-style APIs.
+//
+// The refcounts and pools are safe for concurrent use; the views themselves
+// follow the usual Go rule that a []byte must not be written concurrently
+// with reads.
+package buf
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	minClassBits = 6  // smallest pooled arena: 64 B
+	maxClassBits = 16 // largest pooled arena: 64 KiB
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// pools[i] holds arenas of 1<<(minClassBits+i) bytes.
+var pools [numClasses]sync.Pool
+
+// PoolStats counts pool activity, mainly for tests and capacity planning.
+type PoolStats struct {
+	Gets     uint64 // arenas requested
+	PoolHits uint64 // requests satisfied from a free list
+	Puts     uint64 // arenas returned to a free list
+	Unpooled uint64 // oversized or adopted arenas (never pooled)
+}
+
+var stats struct {
+	gets, hits, puts, unpooled atomic.Uint64
+}
+
+// Stats returns a snapshot of the package counters.
+func Stats() PoolStats {
+	return PoolStats{
+		Gets:     stats.gets.Load(),
+		PoolHits: stats.hits.Load(),
+		Puts:     stats.puts.Load(),
+		Unpooled: stats.unpooled.Load(),
+	}
+}
+
+// arena is the shared, refcounted backing store.
+type arena struct {
+	storage []byte
+	refs    atomic.Int32
+	class   atomic.Int32 // pool index; -1 = never pooled (oversized or adopted)
+}
+
+// Buffer is one view into an arena. The zero value is invalid; obtain
+// Buffers from Get, GetCap, From, Adopt, Retain or Slice.
+type Buffer struct {
+	b     []byte // the view: arena.storage[off : off+len]
+	off   int    // view start within arena.storage
+	arena *arena
+}
+
+// classFor returns the pool index for a request of n bytes, or -1 when the
+// request exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - minClassBits
+}
+
+func getArena(n int) *arena {
+	stats.gets.Add(1)
+	class := classFor(n)
+	if class < 0 {
+		stats.unpooled.Add(1)
+		a := &arena{storage: make([]byte, n)}
+		a.class.Store(-1)
+		a.refs.Store(1)
+		return a
+	}
+	if v := pools[class].Get(); v != nil {
+		stats.hits.Add(1)
+		a := v.(*arena)
+		a.refs.Store(1)
+		return a
+	}
+	a := &arena{storage: make([]byte, 1<<(minClassBits+class))}
+	a.class.Store(int32(class))
+	a.refs.Store(1)
+	return a
+}
+
+// Get returns a Buffer of length n backed by a pooled arena. The contents
+// are not zeroed (arenas are reused).
+func Get(n int) *Buffer {
+	a := getArena(n)
+	return &Buffer{b: a.storage[:n], arena: a}
+}
+
+// GetCap returns an empty Buffer whose view has capacity at least n, for
+// append-style building; finish with SetLen.
+func GetCap(n int) *Buffer {
+	a := getArena(n)
+	return &Buffer{b: a.storage[:0], arena: a}
+}
+
+// From returns a pooled Buffer holding a copy of p.
+func From(p []byte) *Buffer {
+	b := Get(len(p))
+	copy(b.b, p)
+	return b
+}
+
+// Adopt wraps caller-provided storage in a Buffer without copying. The
+// arena is reference-counted like any other but is never returned to a
+// pool, so the bytes stay valid for any code still holding p.
+func Adopt(p []byte) *Buffer {
+	stats.unpooled.Add(1)
+	a := &arena{storage: p}
+	a.class.Store(-1)
+	a.refs.Store(1)
+	return &Buffer{b: p, arena: a}
+}
+
+// Bytes returns the Buffer's view. The slice is valid until the owning
+// reference is Released. Mutating it is allowed only while the caller holds
+// the sole reference.
+func (b *Buffer) Bytes() []byte { return b.b }
+
+// Len returns the view length.
+func (b *Buffer) Len() int { return len(b.b) }
+
+// Cap returns the bytes available to the view: from its start to the end
+// of the arena.
+func (b *Buffer) Cap() int { return cap(b.b) }
+
+// SetLen resizes the view in place to storage[off : off+n]. It is intended
+// for builder-style use after writing into Bytes()[:0] via append: the
+// caller must have stayed within Cap (cobs.MaxEncodedLen-style bounds make
+// this statically checkable at every call site); appends that exceeded Cap
+// reallocated away from the arena and the write is lost, so SetLen panics
+// if n exceeds Cap.
+func (b *Buffer) SetLen(n int) {
+	if b.arena == nil {
+		panic("buf: SetLen on released buffer")
+	}
+	if n > cap(b.b) {
+		panic("buf: SetLen beyond capacity")
+	}
+	b.b = b.b[:n]
+}
+
+// Retain adds a reference and returns a new Buffer with the same view, for
+// handing to another owner. Each Buffer tracks exactly one reference and is
+// Released exactly once; Retain never aliases the receiver's header.
+func (b *Buffer) Retain() *Buffer {
+	if b.arena == nil {
+		panic("buf: retain of released buffer")
+	}
+	b.arena.refs.Add(1)
+	return &Buffer{b: b.b, off: b.off, arena: b.arena}
+}
+
+// Slice returns a new Buffer viewing b.Bytes()[i:j] without copying. The
+// slice holds its own reference and must be Released independently.
+func (b *Buffer) Slice(i, j int) *Buffer {
+	if b.arena == nil {
+		panic("buf: slice of released buffer")
+	}
+	if i < 0 || j < i || j > len(b.b) {
+		panic("buf: slice bounds out of range")
+	}
+	b.arena.refs.Add(1)
+	return &Buffer{b: b.b[i:j], off: b.off + i, arena: b.arena}
+}
+
+// Release drops this Buffer's reference. When the last reference is
+// dropped the arena returns to its size-class pool. Releasing an
+// already-released Buffer panics.
+func (b *Buffer) Release() {
+	a := b.arena
+	if a == nil {
+		panic("buf: release of released buffer")
+	}
+	b.arena = nil
+	b.b = nil
+	if n := a.refs.Add(-1); n == 0 {
+		if class := a.class.Load(); class >= 0 {
+			stats.puts.Add(1)
+			pools[class].Put(a)
+		}
+	} else if n < 0 {
+		panic("buf: release of released buffer")
+	}
+}
+
+// Detach returns the view as an ordinary []byte owned by the caller and
+// releases the Buffer. The arena is permanently excluded from pooling, so
+// the returned slice remains valid under normal garbage collection even
+// though other references may still exist.
+func (b *Buffer) Detach() []byte {
+	a := b.arena
+	if a == nil {
+		panic("buf: detach of released buffer")
+	}
+	out := b.b
+	a.class.Store(-1) // no pooled reuse once bytes escape the discipline
+	stats.unpooled.Add(1)
+	b.arena = nil
+	b.b = nil
+	if a.refs.Add(-1) < 0 {
+		panic("buf: release of released buffer")
+	}
+	return out
+}
+
+// Copy returns an ordinary garbage-collected copy of the view — the
+// copy-on-demand escape hatch for callers that want to keep delivered bytes
+// past their callback without holding a reference.
+func (b *Buffer) Copy() []byte {
+	return append([]byte(nil), b.b...)
+}

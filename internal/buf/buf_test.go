@@ -1,0 +1,303 @@
+package buf
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic %q, got none", want)
+		}
+		if s, ok := r.(string); !ok || s != want {
+			t.Fatalf("panic = %v, want %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestGetFromRoundtrip(t *testing.T) {
+	b := From([]byte("hello world"))
+	if got := string(b.Bytes()); got != "hello world" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if b.Len() != 11 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Release()
+}
+
+func TestClassSizing(t *testing.T) {
+	for _, tc := range []struct{ n, wantCap int }{
+		{0, 64}, {1, 64}, {64, 64}, {65, 128}, {1000, 1024},
+		{1 << 16, 1 << 16},
+	} {
+		b := Get(tc.n)
+		if b.Len() != tc.n || cap(b.Bytes()) != tc.wantCap {
+			t.Errorf("Get(%d): len %d cap %d, want cap %d", tc.n, b.Len(), cap(b.Bytes()), tc.wantCap)
+		}
+		b.Release()
+	}
+	// Oversized requests get exact, unpooled storage.
+	big := Get(1<<16 + 1)
+	if big.Len() != 1<<16+1 || cap(big.Bytes()) != 1<<16+1 {
+		t.Errorf("oversize: len %d cap %d", big.Len(), cap(big.Bytes()))
+	}
+	big.Release()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	b := Get(32)
+	b.Release()
+	mustPanic(t, "buf: release of released buffer", b.Release)
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	b := Get(32)
+	b.Release()
+	mustPanic(t, "buf: retain of released buffer", func() { b.Retain() })
+	mustPanic(t, "buf: slice of released buffer", func() { b.Slice(0, 1) })
+	mustPanic(t, "buf: detach of released buffer", func() { b.Detach() })
+	mustPanic(t, "buf: SetLen on released buffer", func() { b.SetLen(1) })
+}
+
+func TestSliceBounds(t *testing.T) {
+	b := Get(10)
+	mustPanic(t, "buf: slice bounds out of range", func() { b.Slice(4, 11) })
+	mustPanic(t, "buf: slice bounds out of range", func() { b.Slice(-1, 4) })
+	mustPanic(t, "buf: slice bounds out of range", func() { b.Slice(5, 4) })
+	b.Release()
+}
+
+// TestRetainAcrossLayers models the datapath pattern: a sender owns a
+// buffer, a receiver layer slices part of it and keeps it after the sender
+// released; the bytes must stay valid until the last reference drops.
+func TestRetainAcrossLayers(t *testing.T) {
+	sender := From([]byte("abcdefghij"))
+	view := sender.Slice(2, 6) // receiver keeps "cdef"
+	sender.Release()           // sender done (e.g. segment acked)
+	if got := string(view.Bytes()); got != "cdef" {
+		t.Fatalf("view after sender release = %q", got)
+	}
+	// Only now may the arena be reused: a fresh Get of the same class must
+	// not corrupt the still-held view, because the arena cannot have been
+	// pooled while view holds a reference.
+	other := Get(10)
+	copy(other.Bytes(), "XXXXXXXXXX")
+	if got := string(view.Bytes()); got != "cdef" {
+		t.Fatalf("view corrupted by concurrent Get = %q", got)
+	}
+	other.Release()
+	view.Release()
+}
+
+func TestSliceOfSlice(t *testing.T) {
+	b := From([]byte("0123456789"))
+	s1 := b.Slice(2, 8)
+	s2 := s1.Slice(1, 4)
+	if got := string(s2.Bytes()); got != "345" {
+		t.Fatalf("nested slice = %q", got)
+	}
+	b.Release()
+	s1.Release()
+	if got := string(s2.Bytes()); got != "345" {
+		t.Fatalf("nested slice after parents released = %q", got)
+	}
+	s2.Release()
+}
+
+// TestPoolReuse verifies that released arenas actually come back from the
+// free list: release then immediate same-class Get on the same goroutine
+// must observe the same backing array.
+func TestPoolReuse(t *testing.T) {
+	b := Get(100)
+	b.Bytes()[0] = 0xAB
+	p := &b.Bytes()[0]
+	b.Release()
+	b2 := Get(100)
+	defer b2.Release()
+	if &b2.Bytes()[0] != p {
+		t.Fatal("released arena was not reused by the next same-class Get")
+	}
+}
+
+// TestNoReuseWhileReferenced is the inverse: as long as any reference is
+// live, the arena must NOT be handed out again.
+func TestNoReuseWhileReferenced(t *testing.T) {
+	b := Get(100)
+	p := &b.Bytes()[0]
+	view := b.Slice(0, 10)
+	b.Release() // refcount 1 (view)
+	b2 := Get(100)
+	defer b2.Release()
+	if &b2.Bytes()[0] == p {
+		t.Fatal("arena reused while a slice reference was live")
+	}
+	view.Release()
+}
+
+func TestDetachEscapesPooling(t *testing.T) {
+	b := Get(100)
+	copy(b.Bytes(), "detached-data")
+	p := &b.Bytes()[0]
+	out := b.Detach()
+	if string(out[:13]) != "detached-data" {
+		t.Fatalf("detached bytes = %q", out[:13])
+	}
+	// The arena must never return to the pool, so a fresh Get cannot alias
+	// the detached bytes.
+	b2 := Get(100)
+	defer b2.Release()
+	if &b2.Bytes()[0] == p {
+		t.Fatal("detached arena was pooled")
+	}
+}
+
+func TestDetachWithLiveSlice(t *testing.T) {
+	b := From([]byte("shared-arena-bytes"))
+	view := b.Slice(0, 6)
+	out := b.Detach()
+	view.Release() // last reference: arena must still not be pooled
+	b2 := Get(18)
+	b3 := Get(18)
+	copy(b2.Bytes(), "XXXXXXXXXXXXXXXXXX")
+	copy(b3.Bytes(), "YYYYYYYYYYYYYYYYYY")
+	if !bytes.Equal(out, []byte("shared-arena-bytes")) {
+		t.Fatalf("detached bytes corrupted: %q", out)
+	}
+	b2.Release()
+	b3.Release()
+}
+
+func TestSetLenBuilder(t *testing.T) {
+	b := GetCap(50)
+	s := b.Bytes()[:0]
+	s = append(s, "built-in-place"...)
+	b.SetLen(len(s))
+	if got := string(b.Bytes()); got != "built-in-place" {
+		t.Fatalf("builder result = %q", got)
+	}
+	mustPanic(t, "buf: SetLen beyond capacity", func() { b.SetLen(1 << 20) })
+	b.Release()
+}
+
+func TestAdopt(t *testing.T) {
+	raw := []byte("adopted")
+	b := Adopt(raw)
+	if &b.Bytes()[0] != &raw[0] {
+		t.Fatal("Adopt copied")
+	}
+	b.Release() // must not pool caller-owned storage
+	b2 := Get(len(raw))
+	defer b2.Release()
+	if len(b2.Bytes()) > 0 && &b2.Bytes()[0] == &raw[0] {
+		t.Fatal("adopted storage was pooled")
+	}
+}
+
+// TestChurn exercises sustained get/slice/release cycling and checks both
+// data integrity and that the pool is actually cycling (puts and hits
+// advance).
+func TestChurn(t *testing.T) {
+	before := Stats()
+	for i := 0; i < 10000; i++ {
+		n := 1 + i%2000
+		b := Get(n)
+		pat := byte(i)
+		for j := range b.Bytes() {
+			b.Bytes()[j] = pat
+		}
+		v := b.Slice(n/4, n/2+n/4)
+		b.Release()
+		for _, c := range v.Bytes() {
+			if c != pat {
+				t.Fatalf("iteration %d: corrupted byte %x != %x", i, c, pat)
+			}
+		}
+		v.Release()
+	}
+	after := Stats()
+	if after.Puts <= before.Puts || after.PoolHits <= before.PoolHits {
+		t.Fatalf("pool not cycling under churn: before %+v after %+v", before, after)
+	}
+}
+
+// TestConcurrentChurn hammers the pools and refcounts from many goroutines;
+// run under -race this validates the atomic lifecycle.
+func TestConcurrentChurn(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				n := 1 + (i*31+w)%4000
+				b := Get(n)
+				pat := byte(w*17 + i)
+				bb := b.Bytes()
+				for j := range bb {
+					bb[j] = pat
+				}
+				v := b.Slice(0, n/2)
+				r := b.Retain()
+				b.Release()
+				for _, c := range v.Bytes() {
+					if c != pat {
+						t.Errorf("worker %d: corruption", w)
+						return
+					}
+				}
+				v.Release()
+				r.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentSharedRelease has many goroutines releasing references to
+// the same arena; exactly one (the last) must trigger the pool return, and
+// the count must never go negative.
+func TestConcurrentSharedRelease(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		b := Get(256)
+		const refs = 16
+		views := make([]*Buffer, refs)
+		for i := range views {
+			views[i] = b.Slice(0, 16)
+		}
+		var wg sync.WaitGroup
+		for _, v := range views {
+			wg.Add(1)
+			go func(v *Buffer) {
+				defer wg.Done()
+				v.Release()
+			}(v)
+		}
+		b.Release()
+		wg.Wait()
+	}
+}
+
+func BenchmarkGetRelease(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := Get(1500)
+		x.Release()
+	}
+}
+
+func BenchmarkSliceRelease(b *testing.B) {
+	b.ReportAllocs()
+	base := Get(4096)
+	defer base.Release()
+	for i := 0; i < b.N; i++ {
+		s := base.Slice(100, 1500)
+		s.Release()
+	}
+}

@@ -13,13 +13,21 @@ import (
 	"math/rand"
 	"time"
 
+	"minion/internal/buf"
 	"minion/internal/sim"
 )
 
 // Packet is the unit carried by emulated paths. Data is an opaque protocol
-// unit (for example a *tcp.Segment); Size is its wire size in bytes including
-// all header overhead, which is what rate limiting and queue accounting use.
-// Flow is a demultiplexing key assigned by the experiment topology.
+// unit (for example a *tcp.Segment, or a *buf.Buffer for raw-datagram
+// transports); Size is its wire size in bytes including all header
+// overhead, which is what rate limiting and queue accounting use. Flow is a
+// demultiplexing key assigned by the experiment topology.
+//
+// Paths never copy payload bytes: packets queue, delay and deliver by
+// reference. When Data is a pooled *buf.Buffer the packet carries its
+// owner's reference through the path; elements that multiply a packet
+// (duplication) retain the buffer once per extra delivery so each consumer
+// may release its own copy.
 type Packet struct {
 	Flow int
 	Data any
@@ -219,7 +227,13 @@ func (l *Link) propagate(p Packet) {
 	dup := l.cfg.DuplicateProb > 0 && l.sim.Rand().Float64() < l.cfg.DuplicateProb
 	l.sim.Schedule(d, func() { l.emit(p) })
 	if dup {
-		l.sim.Schedule(d, func() { l.emit(p) })
+		p2 := p
+		if b, ok := p.Data.(*buf.Buffer); ok {
+			// An ownership-carrying payload must be referenced once per
+			// delivery, or the duplicate would double-release the arena.
+			p2.Data = b.Retain()
+		}
+		l.sim.Schedule(d, func() { l.emit(p2) })
 	}
 }
 

@@ -1,0 +1,58 @@
+// Package queue provides the head-indexed FIFO backing the datapath's
+// delivery and receive queues. Pops advance a head cursor in O(1) — no
+// per-pop element shifting — and the backing array is reused from the
+// start each time the queue fully drains, so steady-state push/pop cycling
+// allocates nothing. Vacated slots are zeroed so the array retains no
+// references (pooled buffers, message slices) past their pop.
+package queue
+
+// FIFO is a head-indexed first-in-first-out queue. The zero value is an
+// empty queue ready for use.
+type FIFO[T any] struct {
+	items []T
+	head  int
+}
+
+// Len returns the number of queued elements.
+func (f *FIFO[T]) Len() int { return len(f.items) - f.head }
+
+// Push appends v to the tail.
+func (f *FIFO[T]) Push(v T) { f.items = append(f.items, v) }
+
+// Peek returns a pointer to the head element for in-place partial
+// consumption, or nil when the queue is empty. The pointer is valid until
+// the next Push or Pop.
+func (f *FIFO[T]) Peek() *T {
+	if f.head == len(f.items) {
+		return nil
+	}
+	return &f.items[f.head]
+}
+
+// Pop removes and returns the head element; ok is false when the queue is
+// empty.
+func (f *FIFO[T]) Pop() (v T, ok bool) {
+	if f.head == len(f.items) {
+		return v, false
+	}
+	var zero T
+	v = f.items[f.head]
+	f.items[f.head] = zero
+	f.head++
+	switch {
+	case f.head == len(f.items):
+		f.items, f.head = f.items[:0], 0
+	case f.head > compactThreshold && f.head > len(f.items)/2:
+		// A queue that cycles without ever fully draining would otherwise
+		// append forever past a growing dead prefix; compact once the dead
+		// space dominates (amortized O(1) per pop).
+		n := copy(f.items, f.items[f.head:])
+		clear(f.items[n:])
+		f.items, f.head = f.items[:n], 0
+	}
+	return v, true
+}
+
+// compactThreshold is the dead-prefix length above which Pop considers
+// compacting the backing array.
+const compactThreshold = 32

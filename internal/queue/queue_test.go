@@ -1,0 +1,111 @@
+package queue
+
+import "testing"
+
+func TestFIFOOrderAndReuse(t *testing.T) {
+	var q FIFO[int]
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue returned non-nil")
+	}
+	// Interleaved push/pop across several drain cycles must preserve FIFO
+	// order and reuse the backing array once drained.
+	next := 0
+	pushed := 0
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 100; i++ {
+			q.Push(pushed)
+			pushed++
+		}
+		for q.Len() > 50 {
+			v, ok := q.Pop()
+			if !ok || v != next {
+				t.Fatalf("cycle %d: Pop = %d,%v want %d", cycle, v, ok, next)
+			}
+			next++
+		}
+		for q.Len() > 0 {
+			v, ok := q.Pop()
+			if !ok || v != next {
+				t.Fatalf("cycle %d drain: Pop = %d,%v want %d", cycle, v, ok, next)
+			}
+			next++
+		}
+		if q.head != 0 || len(q.items) != 0 {
+			t.Fatalf("cycle %d: queue not reset after drain (head=%d len=%d)", cycle, q.head, len(q.items))
+		}
+	}
+	if cap(q.items) == 0 || cap(q.items) > 256 {
+		t.Fatalf("backing array not reused across cycles (cap=%d)", cap(q.items))
+	}
+}
+
+func TestFIFOPeekMutation(t *testing.T) {
+	var q FIFO[[]byte]
+	q.Push([]byte("abcdef"))
+	p := q.Peek()
+	*p = (*p)[2:] // partial consumption in place
+	if string(*q.Peek()) != "cdef" {
+		t.Fatalf("in-place mutation lost: %q", *q.Peek())
+	}
+	v, _ := q.Pop()
+	if string(v) != "cdef" {
+		t.Fatalf("Pop after mutation = %q", v)
+	}
+}
+
+func TestFIFOPopClearsSlot(t *testing.T) {
+	var q FIFO[*int]
+	x := new(int)
+	q.Push(x)
+	q.Push(new(int)) // keep queue non-empty so the slot isn't resliced away
+	q.Pop()
+	// The vacated slot must not retain the pointer.
+	if q.items[0] != nil {
+		t.Fatal("popped slot retains reference")
+	}
+}
+
+// TestFIFOBoundedWithoutFullDrain guards the compaction path: a queue
+// that cycles while never fully draining must not grow its backing array
+// with total throughput.
+func TestFIFOBoundedWithoutFullDrain(t *testing.T) {
+	var q FIFO[int]
+	q.Push(-1) // keeps the queue permanently non-empty
+	next := 0
+	for i := 0; i < 100000; i++ {
+		q.Push(i)
+		v, ok := q.Pop()
+		want := next - 1 // the sentinel first, then FIFO order
+		if !ok || v != want {
+			t.Fatalf("iteration %d: Pop = %d,%v want %d", i, v, ok, want)
+		}
+		next++
+	}
+	if c := cap(q.items); c > 1024 {
+		t.Fatalf("backing array grew with throughput: cap = %d after 100k cycles at depth 1", c)
+	}
+}
+
+func TestFIFOAllocSteadyState(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 64; i++ {
+		q.Push(i)
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.Push(i)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state push/pop cycle allocates (%.1f allocs/run)", avg)
+	}
+}

@@ -48,17 +48,23 @@ type Timer struct {
 	at      time.Duration
 	seq     uint64
 	fn      func()
-	index   int // heap index, -1 when not queued
+	q       *eventQueue // owning queue while scheduled
+	index   int         // heap index, -1 when not queued
 	stopped bool
 }
 
-// Stop cancels the timer. It reports whether the timer was still pending.
-// Stopping an already-fired or already-stopped timer is a no-op.
+// Stop cancels the timer and removes it from the event heap immediately
+// (via the tracked heap index), so arm/cancel churn — e.g. a TCP
+// retransmission timer re-armed on every ACK — does not leave dead entries
+// queued until their deadline. It reports whether the timer was still
+// pending; stopping an already-fired or already-stopped timer is a no-op.
 func (t *Timer) Stop() bool {
 	if t == nil || t.stopped || t.index < 0 {
 		return false
 	}
 	t.stopped = true
+	heap.Remove(t.q, t.index)
+	t.q = nil
 	return true
 }
 
@@ -75,7 +81,7 @@ func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
 	if delay < 0 {
 		delay = 0
 	}
-	t := &Timer{at: s.now + delay, seq: s.seq, fn: fn, index: -1}
+	t := &Timer{at: s.now + delay, seq: s.seq, fn: fn, q: &s.queue, index: -1}
 	s.seq++
 	heap.Push(&s.queue, t)
 	return t
@@ -112,6 +118,8 @@ func (s *Simulator) run(deadline time.Duration) int {
 		}
 		heap.Pop(&s.queue)
 		if next.stopped {
+			// Unreachable since Stop removes from the heap, kept as
+			// defense in depth.
 			continue
 		}
 		if next.at > s.now {
@@ -126,7 +134,8 @@ func (s *Simulator) run(deadline time.Duration) int {
 	return n
 }
 
-// Pending returns the number of queued (possibly stopped) events.
+// Pending returns the number of queued events (stopped timers leave the
+// queue immediately).
 func (s *Simulator) Pending() int { return len(s.queue) }
 
 // eventQueue is a min-heap of timers ordered by (time, sequence).

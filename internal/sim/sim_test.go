@@ -79,6 +79,39 @@ func TestStopNilTimer(t *testing.T) {
 	}
 }
 
+// TestStopRemovesFromHeap guards the arm/cancel pattern every TCP
+// retransmission timer exercises: a stopped timer must leave the event
+// heap immediately, not linger until its deadline — otherwise each
+// arm/cancel cycle leaks a heap entry for the full RTO.
+func TestStopRemovesFromHeap(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		tm := s.Schedule(time.Hour, func() {})
+		tm.Stop()
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after stopping every timer, want 0", got)
+	}
+	// Heap ordering must survive interior removal: stop the middle timer
+	// of three and check the remaining two still fire in order.
+	var got []int
+	a := s.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	b := s.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	c := s.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	_, _ = a, c
+	b.Stop()
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("fired %v, want [1 3]", got)
+	}
+	if b.Pending() {
+		t.Fatal("stopped timer still pending")
+	}
+}
+
 func TestRunUntil(t *testing.T) {
 	s := New(1)
 	var got []int

@@ -9,7 +9,11 @@
 // exactly once.
 package stream
 
-import "sort"
+import (
+	"sort"
+
+	"minion/internal/buf"
+)
 
 // Extent is a half-open range [Start, End) of stream offsets.
 type Extent struct{ Start, End uint64 }
@@ -20,12 +24,16 @@ func (e Extent) Len() int { return int(e.End - e.Start) }
 // Contains reports whether [start,end) lies within e.
 func (e Extent) Contains(start, end uint64) bool { return start >= e.Start && end <= e.End }
 
+// fragment owns its storage exclusively (refcount 1) in a pooled buffer;
+// merges and discards release it so reassembly churn recycles arenas
+// instead of allocating.
 type fragment struct {
 	start uint64
-	data  []byte
+	buf   *buf.Buffer
 }
 
-func (f *fragment) end() uint64 { return f.start + uint64(len(f.data)) }
+func (f *fragment) data() []byte { return f.buf.Bytes() }
+func (f *fragment) end() uint64  { return f.start + uint64(f.buf.Len()) }
 
 // Assembler accumulates stream fragments. The zero value is ready to use.
 type Assembler struct {
@@ -56,7 +64,7 @@ func (a *Assembler) Insert(off uint64, data []byte) Extent {
 
 	if lo == hi {
 		// No overlap/adjacency: fresh fragment.
-		f := &fragment{start: off, data: append([]byte(nil), data...)}
+		f := &fragment{start: off, buf: buf.From(data)}
 		a.frags = append(a.frags, nil)
 		copy(a.frags[lo+1:], a.frags[lo:])
 		a.frags[lo] = f
@@ -73,15 +81,17 @@ func (a *Assembler) Insert(off uint64, data []byte) Extent {
 	if e := a.frags[hi-1].end(); e > newEnd {
 		newEnd = e
 	}
-	merged := make([]byte, newEnd-newStart)
+	merged := buf.Get(int(newEnd - newStart))
+	mb := merged.Bytes()
 	for _, f := range a.frags[lo:hi] {
-		a.bytes -= len(f.data)
-		copy(merged[f.start-newStart:], f.data)
+		a.bytes -= f.buf.Len()
+		copy(mb[f.start-newStart:], f.data())
+		f.buf.Release()
 	}
-	copy(merged[off-newStart:], data)
-	a.bytes += len(merged)
+	copy(mb[off-newStart:], data)
+	a.bytes += len(mb)
 
-	a.frags[lo] = &fragment{start: newStart, data: merged}
+	a.frags[lo] = &fragment{start: newStart, buf: merged}
 	a.frags = append(a.frags[:lo+1], a.frags[hi:]...)
 	return Extent{newStart, newEnd}
 }
@@ -108,7 +118,7 @@ func (a *Assembler) Bytes(ext Extent) (data []byte, ok bool) {
 	if !((Extent{f.start, f.end()}).Contains(ext.Start, ext.End)) {
 		return nil, false
 	}
-	return f.data[ext.Start-f.start : ext.End-f.start], true
+	return f.data()[ext.Start-f.start : ext.End-f.start], true
 }
 
 // FragmentAt returns the extent of the fragment containing offset off.
@@ -136,11 +146,14 @@ func (a *Assembler) Discard(upTo uint64) {
 	for _, f := range a.frags {
 		switch {
 		case f.end() <= upTo:
-			a.bytes -= len(f.data)
+			a.bytes -= f.buf.Len()
+			f.buf.Release()
 		case f.start < upTo:
 			cut := int(upTo - f.start)
 			a.bytes -= cut
-			f.data = f.data[cut:]
+			trimmed := f.buf.Slice(cut, f.buf.Len())
+			f.buf.Release()
+			f.buf = trimmed
 			f.start = upTo
 			keep = append(keep, f)
 		default:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"minion/internal/buf"
 	"minion/internal/sim"
 )
 
@@ -146,10 +147,24 @@ type UnorderedData struct {
 	// Offset is the logical offset of Data[0] in the sender's byte stream
 	// (TCP sequence number minus ISN, as in the paper).
 	Offset uint64
-	// Data is the delivered stream fragment.
+	// Data is the delivered stream fragment. It may be a zero-copy view of
+	// a pooled buffer: consumers that are done with it should call Release
+	// so the arena can be recycled (not calling Release is safe — the
+	// bytes are then reclaimed by the garbage collector instead).
 	Data []byte
 	// InOrder is the flag bit: true when delivered from the in-order path.
 	InOrder bool
+
+	buf *buf.Buffer // reference backing Data when it is a pooled view
+}
+
+// Release drops the delivery's reference to its pooled backing buffer, if
+// any. Data must not be used afterwards.
+func (d *UnorderedData) Release() {
+	if d.buf != nil {
+		d.buf.Release()
+		d.buf = nil
+	}
 }
 
 // WriteOptions control a WriteMsg call on an UnorderedSend connection:
@@ -192,6 +207,12 @@ type Conn struct {
 	readableQueued bool
 	writableQueued bool
 
+	// Cached event closures: these fire once per segment or oftener, so
+	// they are built a single time instead of allocating per Schedule call.
+	readableFn func()
+	writableFn func()
+	rtoFn      func()
+
 	stats Stats
 }
 
@@ -200,6 +221,19 @@ type Conn struct {
 // delivered via Input.
 func New(s *sim.Simulator, cfg Config, out func(*Segment)) *Conn {
 	c := &Conn{sim: s, cfg: cfg.Defaults(), out: out, state: StateClosed}
+	c.readableFn = func() {
+		c.readableQueued = false
+		if c.onReadable != nil {
+			c.onReadable()
+		}
+	}
+	c.writableFn = func() {
+		c.writableQueued = false
+		if c.onWritable != nil && c.SendBufAvailable() > 0 {
+			c.onWritable()
+		}
+	}
+	c.rtoFn = c.onRTO
 	c.initSender()
 	c.initReceiver()
 	return c
@@ -297,6 +331,7 @@ func (c *Conn) teardown(err error) {
 	c.err = err
 	c.setState(StateClosed)
 	c.stopAllTimers()
+	c.dropSendState()
 	if c.onClose != nil {
 		fn := c.onClose
 		c.onClose = nil
@@ -445,12 +480,7 @@ func (c *Conn) notifyReadable() {
 		return
 	}
 	c.readableQueued = true
-	c.sim.Schedule(0, func() {
-		c.readableQueued = false
-		if c.onReadable != nil {
-			c.onReadable()
-		}
-	})
+	c.sim.Schedule(0, c.readableFn)
 }
 
 func (c *Conn) notifyWritable() {
@@ -458,12 +488,7 @@ func (c *Conn) notifyWritable() {
 		return
 	}
 	c.writableQueued = true
-	c.sim.Schedule(0, func() {
-		c.writableQueued = false
-		if c.onWritable != nil && c.SendBufAvailable() > 0 {
-			c.onWritable()
-		}
-	})
+	c.sim.Schedule(0, c.writableFn)
 }
 
 func (c *Conn) stopTimer(t **sim.Timer) {
@@ -477,6 +502,25 @@ func (c *Conn) stopAllTimers() {
 	c.stopTimer(&c.rtxTimer)
 	c.stopTimer(&c.delAckTimer)
 	c.stopTimer(&c.persistTimer)
+}
+
+// dropSendState discards the send queue and retransmission scoreboard on
+// teardown WITHOUT releasing their pooled buffers: an abortive teardown
+// (RST, timeout) has no acknowledgment proving in-flight copies of those
+// bytes were consumed, so returning the arenas to the pool could recycle
+// them under a segment still queued in a network element. The references
+// are simply dropped and the arenas reclaimed by the garbage collector —
+// the safe direction of the buffer discipline. (The ACK-driven release in
+// handleNewAck is not affected: a cumulative ack proves the receiver is
+// past those bytes, so any straggling duplicate takes the early
+// full-duplicate return without reading its payload.) Receive-side queues
+// are left intact: data received before the peer's FIN remains readable
+// after close.
+func (c *Conn) dropSendState() {
+	c.txSegs = nil
+	c.sendQ = nil
+	c.sqHead = 0
+	c.sendQBytes = 0
 }
 
 // StreamOffsetOf converts an absolute receive-side sequence number to a

@@ -1,0 +1,44 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"minion/internal/buf"
+	"minion/internal/sim"
+)
+
+// TestEmptyWriteDoesNotWedge guards against a zero-length WriteMsg (or
+// WriteMsgBuf) parking an undrainable entry at the head of the send queue:
+// the segmenter can never pull bytes from it, so everything queued behind
+// it — including the FIN — would stall forever.
+func TestEmptyWriteDoesNotWedge(t *testing.T) {
+	s := sim.New(1)
+	a, b := NewPair(s, Config{NoDelay: true, UnorderedSend: true}, Config{Unordered: true}, nil, nil)
+	s.RunUntil(100 * time.Millisecond)
+
+	if n, err := a.WriteMsg(nil, WriteOptions{}); n != 0 || err != nil {
+		t.Fatalf("WriteMsg(nil) = %d, %v", n, err)
+	}
+	if n, err := a.WriteMsgBuf(buf.Get(0), WriteOptions{}); n != 0 || err != nil {
+		t.Fatalf("WriteMsgBuf(empty) = %d, %v", n, err)
+	}
+	if n, err := a.Write(nil); n != 0 || err != nil {
+		t.Fatalf("Write(nil) = %d, %v", n, err)
+	}
+	if _, err := a.WriteMsg([]byte("after-empty"), WriteOptions{}); err != nil {
+		t.Fatalf("WriteMsg after empty writes: %v", err)
+	}
+	s.RunFor(time.Second)
+	d, err := b.ReadUnordered()
+	if err != nil || string(d.Data) != "after-empty" {
+		t.Fatalf("delivery after empty writes = %q, %v", d.Data, err)
+	}
+	// Close must complete: the FIN is not stuck behind a zero-length write.
+	a.Close()
+	b.Close()
+	s.RunFor(5 * time.Second)
+	if a.State() != StateClosed || b.State() != StateClosed {
+		t.Fatalf("states after close: %v / %v", a.State(), b.State())
+	}
+}

@@ -3,6 +3,8 @@ package tcp
 import (
 	"io"
 
+	"minion/internal/buf"
+	"minion/internal/queue"
 	"minion/internal/sim"
 	"minion/internal/stream"
 )
@@ -10,15 +12,16 @@ import (
 type inChunk struct {
 	off  uint64 // stream offset of data[0]
 	data []byte
+	buf  *buf.Buffer // non-nil when data is a zero-copy view of a pooled arena
 }
 
 type receiver struct {
 	asm *stream.Assembler // keyed by absolute sequence number, >= rcvNxt
 
-	inQ      []inChunk // in-order data awaiting Read (plain mode)
+	inQ      queue.FIFO[inChunk] // in-order data awaiting Read (plain mode)
 	inQBytes int
 
-	uQ []UnorderedData // uTCP delivery queue (unordered mode)
+	uQ queue.FIFO[UnorderedData] // uTCP delivery queue (unordered mode)
 
 	pendingAckSegs  int
 	delAckTimer     *sim.Timer
@@ -72,8 +75,15 @@ func (c *Conn) processData(seg *Segment) {
 
 	payload := seg.Payload
 	seq := seg.Seq
+	segBuf := seg.Buf
+	if segBuf != nil && (segBuf.Len() != len(payload) || (len(payload) > 0 && &segBuf.Bytes()[0] != &payload[0])) {
+		// A middlebox (or test harness) rewrote Payload without dropping
+		// the buffer; fall back to the copying paths.
+		segBuf = nil
+	}
 	wasOutOfOrder := seq > c.rcvNxt
 	holesBefore := len(c.asm.Fragments()) > 0
+	advanced := false
 
 	if len(payload) > 0 {
 		// Reject data starting beyond any window we could have advertised
@@ -83,38 +93,68 @@ func (c *Conn) processData(seg *Segment) {
 			c.sendAck()
 			return
 		}
-		if seq+uint64(len(payload)) <= c.rcvNxt {
+		end := seq + uint64(len(payload))
+		if end <= c.rcvNxt {
 			// Entirely duplicate data: immediate ACK.
 			c.sendAck()
 			return
 		}
-		ext := c.asm.Insert(seq, payload)
-		c.lastSACKFirst = ext
+		if !wasOutOfOrder && !holesBefore {
+			// Fast path: a clean in-order arrival with an empty reorder
+			// buffer (the steady state). The newly contiguous region is
+			// exactly this segment's new bytes, so deliver them straight
+			// from the segment — a zero-copy refcounted slice when the
+			// segment carries a pooled buffer — and never touch the
+			// assembler.
+			trim := int(c.rcvNxt - seq)
+			chunk := inChunk{off: c.StreamOffsetOf(c.rcvNxt)}
+			if segBuf != nil {
+				chunk.buf = segBuf.Slice(trim, len(payload))
+				chunk.data = chunk.buf.Bytes()
+			} else {
+				chunk.data = append([]byte(nil), payload[trim:]...)
+			}
+			if c.cfg.Unordered {
+				c.uQ.Push(UnorderedData{Offset: chunk.off, Data: chunk.data, InOrder: true, buf: chunk.buf})
+			} else {
+				c.inQ.Push(chunk)
+			}
+			c.inQBytes += len(chunk.data)
+			c.stats.BytesReceived += int64(len(chunk.data))
+			c.rcvNxt = end
+			advanced = true
+		} else {
+			ext := c.asm.Insert(seq, payload)
+			c.lastSACKFirst = ext
 
-		// uTCP immediate delivery of out-of-order segments (paper §4.1):
-		// the segment is surfaced now with its stream offset; it stays in
-		// the reorder buffer so the in-order path redelivers it later
-		// (at-least-once, like the Linux prototype).
-		if c.cfg.Unordered && wasOutOfOrder {
-			c.stats.DeliveredOOO++
-			c.uQ = append(c.uQ, UnorderedData{
-				Offset:  c.StreamOffsetOf(seq),
-				Data:    append([]byte(nil), payload...),
-				InOrder: false,
-			})
+			// uTCP immediate delivery of out-of-order segments (paper §4.1):
+			// the segment is surfaced now with its stream offset; it stays in
+			// the reorder buffer so the in-order path redelivers it later
+			// (at-least-once, like the Linux prototype).
+			if c.cfg.Unordered && wasOutOfOrder {
+				c.stats.DeliveredOOO++
+				d := UnorderedData{Offset: c.StreamOffsetOf(seq), InOrder: false}
+				if segBuf != nil {
+					d.buf = segBuf.Slice(0, len(payload))
+					d.Data = d.buf.Bytes()
+				} else {
+					d.Data = append([]byte(nil), payload...)
+				}
+				c.uQ.Push(d)
+			}
 		}
 	}
 
-	// Advance the cumulative point over any now-contiguous data.
-	advanced := false
+	// Advance the cumulative point over any now-contiguous data (no-op
+	// after the fast path, which leaves the assembler untouched).
 	if newEnd := c.asm.ContiguousEnd(c.rcvNxt); newEnd > c.rcvNxt {
 		data, ok := c.asm.Bytes(stream.Extent{Start: c.rcvNxt, End: newEnd})
 		if ok {
 			chunk := inChunk{off: c.StreamOffsetOf(c.rcvNxt), data: append([]byte(nil), data...)}
 			if c.cfg.Unordered {
-				c.uQ = append(c.uQ, UnorderedData{Offset: chunk.off, Data: chunk.data, InOrder: true})
+				c.uQ.Push(UnorderedData{Offset: chunk.off, Data: chunk.data, InOrder: true})
 			} else {
-				c.inQ = append(c.inQ, chunk)
+				c.inQ.Push(chunk)
 			}
 			c.inQBytes += len(chunk.data)
 			c.stats.BytesReceived += int64(len(chunk.data))
@@ -227,14 +267,20 @@ func (c *Conn) Read(p []byte) (int, error) {
 		return 0, ErrNotUnordered
 	}
 	n := 0
-	for n < len(p) && len(c.inQ) > 0 {
-		chunk := &c.inQ[0]
+	for n < len(p) {
+		chunk := c.inQ.Peek()
+		if chunk == nil {
+			break
+		}
 		m := copy(p[n:], chunk.data)
 		n += m
 		chunk.data = chunk.data[m:]
 		chunk.off += uint64(m)
 		if len(chunk.data) == 0 {
-			c.inQ = c.inQ[1:]
+			if chunk.buf != nil {
+				chunk.buf.Release()
+			}
+			c.inQ.Pop()
 		}
 	}
 	if n > 0 {
@@ -262,7 +308,8 @@ func (c *Conn) ReadUnordered() (UnorderedData, error) {
 	if !c.cfg.Unordered {
 		return UnorderedData{}, ErrNotUnordered
 	}
-	if len(c.uQ) == 0 {
+	d, ok := c.uQ.Pop()
+	if !ok {
 		if c.peerFinReceived {
 			return UnorderedData{}, io.EOF
 		}
@@ -271,8 +318,6 @@ func (c *Conn) ReadUnordered() (UnorderedData, error) {
 		}
 		return UnorderedData{}, ErrWouldBlock
 	}
-	d := c.uQ[0]
-	c.uQ = c.uQ[1:]
 	if d.InOrder {
 		c.inQBytes -= len(d.Data)
 		c.maybeWindowUpdate()
@@ -281,4 +326,4 @@ func (c *Conn) ReadUnordered() (UnorderedData, error) {
 }
 
 // UnorderedAvailable returns the number of queued uTCP deliveries.
-func (c *Conn) UnorderedAvailable() int { return len(c.uQ) }
+func (c *Conn) UnorderedAvailable() int { return c.uQ.Len() }

@@ -24,6 +24,8 @@
 // by property tests against the unmodified receive path).
 package tcp
 
+import "minion/internal/buf"
+
 // Flags is the TCP flag set carried by a Segment.
 type Flags uint8
 
@@ -78,6 +80,14 @@ type SACKBlock struct{ Start, End uint64 }
 
 // Segment is one TCP segment. Payload aliases sender buffers and must be
 // treated as immutable by the network and receiver.
+//
+// Buf, when non-nil, is the pooled buffer backing Payload (Payload ==
+// Buf.Bytes()). It is a borrowed reference owned by the sender, which keeps
+// it alive until the segment is cumulatively acknowledged; a receiver that
+// wants payload bytes to outlive Input takes its own reference with
+// Buf.Slice instead of copying. Middleboxes that rewrite Payload must drop
+// Buf (clone does); segments built by hand (tests, encapsulation layers)
+// simply leave it nil and receivers fall back to copying.
 type Segment struct {
 	Seq     uint64
 	Ack     uint64
@@ -85,6 +95,7 @@ type Segment struct {
 	Window  int
 	Payload []byte
 	SACK    []SACKBlock
+	Buf     *buf.Buffer
 }
 
 // SeqEnd returns the sequence number following this segment's data,
@@ -110,11 +121,13 @@ func (s *Segment) WireSize() int {
 	return n
 }
 
-// clone returns a deep copy (used by middleboxes that mutate segments).
+// clone returns a deep copy (used by middleboxes that mutate segments). The
+// copy carries no pooled buffer: its payload is fresh heap storage.
 func (s *Segment) clone() *Segment {
 	c := *s
 	c.Payload = append([]byte(nil), s.Payload...)
 	c.SACK = append([]SACKBlock(nil), s.SACK...)
+	c.Buf = nil
 	return &c
 }
 

@@ -3,6 +3,7 @@ package tcp
 import (
 	"time"
 
+	"minion/internal/buf"
 	"minion/internal/sim"
 )
 
@@ -10,24 +11,38 @@ import (
 // UnorderedSend mode each write is a unit for both priority insertion and
 // segmentation (the paper's skbuff-per-write rule, §7): a segment never
 // carries bytes from two writes unless CoalesceWrites packs whole writes.
+// The payload lives in a pooled buffer owned by the queue entry; segments
+// slice it zero-copy and the reference is dropped when the write is fully
+// pulled into segments.
 type appWrite struct {
-	data []byte
-	tag  uint32
-	off  int // bytes already pulled into segments
+	buf *buf.Buffer
+	tag uint32
+	off int // bytes already pulled into segments
 }
 
-func (w *appWrite) remaining() int { return len(w.data) - w.off }
+func (w *appWrite) remaining() int { return w.buf.Len() - w.off }
 
 // txSeg is a transmitted, not yet cumulatively acknowledged segment —
-// one entry of the retransmission queue / SACK scoreboard.
+// one entry of the retransmission queue / SACK scoreboard. buf (when
+// non-nil) backs data and holds the scoreboard's reference: it is released
+// when the segment is cumulatively acked or the connection tears down.
 type txSeg struct {
 	seq     uint64
 	data    []byte
+	buf     *buf.Buffer
 	fin     bool
 	sentAt  time.Duration
 	sacked  bool
 	lost    bool // marked for retransmission (fast retransmit or RTO)
 	retrans bool // has ever been retransmitted (Karn)
+}
+
+// release drops the scoreboard's payload reference.
+func (t *txSeg) release() {
+	if t.buf != nil {
+		t.buf.Release()
+		t.buf = nil
+	}
 }
 
 func (t *txSeg) end() uint64 {
@@ -44,7 +59,10 @@ func (t *txSeg) end() uint64 {
 func (t *txSeg) inPipe() bool { return !t.sacked && !t.lost }
 
 type sender struct {
+	// sendQ is head-indexed like the receiver queues: sqHead is the live
+	// head, pops are O(1), and the array resets when the queue drains.
 	sendQ      []*appWrite
+	sqHead     int
 	sendQBytes int
 
 	txSegs []*txSeg
@@ -95,6 +113,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if err := c.writableErr(); err != nil {
 		return 0, err
 	}
+	if len(p) == 0 {
+		return 0, nil
+	}
 	n := len(p)
 	if avail := c.SendBufAvailable(); n > avail {
 		n = avail
@@ -102,7 +123,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if n == 0 {
 		return 0, ErrWouldBlock
 	}
-	c.enqueueWrite(&appWrite{data: append([]byte(nil), p[:n]...), tag: TagDefault}, false)
+	c.enqueueWrite(&appWrite{buf: buf.From(p[:n]), tag: TagDefault}, false)
 	c.trySend()
 	return n, nil
 }
@@ -117,16 +138,36 @@ func (c *Conn) WriteMsg(p []byte, opt WriteOptions) (int, error) {
 	if err := c.writableErr(); err != nil {
 		return 0, err
 	}
+	return c.WriteMsgBuf(buf.From(p), opt)
+}
+
+// WriteMsgBuf is WriteMsg for callers already inside the buffer discipline:
+// it takes ownership of b (releasing it on error as well), so protocol
+// layers that framed a message into a pooled buffer queue it without any
+// copy. On an UnorderedSend connection b becomes one skbuff-boundary unit,
+// exactly like WriteMsg.
+func (c *Conn) WriteMsgBuf(b *buf.Buffer, opt WriteOptions) (int, error) {
+	if err := c.writableErr(); err != nil {
+		b.Release()
+		return 0, err
+	}
 	if opt.Squash && c.cfg.UnorderedSend {
 		c.squash(opt.Tag)
 	}
-	if len(p) > c.SendBufAvailable() {
+	n := b.Len()
+	if n == 0 {
+		// A zero-length write is trivially complete; queueing it would
+		// wedge the queue (the segmenter can never pull bytes from it).
+		b.Release()
+		return 0, nil
+	}
+	if n > c.SendBufAvailable() {
+		b.Release()
 		return 0, ErrWouldBlock
 	}
-	w := &appWrite{data: append([]byte(nil), p...), tag: opt.Tag}
-	c.enqueueWrite(w, c.cfg.UnorderedSend)
+	c.enqueueWrite(&appWrite{buf: b, tag: opt.Tag}, c.cfg.UnorderedSend)
 	c.trySend()
-	return len(p), nil
+	return n, nil
 }
 
 func (c *Conn) writableErr() error {
@@ -150,14 +191,14 @@ func (c *Conn) writableErr() error {
 // has been transmitted in whole or in part — transmitted writes have left
 // the queue, and a partially transmitted head (off > 0) is immovable.
 func (c *Conn) enqueueWrite(w *appWrite, priority bool) {
-	c.sendQBytes += len(w.data)
+	c.sendQBytes += w.buf.Len()
 	if !priority {
 		c.sendQ = append(c.sendQ, w)
 		return
 	}
-	first := 0
-	if len(c.sendQ) > 0 && c.sendQ[0].off > 0 {
-		first = 1
+	first := c.sqHead
+	if first < len(c.sendQ) && c.sendQ[first].off > 0 {
+		first++
 	}
 	pos := len(c.sendQ)
 	for i := first; i < len(c.sendQ); i++ {
@@ -171,17 +212,47 @@ func (c *Conn) enqueueWrite(w *appWrite, priority bool) {
 	c.sendQ[pos] = w
 }
 
+// sendQLen returns the number of queued writes.
+func (c *Conn) sendQLen() int { return len(c.sendQ) - c.sqHead }
+
+// dequeueHead pops sendQ's head in O(1) by advancing the head cursor,
+// compacting the backing array when the dead prefix dominates so a queue
+// that never fully drains cannot grow without bound. This intentionally
+// forks queue.FIFO's compaction (same threshold heuristic): the sender
+// additionally needs indexed access into the live region for priority
+// insertion and squash, which the FIFO deliberately does not expose.
+func (c *Conn) dequeueHead() {
+	c.sendQ[c.sqHead] = nil
+	c.sqHead++
+	switch {
+	case c.sqHead == len(c.sendQ):
+		c.sendQ, c.sqHead = c.sendQ[:0], 0
+	case c.sqHead > 32 && c.sqHead > len(c.sendQ)/2:
+		n := copy(c.sendQ, c.sendQ[c.sqHead:])
+		clear(c.sendQ[n:])
+		c.sendQ, c.sqHead = c.sendQ[:n], 0
+	}
+}
+
 // squash removes queued, untransmitted writes with exactly tag.
 func (c *Conn) squash(tag uint32) {
-	keep := c.sendQ[:0]
-	for i, w := range c.sendQ {
-		if w.tag == tag && !(i == 0 && w.off > 0) {
-			c.sendQBytes -= len(w.data)
+	keep := c.sendQ[c.sqHead:c.sqHead]
+	for i := c.sqHead; i < len(c.sendQ); i++ {
+		w := c.sendQ[i]
+		if w.tag == tag && !(i == c.sqHead && w.off > 0) {
+			c.sendQBytes -= w.buf.Len()
+			w.buf.Release()
 			continue
 		}
 		keep = append(keep, w)
 	}
-	c.sendQ = keep
+	for i := c.sqHead + len(keep); i < len(c.sendQ); i++ {
+		c.sendQ[i] = nil
+	}
+	c.sendQ = c.sendQ[:c.sqHead+len(keep)]
+	if c.sqHead == len(c.sendQ) {
+		c.sendQ, c.sqHead = c.sendQ[:0], 0
+	}
 }
 
 // pipe returns the in-flight estimate in CC units (packets or bytes).
@@ -251,7 +322,7 @@ func (c *Conn) retransmitNextLost() bool {
 			if t.fin {
 				fl |= FlagFIN
 			}
-			c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: fl, Window: c.advertisedWindow(), Payload: t.data})
+			c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: fl, Window: c.advertisedWindow(), Payload: t.data, Buf: t.buf})
 			c.ackedWithData()
 			c.armRTO()
 			return true
@@ -263,7 +334,7 @@ func (c *Conn) retransmitNextLost() bool {
 // sendNewData builds and transmits one segment of new data, honoring write
 // boundaries in UnorderedSend mode. Returns false when nothing was sent.
 func (c *Conn) sendNewData() bool {
-	if len(c.sendQ) == 0 {
+	if c.sendQLen() == 0 {
 		return false
 	}
 	wndAvail := c.sndWnd - c.flightBytes()
@@ -284,58 +355,80 @@ func (c *Conn) sendNewData() bool {
 		return false
 	}
 
-	payload := c.buildPayload(limit)
-	t := &txSeg{seq: c.sndNxt, data: payload, sentAt: c.sim.Now()}
+	payload, pbuf := c.buildPayload(planned)
+	t := &txSeg{seq: c.sndNxt, data: payload, buf: pbuf, sentAt: c.sim.Now()}
 	c.txSegs = append(c.txSegs, t)
 	c.sndNxt += uint64(len(payload))
 	c.stats.BytesSent += int64(len(payload))
-	c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: FlagACK, Window: c.advertisedWindow(), Payload: payload})
+	c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: FlagACK, Window: c.advertisedWindow(), Payload: payload, Buf: pbuf})
 	c.ackedWithData()
 	c.armRTO()
 	c.notifyWritable()
 	return true
 }
 
-// buildPayload pulls up to limit bytes off the send queue according to the
-// packing rules:
-//   - plain TCP: fill across write boundaries (Linux packs MSS skbuffs);
-//   - UnorderedSend: stop at the write boundary (skbuff per write);
-//   - UnorderedSend+CoalesceWrites: additionally pack following *whole*
-//     writes while they fit entirely (the paper's §8.1 partial fix).
-func (c *Conn) buildPayload(limit int) []byte {
-	var payload []byte
-	for len(c.sendQ) > 0 && len(payload) < limit {
-		w := c.sendQ[0]
-		take := w.remaining()
-		if rem := limit - len(payload); take > rem {
-			take = rem
+// buildPayload pulls exactly planned bytes off the send queue, where
+// planned came from plannedPayloadLen and therefore already encodes the
+// packing rules (plain TCP fills across write boundaries; UnorderedSend
+// stops at the boundary; CoalesceWrites admits following whole writes).
+//
+// The returned buffer backs the returned payload slice and carries the
+// scoreboard's reference. Two shapes:
+//   - single-write segment (the planned bytes all come from the head
+//     write, always the case in UnorderedSend mode): the payload is a
+//     zero-copy view of the write's buffer — whole-buffer ownership
+//     transfer when the write maps 1:1 onto the segment, a refcounted
+//     slice otherwise;
+//   - multi-write segment (plain TCP or CoalesceWrites packing): the
+//     writes are packed into one fresh pooled buffer (the single copy on
+//     this path).
+func (c *Conn) buildPayload(planned int) ([]byte, *buf.Buffer) {
+	w := c.sendQ[c.sqHead]
+	if planned <= w.remaining() {
+		var pb *buf.Buffer
+		if w.off == 0 && planned == w.buf.Len() {
+			pb = w.buf // segment == whole write: transfer ownership
+		} else {
+			pb = w.buf.Slice(w.off, w.off+planned)
 		}
-		if c.cfg.UnorderedSend {
-			if len(payload) > 0 {
-				// Coalescing admits only whole writes.
-				if !c.cfg.CoalesceWrites || take < w.remaining() || w.off > 0 {
-					break
-				}
+		payload := pb.Bytes()
+		w.off += planned
+		c.sendQBytes -= planned
+		if w.remaining() == 0 {
+			c.dequeueHead()
+			if pb != w.buf {
+				w.buf.Release()
 			}
 		}
-		payload = append(payload, w.data[w.off:w.off+take]...)
+		return payload, pb
+	}
+	// Multi-write packing: planned stops either at the byte limit or before
+	// a write CoalesceWrites cannot admit whole, so this loop consumes every
+	// write it touches fully except possibly the head.
+	out := buf.Get(planned)
+	n := 0
+	for n < planned {
+		w := c.sendQ[c.sqHead]
+		take := w.remaining()
+		if rem := planned - n; take > rem {
+			take = rem
+		}
+		n += copy(out.Bytes()[n:], w.buf.Bytes()[w.off:w.off+take])
 		w.off += take
 		c.sendQBytes -= take
 		if w.remaining() == 0 {
-			c.sendQ = c.sendQ[1:]
-		}
-		if c.cfg.UnorderedSend && !c.cfg.CoalesceWrites {
-			break
+			w.buf.Release()
+			c.dequeueHead()
 		}
 	}
-	return payload
+	return out.Bytes(), out
 }
 
 // plannedPayloadLen computes, without consuming the queue, how many bytes
 // buildPayload would pull given the same packing rules.
 func (c *Conn) plannedPayloadLen(limit int) int {
 	total := 0
-	for i, w := range c.sendQ {
+	for _, w := range c.sendQ[c.sqHead:] {
 		if total >= limit {
 			break
 		}
@@ -352,13 +445,12 @@ func (c *Conn) plannedPayloadLen(limit int) int {
 		if c.cfg.UnorderedSend && !c.cfg.CoalesceWrites {
 			break
 		}
-		_ = i
 	}
 	return total
 }
 
 func (c *Conn) maybeSendFIN() {
-	if !c.finQueued || c.finSent || len(c.sendQ) > 0 {
+	if !c.finQueued || c.finSent || c.sendQLen() > 0 {
 		return
 	}
 	if !c.cfg.DisableCC && c.pipe() >= c.cwnd+1 {
@@ -377,26 +469,28 @@ func (c *Conn) maybeSendFIN() {
 // maybePersist arms the zero-window probe timer when data waits on a closed
 // peer window.
 func (c *Conn) maybePersist() {
-	if c.sndWnd > 0 || len(c.sendQ) == 0 || c.persistTimer != nil || len(c.txSegs) > 0 {
+	if c.sndWnd > 0 || c.sendQLen() == 0 || c.persistTimer != nil || len(c.txSegs) > 0 {
 		return
 	}
 	c.persistTimer = c.sim.Schedule(c.rto(), func() {
 		c.persistTimer = nil
-		if c.sndWnd == 0 && len(c.sendQ) > 0 && c.state == StateEstablished {
+		if c.sndWnd == 0 && c.sendQLen() > 0 && c.state == StateEstablished {
 			// One-byte window probe, sent as a real transmission so the
 			// byte is consumed exactly once.
-			w := c.sendQ[0]
-			payload := append([]byte(nil), w.data[w.off:w.off+1]...)
+			w := c.sendQ[c.sqHead]
+			pb := w.buf.Slice(w.off, w.off+1)
+			payload := pb.Bytes()
 			w.off++
 			c.sendQBytes--
 			if w.remaining() == 0 {
-				c.sendQ = c.sendQ[1:]
+				w.buf.Release()
+				c.dequeueHead()
 			}
-			t := &txSeg{seq: c.sndNxt, data: payload, sentAt: c.sim.Now()}
+			t := &txSeg{seq: c.sndNxt, data: payload, buf: pb, sentAt: c.sim.Now()}
 			c.txSegs = append(c.txSegs, t)
 			c.sndNxt++
 			c.stats.BytesSent++
-			c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: FlagACK, Window: c.advertisedWindow(), Payload: payload})
+			c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: FlagACK, Window: c.advertisedWindow(), Payload: payload, Buf: pb})
 			c.armRTO()
 			c.maybePersist()
 		}
@@ -449,6 +543,7 @@ func (c *Conn) handleNewAck(ack, oldUna uint64) {
 			if !t.retrans {
 				rttSample = c.sim.Now() - t.sentAt
 			}
+			t.release()
 			continue
 		}
 		keep = append(keep, t)
@@ -590,7 +685,7 @@ func (c *Conn) rto() time.Duration {
 
 func (c *Conn) armRTO() {
 	c.stopTimer(&c.rtxTimer)
-	c.rtxTimer = c.sim.Schedule(c.rto(), c.onRTO)
+	c.rtxTimer = c.sim.Schedule(c.rto(), c.rtoFn)
 }
 
 func (c *Conn) onRTO() {

@@ -28,6 +28,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 )
 
 // Record types (TLS ContentType values).
@@ -145,7 +146,9 @@ type KeyBlock struct {
 	ClientWriteMAC, ServerWriteMAC []byte
 }
 
-// Seal produces records for one direction of a connection.
+// Seal produces records for one direction of a connection. It is not safe
+// for concurrent use: the HMAC and CBC states are cached across records to
+// keep per-record allocation constant.
 type Seal struct {
 	suite   Suite
 	version uint16
@@ -157,6 +160,10 @@ type Seal struct {
 	lastCBC []byte         // SuiteCBCImplicitIV: previous record's last ciphertext block
 	ivSrc   func(b []byte) // explicit IV source (tests may override via SetIVSource)
 	ivCtr   uint64
+	// cached per-record machinery
+	hm     hash.Hash // HMAC-SHA256, Reset between records
+	macBuf []byte    // scratch for hm.Sum
+	enc    cipher.BlockMode
 }
 
 // NewSeal creates a sealer. cipherKey/macKey come from DeriveKeys (ignored
@@ -166,6 +173,7 @@ func NewSeal(suite Suite, cipherKey, macKey []byte) (*Seal, error) {
 	if suite == SuiteNull {
 		return s, nil
 	}
+	s.hm = hmac.New(sha256.New, macKey)
 	b, err := aes.NewCipher(cipherKey)
 	if err != nil {
 		return nil, fmt.Errorf("tlsrec: %w", err)
@@ -224,15 +232,31 @@ func (s *Seal) seal(recType byte, plaintext []byte, macSeq uint64) ([]byte, erro
 	case SuiteCBCImplicitIV:
 		padded := pad(append(append([]byte(nil), plaintext...), s.computeMAC(macSeq, recType, plaintext)...))
 		body = make([]byte, len(padded))
-		enc := cipher.NewCBCEncrypter(s.block, s.lastCBC)
-		enc.CryptBlocks(body, padded)
+		s.cbcEncrypter(s.lastCBC).CryptBlocks(body, padded)
 		s.lastCBC = append(s.lastCBC[:0], body[len(body)-blockSize:]...)
 	case SuiteCBCExplicitIV:
-		padded := pad(append(append([]byte(nil), plaintext...), s.computeMAC(macSeq, recType, plaintext)...))
-		body = make([]byte, blockSize+len(padded))
-		s.ivSrc(body[:blockSize])
-		enc := cipher.NewCBCEncrypter(s.block, body[:blockSize])
-		enc.CryptBlocks(body[blockSize:], padded)
+		// Hot path: build header, IV, plaintext, MAC and padding directly
+		// in the output record and encrypt in place — one allocation per
+		// record, which the caller hands to the transport without copying.
+		mac := s.computeMAC(macSeq, recType, plaintext)
+		inLen := len(plaintext) + len(mac)
+		padLen := blockSize - inLen%blockSize
+		bodyLen := blockSize + inLen + padLen
+		rec := make([]byte, HeaderSize+bodyLen)
+		rec[0] = recType
+		binary.BigEndian.PutUint16(rec[1:], s.version)
+		binary.BigEndian.PutUint16(rec[3:], uint16(bodyLen))
+		iv := rec[HeaderSize : HeaderSize+blockSize]
+		s.ivSrc(iv)
+		inner := rec[HeaderSize+blockSize:]
+		n := copy(inner, plaintext)
+		n += copy(inner[n:], mac)
+		for i := 0; i < padLen; i++ {
+			inner[n+i] = byte(padLen - 1)
+		}
+		s.cbcEncrypter(iv).CryptBlocks(inner, inner)
+		s.seq++
+		return rec, nil
 	}
 	s.seq++
 	rec := make([]byte, HeaderSize+len(body))
@@ -243,19 +267,36 @@ func (s *Seal) seal(recType byte, plaintext []byte, macSeq uint64) ([]byte, erro
 	return rec, nil
 }
 
+// setIVer is implemented by the stdlib AES-CBC BlockModes, letting one
+// cached encrypter/decrypter be re-aimed at each record's IV.
+type setIVer interface{ SetIV([]byte) }
+
+func (s *Seal) cbcEncrypter(iv []byte) cipher.BlockMode {
+	if s.enc != nil {
+		if m, ok := s.enc.(setIVer); ok {
+			m.SetIV(iv)
+			return s.enc
+		}
+	}
+	s.enc = cipher.NewCBCEncrypter(s.block, iv)
+	return s.enc
+}
+
 // computeMAC computes HMAC-SHA256 over the TLS pseudo-header and plaintext:
 // seq(8) || type(1) || version(2) || length(2) || plaintext. The length in
 // the pseudo-header is the plaintext length, as in TLS.
+// The returned slice is scratch reused by the next computeMAC call.
 func (s *Seal) computeMAC(seq uint64, recType byte, plaintext []byte) []byte {
-	h := hmac.New(sha256.New, s.mac)
+	s.hm.Reset()
 	var hdr [13]byte
 	binary.BigEndian.PutUint64(hdr[:], seq)
 	hdr[8] = recType
 	binary.BigEndian.PutUint16(hdr[9:], s.version)
 	binary.BigEndian.PutUint16(hdr[11:], uint16(len(plaintext)))
-	h.Write(hdr[:])
-	h.Write(plaintext)
-	return h.Sum(nil)
+	s.hm.Write(hdr[:])
+	s.hm.Write(plaintext)
+	s.macBuf = s.hm.Sum(s.macBuf[:0])
+	return s.macBuf
 }
 
 // pad applies TLS-style padding to a whole number of blocks: n bytes each
@@ -285,7 +326,8 @@ func unpad(b []byte) ([]byte, error) {
 	return b[:len(b)-padLen], nil
 }
 
-// Open decrypts and authenticates records for one direction.
+// Open decrypts and authenticates records for one direction. Like Seal it
+// is not safe for concurrent use (cached HMAC/CBC state).
 type Open struct {
 	suite   Suite
 	version uint16
@@ -294,6 +336,20 @@ type Open struct {
 	seq     uint64 // next expected sequence number (in-order path)
 	stream  cipher.Stream
 	lastCBC []byte
+	hm      hash.Hash
+	macBuf  []byte
+	dec     cipher.BlockMode
+}
+
+func (o *Open) cbcDecrypter(iv []byte) cipher.BlockMode {
+	if o.dec != nil {
+		if m, ok := o.dec.(setIVer); ok {
+			m.SetIV(iv)
+			return o.dec
+		}
+	}
+	o.dec = cipher.NewCBCDecrypter(o.block, iv)
+	return o.dec
 }
 
 // NewOpen creates an opener with keys matching the peer's Seal.
@@ -302,6 +358,7 @@ func NewOpen(suite Suite, cipherKey, macKey []byte) (*Open, error) {
 	if suite == SuiteNull {
 		return o, nil
 	}
+	o.hm = hmac.New(sha256.New, macKey)
 	b, err := aes.NewCipher(cipherKey)
 	if err != nil {
 		return nil, fmt.Errorf("tlsrec: %w", err)
@@ -409,8 +466,7 @@ func (o *Open) DecryptNoVerify(record []byte) (recType byte, inner []byte, err e
 		return 0, nil, ErrBadRecord
 	}
 	pt := make([]byte, len(body)-blockSize)
-	dec := cipher.NewCBCDecrypter(o.block, body[:blockSize])
-	dec.CryptBlocks(pt, body[blockSize:])
+	o.cbcDecrypter(body[:blockSize]).CryptBlocks(pt, body[blockSize:])
 	unpadded, err := unpad(pt)
 	if err != nil {
 		return 0, nil, err
@@ -470,8 +526,7 @@ func (o *Open) openCommon(record []byte, recNum uint64, inOrder bool) (byte, []b
 			return 0, nil, ErrBadRecord
 		}
 		pt := make([]byte, len(body))
-		dec := cipher.NewCBCDecrypter(o.block, o.lastCBC)
-		dec.CryptBlocks(pt, body)
+		o.cbcDecrypter(o.lastCBC).CryptBlocks(pt, body)
 		o.lastCBC = append(o.lastCBC[:0], body[len(body)-blockSize:]...)
 		unpadded, err := unpad(pt)
 		if err != nil {
@@ -496,14 +551,16 @@ func (o *Open) openCommon(record []byte, recNum uint64, inOrder bool) (byte, []b
 	return 0, nil, ErrUnknownSuite
 }
 
+// The returned slice is scratch reused by the next macFor call.
 func (o *Open) macFor(seq uint64, recType byte, plaintext []byte) []byte {
-	h := hmac.New(sha256.New, o.mac)
+	o.hm.Reset()
 	var hdr [13]byte
 	binary.BigEndian.PutUint64(hdr[:], seq)
 	hdr[8] = recType
 	binary.BigEndian.PutUint16(hdr[9:], o.version)
 	binary.BigEndian.PutUint16(hdr[11:], uint16(len(plaintext)))
-	h.Write(hdr[:])
-	h.Write(plaintext)
-	return h.Sum(nil)
+	o.hm.Write(hdr[:])
+	o.hm.Write(plaintext)
+	o.macBuf = o.hm.Sum(o.macBuf[:0])
+	return o.macBuf
 }

@@ -1,0 +1,126 @@
+package ucobs
+
+import (
+	"testing"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+)
+
+// TestStraddleCompletesOutOfOrder guards the scanRaw fast path's banking
+// of incomplete runs: a record split across two re-segmented pieces must
+// still be delivered out-of-order the moment both pieces are present, even
+// when an earlier segment is still missing — the tail piece's head run
+// must be banked together with its closing marker, or the assembler can
+// never complete the record until TCP's in-order redelivery (exactly the
+// latency uCOBS/uTCP exists to avoid).
+//
+// Topology of the probe: four records R0..R3 in four segments. R1+R2+R3
+// are coalesced and re-split inside R2's frame (pieces P1 = R1+R2head,
+// P2 = R2tail+R3). Delivery order: P2, P1 — with R0's segment withheld
+// until much later, so P1 arrives out of order and the in-order path
+// cannot mask a banking bug. Three split points cover the distinct
+// banking shapes: mid-body (head run), just after R2's leading marker
+// (long head run), and just before R2's trailing marker (P2 starts with
+// an orphan trailing marker that must be banked on its own).
+func TestStraddleCompletesOutOfOrder(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cut  func(r2len int) int // offset within R2's frame
+	}{
+		{"mid-body", func(n int) int { return n / 2 }},
+		{"after-leading-marker", func(int) int { return 1 }},
+		{"before-trailing-marker", func(n int) int { return n - 1 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			testStraddle(t, tc.cut)
+		})
+	}
+}
+
+func testStraddle(t *testing.T, cutIn func(r2FrameLen int) int) {
+	s := sim.New(9)
+	cfg := netem.LinkConfig{Rate: 100_000_000, Delay: time.Millisecond}
+	fwd := netem.NewLink(s, cfg)
+	back := netem.NewLink(s, cfg)
+	// InitialCwnd 8 so all four data segments leave back to back — the
+	// capture below must see the originals, not a retransmission.
+	ta := tcp.New(s, tcp.Config{NoDelay: true, UnorderedSend: true, InitialCwnd: 8}, nil)
+	tb := tcp.New(s, tcp.Config{Unordered: true}, nil)
+
+	reseg := tcp.NewResegmenter(s, 0, 0)
+	var pending []*tcp.Segment
+	captured := 0
+	ta.SetOutput(func(seg *tcp.Segment) {
+		if len(seg.Payload) > 0 && captured < 4 {
+			captured++
+			pending = append(pending, seg)
+			if captured < 4 {
+				return
+			}
+			// Coalesce R1..R3, split inside R2, deliver tail piece first,
+			// head piece second; R0's segment only after a long delay.
+			merged := &tcp.Segment{Seq: pending[1].Seq, Ack: pending[3].Ack, Flags: pending[3].Flags, Window: pending[3].Window}
+			for _, p := range pending[1:] {
+				merged.Payload = append(merged.Payload, p.Payload...)
+			}
+			cut := len(pending[1].Payload) + cutIn(len(pending[2].Payload))
+			var pieces []netem.Packet
+			reseg.SetDeliver(func(p netem.Packet) { pieces = append(pieces, p) })
+			reseg.SplitSegment(0, merged, cut)
+			fwd.Send(pieces[1]) // P2 = R2 tail + R3
+			fwd.Send(pieces[0]) // P1 = R1 + R2 head (still OOO: R0 missing)
+			r0 := pending[0]
+			s.Schedule(500*time.Millisecond, func() {
+				fwd.Send(netem.Packet{Data: r0, Size: r0.WireSize()})
+			})
+			return
+		}
+		fwd.Send(netem.Packet{Data: seg, Size: seg.WireSize()})
+	})
+	fwd.SetDeliver(func(p netem.Packet) { tb.Input(p.Data.(*tcp.Segment)) })
+	tb.SetOutput(func(seg *tcp.Segment) { back.Send(netem.Packet{Data: seg, Size: seg.WireSize()}) })
+	back.SetDeliver(func(p netem.Packet) { ta.Input(p.Data.(*tcp.Segment)) })
+	tb.Listen()
+	ta.Connect()
+
+	a, b := New(ta), New(tb)
+	type delivery struct {
+		msg string
+		at  time.Duration
+	}
+	var got []delivery
+	b.OnMessage(func(m []byte) { got = append(got, delivery{string(m), s.Now()}) })
+
+	s.RunUntil(100 * time.Millisecond)
+	for _, m := range []string{"rec-0", "rec-1", "rec-2", "rec-3"} {
+		if err := a.Send([]byte(m), Options{}); err != nil {
+			t.Fatalf("Send(%q): %v", m, err)
+		}
+	}
+	s.RunFor(10 * time.Second)
+
+	if len(got) != 4 {
+		t.Fatalf("delivered %d records, want 4: %v", len(got), got)
+	}
+	at := map[string]time.Duration{}
+	for _, d := range got {
+		if _, dup := at[d.msg]; dup {
+			t.Fatalf("duplicate delivery of %q: %v", d.msg, got)
+		}
+		at[d.msg] = d.at
+	}
+	// R1, R2 and R3 are fully on the wire long before R0's withheld
+	// segment goes out at t=+500ms: all three must be delivered out of
+	// order, R2 included — its two straddling pieces are both present.
+	for _, m := range []string{"rec-1", "rec-2", "rec-3"} {
+		if at[m] >= at["rec-0"] {
+			t.Errorf("%s delivered at %v, only after the withheld rec-0 (%v) — straddle not completed out of order", m, at[m], at["rec-0"])
+		}
+	}
+	if b.Stats().DeliveredOOO < 3 {
+		t.Errorf("DeliveredOOO = %d, want >= 3", b.Stats().DeliveredOOO)
+	}
+}

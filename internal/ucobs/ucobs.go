@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"time"
 
+	"minion/internal/buf"
 	"minion/internal/cobs"
+	"minion/internal/queue"
 	"minion/internal/stream"
 	"minion/internal/tcp"
 )
@@ -49,7 +51,10 @@ type Options struct {
 
 // Stats counts protocol activity. CPUEncode/CPUDecode accumulate the real
 // processor time spent in COBS encoding and in record scanning/decoding —
-// the "user time" the paper's Figure 6(a) reports.
+// the "user time" the paper's Figure 6(a) reports. CPUDecode covers marker
+// scanning plus COBS decoding and excludes time spent in the application's
+// delivery callback, uniformly across the ordered, assembler and raw-scan
+// receive paths.
 type Stats struct {
 	MessagesSent      int
 	MessagesDelivered int
@@ -80,10 +85,10 @@ type Conn struct {
 
 	maxMsg    int
 	onMessage func(msg []byte)
-	recvQ     [][]byte
+	recvQ     queue.FIFO[[]byte]
 	stats     Stats
 
-	encBuf []byte
+	readBuf []byte // ordered-mode drain buffer, allocated once
 }
 
 // New binds a uCOBS connection to tc. If tc has the SO_UNORDERED receive
@@ -111,20 +116,20 @@ func (c *Conn) SetMaxMessageSize(n int) { c.maxMsg = n }
 
 // OnMessage registers the delivery callback. Messages delivered while no
 // callback is registered queue for Recv.
+//
+// Ownership: msg is a view of a pooled buffer that is recycled when the
+// callback returns. Callbacks that keep the bytes must copy them
+// (append([]byte(nil), msg...)).
 func (c *Conn) OnMessage(fn func(msg []byte)) { c.onMessage = fn }
 
-// Recv pops a queued message; ok is false when none is pending.
+// Recv pops a queued message; ok is false when none is pending. The
+// returned slice is owned by the caller.
 func (c *Conn) Recv() (msg []byte, ok bool) {
-	if len(c.recvQ) == 0 {
-		return nil, false
-	}
-	msg = c.recvQ[0]
-	c.recvQ = c.recvQ[1:]
-	return msg, true
+	return c.recvQ.Pop()
 }
 
 // Pending returns the number of queued received messages.
-func (c *Conn) Pending() int { return len(c.recvQ) }
+func (c *Conn) Pending() int { return c.recvQ.Len() }
 
 // Send COBS-encodes msg, frames it with leading and trailing markers, and
 // writes it as one application write so uTCP send-side reordering preserves
@@ -134,14 +139,19 @@ func (c *Conn) Send(msg []byte, opt Options) error {
 		return ErrTooLarge
 	}
 	t0 := time.Now()
-	c.encBuf = c.encBuf[:0]
-	c.encBuf = append(c.encBuf, Marker)
-	c.encBuf = cobs.Encode(c.encBuf, msg)
-	c.encBuf = append(c.encBuf, Marker)
+	// Encode straight into a pooled buffer sized by the COBS worst case and
+	// hand it to the transport without copying: the frame becomes the
+	// segment payload via refcounted slicing all the way to the wire.
+	fb := buf.GetCap(2 + cobs.MaxEncodedLen(len(msg)))
+	s := fb.Bytes()[:0]
+	s = append(s, Marker)
+	s = cobs.Encode(s, msg)
+	s = append(s, Marker)
+	fb.SetLen(len(s))
 	c.stats.CPUEncode += time.Since(t0)
-	c.stats.BytesEncoded += int64(len(c.encBuf))
+	c.stats.BytesEncoded += int64(len(s))
 
-	_, err := c.tc.WriteMsg(c.encBuf, tcp.WriteOptions{Tag: opt.Priority, Squash: opt.Squash})
+	_, err := c.tc.WriteMsgBuf(fb, tcp.WriteOptions{Tag: opt.Priority, Squash: opt.Squash})
 	if err != nil {
 		return fmt.Errorf("ucobs: send: %w", err)
 	}
@@ -175,22 +185,102 @@ func (c *Conn) pumpUnordered() {
 		if d.InOrder {
 			cumulative = d.Offset + uint64(len(d.Data))
 		}
-		ext := c.asm.Insert(d.Offset, d.Data)
-		// Incremental scan: new bytes can only complete a record whose
-		// start lies in the undelivered gap below the insert point, so the
-		// scan window begins at the last delivered-frame boundary at or
-		// below the new data — everything earlier was consumed by prior
-		// deliveries. This keeps per-segment scan work proportional to
-		// outstanding (undelivered) data instead of the whole fragment.
-		scan := ext
-		if boundary := c.delivered.PrevEnd(d.Offset); boundary > scan.Start {
-			if boundary >= ext.End {
-				boundary = ext.End
+		if c.asm.BufferedBytes() == 0 {
+			// Fast path: no partial records are pending, so complete
+			// records in this fragment can be delivered straight from the
+			// delivery's (zero-copy) bytes; only an incomplete head or
+			// tail run enters the reassembly buffer. In the steady state —
+			// each frame one segment — nothing is ever copied into the
+			// assembler.
+			c.scanRaw(d.Offset, d.Data, cumulative)
+		} else {
+			ext := c.asm.Insert(d.Offset, d.Data)
+			// Incremental scan: new bytes can only complete a record whose
+			// start lies in the undelivered gap below the insert point, so the
+			// scan window begins at the last delivered-frame boundary at or
+			// below the new data — everything earlier was consumed by prior
+			// deliveries. This keeps per-segment scan work proportional to
+			// outstanding (undelivered) data instead of the whole fragment.
+			scan := ext
+			if boundary := c.delivered.PrevEnd(d.Offset); boundary > scan.Start {
+				if boundary >= ext.End {
+					boundary = ext.End
+				}
+				scan.Start = boundary
 			}
-			scan.Start = boundary
+			c.scanExtent(scan, cumulative)
 		}
-		c.scanExtent(scan, cumulative)
+		d.Release()
 	}
+}
+
+// scanRaw delivers every complete record lying wholly inside the fragment
+// data (stream offset base) without going through the assembler, then
+// banks whatever the scan could not consume — an incomplete head run
+// (missing its leading context) or tail run (trailing marker not yet
+// received) — into the assembler for the usual extent scan to finish
+// later. Already-delivered regions are skipped via the interval set, so
+// the at-least-once uTCP redeliveries stay exactly-once here.
+func (c *Conn) scanRaw(base uint64, data []byte, cumulative uint64) {
+	t0 := time.Now()
+	// Head run: bytes before the first marker belong to a record whose
+	// leading marker is in a fragment not yet seen — bank them unless the
+	// region was already consumed by an earlier delivery. The run's
+	// closing marker (data[first], when present) is banked with it: it is
+	// that record's trailing delimiter, and without it the record could
+	// never complete in the assembler once its missing head arrives.
+	first := 0
+	for first < len(data) && data[first] != Marker {
+		first++
+	}
+	if first > 0 && !c.delivered.Contains(base, base+uint64(first)) {
+		keep := first
+		if keep < len(data) {
+			keep++ // include the closing marker
+		}
+		c.asm.Insert(base, data[:keep])
+	}
+	i := first
+	consumed := first // bytes in [first, consumed) are fully handled
+	for i < len(data) {
+		if data[i] != Marker {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(data) && data[j] != Marker {
+			j++
+		}
+		if j >= len(data) {
+			break // run reaches fragment end: trailing marker not yet seen
+		}
+		if j > i+1 {
+			start, end := base+uint64(i+1), base+uint64(j)
+			if !c.delivered.Contains(start, end) {
+				c.stats.CPUDecode += time.Since(t0)
+				c.deliverRecord(data[i+1:j], start, end, cumulative)
+				t0 = time.Now()
+			}
+		}
+		i = j
+		consumed = j
+	}
+	if first == 0 && consumed > 0 && !c.delivered.Contains(base, base+1) {
+		// The fragment's first byte is a marker that a completed run then
+		// skipped past. It may be the trailing delimiter of a record whose
+		// body lies in fragments not yet seen — bank the single byte, or
+		// that record could never complete in the assembler. (If its record
+		// was already delivered, the delivered set covers the byte and it
+		// is skipped.)
+		c.asm.Insert(base, data[:1])
+	}
+	if consumed < len(data) && !c.delivered.Contains(base+uint64(consumed), base+uint64(len(data))) {
+		// Tail run still waiting for its trailing marker (the kept byte at
+		// consumed is the run's leading marker).
+		c.asm.Insert(base+uint64(consumed), data[consumed:])
+	}
+	c.stats.CPUDecode += time.Since(t0)
+	c.gc()
 }
 
 // scanExtent looks for complete records inside the (merged) fragment ext:
@@ -199,9 +289,9 @@ func (c *Conn) pumpUnordered() {
 // out-of-order fragment) and distinguishes in-order deliveries for stats.
 func (c *Conn) scanExtent(ext stream.Extent, cumulative uint64) {
 	t0 := time.Now()
-	defer func() { c.stats.CPUDecode += time.Since(t0) }()
 	data, ok := c.asm.Bytes(ext)
 	if !ok {
+		c.stats.CPUDecode += time.Since(t0)
 		return
 	}
 	base := ext.Start
@@ -222,11 +312,16 @@ func (c *Conn) scanExtent(ext stream.Extent, cumulative uint64) {
 		if j > i+1 {
 			start, end := base+uint64(i+1), base+uint64(j)
 			if !c.delivered.Contains(start, end) {
+				// deliverRecord times its own decode; the application
+				// callback is excluded from CPUDecode on every path.
+				c.stats.CPUDecode += time.Since(t0)
 				c.deliverRecord(data[i+1:j], start, end, cumulative)
+				t0 = time.Now()
 			}
 		}
 		i = j
 	}
+	c.stats.CPUDecode += time.Since(t0)
 	c.gc()
 }
 
@@ -236,14 +331,22 @@ func (c *Conn) deliverRecord(enc []byte, start, end, cumulative uint64) {
 	// so consecutive frames' ranges [start-1, end+1) tile the stream
 	// exactly and coalesce in the interval set.
 	c.delivered.Add(start-1, end+1)
-	msg, err := cobs.Decode(nil, enc)
+	// COBS decoding never produces more bytes than it consumes, so a
+	// pooled buffer of len(enc) holds the message and is recycled after
+	// the delivery callback returns.
+	t0 := time.Now()
+	mb := buf.GetCap(len(enc))
+	msg, err := cobs.Decode(mb.Bytes()[:0], enc)
+	c.stats.CPUDecode += time.Since(t0)
 	if err != nil || len(msg) > c.maxMsg {
 		// A record that fails to decode means sender/stream corruption;
 		// drop it (TCP's checksum makes this effectively unreachable, but
 		// defensive decoding keeps one bad frame from wedging the scan).
+		mb.Release()
 		c.stats.CorruptRecords++
 		return
 	}
+	mb.SetLen(len(msg))
 	c.stats.MessagesDelivered++
 	c.stats.BytesDecoded += int64(len(msg))
 	if cumulative == 0 || end > cumulative {
@@ -252,10 +355,19 @@ func (c *Conn) deliverRecord(enc []byte, start, end, cumulative uint64) {
 		// TCP could have delivered it.
 		c.stats.DeliveredOOO++
 	}
+	c.deliver(mb)
+}
+
+// deliver hands a decoded message (owned pooled buffer) to the
+// application: callback deliveries recycle the buffer when the callback
+// returns; queued deliveries detach it so Recv hands out caller-owned
+// bytes.
+func (c *Conn) deliver(mb *buf.Buffer) {
 	if c.onMessage != nil {
-		c.onMessage(msg)
+		c.onMessage(mb.Bytes())
+		mb.Release()
 	} else {
-		c.recvQ = append(c.recvQ, msg)
+		c.recvQ.Push(mb.Detach())
 	}
 }
 
@@ -274,27 +386,32 @@ func (c *Conn) gc() {
 // that skips to a marker, collects the nonzero run, and decodes at the
 // closing marker.
 func (c *Conn) pumpOrdered() {
-	buf := make([]byte, 32*1024)
+	if c.readBuf == nil {
+		c.readBuf = make([]byte, 32*1024)
+	}
 	for {
-		n, err := c.tc.Read(buf)
+		n, err := c.tc.Read(c.readBuf)
 		if n == 0 || err != nil {
 			return
 		}
 		t0 := time.Now()
-		for _, b := range buf[:n] {
+		for _, b := range c.readBuf[:n] {
 			if b == Marker {
 				if c.inRecord && len(c.parseBuf) > 0 {
-					msg, derr := cobs.Decode(nil, c.parseBuf)
+					mb := buf.GetCap(len(c.parseBuf))
+					msg, derr := cobs.Decode(mb.Bytes()[:0], c.parseBuf)
 					if derr != nil || len(msg) > c.maxMsg {
+						mb.Release()
 						c.stats.CorruptRecords++
 					} else {
+						mb.SetLen(len(msg))
 						c.stats.MessagesDelivered++
 						c.stats.BytesDecoded += int64(len(msg))
-						if c.onMessage != nil {
-							c.onMessage(msg)
-						} else {
-							c.recvQ = append(c.recvQ, msg)
-						}
+						// Application callback time is excluded from
+						// CPUDecode on every path.
+						c.stats.CPUDecode += time.Since(t0)
+						c.deliver(mb)
+						t0 = time.Now()
 					}
 				}
 				c.parseBuf = c.parseBuf[:0]

@@ -10,8 +10,11 @@ package udp
 
 import (
 	"errors"
+	"fmt"
 
+	"minion/internal/buf"
 	"minion/internal/netem"
+	"minion/internal/queue"
 )
 
 // HeaderOverhead is the per-datagram wire overhead (IP + UDP headers).
@@ -31,87 +34,118 @@ type Stats struct {
 }
 
 // Conn is one endpoint of a simulated UDP flow. Wire it to a path with
-// SetOutput/Input like a tcp.Conn, or use Wire.
+// SetOutput/InputBuf like a tcp.Conn, or use Wire. Datagrams travel the
+// emulated network as pooled buffers (one copy at Send, zero after).
 type Conn struct {
-	out       func(payload []byte, wireSize int)
+	out       func(b *buf.Buffer, wireSize int)
 	onMessage func(msg []byte)
-	recvQ     [][]byte
+	recvQ     queue.FIFO[[]byte]
 	stats     Stats
 }
 
 // New returns an unwired UDP endpoint.
 func New() *Conn { return &Conn{} }
 
-// SetOutput sets the packet output function.
-func (c *Conn) SetOutput(out func(payload []byte, wireSize int)) { c.out = out }
+// SetOutput sets the packet output function. The function takes ownership
+// of the buffer (a dropped packet's buffer is simply garbage collected).
+func (c *Conn) SetOutput(out func(b *buf.Buffer, wireSize int)) { c.out = out }
 
-// Input delivers a datagram arriving from the network.
+// Input delivers a datagram arriving from the network, copying it (for
+// callers outside the pooled-buffer discipline, e.g. tests and
+// encapsulation layers; the wire path uses InputBuf).
 func (c *Conn) Input(payload []byte) {
+	c.InputBuf(buf.From(payload))
+}
+
+// InputBuf delivers a datagram arriving from the network, taking ownership
+// of b: a registered callback sees the buffer's bytes (valid until the
+// callback returns, after which the arena recycles), queued datagrams are
+// detached for Recv.
+func (c *Conn) InputBuf(b *buf.Buffer) {
 	c.stats.Received++
-	msg := append([]byte(nil), payload...)
 	if c.onMessage != nil {
-		c.onMessage(msg)
+		c.onMessage(b.Bytes())
+		b.Release()
 		return
 	}
-	c.recvQ = append(c.recvQ, msg)
+	c.recvQ.Push(b.Detach())
 }
 
 // Send transmits one datagram. There is no buffering or blocking: UDP
-// either hands the packet to the path or (never) fails.
+// either hands the packet to the path or (never) fails. msg is copied into
+// a pooled buffer (the datapath's single copy) and not retained.
 func (c *Conn) Send(msg []byte) error {
 	if len(msg) > MaxDatagram {
 		return ErrTooLarge
 	}
 	c.stats.Sent++
 	if c.out != nil {
-		c.out(append([]byte(nil), msg...), len(msg)+HeaderOverhead)
+		c.out(buf.From(msg), len(msg)+HeaderOverhead)
 	}
 	return nil
 }
 
 // OnMessage registers the delivery callback; without one, datagrams queue.
+// The callback's msg is valid until it returns; copy to keep.
 func (c *Conn) OnMessage(fn func(msg []byte)) { c.onMessage = fn }
 
 // Recv pops a queued datagram.
 func (c *Conn) Recv() (msg []byte, ok bool) {
-	if len(c.recvQ) == 0 {
-		return nil, false
-	}
-	msg = c.recvQ[0]
-	c.recvQ = c.recvQ[1:]
-	return msg, true
+	return c.recvQ.Pop()
 }
 
 // Pending returns queued datagrams.
-func (c *Conn) Pending() int { return len(c.recvQ) }
+func (c *Conn) Pending() int { return c.recvQ.Len() }
 
 // Stats returns a copy of the counters.
 func (c *Conn) Stats() Stats { return c.stats }
 
 // Wire connects two UDP endpoints through unidirectional path elements.
+// Packets carry their pooled buffer as Data, and delivery transfers its
+// ownership to InputBuf. Elements that multiply a packet take an extra
+// reference per additional delivery (netem's Link does for DuplicateProb),
+// so each InputBuf call owns the reference it releases; the copying Input
+// fallback below is only for raw []byte packets injected by hand.
 func Wire(a, b *Conn, aToB, bToA netem.Element) {
-	a.SetOutput(func(payload []byte, size int) {
-		aToB.Send(netem.Packet{Data: payload, Size: size})
+	a.SetOutput(func(bb *buf.Buffer, size int) {
+		aToB.Send(netem.Packet{Data: bb, Size: size})
 	})
-	aToB.SetDeliver(func(p netem.Packet) { b.Input(p.Data.([]byte)) })
-	b.SetOutput(func(payload []byte, size int) {
-		bToA.Send(netem.Packet{Data: payload, Size: size})
+	aToB.SetDeliver(deliverTo(b))
+	b.SetOutput(func(bb *buf.Buffer, size int) {
+		bToA.Send(netem.Packet{Data: bb, Size: size})
 	})
-	bToA.SetDeliver(func(p netem.Packet) { a.Input(p.Data.([]byte)) })
+	bToA.SetDeliver(deliverTo(a))
+}
+
+// deliverTo unwraps a packet for an endpoint, accepting both pooled
+// buffers (the normal case) and raw []byte (packets injected by hand). A
+// miswired topology delivering any other type fails fast instead of
+// presenting as silent 100% loss.
+func deliverTo(c *Conn) netem.Handler {
+	return func(p netem.Packet) {
+		switch d := p.Data.(type) {
+		case *buf.Buffer:
+			c.InputBuf(d)
+		case []byte:
+			c.Input(d)
+		default:
+			panic(fmt.Sprintf("udp: packet carries %T, want *buf.Buffer or []byte", p.Data))
+		}
+	}
 }
 
 // AttachDumbbellClient wires a client-side endpoint into a dumbbell flow.
 func AttachDumbbellClient(c *Conn, flow int, db *netem.Dumbbell) {
-	c.SetOutput(func(payload []byte, size int) {
-		db.SendUp(netem.Packet{Flow: flow, Data: payload, Size: size})
+	c.SetOutput(func(bb *buf.Buffer, size int) {
+		db.SendUp(netem.Packet{Flow: flow, Data: bb, Size: size})
 	})
-	db.HandleAtClient(flow, func(p netem.Packet) { c.Input(p.Data.([]byte)) })
+	db.HandleAtClient(flow, deliverTo(c))
 }
 
 // AttachDumbbellServer is the mirror of AttachDumbbellClient.
 func AttachDumbbellServer(c *Conn, flow int, db *netem.Dumbbell) {
-	c.SetOutput(func(payload []byte, size int) {
-		db.SendDown(netem.Packet{Flow: flow, Data: payload, Size: size})
+	c.SetOutput(func(bb *buf.Buffer, size int) {
+		db.SendDown(netem.Packet{Flow: flow, Data: bb, Size: size})
 	})
-	db.HandleAtServer(flow, func(p netem.Packet) { c.Input(p.Data.([]byte)) })
+	db.HandleAtServer(flow, deliverTo(c))
 }

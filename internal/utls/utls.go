@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"time"
 
+	"minion/internal/buf"
+	"minion/internal/queue"
 	"minion/internal/stream"
 	"minion/internal/tcp"
 	"minion/internal/tlsrec"
@@ -140,8 +142,11 @@ type Conn struct {
 
 	onMessage func(msg []byte)
 	onReady   func()
-	recvQ     [][]byte
+	recvQ     queue.FIFO[[]byte]
 	stats     Stats
+
+	readBuf     []byte // ordered-mode drain buffer, allocated once
+	sealScratch []byte // explicit-recnum plaintext build scratch (Seal copies it)
 }
 
 // Client creates the client side of a uTLS connection over tc and starts
@@ -199,16 +204,11 @@ func (c *Conn) OnMessage(fn func(msg []byte)) { c.onMessage = fn }
 
 // Recv pops a queued message.
 func (c *Conn) Recv() (msg []byte, ok bool) {
-	if len(c.recvQ) == 0 {
-		return nil, false
-	}
-	msg = c.recvQ[0]
-	c.recvQ = c.recvQ[1:]
-	return msg, true
+	return c.recvQ.Pop()
 }
 
 // Pending returns queued received messages.
-func (c *Conn) Pending() int { return len(c.recvQ) }
+func (c *Conn) Pending() int { return c.recvQ.Len() }
 
 // Close closes the underlying stream.
 func (c *Conn) Close() { c.tc.Close() }
@@ -344,7 +344,10 @@ func (c *Conn) Send(msg []byte, opt Options) error {
 	var err error
 	if c.explicitOn {
 		seq := c.seal.Seq()
-		plaintext := make([]byte, 8+len(msg))
+		if cap(c.sealScratch) < 8+len(msg) {
+			c.sealScratch = make([]byte, 8+len(msg))
+		}
+		plaintext := c.sealScratch[:8+len(msg)]
 		binary.BigEndian.PutUint64(plaintext, seq)
 		copy(plaintext[8:], msg)
 		t0 := time.Now()
@@ -355,7 +358,9 @@ func (c *Conn) Send(msg []byte, opt Options) error {
 		}
 		c.stats.BytesSealed += int64(len(rec))
 		c.stats.MessagesSent++
-		_, werr := c.tc.WriteMsg(rec, tcp.WriteOptions{Tag: opt.Priority, Squash: opt.Squash})
+		// Adopt the sealed record: the transport slices it onto the wire
+		// without another copy.
+		_, werr := c.tc.WriteMsgBuf(buf.Adopt(rec), tcp.WriteOptions{Tag: opt.Priority, Squash: opt.Squash})
 		return werr
 	}
 	if opt.Priority != 0 || opt.Squash {
@@ -369,7 +374,11 @@ func (c *Conn) Send(msg []byte, opt Options) error {
 	}
 	c.stats.BytesSealed += int64(len(rec))
 	c.stats.MessagesSent++
-	_, werr := c.tc.Write(rec)
+	// The SendBufAvailable check above guarantees the whole record fits,
+	// so the all-or-nothing WriteMsgBuf degrades to an ordinary FIFO
+	// append here (no UnorderedSend options are passed) while letting the
+	// transport adopt the record without copying.
+	_, werr := c.tc.WriteMsgBuf(buf.Adopt(rec), tcp.WriteOptions{Tag: tcp.TagDefault})
 	return werr
 }
 
@@ -396,15 +405,18 @@ func (c *Conn) pump() {
 				c.scanFragment(scan)
 			}
 			c.gc()
+			d.Release()
 		}
 	}
-	buf := make([]byte, 32*1024)
+	if c.readBuf == nil {
+		c.readBuf = make([]byte, 32*1024)
+	}
 	for {
-		n, err := c.tc.Read(buf)
+		n, err := c.tc.Read(c.readBuf)
 		if n == 0 || err != nil {
 			return
 		}
-		c.asm.Insert(c.asm.ContiguousEnd(c.inOrderPos), buf[:n])
+		c.asm.Insert(c.asm.ContiguousEnd(c.inOrderPos), c.readBuf[:n])
 		c.advanceInOrder()
 		c.gc()
 	}
@@ -643,11 +655,12 @@ func (c *Conn) deliver(msg []byte, ooo bool) {
 	if ooo {
 		c.stats.DeliveredOOO++
 	}
-	out := append([]byte(nil), msg...)
 	if c.onMessage != nil {
-		c.onMessage(out)
+		// msg is freshly decrypted plaintext owned by this call: hand it
+		// to the callback directly (valid until the callback returns).
+		c.onMessage(msg)
 	} else {
-		c.recvQ = append(c.recvQ, out)
+		c.recvQ.Push(append([]byte(nil), msg...))
 	}
 }
 

@@ -16,6 +16,13 @@
 // (minion/internal/netem); Negotiate implements the simple
 // "try UDP, fall back to the TCP family" selection the paper describes
 // applications using today (§3.2).
+//
+// Internally every protocol stack passes pooled, reference-counted buffers
+// (minion/internal/buf) between layers instead of copying: framing encodes
+// into a pooled buffer, segments slice it zero-copy onto the wire, and
+// receivers deliver refcounted views. The Conn interface keeps its plain
+// []byte signatures; see the Conn documentation for the resulting
+// ownership rules.
 package minion
 
 import (
@@ -39,15 +46,28 @@ type Options struct {
 }
 
 // Conn is Minion's uniform unordered datagram interface (paper §3.1).
+//
+// Buffer ownership (the memory model of the zero-copy datapath):
+//
+//   - Send does not retain msg: the bytes are consumed (framed, sealed or
+//     copied into a pooled buffer) before Send returns, so the caller may
+//     reuse msg immediately.
+//   - OnMessage delivery buffers belong to the stack: msg is a view of a
+//     pooled buffer that is recycled when the callback returns. A callback
+//     that keeps the bytes must copy them — append([]byte(nil), msg...) is
+//     the copy-on-demand escape hatch.
+//   - Recv returns caller-owned bytes: queued datagrams are detached from
+//     the pool, so they remain valid indefinitely.
 type Conn interface {
 	// Send transmits one datagram. Delivery is unordered: later datagrams
 	// may arrive first. Reliability depends on the substrate (TCP-family
-	// substrates are reliable, UDP is not).
+	// substrates are reliable, UDP is not). msg is not retained.
 	Send(msg []byte, opt Options) error
 	// Recv pops a received datagram queued while no OnMessage handler was
-	// registered.
+	// registered. The returned slice is owned by the caller.
 	Recv() (msg []byte, ok bool)
-	// OnMessage registers the delivery callback.
+	// OnMessage registers the delivery callback. msg is valid only until
+	// the callback returns; copy to keep.
 	OnMessage(fn func(msg []byte))
 	// Close tears the connection down (graceful where the substrate
 	// supports it).
