@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"minion"
+	"minion/internal/sim"
+)
+
+// benchStacks are the protocol stacks the bench subcommand measures, in
+// emission order (BENCH_<index>.json).
+var benchStacks = []minion.Protocol{
+	minion.ProtoUDP,
+	minion.ProtoUCOBSTCP,
+	minion.ProtoUCOBSuTCP,
+	minion.ProtoUTLSTCP,
+	minion.ProtoUTLSuTCP,
+}
+
+// benchResult is the machine-readable record CI tracks per stack: the
+// steady-state cost of one datagram traversing the full stack on the
+// deterministic simulator (send → frame/seal → segment → link → receive →
+// extract → callback, ACKs included).
+type benchResult struct {
+	Stack         string  `json:"stack"`
+	DatagramBytes int     `json:"datagram_bytes"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+}
+
+// runBench measures every stack's datagram hot path and writes one
+// BENCH_<n>.json per stack into dir, so the perf trajectory is tracked
+// from CI run to CI run.
+func runBench(dir string, datagramBytes int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, proto := range benchStacks {
+		res, err := benchStack(proto, datagramBytes)
+		if err != nil {
+			return fmt.Errorf("stack %v: %w", proto, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", i))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %10.0f ns/op %8.1f allocs/op %10.1f B/op  -> %s\n",
+			res.Stack, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, path)
+	}
+	return nil
+}
+
+func benchStack(proto minion.Protocol, size int) (benchResult, error) {
+	r := testing.Benchmark(func(b *testing.B) {
+		s := sim.New(42)
+		pair := minion.NewPair(s, proto, minion.TCPConfig{NoDelay: true}, nil, nil)
+		s.RunUntil(2 * time.Second)
+		delivered := 0
+		pair.B.OnMessage(func([]byte) { delivered++ })
+		msg := make([]byte, size)
+		send := func(n int) {
+			for i := 0; i < n; i++ {
+				if err := pair.A.Send(msg, minion.Options{}); err != nil {
+					b.Fatalf("Send: %v", err)
+				}
+				s.Run()
+			}
+		}
+		send(32) // warm pools and lazily-built state
+		delivered = 0
+		b.ReportAllocs()
+		b.SetBytes(int64(size))
+		b.ResetTimer()
+		send(b.N)
+		if proto.Reliable() && delivered < b.N {
+			b.Fatalf("delivered %d/%d datagrams", delivered, b.N)
+		}
+	})
+	if r.N == 0 {
+		// A b.Fatalf inside testing.Benchmark yields a zero result (and
+		// swallows the log); report it instead of emitting NaN fields.
+		return benchResult{}, fmt.Errorf("benchmark aborted (send error or datagrams undelivered)")
+	}
+	return benchResult{
+		Stack:         proto.String(),
+		DatagramBytes: size,
+		Iterations:    r.N,
+		NsPerOp:       float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:   float64(r.MemAllocs) / float64(r.N),
+		BytesPerOp:    float64(r.MemBytes) / float64(r.N),
+		MBPerSec:      float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds(),
+	}, nil
+}

@@ -21,6 +21,8 @@
 //	fig13   pipelined HTTP/1.1 vs parallel msTCP page loads
 //	table1  implementation complexity
 //	all     everything above
+//	bench   per-stack datagram hot-path cost, written as BENCH_<n>.json
+//	        (ns/op, allocs/op, B/op) into -benchdir for CI tracking
 //
 // By default experiments run at a reduced "quick" scale; -full runs
 // paper-scale durations (minutes of CPU time).
@@ -36,14 +38,23 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run paper-scale durations")
+	benchDir := flag.String("benchdir", "bench-out", "output directory for bench BENCH_<n>.json files")
+	benchBytes := flag.Int("benchbytes", 1000, "datagram size the bench subcommand measures")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: minionbench [-full] <fig5|rawcpu|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: minionbench [-full] [-benchdir dir] <fig5|rawcpu|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table1|all|bench>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "bench" {
+		if err := runBench(*benchDir, *benchBytes); err != nil {
+			fmt.Fprintf(os.Stderr, "minionbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	sc := experiments.Quick
 	if *full {

@@ -19,11 +19,6 @@ import (
 	"minion/internal/web"
 )
 
-type dgAdapter struct{ c *ucobs.Conn }
-
-func (d dgAdapter) Send(m []byte, p uint32) error { return d.c.Send(m, ucobs.Options{Priority: p}) }
-func (d dgAdapter) OnMessage(fn func([]byte))     { d.c.OnMessage(fn) }
-
 func main() {
 	page := web.Page{
 		Primary: web.Object{ID: 1, Size: 8 * 1024},
@@ -49,8 +44,8 @@ func msTCP(page web.Page) {
 	srvCfg := cfg
 	srvCfg.SendBufBytes = 8 * 1024
 	ta, tb := tcp.NewPair(s, cfg, srvCfg, netem.NewLink(s, linkCfg), netem.NewLink(s, linkCfg))
-	cli := mstcp.New(dgAdapter{ucobs.New(ta)})
-	srv := mstcp.New(dgAdapter{ucobs.New(tb)})
+	cli := mstcp.New(mstcp.OverUCOBS(ucobs.New(ta)))
+	srv := mstcp.New(mstcp.OverUCOBS(ucobs.New(tb)))
 
 	// Round-robin server (see internal/experiments/webexp.go for the full
 	// version): one chunk per active object per round.

@@ -249,3 +249,22 @@ func (b *Buffer) Detach() []byte {
 func (b *Buffer) Copy() []byte {
 	return append([]byte(nil), b.b...)
 }
+
+// RightSize trims the view to its first n bytes for long-term retention,
+// consuming b's reference. A short fill sliced zero-copy would pin the
+// whole arena while representing only n bytes — a peer drip-feeding tiny
+// reads into a fixed-size read buffer could pin arena/n times any
+// byte-counted budget. When n is at most half the view's capacity the
+// bytes are copied into a right-sized pooled buffer instead, capping the
+// amplification at the size-class factor (≤2x, with the smallest-class
+// floor); fuller views stay zero-copy.
+func (b *Buffer) RightSize(n int) *Buffer {
+	var out *Buffer
+	if n <= cap(b.b)/2 {
+		out = From(b.b[:n])
+	} else {
+		out = b.Slice(0, n)
+	}
+	b.Release()
+	return out
+}

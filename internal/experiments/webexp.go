@@ -179,8 +179,8 @@ func runParallelMsTCP(pages []web.Page) []pageResult {
 	srvCfg := cfg
 	srvCfg.SendBufBytes = 8 * 1024
 	ta, tb := tcp.NewPair(s, cfg, srvCfg, fwd, back)
-	cli := mstcp.New(ucobsAdapter{ucobs.New(ta)})
-	srv := mstcp.New(ucobsAdapter{ucobs.New(tb)})
+	cli := mstcp.New(mstcp.OverUCOBS(ucobs.New(ta)))
+	srv := mstcp.New(mstcp.OverUCOBS(ucobs.New(tb)))
 
 	// The server interleaves the chunks of concurrently requested objects
 	// round-robin across their streams — "msTCP interleaves different
@@ -314,14 +314,6 @@ func runParallelMsTCP(pages []web.Page) []pageResult {
 	s.RunUntil(2 * time.Hour)
 	return results
 }
-
-// ucobsAdapter adapts ucobs.Conn to mstcp.Datagram.
-type ucobsAdapter struct{ c *ucobs.Conn }
-
-func (u ucobsAdapter) Send(msg []byte, prio uint32) error {
-	return u.c.Send(msg, ucobs.Options{Priority: prio})
-}
-func (u ucobsAdapter) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
 
 func median(xs []float64) float64 {
 	if len(xs) == 0 {

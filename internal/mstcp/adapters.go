@@ -1,0 +1,40 @@
+package mstcp
+
+import (
+	"minion/internal/ucobs"
+	"minion/internal/utls"
+)
+
+// Adapters binding the Minion framing layers to the Datagram substrate
+// interface, so msTCP multistreaming runs over uCOBS or uTLS with one
+// call — over the simulated substrate or real sockets alike.
+
+// OverUCOBS runs msTCP over a uCOBS datagram connection; the msTCP
+// priority becomes the uCOBS (and thus uTCP) send priority.
+func OverUCOBS(c *ucobs.Conn) Datagram { return ucobsDatagram{c} }
+
+type ucobsDatagram struct{ c *ucobs.Conn }
+
+func (u ucobsDatagram) Send(msg []byte, prio uint32) error {
+	return u.c.Send(msg, ucobs.Options{Priority: prio})
+}
+
+func (u ucobsDatagram) OnMessage(fn func(msg []byte)) { u.c.OnMessage(fn) }
+
+// OverUTLS runs msTCP over a uTLS datagram connection. Priorities reach
+// the send queue only when the explicit-record-number extension was
+// negotiated (standard uTLS cannot reorder its sends, §6.1); otherwise
+// they are dropped to the default so sends never fail on a stack that
+// cannot honor them.
+func OverUTLS(c *utls.Conn) Datagram { return utlsDatagram{c} }
+
+type utlsDatagram struct{ c *utls.Conn }
+
+func (u utlsDatagram) Send(msg []byte, prio uint32) error {
+	if prio != 0 && !u.c.ExplicitRecNumActive() {
+		prio = 0
+	}
+	return u.c.Send(msg, utls.Options{Priority: prio})
+}
+
+func (u utlsDatagram) OnMessage(fn func(msg []byte)) { u.c.OnMessage(fn) }

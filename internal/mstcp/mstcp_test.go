@@ -10,15 +10,8 @@ import (
 	"minion/internal/sim"
 	"minion/internal/tcp"
 	"minion/internal/ucobs"
+	"minion/internal/utls"
 )
-
-// ucobsDatagram adapts ucobs.Conn to the Datagram interface.
-type ucobsDatagram struct{ c *ucobs.Conn }
-
-func (u ucobsDatagram) Send(msg []byte, prio uint32) error {
-	return u.c.Send(msg, ucobs.Options{Priority: prio})
-}
-func (u ucobsDatagram) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
 
 // memDatagram is an in-memory datagram pipe with controllable delivery
 // order, for deterministic unit tests.
@@ -228,8 +221,8 @@ func TestEndToEndLossIsolation(t *testing.T) {
 		tcp.Config{NoDelay: true, UnorderedSend: true},
 		tcp.Config{Unordered: true},
 		netem.NewLink(s, fwd), netem.NewLink(s, back))
-	ca := New(ucobsDatagram{ucobs.New(ta)})
-	cb := New(ucobsDatagram{ucobs.New(tb)})
+	ca := New(OverUCOBS(ucobs.New(ta)))
+	cb := New(OverUCOBS(ucobs.New(tb)))
 
 	type rec struct {
 		stream uint32
@@ -265,5 +258,61 @@ func TestEndToEndLossIsolation(t *testing.T) {
 	}
 	if cb.Stats().MessagesDelivered != nStreams*perStream {
 		t.Fatalf("stats: %+v", cb.Stats())
+	}
+}
+
+// msTCP over uTLS over uTCP: the promoted OverUTLS adapter end to end,
+// with the explicit-record-number extension carrying stream priorities.
+func TestEndToEndOverUTLS(t *testing.T) {
+	s := sim.New(17)
+	fwd := netem.LinkConfig{Rate: 10_000_000, Delay: 20 * time.Millisecond, QueueBytes: 1 << 30, Loss: netem.BernoulliLoss{P: 0.02}}
+	back := netem.LinkConfig{Rate: 10_000_000, Delay: 20 * time.Millisecond, QueueBytes: 1 << 30}
+	ta, tb := tcp.NewPair(s,
+		tcp.Config{NoDelay: true, UnorderedSend: true},
+		tcp.Config{Unordered: true},
+		netem.NewLink(s, fwd), netem.NewLink(s, back))
+	ucfg := utls.Config{ExplicitRecNum: true}
+	srvTLS := utls.Server(tb, ucfg)
+	cliTLS := utls.Client(ta, ucfg)
+	ca := New(OverUTLS(cliTLS))
+	cb := New(OverUTLS(srvTLS))
+
+	var deliveries []struct {
+		stream uint32
+		k      int
+	}
+	cb.OnStream(func(st *Stream) {
+		id := st.ID()
+		st.OnMessage(func(m []byte) {
+			deliveries = append(deliveries, struct {
+				stream uint32
+				k      int
+			}{id, int(m[0])})
+		})
+	})
+	s.RunUntil(time.Second)
+	const nStreams, perStream = 4, 25
+	streams := make([]*Stream, nStreams)
+	for i := range streams {
+		streams[i] = ca.Open()
+		streams[i].SetPriority(uint32(i))
+	}
+	for k := 0; k < perStream; k++ {
+		for _, st := range streams {
+			if err := st.Send([]byte{byte(k)}); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+	}
+	s.RunFor(time.Minute)
+	if len(deliveries) != nStreams*perStream {
+		t.Fatalf("delivered %d, want %d", len(deliveries), nStreams*perStream)
+	}
+	next := map[uint32]int{}
+	for _, d := range deliveries {
+		if d.k != next[d.stream] {
+			t.Fatalf("stream %d out of order: got %d want %d", d.stream, d.k, next[d.stream])
+		}
+		next[d.stream]++
 	}
 }

@@ -14,7 +14,7 @@ import (
 	"time"
 
 	"minion/internal/buf"
-	"minion/internal/sim"
+	"minion/internal/rt"
 )
 
 // Packet is the unit carried by emulated paths. Data is an opaque protocol
@@ -145,7 +145,7 @@ type LinkStats struct {
 // Link is a unidirectional emulated link: loss model, droptail byte queue,
 // fixed service rate, propagation delay, optional reorder/duplicate.
 type Link struct {
-	sim     *sim.Simulator
+	rtm     rt.Runtime
 	cfg     LinkConfig
 	deliver Handler
 
@@ -156,12 +156,12 @@ type Link struct {
 	stats LinkStats
 }
 
-// NewLink builds a Link on the simulator.
-func NewLink(s *sim.Simulator, cfg LinkConfig) *Link {
+// NewLink builds a Link on the runtime.
+func NewLink(r rt.Runtime, cfg LinkConfig) *Link {
 	if cfg.Rate > 0 && cfg.QueueBytes == 0 {
 		cfg.QueueBytes = DefaultQueueBytes
 	}
-	return &Link{sim: s, cfg: cfg}
+	return &Link{rtm: r, cfg: cfg}
 }
 
 // SetDeliver implements Element.
@@ -176,7 +176,7 @@ func (l *Link) QueuedBytes() int { return l.queuedSize }
 // Send implements Element: the packet is subjected to the loss model, then
 // queued for service.
 func (l *Link) Send(p Packet) {
-	if l.cfg.Loss != nil && l.cfg.Loss.Drop(l.sim.Rand()) {
+	if l.cfg.Loss != nil && l.cfg.Loss.Drop(l.rtm.Rand()) {
 		l.stats.DroppedLoss++
 		return
 	}
@@ -210,7 +210,7 @@ func (l *Link) serveNext() {
 	l.queue = l.queue[1:]
 	l.queuedSize -= p.Size
 	tx := time.Duration(float64(p.Size*8) / float64(l.cfg.Rate) * float64(time.Second))
-	l.sim.Schedule(tx, func() {
+	l.rtm.Schedule(tx, func() {
 		l.propagate(p)
 		l.serveNext()
 	})
@@ -219,13 +219,13 @@ func (l *Link) serveNext() {
 func (l *Link) propagate(p Packet) {
 	d := l.cfg.Delay
 	if l.cfg.Jitter > 0 {
-		d += time.Duration(l.sim.Rand().Int63n(int64(l.cfg.Jitter)))
+		d += time.Duration(l.rtm.Rand().Int63n(int64(l.cfg.Jitter)))
 	}
-	if l.cfg.ReorderProb > 0 && l.sim.Rand().Float64() < l.cfg.ReorderProb {
+	if l.cfg.ReorderProb > 0 && l.rtm.Rand().Float64() < l.cfg.ReorderProb {
 		d += l.cfg.ReorderDelay
 	}
-	dup := l.cfg.DuplicateProb > 0 && l.sim.Rand().Float64() < l.cfg.DuplicateProb
-	l.sim.Schedule(d, func() { l.emit(p) })
+	dup := l.cfg.DuplicateProb > 0 && l.rtm.Rand().Float64() < l.cfg.DuplicateProb
+	l.rtm.Schedule(d, func() { l.emit(p) })
 	if dup {
 		p2 := p
 		if b, ok := p.Data.(*buf.Buffer); ok {
@@ -233,7 +233,7 @@ func (l *Link) propagate(p Packet) {
 			// delivery, or the duplicate would double-release the arena.
 			p2.Data = b.Retain()
 		}
-		l.sim.Schedule(d, func() { l.emit(p2) })
+		l.rtm.Schedule(d, func() { l.emit(p2) })
 	}
 }
 
@@ -285,10 +285,10 @@ type Dumbbell struct {
 }
 
 // NewDumbbell builds the topology from per-direction link configs.
-func NewDumbbell(s *sim.Simulator, up, down LinkConfig) *Dumbbell {
+func NewDumbbell(r rt.Runtime, up, down LinkConfig) *Dumbbell {
 	d := &Dumbbell{
-		Up:        NewLink(s, up),
-		Down:      NewLink(s, down),
+		Up:        NewLink(r, up),
+		Down:      NewLink(r, down),
 		upDemux:   NewDemux(),
 		downDemux: NewDemux(),
 	}

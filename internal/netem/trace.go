@@ -6,7 +6,7 @@ import (
 	"strings"
 	"time"
 
-	"minion/internal/sim"
+	"minion/internal/rt"
 )
 
 // Tracer is a transparent path element that records every packet passing
@@ -19,7 +19,7 @@ import (
 // layers render their own payloads (internal/tcp provides one via
 // tcp.DescribeSegment).
 type Tracer struct {
-	sim     *sim.Simulator
+	rtm     rt.Runtime
 	deliver Handler
 
 	// Describe renders a packet payload; nil falls back to %T.
@@ -39,8 +39,8 @@ type TraceRecord struct {
 	Info string
 }
 
-// NewTracer builds a tracer on the simulator.
-func NewTracer(s *sim.Simulator) *Tracer { return &Tracer{sim: s} }
+// NewTracer builds a tracer on the runtime.
+func NewTracer(r rt.Runtime) *Tracer { return &Tracer{rtm: r} }
 
 // SetDeliver implements Element.
 func (t *Tracer) SetDeliver(h Handler) { t.deliver = h }
@@ -61,7 +61,7 @@ func (t *Tracer) Send(p Packet) {
 		t.records = t.records[1:]
 		t.dropped++
 	}
-	t.records = append(t.records, TraceRecord{At: t.sim.Now(), Flow: p.Flow, Size: p.Size, Info: info})
+	t.records = append(t.records, TraceRecord{At: t.rtm.Now(), Flow: p.Flow, Size: p.Size, Info: info})
 	if t.deliver != nil {
 		t.deliver(p)
 	}

@@ -1,0 +1,281 @@
+package rt
+
+import (
+	"container/heap"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Loop is the wall-clock Runtime: a monotonic clock (time since NewLoop),
+// a timer heap ordered by (deadline, schedule sequence) exactly like the
+// simulator's event queue, and one event goroutine that executes every
+// callback serially.
+//
+// The event goroutine is the serial executor that preserves the
+// simulator's "no locks above the kernel" invariant in real deployments:
+// protocol state machines attached to a Loop are only ever touched from
+// that goroutine. External goroutines (socket readers, application
+// threads) hand work in with Post or Do; Schedule and Stop are safe from
+// any goroutine.
+type Loop struct {
+	start time.Time
+	goid  int64 // event goroutine id, for Do reentrancy detection
+
+	mu     sync.Mutex
+	timers loopQueue
+	seq    uint64
+	rng    *rand.Rand
+	closed bool
+
+	wake chan struct{} // 1-buffered poke for the event goroutine
+	done chan struct{} // closed when the event goroutine exits
+}
+
+// NewLoop starts a wall-clock runtime. The caller must Close it when done
+// to release the event goroutine.
+func NewLoop() *Loop {
+	l := &Loop{
+		start: time.Now(),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	ready := make(chan struct{})
+	go l.run(ready)
+	<-ready
+	return l
+}
+
+// Now returns the monotonic time since the loop started.
+func (l *Loop) Now() time.Duration { return time.Since(l.start) }
+
+// Rand returns the loop's random source. Like every Runtime's source it
+// must only be used from the event goroutine (i.e. inside callbacks).
+func (l *Loop) Rand() *rand.Rand { return l.rng }
+
+// Schedule runs fn on the event goroutine after delay. Safe to call from
+// any goroutine, including from inside a callback.
+func (l *Loop) Schedule(delay time.Duration, fn func()) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	l.mu.Lock()
+	t := &loopTimer{l: l, at: l.Now() + delay, seq: l.seq, fn: fn, index: -1}
+	l.seq++
+	heap.Push(&l.timers, t)
+	first := l.timers[0] == t
+	l.mu.Unlock()
+	if first {
+		l.poke()
+	}
+	return t
+}
+
+// Post runs fn on the event goroutine as soon as possible, after events
+// already due. It is Schedule(0, fn) without the Timer handle — the
+// hand-off used by socket reader goroutines to enter the serial executor.
+func (l *Loop) Post(fn func()) { l.Schedule(0, fn) }
+
+// Do runs fn on the event goroutine and waits for it to complete. Called
+// from inside a callback (already on the event goroutine) it runs fn
+// inline, so protocol callbacks may re-enter the API without deadlock.
+// Do returns false, without running fn, if the loop is closed.
+func (l *Loop) Do(fn func()) bool {
+	if goid() == l.goid {
+		fn()
+		return true
+	}
+	doneCh := make(chan struct{})
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	t := &loopTimer{l: l, at: l.Now(), seq: l.seq, fn: func() { fn(); close(doneCh) }, index: -1}
+	l.seq++
+	heap.Push(&l.timers, t)
+	l.mu.Unlock()
+	l.poke()
+	select {
+	case <-doneCh:
+		return true
+	case <-l.done:
+		// Loop shut down before running fn (Close drains nothing).
+		select {
+		case <-doneCh:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// Close stops the event goroutine. Pending timers never fire. Close is
+// idempotent and returns once the goroutine has exited; calling it from
+// inside a callback returns immediately (the goroutine exits right after
+// the callback).
+func (l *Loop) Close() {
+	l.mu.Lock()
+	already := l.closed
+	l.closed = true
+	l.mu.Unlock()
+	if already {
+		return
+	}
+	l.poke()
+	if goid() != l.goid {
+		<-l.done
+	}
+}
+
+func (l *Loop) poke() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the event goroutine: pop one due timer at a time (so a callback
+// stopping a later timer behaves exactly as on the simulator), sleep until
+// the next deadline otherwise.
+func (l *Loop) run(ready chan<- struct{}) {
+	l.goid = goid()
+	close(ready)
+	defer close(l.done)
+	sleep := time.NewTimer(time.Hour)
+	defer sleep.Stop()
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		var fn func()
+		var wait time.Duration = -1
+		if len(l.timers) > 0 {
+			if d := l.timers[0].at - l.Now(); d <= 0 {
+				t := heap.Pop(&l.timers).(*loopTimer)
+				fn = t.fn
+			} else {
+				wait = d
+			}
+		}
+		l.mu.Unlock()
+
+		if fn != nil {
+			fn()
+			continue
+		}
+		if wait < 0 {
+			<-l.wake
+			continue
+		}
+		if !sleep.Stop() {
+			select {
+			case <-sleep.C:
+			default:
+			}
+		}
+		sleep.Reset(wait)
+		select {
+		case <-l.wake:
+		case <-sleep.C:
+		}
+	}
+}
+
+// loopTimer implements Timer for a Loop. All mutable state is guarded by
+// the loop mutex so Stop is safe from any goroutine.
+type loopTimer struct {
+	l       *Loop
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 once popped or stopped
+	stopped bool
+}
+
+// Stop implements Timer.
+func (t *loopTimer) Stop() bool {
+	t.l.mu.Lock()
+	defer t.l.mu.Unlock()
+	if t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	heap.Remove(&t.l.timers, t.index)
+	return true
+}
+
+// Pending implements Timer.
+func (t *loopTimer) Pending() bool {
+	t.l.mu.Lock()
+	defer t.l.mu.Unlock()
+	return !t.stopped && t.index >= 0
+}
+
+// When implements Timer.
+func (t *loopTimer) When() time.Duration { return t.at }
+
+// loopQueue is a min-heap of timers ordered by (deadline, sequence) —
+// the same total order as the simulator's event queue.
+type loopQueue []*loopTimer
+
+func (q loopQueue) Len() int { return len(q) }
+
+func (q loopQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q loopQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *loopQueue) Push(x any) {
+	t := x.(*loopTimer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *loopQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}
+
+// goid returns the current goroutine's id by parsing the first line of the
+// stack header ("goroutine N [running]:"). It is only consulted on the Do
+// and Close entry points — a few hundred nanoseconds against the cost of
+// the socket operations those calls wrap.
+func goid() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	// strip "goroutine "
+	const prefix = "goroutine "
+	if len(s) < len(prefix) {
+		return -1
+	}
+	s = s[len(prefix):]
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	id, err := strconv.ParseInt(string(s[:i]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}

@@ -1,0 +1,56 @@
+// Package rt defines the runtime abstraction that decouples Minion's
+// protocol state machines from the engine that drives them.
+//
+// Every layer that needs time — TCP retransmission timers, netem link
+// service, VoIP playout deadlines — programs against Runtime instead of a
+// concrete clock. Two engines implement it:
+//
+//   - sim.Simulator: the deterministic discrete-event kernel. Virtual time,
+//     seeded randomness, single-threaded event execution. All experiments
+//     and protocol tests run here so results are a pure function of the
+//     seed.
+//   - Loop (this package): a wall-clock runtime for real deployments. A
+//     monotonic clock, a timer heap, and one event goroutine form a
+//     per-connection serial executor, so protocol code keeps the
+//     simulator's "no locks above the kernel" structure while real sockets
+//     feed it from other goroutines.
+//
+// The split mirrors the protocol-logic / I/O separation QUIC-era stacks
+// make: the state machines are engine-agnostic, and only the lowest layer
+// knows whether events come from a virtual clock or the operating system.
+package rt
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timer is a handle to a scheduled event. Implementations are returned by
+// Runtime.Schedule.
+type Timer interface {
+	// Stop cancels the timer if it has not yet fired, reporting whether it
+	// was still pending. Stopping a fired or stopped timer is a no-op.
+	Stop() bool
+	// Pending reports whether the timer is scheduled and not stopped.
+	Pending() bool
+	// When returns the runtime time at which the timer fires (or fired).
+	When() time.Duration
+}
+
+// Runtime is the engine a protocol stack runs on: a clock, an event
+// scheduler, and a random source. All protocol callbacks — timer
+// expirations, I/O notifications — are executed serially on a single
+// goroutine (the simulator's Run caller, or a Loop's event goroutine), so
+// code above a Runtime never needs locks for its own state.
+type Runtime interface {
+	// Now returns the current runtime time: virtual time on a simulator,
+	// monotonic time since start on a wall-clock loop.
+	Now() time.Duration
+	// Schedule runs fn after delay. A negative delay is treated as zero;
+	// fn runs after events already queued for the current instant. The
+	// returned Timer may be used to cancel.
+	Schedule(delay time.Duration, fn func()) Timer
+	// Rand returns the runtime's random source. It must only be used from
+	// the runtime's event goroutine (rand.Rand is not concurrency-safe).
+	Rand() *rand.Rand
+}

@@ -10,12 +10,18 @@
 // The kernel is intentionally single-threaded: events execute in timestamp
 // order on the goroutine that calls Run. Protocol code above never needs
 // locks, which mirrors the event-driven structure of an OS TCP stack.
+//
+// Simulator implements rt.Runtime, the engine interface all protocol
+// layers program against; rt.Loop is the wall-clock counterpart used for
+// real-socket deployments.
 package sim
 
 import (
 	"container/heap"
 	"math/rand"
 	"time"
+
+	"minion/internal/rt"
 )
 
 // Simulator owns a virtual clock and an event queue. The zero value is not
@@ -33,6 +39,9 @@ type Simulator struct {
 func New(seed int64) *Simulator {
 	return &Simulator{rng: rand.New(rand.NewSource(seed))}
 }
+
+// Simulator is the deterministic implementation of the runtime interface.
+var _ rt.Runtime = (*Simulator)(nil)
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -77,7 +86,7 @@ func (t *Timer) When() time.Duration { return t.at }
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero (fn runs at the current time, after already-queued events for this
 // instant). The returned Timer may be used to cancel.
-func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
+func (s *Simulator) Schedule(delay time.Duration, fn func()) rt.Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -88,7 +97,7 @@ func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
 }
 
 // ScheduleAt runs fn at absolute virtual time at (clamped to now).
-func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Timer {
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) rt.Timer {
 	return s.Schedule(at-s.now, fn)
 }
 

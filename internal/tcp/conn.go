@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"minion/internal/buf"
-	"minion/internal/sim"
+	"minion/internal/rt"
 )
 
 // State is the connection state (simplified TCP state machine; TIME_WAIT
@@ -180,7 +180,7 @@ type WriteOptions struct {
 
 // Conn is one endpoint of a TCP connection.
 type Conn struct {
-	sim   *sim.Simulator
+	rtm   rt.Runtime
 	cfg   Config
 	out   func(*Segment)
 	state State
@@ -216,11 +216,11 @@ type Conn struct {
 	stats Stats
 }
 
-// New creates a connection on the simulator with output function out, which
+// New creates a connection on the runtime with output function out, which
 // the connection calls for every segment it emits. Input segments are
 // delivered via Input.
-func New(s *sim.Simulator, cfg Config, out func(*Segment)) *Conn {
-	c := &Conn{sim: s, cfg: cfg.Defaults(), out: out, state: StateClosed}
+func New(r rt.Runtime, cfg Config, out func(*Segment)) *Conn {
+	c := &Conn{rtm: r, cfg: cfg.Defaults(), out: out, state: StateClosed}
 	c.readableFn = func() {
 		c.readableQueued = false
 		if c.onReadable != nil {
@@ -284,7 +284,7 @@ func (c *Conn) Connect() {
 	if c.state != StateClosed {
 		return
 	}
-	c.iss = uint64(c.sim.Rand().Int63n(1 << 30))
+	c.iss = uint64(c.rtm.Rand().Int63n(1 << 30))
 	c.sndUna, c.sndNxt = c.iss, c.iss
 	c.setState(StateSynSent)
 	c.sendSYN(false)
@@ -360,7 +360,7 @@ func (c *Conn) sendSYN(synack bool) {
 func (c *Conn) armHandshakeRetx(synack bool) {
 	c.stopTimer(&c.rtxTimer)
 	backoff := c.rto()
-	c.rtxTimer = c.sim.Schedule(backoff, func() {
+	c.rtxTimer = c.rtm.Schedule(backoff, func() {
 		if c.state == StateSynSent || c.state == StateSynReceived {
 			c.synRetries++
 			if c.synRetries > 6 {
@@ -391,7 +391,7 @@ func (c *Conn) Input(seg *Segment) {
 		if seg.Flags.Has(FlagSYN) {
 			c.irs = seg.Seq
 			c.rcvNxt = seg.Seq + 1
-			c.iss = uint64(c.sim.Rand().Int63n(1 << 30))
+			c.iss = uint64(c.rtm.Rand().Int63n(1 << 30))
 			c.sndUna, c.sndNxt = c.iss, c.iss
 			c.sndWnd = seg.Window
 			c.setState(StateSynReceived)
@@ -480,7 +480,7 @@ func (c *Conn) notifyReadable() {
 		return
 	}
 	c.readableQueued = true
-	c.sim.Schedule(0, c.readableFn)
+	c.rtm.Schedule(0, c.readableFn)
 }
 
 func (c *Conn) notifyWritable() {
@@ -488,10 +488,10 @@ func (c *Conn) notifyWritable() {
 		return
 	}
 	c.writableQueued = true
-	c.sim.Schedule(0, c.writableFn)
+	c.rtm.Schedule(0, c.writableFn)
 }
 
-func (c *Conn) stopTimer(t **sim.Timer) {
+func (c *Conn) stopTimer(t *rt.Timer) {
 	if *t != nil {
 		(*t).Stop()
 		*t = nil

@@ -2,7 +2,7 @@ package tcp
 
 import (
 	"minion/internal/netem"
-	"minion/internal/sim"
+	"minion/internal/rt"
 )
 
 // Attach wires conn so its output segments are wrapped into netem.Packets
@@ -47,22 +47,22 @@ func AttachDumbbellServer(conn *Conn, flow int, db *netem.Dumbbell) {
 // NewPair creates two connections wired through the given unidirectional
 // path elements (nil for a perfect zero-delay wire) and starts the
 // handshake (a connects, b listens). Run the simulator to establish.
-func NewPair(s *sim.Simulator, cfgA, cfgB Config, aToB, bToA netem.Element) (a, b *Conn) {
-	a = New(s, cfgA, nil)
-	b = New(s, cfgB, nil)
-	Wire(s, a, b, aToB, bToA)
+func NewPair(r rt.Runtime, cfgA, cfgB Config, aToB, bToA netem.Element) (a, b *Conn) {
+	a = New(r, cfgA, nil)
+	b = New(r, cfgB, nil)
+	Wire(r, a, b, aToB, bToA)
 	b.Listen()
 	a.Connect()
 	return a, b
 }
 
 // Wire connects two existing Conns through optional path elements.
-func Wire(s *sim.Simulator, a, b *Conn, aToB, bToA netem.Element) {
+func Wire(r rt.Runtime, a, b *Conn, aToB, bToA netem.Element) {
 	if aToB == nil {
-		aToB = netem.NewLink(s, netem.LinkConfig{})
+		aToB = netem.NewLink(r, netem.LinkConfig{})
 	}
 	if bToA == nil {
-		bToA = netem.NewLink(s, netem.LinkConfig{})
+		bToA = netem.NewLink(r, netem.LinkConfig{})
 	}
 	inB := Attach(a, 0, aToB)
 	aToB.SetDeliver(func(p netem.Packet) {

@@ -5,7 +5,7 @@ import (
 
 	"minion/internal/buf"
 	"minion/internal/queue"
-	"minion/internal/sim"
+	"minion/internal/rt"
 	"minion/internal/stream"
 )
 
@@ -24,7 +24,7 @@ type receiver struct {
 	uQ queue.FIFO[UnorderedData] // uTCP delivery queue (unordered mode)
 
 	pendingAckSegs  int
-	delAckTimer     *sim.Timer
+	delAckTimer     rt.Timer
 	peerFinReceived bool
 	peerFinSeq      uint64
 	havePeerFin     bool
@@ -203,7 +203,7 @@ func (c *Conn) scheduleAck() {
 		return
 	}
 	if c.delAckTimer == nil {
-		c.delAckTimer = c.sim.Schedule(c.cfg.DelAckTimeout, func() {
+		c.delAckTimer = c.rtm.Schedule(c.cfg.DelAckTimeout, func() {
 			c.delAckTimer = nil
 			if c.pendingAckSegs > 0 {
 				c.sendAck()

@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"minion/internal/netem"
-	"minion/internal/sim"
+	"minion/internal/rt"
 )
 
 // Resegmenter is a TCP-aware middlebox that re-segments a passing stream:
@@ -16,7 +16,7 @@ import (
 // transmissions". Minion's framing layers must survive it; tests and
 // experiments chain it into paths.
 type Resegmenter struct {
-	sim     *sim.Simulator
+	rtm     rt.Runtime
 	deliver netem.Handler
 
 	// SplitProb is the probability a data segment with >= 2 payload bytes
@@ -40,13 +40,13 @@ type Resegmenter struct {
 type heldSeg struct {
 	pkt   netem.Packet
 	seg   *Segment
-	timer *sim.Timer
+	timer rt.Timer
 }
 
 // NewResegmenter builds a middlebox with the given split/coalesce behaviour.
-func NewResegmenter(s *sim.Simulator, splitProb, coalesceProb float64) *Resegmenter {
+func NewResegmenter(r rt.Runtime, splitProb, coalesceProb float64) *Resegmenter {
 	return &Resegmenter{
-		sim:          s,
+		rtm:          r,
 		SplitProb:    splitProb,
 		CoalesceProb: coalesceProb,
 		HoldTime:     500 * time.Microsecond,
@@ -84,10 +84,10 @@ func (r *Resegmenter) Send(p netem.Packet) {
 		r.flushHeld(p.Flow)
 	}
 
-	rng := r.sim.Rand()
+	rng := r.rtm.Rand()
 	if r.CoalesceProb > 0 && rng.Float64() < r.CoalesceProb {
 		h := &heldSeg{pkt: p, seg: seg}
-		h.timer = r.sim.Schedule(r.HoldTime, func() {
+		h.timer = r.rtm.Schedule(r.HoldTime, func() {
 			if r.held[p.Flow] == h {
 				delete(r.held, p.Flow)
 				r.splitMaybe(p.Flow, seg)
@@ -100,7 +100,7 @@ func (r *Resegmenter) Send(p netem.Packet) {
 }
 
 func (r *Resegmenter) splitMaybe(flow int, seg *Segment) {
-	rng := r.sim.Rand()
+	rng := r.rtm.Rand()
 	if r.SplitProb > 0 && len(seg.Payload) >= 2 && rng.Float64() < r.SplitProb {
 		cut := 1 + rng.Intn(len(seg.Payload)-1)
 		r.SplitSegment(flow, seg, cut)

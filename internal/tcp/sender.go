@@ -4,7 +4,7 @@ import (
 	"time"
 
 	"minion/internal/buf"
-	"minion/internal/sim"
+	"minion/internal/rt"
 )
 
 // appWrite is one application write waiting in the send queue. In
@@ -80,8 +80,8 @@ type sender struct {
 	rtoBackoff   int
 	synRetries   int
 
-	rtxTimer     *sim.Timer
-	persistTimer *sim.Timer
+	rtxTimer     rt.Timer
+	persistTimer rt.Timer
 
 	nagleHold bool
 }
@@ -315,7 +315,7 @@ func (c *Conn) retransmitNextLost() bool {
 		if t.lost && !t.sacked {
 			t.lost = false
 			t.retrans = true
-			t.sentAt = c.sim.Now()
+			t.sentAt = c.rtm.Now()
 			c.stats.SegsRetrans++
 			c.stats.BytesRetrans += int64(len(t.data))
 			fl := FlagACK
@@ -356,7 +356,7 @@ func (c *Conn) sendNewData() bool {
 	}
 
 	payload, pbuf := c.buildPayload(planned)
-	t := &txSeg{seq: c.sndNxt, data: payload, buf: pbuf, sentAt: c.sim.Now()}
+	t := &txSeg{seq: c.sndNxt, data: payload, buf: pbuf, sentAt: c.rtm.Now()}
 	c.txSegs = append(c.txSegs, t)
 	c.sndNxt += uint64(len(payload))
 	c.stats.BytesSent += int64(len(payload))
@@ -458,7 +458,7 @@ func (c *Conn) maybeSendFIN() {
 	}
 	c.finSeq = c.sndNxt
 	c.finSent = true
-	t := &txSeg{seq: c.sndNxt, fin: true, sentAt: c.sim.Now()}
+	t := &txSeg{seq: c.sndNxt, fin: true, sentAt: c.rtm.Now()}
 	c.txSegs = append(c.txSegs, t)
 	c.sndNxt++
 	c.emit(&Segment{Seq: t.seq, Ack: c.rcvNxt, Flags: FlagACK | FlagFIN, Window: c.advertisedWindow()})
@@ -472,7 +472,7 @@ func (c *Conn) maybePersist() {
 	if c.sndWnd > 0 || c.sendQLen() == 0 || c.persistTimer != nil || len(c.txSegs) > 0 {
 		return
 	}
-	c.persistTimer = c.sim.Schedule(c.rto(), func() {
+	c.persistTimer = c.rtm.Schedule(c.rto(), func() {
 		c.persistTimer = nil
 		if c.sndWnd == 0 && c.sendQLen() > 0 && c.state == StateEstablished {
 			// One-byte window probe, sent as a real transmission so the
@@ -486,7 +486,7 @@ func (c *Conn) maybePersist() {
 				w.buf.Release()
 				c.dequeueHead()
 			}
-			t := &txSeg{seq: c.sndNxt, data: payload, buf: pb, sentAt: c.sim.Now()}
+			t := &txSeg{seq: c.sndNxt, data: payload, buf: pb, sentAt: c.rtm.Now()}
 			c.txSegs = append(c.txSegs, t)
 			c.sndNxt++
 			c.stats.BytesSent++
@@ -541,7 +541,7 @@ func (c *Conn) handleNewAck(ack, oldUna uint64) {
 		if t.end() <= ack {
 			ackedUnits += c.ccUnit(len(t.data))
 			if !t.retrans {
-				rttSample = c.sim.Now() - t.sentAt
+				rttSample = c.rtm.Now() - t.sentAt
 			}
 			t.release()
 			continue
@@ -685,7 +685,7 @@ func (c *Conn) rto() time.Duration {
 
 func (c *Conn) armRTO() {
 	c.stopTimer(&c.rtxTimer)
-	c.rtxTimer = c.sim.Schedule(c.rto(), c.rtoFn)
+	c.rtxTimer = c.rtm.Schedule(c.rto(), c.rtoFn)
 }
 
 func (c *Conn) onRTO() {

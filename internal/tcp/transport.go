@@ -1,0 +1,68 @@
+package tcp
+
+import "minion/internal/buf"
+
+// Stream is the transport contract Minion's framing layers (uCOBS, uTLS)
+// require from the byte stream beneath them. Two implementations exist:
+//
+//   - *Conn, this package's userspace TCP/uTCP over emulated paths — the
+//     substrate for all deterministic simulation and for the uTCP
+//     out-of-order machinery;
+//   - wire.Conn, a real kernel TCP socket driven by an rt.Loop — the
+//     deployable substrate. Kernel TCP has no SO_UNORDERED, so it reports
+//     Unordered() == false and the framing layers degrade gracefully to
+//     their in-order receive paths, exactly as the paper's §5.2/§6
+//     fallback describes.
+//
+// All methods must be called from the transport's runtime event goroutine
+// (the simulator's Run caller or the wire connection's loop); the stream
+// is a serial-executor-confined object like everything above it.
+type Stream interface {
+	// Unordered reports whether the SO_UNORDERED receive path is available:
+	// deliveries flow through ReadUnordered instead of Read.
+	Unordered() bool
+	// SegmentCapacity returns the largest application write guaranteed to
+	// travel as a single wire segment, or 0 when the transport gives no
+	// such guarantee (plain byte streams). Framing layers use it to size
+	// records so one record never straddles a segment boundary.
+	SegmentCapacity() int
+	// OnReadable registers the callback invoked whenever new data becomes
+	// available to Read/ReadUnordered.
+	OnReadable(fn func())
+	// Read returns in-order stream data (the plain receive path); see
+	// Conn.Read for the error contract.
+	Read(p []byte) (int, error)
+	// ReadUnordered pops the next uTCP delivery; transports without
+	// SO_UNORDERED return ErrNotUnordered.
+	ReadUnordered() (UnorderedData, error)
+	// Write queues p for in-order transmission at default priority,
+	// returning the bytes accepted.
+	Write(p []byte) (int, error)
+	// WriteMsgBuf queues one message as a single boundary-preserved
+	// application write, taking ownership of b. All-or-nothing: a message
+	// that does not fit returns ErrWouldBlock and queues nothing.
+	WriteMsgBuf(b *buf.Buffer, opt WriteOptions) (int, error)
+	// SendBufAvailable reports the send-buffer space currently available.
+	SendBufAvailable() int
+	// Close tears the stream down (gracefully where supported).
+	Close()
+}
+
+// Conn implements Stream.
+var _ Stream = (*Conn)(nil)
+
+// Unordered reports whether the SO_UNORDERED receive path is enabled.
+func (c *Conn) Unordered() bool { return c.cfg.Unordered }
+
+// SegmentCapacity implements Stream: with SO_UNORDEREDSEND each
+// application write is a segmentation unit (the skbuff-per-write rule,
+// paper §7) — writes up to the MSS travel as exactly one segment, whether
+// or not CoalesceWrites additionally packs whole small writes together.
+// Without it the segmenter fills segments across write boundaries and no
+// guarantee exists.
+func (c *Conn) SegmentCapacity() int {
+	if c.cfg.UnorderedSend {
+		return c.cfg.MSS
+	}
+	return 0
+}

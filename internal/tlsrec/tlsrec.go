@@ -111,6 +111,57 @@ func (s Suite) Version() uint16 {
 // Authenticated reports whether records carry a MAC.
 func (s Suite) Authenticated() bool { return s != SuiteNull }
 
+// SealedLen returns the exact wire length (header included) of a record
+// sealing n plaintext bytes under this suite.
+func (s Suite) SealedLen(n int) int {
+	switch s {
+	case SuiteNull:
+		return HeaderSize + n
+	case SuiteStreamChained:
+		return HeaderSize + n + macSize
+	case SuiteCBCImplicitIV:
+		return HeaderSize + n + macSize + padLenFor(n+macSize)
+	case SuiteCBCExplicitIV:
+		return HeaderSize + blockSize + n + macSize + padLenFor(n+macSize)
+	}
+	return -1
+}
+
+// padLenFor returns the CBC padding added to an (plaintext+MAC) run of n
+// bytes: 1..blockSize, always at least one byte.
+func padLenFor(n int) int { return blockSize - n%blockSize }
+
+// MaxPlaintextFor returns the largest plaintext length whose sealed
+// record fits in wire bytes under this suite (capped at MaxPlaintext),
+// or -1 when no plaintext fits. Framing layers use it to size records to
+// a transport segment so a record never straddles a segment boundary.
+func (s Suite) MaxPlaintextFor(wire int) int {
+	var n int
+	switch s {
+	case SuiteNull:
+		n = wire - HeaderSize
+	case SuiteStreamChained:
+		n = wire - HeaderSize - macSize
+	case SuiteCBCImplicitIV, SuiteCBCExplicitIV:
+		body := wire - HeaderSize
+		if s == SuiteCBCExplicitIV {
+			body -= blockSize // explicit IV
+		}
+		// The padded (plaintext+MAC+pad) run is a whole number of cipher
+		// blocks with at least one pad byte.
+		n = body/blockSize*blockSize - macSize - 1
+	default:
+		return -1
+	}
+	if n > MaxPlaintext {
+		n = MaxPlaintext
+	}
+	if n < 0 {
+		return -1
+	}
+	return n
+}
+
 // DeriveKeys expands a shared secret and both parties' randoms into the
 // four directional keys (client-write / server-write, cipher / MAC), in the
 // spirit of the TLS PRF (HMAC-SHA256 expansion).
@@ -161,8 +212,8 @@ type Seal struct {
 	ivSrc   func(b []byte) // explicit IV source (tests may override via SetIVSource)
 	ivCtr   uint64
 	// cached per-record machinery
-	hm     hash.Hash // HMAC-SHA256, Reset between records
-	macBuf []byte    // scratch for hm.Sum
+	hm     *hmacSHA256 // keyed HMAC state, reused across records
+	macBuf []byte      // scratch for hm.Sum
 	enc    cipher.BlockMode
 }
 
@@ -173,7 +224,7 @@ func NewSeal(suite Suite, cipherKey, macKey []byte) (*Seal, error) {
 	if suite == SuiteNull {
 		return s, nil
 	}
-	s.hm = hmac.New(sha256.New, macKey)
+	s.hm = newHMACSHA256(macKey)
 	b, err := aes.NewCipher(cipherKey)
 	if err != nil {
 		return nil, fmt.Errorf("tlsrec: %w", err)
@@ -287,15 +338,12 @@ func (s *Seal) cbcEncrypter(iv []byte) cipher.BlockMode {
 // the pseudo-header is the plaintext length, as in TLS.
 // The returned slice is scratch reused by the next computeMAC call.
 func (s *Seal) computeMAC(seq uint64, recType byte, plaintext []byte) []byte {
-	s.hm.Reset()
 	var hdr [13]byte
 	binary.BigEndian.PutUint64(hdr[:], seq)
 	hdr[8] = recType
 	binary.BigEndian.PutUint16(hdr[9:], s.version)
 	binary.BigEndian.PutUint16(hdr[11:], uint16(len(plaintext)))
-	s.hm.Write(hdr[:])
-	s.hm.Write(plaintext)
-	s.macBuf = s.hm.Sum(s.macBuf[:0])
+	s.macBuf = s.hm.mac(s.macBuf, hdr[:], plaintext)
 	return s.macBuf
 }
 
@@ -307,6 +355,50 @@ func pad(b []byte) []byte {
 		b = append(b, byte(padLen-1))
 	}
 	return b
+}
+
+// hmacSHA256 is a minimal keyed HMAC for the record hot path. crypto/hmac
+// snapshots its keyed inner/outer digests on every Sum by marshaling the
+// hash state — one heap allocation per MAC, on both the seal and open
+// sides of every record. Re-hashing the 64-byte key pads from scratch is
+// a fixed extra compression round and allocation-free, which is the
+// better trade at datagram rates.
+type hmacSHA256 struct {
+	inner, outer hash.Hash
+	ipad, opad   [sha256.BlockSize]byte
+}
+
+func newHMACSHA256(key []byte) *hmacSHA256 {
+	h := &hmacSHA256{inner: sha256.New(), outer: sha256.New()}
+	if len(key) > sha256.BlockSize {
+		k := sha256.Sum256(key)
+		key = k[:]
+	}
+	for i := range h.ipad {
+		h.ipad[i] = 0x36
+	}
+	for i := range h.opad {
+		h.opad[i] = 0x5c
+	}
+	for i, b := range key {
+		h.ipad[i] ^= b
+		h.opad[i] ^= b
+	}
+	return h
+}
+
+// mac computes HMAC(key, hdr || data) into out's storage (grown once to
+// sha256.Size) and returns it; the result is scratch for the next call.
+func (h *hmacSHA256) mac(out []byte, hdr, data []byte) []byte {
+	h.inner.Reset()
+	h.inner.Write(h.ipad[:])
+	h.inner.Write(hdr)
+	h.inner.Write(data)
+	out = h.inner.Sum(out[:0])
+	h.outer.Reset()
+	h.outer.Write(h.opad[:])
+	h.outer.Write(out)
+	return h.outer.Sum(out[:0])
 }
 
 // unpad validates and strips TLS padding.
@@ -336,7 +428,7 @@ type Open struct {
 	seq     uint64 // next expected sequence number (in-order path)
 	stream  cipher.Stream
 	lastCBC []byte
-	hm      hash.Hash
+	hm      *hmacSHA256
 	macBuf  []byte
 	dec     cipher.BlockMode
 }
@@ -358,7 +450,7 @@ func NewOpen(suite Suite, cipherKey, macKey []byte) (*Open, error) {
 	if suite == SuiteNull {
 		return o, nil
 	}
-	o.hm = hmac.New(sha256.New, macKey)
+	o.hm = newHMACSHA256(macKey)
 	b, err := aes.NewCipher(cipherKey)
 	if err != nil {
 		return nil, fmt.Errorf("tlsrec: %w", err)
@@ -553,14 +645,11 @@ func (o *Open) openCommon(record []byte, recNum uint64, inOrder bool) (byte, []b
 
 // The returned slice is scratch reused by the next macFor call.
 func (o *Open) macFor(seq uint64, recType byte, plaintext []byte) []byte {
-	o.hm.Reset()
 	var hdr [13]byte
 	binary.BigEndian.PutUint64(hdr[:], seq)
 	hdr[8] = recType
 	binary.BigEndian.PutUint16(hdr[9:], o.version)
 	binary.BigEndian.PutUint16(hdr[11:], uint16(len(plaintext)))
-	o.hm.Write(hdr[:])
-	o.hm.Write(plaintext)
-	o.macBuf = o.hm.Sum(o.macBuf[:0])
+	o.macBuf = o.hm.mac(o.macBuf, hdr[:], plaintext)
 	return o.macBuf
 }

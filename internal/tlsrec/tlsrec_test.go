@@ -2,6 +2,8 @@ package tlsrec
 
 import (
 	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -298,5 +300,72 @@ func TestRecordOverhead(t *testing.T) {
 	overhead := len(rec) - 1000
 	if overhead < 53 || overhead > 53+blockSize {
 		t.Fatalf("overhead = %d bytes, want 53..%d", overhead, 53+blockSize)
+	}
+}
+
+// TestHMACMatchesStdlib cross-checks the allocation-free HMAC against
+// crypto/hmac: both Seal and Open sides use the hand-rolled state, so a
+// systematic error there would otherwise be self-consistent and invisible
+// to round-trip tests.
+func TestHMACMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		key := make([]byte, rng.Intn(100)+1) // exercises short and >block-size keys
+		rng.Read(key)
+		hdr := make([]byte, 13)
+		rng.Read(hdr)
+		data := make([]byte, rng.Intn(2048))
+		rng.Read(data)
+
+		h := newHMACSHA256(key)
+		got := h.mac(nil, hdr, data)
+
+		ref := hmac.New(sha256.New, key)
+		ref.Write(hdr)
+		ref.Write(data)
+		want := ref.Sum(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("case %d: hmac mismatch\n got %x\nwant %x", i, got, want)
+		}
+		// Scratch reuse must not corrupt subsequent MACs.
+		if got2 := h.mac(got, hdr, data); !bytes.Equal(got2, want) {
+			t.Fatalf("case %d: scratch-reuse mismatch", i)
+		}
+	}
+}
+
+// TestSealedLenAndMaxPlaintextFor pins the exact-size arithmetic against
+// the real sealer output for every suite.
+func TestSealedLenAndMaxPlaintextFor(t *testing.T) {
+	for _, suite := range []Suite{SuiteNull, SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV} {
+		s, _ := pair(t, suite)
+		for _, n := range []int{0, 1, 15, 16, 17, 511, 512, 1000, 1391, 1392} {
+			rec, err := s.Seal(TypeAppData, make([]byte, n))
+			if err != nil {
+				t.Fatalf("%v Seal(%d): %v", suite, n, err)
+			}
+			if got, want := len(rec), suite.SealedLen(n); got != want {
+				t.Errorf("%v SealedLen(%d) = %d, real record is %d", suite, n, want, got)
+			}
+		}
+		for _, wire := range []int{64, 576, 1448, 9000} {
+			m := suite.MaxPlaintextFor(wire)
+			if m < 0 {
+				// Correct only when even an empty record overflows wire.
+				if suite.SealedLen(0) <= wire {
+					t.Errorf("%v MaxPlaintextFor(%d) = -1 but SealedLen(0) = %d fits", suite, wire, suite.SealedLen(0))
+				}
+				continue
+			}
+			if got := suite.SealedLen(m); got > wire {
+				t.Errorf("%v MaxPlaintextFor(%d) = %d but SealedLen = %d", suite, wire, m, got)
+			}
+			// Tight: one more byte must not fit (unless capped at MaxPlaintext).
+			if m < MaxPlaintext {
+				if got := suite.SealedLen(m + 1); got <= wire {
+					t.Errorf("%v MaxPlaintextFor(%d) = %d is not tight (SealedLen(%d) = %d)", suite, wire, m, m+1, got)
+				}
+			}
+		}
 	}
 }

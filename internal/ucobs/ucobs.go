@@ -68,7 +68,7 @@ type Stats struct {
 
 // Conn is a uCOBS datagram connection bound to a TCP or uTCP stream.
 type Conn struct {
-	tc        *tcp.Conn
+	tc        tcp.Stream
 	unordered bool
 
 	// Unordered receive state: local reassembly of uTCP fragments plus the
@@ -91,13 +91,15 @@ type Conn struct {
 	readBuf []byte // ordered-mode drain buffer, allocated once
 }
 
-// New binds a uCOBS connection to tc. If tc has the SO_UNORDERED receive
-// path enabled the out-of-order delivery machinery is used; otherwise uCOBS
-// falls back to in-order parsing (paper §5.2 "Reception").
-func New(tc *tcp.Conn) *Conn {
+// New binds a uCOBS connection to tc — the simulated uTCP substrate or a
+// real-socket wire stream, anything satisfying tcp.Stream. If tc has the
+// SO_UNORDERED receive path enabled the out-of-order delivery machinery is
+// used; otherwise uCOBS falls back to in-order parsing (paper §5.2
+// "Reception").
+func New(tc tcp.Stream) *Conn {
 	c := &Conn{
 		tc:        tc,
-		unordered: tc.Config().Unordered,
+		unordered: tc.Unordered(),
 		asm:       stream.NewAssembler(),
 		maxMsg:    DefaultMaxMessageSize,
 	}
@@ -105,8 +107,8 @@ func New(tc *tcp.Conn) *Conn {
 	return c
 }
 
-// Transport returns the underlying TCP connection.
-func (c *Conn) Transport() *tcp.Conn { return c.tc }
+// Transport returns the underlying stream transport.
+func (c *Conn) Transport() tcp.Stream { return c.tc }
 
 // Stats returns a copy of the counters.
 func (c *Conn) Stats() Stats { return c.stats }

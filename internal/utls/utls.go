@@ -52,6 +52,10 @@ var defaultPSK = []byte("minion-simulated-master-secret")
 // header(5) + explicit IV(16) + MAC(32) + padding(<=16) + record num(8).
 const maxSealOverhead = tlsrec.HeaderSize + 16 + 32 + 16 + 8
 
+// pendingReserve is send-buffer headroom the pre-handshake queue must
+// leave free for the handshake records themselves.
+const pendingReserve = 256
+
 // Options mirrors ucobs.Options for the uniform Minion datagram API.
 type Options struct {
 	Priority uint32
@@ -102,6 +106,7 @@ type Stats struct {
 	FalsePositives    int // candidates that failed every MAC attempt
 	MACAttempts       int // OpenAt attempts during prediction
 	PredictExact      int // verified on first predicted number
+	DroppedSends      int // pre-handshake sends lost to a full transport at flush
 	BytesSealed       int64
 	CPUSeal           time.Duration
 	CPUOpen           time.Duration
@@ -114,7 +119,7 @@ type anchor struct {
 
 // Conn is a uTLS datagram connection over a TCP or uTCP stream.
 type Conn struct {
-	tc       *tcp.Conn
+	tc       tcp.Stream
 	cfg      Config
 	isClient bool
 
@@ -126,6 +131,7 @@ type Conn struct {
 	open          *tlsrec.Open
 
 	unordered bool // OOO machinery active (uTCP + capable suite)
+	recCap    int  // MSS-aware max message size (0 = no segment guarantee)
 
 	asm        *stream.Assembler
 	inOrderPos uint64 // stream offset of the next in-order record header
@@ -137,8 +143,9 @@ type Conn struct {
 	falsePos     map[uint64]bool
 	avgRecLen    float64
 
-	pendingSend [][]byte // app data queued before the handshake completes
-	pendingOpts []Options
+	pendingSend  [][]byte // app data queued before the handshake completes
+	pendingOpts  []Options
+	pendingBytes int // worst-case sealed bytes of the pending queue
 
 	onMessage func(msg []byte)
 	onReady   func()
@@ -149,20 +156,21 @@ type Conn struct {
 	sealScratch []byte // explicit-recnum plaintext build scratch (Seal copies it)
 }
 
-// Client creates the client side of a uTLS connection over tc and starts
-// the handshake (tc should be connected or connecting).
-func Client(tc *tcp.Conn, cfg Config) *Conn {
+// Client creates the client side of a uTLS connection over tc — the
+// simulated uTCP substrate or a real-socket wire stream — and starts the
+// handshake (tc should be connected or connecting).
+func Client(tc tcp.Stream, cfg Config) *Conn {
 	c := newConn(tc, cfg, true)
 	c.startHandshake()
 	return c
 }
 
 // Server creates the server side of a uTLS connection over tc.
-func Server(tc *tcp.Conn, cfg Config) *Conn {
+func Server(tc tcp.Stream, cfg Config) *Conn {
 	return newConn(tc, cfg, false)
 }
 
-func newConn(tc *tcp.Conn, cfg Config, isClient bool) *Conn {
+func newConn(tc tcp.Stream, cfg Config, isClient bool) *Conn {
 	c := &Conn{
 		tc:           tc,
 		cfg:          cfg.defaults(),
@@ -175,8 +183,8 @@ func newConn(tc *tcp.Conn, cfg Config, isClient bool) *Conn {
 	return c
 }
 
-// Transport returns the underlying TCP connection.
-func (c *Conn) Transport() *tcp.Conn { return c.tc }
+// Transport returns the underlying stream transport.
+func (c *Conn) Transport() tcp.Stream { return c.tc }
 
 // Stats returns a copy of the counters.
 func (c *Conn) Stats() Stats { return c.stats }
@@ -186,6 +194,20 @@ func (c *Conn) Suite() tlsrec.Suite { return c.suite }
 
 // ExplicitRecNumActive reports whether the §6.1 extension was negotiated.
 func (c *Conn) ExplicitRecNumActive() bool { return c.explicitOn }
+
+// MaxMessageSize returns the largest Send the connection accepts: the TLS
+// record bound, tightened by MSS-aware record sizing on transports that
+// preserve write boundaries (valid after the handshake).
+func (c *Conn) MaxMessageSize() int {
+	limit := tlsrec.MaxPlaintext
+	if c.explicitOn {
+		limit -= 8
+	}
+	if c.recCap > 0 && c.recCap < limit {
+		limit = c.recCap
+	}
+	return limit
+}
 
 // Ready reports handshake completion.
 func (c *Conn) Ready() bool { return c.handshakeDone }
@@ -301,19 +323,62 @@ func (c *Conn) handleHandshake(payload []byte) error {
 	// Out-of-order machinery engages only with uTCP underneath and a
 	// chaining-free, authenticated suite (§6.1: under the null suite or a
 	// chained suite, uTLS "disables out-of-order delivery").
-	c.unordered = c.tc.Config().Unordered && c.suite.SupportsOutOfOrder()
+	c.unordered = c.tc.Unordered() && c.suite.SupportsOutOfOrder()
 	c.avgRecLen = 0
+	// MSS-aware record sizing: on a boundary-preserving transport, cap
+	// messages so every sealed record fits in one segment. The receiver
+	// then sees whole records per delivery and parses them without ever
+	// merging fragments in its assembler; an OOO scan confirms a record
+	// from a single fragment instead of waiting for its continuation.
+	c.recCap = 0
+	if segCap := c.tc.SegmentCapacity(); segCap > 0 {
+		if m := c.suite.MaxPlaintextFor(segCap); m > 0 {
+			if c.explicitOn {
+				m -= 8
+			}
+			if m > 0 {
+				c.recCap = m
+			}
+		}
+	}
 
 	if c.onReady != nil {
 		c.onReady()
 	}
-	// Flush writes queued during the handshake.
+	// Flush writes queued during the handshake with the MSS-derived cap
+	// bypassed: these messages were admitted before the cap existed, and
+	// an oversized record straddling segments beats dropping it (see
+	// pendingLimit). Sizes were bounded by pendingLimit and the total by
+	// the send-buffer admission check, so these sends cannot fail;
+	// DroppedSends stays as a loud canary should that invariant break.
 	pend, opts := c.pendingSend, c.pendingOpts
 	c.pendingSend, c.pendingOpts = nil, nil
+	c.pendingBytes = 0
+	savedCap := c.recCap
+	c.recCap = 0
 	for i, m := range pend {
-		c.Send(m, opts[i])
+		if err := c.Send(m, opts[i]); err != nil {
+			c.stats.DroppedSends++
+		}
 	}
+	c.recCap = savedCap
 	return nil
+}
+
+// pendingLimit bounds messages queued before the handshake completes.
+// The MSS-derived record cap is not known yet (suite and extension are
+// still negotiating) and deliberately does NOT apply here: the flush
+// sends queued messages with the cap bypassed, because a record that
+// straddles a segment boundary is still correct — it merely loses the
+// single-segment fast path — whereas rejecting or dropping an
+// already-accepted message would not be. Only the hard TLS record bound
+// applies.
+func (c *Conn) pendingLimit() int {
+	limit := tlsrec.MaxPlaintext
+	if c.cfg.ExplicitRecNum {
+		limit -= 8
+	}
+	return limit
 }
 
 // Send seals msg as one TLS application-data record and writes it to the
@@ -322,14 +387,23 @@ func (c *Conn) handleHandshake(payload []byte) error {
 // because the receiver predicts record numbers from stream position (§6.1).
 func (c *Conn) Send(msg []byte, opt Options) error {
 	if !c.handshakeDone {
+		if len(msg) > c.pendingLimit() {
+			return ErrTooLarge
+		}
+		// Bound the queue by the transport's send buffer (minus headroom
+		// for the handshake records themselves): a Send accepted here is
+		// guaranteed to fit at flush time, so backpressure surfaces now as
+		// ErrWouldBlock instead of a silent drop after the handshake.
+		needed := len(msg) + maxSealOverhead
+		if c.pendingBytes+needed > c.tc.SendBufAvailable()-pendingReserve {
+			return tcp.ErrWouldBlock
+		}
+		c.pendingBytes += needed
 		c.pendingSend = append(c.pendingSend, append([]byte(nil), msg...))
 		c.pendingOpts = append(c.pendingOpts, opt)
 		return nil
 	}
-	limit := tlsrec.MaxPlaintext
-	if c.explicitOn {
-		limit -= 8
-	}
+	limit := c.MaxMessageSize()
 	if len(msg) > limit {
 		return ErrTooLarge
 	}
@@ -382,27 +456,38 @@ func (c *Conn) Send(msg []byte, opt Options) error {
 	return werr
 }
 
-// pump drains the transport.
+// pump drains the transport. In-order deliveries that arrive while the
+// assembler is empty — the steady state when the sender's MSS-aware
+// record sizing keeps every record inside one segment — are parsed
+// straight from the delivery's bytes; only an incomplete record tail (or
+// an out-of-order fragment) enters the assembler.
 func (c *Conn) pump() {
-	if c.tc.Config().Unordered {
+	if c.tc.Unordered() {
 		for {
 			d, err := c.tc.ReadUnordered()
 			if err != nil {
 				return
 			}
-			ext := c.asm.Insert(d.Offset, d.Data)
-			c.advanceInOrder()
-			if c.unordered && !d.InOrder {
-				// Incremental scan: only from the last verified record
-				// boundary below the new bytes — earlier regions were
-				// already scanned when their bytes arrived (false-positive
-				// offsets are cached; missed records fall back to the
-				// in-order path).
-				scan := ext
-				if b := c.scanned.PrevEnd(d.Offset); b > scan.Start && b < ext.End {
-					scan.Start = b
+			if d.InOrder && d.Offset == c.inOrderPos && c.asm.BufferedBytes() == 0 {
+				consumed := c.parseInOrderDirect(d.Data)
+				if consumed < len(d.Data) {
+					c.asm.Insert(d.Offset+uint64(consumed), d.Data[consumed:])
 				}
-				c.scanFragment(scan)
+			} else {
+				ext := c.asm.Insert(d.Offset, d.Data)
+				c.advanceInOrder()
+				if c.unordered && !d.InOrder {
+					// Incremental scan: only from the last verified record
+					// boundary below the new bytes — earlier regions were
+					// already scanned when their bytes arrived (false-positive
+					// offsets are cached; missed records fall back to the
+					// in-order path).
+					scan := ext
+					if b := c.scanned.PrevEnd(d.Offset); b > scan.Start && b < ext.End {
+						scan.Start = b
+					}
+					c.scanFragment(scan)
+				}
 			}
 			c.gc()
 			d.Release()
@@ -416,10 +501,45 @@ func (c *Conn) pump() {
 		if n == 0 || err != nil {
 			return
 		}
-		c.asm.Insert(c.asm.ContiguousEnd(c.inOrderPos), c.readBuf[:n])
+		data := c.readBuf[:n]
+		if c.asm.BufferedBytes() == 0 {
+			// An empty assembler means every received byte was parsed, so
+			// this read starts exactly at the in-order position.
+			consumed := c.parseInOrderDirect(data)
+			if consumed < len(data) {
+				c.asm.Insert(c.inOrderPos, data[consumed:])
+			}
+			continue
+		}
+		c.asm.Insert(c.asm.ContiguousEnd(c.inOrderPos), data)
 		c.advanceInOrder()
 		c.gc()
 	}
+}
+
+// parseInOrderDirect parses complete records at the in-order position
+// straight out of a contiguous byte run, advancing the record counters
+// exactly like advanceInOrder but without copying the run into the
+// assembler. It returns the bytes consumed; the caller banks the
+// remainder (an incomplete trailing record) in the assembler. In-order
+// garbage stalls the parser, as on the assembler path (TLS would alert
+// and abort).
+func (c *Conn) parseInOrderDirect(data []byte) int {
+	pos := 0
+	for pos+tlsrec.HeaderSize <= len(data) {
+		_, _, length, err := tlsrec.ParseHeader(data[pos : pos+tlsrec.HeaderSize])
+		if err != nil {
+			break
+		}
+		recEnd := pos + tlsrec.HeaderSize + length
+		if recEnd > len(data) {
+			break
+		}
+		c.processInOrderRecord(data[pos:recEnd])
+		c.inOrderPos += uint64(recEnd - pos)
+		pos = recEnd
+	}
+	return pos
 }
 
 // advanceInOrder parses complete records at the in-order position — the

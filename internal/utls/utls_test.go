@@ -390,3 +390,142 @@ func TestFalsePositiveHeadersInPayload(t *testing.T) {
 	}
 	t.Logf("stats: %+v", st)
 }
+
+// TestMSSAwareRecordSizing verifies the sender caps messages so a sealed
+// record always fits one segment on boundary-preserving transports, and
+// leaves the TLS bound alone on plain streams.
+func TestMSSAwareRecordSizing(t *testing.T) {
+	// uTCP sender (UnorderedSend): record cap derives from the MSS.
+	h := newHarness(t, 31, Config{}, Config{},
+		tcp.Config{UnorderedSend: true}, tcp.Config{Unordered: true}, fastLink(), fastLink())
+	h.s.RunUntil(2 * time.Second)
+	wantCap := h.cli.Suite().MaxPlaintextFor(tcp.DefaultMSS)
+	if wantCap <= 0 || wantCap >= tlsrec.MaxPlaintext {
+		t.Fatalf("sanity: cap = %d", wantCap)
+	}
+	if got := h.cli.MaxMessageSize(); got != wantCap {
+		t.Fatalf("MaxMessageSize = %d, want %d", got, wantCap)
+	}
+	if err := h.cli.Send(make([]byte, wantCap+1), Options{}); err != ErrTooLarge {
+		t.Fatalf("oversized Send err = %v, want ErrTooLarge", err)
+	}
+	if err := h.cli.Send(make([]byte, wantCap), Options{}); err != nil {
+		t.Fatalf("cap-sized Send: %v", err)
+	}
+	h.s.RunUntil(4 * time.Second)
+	if len(h.got) != 1 || len(h.got[0]) != wantCap {
+		t.Fatalf("delivered %d messages", len(h.got))
+	}
+	// Every record must have fit one segment: a cap-sized record sealed by
+	// the same suite is within the MSS.
+	if sl := h.cli.Suite().SealedLen(wantCap); sl > tcp.DefaultMSS {
+		t.Fatalf("cap-sized record seals to %d > MSS %d", sl, tcp.DefaultMSS)
+	}
+
+	// Plain TCP sender: no boundary guarantee, TLS bound applies.
+	h2 := newHarness(t, 32, Config{}, Config{},
+		tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	h2.s.RunUntil(2 * time.Second)
+	if got := h2.cli.MaxMessageSize(); got != tlsrec.MaxPlaintext {
+		t.Fatalf("plain-TCP MaxMessageSize = %d, want %d", got, tlsrec.MaxPlaintext)
+	}
+	if err := h2.cli.Send(make([]byte, 2000), Options{}); err != nil {
+		t.Fatalf("2000B Send on plain TCP: %v", err)
+	}
+	h2.s.RunUntil(4 * time.Second)
+	if len(h2.got) != 1 || len(h2.got[0]) != 2000 {
+		t.Fatalf("plain TCP delivered %d messages", len(h2.got))
+	}
+}
+
+// TestExplicitRecNumCapAccountsForPrefix: with the §6.1 extension the
+// 8-byte record number rides inside the plaintext, tightening the cap.
+func TestExplicitRecNumCapAccountsForPrefix(t *testing.T) {
+	h := newHarness(t, 33, Config{ExplicitRecNum: true}, Config{ExplicitRecNum: true},
+		tcp.Config{UnorderedSend: true}, tcp.Config{Unordered: true}, fastLink(), fastLink())
+	h.s.RunUntil(2 * time.Second)
+	if !h.cli.ExplicitRecNumActive() {
+		t.Fatal("extension not negotiated")
+	}
+	wantCap := h.cli.Suite().MaxPlaintextFor(tcp.DefaultMSS) - 8
+	if got := h.cli.MaxMessageSize(); got != wantCap {
+		t.Fatalf("MaxMessageSize = %d, want %d", got, wantCap)
+	}
+	if err := h.cli.Send(make([]byte, wantCap), Options{}); err != nil {
+		t.Fatalf("cap-sized Send: %v", err)
+	}
+	h.s.RunUntil(4 * time.Second)
+	if len(h.got) != 1 || len(h.got[0]) != wantCap {
+		t.Fatalf("delivered %d messages", len(h.got))
+	}
+}
+
+// TestPreHandshakeSendNeverSilentlyDropped: a message accepted before the
+// handshake must be delivered even when the negotiated MSS-derived cap is
+// smaller than the message — the flush bypasses the cap (a straddling
+// record is correct, just off the fast path) rather than dropping data a
+// Send already reported as accepted.
+func TestPreHandshakeSendNeverSilentlyDropped(t *testing.T) {
+	h := newHarness(t, 34, Config{}, Config{},
+		tcp.Config{UnorderedSend: true}, tcp.Config{Unordered: true}, fastLink(), fastLink())
+	// No simulator run yet: the handshake is still in flight.
+	if h.cli.Ready() {
+		t.Fatal("sanity: handshake done before running the simulator")
+	}
+	if err := h.cli.Send(make([]byte, tlsrec.MaxPlaintext+1), Options{}); err != ErrTooLarge {
+		t.Fatalf("oversized pre-handshake Send err = %v, want ErrTooLarge", err)
+	}
+	const big = 2000 // over the post-handshake MSS cap, under the TLS bound
+	if err := h.cli.Send(make([]byte, big), Options{}); err != nil {
+		t.Fatalf("pre-handshake Send: %v", err)
+	}
+	h.s.RunUntil(4 * time.Second)
+	if len(h.got) != 1 || len(h.got[0]) != big {
+		t.Fatalf("flush delivered %d messages, want the accepted %d-byte send", len(h.got), big)
+	}
+	if d := h.cli.Stats().DroppedSends; d != 0 {
+		t.Fatalf("DroppedSends = %d", d)
+	}
+	// The same message is now refused up front: the cap is active and the
+	// app can query it.
+	if err := h.cli.Send(make([]byte, big), Options{}); err != ErrTooLarge {
+		t.Fatalf("post-handshake oversized Send err = %v, want ErrTooLarge", err)
+	}
+	if got := h.cli.MaxMessageSize(); got >= big {
+		t.Fatalf("MaxMessageSize = %d, want < %d", got, big)
+	}
+}
+
+// TestPreHandshakeBackpressureNoSilentLoss: pre-handshake Sends beyond
+// the transport's send-buffer budget must fail with ErrWouldBlock up
+// front; every Send that reported success must actually be delivered.
+func TestPreHandshakeBackpressureNoSilentLoss(t *testing.T) {
+	sndTCP := tcp.Config{UnorderedSend: true, SendBufBytes: 32 * 1024}
+	h := newHarness(t, 35, Config{}, Config{}, sndTCP, tcp.Config{Unordered: true}, fastLink(), fastLink())
+	accepted := 0
+	sawWouldBlock := false
+	for i := 0; i < 500; i++ {
+		err := h.cli.Send(make([]byte, 1000), Options{})
+		switch err {
+		case nil:
+			accepted++
+		case tcp.ErrWouldBlock:
+			sawWouldBlock = true
+		default:
+			t.Fatalf("Send: %v", err)
+		}
+		if sawWouldBlock {
+			break
+		}
+	}
+	if !sawWouldBlock {
+		t.Fatal("pending queue never exerted backpressure")
+	}
+	h.s.RunUntil(time.Minute)
+	if len(h.got) != accepted {
+		t.Fatalf("delivered %d, accepted %d — silent loss", len(h.got), accepted)
+	}
+	if d := h.cli.Stats().DroppedSends; d != 0 {
+		t.Fatalf("DroppedSends = %d", d)
+	}
+}

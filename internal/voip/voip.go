@@ -18,7 +18,7 @@ import (
 	"time"
 
 	"minion/internal/metrics"
-	"minion/internal/sim"
+	"minion/internal/rt"
 )
 
 // Codec describes a constant-bitrate frame source.
@@ -67,7 +67,7 @@ type frameRecord struct {
 
 // Call drives one simulated VoIP call and records per-frame fate.
 type Call struct {
-	s      *sim.Simulator
+	s      rt.Runtime
 	codec  Codec
 	n      int
 	jitter time.Duration // playout buffer depth
@@ -80,7 +80,7 @@ type Call struct {
 // NewCall prepares a call of n frames with the given jitter buffer depth.
 // sendFn transmits a frame over whatever transport the experiment wires up;
 // the receiving side must call FrameArrived when a frame is decoded.
-func NewCall(s *sim.Simulator, codec Codec, n int, jitterBuffer time.Duration, sendFn func(seq int, payload []byte)) *Call {
+func NewCall(s rt.Runtime, codec Codec, n int, jitterBuffer time.Duration, sendFn func(seq int, payload []byte)) *Call {
 	frames := make([]frameRecord, n)
 	for i := range frames {
 		frames[i].arrivedAt = -1

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"minion/internal/buf"
+	"minion/internal/rt"
+	"minion/internal/udp"
+)
+
+// UDPConn is the trivial Minion shim (internal/udp) bound to a real
+// net.UDPConn instead of an emulated link: the deployable "UDP works
+// here" substrate (paper §3.2). Like Conn it owns an rt.Loop so the
+// shim's state is confined to one event goroutine; datagrams enter and
+// leave in pooled buffers.
+type UDPConn struct {
+	loop    *rt.Loop
+	nc      *net.UDPConn
+	u       *udp.Conn
+	writeTo net.Addr // nil when nc is connected
+
+	readerDone chan struct{}
+	closeOnce  sync.Once
+}
+
+// NewUDPConn wraps an open socket. remote, when non-nil, is the
+// destination for Send on an unconnected socket (nc from net.ListenUDP);
+// a nil remote requires a connected socket (nc from net.DialUDP).
+func NewUDPConn(nc *net.UDPConn, remote net.Addr) *UDPConn {
+	c := &UDPConn{
+		loop:       rt.NewLoop(),
+		nc:         nc,
+		u:          udp.New(),
+		writeTo:    remote,
+		readerDone: make(chan struct{}),
+	}
+	c.u.SetOutput(func(b *buf.Buffer, wireSize int) {
+		// Socket writes leave the loop goroutine briefly; UDP sends do not
+		// block on peer state, so this keeps the shim single-goroutine
+		// without a writer thread.
+		if c.writeTo != nil {
+			c.nc.WriteTo(b.Bytes(), c.writeTo)
+		} else {
+			c.nc.Write(b.Bytes())
+		}
+		b.Release()
+	})
+	go c.readLoop()
+	return c
+}
+
+// DialUDP opens a connected UDP socket to addr ("udp", "udp4", "udp6").
+func DialUDP(network, addr string) (*UDPConn, error) {
+	raddr, err := net.ResolveUDPAddr(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	nc, err := net.DialUDP(network, nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	return NewUDPConn(nc, nil), nil
+}
+
+// LocalAddr returns the socket's local address.
+func (c *UDPConn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// Do runs fn on the shim's event loop (false once closed).
+func (c *UDPConn) Do(fn func()) bool { return c.loop.Do(fn) }
+
+// Send transmits one datagram (callable from any goroutine).
+func (c *UDPConn) Send(msg []byte) error {
+	var err error
+	if !c.loop.Do(func() { err = c.u.Send(msg) }) {
+		return net.ErrClosed
+	}
+	return err
+}
+
+// Recv pops a queued received datagram.
+func (c *UDPConn) Recv() (msg []byte, ok bool) {
+	c.loop.Do(func() { msg, ok = c.u.Recv() })
+	return
+}
+
+// OnMessage registers the delivery callback, which runs on the event
+// loop; msg is valid only until it returns. Datagrams that arrived
+// before registration (real-socket bytes flow the moment the socket
+// opens) are flushed through the new callback, atomically with
+// registration, in arrival order.
+func (c *UDPConn) OnMessage(fn func(msg []byte)) {
+	c.loop.Do(func() {
+		c.u.OnMessage(fn)
+		if fn == nil {
+			return
+		}
+		for {
+			m, ok := c.u.Recv()
+			if !ok {
+				return
+			}
+			fn(m)
+		}
+	})
+}
+
+// Stats returns a copy of the shim counters.
+func (c *UDPConn) Stats() (st udp.Stats) {
+	c.loop.Do(func() { st = c.u.Stats() })
+	return
+}
+
+// Close shuts the socket and the event loop down.
+func (c *UDPConn) Close() {
+	c.closeOnce.Do(func() {
+		c.nc.Close()
+		<-c.readerDone
+		c.loop.Close()
+	})
+}
+
+// readLoop pulls datagrams into pooled buffers and hands ownership to the
+// shim on the event loop. Zero-length datagrams are valid UDP and are
+// delivered (matching the simulated shim); transient read errors — e.g.
+// ECONNREFUSED surfaced on a connected socket by an ICMP port-unreachable
+// when the peer is not up yet — do not kill the reader, only a closed
+// socket does.
+func (c *UDPConn) readLoop() {
+	defer close(c.readerDone)
+	for {
+		b := buf.Get(udp.MaxDatagram)
+		n, _, err := c.nc.ReadFrom(b.Bytes())
+		if err == nil {
+			// RightSize: a burst of small datagrams must not pin a full
+			// 64 KiB arena each while queued in the loop.
+			dg := b.RightSize(n)
+			c.loop.Post(func() { c.u.InputBuf(dg) })
+			continue
+		}
+		b.Release()
+		if errors.Is(err, net.ErrClosed) {
+			return
+		}
+		// Transient: back off briefly so a persistent error cannot spin.
+		time.Sleep(time.Millisecond)
+	}
+}

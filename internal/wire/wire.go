@@ -1,0 +1,438 @@
+// Package wire runs Minion's framing layers over real kernel sockets.
+//
+// The deterministic simulator (internal/sim + internal/netem) remains the
+// substrate for experiments and protocol tests; wire is the deployable
+// counterpart: Conn implements tcp.Stream over a net.Conn TCP socket, so
+// the existing uCOBS and uTLS layers — unchanged — produce byte streams on
+// real networks that are wire-identical to TCP and TLS (the paper's whole
+// deployability argument, §3/§5/§6). Kernel TCP has no SO_UNORDERED, so
+// wire streams report Unordered() == false and the framing layers fall
+// back to their in-order receive paths; true unordered delivery stays
+// sim-only until a uTCP kernel exists.
+//
+// Concurrency model: each connection owns an rt.Loop — one event
+// goroutine that executes all protocol work serially, preserving the
+// simulator's "no locks above the kernel" invariant. A reader goroutine
+// pulls socket bytes into pooled buffers (internal/buf) and posts them
+// into the loop; a writer goroutine drains queued pooled buffers to the
+// socket. Buffers cross the socket boundary by reference: the zero-copy
+// ownership conventions of the datagram datapath hold end to end.
+package wire
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"minion/internal/buf"
+	"minion/internal/rt"
+	"minion/internal/tcp"
+)
+
+// Config parameterizes a wire connection. The zero value is usable.
+type Config struct {
+	// SendBufBytes bounds bytes queued for the writer goroutine but not
+	// yet written to the socket (default 256 KiB). WriteMsgBuf returns
+	// ErrWouldBlock when a message does not fit.
+	SendBufBytes int
+	// RecvBufBytes bounds bytes delivered into the loop but not yet
+	// consumed by Read; the reader goroutine stops pulling from the socket
+	// when it is reached, so kernel flow control backpressures the peer
+	// (default 256 KiB).
+	RecvBufBytes int
+	// NoDelay disables Nagle on TCP sockets (recommended for datagram
+	// traffic, like the paper's experiments).
+	NoDelay bool
+}
+
+func (cfg Config) defaults() Config {
+	if cfg.SendBufBytes == 0 {
+		cfg.SendBufBytes = 256 * 1024
+	}
+	if cfg.RecvBufBytes == 0 {
+		cfg.RecvBufBytes = 256 * 1024
+	}
+	return cfg
+}
+
+// readChunk is the pooled buffer size the reader goroutine fills from the
+// socket (one buf size class below the pool maximum).
+const readChunk = 32 * 1024
+
+// closeLinger bounds how long Close waits for the peer to drain and close
+// its half before the socket is torn down hard.
+const closeLinger = 5 * time.Second
+
+// Conn is a real TCP socket exposed as a tcp.Stream. All Stream methods
+// must be called on the connection's event loop — from inside a protocol
+// callback, or marshalled in with Do.
+type Conn struct {
+	loop *rt.Loop
+	nc   net.Conn
+	cfg  Config
+
+	// Loop-confined state.
+	onReadable func()
+	recvQ      []*buf.Buffer
+	rerr       error // terminal read status (io.EOF on clean peer close)
+
+	// Reader flow control (reader goroutine <-> loop).
+	rmu       sync.Mutex
+	rcond     *sync.Cond
+	rInFlight int // bytes posted into the loop, not yet consumed by Read
+	rclosed   bool
+
+	// Writer queue (any goroutine -> writer goroutine).
+	wmu     sync.Mutex
+	wcond   *sync.Cond
+	wq      []*buf.Buffer
+	wqBytes int
+	werr    error
+	wclosed bool
+
+	writerDone chan struct{}
+	readerDone chan struct{}
+	closeOnce  sync.Once
+}
+
+// Conn implements the framing layers' transport contract.
+var _ tcp.Stream = (*Conn)(nil)
+
+// NewConn wraps an established net.Conn. It starts the connection's event
+// loop and its reader and writer goroutines; the caller must Close the
+// returned Conn to release them.
+func NewConn(nc net.Conn, cfg Config) *Conn {
+	cfg = cfg.defaults()
+	if tcpc, ok := nc.(*net.TCPConn); ok && cfg.NoDelay {
+		tcpc.SetNoDelay(true)
+	}
+	c := &Conn{
+		loop:       rt.NewLoop(),
+		nc:         nc,
+		cfg:        cfg,
+		writerDone: make(chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+	c.rcond = sync.NewCond(&c.rmu)
+	c.wcond = sync.NewCond(&c.wmu)
+	go c.readLoop()
+	go c.writeLoop()
+	return c
+}
+
+// Dial opens a TCP connection to addr and wraps it. network is "tcp",
+// "tcp4" or "tcp6".
+func Dial(network, addr string, cfg Config) (*Conn, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc, cfg), nil
+}
+
+// Loop returns the connection's event loop.
+func (c *Conn) Loop() *rt.Loop { return c.loop }
+
+// Do runs fn on the connection's event loop and waits for it — the door
+// through which application goroutines reach the serially-executed
+// protocol state. It reports false (fn not run) once the connection's
+// loop has shut down.
+func (c *Conn) Do(fn func()) bool { return c.loop.Do(fn) }
+
+// LocalAddr returns the socket's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr returns the socket's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Unordered implements tcp.Stream: kernel TCP delivers in order only.
+func (c *Conn) Unordered() bool { return false }
+
+// SegmentCapacity implements tcp.Stream: kernel TCP segments the stream
+// however it likes, so there is no boundary-preservation guarantee.
+func (c *Conn) SegmentCapacity() int { return 0 }
+
+// OnReadable implements tcp.Stream. Must be called on the loop. If data
+// is already queued the callback is scheduled immediately, so a framing
+// layer attached after traffic started does not stall.
+func (c *Conn) OnReadable(fn func()) {
+	c.onReadable = fn
+	if fn != nil && (len(c.recvQ) > 0 || c.rerr != nil) {
+		c.loop.Post(fn)
+	}
+}
+
+// Read implements tcp.Stream (loop only): it drains delivered chunks into
+// p, returning tcp.ErrWouldBlock when nothing is pending and io.EOF after
+// the peer closed and all data was consumed.
+func (c *Conn) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) && len(c.recvQ) > 0 {
+		b := c.recvQ[0]
+		m := copy(p[n:], b.Bytes())
+		n += m
+		if m == b.Len() {
+			b.Release()
+			c.recvQ[0] = nil
+			c.recvQ = c.recvQ[1:]
+		} else {
+			rest := b.Slice(m, b.Len())
+			b.Release()
+			c.recvQ[0] = rest
+		}
+	}
+	if n > 0 {
+		c.creditRead(n)
+		return n, nil
+	}
+	if c.rerr != nil {
+		return 0, c.rerr
+	}
+	return 0, tcp.ErrWouldBlock
+}
+
+// creditRead returns consumed bytes to the reader goroutine's flow-control
+// budget.
+func (c *Conn) creditRead(n int) {
+	c.rmu.Lock()
+	c.rInFlight -= n
+	c.rcond.Signal()
+	c.rmu.Unlock()
+}
+
+// ReadUnordered implements tcp.Stream: never available on kernel TCP.
+func (c *Conn) ReadUnordered() (tcp.UnorderedData, error) {
+	return tcp.UnorderedData{}, tcp.ErrNotUnordered
+}
+
+// Write implements tcp.Stream: all-or-nothing (a partial record write
+// would corrupt the framing stream). It returns ErrWouldBlock when p does
+// not fit in the send queue.
+func (c *Conn) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return c.WriteMsgBuf(buf.From(p), tcp.WriteOptions{})
+}
+
+// WriteMsgBuf implements tcp.Stream: it takes ownership of b and queues it
+// for the writer goroutine, whole. Kernel TCP has no priority insertion,
+// so the options' tag and squash are ignored (FIFO), exactly like an
+// UnorderedSend-less tcp.Conn.
+func (c *Conn) WriteMsgBuf(b *buf.Buffer, opt tcp.WriteOptions) (int, error) {
+	n := b.Len()
+	if n == 0 {
+		b.Release()
+		return 0, nil
+	}
+	c.wmu.Lock()
+	if c.wclosed || c.werr != nil {
+		err := c.werr
+		c.wmu.Unlock()
+		b.Release()
+		if err == nil {
+			err = tcp.ErrClosed
+		}
+		return 0, err
+	}
+	if c.wqBytes+n > c.cfg.SendBufBytes {
+		c.wmu.Unlock()
+		b.Release()
+		return 0, tcp.ErrWouldBlock
+	}
+	c.wq = append(c.wq, b)
+	c.wqBytes += n
+	c.wcond.Signal()
+	c.wmu.Unlock()
+	return n, nil
+}
+
+// SendBufAvailable implements tcp.Stream.
+func (c *Conn) SendBufAvailable() int {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	n := c.cfg.SendBufBytes - c.wqBytes
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Close implements tcp.Stream: a graceful teardown. Queued writes drain
+// and the send side half-closes, the receive side keeps delivering until
+// the peer closes or a linger timeout passes, then the socket and the
+// event loop shut down. Close returns immediately; it is idempotent and
+// safe from any goroutine, including loop callbacks.
+func (c *Conn) Close() {
+	c.closeOnce.Do(func() {
+		c.wmu.Lock()
+		c.wclosed = true
+		c.wcond.Broadcast()
+		c.wmu.Unlock()
+		go func() {
+			// Bound the drain too: a peer that stopped reading leaves the
+			// writer blocked in a socket write on a full buffer, and Close
+			// must not wait on it forever. The deadline fails the blocked
+			// write (and any queued ones after it), letting the writer
+			// goroutine finish releasing its buffers.
+			c.nc.SetWriteDeadline(time.Now().Add(closeLinger))
+			select {
+			case <-c.writerDone:
+			case <-time.After(closeLinger + time.Second):
+			}
+			if tcpc, ok := c.nc.(*net.TCPConn); ok {
+				tcpc.CloseWrite()
+			}
+			select {
+			case <-c.readerDone:
+			case <-time.After(closeLinger):
+			}
+			c.teardown()
+		}()
+	})
+}
+
+// teardown force-closes the socket, unblocks the reader, stops the event
+// loop, and returns any undelivered receive buffers to the pool.
+func (c *Conn) teardown() {
+	c.nc.Close()
+	c.rmu.Lock()
+	c.rclosed = true
+	c.rcond.Broadcast()
+	c.rmu.Unlock()
+	<-c.readerDone
+	c.loop.Close()
+	// The loop is stopped and the reader gone: recvQ is ours alone now.
+	// (Chunks inside closures the loop never executed are unreachable and
+	// fall to the garbage collector — the safe direction of the buffer
+	// discipline.)
+	for _, b := range c.recvQ {
+		b.Release()
+	}
+	c.recvQ = nil
+}
+
+// readLoop is the reader goroutine: socket bytes enter pooled buffers and
+// are posted into the event loop by reference.
+func (c *Conn) readLoop() {
+	defer close(c.readerDone)
+	for {
+		b := buf.Get(readChunk)
+		n, err := c.nc.Read(b.Bytes())
+		if n > 0 {
+			// RightSize keeps the flow-control budget honest: short reads
+			// are copied into a right-sized arena instead of pinning the
+			// whole read buffer for n accounted bytes.
+			chunk := b.RightSize(n)
+			c.rmu.Lock()
+			for c.rInFlight >= c.cfg.RecvBufBytes && !c.rclosed {
+				c.rcond.Wait()
+			}
+			closed := c.rclosed
+			if !closed {
+				c.rInFlight += n
+			}
+			c.rmu.Unlock()
+			if closed {
+				chunk.Release()
+				return
+			}
+			c.loop.Post(func() {
+				c.recvQ = append(c.recvQ, chunk)
+				if c.onReadable != nil {
+					c.onReadable()
+				}
+			})
+		} else {
+			b.Release()
+		}
+		if err != nil {
+			rerr := err
+			if rerr != io.EOF {
+				// A reset or a local hard close surface the same way to the
+				// framing layers: terminal error after queued data drains.
+				rerr = tcp.ErrClosed
+			}
+			c.loop.Post(func() {
+				if c.rerr == nil {
+					c.rerr = rerr
+				}
+				if c.onReadable != nil {
+					c.onReadable()
+				}
+			})
+			return
+		}
+	}
+}
+
+// writeLoop is the writer goroutine: it drains the queue of pooled
+// buffers to the socket, releasing each reference as it goes.
+func (c *Conn) writeLoop() {
+	defer close(c.writerDone)
+	for {
+		c.wmu.Lock()
+		for len(c.wq) == 0 && !c.wclosed {
+			c.wcond.Wait()
+		}
+		if len(c.wq) == 0 && c.wclosed {
+			c.wmu.Unlock()
+			return
+		}
+		batch := c.wq
+		c.wq = nil
+		c.wmu.Unlock()
+		for _, b := range batch {
+			if c.werrLoad() == nil {
+				if _, err := c.nc.Write(b.Bytes()); err != nil {
+					c.wmu.Lock()
+					c.werr = err
+					c.wmu.Unlock()
+				}
+			}
+			n := b.Len()
+			b.Release()
+			c.wmu.Lock()
+			c.wqBytes -= n
+			c.wmu.Unlock()
+		}
+	}
+}
+
+func (c *Conn) werrLoad() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.werr
+}
+
+// Listener accepts wire connections.
+type Listener struct {
+	ln  net.Listener
+	cfg Config
+}
+
+// Listen announces on addr and returns a Listener whose accepted
+// connections use cfg.
+func Listen(network, addr string, cfg Config) (*Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{ln: ln, cfg: cfg}, nil
+}
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (*Conn, error) {
+	nc, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc, l.cfg), nil
+}
+
+// Addr returns the listening address (with the bound port).
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops the listener (established connections are unaffected).
+func (l *Listener) Close() error { return l.ln.Close() }

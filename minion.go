@@ -29,7 +29,7 @@ import (
 	"errors"
 
 	"minion/internal/netem"
-	"minion/internal/sim"
+	"minion/internal/rt"
 	"minion/internal/tcp"
 	"minion/internal/ucobs"
 	"minion/internal/udp"
@@ -186,24 +186,26 @@ type Pair struct {
 
 // NewPair builds a connected pair of Minion endpoints of the given
 // protocol, wired through the two unidirectional path elements (nil for
-// ideal wires). Run the simulator to complete connection establishment.
-func NewPair(s *sim.Simulator, proto Protocol, cfg TCPConfig, aToB, bToA netem.Element) *Pair {
+// ideal wires) on the given runtime — usually a *sim.Simulator; run it to
+// complete connection establishment. For endpoints over real sockets use
+// Dial/Listen instead.
+func NewPair(r rt.Runtime, proto Protocol, cfg TCPConfig, aToB, bToA netem.Element) *Pair {
 	switch proto {
 	case ProtoUDP:
 		ua, ub := udp.New(), udp.New()
 		if aToB == nil {
-			aToB = netem.NewLink(s, netem.LinkConfig{})
+			aToB = netem.NewLink(r, netem.LinkConfig{})
 		}
 		if bToA == nil {
-			bToA = netem.NewLink(s, netem.LinkConfig{})
+			bToA = netem.NewLink(r, netem.LinkConfig{})
 		}
 		udp.Wire(ua, ub, aToB, bToA)
 		return &Pair{A: udpConn{ua}, B: udpConn{ub}, UDPA: ua, UDPB: ub}
 	case ProtoUCOBSTCP, ProtoUCOBSuTCP:
-		ta, tb := tcp.NewPair(s, cfg.tcpConfig(proto.Unordered()), cfg.tcpConfig(proto.Unordered()), aToB, bToA)
+		ta, tb := tcp.NewPair(r, cfg.tcpConfig(proto.Unordered()), cfg.tcpConfig(proto.Unordered()), aToB, bToA)
 		return &Pair{A: ucobsConn{ucobs.New(ta)}, B: ucobsConn{ucobs.New(tb)}, TCPA: ta, TCPB: tb}
 	case ProtoUTLSTCP, ProtoUTLSuTCP:
-		ta, tb := tcp.NewPair(s, cfg.tcpConfig(proto.Unordered()), cfg.tcpConfig(proto.Unordered()), aToB, bToA)
+		ta, tb := tcp.NewPair(r, cfg.tcpConfig(proto.Unordered()), cfg.tcpConfig(proto.Unordered()), aToB, bToA)
 		ucfg := utls.Config{ExplicitRecNum: cfg.ExplicitRecNum}
 		srv := utls.Server(tb, ucfg)
 		cli := utls.Client(ta, ucfg)

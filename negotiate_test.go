@@ -1,0 +1,141 @@
+package minion
+
+import "testing"
+
+// TestNegotiateScenarios pins Negotiate's choice for the paper's concrete
+// deployment situations (§3.2, §6): open networks, UDP-blocking NATs,
+// TLS-only middleboxes, and peers with or without uTCP kernels.
+func TestNegotiateScenarios(t *testing.T) {
+	cases := []struct {
+		name  string
+		prefs Preferences
+		path  PathConstraints
+		want  Protocol
+	}{
+		{"open network, latency-sensitive app",
+			Preferences{PreferUnordered: true}, PathConstraints{}, ProtoUDP},
+		{"open network, needs reliability",
+			Preferences{PreferUnordered: true, RequireReliable: true}, PathConstraints{}, ProtoUCOBSTCP},
+		{"open network, reliable, peer has uTCP",
+			Preferences{PreferUnordered: true, RequireReliable: true}, PathConstraints{PeerSupportsUTCP: true}, ProtoUCOBSuTCP},
+		{"UDP blocked (the common NAT/firewall case)",
+			Preferences{PreferUnordered: true}, PathConstraints{UDPBlocked: true}, ProtoUCOBSTCP},
+		{"UDP blocked, peer has uTCP",
+			Preferences{PreferUnordered: true}, PathConstraints{UDPBlocked: true, PeerSupportsUTCP: true}, ProtoUCOBSuTCP},
+		{"TLS-only middlebox (hostile network, §6)",
+			Preferences{}, PathConstraints{TCPOnly443: true}, ProtoUTLSTCP},
+		{"TLS-only middlebox, peer has uTCP",
+			Preferences{}, PathConstraints{TCPOnly443: true, PeerSupportsUTCP: true}, ProtoUTLSuTCP},
+		{"app requires encryption on an open path",
+			Preferences{RequireSecure: true}, PathConstraints{}, ProtoUTLSTCP},
+		{"app requires encryption, peer has uTCP",
+			Preferences{RequireSecure: true}, PathConstraints{PeerSupportsUTCP: true}, ProtoUTLSuTCP},
+		{"secure even where UDP would work",
+			Preferences{RequireSecure: true, PreferUnordered: true}, PathConstraints{}, ProtoUTLSTCP},
+		{"no preferences at all: maximal compatibility",
+			Preferences{}, PathConstraints{}, ProtoUCOBSTCP},
+		{"unordered not preferred: UDP never chosen",
+			Preferences{}, PathConstraints{PeerSupportsUTCP: true}, ProtoUCOBSuTCP},
+	}
+	for _, tc := range cases {
+		if got := Negotiate(tc.prefs, tc.path); got != tc.want {
+			t.Errorf("%s: Negotiate(%+v, %+v) = %v, want %v", tc.name, tc.prefs, tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestNegotiateFullMatrix sweeps every Preferences × PathConstraints
+// combination (64 cases) and checks the invariants that define a correct
+// selection, independent of which stack wins ties:
+//
+//   - the choice always honors RequireSecure and RequireReliable;
+//   - a TLS-only middlebox forces a uTLS stack;
+//   - blocked UDP is never selected;
+//   - uTCP variants require peer support;
+//   - UDP is only picked when the app actually prefers unordered delivery
+//     and tolerates loss;
+//   - selection is deterministic.
+func TestNegotiateFullMatrix(t *testing.T) {
+	bools := []bool{false, true}
+	for _, requireSecure := range bools {
+		for _, requireReliable := range bools {
+			for _, preferUnordered := range bools {
+				for _, udpBlocked := range bools {
+					for _, tcpOnly := range bools {
+						for _, peerUTCP := range bools {
+							prefs := Preferences{
+								RequireSecure:   requireSecure,
+								RequireReliable: requireReliable,
+								PreferUnordered: preferUnordered,
+							}
+							path := PathConstraints{
+								UDPBlocked:       udpBlocked,
+								TCPOnly443:       tcpOnly,
+								PeerSupportsUTCP: peerUTCP,
+							}
+							got := Negotiate(prefs, path)
+							ctx := func(msg string) string {
+								return msg + " for prefs=" + formatPrefs(prefs) + " path=" + formatPath(path) + " -> " + got.String()
+							}
+							if requireSecure && !got.Secure() {
+								t.Error(ctx("insecure stack despite RequireSecure"))
+							}
+							if requireReliable && !got.Reliable() {
+								t.Error(ctx("unreliable stack despite RequireReliable"))
+							}
+							if tcpOnly && !got.Secure() {
+								t.Error(ctx("non-TLS stack through a TLS-only middlebox"))
+							}
+							if udpBlocked && got == ProtoUDP {
+								t.Error(ctx("UDP selected on a UDP-blocked path"))
+							}
+							if !peerUTCP && (got == ProtoUCOBSuTCP || got == ProtoUTLSuTCP) {
+								t.Error(ctx("uTCP stack without peer support"))
+							}
+							if got == ProtoUDP && !preferUnordered {
+								t.Error(ctx("UDP without an unordered preference"))
+							}
+							if again := Negotiate(prefs, path); again != got {
+								t.Error(ctx("non-deterministic selection"))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func formatPrefs(p Preferences) string {
+	s := ""
+	if p.RequireSecure {
+		s += "S"
+	}
+	if p.RequireReliable {
+		s += "R"
+	}
+	if p.PreferUnordered {
+		s += "U"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+func formatPath(p PathConstraints) string {
+	s := ""
+	if p.UDPBlocked {
+		s += "b"
+	}
+	if p.TCPOnly443 {
+		s += "t"
+	}
+	if p.PeerSupportsUTCP {
+		s += "u"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}

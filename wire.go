@@ -1,0 +1,206 @@
+package minion
+
+import (
+	"fmt"
+	"net"
+
+	"minion/internal/tcp"
+	"minion/internal/ucobs"
+	"minion/internal/utls"
+	"minion/internal/wire"
+)
+
+// ErrSimOnly is returned by Dial/Listen for protocol stacks that need
+// kernel extensions real operating systems do not ship (the uTCP
+// variants): they exist only on the simulated substrate until a uTCP
+// kernel exists (paper §4/§7).
+var ErrSimOnly = fmt.Errorf("minion: protocol requires uTCP kernel support (simulated substrate only)")
+
+// Dial connects a Minion endpoint over a real kernel socket: uCOBS or
+// uTLS framing on a TCP connection ("tcp" networks), or the trivial shim
+// on a connected UDP socket (ProtoUDP + "udp" networks). The returned
+// Conn is safe for use from any goroutine; OnMessage callbacks run on the
+// connection's event loop, one at a time.
+//
+// The stream's bytes are wire-identical to TCP (uCOBS) or TLS (uTLS), so
+// middleboxes see nothing unusual — the paper's deployability story on a
+// real network. Kernel TCP cannot deliver out of order, so the framing
+// layers run their in-order receive paths; the uTCP protocol variants
+// return ErrSimOnly.
+//
+// Re-entrancy: calls on the SAME connection from inside its OnMessage
+// callback (the echo pattern) run inline and are always safe. Calling
+// into a DIFFERENT wire connection from a callback blocks on that
+// connection's event loop — two connections relaying into each other
+// from their callbacks can therefore deadlock. Relays should hand
+// messages off to their own goroutine (copy the bytes first; delivery
+// buffers recycle when the callback returns).
+func Dial(proto Protocol, network, addr string, cfg TCPConfig) (Conn, error) {
+	switch proto {
+	case ProtoUDP:
+		uc, err := wire.DialUDP(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return wireUDPConn{uc}, nil
+	case ProtoUCOBSTCP, ProtoUTLSTCP:
+		sc, err := wire.Dial(network, addr, cfg.wireConfig())
+		if err != nil {
+			return nil, err
+		}
+		return newWireConn(sc, proto, cfg, true), nil
+	case ProtoUCOBSuTCP, ProtoUTLSuTCP:
+		return nil, ErrSimOnly
+	default:
+		return nil, fmt.Errorf("minion: unknown protocol %v", proto)
+	}
+}
+
+// Listener accepts Minion connections of one protocol stack over real
+// TCP sockets.
+type Listener struct {
+	ln    *wire.Listener
+	proto Protocol
+	cfg   TCPConfig
+}
+
+// Listen announces on addr for the given TCP-family protocol stack.
+func Listen(proto Protocol, network, addr string, cfg TCPConfig) (*Listener, error) {
+	switch proto {
+	case ProtoUCOBSTCP, ProtoUTLSTCP:
+	case ProtoUCOBSuTCP, ProtoUTLSuTCP:
+		return nil, ErrSimOnly
+	case ProtoUDP:
+		return nil, fmt.Errorf("minion: Listen does not support UDP; use DialUDP on both peers")
+	default:
+		return nil, fmt.Errorf("minion: unknown protocol %v", proto)
+	}
+	ln, err := wire.Listen(network, addr, cfg.wireConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{ln: ln, proto: proto, cfg: cfg}, nil
+}
+
+// Accept waits for and returns the next connection.
+func (l *Listener) Accept() (Conn, error) {
+	sc, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newWireConn(sc, l.proto, l.cfg, false), nil
+}
+
+// Addr returns the bound listening address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops the listener; established connections are unaffected.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// DialUDP is shorthand for Dial(ProtoUDP, network, addr, TCPConfig{}).
+func DialUDP(network, addr string) (Conn, error) {
+	return Dial(ProtoUDP, network, addr, TCPConfig{})
+}
+
+func (cfg TCPConfig) wireConfig() wire.Config {
+	return wire.Config{
+		SendBufBytes: cfg.SendBufBytes,
+		RecvBufBytes: cfg.RecvBufBytes,
+		NoDelay:      cfg.NoDelay,
+	}
+}
+
+// newWireConn stacks the protocol's framing layer on a wire stream. The
+// framing connection is built on the stream's event loop, so incoming
+// bytes (a peer's uTLS hello can already be queued) never race the
+// constructor.
+func newWireConn(sc *wire.Conn, proto Protocol, cfg TCPConfig, isClient bool) Conn {
+	w := &wireConn{sc: sc}
+	sc.Do(func() {
+		switch proto {
+		case ProtoUCOBSTCP:
+			w.inner = ucobsConn{ucobs.New(sc)}
+		case ProtoUTLSTCP:
+			ucfg := utls.Config{ExplicitRecNum: cfg.ExplicitRecNum}
+			if isClient {
+				w.inner = utlsConn{utls.Client(sc, ucfg)}
+			} else {
+				w.inner = utlsConn{utls.Server(sc, ucfg)}
+			}
+		}
+	})
+	return w
+}
+
+// wireConn adapts a loop-confined framing connection to the goroutine-safe
+// public Conn interface: every call is marshalled onto the connection's
+// event loop (the per-connection serial executor), so the protocol state
+// machines stay lock-free exactly as they are on the simulator.
+type wireConn struct {
+	sc    *wire.Conn
+	inner Conn
+}
+
+func (w *wireConn) Send(msg []byte, opt Options) error {
+	var err error
+	if !w.sc.Do(func() { err = w.inner.Send(msg, opt) }) {
+		return ErrConnClosed
+	}
+	return err
+}
+
+func (w *wireConn) Recv() (msg []byte, ok bool) {
+	w.sc.Do(func() { msg, ok = w.inner.Recv() })
+	return
+}
+
+func (w *wireConn) OnMessage(fn func(msg []byte)) {
+	w.sc.Do(func() {
+		w.inner.OnMessage(fn)
+		if fn == nil {
+			return
+		}
+		// Unlike the simulator, real-socket bytes flow before the
+		// application can possibly register its callback (the peer may
+		// send the moment Accept returns), so datagrams queued in that
+		// window are flushed through the new callback here — atomically
+		// with registration, on the event loop, in arrival order.
+		for {
+			m, ok := w.inner.Recv()
+			if !ok {
+				return
+			}
+			fn(m)
+		}
+	})
+}
+
+func (w *wireConn) Close() {
+	w.sc.Do(func() { w.inner.Close() })
+}
+
+// Inner returns the framing-layer connection for instrumentation; use it
+// only via the connection's event loop (wire.Conn.Do).
+func (w *wireConn) Inner() Conn { return w.inner }
+
+// ErrConnClosed is returned by operations on a closed wire connection.
+var ErrConnClosed = fmt.Errorf("minion: connection closed")
+
+// ErrWouldBlock is the retryable backpressure error: Send's framed record
+// did not fit the transport's send buffer right now. It is the same
+// sentinel value the transports return (errors.Is-comparable through any
+// wrapping), exported here so external users of the module can
+// distinguish "retry later" from a fatal error.
+var ErrWouldBlock = tcp.ErrWouldBlock
+
+// wireUDPConn adapts the real-socket UDP shim to the Minion interface.
+type wireUDPConn struct{ c *wire.UDPConn }
+
+func (u wireUDPConn) Send(msg []byte, opt Options) error {
+	// Like the simulated shim: no send queue, priority and squash are
+	// meaningless but harmless.
+	return u.c.Send(msg)
+}
+func (u wireUDPConn) Recv() ([]byte, bool)      { return u.c.Recv() }
+func (u wireUDPConn) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
+func (u wireUDPConn) Close()                    { u.c.Close() }

@@ -1,0 +1,234 @@
+package minion
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests exercise the real-socket substrate: the same uCOBS/uTLS
+// framing layers that run on the simulator, here over actual loopback TCP
+// connections with every endpoint on its own event loop, many connections
+// concurrently, under -race. They are the wire-compatibility counterpart
+// of the simulated integration tests.
+
+// echoServer accepts proto connections on a loopback listener and echoes
+// every datagram back with a per-connection running index appended.
+func echoServer(t *testing.T, proto Protocol) (addr string, stop func()) {
+	t.Helper()
+	ln, err := Listen(proto, "tcp", "127.0.0.1:0", TCPConfig{NoDelay: true})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var conns []Conn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			c.OnMessage(func(msg []byte) {
+				// The delivery buffer recycles when this callback returns;
+				// Send consumes msg before returning, so echoing it straight
+				// back is within the ownership rules.
+				if err := c.Send(msg, Options{}); err != nil {
+					t.Errorf("echo send: %v", err)
+				}
+			})
+		}
+	}()
+	return ln.Addr().String(), func() {
+		ln.Close()
+		wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+}
+
+// runLoopbackEcho dials nConns concurrent connections, each sending
+// perConn datagrams and verifying its own echoes.
+func runLoopbackEcho(t *testing.T, proto Protocol, nConns, perConn int) {
+	t.Helper()
+	addr, stop := echoServer(t, proto)
+	defer stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nConns)
+	for id := 0; id < nConns; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(proto, "tcp", addr, TCPConfig{NoDelay: true})
+			if err != nil {
+				errs <- fmt.Errorf("conn %d: dial: %w", id, err)
+				return
+			}
+			defer c.Close()
+			type echo struct {
+				seq int
+				ok  bool
+			}
+			got := make(chan echo, perConn)
+			c.OnMessage(func(msg []byte) {
+				var cid, seq int
+				var tail string
+				_, serr := fmt.Sscanf(string(msg), "conn-%d-msg-%d-%s", &cid, &seq, &tail)
+				got <- echo{seq: seq, ok: serr == nil && cid == id && tail == "payload"}
+			})
+			for seq := 0; seq < perConn; seq++ {
+				msg := []byte(fmt.Sprintf("conn-%d-msg-%d-payload", id, seq))
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					err := c.Send(msg, Options{})
+					if err == nil {
+						break
+					}
+					if time.Now().After(deadline) {
+						errs <- fmt.Errorf("conn %d: send %d: %w", id, seq, err)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			seen := make([]bool, perConn)
+			for n := 0; n < perConn; n++ {
+				select {
+				case e := <-got:
+					if !e.ok || e.seq < 0 || e.seq >= perConn || seen[e.seq] {
+						errs <- fmt.Errorf("conn %d: bad or duplicate echo %+v", id, e)
+						return
+					}
+					seen[e.seq] = true
+				case <-time.After(30 * time.Second):
+					errs <- fmt.Errorf("conn %d: timed out after %d/%d echoes", id, n, perConn)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestLoopbackUCOBSConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	runLoopbackEcho(t, ProtoUCOBSTCP, 32, 50)
+}
+
+func TestLoopbackUTLSConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	runLoopbackEcho(t, ProtoUTLSTCP, 32, 50)
+}
+
+// TestLoopbackUTLSHandshakeAndQueueing checks that datagrams sent before
+// the uTLS handshake completes are queued and flushed, not lost.
+func TestLoopbackUTLSHandshakeAndQueueing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	addr, stop := echoServer(t, ProtoUTLSTCP)
+	defer stop()
+	c, err := Dial(ProtoUTLSTCP, "tcp", addr, TCPConfig{NoDelay: true})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	got := make(chan string, 1)
+	c.OnMessage(func(msg []byte) { got <- string(msg) })
+	// Send immediately: the client hello is barely on the wire.
+	if err := c.Send([]byte("pre-handshake"), Options{}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case m := <-got:
+		if m != "pre-handshake" {
+			t.Fatalf("echo = %q", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pre-handshake datagram never echoed")
+	}
+}
+
+// TestLoopbackUDPShim runs the public UDP shim against a vanilla UDP echo
+// peer — the shim's datagrams must be plain UDP on the wire.
+func TestLoopbackUDPShim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer pc.Close()
+	go func() { // plain-socket echo peer, no Minion anywhere
+		p := make([]byte, 64*1024)
+		for {
+			n, from, err := pc.ReadFromUDP(p)
+			if err != nil {
+				return
+			}
+			pc.WriteToUDP(p[:n], from)
+		}
+	}()
+
+	c, err := DialUDP("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatalf("DialUDP: %v", err)
+	}
+	defer c.Close()
+	got := make(chan string, 8)
+	c.OnMessage(func(msg []byte) { got <- string(msg) })
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := c.Send([]byte(fmt.Sprintf("dgram-%d", i)), Options{}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	seen := map[string]bool{}
+	timeout := time.After(10 * time.Second)
+	for len(seen) < n {
+		select {
+		case m := <-got:
+			seen[m] = true
+		case <-timeout:
+			t.Fatalf("echoed %d/%d datagrams", len(seen), n)
+		}
+	}
+}
+
+// TestDialSimOnlyProtocols verifies the uTCP stacks refuse real sockets.
+func TestDialSimOnlyProtocols(t *testing.T) {
+	for _, proto := range []Protocol{ProtoUCOBSuTCP, ProtoUTLSuTCP} {
+		if _, err := Dial(proto, "tcp", "127.0.0.1:1", TCPConfig{}); err != ErrSimOnly {
+			t.Errorf("Dial(%v) err = %v, want ErrSimOnly", proto, err)
+		}
+		if _, err := Listen(proto, "tcp", "127.0.0.1:0", TCPConfig{}); err != ErrSimOnly {
+			t.Errorf("Listen(%v) err = %v, want ErrSimOnly", proto, err)
+		}
+	}
+	if _, err := Listen(ProtoUDP, "udp", "127.0.0.1:0", TCPConfig{}); err == nil || err == ErrSimOnly {
+		t.Errorf("Listen(udp) err = %v, want a UDP-specific error", err)
+	}
+	if _, err := Dial(Protocol(99), "tcp", "127.0.0.1:1", TCPConfig{}); err == nil || err == ErrSimOnly {
+		t.Errorf("Dial(invalid) err = %v, want an unknown-protocol error", err)
+	}
+}
