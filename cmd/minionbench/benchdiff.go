@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// benchdiff compares two directories of BENCH_*.json files (an older CI
+// run's artifact against the fresh one) and enforces the perf-trend
+// policy:
+//
+//   - any allocs_per_op regression (beyond float jitter) FAILS the run —
+//     allocation counts are deterministic, a rise is a real leak of the
+//     zero-copy discipline;
+//   - ns_per_op regressions beyond the tolerance are FLAGGED (warnings;
+//     shared CI runners are too noisy for wall time to be a hard gate)
+//     unless -fail-ns promotes them to failures.
+//
+// Files present on only one side are reported and skipped, so adding a
+// new benchmark or connection count never breaks the trend job.
+func runBenchDiff(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	oldDir := fs.String("old", "", "directory of the previous run's BENCH_*.json")
+	newDir := fs.String("new", "", "directory of the fresh BENCH_*.json")
+	nsTol := fs.Float64("ns-tol", 10, "ns_per_op regression tolerance, percent")
+	failNS := fs.Bool("fail-ns", false, "treat ns_per_op regressions as failures, not warnings")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldDir == "" || *newDir == "" {
+		return fmt.Errorf("benchdiff: -old and -new are required")
+	}
+	newFiles, err := filepath.Glob(filepath.Join(*newDir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(newFiles)
+	if len(newFiles) == 0 {
+		return fmt.Errorf("benchdiff: no BENCH_*.json under %s", *newDir)
+	}
+	failures := 0
+	compared := 0
+	for _, nf := range newFiles {
+		base := filepath.Base(nf)
+		of := filepath.Join(*oldDir, base)
+		oldRec, err := readBenchFile(of)
+		if os.IsNotExist(err) {
+			fmt.Printf("benchdiff: %s: no previous record (new benchmark) — skipped\n", base)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		newRec, err := readBenchFile(nf)
+		if err != nil {
+			return err
+		}
+		compared++
+		name := benchName(newRec, base)
+		if oa, na, ok := field(oldRec, newRec, "allocs_per_op"); ok {
+			// Allocation counts jitter below one alloc/op across runs
+			// (timer alignment); anything more is a regression.
+			if na > oa+0.5 {
+				fmt.Printf("FAIL %s: allocs_per_op %.1f -> %.1f (any allocation regression fails)\n", name, oa, na)
+				failures++
+			}
+		}
+		if on, nn, ok := field(oldRec, newRec, "ns_per_op"); ok && on > 0 {
+			pct := (nn - on) / on * 100
+			if pct > *nsTol {
+				if *failNS {
+					fmt.Printf("FAIL %s: ns_per_op %.0f -> %.0f (+%.1f%% > %.0f%%)\n", name, on, nn, pct, *nsTol)
+					failures++
+				} else {
+					// GitHub Actions annotation syntax; plain text elsewhere.
+					fmt.Printf("::warning title=bench trend::%s ns_per_op %.0f -> %.0f (+%.1f%% > %.0f%%)\n",
+						name, on, nn, pct, *nsTol)
+				}
+			}
+		}
+	}
+	fmt.Printf("benchdiff: compared %d file(s), %d failure(s)\n", compared, failures)
+	if failures > 0 {
+		return fmt.Errorf("benchdiff: %d perf regression(s)", failures)
+	}
+	return nil
+}
+
+func readBenchFile(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func benchName(rec map[string]any, fallback string) string {
+	name := fallback
+	if s, ok := rec["stack"].(string); ok {
+		name = s
+	}
+	if c, ok := rec["conns"].(float64); ok {
+		name = fmt.Sprintf("%s@%dconns", name, int(c))
+	}
+	return name
+}
+
+// field extracts a numeric field present in both records.
+func field(oldRec, newRec map[string]any, key string) (o, n float64, ok bool) {
+	ov, ook := oldRec[key].(float64)
+	nv, nok := newRec[key].(float64)
+	return ov, nv, ook && nok
+}

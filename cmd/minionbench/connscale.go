@@ -1,0 +1,269 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minion"
+	"minion/internal/wire"
+)
+
+// connScaleResult is the machine-readable record per connection count:
+// how the real-socket substrate behaves as loopback connections scale
+// from one to thousands in shared-loop mode. Written as BENCH_<conns>.json
+// (its own directory, so stack-index BENCH_<n>.json files never collide).
+type connScaleResult struct {
+	Conns       int    `json:"conns"`
+	Mode        string `json:"mode"`  // "shared" or "dedicated" loops
+	Loops       int    `json:"loops"` // loops per side (client and server group each; 0 in dedicated mode)
+	Stack       string `json:"stack"`
+	MsgsPerConn int    `json:"msgs_per_conn"`
+	MsgBytes    int    `json:"msg_bytes"`
+	Window      int    `json:"window"` // self-clocked datagrams in flight per conn
+
+	Iterations        int     `json:"iterations"` // total echo round trips
+	NsPerOp           float64 `json:"ns_per_op"`  // wall time per round trip
+	AllocsPerOp       float64 `json:"allocs_per_op"`
+	Goroutines        int     `json:"goroutines"` // sampled at full load
+	GoroutinesPerConn float64 `json:"goroutines_per_conn"`
+
+	// Syscall economics, from wire.IOStats deltas over the measured
+	// interval. Write calls are vectored writes (≥1 syscall each, ==1
+	// except under partial-write pressure), so per-datagram values are
+	// tight lower bounds; the datagram denominator counts both directions
+	// on both sides (each round trip = 2 datagrams written and 2 read
+	// process-wide).
+	WriteSyscallsPerDatagram float64 `json:"write_syscalls_per_datagram"`
+	ReadSyscallsPerDatagram  float64 `json:"read_syscalls_per_datagram"`
+	WriteBufsPerCall         float64 `json:"write_bufs_per_call"` // writev coalescing ratio
+}
+
+// runConnScale drives the shared-loop substrate at each connection count
+// and writes one BENCH_<conns>.json per count into dir.
+func runConnScale(args []string) error {
+	fs := flag.NewFlagSet("connscale", flag.ExitOnError)
+	dir := fs.String("benchdir", filepath.Join("bench-out", "connscale"), "output directory for BENCH_<conns>.json")
+	connsList := fs.String("conns", "1,4,16,64,256,1024", "comma-separated connection counts (up to 4096)")
+	msgBytes := fs.Int("msgbytes", 200, "datagram payload size")
+	loops := fs.Int("loops", 0, "event loops per side (0 = GOMAXPROCS)")
+	window := fs.Int("window", 16, "self-clocked datagrams in flight per connection")
+	totalOps := fs.Int("ops", 65536, "target total round trips per count (min 8 per conn)")
+	dedicated := fs.Bool("dedicated", false, "per-connection loops instead of shared (the PR-2 baseline shape)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var counts []int
+	for _, f := range strings.Split(*connsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 || n > 4096 {
+			return fmt.Errorf("bad -conns entry %q (want 1..4096)", f)
+		}
+		counts = append(counts, n)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for _, n := range counts {
+		// Two sockets per connection plus listener/std fds.
+		if err := raiseFDLimit(uint64(4*n + 64)); err != nil {
+			fmt.Fprintf(os.Stderr, "connscale: %d conns: fd limit: %v (skipping)\n", n, err)
+			continue
+		}
+		res, err := connScaleOnce(n, *loops, *msgBytes, *window, *totalOps, *dedicated)
+		if err != nil {
+			return fmt.Errorf("%d conns: %w", n, err)
+		}
+		path := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", n))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%5d conns %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f wr-syscalls/dgram %6.1f bufs/writev -> %s\n",
+			res.Conns, res.NsPerOp, res.AllocsPerOp, res.Goroutines, res.WriteSyscallsPerDatagram, res.WriteBufsPerCall, path)
+	}
+	return nil
+}
+
+func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, dedicated bool) (connScaleResult, error) {
+	msgs := totalOps / nConns
+	if msgs < 8 {
+		msgs = 8
+	}
+	if window > msgs {
+		window = msgs
+	}
+	loopCount := loops
+	if loopCount <= 0 {
+		loopCount = runtime.GOMAXPROCS(0)
+	}
+	lnLoops := loopCount
+	if dedicated {
+		lnLoops = 0 // per-connection loops on both sides
+	}
+
+	ln, err := minion.ListenConfig{TCPConfig: minion.TCPConfig{NoDelay: true}, Loops: lnLoops}.
+		Listen(minion.ProtoUCOBSTCP, "tcp", "127.0.0.1:0")
+	if err != nil {
+		return connScaleResult{}, err
+	}
+	defer ln.Close()
+	var srvMu sync.Mutex
+	var srvConns []minion.Conn
+	defer func() {
+		srvMu.Lock()
+		defer srvMu.Unlock()
+		for _, c := range srvConns {
+			c.Close()
+		}
+	}()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			srvMu.Lock()
+			srvConns = append(srvConns, c)
+			srvMu.Unlock()
+			c.OnMessage(func(msg []byte) { c.Send(msg, minion.Options{}) })
+		}
+	}()
+
+	dc := minion.DialConfig{TCPConfig: minion.TCPConfig{NoDelay: true}}
+	if !dedicated {
+		g := minion.NewLoopGroup(loopCount)
+		defer g.Close()
+		dc.Group = g
+	}
+
+	type client struct {
+		c        minion.Conn
+		sent     atomic.Int64
+		received atomic.Int64
+	}
+	clients := make([]*client, nConns)
+	defer func() {
+		for _, cl := range clients {
+			if cl != nil && cl.c != nil {
+				cl.c.Close()
+			}
+		}
+	}()
+	// Dial with bounded parallelism so the listener backlog keeps up.
+	var dialWG sync.WaitGroup
+	dialSem := make(chan struct{}, 64)
+	var dialErr atomic.Value
+	for i := range clients {
+		dialWG.Add(1)
+		dialSem <- struct{}{}
+		go func(i int) {
+			defer dialWG.Done()
+			defer func() { <-dialSem }()
+			c, err := dc.Dial(minion.ProtoUCOBSTCP, "tcp", ln.Addr().String())
+			if err != nil {
+				dialErr.Store(err)
+				return
+			}
+			clients[i] = &client{c: c}
+		}(i)
+	}
+	dialWG.Wait()
+	if err, ok := dialErr.Load().(error); ok {
+		return connScaleResult{}, fmt.Errorf("dial: %w", err)
+	}
+
+	msg := make([]byte, msgBytes)
+	var done sync.WaitGroup
+	done.Add(nConns)
+	for _, cl := range clients {
+		cl := cl
+		cl.c.OnMessage(func([]byte) {
+			n := cl.received.Add(1)
+			switch {
+			case n == int64(msgs):
+				done.Done()
+			case n > int64(msgs):
+			default:
+				// Self-clocked: each echo releases the next datagram, so
+				// the in-flight window stays at `window` per connection and
+				// bursts pile up naturally on the shared loops (the
+				// batch-friendly load writev coalescing feeds on).
+				if cl.sent.Add(1) <= int64(msgs) {
+					cl.c.TrySend(msg, minion.Options{})
+				}
+			}
+		})
+	}
+
+	runtime.GC()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	ioBefore := wire.ReadIOStats()
+	t0 := time.Now()
+	// Seed each connection's window; the echo stream self-clocks the rest.
+	for _, cl := range clients {
+		cl.sent.Store(int64(window))
+		for j := 0; j < window; j++ {
+			if err := cl.c.TrySend(msg, minion.Options{}); err != nil {
+				return connScaleResult{}, fmt.Errorf("seed: %w", err)
+			}
+		}
+	}
+	goroutines := runtime.NumGoroutine() // sampled at full load
+	waitDone := make(chan struct{})
+	go func() { done.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Minute):
+		return connScaleResult{}, fmt.Errorf("timed out (%d conns)", nConns)
+	}
+	elapsed := time.Since(t0)
+	ioAfter := wire.ReadIOStats()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+
+	ops := nConns * msgs // round trips
+	dgrams := float64(2 * ops)
+	mode, resLoops := "shared", loopCount
+	if dedicated {
+		mode, resLoops = "dedicated", 0
+	}
+	return connScaleResult{
+		Conns:                    nConns,
+		Mode:                     mode,
+		Loops:                    resLoops,
+		Stack:                    minion.ProtoUCOBSTCP.String(),
+		MsgsPerConn:              msgs,
+		MsgBytes:                 msgBytes,
+		Window:                   window,
+		Iterations:               ops,
+		NsPerOp:                  float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp:              float64(memAfter.Mallocs-memBefore.Mallocs) / float64(ops),
+		Goroutines:               goroutines,
+		GoroutinesPerConn:        float64(goroutines) / float64(2*nConns), // both sides live in-process
+		WriteSyscallsPerDatagram: float64(ioAfter.TCPWriteCalls-ioBefore.TCPWriteCalls) / dgrams,
+		ReadSyscallsPerDatagram:  float64(ioAfter.TCPReadCalls-ioBefore.TCPReadCalls) / dgrams,
+		WriteBufsPerCall: safeDiv(
+			float64(ioAfter.TCPWriteBufs-ioBefore.TCPWriteBufs),
+			float64(ioAfter.TCPWriteCalls-ioBefore.TCPWriteCalls)),
+	}, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

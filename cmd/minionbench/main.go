@@ -24,6 +24,14 @@
 //	bench   per-stack datagram hot-path cost, written as BENCH_<n>.json
 //	        (ns/op, allocs/op, B/op) into -benchdir for CI tracking
 //
+// Two further subcommands track the real-socket substrate:
+//
+//	connscale  drive 1→4096 loopback connections in shared-loop mode and
+//	           write BENCH_<conns>.json (ns/op, goroutines, allocs/op,
+//	           syscalls per datagram); flags follow the subcommand
+//	benchdiff  compare two BENCH_*.json directories (-old/-new): fail on
+//	           allocs/op regressions, flag ns_per_op beyond -ns-tol
+//
 // By default experiments run at a reduced "quick" scale; -full runs
 // paper-scale durations (minutes of CPU time).
 package main
@@ -45,16 +53,33 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if flag.Arg(0) == "bench" {
+	switch flag.Arg(0) {
+	case "bench":
 		if err := runBench(*benchDir, *benchBytes); err != nil {
 			fmt.Fprintf(os.Stderr, "minionbench: bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	case "connscale":
+		if err := runConnScale(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "minionbench: connscale: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "benchdiff":
+		if err := runBenchDiff(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "minionbench: benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
 	}
 	sc := experiments.Quick
 	if *full {

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// raiseFDLimit is a no-op where rlimits do not exist; the sweep simply
+// attempts the connections.
+func raiseFDLimit(need uint64) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package main
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// raiseFDLimit lifts RLIMIT_NOFILE to at least need descriptors (the
+// connscale sweep opens two sockets per loopback connection).
+func raiseFDLimit(need uint64) error {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return err
+	}
+	if lim.Cur >= need {
+		return nil
+	}
+	if lim.Max < need {
+		return fmt.Errorf("need %d fds, hard limit is %d", need, lim.Max)
+	}
+	lim.Cur = need
+	return syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

@@ -1,0 +1,234 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoopGroupAssignBalance(t *testing.T) {
+	g := NewLoopGroup(4)
+	defer g.Close()
+	const k = 34 // deliberately not a multiple of the loop count
+	for i := 0; i < k; i++ {
+		if g.Assign() == nil {
+			t.Fatal("Assign returned nil")
+		}
+	}
+	loads := g.Loads()
+	min, max, sum := loads[0], loads[0], 0
+	for _, n := range loads {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		sum += n
+	}
+	if sum != k {
+		t.Fatalf("loads %v sum to %d, want %d", loads, sum, k)
+	}
+	if max-min > 1 {
+		t.Fatalf("loads %v spread beyond ±1", loads)
+	}
+}
+
+func TestLoopGroupReleaseRebalances(t *testing.T) {
+	g := NewLoopGroup(2)
+	defer g.Close()
+	a := g.Assign()
+	b := g.Assign()
+	if a == b {
+		t.Fatal("two assigns on an empty 2-loop group landed on one loop")
+	}
+	// Free every slot on a; the next two assigns must both prefer it.
+	g.Release(a)
+	if got := g.Assign(); got != a {
+		t.Fatalf("assign after release did not pick the drained loop (loads %v)", g.Loads())
+	}
+	loads := g.Loads()
+	if loads[0]+loads[1] != 2 {
+		t.Fatalf("loads %v after assign/release churn", loads)
+	}
+	_ = b
+}
+
+func TestLoopGroupDefaultSize(t *testing.T) {
+	g := NewLoopGroup(0)
+	defer g.Close()
+	if g.Len() < 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.Loop(0) == nil {
+		t.Fatal("Loop(0) nil")
+	}
+}
+
+func TestLoopGroupLoopsUsable(t *testing.T) {
+	g := NewLoopGroup(3)
+	defer g.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		l := g.Assign()
+		wg.Add(1)
+		l.Post(wg.Done)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("posted work never ran on group loops")
+	}
+}
+
+func TestLaneFIFOAcrossManyLanes(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	const lanes = 8
+	const perLane = 500
+	type rec struct {
+		lane, seq int
+	}
+	var mu sync.Mutex
+	got := make(map[int][]int, lanes)
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		ln := l.NewLane()
+		wg.Add(1)
+		go func(lane int, ln *Lane) {
+			defer wg.Done()
+			for s := 0; s < perLane; s++ {
+				s := s
+				if !ln.Post(func() {
+					mu.Lock()
+					got[lane] = append(got[lane], s)
+					mu.Unlock()
+				}) {
+					t.Errorf("lane %d post %d rejected", lane, s)
+					return
+				}
+			}
+		}(i, ln)
+	}
+	wg.Wait()
+	// Flush: a Do barrier runs on the default lane, so poll for completion.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		doneAll := true
+		for i := 0; i < lanes; i++ {
+			if len(got[i]) != perLane {
+				doneAll = false
+			}
+		}
+		mu.Unlock()
+		if doneAll {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lane callbacks never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < lanes; i++ {
+		for s, v := range got[i] {
+			if v != s {
+				t.Fatalf("lane %d out of order at %d: %v...", i, s, got[i][:s+1])
+			}
+		}
+	}
+}
+
+func TestLanePostAfterCloseRejected(t *testing.T) {
+	l := NewLoop()
+	ln := l.NewLane()
+	l.Close()
+	if ln.Post(func() {}) {
+		t.Fatal("Post on a closed loop reported accepted")
+	}
+}
+
+func TestWheelLongDelaysAndRounds(t *testing.T) {
+	// Deadlines beyond one wheel revolution (512 ticks of 1 ms) must still
+	// fire, and in deadline order.
+	l := NewLoop()
+	defer l.Close()
+	var mu sync.Mutex
+	var got []string
+	done := make(chan struct{})
+	l.Schedule(650*time.Millisecond, func() {
+		mu.Lock()
+		got = append(got, "far")
+		mu.Unlock()
+		close(done)
+	})
+	l.Schedule(30*time.Millisecond, func() { mu.Lock(); got = append(got, "near"); mu.Unlock() })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("far timer (beyond one wheel round) never fired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(got) != "[near far]" {
+		t.Fatalf("order %v", got)
+	}
+}
+
+func TestWheelStopAcrossRounds(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	fired := make(chan struct{}, 1)
+	far := l.Schedule(700*time.Millisecond, func() { fired <- struct{}{} })
+	if !far.Stop() {
+		t.Fatal("Stop on a far-round timer reported not pending")
+	}
+	// A same-slot sibling must be unaffected by the unlink.
+	sib := l.Schedule(700*time.Millisecond, func() { fired <- struct{}{} })
+	if !sib.Pending() {
+		t.Fatal("sibling not pending")
+	}
+	sib.Stop()
+	select {
+	case <-fired:
+		t.Fatal("stopped timer fired")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestManyTimersChurn(t *testing.T) {
+	// Thousands of schedule/stop pairs plus a sprinkling of firings — the
+	// retransmit-timer lifecycle at shared-loop scale.
+	l := NewLoop()
+	defer l.Close()
+	const n = 5000
+	timers := make([]Timer, 0, n)
+	var fired sync.WaitGroup
+	fired.Add(n / 10)
+	l.Do(func() {
+		for i := 0; i < n; i++ {
+			if i%10 == 0 {
+				timers = append(timers, l.Schedule(time.Duration(1+i%5)*time.Millisecond, fired.Done))
+			} else {
+				timers = append(timers, l.Schedule(time.Duration(100+i%400)*time.Millisecond, func() {
+					t.Error("timer that should be stopped fired")
+				}))
+			}
+		}
+	})
+	for i, tm := range timers {
+		if i%10 != 0 {
+			tm.Stop()
+		}
+	}
+	done := make(chan struct{})
+	go func() { fired.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("due timers did not all fire")
+	}
+}

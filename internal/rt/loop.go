@@ -1,34 +1,51 @@
 package rt
 
 import (
-	"container/heap"
 	"math/rand"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 )
 
 // Loop is the wall-clock Runtime: a monotonic clock (time since NewLoop),
-// a timer heap ordered by (deadline, schedule sequence) exactly like the
-// simulator's event queue, and one event goroutine that executes every
-// callback serially.
+// a hashed timer wheel ordered by (deadline, schedule sequence) exactly
+// like the simulator's event queue, and one event goroutine that executes
+// every callback serially.
 //
 // The event goroutine is the serial executor that preserves the
 // simulator's "no locks above the kernel" invariant in real deployments:
 // protocol state machines attached to a Loop are only ever touched from
 // that goroutine. External goroutines (socket readers, application
-// threads) hand work in with Post or Do; Schedule and Stop are safe from
-// any goroutine.
+// threads) hand work in with Post, Do, or a Lane; Schedule and Stop are
+// safe from any goroutine.
+//
+// A Loop serves one connection or thousands: immediate work arrives on
+// Lanes — connection-keyed FIFO queues — and the loop drains one lane's
+// accumulated batch at a time, round-robin across lanes. Per-lane FIFO
+// order is what preserves each connection's delivery order when many
+// connections multiplex one loop; cross-lane rotation keeps one busy
+// connection from starving the rest. See LoopGroup for distributing
+// connections across a loop per core.
 type Loop struct {
 	start time.Time
 	goid  int64 // event goroutine id, for Do reentrancy detection
 
-	mu     sync.Mutex
-	timers loopQueue
-	seq    uint64
-	rng    *rand.Rand
-	closed bool
+	mu      sync.Mutex
+	wheel   wheel
+	seq     uint64
+	rng     *rand.Rand
+	closed  bool
+	runq    []*Lane // lanes with pending callbacks; each appears at most once
+	defLane Lane    // lane used by Post and Do
+
+	// Sleep state, so producers poke only a goroutine that is actually
+	// parked (and, for timers, only with a deadline earlier than the one
+	// it armed): a busy loop re-checks everything under mu before it
+	// sleeps, so no wakeup is ever needed — or sent — while it runs.
+	sleeping bool
+	sleepAt  time.Duration // deadline the sleep was armed for; -1 = indefinite
 
 	wake chan struct{} // 1-buffered poke for the event goroutine
 	done chan struct{} // closed when the event goroutine exits
@@ -43,6 +60,7 @@ func NewLoop() *Loop {
 		done:  make(chan struct{}),
 		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	l.defLane.l = l
 	ready := make(chan struct{})
 	go l.run(ready)
 	<-ready
@@ -63,21 +81,29 @@ func (l *Loop) Schedule(delay time.Duration, fn func()) Timer {
 		delay = 0
 	}
 	l.mu.Lock()
-	t := &loopTimer{l: l, at: l.Now() + delay, seq: l.seq, fn: fn, index: -1}
+	t := &wentry{l: l, at: l.Now() + delay, seq: l.seq, fn: fn, slot: -1}
 	l.seq++
-	heap.Push(&l.timers, t)
-	first := l.timers[0] == t
+	if !l.closed {
+		l.wheel.insert(t)
+	} else {
+		t.stopped = true // a closed loop never fires; hand back an inert Timer
+	}
+	// Wake the event goroutine only if it is parked past (or without)
+	// this deadline; a running loop re-checks the wheel before sleeping.
+	poke := l.sleeping && (l.sleepAt < 0 || t.at < l.sleepAt)
 	l.mu.Unlock()
-	if first {
+	if poke {
 		l.poke()
 	}
 	return t
 }
 
-// Post runs fn on the event goroutine as soon as possible, after events
-// already due. It is Schedule(0, fn) without the Timer handle — the
-// hand-off used by socket reader goroutines to enter the serial executor.
-func (l *Loop) Post(fn func()) { l.Schedule(0, fn) }
+// Post runs fn on the event goroutine as soon as possible, after due
+// timers and without displacing other lanes' queued work — the hand-off
+// used by application goroutines to enter the serial executor. Work
+// posted after the loop closed is silently dropped (like a pending timer
+// on Close); callers that must know use a Lane or Do.
+func (l *Loop) Post(fn func()) { l.defLane.Post(fn) }
 
 // Do runs fn on the event goroutine and waits for it to complete. Called
 // from inside a callback (already on the event goroutine) it runs fn
@@ -89,16 +115,9 @@ func (l *Loop) Do(fn func()) bool {
 		return true
 	}
 	doneCh := make(chan struct{})
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	if !l.defLane.Post(func() { fn(); close(doneCh) }) {
 		return false
 	}
-	t := &loopTimer{l: l, at: l.Now(), seq: l.seq, fn: func() { fn(); close(doneCh) }, index: -1}
-	l.seq++
-	heap.Push(&l.timers, t)
-	l.mu.Unlock()
-	l.poke()
 	select {
 	case <-doneCh:
 		return true
@@ -113,10 +132,10 @@ func (l *Loop) Do(fn func()) bool {
 	}
 }
 
-// Close stops the event goroutine. Pending timers never fire. Close is
-// idempotent and returns once the goroutine has exited; calling it from
-// inside a callback returns immediately (the goroutine exits right after
-// the callback).
+// Close stops the event goroutine. Pending timers and lane work never
+// run. Close is idempotent and returns once the goroutine has exited;
+// calling it from inside a callback returns immediately (the goroutine
+// exits right after the callback).
 func (l *Loop) Close() {
 	l.mu.Lock()
 	already := l.closed
@@ -138,39 +157,134 @@ func (l *Loop) poke() {
 	}
 }
 
-// run is the event goroutine: pop one due timer at a time (so a callback
-// stopping a later timer behaves exactly as on the simulator), sleep until
-// the next deadline otherwise.
+// Lane is a connection-keyed FIFO queue into a shared loop. Callbacks
+// posted to one lane run on the loop's event goroutine in post order (the
+// per-connection serial-ordering guarantee); the loop alternates between
+// lanes, draining each lane's accumulated batch in turn. A Lane is safe
+// for concurrent use by multiple posters.
+type Lane struct {
+	l      *Loop
+	q      []func() // guarded by l.mu
+	queued bool     // lane is in l.runq; guarded by l.mu
+	spare  []func() // drained slice recycled for the next batch; event-goroutine only
+}
+
+// NewLane returns a fresh FIFO lane into the loop. Lanes are cheap: a
+// connection allocates one for its lifetime and simply abandons it.
+func (l *Loop) NewLane() *Lane { return &Lane{l: l} }
+
+// Post queues fn behind the lane's earlier callbacks. It reports whether
+// the loop accepted it; false means the loop has closed and fn will never
+// run (the caller keeps ownership of anything fn was to consume).
+func (ln *Lane) Post(fn func()) bool {
+	l := ln.l
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	ln.q = append(ln.q, fn)
+	if !ln.queued {
+		ln.queued = true
+		l.runq = append(l.runq, ln)
+	}
+	poke := l.sleeping
+	l.mu.Unlock()
+	if poke {
+		l.poke()
+	}
+	return true
+}
+
+// Loop returns the loop this lane feeds.
+func (ln *Lane) Loop() *Loop { return ln.l }
+
+// run is the event goroutine. Each iteration: fire every timer now due
+// (in (deadline, seq) order, unlinking one at a time so a callback can
+// still Stop a later same-batch timer), then drain one lane's batch;
+// otherwise sleep until the next deadline or a poke.
 func (l *Loop) run(ready chan<- struct{}) {
 	l.goid = goid()
 	close(ready)
 	defer close(l.done)
 	sleep := time.NewTimer(time.Hour)
 	defer sleep.Stop()
+	var due []*wentry
 	for {
 		l.mu.Lock()
+		l.sleeping = false
 		if l.closed {
 			l.mu.Unlock()
 			return
 		}
-		var fn func()
+		due = l.wheel.collectDue(l.Now(), due[:0])
+		if len(due) > 0 {
+			sort.Slice(due, func(i, j int) bool {
+				if due[i].at != due[j].at {
+					return due[i].at < due[j].at
+				}
+				return due[i].seq < due[j].seq
+			})
+			for i, t := range due {
+				if i > 0 {
+					l.mu.Lock()
+					if l.closed {
+						l.mu.Unlock()
+						return
+					}
+				}
+				// Re-validate: an earlier callback in this batch (or any
+				// goroutine) may have stopped this timer while it waited.
+				if t.stopped || t.slot < 0 {
+					l.mu.Unlock()
+					continue
+				}
+				l.wheel.unlink(t)
+				l.mu.Unlock()
+				t.fn()
+			}
+			continue
+		}
+
+		var batch []func()
+		var lane *Lane
+		if len(l.runq) > 0 {
+			lane = l.runq[0]
+			copy(l.runq, l.runq[1:])
+			l.runq[len(l.runq)-1] = nil
+			l.runq = l.runq[:len(l.runq)-1]
+			lane.queued = false
+			batch, lane.q = lane.q, lane.spare[:0]
+		}
 		var wait time.Duration = -1
-		if len(l.timers) > 0 {
-			if d := l.timers[0].at - l.Now(); d <= 0 {
-				t := heap.Pop(&l.timers).(*loopTimer)
-				fn = t.fn
+		if batch == nil {
+			if at, ok := l.wheel.next(); ok {
+				wait = at - l.Now()
+				if wait < 0 {
+					wait = 0
+				}
+				l.sleeping = wait > 0
+				l.sleepAt = at
 			} else {
-				wait = d
+				l.sleeping = true
+				l.sleepAt = -1
 			}
 		}
 		l.mu.Unlock()
 
-		if fn != nil {
-			fn()
+		if batch != nil {
+			for i, fn := range batch {
+				fn()
+				batch[i] = nil
+			}
+			lane.spare = batch
 			continue
 		}
 		if wait < 0 {
 			<-l.wake
+			continue
+		}
+		if wait == 0 {
 			continue
 		}
 		if !sleep.Stop() {
@@ -185,74 +299,6 @@ func (l *Loop) run(ready chan<- struct{}) {
 		case <-sleep.C:
 		}
 	}
-}
-
-// loopTimer implements Timer for a Loop. All mutable state is guarded by
-// the loop mutex so Stop is safe from any goroutine.
-type loopTimer struct {
-	l       *Loop
-	at      time.Duration
-	seq     uint64
-	fn      func()
-	index   int // heap index, -1 once popped or stopped
-	stopped bool
-}
-
-// Stop implements Timer.
-func (t *loopTimer) Stop() bool {
-	t.l.mu.Lock()
-	defer t.l.mu.Unlock()
-	if t.stopped || t.index < 0 {
-		return false
-	}
-	t.stopped = true
-	heap.Remove(&t.l.timers, t.index)
-	return true
-}
-
-// Pending implements Timer.
-func (t *loopTimer) Pending() bool {
-	t.l.mu.Lock()
-	defer t.l.mu.Unlock()
-	return !t.stopped && t.index >= 0
-}
-
-// When implements Timer.
-func (t *loopTimer) When() time.Duration { return t.at }
-
-// loopQueue is a min-heap of timers ordered by (deadline, sequence) —
-// the same total order as the simulator's event queue.
-type loopQueue []*loopTimer
-
-func (q loopQueue) Len() int { return len(q) }
-
-func (q loopQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q loopQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *loopQueue) Push(x any) {
-	t := x.(*loopTimer)
-	t.index = len(*q)
-	*q = append(*q, t)
-}
-
-func (q *loopQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*q = old[:n-1]
-	return t
 }
 
 // goid returns the current goroutine's id by parsing the first line of the

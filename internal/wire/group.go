@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"sync"
+
+	"minion/internal/rt"
+)
+
+// Group is the shared-loop runtime for wire connections: an rt.LoopGroup
+// (a loop per core by default) plus one shared netWriter per loop. A
+// connection attached to a Group costs one goroutine (its socket reader)
+// instead of three; the loop's event goroutine and the loop's writer are
+// amortized across every connection assigned to it.
+//
+// Shutdown is reference-counted: Close marks the group closed, but the
+// loops and writers keep running until the last attached connection
+// detaches, so closing a listener never yanks the runtime out from under
+// established connections.
+type Group struct {
+	mu      sync.Mutex
+	lg      *rt.LoopGroup
+	writers map[*rt.Loop]*netWriter
+	refs    int
+	closed  bool
+}
+
+// NewGroup starts a shared-loop runtime of n loops (n <= 0 means
+// GOMAXPROCS — loop per core). Close it when no more connections will be
+// attached.
+func NewGroup(n int) *Group {
+	lg := rt.NewLoopGroup(n)
+	g := &Group{lg: lg, writers: make(map[*rt.Loop]*netWriter, lg.Len())}
+	for i := 0; i < lg.Len(); i++ {
+		g.writers[lg.Loop(i)] = newNetWriter()
+	}
+	return g
+}
+
+// Len returns the number of loops.
+func (g *Group) Len() int { return g.lg.Len() }
+
+// Loads returns per-loop attached-connection counts, index-aligned with
+// the group's loops — the observable side of accept load-balancing.
+func (g *Group) Loads() []int { return g.lg.Loads() }
+
+// assign attaches a connection: least-loaded loop, that loop's writer,
+// and a detach func. ok is false once the group is closed.
+func (g *Group) assign() (loop *rt.Loop, nw *netWriter, release func(), ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, nil, nil, false
+	}
+	g.refs++
+	loop = g.lg.Assign()
+	nw = g.writers[loop]
+	var once sync.Once
+	release = func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.lg.Release(loop)
+			g.refs--
+			shutdown := g.closed && g.refs == 0
+			g.mu.Unlock()
+			if shutdown {
+				g.shutdown()
+			}
+		})
+	}
+	return loop, nw, release, true
+}
+
+// Close stops accepting attachments and shuts the loops and writers down
+// once the last attached connection detaches (immediately if none are).
+func (g *Group) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	shutdown := g.refs == 0
+	g.mu.Unlock()
+	if shutdown {
+		g.shutdown()
+	}
+}
+
+func (g *Group) shutdown() {
+	g.lg.Close()
+	for _, w := range g.writers {
+		w.close()
+	}
+}

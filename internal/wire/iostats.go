@@ -1,0 +1,47 @@
+package wire
+
+import "sync/atomic"
+
+// IOStats is a process-wide snapshot of socket-boundary activity, the
+// denominator-free side of the "syscalls per datagram" metric the
+// connscale benchmark reports. Counters are cumulative since process
+// start; subtract two snapshots to meter an interval.
+//
+// TCPWriteCalls counts vectored write operations (writev batches) issued
+// to kernel sockets: each is at least one write syscall, and exactly one
+// except when the kernel takes a batch in several partial writes. It is
+// therefore a tight lower bound on write syscalls. TCPWriteBufs counts
+// the application buffers those batches carried, so
+// TCPWriteCalls/TCPWriteBufs is the coalescing ratio the writev path
+// achieves.
+type IOStats struct {
+	TCPWriteCalls uint64 // vectored writes issued (≥1 syscall each)
+	TCPWriteBufs  uint64 // pooled buffers carried by those writes
+	TCPWriteBytes uint64
+	TCPReadCalls  uint64 // socket reads issued by reader goroutines
+
+	UDPSendCalls     uint64 // send syscalls (sendmmsg counts once per call)
+	UDPSendDatagrams uint64
+	UDPRecvCalls     uint64 // receive syscalls (recvmmsg counts once per call)
+	UDPRecvDatagrams uint64
+}
+
+var iostats struct {
+	tcpWriteCalls, tcpWriteBufs, tcpWriteBytes, tcpReadCalls atomic.Uint64
+	udpSendCalls, udpSendDatagrams                           atomic.Uint64
+	udpRecvCalls, udpRecvDatagrams                           atomic.Uint64
+}
+
+// ReadIOStats returns the current counters.
+func ReadIOStats() IOStats {
+	return IOStats{
+		TCPWriteCalls:    iostats.tcpWriteCalls.Load(),
+		TCPWriteBufs:     iostats.tcpWriteBufs.Load(),
+		TCPWriteBytes:    iostats.tcpWriteBytes.Load(),
+		TCPReadCalls:     iostats.tcpReadCalls.Load(),
+		UDPSendCalls:     iostats.udpSendCalls.Load(),
+		UDPSendDatagrams: iostats.udpSendDatagrams.Load(),
+		UDPRecvCalls:     iostats.udpRecvCalls.Load(),
+		UDPRecvDatagrams: iostats.udpRecvDatagrams.Load(),
+	}
+}

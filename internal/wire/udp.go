@@ -4,10 +4,12 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minion/internal/buf"
 	"minion/internal/rt"
+	"minion/internal/tcp"
 	"minion/internal/udp"
 )
 
@@ -16,11 +18,28 @@ import (
 // here" substrate (paper §3.2). Like Conn it owns an rt.Loop so the
 // shim's state is confined to one event goroutine; datagrams enter and
 // leave in pooled buffers.
+//
+// I/O is batched where the kernel allows it: outgoing datagrams queued
+// during one burst of loop work flush together (sendmmsg on Linux, a
+// plain send loop elsewhere), and the reader pulls up to a batch of
+// datagrams per syscall (recvmmsg on Linux), posting the whole batch
+// into the loop as one hand-off.
 type UDPConn struct {
 	loop    *rt.Loop
+	lane    *rt.Lane
 	nc      *net.UDPConn
 	u       *udp.Conn
 	writeTo net.Addr // nil when nc is connected
+
+	// Loop-confined send coalescing: datagrams the shim emits during one
+	// stretch of loop work accumulate here and flush in one batch.
+	sendQ      []*buf.Buffer
+	flushArmed bool
+
+	tryBytes atomic.Int64 // TrySend payload accepted but not yet sent
+
+	batchOK bool      // platform batch paths usable on this socket
+	mm      mmsgState // platform-specific batching state
 
 	readerDone chan struct{}
 	closeOnce  sync.Once
@@ -37,16 +56,17 @@ func NewUDPConn(nc *net.UDPConn, remote net.Addr) *UDPConn {
 		writeTo:    remote,
 		readerDone: make(chan struct{}),
 	}
+	c.lane = c.loop.NewLane()
+	c.initBatch()
 	c.u.SetOutput(func(b *buf.Buffer, wireSize int) {
-		// Socket writes leave the loop goroutine briefly; UDP sends do not
-		// block on peer state, so this keeps the shim single-goroutine
-		// without a writer thread.
-		if c.writeTo != nil {
-			c.nc.WriteTo(b.Bytes(), c.writeTo)
-		} else {
-			c.nc.Write(b.Bytes())
+		// Runs on the loop: queue and arm a flush right behind the work
+		// currently draining, so every datagram a callback burst emits
+		// leaves in one batched send.
+		c.sendQ = append(c.sendQ, b)
+		if !c.flushArmed {
+			c.flushArmed = true
+			c.loop.Post(c.flushSend)
 		}
-		b.Release()
 	})
 	go c.readLoop()
 	return c
@@ -71,6 +91,10 @@ func (c *UDPConn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
 // Do runs fn on the shim's event loop (false once closed).
 func (c *UDPConn) Do(fn func()) bool { return c.loop.Do(fn) }
 
+// Post queues fn on the shim's event loop without waiting (false once
+// closed) — the non-blocking door used by cross-connection relays.
+func (c *UDPConn) Post(fn func()) bool { return c.lane.Post(fn) }
+
 // Send transmits one datagram (callable from any goroutine).
 func (c *UDPConn) Send(msg []byte) error {
 	var err error
@@ -78,6 +102,36 @@ func (c *UDPConn) Send(msg []byte) error {
 		return net.ErrClosed
 	}
 	return err
+}
+
+// udpTryBudget bounds payload bytes accepted by TrySend but not yet
+// handed to the shim — the relay-pattern backstop against a socket whose
+// buffer stopped draining.
+const udpTryBudget = 256 * 1024
+
+// TrySend queues one datagram for transmission without waiting on the
+// event loop — safe to call from another connection's callback, where the
+// marshalled Send could deadlock two loops against each other. The bytes
+// are copied before return. Backpressure (too many accepted-but-unsent
+// bytes) surfaces as tcp.ErrWouldBlock; net.ErrClosed means the loop has
+// shut down. Queued datagrams ride the same batched send path as Send.
+func (c *UDPConn) TrySend(msg []byte) error {
+	n := int64(len(msg)) + 1 // +1 meters zero-length datagrams too
+	if c.tryBytes.Add(n) > udpTryBudget {
+		c.tryBytes.Add(-n)
+		return tcp.ErrWouldBlock
+	}
+	b := buf.From(msg)
+	if !c.lane.Post(func() {
+		c.u.Send(b.Bytes())
+		b.Release()
+		c.tryBytes.Add(-n)
+	}) {
+		c.tryBytes.Add(-n)
+		b.Release()
+		return net.ErrClosed
+	}
+	return nil
 }
 
 // Recv pops a queued received datagram.
@@ -122,29 +176,63 @@ func (c *UDPConn) Close() {
 	})
 }
 
+// flushSend drains the queued outgoing datagrams in one batched send.
+// Runs on the loop, right behind the callback burst that queued them.
+func (c *UDPConn) flushSend() {
+	c.flushArmed = false
+	batch := c.sendQ
+	c.sendQ = nil
+	c.sendBatch(batch)
+}
+
+// sendOne is the portable single-datagram send (also the non-batch
+// fallback on Linux). It consumes b.
+func (c *UDPConn) sendOne(b *buf.Buffer) {
+	iostats.udpSendCalls.Add(1)
+	iostats.udpSendDatagrams.Add(1)
+	if c.writeTo != nil {
+		c.nc.WriteTo(b.Bytes(), c.writeTo)
+	} else {
+		c.nc.Write(b.Bytes())
+	}
+	b.Release()
+}
+
 // readLoop pulls datagrams into pooled buffers and hands ownership to the
-// shim on the event loop. Zero-length datagrams are valid UDP and are
-// delivered (matching the simulated shim); transient read errors — e.g.
+// shim on the event loop, a batch per hand-off where the platform
+// supports it. Zero-length datagrams are valid UDP and are delivered
+// (matching the simulated shim); transient read errors — e.g.
 // ECONNREFUSED surfaced on a connected socket by an ICMP port-unreachable
 // when the peer is not up yet — do not kill the reader, only a closed
 // socket does.
 func (c *UDPConn) readLoop() {
 	defer close(c.readerDone)
-	for {
-		b := buf.Get(udp.MaxDatagram)
-		n, _, err := c.nc.ReadFrom(b.Bytes())
-		if err == nil {
-			// RightSize: a burst of small datagrams must not pin a full
-			// 64 KiB arena each while queued in the loop.
-			dg := b.RightSize(n)
-			c.loop.Post(func() { c.u.InputBuf(dg) })
-			continue
-		}
-		b.Release()
-		if errors.Is(err, net.ErrClosed) {
-			return
-		}
-		// Transient: back off briefly so a persistent error cannot spin.
-		time.Sleep(time.Millisecond)
+	for c.readBatch() {
 	}
+}
+
+// readOne is the portable single-datagram receive (also the non-batch
+// fallback on Linux). It reports whether the reader should continue.
+func (c *UDPConn) readOne() bool {
+	b := buf.Get(udp.MaxDatagram)
+	n, _, err := c.nc.ReadFrom(b.Bytes())
+	iostats.udpRecvCalls.Add(1)
+	if err == nil {
+		iostats.udpRecvDatagrams.Add(1)
+		// RightSize: a burst of small datagrams must not pin a full
+		// 64 KiB arena each while queued in the loop.
+		dg := b.RightSize(n)
+		if !c.lane.Post(func() { c.u.InputBuf(dg) }) {
+			dg.Release()
+			return false
+		}
+		return true
+	}
+	b.Release()
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	// Transient: back off briefly so a persistent error cannot spin.
+	time.Sleep(time.Millisecond)
+	return true
 }

@@ -1,0 +1,228 @@
+//go:build linux && (amd64 || arm64)
+
+package wire
+
+import (
+	"net"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"minion/internal/buf"
+	"minion/internal/udp"
+)
+
+// Batched UDP socket I/O: recvmmsg pulls up to udpBatch datagrams per
+// syscall into pooled buffers, sendmmsg pushes a queued burst out in one.
+// Both run through syscall.RawConn so the sockets stay inside the Go
+// netpoller (MSG_DONTWAIT plus wait-for-ready, never a blocked thread).
+//
+// The syscalls are issued directly against the stdlib syscall package —
+// no cgo, no external deps; non-Linux (and exotic-arch) builds use the
+// portable single-datagram loop in udp_portable.go.
+
+// udpBatch is the mmsg vector width: 32 datagrams per syscall amortizes
+// the crossing well past the point of diminishing returns while keeping
+// at most 32 spare receive arenas pinned per connection.
+const udpBatch = 32
+
+// mmsghdr mirrors the kernel's struct mmsghdr. On 64-bit targets
+// msghdr is 56 bytes and 8-aligned, so the explicit pad lands msg_len at
+// the kernel's offset and sizes the element at 64 bytes.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	nlen uint32
+	_    [4]byte
+}
+
+// compile-time layout check: one mmsghdr must be exactly 64 bytes.
+var _ = [1]byte{}[64-unsafe.Sizeof(mmsghdr{})]
+
+// mmsgState is the per-connection batching scratch: vectors reused across
+// rounds, plus the pre-encoded destination sockaddr for unconnected
+// sockets.
+type mmsgState struct {
+	rc    syscall.RawConn
+	rhdrs [udpBatch]mmsghdr
+	riov  [udpBatch]syscall.Iovec
+	rbufs [udpBatch]*buf.Buffer
+
+	shdrs [udpBatch]mmsghdr
+	siov  [udpBatch]syscall.Iovec
+
+	saddr    syscall.RawSockaddrAny
+	saddrLen uint32 // 0 on connected sockets (kernel routes by peer)
+}
+
+// initBatch wires the raw descriptor and destination; any miss falls the
+// connection back to the portable loop.
+func (c *UDPConn) initBatch() {
+	rc, err := c.nc.SyscallConn()
+	if err != nil {
+		return
+	}
+	c.mm.rc = rc
+	if c.writeTo != nil {
+		ua, ok := c.writeTo.(*net.UDPAddr)
+		if !ok || ua.Zone != "" {
+			return // scoped/opaque addresses take the portable path
+		}
+		n, ok := encodeSockaddr(&c.mm.saddr, ua)
+		if !ok {
+			return
+		}
+		c.mm.saddrLen = n
+	}
+	c.batchOK = true
+}
+
+// encodeSockaddr writes ua into sa in kernel sockaddr layout, returning
+// the length to pass as msg_namelen.
+func encodeSockaddr(sa *syscall.RawSockaddrAny, ua *net.UDPAddr) (uint32, bool) {
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		p := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		p.Family = syscall.AF_INET
+		port := (*[2]byte)(unsafe.Pointer(&p.Port))
+		port[0] = byte(ua.Port >> 8)
+		port[1] = byte(ua.Port)
+		copy(p.Addr[:], ip4)
+		return syscall.SizeofSockaddrInet4, true
+	}
+	if ip6 := ua.IP.To16(); ip6 != nil {
+		p := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+		p.Family = syscall.AF_INET6
+		port := (*[2]byte)(unsafe.Pointer(&p.Port))
+		port[0] = byte(ua.Port >> 8)
+		port[1] = byte(ua.Port)
+		copy(p.Addr[:], ip6)
+		return syscall.SizeofSockaddrInet6, true
+	}
+	return 0, false
+}
+
+// readBatch receives up to udpBatch datagrams with one recvmmsg and posts
+// the whole batch into the loop as a single hand-off. It reports whether
+// the reader should continue.
+func (c *UDPConn) readBatch() bool {
+	if !c.batchOK {
+		return c.readOne()
+	}
+	m := &c.mm
+	for i := 0; i < udpBatch; i++ {
+		if m.rbufs[i] == nil {
+			m.rbufs[i] = buf.Get(udp.MaxDatagram)
+		}
+		bs := m.rbufs[i].Bytes()
+		m.riov[i].Base = &bs[0]
+		m.riov[i].SetLen(len(bs))
+		m.rhdrs[i] = mmsghdr{}
+		m.rhdrs[i].hdr.Iov = &m.riov[i]
+		m.rhdrs[i].hdr.Iovlen = 1
+	}
+	var n int
+	var errno syscall.Errno
+	rerr := m.rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&m.rhdrs[0])), udpBatch,
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park in the netpoller until readable
+		}
+		n, errno = int(r1), e
+		return true
+	})
+	if rerr != nil {
+		return false // descriptor closed
+	}
+	if errno != 0 {
+		if errno == syscall.EINTR {
+			return true
+		}
+		// Transient (ICMP unreachable on a connected socket, etc.) — same
+		// policy as the portable loop: back off, keep reading.
+		time.Sleep(time.Millisecond)
+		return true
+	}
+	iostats.udpRecvCalls.Add(1)
+	iostats.udpRecvDatagrams.Add(uint64(n))
+	if n <= 0 {
+		return true
+	}
+	dgs := make([]*buf.Buffer, n)
+	for i := 0; i < n; i++ {
+		dgs[i] = m.rbufs[i].RightSize(int(m.rhdrs[i].nlen))
+		m.rbufs[i] = nil
+	}
+	if !c.lane.Post(func() {
+		for _, dg := range dgs {
+			c.u.InputBuf(dg)
+		}
+	}) {
+		for _, dg := range dgs {
+			dg.Release()
+		}
+		return false
+	}
+	return true
+}
+
+// sendBatch transmits the queued burst, udpBatch datagrams per sendmmsg,
+// consuming every buffer. Per-datagram send errors are dropped exactly
+// like the portable path drops WriteTo errors: UDP is lossy by contract.
+func (c *UDPConn) sendBatch(bufs []*buf.Buffer) {
+	if !c.batchOK {
+		for _, b := range bufs {
+			c.sendOne(b)
+		}
+		return
+	}
+	m := &c.mm
+	for off := 0; off < len(bufs); off += udpBatch {
+		k := len(bufs) - off
+		if k > udpBatch {
+			k = udpBatch
+		}
+		for i := 0; i < k; i++ {
+			bs := bufs[off+i].Bytes()
+			m.siov[i] = syscall.Iovec{}
+			if len(bs) > 0 {
+				m.siov[i].Base = &bs[0]
+				m.siov[i].SetLen(len(bs))
+			}
+			m.shdrs[i] = mmsghdr{}
+			m.shdrs[i].hdr.Iov = &m.siov[i]
+			m.shdrs[i].hdr.Iovlen = 1
+			if m.saddrLen > 0 {
+				m.shdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&m.saddr))
+				m.shdrs[i].hdr.Namelen = m.saddrLen
+			}
+		}
+		sent := 0
+		m.rc.Write(func(fd uintptr) bool {
+			for sent < k {
+				r1, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+					uintptr(unsafe.Pointer(&m.shdrs[sent])), uintptr(k-sent),
+					syscall.MSG_DONTWAIT, 0, 0)
+				switch {
+				case e == syscall.EAGAIN:
+					return false // wait for writability, then resume
+				case e == syscall.EINTR:
+					continue
+				case e != 0:
+					sent++ // per-datagram failure: drop it, keep the rest
+					continue
+				}
+				iostats.udpSendCalls.Add(1)
+				iostats.udpSendDatagrams.Add(uint64(r1))
+				if r1 == 0 {
+					return true
+				}
+				sent += int(r1)
+			}
+			return true
+		})
+	}
+	for _, b := range bufs {
+		b.Release()
+	}
+}

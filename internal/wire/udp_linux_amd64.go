@@ -1,0 +1,9 @@
+package wire
+
+// mmsg syscall numbers for linux/amd64. The stdlib syscall table was
+// frozen before sendmmsg (kernel 3.0) landed, so the numbers are pinned
+// here; both are ABI-stable.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,8 @@
+package wire
+
+// mmsg syscall numbers for linux/arm64 (matching the stdlib's
+// SYS_RECVMMSG/SYS_SENDMMSG, repeated here so both arches read alike).
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

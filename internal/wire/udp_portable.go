@@ -1,0 +1,22 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package wire
+
+import "minion/internal/buf"
+
+// Portable UDP I/O: one syscall per datagram via the net package. The
+// batched sendmmsg/recvmmsg paths are Linux-only (udp_linux.go); every
+// other platform keeps the shim's semantics with this loop.
+
+// mmsgState has no portable content.
+type mmsgState struct{}
+
+func (c *UDPConn) initBatch() {}
+
+func (c *UDPConn) readBatch() bool { return c.readOne() }
+
+func (c *UDPConn) sendBatch(bufs []*buf.Buffer) {
+	for _, b := range bufs {
+		c.sendOne(b)
+	}
+}

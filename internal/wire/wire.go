@@ -10,16 +10,29 @@
 // back to their in-order receive paths; true unordered delivery stays
 // sim-only until a uTCP kernel exists.
 //
-// Concurrency model: each connection owns an rt.Loop — one event
-// goroutine that executes all protocol work serially, preserving the
-// simulator's "no locks above the kernel" invariant. A reader goroutine
-// pulls socket bytes into pooled buffers (internal/buf) and posts them
-// into the loop; a writer goroutine drains queued pooled buffers to the
-// socket. Buffers cross the socket boundary by reference: the zero-copy
-// ownership conventions of the datagram datapath hold end to end.
+// Concurrency model: protocol work for a connection executes serially on
+// an rt.Loop event goroutine, preserving the simulator's "no locks above
+// the kernel" invariant. Two runtime shapes exist:
+//
+//   - Per-connection loops (the default): each connection owns a loop, a
+//     reader goroutine, and a writer goroutine — 3 goroutines per
+//     connection, maximum isolation.
+//   - Shared loops (Config.Group): a Group multiplexes N connections per
+//     loop, one loop per core. Each connection keeps only its reader
+//     goroutine; event work enters the loop through a per-connection FIFO
+//     lane (preserving delivery order), and queued writes drain through
+//     the loop's shared writer in vectored batches. 2 goroutines per loop
+//     plus 1 reader per connection — the shape that scales to thousands
+//     of connections.
+//
+// Either way, buffers cross the socket boundary by reference: the
+// zero-copy ownership conventions of the datagram datapath hold end to
+// end, and writers coalesce queued pooled buffers into single vectored
+// writes (net.Buffers/writev) instead of one syscall per record.
 package wire
 
 import (
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -32,18 +45,26 @@ import (
 
 // Config parameterizes a wire connection. The zero value is usable.
 type Config struct {
-	// SendBufBytes bounds bytes queued for the writer goroutine but not
-	// yet written to the socket (default 256 KiB). WriteMsgBuf returns
-	// ErrWouldBlock when a message does not fit.
+	// SendBufBytes bounds bytes queued for the writer but not yet written
+	// to the socket (default 256 KiB). WriteMsgBuf returns ErrWouldBlock
+	// when a message does not fit.
 	SendBufBytes int
 	// RecvBufBytes bounds bytes delivered into the loop but not yet
 	// consumed by Read; the reader goroutine stops pulling from the socket
 	// when it is reached, so kernel flow control backpressures the peer
 	// (default 256 KiB).
 	RecvBufBytes int
+	// WriteLowWater is the OnWritable threshold: after a WriteMsgBuf
+	// rejection, the callback fires once queued bytes drain to this level
+	// (default SendBufBytes/2).
+	WriteLowWater int
 	// NoDelay disables Nagle on TCP sockets (recommended for datagram
 	// traffic, like the paper's experiments).
 	NoDelay bool
+	// Group, when non-nil, runs the connection in shared-loop mode on one
+	// of the group's event loops instead of a dedicated loop — see the
+	// package comment for the goroutine economics.
+	Group *Group
 }
 
 func (cfg Config) defaults() Config {
@@ -52,6 +73,9 @@ func (cfg Config) defaults() Config {
 	}
 	if cfg.RecvBufBytes == 0 {
 		cfg.RecvBufBytes = 256 * 1024
+	}
+	if cfg.WriteLowWater == 0 {
+		cfg.WriteLowWater = cfg.SendBufBytes / 2
 	}
 	return cfg
 }
@@ -64,13 +88,22 @@ const readChunk = 32 * 1024
 // its half before the socket is torn down hard.
 const closeLinger = 5 * time.Second
 
+// ErrTooLarge is returned by WriteMsgBuf for a message that exceeds the
+// whole send budget — it can never be queued, so retrying is futile
+// (contrast ErrWouldBlock, which clears as the queue drains).
+var ErrTooLarge = errors.New("wire: message larger than send buffer")
+
 // Conn is a real TCP socket exposed as a tcp.Stream. All Stream methods
 // must be called on the connection's event loop — from inside a protocol
-// callback, or marshalled in with Do.
+// callback, or marshalled in with Do or Post.
 type Conn struct {
-	loop *rt.Loop
-	nc   net.Conn
-	cfg  Config
+	loop    *rt.Loop
+	lane    *rt.Lane // the connection's FIFO lane into its loop
+	nc      net.Conn
+	cfg     Config
+	ownLoop bool       // dedicated mode: loop (and writer goroutine) are ours
+	nw      *netWriter // shared-loop writer; nil in dedicated mode
+	release func()     // group detach; nil in dedicated mode
 
 	// Loop-confined state.
 	onReadable func()
@@ -83,15 +116,24 @@ type Conn struct {
 	rInFlight int // bytes posted into the loop, not yet consumed by Read
 	rclosed   bool
 
-	// Writer queue (any goroutine -> writer goroutine).
-	wmu     sync.Mutex
-	wcond   *sync.Cond
-	wq      []*buf.Buffer
-	wqBytes int
-	werr    error
-	wclosed bool
+	// Writer queue (any goroutine -> servicing writer).
+	wmu        sync.Mutex
+	wcond      *sync.Cond // dedicated-writer wakeup
+	wq         []*buf.Buffer
+	wqBytes    int // queued plus in-flight bytes not yet taken by the kernel
+	werr       error
+	wclosed    bool
+	onWritable func()
+	wNotify    bool // a rejected WriteMsgBuf armed OnWritable
 
-	writerDone chan struct{}
+	// In-flight vectored-write state; owned by the goroutine currently
+	// servicing the connection (see writer.go).
+	pend      net.Buffers
+	pendOwned []*buf.Buffer
+	inDirty   bool // guarded by nw.mu
+
+	wdone      sync.Once
+	writerDone chan struct{} // send side flushed (or dead)
 	readerDone chan struct{}
 	closeOnce  sync.Once
 }
@@ -99,8 +141,10 @@ type Conn struct {
 // Conn implements the framing layers' transport contract.
 var _ tcp.Stream = (*Conn)(nil)
 
-// NewConn wraps an established net.Conn. It starts the connection's event
-// loop and its reader and writer goroutines; the caller must Close the
+// NewConn wraps an established net.Conn. In dedicated mode (no
+// cfg.Group) it starts the connection's own event loop plus reader and
+// writer goroutines; in shared-loop mode it attaches to the least-loaded
+// group loop and starts only the reader. The caller must Close the
 // returned Conn to release them.
 func NewConn(nc net.Conn, cfg Config) *Conn {
 	cfg = cfg.defaults()
@@ -108,16 +152,29 @@ func NewConn(nc net.Conn, cfg Config) *Conn {
 		tcpc.SetNoDelay(true)
 	}
 	c := &Conn{
-		loop:       rt.NewLoop(),
 		nc:         nc,
 		cfg:        cfg,
 		writerDone: make(chan struct{}),
 		readerDone: make(chan struct{}),
 	}
+	if cfg.Group != nil {
+		if loop, nw, release, ok := cfg.Group.assign(); ok {
+			c.loop, c.nw, c.release = loop, nw, release
+		}
+	}
+	if c.loop == nil {
+		// Dedicated mode — also the fallback when the group closed
+		// between Accept and attach.
+		c.loop = rt.NewLoop()
+		c.ownLoop = true
+	}
+	c.lane = c.loop.NewLane()
 	c.rcond = sync.NewCond(&c.rmu)
 	c.wcond = sync.NewCond(&c.wmu)
 	go c.readLoop()
-	go c.writeLoop()
+	if c.ownLoop {
+		go c.writeLoop()
+	}
 	return c
 }
 
@@ -131,7 +188,8 @@ func Dial(network, addr string, cfg Config) (*Conn, error) {
 	return NewConn(nc, cfg), nil
 }
 
-// Loop returns the connection's event loop.
+// Loop returns the connection's event loop (shared with other
+// connections in group mode).
 func (c *Conn) Loop() *rt.Loop { return c.loop }
 
 // Do runs fn on the connection's event loop and waits for it — the door
@@ -139,6 +197,14 @@ func (c *Conn) Loop() *rt.Loop { return c.loop }
 // protocol state. It reports false (fn not run) once the connection's
 // loop has shut down.
 func (c *Conn) Do(fn func()) bool { return c.loop.Do(fn) }
+
+// Post queues fn on the connection's FIFO lane into the event loop and
+// returns without waiting — the non-blocking door, safe to call from
+// another connection's callback (where Do could deadlock two loops
+// against each other). Posts from any one goroutine run in order relative
+// to each other and to the connection's deliveries. It reports false once
+// the loop has shut down (fn will never run).
+func (c *Conn) Post(fn func()) bool { return c.lane.Post(fn) }
 
 // LocalAddr returns the socket's local address.
 func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
@@ -159,7 +225,7 @@ func (c *Conn) SegmentCapacity() int { return 0 }
 func (c *Conn) OnReadable(fn func()) {
 	c.onReadable = fn
 	if fn != nil && (len(c.recvQ) > 0 || c.rerr != nil) {
-		c.loop.Post(fn)
+		c.lane.Post(fn)
 	}
 }
 
@@ -217,14 +283,22 @@ func (c *Conn) Write(p []byte) (int, error) {
 }
 
 // WriteMsgBuf implements tcp.Stream: it takes ownership of b and queues it
-// for the writer goroutine, whole. Kernel TCP has no priority insertion,
-// so the options' tag and squash are ignored (FIFO), exactly like an
-// UnorderedSend-less tcp.Conn.
+// for the writer, whole. Kernel TCP has no priority insertion, so the
+// options' tag and squash are ignored (FIFO), exactly like an
+// UnorderedSend-less tcp.Conn. Safe from any goroutine; it never blocks
+// (backpressure surfaces as ErrWouldBlock, which also arms OnWritable).
 func (c *Conn) WriteMsgBuf(b *buf.Buffer, opt tcp.WriteOptions) (int, error) {
 	n := b.Len()
 	if n == 0 {
 		b.Release()
 		return 0, nil
+	}
+	if n > c.cfg.SendBufBytes {
+		// Never fits: a retryable ErrWouldBlock here would have the
+		// OnWritable edge re-offering the same message forever (a
+		// livelock on the event loop); fail it terminally instead.
+		b.Release()
+		return 0, ErrTooLarge
 	}
 	c.wmu.Lock()
 	if c.wclosed || c.werr != nil {
@@ -237,15 +311,42 @@ func (c *Conn) WriteMsgBuf(b *buf.Buffer, opt tcp.WriteOptions) (int, error) {
 		return 0, err
 	}
 	if c.wqBytes+n > c.cfg.SendBufBytes {
+		// Arm the OnWritable edge. No immediate fire is needed: a
+		// rejection implies bytes are queued (n alone would fit), so a
+		// writer service is pending and runs the low-water check.
+		c.wNotify = true
 		c.wmu.Unlock()
 		b.Release()
 		return 0, tcp.ErrWouldBlock
 	}
 	c.wq = append(c.wq, b)
 	c.wqBytes += n
-	c.wcond.Signal()
-	c.wmu.Unlock()
+	if c.wqBytes >= c.cfg.WriteLowWater {
+		// Crossing the low-water mark arms the next OnWritable edge, so a
+		// sender that gates on SendBufAvailable (rather than a rejected
+		// write) still gets its drain notification.
+		c.wNotify = true
+	}
+	if c.nw == nil {
+		c.wcond.Signal()
+		c.wmu.Unlock()
+	} else {
+		c.wmu.Unlock()
+		c.nw.enqueue(c)
+	}
 	return n, nil
+}
+
+// OnWritable registers fn, fired on the connection's event loop each
+// time the queued send bytes drain down to the low-water mark
+// (Config.WriteLowWater) after having risen above it or after a
+// WriteMsgBuf rejection (ErrWouldBlock) — the edge a backpressured
+// sender waits on. One registration persists across any number of
+// edges; fn == nil unregisters. Safe from any goroutine.
+func (c *Conn) OnWritable(fn func()) {
+	c.wmu.Lock()
+	c.onWritable = fn
+	c.wmu.Unlock()
 }
 
 // SendBufAvailable implements tcp.Stream.
@@ -261,21 +362,27 @@ func (c *Conn) SendBufAvailable() int {
 
 // Close implements tcp.Stream: a graceful teardown. Queued writes drain
 // and the send side half-closes, the receive side keeps delivering until
-// the peer closes or a linger timeout passes, then the socket and the
-// event loop shut down. Close returns immediately; it is idempotent and
-// safe from any goroutine, including loop callbacks.
+// the peer closes or a linger timeout passes, then the socket shuts down
+// (and, in dedicated mode, the event loop with it; a shared loop lives on
+// for its other connections). Close returns immediately; it is idempotent
+// and safe from any goroutine, including loop callbacks.
 func (c *Conn) Close() {
 	c.closeOnce.Do(func() {
 		c.wmu.Lock()
 		c.wclosed = true
 		c.wcond.Broadcast()
 		c.wmu.Unlock()
+		if c.nw != nil {
+			// Wake the shared writer so it notices the flush point even
+			// when no data is queued.
+			c.nw.enqueue(c)
+		}
 		go func() {
 			// Bound the drain too: a peer that stopped reading leaves the
 			// writer blocked in a socket write on a full buffer, and Close
 			// must not wait on it forever. The deadline fails the blocked
 			// write (and any queued ones after it), letting the writer
-			// goroutine finish releasing its buffers.
+			// finish releasing its buffers.
 			c.nc.SetWriteDeadline(time.Now().Add(closeLinger))
 			select {
 			case <-c.writerDone:
@@ -293,8 +400,10 @@ func (c *Conn) Close() {
 	})
 }
 
-// teardown force-closes the socket, unblocks the reader, stops the event
-// loop, and returns any undelivered receive buffers to the pool.
+// teardown force-closes the socket, unblocks the reader, and returns any
+// undelivered receive buffers to the pool. Dedicated mode stops the event
+// loop; shared mode runs the final cleanup as the last entry on the
+// connection's lane and detaches from the group.
 func (c *Conn) teardown() {
 	c.nc.Close()
 	c.rmu.Lock()
@@ -302,24 +411,47 @@ func (c *Conn) teardown() {
 	c.rcond.Broadcast()
 	c.rmu.Unlock()
 	<-c.readerDone
-	c.loop.Close()
-	// The loop is stopped and the reader gone: recvQ is ours alone now.
-	// (Chunks inside closures the loop never executed are unreachable and
-	// fall to the garbage collector — the safe direction of the buffer
-	// discipline.)
+	if c.ownLoop {
+		c.loop.Close()
+		// The loop is stopped and the reader gone: recvQ is ours alone
+		// now. (Chunks inside closures the loop never executed are
+		// unreachable and fall to the garbage collector — the safe
+		// direction of the buffer discipline.)
+		c.cleanupRecv()
+		return
+	}
+	// Every reader post was laned before readerDone closed, so this runs
+	// after the last delivery. If the loop itself already closed (group
+	// shut down) the event goroutine is gone and nothing else can touch
+	// loop-confined state, so cleaning up inline is safe.
+	if !c.lane.Post(c.cleanupRecv) {
+		c.cleanupRecv()
+	}
+	if c.release != nil {
+		c.release()
+	}
+}
+
+func (c *Conn) cleanupRecv() {
 	for _, b := range c.recvQ {
 		b.Release()
 	}
 	c.recvQ = nil
+	c.onReadable = nil
+	if c.rerr == nil {
+		c.rerr = tcp.ErrClosed
+	}
 }
 
 // readLoop is the reader goroutine: socket bytes enter pooled buffers and
-// are posted into the event loop by reference.
+// are posted into the event loop by reference, through the connection's
+// FIFO lane.
 func (c *Conn) readLoop() {
 	defer close(c.readerDone)
 	for {
 		b := buf.Get(readChunk)
 		n, err := c.nc.Read(b.Bytes())
+		iostats.tcpReadCalls.Add(1)
 		if n > 0 {
 			// RightSize keeps the flow-control budget honest: short reads
 			// are copied into a right-sized arena instead of pinning the
@@ -338,12 +470,17 @@ func (c *Conn) readLoop() {
 				chunk.Release()
 				return
 			}
-			c.loop.Post(func() {
+			if !c.lane.Post(func() {
 				c.recvQ = append(c.recvQ, chunk)
 				if c.onReadable != nil {
 					c.onReadable()
 				}
-			})
+			}) {
+				// Loop closed under us (group shutdown): nothing above
+				// will consume again.
+				chunk.Release()
+				return
+			}
 		} else {
 			b.Release()
 		}
@@ -354,7 +491,7 @@ func (c *Conn) readLoop() {
 				// framing layers: terminal error after queued data drains.
 				rerr = tcp.ErrClosed
 			}
-			c.loop.Post(func() {
+			c.lane.Post(func() {
 				if c.rerr == nil {
 					c.rerr = rerr
 				}
@@ -367,45 +504,6 @@ func (c *Conn) readLoop() {
 	}
 }
 
-// writeLoop is the writer goroutine: it drains the queue of pooled
-// buffers to the socket, releasing each reference as it goes.
-func (c *Conn) writeLoop() {
-	defer close(c.writerDone)
-	for {
-		c.wmu.Lock()
-		for len(c.wq) == 0 && !c.wclosed {
-			c.wcond.Wait()
-		}
-		if len(c.wq) == 0 && c.wclosed {
-			c.wmu.Unlock()
-			return
-		}
-		batch := c.wq
-		c.wq = nil
-		c.wmu.Unlock()
-		for _, b := range batch {
-			if c.werrLoad() == nil {
-				if _, err := c.nc.Write(b.Bytes()); err != nil {
-					c.wmu.Lock()
-					c.werr = err
-					c.wmu.Unlock()
-				}
-			}
-			n := b.Len()
-			b.Release()
-			c.wmu.Lock()
-			c.wqBytes -= n
-			c.wmu.Unlock()
-		}
-	}
-}
-
-func (c *Conn) werrLoad() error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return c.werr
-}
-
 // Listener accepts wire connections.
 type Listener struct {
 	ln  net.Listener
@@ -413,7 +511,7 @@ type Listener struct {
 }
 
 // Listen announces on addr and returns a Listener whose accepted
-// connections use cfg.
+// connections use cfg (including its Group, for shared-loop accepting).
 func Listen(network, addr string, cfg Config) (*Listener, error) {
 	ln, err := net.Listen(network, addr)
 	if err != nil {

@@ -63,6 +63,18 @@ type Conn interface {
 	// may arrive first. Reliability depends on the substrate (TCP-family
 	// substrates are reliable, UDP is not). msg is not retained.
 	Send(msg []byte, opt Options) error
+	// TrySend queues one datagram without ever blocking on the
+	// connection's event loop, copying msg before it returns. It is the
+	// send to use from inside another connection's OnMessage callback —
+	// the cross-connection relay pattern — where Send would marshal onto
+	// this connection's loop and can deadlock two loops against each
+	// other (see Dial). Backpressure surfaces immediately as
+	// ErrWouldBlock; accepted datagrams transmit asynchronously, in
+	// TrySend order, retried internally until the transport accepts them
+	// (an error after acceptance drops the datagram, exactly like data in
+	// flight at Close). On simulated substrates the runtime is already
+	// single-threaded, so TrySend is simply Send.
+	TrySend(msg []byte, opt Options) error
 	// Recv pops a received datagram queued while no OnMessage handler was
 	// registered. The returned slice is owned by the caller.
 	Recv() (msg []byte, ok bool)
@@ -237,9 +249,10 @@ func (u udpConn) Send(msg []byte, opt Options) error {
 	// harmless (every datagram departs immediately).
 	return u.c.Send(msg)
 }
-func (u udpConn) Recv() ([]byte, bool)      { return u.c.Recv() }
-func (u udpConn) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
-func (u udpConn) Close()                    {}
+func (u udpConn) TrySend(msg []byte, opt Options) error { return u.Send(msg, opt) }
+func (u udpConn) Recv() ([]byte, bool)                  { return u.c.Recv() }
+func (u udpConn) OnMessage(fn func([]byte))             { u.c.OnMessage(fn) }
+func (u udpConn) Close()                                {}
 
 // ucobsConn adapts ucobs.Conn.
 type ucobsConn struct{ c *ucobs.Conn }
@@ -247,9 +260,10 @@ type ucobsConn struct{ c *ucobs.Conn }
 func (u ucobsConn) Send(msg []byte, opt Options) error {
 	return u.c.Send(msg, ucobs.Options{Priority: opt.Priority, Squash: opt.Squash})
 }
-func (u ucobsConn) Recv() ([]byte, bool)      { return u.c.Recv() }
-func (u ucobsConn) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
-func (u ucobsConn) Close()                    { u.c.Close() }
+func (u ucobsConn) TrySend(msg []byte, opt Options) error { return u.Send(msg, opt) }
+func (u ucobsConn) Recv() ([]byte, bool)                  { return u.c.Recv() }
+func (u ucobsConn) OnMessage(fn func([]byte))             { u.c.OnMessage(fn) }
+func (u ucobsConn) Close()                                { u.c.Close() }
 
 // UCOBS exposes the underlying protocol connection for stats.
 func (u ucobsConn) UCOBS() *ucobs.Conn { return u.c }
@@ -260,9 +274,10 @@ type utlsConn struct{ c *utls.Conn }
 func (u utlsConn) Send(msg []byte, opt Options) error {
 	return u.c.Send(msg, utls.Options{Priority: opt.Priority, Squash: opt.Squash})
 }
-func (u utlsConn) Recv() ([]byte, bool)      { return u.c.Recv() }
-func (u utlsConn) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
-func (u utlsConn) Close()                    { u.c.Close() }
+func (u utlsConn) TrySend(msg []byte, opt Options) error { return u.Send(msg, opt) }
+func (u utlsConn) Recv() ([]byte, bool)                  { return u.c.Recv() }
+func (u utlsConn) OnMessage(fn func([]byte))             { u.c.OnMessage(fn) }
+func (u utlsConn) Close()                                { u.c.Close() }
 
 // UTLS exposes the underlying protocol connection for stats.
 func (u utlsConn) UTLS() *utls.Conn { return u.c }

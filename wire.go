@@ -1,9 +1,13 @@
 package minion
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 
+	"minion/internal/buf"
 	"minion/internal/tcp"
 	"minion/internal/ucobs"
 	"minion/internal/utls"
@@ -15,6 +19,85 @@ import (
 // variants): they exist only on the simulated substrate until a uTCP
 // kernel exists (paper §4/§7).
 var ErrSimOnly = fmt.Errorf("minion: protocol requires uTCP kernel support (simulated substrate only)")
+
+// LoopGroup is a shared event-loop runtime for real-socket connections:
+// a loop per core (by default), each multiplexing many connections while
+// preserving per-connection callback ordering. Attach connections via
+// DialConfig.Group / ListenConfig.Group; a connection then costs one
+// goroutine (its socket reader) instead of three.
+//
+// Close stops the group once the last attached connection closes;
+// connections attached at Close time keep running until then.
+type LoopGroup struct{ g *wire.Group }
+
+// NewLoopGroup starts loops event loops (and their shared writers);
+// loops <= 0 means GOMAXPROCS, the loop-per-core default.
+func NewLoopGroup(loops int) *LoopGroup { return &LoopGroup{g: wire.NewGroup(loops)} }
+
+// Len returns the number of loops.
+func (g *LoopGroup) Len() int { return g.g.Len() }
+
+// Loads returns per-loop attached-connection counts — the observable
+// accept-loadbalance state.
+func (g *LoopGroup) Loads() []int { return g.g.Loads() }
+
+// Close marks the group done; loops shut down when the last attached
+// connection detaches.
+func (g *LoopGroup) Close() { g.g.Close() }
+
+// defaultGroup is the process-wide LoopGroup used by DialConfig{Loops: n}
+// when no explicit Group is supplied, sized loop-per-core at first use.
+var defaultGroup struct {
+	once sync.Once
+	g    *wire.Group
+}
+
+func processGroup() *wire.Group {
+	defaultGroup.once.Do(func() { defaultGroup.g = wire.NewGroup(0) })
+	return defaultGroup.g
+}
+
+// DialConfig parameterizes outbound real-socket connections.
+//
+// The zero value dials exactly like Dial: a dedicated event loop (plus
+// reader and writer goroutines) per connection. Set Group to attach to a
+// shared LoopGroup, or set Loops != 0 (without a Group) to attach to the
+// process-wide loop-per-core group — the configuration for clients that
+// open thousands of connections.
+type DialConfig struct {
+	TCPConfig
+	// Loops != 0 (with Group nil) selects the process-wide shared group.
+	Loops int
+	// Group attaches the connection to an explicit shared LoopGroup.
+	Group *LoopGroup
+}
+
+// ListenConfig parameterizes accepted real-socket connections.
+//
+// The zero value behaves like Listen: a dedicated loop per accepted
+// connection. Loops != 0 gives the listener its own shared group of that
+// many loops (< 0 means GOMAXPROCS) and accepted connections are spread
+// across them least-loaded; Group uses an externally owned group instead.
+type ListenConfig struct {
+	TCPConfig
+	// Loops sizes a listener-owned shared group (< 0: GOMAXPROCS;
+	// 0: dedicated loops per connection unless Group is set).
+	Loops int
+	// Group, when non-nil, overrides Loops with an external group whose
+	// lifecycle the caller owns.
+	Group *LoopGroup
+}
+
+func (dc DialConfig) group() *wire.Group {
+	switch {
+	case dc.Group != nil:
+		return dc.Group.g
+	case dc.Loops != 0:
+		return processGroup()
+	default:
+		return nil
+	}
+}
 
 // Dial connects a Minion endpoint over a real kernel socket: uCOBS or
 // uTLS framing on a TCP connection ("tcp" networks), or the trivial shim
@@ -30,25 +113,34 @@ var ErrSimOnly = fmt.Errorf("minion: protocol requires uTCP kernel support (simu
 //
 // Re-entrancy: calls on the SAME connection from inside its OnMessage
 // callback (the echo pattern) run inline and are always safe. Calling
-// into a DIFFERENT wire connection from a callback blocks on that
+// Send/Recv on a DIFFERENT wire connection from a callback blocks on that
 // connection's event loop — two connections relaying into each other
-// from their callbacks can therefore deadlock. Relays should hand
-// messages off to their own goroutine (copy the bytes first; delivery
-// buffers recycle when the callback returns).
+// from their callbacks can therefore deadlock. Relays use TrySend, which
+// never blocks on the loop and keeps relay order.
 func Dial(proto Protocol, network, addr string, cfg TCPConfig) (Conn, error) {
+	return DialConfig{TCPConfig: cfg}.Dial(proto, network, addr)
+}
+
+// Dial connects with this configuration; see the package Dial for the
+// protocol semantics.
+func (dc DialConfig) Dial(proto Protocol, network, addr string) (Conn, error) {
 	switch proto {
 	case ProtoUDP:
+		// The UDP shim is loop-cheap already (no writer goroutine); it
+		// keeps a dedicated loop regardless of group settings.
 		uc, err := wire.DialUDP(network, addr)
 		if err != nil {
 			return nil, err
 		}
 		return wireUDPConn{uc}, nil
 	case ProtoUCOBSTCP, ProtoUTLSTCP:
-		sc, err := wire.Dial(network, addr, cfg.wireConfig())
+		wcfg := dc.TCPConfig.wireConfig()
+		wcfg.Group = dc.group()
+		sc, err := wire.Dial(network, addr, wcfg)
 		if err != nil {
 			return nil, err
 		}
-		return newWireConn(sc, proto, cfg, true), nil
+		return newWireConn(sc, proto, dc.TCPConfig, true), nil
 	case ProtoUCOBSuTCP, ProtoUTLSuTCP:
 		return nil, ErrSimOnly
 	default:
@@ -62,10 +154,18 @@ type Listener struct {
 	ln    *wire.Listener
 	proto Protocol
 	cfg   TCPConfig
+	owned *wire.Group // listener-owned shared group (ListenConfig.Loops)
 }
 
-// Listen announces on addr for the given TCP-family protocol stack.
+// Listen announces on addr for the given TCP-family protocol stack with
+// dedicated per-connection loops; use ListenConfig.Listen for the
+// shared-loop mode.
 func Listen(proto Protocol, network, addr string, cfg TCPConfig) (*Listener, error) {
+	return ListenConfig{TCPConfig: cfg}.Listen(proto, network, addr)
+}
+
+// Listen announces on addr with this configuration.
+func (lc ListenConfig) Listen(proto Protocol, network, addr string) (*Listener, error) {
 	switch proto {
 	case ProtoUCOBSTCP, ProtoUTLSTCP:
 	case ProtoUCOBSuTCP, ProtoUTLSuTCP:
@@ -75,11 +175,23 @@ func Listen(proto Protocol, network, addr string, cfg TCPConfig) (*Listener, err
 	default:
 		return nil, fmt.Errorf("minion: unknown protocol %v", proto)
 	}
-	ln, err := wire.Listen(network, addr, cfg.wireConfig())
+	wcfg := lc.TCPConfig.wireConfig()
+	var owned *wire.Group
+	switch {
+	case lc.Group != nil:
+		wcfg.Group = lc.Group.g
+	case lc.Loops != 0:
+		owned = wire.NewGroup(lc.Loops)
+		wcfg.Group = owned
+	}
+	ln, err := wire.Listen(network, addr, wcfg)
 	if err != nil {
+		if owned != nil {
+			owned.Close()
+		}
 		return nil, err
 	}
-	return &Listener{ln: ln, proto: proto, cfg: cfg}, nil
+	return &Listener{ln: ln, proto: proto, cfg: lc.TCPConfig, owned: owned}, nil
 }
 
 // Accept waits for and returns the next connection.
@@ -94,8 +206,16 @@ func (l *Listener) Accept() (Conn, error) {
 // Addr returns the bound listening address.
 func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
 
-// Close stops the listener; established connections are unaffected.
-func (l *Listener) Close() error { return l.ln.Close() }
+// Close stops the listener. Established connections are unaffected: a
+// listener-owned loop group keeps running until the last of its
+// connections closes.
+func (l *Listener) Close() error {
+	err := l.ln.Close()
+	if l.owned != nil {
+		l.owned.Close()
+	}
+	return err
+}
 
 // DialUDP is shorthand for Dial(ProtoUDP, network, addr, TCPConfig{}).
 func DialUDP(network, addr string) (Conn, error) {
@@ -115,7 +235,11 @@ func (cfg TCPConfig) wireConfig() wire.Config {
 // bytes (a peer's uTLS hello can already be queued) never race the
 // constructor.
 func newWireConn(sc *wire.Conn, proto Protocol, cfg TCPConfig, isClient bool) Conn {
-	w := &wireConn{sc: sc}
+	budget := cfg.SendBufBytes
+	if budget == 0 {
+		budget = 256 * 1024 // wire.Config default
+	}
+	w := &wireConn{sc: sc, asyncBudget: int64(budget)}
 	sc.Do(func() {
 		switch proto {
 		case ProtoUCOBSTCP:
@@ -139,6 +263,20 @@ func newWireConn(sc *wire.Conn, proto Protocol, cfg TCPConfig, isClient bool) Co
 type wireConn struct {
 	sc    *wire.Conn
 	inner Conn
+
+	// TrySend bookkeeping: asyncBytes meters accepted-but-unsent payload
+	// against asyncBudget from any goroutine; asyncQ holds datagrams the
+	// transport pushed back on, flushed on the stream's OnWritable edge.
+	// asyncQ and flushArmed are loop-confined.
+	asyncBudget int64
+	asyncBytes  atomic.Int64
+	asyncQ      []asyncMsg
+	flushArmed  bool
+}
+
+type asyncMsg struct {
+	b   *buf.Buffer
+	opt Options
 }
 
 func (w *wireConn) Send(msg []byte, opt Options) error {
@@ -147,6 +285,73 @@ func (w *wireConn) Send(msg []byte, opt Options) error {
 		return ErrConnClosed
 	}
 	return err
+}
+
+// TrySend implements the non-blocking send of the Conn contract: it
+// copies msg, reserves budget, and posts the transmission onto the
+// connection's lane, so it is safe from any goroutine — including other
+// connections' OnMessage callbacks (the relay pattern the marshalled
+// Send cannot serve without risking a two-loop deadlock).
+func (w *wireConn) TrySend(msg []byte, opt Options) error {
+	n := int64(len(msg))
+	if w.asyncBytes.Add(n) > w.asyncBudget {
+		w.asyncBytes.Add(-n)
+		return ErrWouldBlock
+	}
+	b := buf.From(msg)
+	if !w.sc.Post(func() { w.asyncDeliver(b, opt) }) {
+		w.asyncBytes.Add(-n)
+		b.Release()
+		return ErrConnClosed
+	}
+	return nil
+}
+
+// asyncDeliver runs on the loop: datagrams keep TrySend order, so
+// anything behind a queued datagram queues too.
+func (w *wireConn) asyncDeliver(b *buf.Buffer, opt Options) {
+	if len(w.asyncQ) > 0 {
+		w.asyncQ = append(w.asyncQ, asyncMsg{b, opt})
+		w.armFlush()
+		return
+	}
+	err := w.inner.Send(b.Bytes(), opt)
+	if errors.Is(err, ErrWouldBlock) {
+		w.asyncQ = append(w.asyncQ, asyncMsg{b, opt})
+		w.armFlush()
+		return
+	}
+	// Sent — or a terminal error (connection closed), in which case the
+	// datagram falls exactly like data in flight at Close.
+	w.asyncBytes.Add(-int64(b.Len()))
+	b.Release()
+}
+
+func (w *wireConn) armFlush() {
+	if !w.flushArmed {
+		w.flushArmed = true
+		w.sc.OnWritable(w.flushAsync)
+	}
+}
+
+// flushAsync runs on the loop when the transport's send queue drains to
+// its low-water mark: the retry pump for queued TrySend datagrams.
+func (w *wireConn) flushAsync() {
+	for len(w.asyncQ) > 0 {
+		m := w.asyncQ[0]
+		err := w.inner.Send(m.b.Bytes(), m.opt)
+		if errors.Is(err, ErrWouldBlock) {
+			return // the next OnWritable edge resumes
+		}
+		// Sent, or a non-retryable error (oversized record, connection
+		// closing): either way this datagram leaves the queue — dropping
+		// just it, not its successors, keeps a single bad datagram from
+		// killing the stream.
+		w.asyncQ[0] = asyncMsg{}
+		w.asyncQ = w.asyncQ[1:]
+		w.asyncBytes.Add(-int64(m.b.Len()))
+		m.b.Release()
+	}
 }
 
 func (w *wireConn) Recv() (msg []byte, ok bool) {
@@ -200,6 +405,16 @@ func (u wireUDPConn) Send(msg []byte, opt Options) error {
 	// Like the simulated shim: no send queue, priority and squash are
 	// meaningless but harmless.
 	return u.c.Send(msg)
+}
+func (u wireUDPConn) TrySend(msg []byte, opt Options) error {
+	switch err := u.c.TrySend(msg); {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrWouldBlock):
+		return ErrWouldBlock
+	default:
+		return ErrConnClosed
+	}
 }
 func (u wireUDPConn) Recv() ([]byte, bool)      { return u.c.Recv() }
 func (u wireUDPConn) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }

@@ -39,10 +39,10 @@ func echoServer(t *testing.T, proto Protocol) (addr string, stop func()) {
 			c.OnMessage(func(msg []byte) {
 				// The delivery buffer recycles when this callback returns;
 				// Send consumes msg before returning, so echoing it straight
-				// back is within the ownership rules.
-				if err := c.Send(msg, Options{}); err != nil {
-					t.Errorf("echo send: %v", err)
-				}
+				// back is within the ownership rules. Echo errors are not
+				// reported: during teardown echoes race client closes, and a
+				// genuinely lost echo fails the client-side assertions.
+				c.Send(msg, Options{})
 			})
 		}
 	}()
