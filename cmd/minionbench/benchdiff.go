@@ -16,6 +16,13 @@ import (
 //   - any allocs_per_op regression (beyond float jitter) FAILS the run —
 //     allocation counts are deterministic, a rise is a real leak of the
 //     zero-copy discipline;
+//   - goroutines regressions beyond -goroutine-tol FAIL the run —
+//     goroutine counts at full load are structural (readers per
+//     connection, loops per core), so growth means a runtime-shape
+//     regression, the exact thing the poll mode exists to prevent;
+//   - write_syscalls_per_datagram regressions beyond -syscall-tol FAIL
+//     the run — the writev coalescing ratio is load-shaped and
+//     deterministic at a fixed window, so a rise means batching broke;
 //   - ns_per_op regressions beyond the tolerance are FLAGGED (warnings;
 //     shared CI runners are too noisy for wall time to be a hard gate)
 //     unless -fail-ns promotes them to failures.
@@ -28,6 +35,8 @@ func runBenchDiff(args []string) error {
 	newDir := fs.String("new", "", "directory of the fresh BENCH_*.json")
 	nsTol := fs.Float64("ns-tol", 10, "ns_per_op regression tolerance, percent")
 	failNS := fs.Bool("fail-ns", false, "treat ns_per_op regressions as failures, not warnings")
+	gorTol := fs.Float64("goroutine-tol", 10, "goroutines regression tolerance, percent (hard fail)")
+	sysTol := fs.Float64("syscall-tol", 15, "write_syscalls_per_datagram regression tolerance, percent (hard fail)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,6 +75,25 @@ func runBenchDiff(args []string) error {
 			// (timer alignment); anything more is a regression.
 			if na > oa+0.5 {
 				fmt.Printf("FAIL %s: allocs_per_op %.1f -> %.1f (any allocation regression fails)\n", name, oa, na)
+				failures++
+			}
+		}
+		if og, ng, ok := field(oldRec, newRec, "goroutines"); ok && og > 0 {
+			// A couple of goroutines of absolute slack: the count is
+			// sampled at full load and accept/test scaffolding can drift
+			// by one or two without meaning anything.
+			if ng > og*(1+*gorTol/100) && ng > og+2 {
+				fmt.Printf("FAIL %s: goroutines %.0f -> %.0f (+%.1f%% > %.0f%%: runtime-shape regression)\n",
+					name, og, ng, (ng-og)/og*100, *gorTol)
+				failures++
+			}
+		}
+		if os_, ns_, ok := field(oldRec, newRec, "write_syscalls_per_datagram"); ok && os_ > 0 {
+			// Absolute slack of 0.005 syscalls/datagram keeps sub-window
+			// float jitter from tripping the gate at tiny ratios.
+			if ns_ > os_*(1+*sysTol/100) && ns_ > os_+0.005 {
+				fmt.Printf("FAIL %s: write_syscalls_per_datagram %.4f -> %.4f (+%.1f%% > %.0f%%: batching regression)\n",
+					name, os_, ns_, (ns_-os_)/os_*100, *sysTol)
 				failures++
 			}
 		}

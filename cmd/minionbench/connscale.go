@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,11 +21,12 @@ import (
 
 // connScaleResult is the machine-readable record per connection count:
 // how the real-socket substrate behaves as loopback connections scale
-// from one to thousands in shared-loop mode. Written as BENCH_<conns>.json
-// (its own directory, so stack-index BENCH_<n>.json files never collide).
+// from one to thousands. Written as BENCH_<conns>.json (its own
+// directory, so stack-index BENCH_<n>.json files never collide); the UDP
+// variant writes BENCH_udp_<conns>.json.
 type connScaleResult struct {
 	Conns       int    `json:"conns"`
-	Mode        string `json:"mode"`  // "shared" or "dedicated" loops
+	Mode        string `json:"mode"`  // "poll", "shared" or "dedicated" loops
 	Loops       int    `json:"loops"` // loops per side (client and server group each; 0 in dedicated mode)
 	Stack       string `json:"stack"`
 	MsgsPerConn int    `json:"msgs_per_conn"`
@@ -41,13 +44,21 @@ type connScaleResult struct {
 	// except under partial-write pressure), so per-datagram values are
 	// tight lower bounds; the datagram denominator counts both directions
 	// on both sides (each round trip = 2 datagrams written and 2 read
-	// process-wide).
+	// process-wide). Poll wakeups are epoll_wait returns carrying events
+	// (zero outside poll mode).
 	WriteSyscallsPerDatagram float64 `json:"write_syscalls_per_datagram"`
 	ReadSyscallsPerDatagram  float64 `json:"read_syscalls_per_datagram"`
 	WriteBufsPerCall         float64 `json:"write_bufs_per_call"` // writev coalescing ratio
+	PollWakeupsPerDatagram   float64 `json:"poll_wakeups_per_datagram"`
+
+	// UDP variant only: the sendmmsg/recvmmsg batching economics.
+	UDPSendSyscallsPerDatagram float64 `json:"udp_send_syscalls_per_datagram,omitempty"`
+	UDPRecvSyscallsPerDatagram float64 `json:"udp_recv_syscalls_per_datagram,omitempty"`
+	UDPDatagramsPerSendCall    float64 `json:"udp_datagrams_per_send_call,omitempty"`
+	UDPDatagramsPerRecvCall    float64 `json:"udp_datagrams_per_recv_call,omitempty"`
 }
 
-// runConnScale drives the shared-loop substrate at each connection count
+// runConnScale drives the real-socket substrate at each connection count
 // and writes one BENCH_<conns>.json per count into dir.
 func runConnScale(args []string) error {
 	fs := flag.NewFlagSet("connscale", flag.ExitOnError)
@@ -57,9 +68,43 @@ func runConnScale(args []string) error {
 	loops := fs.Int("loops", 0, "event loops per side (0 = GOMAXPROCS)")
 	window := fs.Int("window", 16, "self-clocked datagrams in flight per connection")
 	totalOps := fs.Int("ops", 65536, "target total round trips per count (min 8 per conn)")
-	dedicated := fs.Bool("dedicated", false, "per-connection loops instead of shared (the PR-2 baseline shape)")
+	mode := fs.String("mode", "poll", "loop mode: poll (falls back to shared off-Linux), shared, dedicated")
+	dedicated := fs.Bool("dedicated", false, "alias for -mode dedicated (the PR-2 baseline shape)")
+	udp := fs.Bool("udp", false, "measure the UDP shim instead (sendmmsg/recvmmsg batching), writing BENCH_udp_<conns>.json")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the whole sweep")
+	memprofile := fs.String("memprofile", "", "write an allocation profile covering the whole sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		runtime.MemProfileRate = 1
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
+	if *dedicated {
+		*mode = "dedicated"
+	}
+	switch *mode {
+	case "poll", "shared", "dedicated":
+	default:
+		return fmt.Errorf("bad -mode %q (want poll, shared or dedicated)", *mode)
 	}
 	var counts []int
 	for _, f := range strings.Split(*connsList, ",") {
@@ -78,11 +123,21 @@ func runConnScale(args []string) error {
 			fmt.Fprintf(os.Stderr, "connscale: %d conns: fd limit: %v (skipping)\n", n, err)
 			continue
 		}
-		res, err := connScaleOnce(n, *loops, *msgBytes, *window, *totalOps, *dedicated)
+		var res connScaleResult
+		var err error
+		if *udp {
+			res, err = connScaleUDPOnce(n, *msgBytes, *window, *totalOps)
+		} else {
+			res, err = connScaleOnce(n, *loops, *msgBytes, *window, *totalOps, *mode)
+		}
 		if err != nil {
 			return fmt.Errorf("%d conns: %w", n, err)
 		}
-		path := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", n))
+		name := fmt.Sprintf("BENCH_%d.json", n)
+		if *udp {
+			name = fmt.Sprintf("BENCH_udp_%d.json", n)
+		}
+		path := filepath.Join(*dir, name)
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			return err
@@ -90,13 +145,18 @@ func runConnScale(args []string) error {
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("%5d conns %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f wr-syscalls/dgram %6.1f bufs/writev -> %s\n",
-			res.Conns, res.NsPerOp, res.AllocsPerOp, res.Goroutines, res.WriteSyscallsPerDatagram, res.WriteBufsPerCall, path)
+		if *udp {
+			fmt.Printf("%5d conns %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f snd-syscalls/dgram %6.1f dgrams/sendmmsg -> %s\n",
+				res.Conns, res.NsPerOp, res.AllocsPerOp, res.Goroutines, res.UDPSendSyscallsPerDatagram, res.UDPDatagramsPerSendCall, path)
+		} else {
+			fmt.Printf("%5d conns [%s] %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f wr-syscalls/dgram %6.1f bufs/writev %6.3f wakeups/dgram -> %s\n",
+				res.Conns, res.Mode, res.NsPerOp, res.AllocsPerOp, res.Goroutines, res.WriteSyscallsPerDatagram, res.WriteBufsPerCall, res.PollWakeupsPerDatagram, path)
+		}
 	}
 	return nil
 }
 
-func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, dedicated bool) (connScaleResult, error) {
+func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (connScaleResult, error) {
 	msgs := totalOps / nConns
 	if msgs < 8 {
 		msgs = 8
@@ -109,11 +169,16 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, dedicated bool
 		loopCount = runtime.GOMAXPROCS(0)
 	}
 	lnLoops := loopCount
+	lnMode := minion.LoopShared
+	if mode == "poll" {
+		lnMode = minion.LoopPoll
+	}
+	dedicated := mode == "dedicated"
 	if dedicated {
 		lnLoops = 0 // per-connection loops on both sides
 	}
 
-	ln, err := minion.ListenConfig{TCPConfig: minion.TCPConfig{NoDelay: true}, Loops: lnLoops}.
+	ln, err := minion.ListenConfig{TCPConfig: minion.TCPConfig{NoDelay: true}, Loops: lnLoops, Mode: lnMode}.
 		Listen(minion.ProtoUCOBSTCP, "tcp", "127.0.0.1:0")
 	if err != nil {
 		return connScaleResult{}, err
@@ -142,10 +207,12 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, dedicated bool
 	}()
 
 	dc := minion.DialConfig{TCPConfig: minion.TCPConfig{NoDelay: true}}
+	resMode := "dedicated"
 	if !dedicated {
-		g := minion.NewLoopGroup(loopCount)
+		g := minion.NewLoopGroupMode(loopCount, lnMode)
 		defer g.Close()
 		dc.Group = g
+		resMode = g.Mode() // actual, after any platform fallback
 	}
 
 	type client struct {
@@ -236,13 +303,13 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, dedicated bool
 
 	ops := nConns * msgs // round trips
 	dgrams := float64(2 * ops)
-	mode, resLoops := "shared", loopCount
+	resLoops := loopCount
 	if dedicated {
-		mode, resLoops = "dedicated", 0
+		resLoops = 0
 	}
 	return connScaleResult{
 		Conns:                    nConns,
-		Mode:                     mode,
+		Mode:                     resMode,
 		Loops:                    resLoops,
 		Stack:                    minion.ProtoUCOBSTCP.String(),
 		MsgsPerConn:              msgs,
@@ -258,6 +325,156 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, dedicated bool
 		WriteBufsPerCall: safeDiv(
 			float64(ioAfter.TCPWriteBufs-ioBefore.TCPWriteBufs),
 			float64(ioAfter.TCPWriteCalls-ioBefore.TCPWriteCalls)),
+		PollWakeupsPerDatagram: float64(ioAfter.PollWakeups-ioBefore.PollWakeups) / dgrams,
+	}, nil
+}
+
+// connScaleUDPOnce mirrors connScaleOnce over the UDP shim: nConns
+// loopback socket pairs echo self-clocked windows, quantifying the
+// sendmmsg/recvmmsg batch win as syscalls per datagram. The UDP shim has
+// no shared-loop mode — each endpoint owns its loop and reader — so the
+// interesting columns are the syscall ratios, not goroutines.
+func connScaleUDPOnce(nConns, msgBytes, window, totalOps int) (connScaleResult, error) {
+	msgs := totalOps / nConns
+	if msgs < 8 {
+		msgs = 8
+	}
+	if window > msgs {
+		window = msgs
+	}
+
+	type upair struct {
+		a, b     *wire.UDPConn
+		sent     atomic.Int64
+		received atomic.Int64
+		finished atomic.Bool
+	}
+	pairs := make([]*upair, 0, nConns)
+	defer func() {
+		for _, p := range pairs {
+			p.a.Close()
+			p.b.Close()
+		}
+	}()
+	for i := 0; i < nConns; i++ {
+		ncA, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return connScaleResult{}, err
+		}
+		ncB, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			ncA.Close()
+			return connScaleResult{}, err
+		}
+		p := &upair{
+			a: wire.NewUDPConn(ncA, ncB.LocalAddr()),
+			b: wire.NewUDPConn(ncB, ncA.LocalAddr()),
+		}
+		pairs = append(pairs, p)
+	}
+
+	msg := make([]byte, msgBytes)
+	var done sync.WaitGroup
+	done.Add(nConns)
+	for _, p := range pairs {
+		p := p
+		// Echo side: reflect every datagram (Send from the shim's own
+		// loop callback runs inline — reentrancy-safe Do).
+		p.b.OnMessage(func(m []byte) { p.b.Send(m) })
+		p.a.OnMessage(func([]byte) {
+			n := p.received.Add(1)
+			switch {
+			case n == int64(msgs):
+				if p.finished.CompareAndSwap(false, true) {
+					done.Done()
+				}
+			case n > int64(msgs):
+			default:
+				if p.sent.Add(1) <= int64(msgs) {
+					p.a.TrySend(msg)
+				}
+			}
+		})
+	}
+
+	runtime.GC()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	ioBefore := wire.ReadIOStats()
+	t0 := time.Now()
+	for _, p := range pairs {
+		p.sent.Store(int64(window))
+		for j := 0; j < window; j++ {
+			if err := p.a.TrySend(msg); err != nil {
+				return connScaleResult{}, fmt.Errorf("seed: %w", err)
+			}
+		}
+	}
+	goroutines := runtime.NumGoroutine()
+	waitDone := make(chan struct{})
+	go func() { done.Wait(); close(waitDone) }()
+	// UDP is lossy even on loopback: a dropped datagram shrinks a pair's
+	// self-clocked window forever. The top-up pump re-injects one
+	// datagram into any pair that made no progress over its interval, so
+	// a rare drop costs latency, not liveness.
+	pumpStop := make(chan struct{})
+	defer close(pumpStop)
+	go func() {
+		last := make([]int64, len(pairs))
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pumpStop:
+				return
+			case <-tick.C:
+				for i, p := range pairs {
+					got := p.received.Load()
+					if !p.finished.Load() && got == last[i] {
+						p.sent.Add(1)
+						p.a.TrySend(msg)
+					}
+					last[i] = got
+				}
+			}
+		}
+	}()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Minute):
+		return connScaleResult{}, fmt.Errorf("timed out (%d conns)", nConns)
+	}
+	elapsed := time.Since(t0)
+	ioAfter := wire.ReadIOStats()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+
+	ops := nConns * msgs
+	// Datagram denominator from the counters themselves: the pump can
+	// inject extras beyond the nominal 2 per round trip.
+	sendDgrams := float64(ioAfter.UDPSendDatagrams - ioBefore.UDPSendDatagrams)
+	recvDgrams := float64(ioAfter.UDPRecvDatagrams - ioBefore.UDPRecvDatagrams)
+	return connScaleResult{
+		Conns:             nConns,
+		Mode:              "dedicated",
+		Loops:             0,
+		Stack:             "udp",
+		MsgsPerConn:       msgs,
+		MsgBytes:          msgBytes,
+		Window:            window,
+		Iterations:        ops,
+		NsPerOp:           float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp:       float64(memAfter.Mallocs-memBefore.Mallocs) / float64(ops),
+		Goroutines:        goroutines,
+		GoroutinesPerConn: float64(goroutines) / float64(2*nConns),
+		UDPSendSyscallsPerDatagram: safeDiv(
+			float64(ioAfter.UDPSendCalls-ioBefore.UDPSendCalls), sendDgrams),
+		UDPRecvSyscallsPerDatagram: safeDiv(
+			float64(ioAfter.UDPRecvCalls-ioBefore.UDPRecvCalls), recvDgrams),
+		UDPDatagramsPerSendCall: safeDiv(sendDgrams,
+			float64(ioAfter.UDPSendCalls-ioBefore.UDPSendCalls)),
+		UDPDatagramsPerRecvCall: safeDiv(recvDgrams,
+			float64(ioAfter.UDPRecvCalls-ioBefore.UDPRecvCalls)),
 	}, nil
 }
 

@@ -1,0 +1,74 @@
+package rt
+
+import (
+	"context"
+	"runtime/pprof"
+	_ "unsafe" // for go:linkname
+)
+
+// Goroutine-identity fast path for Loop.Do's reentrancy check.
+//
+// Do must know whether the caller already is the loop's event goroutine
+// (run fn inline) or not (marshal it in and wait). The portable answer —
+// parse the goroutine id out of runtime.Stack — costs microseconds per
+// call and serializes every caller on a global runtime print lock, which
+// dominates the marshal-free hot path it exists to enable (Send from
+// inside an OnMessage callback, the echo/relay shape).
+//
+// The fast path piggybacks on the runtime's goroutine-local profiler
+// label slot: at startup the event goroutine installs a loop-identifying
+// profiler label through the public pprof API (so the slot always holds
+// a valid label map that every profile consumer can walk — the slot is
+// never abused to store a foreign pointer), remembers the installed
+// map's address, and Do compares the caller's slot against it — two
+// loads and a pointer compare, a few nanoseconds. Only the getter needs
+// a go:linkname pull (there is no public read API); it is the same
+// symbol runtime/pprof itself links against, push-linknamed by the
+// runtime under exactly this name, and the standard goroutine-local
+// idiom. A side benefit: event goroutines show up in CPU and goroutine
+// profiles labeled rt-loop=event.
+//
+// Correctness under label clobbering: code running on the event
+// goroutine may legitimately install its own profiler labels
+// (pprof.SetGoroutineLabels) and replace the marker. The marker is
+// therefore a one-sided proof — a hit is definitive (label slots are
+// goroutine-local and each loop's label map allocation is unique), while
+// a miss falls back to the slow goroutine-id comparison, reinstalling
+// the marker for the next call. Callers never see a wrong answer, only a
+// slower one. The reverse misattribution is impossible unless user code
+// explicitly copies this loop's label context onto another goroutine,
+// which the pprof API does not do by itself.
+
+//go:linkname profLabelGet runtime/pprof.runtime_getProfLabel
+func profLabelGet() labelPointer
+
+// labelPointer mirrors unsafe.Pointer for the label slot without
+// importing unsafe into the signature; the value is only ever compared,
+// never dereferenced here (profilers dereference it, which is why it
+// must always point at a genuine pprof label map).
+type labelPointer = *byte
+
+// markEventGoroutine is called once by the event goroutine: it installs
+// the loop's marker label and records the installed map's address.
+func (l *Loop) markEventGoroutine() {
+	if l.labelCtx == nil {
+		l.labelCtx = pprof.WithLabels(context.Background(), pprof.Labels("rt-loop", "event"))
+	}
+	pprof.SetGoroutineLabels(l.labelCtx)
+	l.marker = profLabelGet()
+}
+
+// onEventGoroutine reports whether the caller is l's event goroutine:
+// marker hit is definitive, miss falls back to goroutine-id parsing (and
+// reinstalls the marker when the slow path proves we are the event
+// goroutine after all).
+func (l *Loop) onEventGoroutine() bool {
+	if m := l.marker; m != nil && profLabelGet() == m {
+		return true
+	}
+	if goid() == l.goid {
+		pprof.SetGoroutineLabels(l.labelCtx)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,2 @@
+// Empty assembly file: permits the bodyless go:linkname declarations
+// in gls_linkname.go (standard pull-linkname requirement).

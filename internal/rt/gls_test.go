@@ -1,0 +1,71 @@
+package rt
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEventGoroutineMarkerIsValidProfLabel guards the goroutine-identity
+// fast path's contract with the runtime: the marker planted in the
+// event goroutine's profiler-label slot must be a genuine pprof label
+// map, because every profile consumer dereferences the slot. A goroutine
+// profile at debug level 1 walks the labels of every goroutine — with a
+// bogus pointer in the slot this crashes or fabricates labels; with the
+// real label it must print the loop marker.
+func TestEventGoroutineMarkerIsValidProfLabel(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	// Exercise both identity paths: marshalled (other goroutine) and
+	// inline (reentrant Do from the event goroutine).
+	ok := false
+	if !l.Do(func() { ok = l.Do(func() {}) }) {
+		t.Fatal("Do failed on a live loop")
+	}
+	if !ok {
+		t.Fatal("reentrant Do failed")
+	}
+	// The event goroutine may be mid-transition when the profile
+	// snapshots (a goroutine in flight can miss a snapshot entirely), so
+	// allow a few attempts for it to settle into its parked state.
+	var buf bytes.Buffer
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		buf.Reset()
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+			t.Fatalf("goroutine profile: %v", err)
+		}
+		if strings.Contains(buf.String(), "rt-loop") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("event goroutine's rt-loop marker label never visible in the goroutine profile:\n%.2000s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDoInlineAfterLabelClobber: user code replacing the goroutine's
+// profiler labels must only slow the identity check down, never break
+// it — and the marker must be reinstalled for the next call.
+func TestDoInlineAfterLabelClobber(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	ran := false
+	l.Do(func() {
+		// Clobber the marker with an ordinary user label set.
+		pprof.SetGoroutineLabels(pprof.WithLabels(t.Context(), pprof.Labels("user", "labels")))
+		// The reentrant Do must still detect the event goroutine (slow
+		// path) and run inline rather than deadlocking on a marshalled
+		// post to ourselves.
+		l.Do(func() { ran = true })
+		if profLabelGet() != l.marker {
+			t.Error("marker not reinstalled after slow-path detection")
+		}
+	})
+	if !ran {
+		t.Fatal("reentrant Do did not run after label clobber")
+	}
+}

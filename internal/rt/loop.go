@@ -1,13 +1,48 @@
 package rt
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Parker integrates an external event source with a Loop's parking: when
+// one is installed, the event goroutine sleeps inside Park (typically a
+// kernel readiness wait — epoll_wait over the loop's sockets) instead of
+// on its internal channel, so I/O readiness and lane posts share one
+// parking mechanism and a readiness event wakes the event goroutine
+// directly, with no intermediate goroutine hop.
+//
+// The contract:
+//
+//   - Park is called only by the event goroutine, with no loop lock held,
+//     and blocks until Wake is called, an external event arrives, or d
+//     elapses (d < 0 means indefinitely). It may deliver events before
+//     returning — raising Signals or posting to the loop's lanes is safe
+//     and is the intended delivery path.
+//   - Park may return spuriously; the loop re-checks all work (timers,
+//     lanes) after every return, so a conservative Park is always
+//     correct.
+//   - Wake must be safe from any goroutine at any time and must unpark a
+//     concurrent or subsequent Park. Wakes may coalesce. A Wake may be
+//     elided only if the parker can prove the event goroutine is not and
+//     will not be parked before it next re-checks work (e.g. the call
+//     arrives from inside Park's own dispatch phase).
+//   - Park's timeout may be honored at a coarser granularity than the
+//     Loop's clock (epoll_wait is millisecond-grained); timers then fire
+//     up to one granule late, never early.
+type Parker interface {
+	Park(d time.Duration)
+	Wake()
+}
+
+// parkerBox wraps a Parker for atomic publication.
+type parkerBox struct{ p Parker }
 
 // Loop is the wall-clock Runtime: a monotonic clock (time since NewLoop),
 // a hashed timer wheel ordered by (deadline, schedule sequence) exactly
@@ -29,8 +64,10 @@ import (
 // connection from starving the rest. See LoopGroup for distributing
 // connections across a loop per core.
 type Loop struct {
-	start time.Time
-	goid  int64 // event goroutine id, for Do reentrancy detection
+	start    time.Time
+	goid     int64           // event goroutine id, for Do reentrancy detection (slow path)
+	marker   labelPointer    // address of the installed marker label map (fast identity check)
+	labelCtx context.Context // carries the marker label; reinstalls after clobbering
 
 	mu      sync.Mutex
 	wheel   wheel
@@ -47,8 +84,9 @@ type Loop struct {
 	sleeping bool
 	sleepAt  time.Duration // deadline the sleep was armed for; -1 = indefinite
 
-	wake chan struct{} // 1-buffered poke for the event goroutine
-	done chan struct{} // closed when the event goroutine exits
+	wake   chan struct{}             // 1-buffered poke for the event goroutine
+	done   chan struct{}             // closed when the event goroutine exits
+	parker atomic.Pointer[parkerBox] // optional external parking mechanism
 }
 
 // NewLoop starts a wall-clock runtime. The caller must Close it when done
@@ -110,7 +148,7 @@ func (l *Loop) Post(fn func()) { l.defLane.Post(fn) }
 // inline, so protocol callbacks may re-enter the API without deadlock.
 // Do returns false, without running fn, if the loop is closed.
 func (l *Loop) Do(fn func()) bool {
-	if goid() == l.goid {
+	if l.onEventGoroutine() {
 		fn()
 		return true
 	}
@@ -145,12 +183,30 @@ func (l *Loop) Close() {
 		return
 	}
 	l.poke()
-	if goid() != l.goid {
+	if !l.onEventGoroutine() {
 		<-l.done
 	}
 }
 
+// SetParker installs p as the loop's parking mechanism: every subsequent
+// park of the event goroutine happens inside p.Park, and every poke
+// (posts, schedules, close) routes through p.Wake. A loop parked on the
+// internal channel at install time is woken so it re-parks through p.
+// Install before the loop carries traffic; installing a second parker is
+// not supported.
+func (l *Loop) SetParker(p Parker) {
+	l.parker.Store(&parkerBox{p})
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
 func (l *Loop) poke() {
+	if pb := l.parker.Load(); pb != nil {
+		pb.p.Wake()
+		return
+	}
 	select {
 	case l.wake <- struct{}{}:
 	default:
@@ -205,6 +261,7 @@ func (ln *Lane) Loop() *Loop { return ln.l }
 // otherwise sleep until the next deadline or a poke.
 func (l *Loop) run(ready chan<- struct{}) {
 	l.goid = goid()
+	l.markEventGoroutine()
 	close(ready)
 	defer close(l.done)
 	sleep := time.NewTimer(time.Hour)
@@ -280,11 +337,19 @@ func (l *Loop) run(ready chan<- struct{}) {
 			lane.spare = batch
 			continue
 		}
-		if wait < 0 {
-			<-l.wake
+		if wait == 0 {
 			continue
 		}
-		if wait == 0 {
+		if pb := l.parker.Load(); pb != nil {
+			// External parking: the event goroutine sleeps in the parker
+			// (epoll_wait), which delivers readiness events — lane posts
+			// through Signals — before returning; the next iteration
+			// services them alongside timers.
+			pb.p.Park(wait)
+			continue
+		}
+		if wait < 0 {
+			<-l.wake
 			continue
 		}
 		if !sleep.Stop() {

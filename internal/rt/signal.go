@@ -1,0 +1,54 @@
+package rt
+
+import "sync/atomic"
+
+// Signal is a coalescing edge into a lane: Raise schedules the signal's
+// callback on the loop's event goroutine at most once no matter how many
+// times it fires before the callback runs. It is the hand-off shape for
+// level-less event sources — an I/O readiness poller, a hardware edge, a
+// condition another thread keeps re-detecting — where every occurrence
+// means "service me" and servicing is idempotent.
+//
+// Raising a Signal posts through the lane, so signal deliveries share the
+// loop's single parking mechanism with ordinary lane posts and timers: a
+// sleeping loop is poked exactly once, a running loop picks the callback
+// up on its next lane rotation, and per-lane FIFO order against other
+// posts on the same lane is preserved. Raise never allocates (the posted
+// closure is built once, at NewSignal), making it safe to call from a hot
+// event-dispatch path.
+//
+// The callback observes every state change that happened before the Raise
+// that scheduled it: the armed flag is cleared before the callback runs,
+// so an occurrence during the callback re-arms and re-schedules rather
+// than being lost.
+type Signal struct {
+	ln    *Lane
+	armed atomic.Bool
+	run   func()
+}
+
+// NewSignal returns a Signal whose Raise schedules fn on the lane. fn
+// must tolerate spurious calls (a Raise that finds no work), the price of
+// coalescing.
+func (ln *Lane) NewSignal(fn func()) *Signal {
+	s := &Signal{ln: ln}
+	s.run = func() {
+		s.armed.Store(false)
+		fn()
+	}
+	return s
+}
+
+// Raise schedules the callback unless one is already pending. It is safe
+// from any goroutine and reports false once the loop has closed (the
+// callback will never run).
+func (s *Signal) Raise() bool {
+	if !s.armed.CompareAndSwap(false, true) {
+		return true // a pending callback will observe this occurrence
+	}
+	if !s.ln.Post(s.run) {
+		s.armed.Store(false)
+		return false
+	}
+	return true
+}

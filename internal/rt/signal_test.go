@@ -1,0 +1,105 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSignalCoalescesRaises(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	ln := l.NewLane()
+
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	s := ln.NewSignal(func() {
+		runs.Add(1)
+		<-gate
+	})
+	// First Raise schedules; the rest land while the callback is pending
+	// or running and must coalesce into at most one more run.
+	s.Raise()
+	for i := 0; i < 100; i++ {
+		s.Raise()
+	}
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for runs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("signal callback never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Let any second (re-armed) run land, then verify 100 raises did not
+	// become 100 runs.
+	l.Do(func() {})
+	if n := runs.Load(); n > 2 {
+		t.Fatalf("101 raises produced %d runs, want <= 2", n)
+	}
+}
+
+func TestSignalEveryRaiseObserved(t *testing.T) {
+	// The armed flag clears before the callback runs, so work recorded
+	// before any Raise is always picked up — no lost wakeups under
+	// concurrent raisers.
+	l := NewLoop()
+	defer l.Close()
+	ln := l.NewLane()
+
+	var mu sync.Mutex
+	pending := 0
+	consumed := 0
+	var s *Signal
+	s = ln.NewSignal(func() {
+		mu.Lock()
+		consumed += pending
+		pending = 0
+		mu.Unlock()
+	})
+	const producers = 8
+	const perProducer = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				mu.Lock()
+				pending++
+				mu.Unlock()
+				s.Raise()
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := consumed == producers*perProducer
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("consumed %d of %d produced units (lost wakeup)", consumed, producers*perProducer)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSignalRaiseAfterClose(t *testing.T) {
+	l := NewLoop()
+	ln := l.NewLane()
+	s := ln.NewSignal(func() { t.Error("callback ran after close") })
+	l.Close()
+	if s.Raise() {
+		t.Fatal("Raise reported scheduling on a closed loop")
+	}
+	// A failed Raise must disarm so callers can keep raising harmlessly.
+	if s.Raise() {
+		t.Fatal("second Raise reported scheduling on a closed loop")
+	}
+}

@@ -6,35 +6,121 @@ import (
 	"minion/internal/rt"
 )
 
+// Mode selects how a Group's loops move bytes between sockets and
+// connection state.
+type Mode int
+
+const (
+	// ModeShared is the PR-3 shape: one netWriter goroutine per loop
+	// rotating 20 ms fairness slices across dirty connections, plus one
+	// blocking reader goroutine per connection.
+	ModeShared Mode = iota
+	// ModePoll is the readiness-driven shape: one poller (epoll on Linux)
+	// per loop registers every connection's fd edge-triggered, reads and
+	// writes run non-blocking on the event goroutine, and a stalled peer
+	// parks until the kernel reports writability. Zero goroutines per
+	// connection; falls back to ModeShared where the platform has no
+	// poller.
+	ModePoll
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeShared:
+		return "shared"
+	case ModePoll:
+		return "poll"
+	}
+	return "invalid"
+}
+
+// DefaultMode is the Group mode NewGroup picks: poll where the platform
+// supports it (Linux), shared elsewhere.
+func DefaultMode() Mode {
+	if pollSupported {
+		return ModePoll
+	}
+	return ModeShared
+}
+
 // Group is the shared-loop runtime for wire connections: an rt.LoopGroup
-// (a loop per core by default) plus one shared netWriter per loop. A
-// connection attached to a Group costs one goroutine (its socket reader)
-// instead of three; the loop's event goroutine and the loop's writer are
-// amortized across every connection assigned to it.
+// (a loop per core by default) plus, per loop, a shared netWriter and —
+// in poll mode — a readiness poller. A connection attached to a poll
+// Group costs zero goroutines (the loop's event, poller, and writer
+// goroutines are amortized across every connection assigned to it); in
+// shared mode it costs one (its blocking socket reader).
 //
 // Shutdown is reference-counted: Close marks the group closed, but the
-// loops and writers keep running until the last attached connection
-// detaches, so closing a listener never yanks the runtime out from under
-// established connections.
+// loops, writers, and pollers keep running until the last attached
+// connection detaches, so closing a listener never yanks the runtime out
+// from under established connections.
 type Group struct {
 	mu      sync.Mutex
 	lg      *rt.LoopGroup
 	writers map[*rt.Loop]*netWriter
+	pollers map[*rt.Loop]*poller
+	mode    Mode
 	refs    int
 	closed  bool
 }
 
 // NewGroup starts a shared-loop runtime of n loops (n <= 0 means
-// GOMAXPROCS — loop per core). Close it when no more connections will be
-// attached.
-func NewGroup(n int) *Group {
+// GOMAXPROCS — loop per core) in the platform's default mode. Close it
+// when no more connections will be attached.
+func NewGroup(n int) *Group { return NewGroupMode(n, DefaultMode()) }
+
+// NewGroupMode starts a group in an explicit mode. ModePoll degrades to
+// ModeShared where the platform has no poller (check Mode() for the
+// outcome).
+func NewGroupMode(n int, mode Mode) *Group {
+	if mode == ModePoll && !pollSupported {
+		mode = ModeShared
+	}
 	lg := rt.NewLoopGroup(n)
-	g := &Group{lg: lg, writers: make(map[*rt.Loop]*netWriter, lg.Len())}
+	g := &Group{
+		lg:      lg,
+		writers: make(map[*rt.Loop]*netWriter, lg.Len()),
+		pollers: make(map[*rt.Loop]*poller, lg.Len()),
+		mode:    mode,
+	}
 	for i := 0; i < lg.Len(); i++ {
+		// The netWriter exists in every mode: poll-mode groups hand it to
+		// connections whose socket cannot be polled (non-TCP net.Conns,
+		// registration failure), so attach never fails backward.
 		g.writers[lg.Loop(i)] = newNetWriter()
+	}
+	if mode == ModePoll {
+		// Create every poller before installing any as its loop's parker:
+		// a partially-degraded group (some loops parked in epoll, some
+		// not) would be incoherent, and a poller may not be closed once a
+		// live loop parks through it.
+		for i := 0; i < lg.Len(); i++ {
+			p, ok := newPoller()
+			if !ok {
+				// Kernel refused an epoll instance: degrade the whole
+				// group coherently rather than running half-poll.
+				for _, q := range g.pollers {
+					q.close()
+				}
+				g.pollers = make(map[*rt.Loop]*poller)
+				g.mode = ModeShared
+				break
+			}
+			g.pollers[lg.Loop(i)] = p
+		}
+		for loop, p := range g.pollers {
+			// The loop's event goroutine now parks inside epoll_wait:
+			// socket readiness and lane posts wake it through one
+			// mechanism, with no poller goroutine in between.
+			loop.SetParker(p)
+		}
 	}
 	return g
 }
+
+// Mode returns the mode the group actually runs (after any platform
+// fallback).
+func (g *Group) Mode() Mode { return g.mode }
 
 // Len returns the number of loops.
 func (g *Group) Len() int { return g.lg.Len() }
@@ -43,17 +129,29 @@ func (g *Group) Len() int { return g.lg.Len() }
 // the group's loops — the observable side of accept load-balancing.
 func (g *Group) Loads() []int { return g.lg.Loads() }
 
-// assign attaches a connection: least-loaded loop, that loop's writer,
-// and a detach func. ok is false once the group is closed.
-func (g *Group) assign() (loop *rt.Loop, nw *netWriter, release func(), ok bool) {
+// pollRegistrations sums live poller fd registrations across the loops
+// (tests assert it returns to zero after connection churn).
+func (g *Group) pollRegistrations() int {
+	n := 0
+	for _, p := range g.pollers {
+		n += p.registrations()
+	}
+	return n
+}
+
+// assign attaches a connection: least-loaded loop, that loop's writer and
+// poller (nil outside poll mode), and a detach func. ok is false once the
+// group is closed.
+func (g *Group) assign() (loop *rt.Loop, nw *netWriter, pl *poller, release func(), ok bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.closed {
-		return nil, nil, nil, false
+		return nil, nil, nil, nil, false
 	}
 	g.refs++
 	loop = g.lg.Assign()
 	nw = g.writers[loop]
+	pl = g.pollers[loop]
 	var once sync.Once
 	release = func() {
 		once.Do(func() {
@@ -67,11 +165,12 @@ func (g *Group) assign() (loop *rt.Loop, nw *netWriter, release func(), ok bool)
 			}
 		})
 	}
-	return loop, nw, release, true
+	return loop, nw, pl, release, true
 }
 
-// Close stops accepting attachments and shuts the loops and writers down
-// once the last attached connection detaches (immediately if none are).
+// Close stops accepting attachments and shuts the loops, writers, and
+// pollers down once the last attached connection detaches (immediately if
+// none are).
 func (g *Group) Close() {
 	g.mu.Lock()
 	if g.closed {
@@ -90,5 +189,8 @@ func (g *Group) shutdown() {
 	g.lg.Close()
 	for _, w := range g.writers {
 		w.close()
+	}
+	for _, p := range g.pollers {
+		p.close()
 	}
 }

@@ -9,16 +9,29 @@ import "sync/atomic"
 //
 // TCPWriteCalls counts vectored write operations (writev batches) issued
 // to kernel sockets: each is at least one write syscall, and exactly one
-// except when the kernel takes a batch in several partial writes. It is
-// therefore a tight lower bound on write syscalls. TCPWriteBufs counts
-// the application buffers those batches carried, so
-// TCPWriteCalls/TCPWriteBufs is the coalescing ratio the writev path
-// achieves.
+// except when the kernel takes a batch in several partial writes (in poll
+// mode every writev is counted individually, so there the value is
+// exact). TCPWriteBufs counts the application buffers those batches
+// carried, so TCPWriteCalls/TCPWriteBufs is the coalescing ratio the
+// writev path achieves. TCPReadCalls counts socket reads from both the
+// blocking reader goroutines and the poll-mode non-blocking drain
+// (including the EAGAIN probe that ends each drain); TCPReadBytes is the
+// payload those reads returned, so TCPReadBytes/TCPReadCalls is the
+// read-side batching ratio.
+//
+// PollWakeups counts epoll_wait returns with at least one event — the
+// scheduler-visible cost of poll mode — and PollEvents the readiness
+// edges those wakeups carried; PollEvents/PollWakeups is the dispatch
+// batching ratio at the poller.
 type IOStats struct {
 	TCPWriteCalls uint64 // vectored writes issued (≥1 syscall each)
 	TCPWriteBufs  uint64 // pooled buffers carried by those writes
 	TCPWriteBytes uint64
-	TCPReadCalls  uint64 // socket reads issued by reader goroutines
+	TCPReadCalls  uint64 // socket read syscalls (reader goroutines + poll drains)
+	TCPReadBytes  uint64 // bytes those reads returned
+
+	PollWakeups uint64 // epoll_wait returns carrying ≥1 event
+	PollEvents  uint64 // readiness edges dispatched to connections
 
 	UDPSendCalls     uint64 // send syscalls (sendmmsg counts once per call)
 	UDPSendDatagrams uint64
@@ -27,9 +40,11 @@ type IOStats struct {
 }
 
 var iostats struct {
-	tcpWriteCalls, tcpWriteBufs, tcpWriteBytes, tcpReadCalls atomic.Uint64
-	udpSendCalls, udpSendDatagrams                           atomic.Uint64
-	udpRecvCalls, udpRecvDatagrams                           atomic.Uint64
+	tcpWriteCalls, tcpWriteBufs, tcpWriteBytes atomic.Uint64
+	tcpReadCalls, tcpReadBytes                 atomic.Uint64
+	pollWakeups, pollEvents                    atomic.Uint64
+	udpSendCalls, udpSendDatagrams             atomic.Uint64
+	udpRecvCalls, udpRecvDatagrams             atomic.Uint64
 }
 
 // ReadIOStats returns the current counters.
@@ -39,6 +54,9 @@ func ReadIOStats() IOStats {
 		TCPWriteBufs:     iostats.tcpWriteBufs.Load(),
 		TCPWriteBytes:    iostats.tcpWriteBytes.Load(),
 		TCPReadCalls:     iostats.tcpReadCalls.Load(),
+		TCPReadBytes:     iostats.tcpReadBytes.Load(),
+		PollWakeups:      iostats.pollWakeups.Load(),
+		PollEvents:       iostats.pollEvents.Load(),
 		UDPSendCalls:     iostats.udpSendCalls.Load(),
 		UDPSendDatagrams: iostats.udpSendDatagrams.Load(),
 		UDPRecvCalls:     iostats.udpRecvCalls.Load(),

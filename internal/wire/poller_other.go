@@ -1,0 +1,39 @@
+//go:build !linux
+
+package wire
+
+import (
+	"errors"
+	"net"
+)
+
+// Non-Linux platforms have no readiness poller yet (a kqueue counterpart
+// would slot in exactly here): Groups silently fall back to the shared
+// reader/writer shape and every poll hook below is inert, keeping the
+// package portable without build-tagging the core connection code.
+
+// pollSupported selects poll as the default Group mode on this platform.
+const pollSupported = false
+
+var errNoPoller = errors.New("wire: readiness poller not supported on this platform")
+
+type poller struct{}
+
+func newPoller() (*poller, bool) { return nil, false }
+
+func (p *poller) register(c *Conn) (int32, bool) { return 0, false }
+
+func (p *poller) unregister(tok int32, fd int) {}
+
+func (p *poller) registrations() int { return 0 }
+
+func (p *poller) close() {}
+
+func rawFD(nc net.Conn) (int, bool) { return 0, false }
+
+// pollIO is the per-connection platform scratch (nothing portable).
+type pollIO struct{}
+
+func (c *Conn) pollReadFd(p []byte) (int, bool, error) { return 0, false, errNoPoller }
+
+func (c *Conn) pollWritev() (int, bool, error) { return 0, false, errNoPoller }

@@ -17,7 +17,7 @@ import (
 // process).
 func sharedPair(t *testing.T, cfg Config) (*Conn, *Conn) {
 	t.Helper()
-	gA, gB := NewGroup(2), NewGroup(2)
+	gA, gB := NewGroupMode(2, ModeShared), NewGroupMode(2, ModeShared)
 	t.Cleanup(func() { gA.Close(); gB.Close() })
 	cfgA, cfgB := cfg, cfg
 	cfgA.Group, cfgB.Group = gA, gB
@@ -128,7 +128,7 @@ func TestSharedManyConnsOneGroupOrdered(t *testing.T) {
 	// 24 connections multiplexed on a 2-loop group, each streaming
 	// sequenced records; every connection's bytes must arrive in order
 	// (the per-lane FIFO guarantee).
-	g := NewGroup(2)
+	g := NewGroupMode(2, ModeShared)
 	defer g.Close()
 	cfg := Config{NoDelay: true, Group: g}
 	ln, err := Listen("tcp", "127.0.0.1:0", cfg)
@@ -222,7 +222,7 @@ func TestSharedManyConnsOneGroupOrdered(t *testing.T) {
 }
 
 func TestGroupLoadsBalanced(t *testing.T) {
-	g := NewGroup(4)
+	g := NewGroupMode(4, ModeShared)
 	defer g.Close()
 	cfg := Config{Group: g}
 	ln, err := Listen("tcp", "127.0.0.1:0", cfg)
@@ -283,13 +283,19 @@ func TestGroupLoadsBalanced(t *testing.T) {
 }
 
 func TestOnWritableFiresAfterDrain(t *testing.T) {
-	for _, mode := range []string{"dedicated", "shared"} {
+	for _, mode := range []string{"dedicated", "shared", "poll"} {
 		t.Run(mode, func(t *testing.T) {
+			if mode == "poll" && !pollSupported {
+				t.Skip("no readiness poller on this platform")
+			}
 			cfg := Config{SendBufBytes: 16 * 1024, NoDelay: true}
 			var a, b *Conn
-			if mode == "shared" {
+			switch mode {
+			case "shared":
 				a, b = sharedPair(t, cfg)
-			} else {
+			case "poll":
+				a, b = pollPair(t, cfg)
+			default:
 				a, b = pipePair(t, cfg)
 			}
 			writable := make(chan struct{}, 1)

@@ -115,7 +115,15 @@ const udpTryBudget = 256 * 1024
 // are copied before return. Backpressure (too many accepted-but-unsent
 // bytes) surfaces as tcp.ErrWouldBlock; net.ErrClosed means the loop has
 // shut down. Queued datagrams ride the same batched send path as Send.
-func (c *UDPConn) TrySend(msg []byte) error {
+func (c *UDPConn) TrySend(msg []byte) error { return c.TrySendResult(msg, nil) }
+
+// TrySendResult is TrySend with per-datagram completion reporting: done
+// (when non-nil) runs on the event loop once the accepted datagram's fate
+// is known — nil when it was handed to the send path (UDP's contract ends
+// there; the network may still lose it), or the shim's error when it was
+// refused. A TrySendResult that itself returns an error never accepted
+// the datagram and never invokes done.
+func (c *UDPConn) TrySendResult(msg []byte, done func(error)) error {
 	n := int64(len(msg)) + 1 // +1 meters zero-length datagrams too
 	if c.tryBytes.Add(n) > udpTryBudget {
 		c.tryBytes.Add(-n)
@@ -123,9 +131,12 @@ func (c *UDPConn) TrySend(msg []byte) error {
 	}
 	b := buf.From(msg)
 	if !c.lane.Post(func() {
-		c.u.Send(b.Bytes())
+		err := c.u.Send(b.Bytes())
 		b.Release()
 		c.tryBytes.Add(-n)
+		if done != nil {
+			done(err)
+		}
 	}) {
 		c.tryBytes.Add(-n)
 		b.Release()

@@ -12,18 +12,26 @@
 //
 // Concurrency model: protocol work for a connection executes serially on
 // an rt.Loop event goroutine, preserving the simulator's "no locks above
-// the kernel" invariant. Two runtime shapes exist:
+// the kernel" invariant. Three runtime shapes exist:
 //
 //   - Per-connection loops (the default): each connection owns a loop, a
 //     reader goroutine, and a writer goroutine — 3 goroutines per
 //     connection, maximum isolation.
-//   - Shared loops (Config.Group): a Group multiplexes N connections per
-//     loop, one loop per core. Each connection keeps only its reader
-//     goroutine; event work enters the loop through a per-connection FIFO
-//     lane (preserving delivery order), and queued writes drain through
-//     the loop's shared writer in vectored batches. 2 goroutines per loop
-//     plus 1 reader per connection — the shape that scales to thousands
-//     of connections.
+//   - Shared loops (Config.Group, ModeShared): a Group multiplexes N
+//     connections per loop, one loop per core. Each connection keeps only
+//     its reader goroutine; event work enters the loop through a
+//     per-connection FIFO lane (preserving delivery order), and queued
+//     writes drain through the loop's shared writer in 20 ms fairness
+//     slices of vectored batches. 2 goroutines per loop plus 1 reader per
+//     connection.
+//   - Poll mode (Config.Group, ModePoll — the Group default on Linux):
+//     each loop owns a readiness poller (epoll) registered edge-triggered
+//     on every connection's fd, and the loop's event goroutine parks in
+//     it. Reads and writes run non-blocking on the event goroutine
+//     itself; a peer that stops reading parks its connection until
+//     EPOLLOUT instead of costing loop-mates fairness slices. 2
+//     goroutines per loop, zero per connection — the shape whose
+//     per-connection cost is a map entry and an epoll registration.
 //
 // Either way, buffers cross the socket boundary by reference: the
 // zero-copy ownership conventions of the datagram datapath hold end to
@@ -36,6 +44,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minion/internal/buf"
@@ -102,8 +111,30 @@ type Conn struct {
 	nc      net.Conn
 	cfg     Config
 	ownLoop bool       // dedicated mode: loop (and writer goroutine) are ours
-	nw      *netWriter // shared-loop writer; nil in dedicated mode
+	nw      *netWriter // shared-loop writer; nil in dedicated and poll modes
 	release func()     // group detach; nil in dedicated mode
+
+	// Poll mode (nil pl elsewhere): the loop's poller drives this
+	// connection's I/O through three coalescing signals; no reader or
+	// writer goroutine exists. fd is valid until pollTeardown.
+	pl      *poller
+	fd      int
+	pollTok int32
+	rSig    *rt.Signal // readability edge -> pollRead
+	wSig    *rt.Signal // WriteMsgBuf/Close service -> pollWrite
+	woSig   *rt.Signal // EPOLLOUT edge -> pollWritable
+	pio     pollIO     // platform writev scratch
+
+	// Poll-mode loop-confined state.
+	pollDead bool // no further syscalls on fd
+	wParked  bool // writev hit EAGAIN; only EPOLLOUT may retry
+	rStalled bool // read stopped on budget; Read's credit resumes
+	rBudget  int  // bytes in recvQ not yet consumed by Read
+	rdone    sync.Once
+	// rHup (set by the poller goroutine, sticky) records a hangup/error
+	// edge: an already-arrived FIN never re-edges, so the short-read
+	// drain shortcut must not be taken once it is set.
+	rHup atomic.Bool
 
 	// Loop-confined state.
 	onReadable func()
@@ -144,8 +175,9 @@ var _ tcp.Stream = (*Conn)(nil)
 // NewConn wraps an established net.Conn. In dedicated mode (no
 // cfg.Group) it starts the connection's own event loop plus reader and
 // writer goroutines; in shared-loop mode it attaches to the least-loaded
-// group loop and starts only the reader. The caller must Close the
-// returned Conn to release them.
+// group loop and starts only the reader; in poll mode it registers the
+// socket with the loop's poller and starts nothing at all. The caller
+// must Close the returned Conn to release them.
 func NewConn(nc net.Conn, cfg Config) *Conn {
 	cfg = cfg.defaults()
 	if tcpc, ok := nc.(*net.TCPConn); ok && cfg.NoDelay {
@@ -157,9 +189,11 @@ func NewConn(nc net.Conn, cfg Config) *Conn {
 		writerDone: make(chan struct{}),
 		readerDone: make(chan struct{}),
 	}
+	var pl *poller
 	if cfg.Group != nil {
-		if loop, nw, release, ok := cfg.Group.assign(); ok {
+		if loop, nw, p, release, ok := cfg.Group.assign(); ok {
 			c.loop, c.nw, c.release = loop, nw, release
+			pl = p
 		}
 	}
 	if c.loop == nil {
@@ -171,6 +205,12 @@ func NewConn(nc net.Conn, cfg Config) *Conn {
 	c.lane = c.loop.NewLane()
 	c.rcond = sync.NewCond(&c.rmu)
 	c.wcond = sync.NewCond(&c.wmu)
+	// The lane and conds must exist before registration: the initial
+	// readiness edges can fire the moment the fd enters the epoll set.
+	if pl != nil && c.pollInit(pl) {
+		c.nw = nil // the poll path owns the write side
+		return c
+	}
 	go c.readLoop()
 	if c.ownLoop {
 		go c.writeLoop()
@@ -258,9 +298,14 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return 0, tcp.ErrWouldBlock
 }
 
-// creditRead returns consumed bytes to the reader goroutine's flow-control
-// budget.
+// creditRead returns consumed bytes to the receive flow-control budget:
+// the reader goroutine's in poll-less modes, the loop-confined poll
+// budget (resuming a budget-stalled drain) in poll mode.
 func (c *Conn) creditRead(n int) {
+	if c.pl != nil {
+		c.pollCredit(n)
+		return
+	}
 	c.rmu.Lock()
 	c.rInFlight -= n
 	c.rcond.Signal()
@@ -327,10 +372,17 @@ func (c *Conn) WriteMsgBuf(b *buf.Buffer, opt tcp.WriteOptions) (int, error) {
 		// write) still gets its drain notification.
 		c.wNotify = true
 	}
-	if c.nw == nil {
+	switch {
+	case c.pl != nil:
+		c.wmu.Unlock()
+		// Coalesced service request; a parked connection ignores it (the
+		// EPOLLOUT edge is the only legal retry), so a stalled peer costs
+		// nothing per queued write.
+		c.wSig.Raise()
+	case c.nw == nil:
 		c.wcond.Signal()
 		c.wmu.Unlock()
-	} else {
+	default:
 		c.wmu.Unlock()
 		c.nw.enqueue(c)
 	}
@@ -377,16 +429,32 @@ func (c *Conn) Close() {
 			// when no data is queued.
 			c.nw.enqueue(c)
 		}
+		if c.pl != nil {
+			// Same flush-point nudge for the poll path.
+			c.wSig.Raise()
+		}
 		go func() {
-			// Bound the drain too: a peer that stopped reading leaves the
-			// writer blocked in a socket write on a full buffer, and Close
-			// must not wait on it forever. The deadline fails the blocked
-			// write (and any queued ones after it), letting the writer
-			// finish releasing its buffers.
-			c.nc.SetWriteDeadline(time.Now().Add(closeLinger))
+			// Bound the drain too: a peer that stopped reading leaves
+			// queued data that will never flush, and Close must not wait
+			// on it forever. The reader/writer shapes bound it with a
+			// write deadline that fails the blocked socket write; the
+			// poll shape has no blocked write to fail — a stalled
+			// connection is parked — so the queue is aborted explicitly
+			// on the loop when the linger expires. Either way the writer
+			// finishes releasing its buffers within the linger.
+			if c.pl == nil {
+				c.nc.SetWriteDeadline(time.Now().Add(closeLinger))
+			}
 			select {
 			case <-c.writerDone:
-			case <-time.After(closeLinger + time.Second):
+			case <-time.After(closeLinger):
+				if c.pl != nil {
+					c.lane.Post(c.pollAbortWrites)
+				}
+				select {
+				case <-c.writerDone:
+				case <-time.After(time.Second):
+				}
 			}
 			if tcpc, ok := c.nc.(*net.TCPConn); ok {
 				tcpc.CloseWrite()
@@ -403,8 +471,26 @@ func (c *Conn) Close() {
 // teardown force-closes the socket, unblocks the reader, and returns any
 // undelivered receive buffers to the pool. Dedicated mode stops the event
 // loop; shared mode runs the final cleanup as the last entry on the
-// connection's lane and detaches from the group.
+// connection's lane and detaches from the group; poll mode unregisters
+// from the poller on the loop before the socket closes, so no syscall can
+// race the kernel recycling the fd.
 func (c *Conn) teardown() {
+	if c.pl != nil {
+		done := make(chan struct{})
+		if c.lane.Post(func() { c.pollTeardown(); close(done) }) {
+			<-done
+		} else {
+			// Loop already closed (group shutdown): the event goroutine is
+			// gone and nothing else touches loop-confined state, so the
+			// teardown runs inline safely.
+			c.pollTeardown()
+		}
+		c.nc.Close()
+		if c.release != nil {
+			c.release()
+		}
+		return
+	}
 	c.nc.Close()
 	c.rmu.Lock()
 	c.rclosed = true
@@ -453,6 +539,7 @@ func (c *Conn) readLoop() {
 		n, err := c.nc.Read(b.Bytes())
 		iostats.tcpReadCalls.Add(1)
 		if n > 0 {
+			iostats.tcpReadBytes.Add(uint64(n))
 			// RightSize keeps the flow-control budget honest: short reads
 			// are copied into a right-sized arena instead of pinning the
 			// whole read buffer for n accounted bytes.

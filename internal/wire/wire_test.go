@@ -46,8 +46,19 @@ func collect(t *testing.T, c *Conn, n int) []byte {
 	got := make([]byte, 0, n)
 	done := make(chan struct{})
 	c.Do(func() {
+		finished := false // the callback can fire once more after the close
+		finish := func() {
+			if !finished {
+				finished = true
+				c.OnReadable(nil)
+				close(done)
+			}
+		}
 		var read func()
 		read = func() {
+			if finished {
+				return
+			}
 			p := make([]byte, 4096)
 			for len(got) < n {
 				m, err := c.Read(p)
@@ -60,12 +71,11 @@ func collect(t *testing.T, c *Conn, n int) []byte {
 				}
 				if err != nil {
 					t.Errorf("Read: %v", err)
-					close(done)
+					finish()
 					return
 				}
 			}
-			c.OnReadable(nil)
-			close(done)
+			finish()
 		}
 		c.OnReadable(read)
 	})

@@ -43,6 +43,17 @@ type Options struct {
 	Priority uint32
 	// Squash replaces queued untransmitted datagrams with the same tag.
 	Squash bool
+	// OnResult, when non-nil, reports the fate of a datagram accepted by
+	// TrySend: invoked exactly once per accepted send — nil when the
+	// transport took the datagram, the drop error otherwise (a datagram
+	// queued behind backpressure and then lost to connection teardown
+	// reports ErrConnClosed instead of vanishing silently). A TrySend
+	// that itself returns an error never accepted the datagram and never
+	// invokes OnResult. On real-socket stacks the callback runs on the
+	// connection's event loop; on simulated substrates TrySend is
+	// synchronous, so OnResult(nil) fires before TrySend returns. Send
+	// ignores OnResult — its return value already reports the outcome.
+	OnResult func(err error)
 }
 
 // Conn is Minion's uniform unordered datagram interface (paper §3.1).
@@ -241,6 +252,17 @@ func (cfg TCPConfig) tcpConfig(unordered bool) tcp.Config {
 // options requiring reliability-side machinery.
 var ErrUnreliableSubstrate = errors.New("minion: substrate does not support this option")
 
+// syncTryResult applies the Options.OnResult contract to substrates
+// whose TrySend is a synchronous Send: acceptance and transmission are
+// the same instant, so a successful send reports nil immediately and a
+// failed one reports through the return value alone.
+func syncTryResult(err error, opt Options) error {
+	if err == nil && opt.OnResult != nil {
+		opt.OnResult(nil)
+	}
+	return err
+}
+
 // udpConn adapts udp.Conn to the Minion interface (the trivial shim).
 type udpConn struct{ c *udp.Conn }
 
@@ -249,7 +271,7 @@ func (u udpConn) Send(msg []byte, opt Options) error {
 	// harmless (every datagram departs immediately).
 	return u.c.Send(msg)
 }
-func (u udpConn) TrySend(msg []byte, opt Options) error { return u.Send(msg, opt) }
+func (u udpConn) TrySend(msg []byte, opt Options) error { return syncTryResult(u.Send(msg, opt), opt) }
 func (u udpConn) Recv() ([]byte, bool)                  { return u.c.Recv() }
 func (u udpConn) OnMessage(fn func([]byte))             { u.c.OnMessage(fn) }
 func (u udpConn) Close()                                {}
@@ -260,10 +282,12 @@ type ucobsConn struct{ c *ucobs.Conn }
 func (u ucobsConn) Send(msg []byte, opt Options) error {
 	return u.c.Send(msg, ucobs.Options{Priority: opt.Priority, Squash: opt.Squash})
 }
-func (u ucobsConn) TrySend(msg []byte, opt Options) error { return u.Send(msg, opt) }
-func (u ucobsConn) Recv() ([]byte, bool)                  { return u.c.Recv() }
-func (u ucobsConn) OnMessage(fn func([]byte))             { u.c.OnMessage(fn) }
-func (u ucobsConn) Close()                                { u.c.Close() }
+func (u ucobsConn) TrySend(msg []byte, opt Options) error {
+	return syncTryResult(u.Send(msg, opt), opt)
+}
+func (u ucobsConn) Recv() ([]byte, bool)      { return u.c.Recv() }
+func (u ucobsConn) OnMessage(fn func([]byte)) { u.c.OnMessage(fn) }
+func (u ucobsConn) Close()                    { u.c.Close() }
 
 // UCOBS exposes the underlying protocol connection for stats.
 func (u ucobsConn) UCOBS() *ucobs.Conn { return u.c }
@@ -274,7 +298,7 @@ type utlsConn struct{ c *utls.Conn }
 func (u utlsConn) Send(msg []byte, opt Options) error {
 	return u.c.Send(msg, utls.Options{Priority: opt.Priority, Squash: opt.Squash})
 }
-func (u utlsConn) TrySend(msg []byte, opt Options) error { return u.Send(msg, opt) }
+func (u utlsConn) TrySend(msg []byte, opt Options) error { return syncTryResult(u.Send(msg, opt), opt) }
 func (u utlsConn) Recv() ([]byte, bool)                  { return u.c.Recv() }
 func (u utlsConn) OnMessage(fn func([]byte))             { u.c.OnMessage(fn) }
 func (u utlsConn) Close()                                { u.c.Close() }

@@ -20,19 +20,62 @@ import (
 // kernel exists (paper §4/§7).
 var ErrSimOnly = fmt.Errorf("minion: protocol requires uTCP kernel support (simulated substrate only)")
 
+// LoopMode selects how a LoopGroup's event loops move bytes between
+// sockets and protocol state.
+type LoopMode int
+
+const (
+	// LoopAuto picks the platform's best mode: readiness-driven polling
+	// where the kernel supports it (Linux), shared writers elsewhere.
+	LoopAuto LoopMode = iota
+	// LoopShared is the rotating shared-writer shape: one blocking reader
+	// goroutine per connection, one writer per loop servicing dirty
+	// connections in 20 ms fairness slices.
+	LoopShared
+	// LoopPoll is the readiness-driven shape: an epoll poller per loop,
+	// zero goroutines per connection, stalled peers parked until the
+	// kernel reports writability. Falls back to LoopShared where
+	// unsupported.
+	LoopPoll
+)
+
+func (m LoopMode) wireMode() wire.Mode {
+	switch m {
+	case LoopShared:
+		return wire.ModeShared
+	case LoopPoll:
+		return wire.ModePoll
+	default:
+		return wire.DefaultMode()
+	}
+}
+
 // LoopGroup is a shared event-loop runtime for real-socket connections:
 // a loop per core (by default), each multiplexing many connections while
 // preserving per-connection callback ordering. Attach connections via
-// DialConfig.Group / ListenConfig.Group; a connection then costs one
-// goroutine (its socket reader) instead of three.
+// DialConfig.Group / ListenConfig.Group; a connection then costs zero
+// goroutines (poll mode) or one (its socket reader, shared mode) instead
+// of three.
 //
 // Close stops the group once the last attached connection closes;
 // connections attached at Close time keep running until then.
 type LoopGroup struct{ g *wire.Group }
 
-// NewLoopGroup starts loops event loops (and their shared writers);
-// loops <= 0 means GOMAXPROCS, the loop-per-core default.
+// NewLoopGroup starts loops event loops in the platform's default mode
+// (LoopAuto: poll on Linux); loops <= 0 means GOMAXPROCS, the
+// loop-per-core default.
 func NewLoopGroup(loops int) *LoopGroup { return &LoopGroup{g: wire.NewGroup(loops)} }
+
+// NewLoopGroupMode starts loops event loops in an explicit mode — the
+// knob benchmarks and A/B comparisons use; production code normally
+// wants NewLoopGroup's platform default.
+func NewLoopGroupMode(loops int, mode LoopMode) *LoopGroup {
+	return &LoopGroup{g: wire.NewGroupMode(loops, mode.wireMode())}
+}
+
+// Mode reports the mode the group actually runs, after any platform
+// fallback: "poll" or "shared".
+func (g *LoopGroup) Mode() string { return g.g.Mode().String() }
 
 // Len returns the number of loops.
 func (g *LoopGroup) Len() int { return g.g.Len() }
@@ -83,6 +126,10 @@ type ListenConfig struct {
 	// Loops sizes a listener-owned shared group (< 0: GOMAXPROCS;
 	// 0: dedicated loops per connection unless Group is set).
 	Loops int
+	// Mode selects the listener-owned group's I/O shape (LoopAuto picks
+	// the platform default). Ignored when Group is set — an external
+	// group carries its own mode.
+	Mode LoopMode
 	// Group, when non-nil, overrides Loops with an external group whose
 	// lifecycle the caller owns.
 	Group *LoopGroup
@@ -181,7 +228,7 @@ func (lc ListenConfig) Listen(proto Protocol, network, addr string) (*Listener, 
 	case lc.Group != nil:
 		wcfg.Group = lc.Group.g
 	case lc.Loops != 0:
-		owned = wire.NewGroup(lc.Loops)
+		owned = wire.NewGroupMode(lc.Loops, lc.Mode.wireMode())
 		wcfg.Group = owned
 	}
 	ln, err := wire.Listen(network, addr, wcfg)
@@ -322,9 +369,13 @@ func (w *wireConn) asyncDeliver(b *buf.Buffer, opt Options) {
 		return
 	}
 	// Sent — or a terminal error (connection closed), in which case the
-	// datagram falls exactly like data in flight at Close.
+	// datagram falls exactly like data in flight at Close. Either way the
+	// fate is known now; report it to callers that asked.
 	w.asyncBytes.Add(-int64(b.Len()))
 	b.Release()
+	if opt.OnResult != nil {
+		opt.OnResult(err)
+	}
 }
 
 func (w *wireConn) armFlush() {
@@ -346,11 +397,14 @@ func (w *wireConn) flushAsync() {
 		// Sent, or a non-retryable error (oversized record, connection
 		// closing): either way this datagram leaves the queue — dropping
 		// just it, not its successors, keeps a single bad datagram from
-		// killing the stream.
+		// killing the stream — and its fate is reported.
 		w.asyncQ[0] = asyncMsg{}
 		w.asyncQ = w.asyncQ[1:]
 		w.asyncBytes.Add(-int64(m.b.Len()))
 		m.b.Release()
+		if m.opt.OnResult != nil {
+			m.opt.OnResult(err)
+		}
 	}
 }
 
@@ -381,7 +435,27 @@ func (w *wireConn) OnMessage(fn func(msg []byte)) {
 }
 
 func (w *wireConn) Close() {
-	w.sc.Do(func() { w.inner.Close() })
+	w.sc.Do(func() {
+		w.inner.Close()
+		// Datagrams accepted by TrySend but still queued behind
+		// backpressure are dropped here, exactly like data in flight —
+		// but with their fate reported instead of silent.
+		w.failAsync(ErrConnClosed)
+	})
+}
+
+// failAsync drops every queued TrySend datagram with err, reporting each
+// through its OnResult. Runs on the loop.
+func (w *wireConn) failAsync(err error) {
+	for i, m := range w.asyncQ {
+		w.asyncBytes.Add(-int64(m.b.Len()))
+		m.b.Release()
+		if m.opt.OnResult != nil {
+			m.opt.OnResult(err)
+		}
+		w.asyncQ[i] = asyncMsg{}
+	}
+	w.asyncQ = w.asyncQ[:0]
 }
 
 // Inner returns the framing-layer connection for instrumentation; use it
@@ -407,7 +481,7 @@ func (u wireUDPConn) Send(msg []byte, opt Options) error {
 	return u.c.Send(msg)
 }
 func (u wireUDPConn) TrySend(msg []byte, opt Options) error {
-	switch err := u.c.TrySend(msg); {
+	switch err := u.c.TrySendResult(msg, opt.OnResult); {
 	case err == nil:
 		return nil
 	case errors.Is(err, ErrWouldBlock):
