@@ -1,0 +1,139 @@
+// DPI traversal tests: Minion uTLS streams must pass a middlebox that
+// validates the byte stream with a stock TLS record parser — the
+// hostile-network scenario that motivates uTLS (§3.2, §6). The inspector
+// (netem.TLSDPI) reassembles each direction and kills flows on the first
+// record a stock parser would reject.
+package minion
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"minion/internal/netem"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/tlshake"
+)
+
+// dpiPath builds a unidirectional path: TLS DPI first (it sees the
+// sender's original segment stream), then a link with the given config.
+func dpiPath(s *sim.Simulator, cfg netem.LinkConfig) (*netem.TLSDPI, netem.Element) {
+	dpi := netem.NewTLSDPI(tcp.DPIView)
+	return dpi, netem.Chain(dpi, netem.NewLink(s, cfg))
+}
+
+// TestDPIPassesUTLSRealHandshake is the acceptance gate: a genuine
+// TLS 1.2 handshake followed by out-of-order datagram delivery over lossy
+// uTCP, with a stock-parser DPI on both directions. Every record —
+// handshake, ChangeCipherSpec, application data, retransmissions — must
+// pass; one violation kills the flow and fails the test.
+func TestDPIPassesUTLSRealHandshake(t *testing.T) {
+	cert, pool, err := tlshake.SelfSigned("minion.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(99)
+	lossy := netem.LinkConfig{
+		Rate: 10_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 30,
+		Loss: netem.BernoulliLoss{P: 0.05},
+	}
+	clean := netem.LinkConfig{Rate: 10_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 30}
+	dpiAB, pathAB := dpiPath(s, lossy)
+	dpiBA, pathBA := dpiPath(s, clean)
+
+	pair := NewPair(s, ProtoUTLSuTCP, TCPConfig{
+		NoDelay: true,
+		TLS:     &TLSConfig{Certificate: &cert, RootCAs: pool, ServerName: "minion.test"},
+	}, pathAB, pathBA)
+
+	var got, back int
+	pair.B.OnMessage(func(m []byte) {
+		got++
+		pair.B.Send(m, Options{}) // echo through the reverse-direction DPI
+	})
+	pair.A.OnMessage(func(m []byte) { back++ })
+	s.RunUntil(5 * time.Second)
+
+	utlsB, _ := UTLSOf(pair.B)
+	if !utlsB.Ready() {
+		t.Fatalf("TLS 1.2 handshake did not complete through the DPI: %v", utlsB.HandshakeErr())
+	}
+	const n = 200
+	sent := 0
+	var pump func()
+	pump = func() {
+		for sent < n {
+			if pair.A.Send([]byte(fmt.Sprintf("dpi-%04d-%s", sent, string(make([]byte, 150)))), Options{}) != nil {
+				return
+			}
+			sent++
+		}
+	}
+	pair.TCPA.OnWritable(pump)
+	s.Schedule(0, pump)
+	s.RunFor(2 * time.Minute)
+
+	if got != n || back != n {
+		t.Fatalf("delivered %d/%d forward, %d/%d echoes", got, n, back, n)
+	}
+	for dir, dpi := range map[string]*netem.TLSDPI{"A→B": dpiAB, "B→A": dpiBA} {
+		st := dpi.Stats()
+		if st.Violations != 0 || st.KilledFlows != 0 {
+			t.Fatalf("%s DPI rejected uTLS records: %+v", dir, st)
+		}
+		if st.Records == 0 {
+			t.Fatalf("%s DPI validated no records — inspector not on-path", dir)
+		}
+		t.Logf("%s DPI: %+v", dir, st)
+	}
+	if st := utlsB.Stats(); st.DeliveredOOO == 0 {
+		t.Error("no out-of-order deliveries — the unordered trick did not engage through the DPI")
+	}
+}
+
+// TestDPIPassesUTLSCompatHandshake: even the simulated compat handshake's
+// records are well-formed TLS, so record-shape DPI passes that mode too.
+func TestDPIPassesUTLSCompatHandshake(t *testing.T) {
+	s := sim.New(7)
+	clean := netem.LinkConfig{Rate: 10_000_000, Delay: 5 * time.Millisecond, QueueBytes: 1 << 30}
+	dpiAB, pathAB := dpiPath(s, clean)
+	_, pathBA := dpiPath(s, clean)
+	pair := NewPair(s, ProtoUTLSTCP, TCPConfig{NoDelay: true}, pathAB, pathBA)
+	got := 0
+	pair.B.OnMessage(func(m []byte) { got++ })
+	s.RunUntil(time.Second)
+	for i := 0; i < 50; i++ {
+		if err := pair.A.Send([]byte(fmt.Sprintf("compat-%02d", i)), Options{}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	s.RunFor(30 * time.Second)
+	if got != 50 {
+		t.Fatalf("delivered %d/50", got)
+	}
+	if st := dpiAB.Stats(); st.Violations != 0 || st.Records == 0 {
+		t.Fatalf("DPI stats: %+v", st)
+	}
+}
+
+// TestDPIKillsUCOBS: the inspector is not vacuous — a uCOBS stream (TCP
+// wire-compatible, but not TLS) is cut on its first bytes.
+func TestDPIKillsUCOBS(t *testing.T) {
+	s := sim.New(3)
+	clean := netem.LinkConfig{Rate: 10_000_000, Delay: 5 * time.Millisecond, QueueBytes: 1 << 30}
+	dpiAB, pathAB := dpiPath(s, clean)
+	_, pathBA := dpiPath(s, clean)
+	pair := NewPair(s, ProtoUCOBSTCP, TCPConfig{NoDelay: true}, pathAB, pathBA)
+	got := 0
+	pair.B.OnMessage(func(m []byte) { got++ })
+	s.RunUntil(time.Second)
+	pair.A.Send([]byte("cobs framed datagram, not a TLS record"), Options{})
+	s.RunFor(30 * time.Second)
+	if got != 0 {
+		t.Fatalf("uCOBS datagrams traversed a TLS-validating DPI (%d delivered)", got)
+	}
+	if st := dpiAB.Stats(); st.Violations == 0 || st.KilledFlows == 0 {
+		t.Fatalf("DPI failed to kill the uCOBS flow: %+v", st)
+	}
+}

@@ -1,0 +1,194 @@
+package netem
+
+import (
+	"minion/internal/stream"
+)
+
+// StreamView is the deep-packet-inspection view of a transport packet:
+// where its payload sits in the carried byte stream. Transport packages
+// provide a StreamViewer for their packet type (tcp.DPIView for
+// *tcp.Segment) so netem's inspectors stay free of protocol imports.
+type StreamView struct {
+	// Offset is the absolute stream offset of Payload[0] (for a SYN
+	// packet, the offset where the byte stream will begin).
+	Offset uint64
+	// Payload is the packet's stream data (may be empty for pure ACKs).
+	Payload []byte
+	// SYN marks stream establishment: Offset fixes the stream origin.
+	SYN bool
+	// RST marks an abortive teardown; the inspector forgets the flow.
+	RST bool
+}
+
+// StreamViewer extracts a StreamView from a packet, reporting ok=false
+// for packets that carry no inspectable byte stream (then forwarded
+// untouched).
+type StreamViewer func(Packet) (StreamView, bool)
+
+// TLSDPIStats counts inspector activity.
+type TLSDPIStats struct {
+	Flows          int // distinct flows seen
+	Records        int // complete TLS records validated
+	Violations     int // records a stock TLS record parser would reject
+	KilledFlows    int // flows cut after a violation
+	DroppedPackets int // packets of killed flows discarded
+}
+
+// TLSDPI is a middlebox element modelling the TLS-only deep packet
+// inspection the paper's hostile-network scenario describes (§3.2, §6):
+// it reassembles each flow's byte stream — retransmissions and
+// re-segmentation included — and validates it as a TLS record stream with
+// exactly the checks a stock TLS record parser applies:
+//
+//   - known content type (change_cipher_spec, alert, handshake,
+//     application_data);
+//   - protocol version 3.x (SSL3.0 through TLS 1.2 — the versions a TLS
+//     record header can carry);
+//   - record length in (0, 2^14+2048] (RFC 5246 §6.2.3's ciphertext
+//     bound);
+//   - the flow's first record must be a handshake record, as every TLS
+//     session opens with a hello.
+//
+// A flow whose bytes violate any check is killed: the offending packet
+// and everything after it are dropped, emulating a middlebox that resets
+// connections it cannot parse. Minion's uTLS stacks — compat or genuine
+// TLS 1.2 handshake alike — must traverse this element without a single
+// violation; that is the paper's wire-compatibility claim, enforced in
+// tests.
+//
+// TLSDPI inspects one direction; place one instance per direction of a
+// path. Like every element it is runtime-confined and not safe for
+// concurrent use.
+type TLSDPI struct {
+	view    StreamViewer
+	deliver Handler
+	flows   map[int]*dpiFlow
+	stats   TLSDPIStats
+}
+
+type dpiFlow struct {
+	asm     *stream.Assembler
+	pos     uint64 // offset of the next record header
+	origin  bool   // stream origin known (SYN or first payload seen)
+	first   bool   // still awaiting the first record (must be handshake)
+	killed  bool
+	badByte uint64 // offset of the violation, for diagnostics
+}
+
+// NewTLSDPI builds an inspector over the given packet viewer.
+func NewTLSDPI(view StreamViewer) *TLSDPI {
+	return &TLSDPI{view: view, flows: make(map[int]*dpiFlow)}
+}
+
+// SetDeliver implements Element.
+func (d *TLSDPI) SetDeliver(h Handler) { d.deliver = h }
+
+// Stats returns a copy of the counters.
+func (d *TLSDPI) Stats() TLSDPIStats { return d.stats }
+
+// maxTLSCiphertext is the largest record body a stock parser accepts
+// (2^14 plaintext + 2048 expansion, RFC 5246 §6.2.3).
+const maxTLSCiphertext = 16384 + 2048
+
+// tlsRecordHeaderLen is the TLS record header size.
+const tlsRecordHeaderLen = 5
+
+// stockRecordCheck applies a stock TLS record parser's header checks.
+func stockRecordCheck(hdr []byte, first bool) bool {
+	typ := hdr[0]
+	if typ < 20 || typ > 23 { // change_cipher_spec .. application_data
+		return false
+	}
+	if first && typ != 22 { // sessions open with a handshake record
+		return false
+	}
+	if hdr[1] != 3 || hdr[2] > 3 { // 0x0300 (SSL3) .. 0x0303 (TLS1.2)
+		return false
+	}
+	n := int(hdr[3])<<8 | int(hdr[4])
+	if n == 0 {
+		// RFC 5246 §6.2.1: zero-length fragments are valid only for
+		// application data (the classic CBC empty-record countermeasure).
+		return typ == 23
+	}
+	return n <= maxTLSCiphertext
+}
+
+// Send implements Element: inspect, then forward or drop.
+func (d *TLSDPI) Send(p Packet) {
+	v, ok := d.view(p)
+	if !ok {
+		d.forward(p) // not a byte-stream packet (e.g. raw datagrams)
+		return
+	}
+	f := d.flows[p.Flow]
+	if f == nil {
+		f = &dpiFlow{asm: stream.NewAssembler(), first: true}
+		d.flows[p.Flow] = f
+		d.stats.Flows++
+	}
+	if f.killed {
+		d.stats.DroppedPackets++
+		return
+	}
+	if v.RST {
+		delete(d.flows, p.Flow)
+		d.forward(p)
+		return
+	}
+	if v.SYN && !f.origin {
+		f.origin = true
+		f.pos = v.Offset
+	}
+	if len(v.Payload) > 0 {
+		if !f.origin {
+			// Joined mid-flow (no SYN seen): best effort, anchor at the
+			// first payload byte observed.
+			f.origin = true
+			f.pos = v.Offset
+		}
+		f.asm.Insert(v.Offset, v.Payload)
+		if !d.scan(f) {
+			d.stats.Violations++
+			d.stats.KilledFlows++
+			f.killed = true
+			d.stats.DroppedPackets++
+			return
+		}
+	}
+	d.forward(p)
+}
+
+// scan validates complete records at the reassembled in-order position,
+// returning false on the first violation.
+func (d *TLSDPI) scan(f *dpiFlow) bool {
+	for {
+		end := f.asm.ContiguousEnd(f.pos)
+		if end < f.pos+tlsRecordHeaderLen {
+			return true
+		}
+		hdr, ok := f.asm.Bytes(stream.Extent{Start: f.pos, End: f.pos + tlsRecordHeaderLen})
+		if !ok {
+			return true
+		}
+		if !stockRecordCheck(hdr, f.first) {
+			f.badByte = f.pos
+			return false
+		}
+		n := uint64(hdr[3])<<8 | uint64(hdr[4])
+		recEnd := f.pos + tlsRecordHeaderLen + n
+		if end < recEnd {
+			return true // header valid, body still in flight
+		}
+		f.first = false
+		f.pos = recEnd
+		d.stats.Records++
+		f.asm.Discard(f.pos)
+	}
+}
+
+func (d *TLSDPI) forward(p Packet) {
+	if d.deliver != nil {
+		d.deliver(p)
+	}
+}

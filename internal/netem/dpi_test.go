@@ -1,0 +1,160 @@
+package netem
+
+import (
+	"testing"
+)
+
+// rawView treats Packet.Data as a StreamView directly — the synthetic
+// viewer for unit tests.
+func rawView(p Packet) (StreamView, bool) {
+	v, ok := p.Data.(StreamView)
+	return v, ok
+}
+
+func collect(d *TLSDPI) *[]Packet {
+	var got []Packet
+	d.SetDeliver(func(p Packet) { got = append(got, p) })
+	return &got
+}
+
+func seg(flow int, off uint64, payload []byte) Packet {
+	return Packet{Flow: flow, Data: StreamView{Offset: off, Payload: payload}, Size: len(payload)}
+}
+
+// rec builds a TLS record with the given type/version/body length.
+func rec(typ byte, verMinor byte, n int) []byte {
+	b := make([]byte, 5+n)
+	b[0] = typ
+	b[1], b[2] = 3, verMinor
+	b[3], b[4] = byte(n>>8), byte(n)
+	return b
+}
+
+func TestTLSDPIPassesValidRecords(t *testing.T) {
+	d := NewTLSDPI(rawView)
+	got := collect(d)
+	stream := append(rec(22, 1, 40), rec(22, 3, 100)...) // hello, then TLS1.2 handshake
+	stream = append(stream, rec(20, 3, 1)...)            // CCS
+	stream = append(stream, rec(23, 3, 400)...)          // app data
+	d.Send(seg(1, 0, stream))
+	if len(*got) != 1 {
+		t.Fatalf("forwarded %d packets, want 1", len(*got))
+	}
+	st := d.Stats()
+	if st.Records != 4 || st.Violations != 0 {
+		t.Fatalf("stats = %+v, want 4 records, 0 violations", st)
+	}
+}
+
+func TestTLSDPIRecordSpanningPackets(t *testing.T) {
+	d := NewTLSDPI(rawView)
+	got := collect(d)
+	r := rec(22, 3, 1000)
+	d.Send(seg(1, 0, r[:600]))
+	d.Send(seg(1, 600, r[600:]))
+	d.Send(seg(1, uint64(len(r)), rec(23, 3, 10)))
+	if st := d.Stats(); st.Records != 2 || st.Violations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(*got) != 3 {
+		t.Fatalf("forwarded %d, want 3", len(*got))
+	}
+}
+
+func TestTLSDPIRetransmissionAndReordering(t *testing.T) {
+	d := NewTLSDPI(rawView)
+	got := collect(d)
+	r1, r2 := rec(22, 3, 50), rec(23, 3, 50)
+	all := append(append([]byte(nil), r1...), r2...)
+	// The SYN anchors the stream origin; then the second record's bytes
+	// arrive first (reordered), then the first, then a retransmission of
+	// the first.
+	d.Send(Packet{Flow: 1, Data: StreamView{Offset: 0, SYN: true}})
+	d.Send(seg(1, uint64(len(r1)), all[len(r1):]))
+	d.Send(seg(1, 0, all[:len(r1)]))
+	d.Send(seg(1, 0, all[:len(r1)]))
+	if st := d.Stats(); st.Records != 2 || st.Violations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(*got) != 4 {
+		t.Fatalf("forwarded %d, want 4 (retransmissions pass through)", len(*got))
+	}
+}
+
+func TestTLSDPIKillsNonTLSFlow(t *testing.T) {
+	d := NewTLSDPI(rawView)
+	got := collect(d)
+	d.Send(seg(1, 0, []byte("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n")))
+	d.Send(seg(1, 37, []byte("more bytes")))
+	st := d.Stats()
+	if st.Violations != 1 || st.KilledFlows != 1 {
+		t.Fatalf("stats = %+v, want 1 violation, 1 killed flow", st)
+	}
+	if st.DroppedPackets != 2 {
+		t.Fatalf("dropped %d, want 2 (violating packet and successor)", st.DroppedPackets)
+	}
+	if len(*got) != 0 {
+		t.Fatal("non-TLS bytes forwarded")
+	}
+}
+
+func TestTLSDPIFirstRecordMustBeHandshake(t *testing.T) {
+	d := NewTLSDPI(rawView)
+	d.Send(seg(1, 0, rec(23, 3, 10))) // app data before any handshake
+	if st := d.Stats(); st.Violations != 1 {
+		t.Fatalf("stats = %+v, want a violation", st)
+	}
+}
+
+func TestTLSDPIRejectsBadVersionAndLength(t *testing.T) {
+	bad := [][]byte{
+		rec(22, 4, 10),         // version 3.4
+		{22, 2, 3, 0, 10, 0},   // major version 2
+		rec(22, 3, 0),          // zero-length handshake record
+		{22, 3, 3, 0x48, 0x01}, // length 18433 > 2^14+2048
+		rec(99, 3, 10),         // unknown content type
+	}
+	for i, b := range bad {
+		d := NewTLSDPI(rawView)
+		d.Send(seg(1, 0, b))
+		if st := d.Stats(); st.Violations != 1 {
+			t.Errorf("case %d: stats = %+v, want a violation", i, st)
+		}
+	}
+}
+
+func TestTLSDPIPerFlowIsolationAndNonStreamPackets(t *testing.T) {
+	d := NewTLSDPI(rawView)
+	got := collect(d)
+	d.Send(seg(1, 0, []byte("junk that is not TLS"))) // kills flow 1
+	d.Send(seg(2, 0, rec(22, 3, 8)))                  // flow 2 clean
+	d.Send(Packet{Flow: 3, Data: "opaque", Size: 4})  // not a stream packet
+	if st := d.Stats(); st.KilledFlows != 1 || st.Records != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("forwarded %d, want 2 (flow 2 + opaque)", len(*got))
+	}
+}
+
+func TestTLSDPIAcceptsEmptyAppDataRecord(t *testing.T) {
+	// RFC 5246 permits zero-length application-data records (OpenSSL's
+	// CBC empty-record countermeasure); stock parsers pass them.
+	d := NewTLSDPI(rawView)
+	payload := append(rec(22, 3, 8), rec(23, 3, 0)...)
+	payload = append(payload, rec(23, 3, 20)...)
+	d.Send(seg(1, 0, payload))
+	if st := d.Stats(); st.Violations != 0 || st.Records != 3 {
+		t.Fatalf("stats = %+v, want 3 records, 0 violations", st)
+	}
+}
+
+func TestTLSDPISYNAnchorsOrigin(t *testing.T) {
+	d := NewTLSDPI(rawView)
+	// SYN at seq 999 → stream origin 1000.
+	d.Send(Packet{Flow: 1, Data: StreamView{Offset: 1000, SYN: true}})
+	d.Send(seg(1, 1000, rec(22, 3, 12)))
+	if st := d.Stats(); st.Records != 1 || st.Violations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,23 +1,3 @@
-// Package rt defines the runtime abstraction that decouples Minion's
-// protocol state machines from the engine that drives them.
-//
-// Every layer that needs time — TCP retransmission timers, netem link
-// service, VoIP playout deadlines — programs against Runtime instead of a
-// concrete clock. Two engines implement it:
-//
-//   - sim.Simulator: the deterministic discrete-event kernel. Virtual time,
-//     seeded randomness, single-threaded event execution. All experiments
-//     and protocol tests run here so results are a pure function of the
-//     seed.
-//   - Loop (this package): a wall-clock runtime for real deployments. A
-//     monotonic clock, a timer heap, and one event goroutine form a
-//     per-connection serial executor, so protocol code keeps the
-//     simulator's "no locks above the kernel" structure while real sockets
-//     feed it from other goroutines.
-//
-// The split mirrors the protocol-logic / I/O separation QUIC-era stacks
-// make: the state machines are engine-agnostic, and only the lowest layer
-// knows whether events come from a virtual clock or the operating system.
 package rt
 
 import (

@@ -1,0 +1,25 @@
+package tcp
+
+import "minion/internal/netem"
+
+// DPIView is the netem.StreamViewer for this package's segments: it maps
+// a *Segment to its place in the carried byte stream so stream-inspecting
+// middleboxes (netem.TLSDPI) can reassemble and validate flows without
+// importing TCP internals. SYN and FIN each occupy one sequence number,
+// so a SYN fixes the stream origin at Seq+1.
+func DPIView(p netem.Packet) (netem.StreamView, bool) {
+	seg, ok := p.Data.(*Segment)
+	if !ok {
+		return netem.StreamView{}, false
+	}
+	v := netem.StreamView{
+		Offset:  seg.Seq,
+		Payload: seg.Payload,
+		SYN:     seg.Flags.Has(FlagSYN),
+		RST:     seg.Flags.Has(FlagRST),
+	}
+	if v.SYN {
+		v.Offset++ // data begins after the SYN's sequence slot
+	}
+	return v, true
+}

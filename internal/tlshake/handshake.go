@@ -1,0 +1,770 @@
+package tlshake
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"time"
+
+	"minion/internal/tlsrec"
+)
+
+// Errors surfaced by the engine (wrapped with context by Feed).
+var (
+	ErrHandshakeFailed = errors.New("tlshake: handshake failed")
+	ErrNoCertificate   = errors.New("tlshake: server requires Config.Certificate")
+	ErrBadCertificate  = errors.New("tlshake: peer certificate rejected")
+)
+
+// Config parameterizes an Engine. The zero value is a usable client that
+// verifies the peer chain against the system roots.
+type Config struct {
+	// Certificate is the server's identity: its chain travels in the
+	// Certificate message and its RSA private key signs the
+	// ServerKeyExchange. Required for servers, unused by clients.
+	Certificate *tls.Certificate
+	// RootCAs are the client's trust anchors for verifying the server
+	// chain; nil falls back to the system pool.
+	RootCAs *x509.CertPool
+	// ServerName is the hostname the client expects the server
+	// certificate to match; it also travels in the server_name extension.
+	ServerName string
+	// InsecureSkipVerify disables the client's certificate chain and name
+	// checks (test topologies only — the handshake is still honest on the
+	// wire, but the peer is unauthenticated).
+	InsecureSkipVerify bool
+	// Rand overrides the entropy source (default crypto/rand.Reader).
+	Rand io.Reader
+	// Time overrides the verification clock (default time.Now).
+	Time func() time.Time
+}
+
+func (cfg Config) rand() io.Reader {
+	if cfg.Rand != nil {
+		return cfg.Rand
+	}
+	return rand.Reader
+}
+
+// Engine states.
+const (
+	// server
+	stExpectClientHello = iota
+	stExpectClientKeyExchange
+	stExpectClientFinished
+	// client
+	stExpectServerHello
+	stExpectCertificate
+	stExpectServerKeyExchange
+	stExpectServerHelloDone
+	stExpectServerFinished
+	stDone
+)
+
+// supportedGroups maps the named groups this implementation handles to
+// their crypto/ecdh curves, in server preference order.
+var supportedGroups = []struct {
+	id    uint16
+	curve ecdh.Curve
+}{
+	{groupX25519, ecdh.X25519()},
+	{groupP256, ecdh.P256()},
+	{groupP384, ecdh.P384()},
+}
+
+func curveFor(id uint16) ecdh.Curve {
+	for _, g := range supportedGroups {
+		if g.id == id {
+			return g.curve
+		}
+	}
+	return nil
+}
+
+// sigHash maps a SignatureScheme this implementation accepts to its hash.
+func sigHash(alg uint16) (crypto.Hash, bool) {
+	switch alg {
+	case sigRSASHA1:
+		return crypto.SHA1, true
+	case sigRSASHA256:
+		return crypto.SHA256, true
+	case sigRSASHA384:
+		return crypto.SHA384, true
+	case sigRSASHA512:
+		return crypto.SHA512, true
+	}
+	return 0, false
+}
+
+// Engine is one endpoint's TLS 1.2 handshake state machine. It is not
+// safe for concurrent use; like every Minion protocol object it lives on
+// its connection's serial event loop.
+type Engine struct {
+	cfg      Config
+	isClient bool
+	state    int
+
+	transcript hash.Hash // SHA-256 over every handshake message, both ways
+	hsBuf      []byte    // handshake-stream reassembly across records
+
+	clientRandom, serverRandom []byte
+	curveID                    uint16
+	ecdhPriv                   *ecdh.PrivateKey
+	peerPoint                  []byte // server's ECDH point (client side)
+	ems                        bool
+	masterSecret               []byte
+
+	seal *tlsrec.Seal // our write direction (SuiteTLS12)
+	open *tlsrec.Open // peer write direction
+
+	peerCerts []*x509.Certificate
+	peerCCS   bool
+	sentCCS   bool // our write direction switched to the new cipher
+	started   bool
+	err       error
+	out       []byte // pending bytes for the transport
+}
+
+// NewClient creates the client side of a handshake. Start must be called
+// to obtain the ClientHello flight.
+func NewClient(cfg Config) *Engine {
+	return &Engine{cfg: cfg, isClient: true, state: stExpectServerHello, transcript: sha256.New()}
+}
+
+// NewServer creates the server side of a handshake.
+func NewServer(cfg Config) *Engine {
+	return &Engine{cfg: cfg, isClient: false, state: stExpectClientHello, transcript: sha256.New()}
+}
+
+// Done reports handshake completion.
+func (e *Engine) Done() bool { return e.state == stDone }
+
+// Err returns the terminal handshake error, if any.
+func (e *Engine) Err() error { return e.err }
+
+// Keys returns the negotiated record-layer states once Done: seal writes
+// our direction, open reads the peer's. Both carry sequence number 1 —
+// the Finished records consumed sequence 0 of each direction — so
+// application records continue the TLS stream exactly where a stock stack
+// would.
+func (e *Engine) Keys() (*tlsrec.Seal, *tlsrec.Open) { return e.seal, e.open }
+
+// PeerCertificates returns the peer's verified certificate chain (clients
+// only; empty for servers, which do not request client certificates).
+func (e *Engine) PeerCertificates() []*x509.Certificate { return e.peerCerts }
+
+// Start returns the initial flight: the ClientHello record for clients,
+// nothing for servers (which speak only when spoken to).
+func (e *Engine) Start() ([]byte, error) {
+	if e.started {
+		return nil, nil
+	}
+	e.started = true
+	if !e.isClient {
+		if e.cfg.Certificate == nil || len(e.cfg.Certificate.Certificate) == 0 {
+			e.err = ErrNoCertificate
+			return nil, e.err
+		}
+		return nil, nil
+	}
+	e.clientRandom = make([]byte, 32)
+	if _, err := io.ReadFull(e.cfg.rand(), e.clientRandom); err != nil {
+		e.err = fmt.Errorf("tlshake: entropy: %w", err)
+		return nil, e.err
+	}
+	msg := e.buildClientHello()
+	e.transcript.Write(msg)
+	// The initial ClientHello record travels with version 0x0301: stock
+	// stacks use the lowest version here so version-intolerant peers
+	// still answer (crypto/tls does the same).
+	return appendRecords(nil, tlsrec.TypeHandshake, tlsrec.Version10, msg), nil
+}
+
+// alertRecord frames a fatal alert of the given description.
+func alertRecord(desc byte) []byte {
+	return []byte{tlsrec.TypeAlert, 3, 3, 0, 2, 2 /* fatal */, desc}
+}
+
+// TLS alert descriptions used by fail paths.
+const (
+	alertUnexpectedMessage = 10
+	alertBadRecordMAC      = 20
+	alertHandshakeFailure  = 40
+	alertBadCertificate    = 42
+	alertIllegalParameter  = 47
+	alertDecryptError      = 51
+)
+
+// fail latches err and queues a fatal alert for the peer — under the new
+// cipher state once our ChangeCipherSpec is on the wire (RFC 5246 §7.2:
+// post-CCS records, alerts included, travel protected).
+func (e *Engine) fail(desc byte, err error) error {
+	if e.err == nil {
+		e.err = err
+		if e.sentCCS && e.seal != nil {
+			if rec, serr := e.seal.Seal(tlsrec.TypeAlert, []byte{2 /* fatal */, desc}); serr == nil {
+				e.out = append(e.out, rec...)
+				return e.err
+			}
+		}
+		e.out = append(e.out, alertRecord(desc)...)
+	}
+	return e.err
+}
+
+// Feed processes one complete TLS record (header included) from the peer
+// and returns bytes to write to the transport — response flights, or a
+// fatal alert when err != nil. Callers must write the returned bytes even
+// on error so the peer learns of the failure.
+func (e *Engine) Feed(record []byte) ([]byte, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.state == stDone {
+		return nil, errors.New("tlshake: Feed after completion")
+	}
+	if !e.started {
+		e.Start() // server side: lazily arms the certificate check
+		if e.err != nil {
+			return e.takeOut(), e.err
+		}
+	}
+	typ, ver, length, err := tlsrec.ParseHeader(record)
+	if err != nil || len(record) != tlsrec.HeaderSize+length {
+		e.fail(alertUnexpectedMessage, fmt.Errorf("%w: bad record framing", ErrHandshakeFailed))
+		return e.takeOut(), e.err
+	}
+	if ver>>8 != 3 {
+		e.fail(alertIllegalParameter, fmt.Errorf("%w: record version %04x", ErrHandshakeFailed, ver))
+		return e.takeOut(), e.err
+	}
+	switch typ {
+	case tlsrec.TypeChangeCipher:
+		if e.peerCCS || !e.atCCSPoint() || length != 1 || record[tlsrec.HeaderSize] != 1 {
+			e.fail(alertUnexpectedMessage, fmt.Errorf("%w: unexpected ChangeCipherSpec", ErrHandshakeFailed))
+			break
+		}
+		e.peerCCS = true
+	case tlsrec.TypeHandshake:
+		data := record[tlsrec.HeaderSize:]
+		if e.peerCCS {
+			// Past the peer's ChangeCipherSpec, handshake records (the
+			// Finished) arrive under the new keys.
+			rtyp, pt, err := e.open.Open(record)
+			if err != nil || rtyp != tlsrec.TypeHandshake {
+				e.fail(alertBadRecordMAC, fmt.Errorf("%w: cannot open encrypted handshake record: %v", ErrHandshakeFailed, err))
+				break
+			}
+			data = pt
+		}
+		e.hsBuf = append(e.hsBuf, data...)
+		e.drainMessages()
+	case tlsrec.TypeAlert:
+		e.fail(alertUnexpectedMessage, fmt.Errorf("%w: peer alert %v", ErrHandshakeFailed, record[tlsrec.HeaderSize:]))
+	default:
+		e.fail(alertUnexpectedMessage, fmt.Errorf("%w: record type %d during handshake", ErrHandshakeFailed, typ))
+	}
+	return e.takeOut(), e.err
+}
+
+func (e *Engine) takeOut() []byte {
+	out := e.out
+	e.out = nil
+	return out
+}
+
+// atCCSPoint reports whether the peer's ChangeCipherSpec is legal now:
+// exactly between its key-exchange flight and its Finished.
+func (e *Engine) atCCSPoint() bool {
+	return e.state == stExpectClientFinished || e.state == stExpectServerFinished
+}
+
+// maxHandshakeMsg bounds one handshake message (crypto/tls uses the same
+// 64 KiB cap): the 24-bit wire length is attacker-controlled before any
+// authentication, so without a cap an unauthenticated peer could pin
+// ~16 MB of reassembly buffer per connection.
+const maxHandshakeMsg = 65536
+
+// drainMessages extracts complete handshake messages from the reassembly
+// buffer and dispatches them.
+func (e *Engine) drainMessages() {
+	for e.err == nil && e.state != stDone && len(e.hsBuf) >= 4 {
+		n := int(e.hsBuf[1])<<16 | int(e.hsBuf[2])<<8 | int(e.hsBuf[3])
+		if n > maxHandshakeMsg {
+			e.fail(alertIllegalParameter, fmt.Errorf("%w: %d-byte handshake message exceeds the %d cap", ErrHandshakeFailed, n, maxHandshakeMsg))
+			return
+		}
+		if len(e.hsBuf) < 4+n {
+			return
+		}
+		msg := e.hsBuf[:4+n]
+		e.hsBuf = e.hsBuf[4+n:]
+		e.handleMessage(msg[0], msg, msg[4:])
+	}
+}
+
+func (e *Engine) handleMessage(typ byte, full, body []byte) {
+	var err error
+	switch {
+	case e.state == stExpectClientHello && typ == msgClientHello:
+		err = e.serverHandleClientHello(full, body)
+	case e.state == stExpectClientKeyExchange && typ == msgClientKeyExchange:
+		err = e.serverHandleClientKeyExchange(full, body)
+	case e.state == stExpectClientFinished && typ == msgFinished:
+		err = e.serverHandleFinished(full, body)
+	case e.state == stExpectServerHello && typ == msgServerHello:
+		err = e.clientHandleServerHello(full, body)
+	case e.state == stExpectCertificate && typ == msgCertificate:
+		err = e.clientHandleCertificate(full, body)
+	case e.state == stExpectServerKeyExchange && typ == msgServerKeyExchange:
+		err = e.clientHandleServerKeyExchange(full, body)
+	case e.state == stExpectServerHelloDone && typ == msgServerHelloDone:
+		err = e.clientHandleServerHelloDone(full, body)
+	case e.state == stExpectServerFinished && typ == msgFinished:
+		err = e.clientHandleFinished(full, body)
+	case typ == msgCertificateReq:
+		e.fail(alertHandshakeFailure, fmt.Errorf("%w: client certificates not supported", ErrHandshakeFailed))
+		return
+	default:
+		e.fail(alertUnexpectedMessage, fmt.Errorf("%w: message type %d in state %d", ErrHandshakeFailed, typ, e.state))
+		return
+	}
+	if err != nil && e.err == nil {
+		// Handlers that did not pick a specific alert fail generically.
+		e.fail(alertHandshakeFailure, err)
+	}
+}
+
+// ---- server side ----
+
+func (e *Engine) serverHandleClientHello(full, body []byte) error {
+	ch, err := parseClientHello(body)
+	if err != nil {
+		return err
+	}
+	if ch.version < tlsrec.Version12 {
+		return e.fail(alertHandshakeFailure, fmt.Errorf("%w: client offers %04x, need TLS 1.2", ErrHandshakeFailed, ch.version))
+	}
+	suiteOK := false
+	for _, s := range ch.cipherSuites {
+		if s == suiteECDHERSA {
+			suiteOK = true
+			break
+		}
+	}
+	if !suiteOK {
+		return e.fail(alertHandshakeFailure, fmt.Errorf("%w: client does not offer ECDHE_RSA_WITH_AES_128_CBC_SHA", ErrHandshakeFailed))
+	}
+	if !bytes.ContainsRune(ch.compressions, 0) {
+		return e.fail(alertHandshakeFailure, fmt.Errorf("%w: client refuses null compression", ErrHandshakeFailed))
+	}
+	if ch.hasPoints && !bytes.ContainsRune(ch.pointFormats, 0) {
+		return e.fail(alertHandshakeFailure, fmt.Errorf("%w: client refuses uncompressed points", ErrHandshakeFailed))
+	}
+	// Curve: first of the client's preferences we support; a hello
+	// without the extension defaults to P-256, the universal curve.
+	e.curveID = 0
+	if !ch.hasGroups {
+		e.curveID = groupP256
+	}
+	for _, g := range ch.groups {
+		if curveFor(g) != nil {
+			e.curveID = g
+			break
+		}
+	}
+	if e.curveID == 0 {
+		return e.fail(alertHandshakeFailure, fmt.Errorf("%w: no common ECDHE curve", ErrHandshakeFailed))
+	}
+	// Signature algorithm: our preference among the client's offers; no
+	// extension means SHA-1 (RFC 5246 §7.4.1.4.1's default).
+	sigAlg := sigRSASHA1
+	if ch.hasSigAlgs {
+		sigAlg = 0
+		for _, pref := range []uint16{sigRSASHA256, sigRSASHA384, sigRSASHA512, sigRSASHA1} {
+			for _, a := range ch.sigAlgs {
+				if a == pref {
+					sigAlg = pref
+					break
+				}
+			}
+			if sigAlg != 0 {
+				break
+			}
+		}
+		if sigAlg == 0 {
+			return e.fail(alertHandshakeFailure, fmt.Errorf("%w: no common RSA signature algorithm", ErrHandshakeFailed))
+		}
+	}
+	e.ems = ch.ems
+	e.clientRandom = append([]byte(nil), ch.random...)
+	e.serverRandom = make([]byte, 32)
+	if _, err := io.ReadFull(e.cfg.rand(), e.serverRandom); err != nil {
+		return fmt.Errorf("tlshake: entropy: %w", err)
+	}
+	e.transcript.Write(full)
+
+	// ServerHello.
+	sh := &builder{}
+	sh.u16(tlsrec.Version12)
+	sh.raw(e.serverRandom)
+	sh.u8(0) // empty session_id: no resumption
+	sh.u16(suiteECDHERSA)
+	sh.u8(0) // null compression
+	sh.vec(2, func(w *builder) {
+		if ch.renego {
+			w.u16(extRenegotiationInfo)
+			w.vec(2, func(w *builder) { w.u8(0) })
+		}
+		if e.ems {
+			w.u16(extExtendedMasterSec)
+			w.u16(0)
+		}
+	})
+	flight := handshakeMsg(msgServerHello, sh.bytes())
+	e.transcript.Write(flight)
+
+	// Certificate.
+	cb := &builder{}
+	cb.vec(3, func(w *builder) {
+		for _, der := range e.cfg.Certificate.Certificate {
+			w.vec(3, func(w *builder) { w.raw(der) })
+		}
+	})
+	certMsg := handshakeMsg(msgCertificate, cb.bytes())
+	e.transcript.Write(certMsg)
+	flight = append(flight, certMsg...)
+
+	// ServerKeyExchange: ephemeral ECDH params signed with the
+	// certificate's RSA key over client_random || server_random || params.
+	e.ecdhPriv, err = curveFor(e.curveID).GenerateKey(e.cfg.rand())
+	if err != nil {
+		return fmt.Errorf("tlshake: ECDHE keygen: %w", err)
+	}
+	point := e.ecdhPriv.PublicKey().Bytes()
+	pb := &builder{}
+	pb.u8(3) // named_curve
+	pb.u16(e.curveID)
+	pb.vec(1, func(w *builder) { w.raw(point) })
+	params := pb.bytes()
+
+	h, _ := sigHash(sigAlg)
+	d := h.New()
+	d.Write(e.clientRandom)
+	d.Write(e.serverRandom)
+	d.Write(params)
+	signer, ok := e.cfg.Certificate.PrivateKey.(crypto.Signer)
+	if !ok {
+		return fmt.Errorf("%w: certificate key cannot sign", ErrHandshakeFailed)
+	}
+	if _, ok := signer.Public().(*rsa.PublicKey); !ok {
+		return fmt.Errorf("%w: ECDHE_RSA requires an RSA certificate key", ErrHandshakeFailed)
+	}
+	sig, err := signer.Sign(e.cfg.rand(), d.Sum(nil), h)
+	if err != nil {
+		return fmt.Errorf("tlshake: signing ServerKeyExchange: %w", err)
+	}
+	kb := &builder{}
+	kb.raw(params)
+	kb.u16(sigAlg)
+	kb.vec(2, func(w *builder) { w.raw(sig) })
+	skxMsg := handshakeMsg(msgServerKeyExchange, kb.bytes())
+	e.transcript.Write(skxMsg)
+	flight = append(flight, skxMsg...)
+
+	shd := handshakeMsg(msgServerHelloDone, nil)
+	e.transcript.Write(shd)
+	flight = append(flight, shd...)
+
+	e.out = appendRecords(e.out, tlsrec.TypeHandshake, tlsrec.Version12, flight)
+	e.state = stExpectClientKeyExchange
+	return nil
+}
+
+func (e *Engine) serverHandleClientKeyExchange(full, body []byte) error {
+	point, err := parseClientKeyExchange(body)
+	if err != nil {
+		return err
+	}
+	e.transcript.Write(full)
+	if err := e.deriveKeys(point); err != nil {
+		return err
+	}
+	e.state = stExpectClientFinished
+	return nil
+}
+
+func (e *Engine) serverHandleFinished(full, body []byte) error {
+	if !e.peerCCS {
+		return e.fail(alertUnexpectedMessage, fmt.Errorf("%w: Finished before ChangeCipherSpec", ErrHandshakeFailed))
+	}
+	expect := prf12(e.masterSecret, "client finished", e.transcript.Sum(nil), finishedLen)
+	if len(body) != finishedLen || !bytes.Equal(body, expect) {
+		return e.fail(alertDecryptError, fmt.Errorf("%w: client Finished verify_data mismatch", ErrHandshakeFailed))
+	}
+	e.transcript.Write(full)
+	verify := prf12(e.masterSecret, "server finished", e.transcript.Sum(nil), finishedLen)
+	fin := handshakeMsg(msgFinished, verify)
+	e.transcript.Write(fin)
+	e.out = append(e.out, tlsrec.TypeChangeCipher, 3, 3, 0, 1, 1)
+	e.sentCCS = true
+	rec, err := e.seal.Seal(tlsrec.TypeHandshake, fin)
+	if err != nil {
+		return err
+	}
+	e.out = append(e.out, rec...)
+	e.state = stDone
+	return nil
+}
+
+// ---- client side ----
+
+func (e *Engine) buildClientHello() []byte {
+	b := &builder{}
+	b.u16(tlsrec.Version12)
+	b.raw(e.clientRandom)
+	b.u8(0) // empty session_id
+	b.vec(2, func(w *builder) {
+		w.u16(suiteECDHERSA)
+		w.u16(scsvRenegotiation)
+	})
+	b.vec(1, func(w *builder) { w.u8(0) }) // null compression only
+	b.vec(2, func(w *builder) {
+		if e.cfg.ServerName != "" {
+			w.u16(extServerName)
+			w.vec(2, func(w *builder) {
+				w.vec(2, func(w *builder) {
+					w.u8(0) // host_name
+					w.vec(2, func(w *builder) { w.raw([]byte(e.cfg.ServerName)) })
+				})
+			})
+		}
+		w.u16(extSupportedGroups)
+		w.vec(2, func(w *builder) {
+			w.vec(2, func(w *builder) {
+				for _, g := range supportedGroups {
+					w.u16(g.id)
+				}
+			})
+		})
+		w.u16(extECPointFormats)
+		w.vec(2, func(w *builder) {
+			w.vec(1, func(w *builder) { w.u8(0) }) // uncompressed
+		})
+		w.u16(extSignatureAlgs)
+		w.vec(2, func(w *builder) {
+			w.vec(2, func(w *builder) {
+				for _, a := range []uint16{sigRSASHA256, sigRSASHA384, sigRSASHA512, sigRSASHA1} {
+					w.u16(a)
+				}
+			})
+		})
+		w.u16(extExtendedMasterSec)
+		w.u16(0)
+	})
+	return handshakeMsg(msgClientHello, b.bytes())
+}
+
+func (e *Engine) clientHandleServerHello(full, body []byte) error {
+	sh, err := parseServerHello(body)
+	if err != nil {
+		return err
+	}
+	if sh.version != tlsrec.Version12 {
+		return e.fail(alertIllegalParameter, fmt.Errorf("%w: server negotiated %04x, need TLS 1.2", ErrHandshakeFailed, sh.version))
+	}
+	if sh.suite != suiteECDHERSA {
+		return e.fail(alertIllegalParameter, fmt.Errorf("%w: server selected suite %04x", ErrHandshakeFailed, sh.suite))
+	}
+	if sh.compr != 0 {
+		return e.fail(alertIllegalParameter, fmt.Errorf("%w: server selected compression", ErrHandshakeFailed))
+	}
+	e.serverRandom = append([]byte(nil), sh.random...)
+	e.ems = sh.ems
+	e.transcript.Write(full)
+	e.state = stExpectCertificate
+	return nil
+}
+
+func (e *Engine) clientHandleCertificate(full, body []byte) error {
+	ders, err := parseCertificateMsg(body)
+	if err != nil {
+		return err
+	}
+	certs := make([]*x509.Certificate, 0, len(ders))
+	for _, der := range ders {
+		c, err := x509.ParseCertificate(der)
+		if err != nil {
+			return e.fail(alertBadCertificate, fmt.Errorf("%w: %v", ErrBadCertificate, err))
+		}
+		certs = append(certs, c)
+	}
+	if !e.cfg.InsecureSkipVerify {
+		opts := x509.VerifyOptions{
+			Roots:         e.cfg.RootCAs,
+			DNSName:       e.cfg.ServerName,
+			Intermediates: x509.NewCertPool(),
+			KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		}
+		if e.cfg.Time != nil {
+			opts.CurrentTime = e.cfg.Time()
+		}
+		for _, c := range certs[1:] {
+			opts.Intermediates.AddCert(c)
+		}
+		if _, err := certs[0].Verify(opts); err != nil {
+			return e.fail(alertBadCertificate, fmt.Errorf("%w: %v", ErrBadCertificate, err))
+		}
+	}
+	if _, ok := certs[0].PublicKey.(*rsa.PublicKey); !ok {
+		return e.fail(alertBadCertificate, fmt.Errorf("%w: ECDHE_RSA requires an RSA server certificate", ErrBadCertificate))
+	}
+	e.peerCerts = certs
+	e.transcript.Write(full)
+	e.state = stExpectServerKeyExchange
+	return nil
+}
+
+func (e *Engine) clientHandleServerKeyExchange(full, body []byte) error {
+	skx, err := parseServerKeyExchange(body)
+	if err != nil {
+		return err
+	}
+	curve := curveFor(skx.curveID)
+	if curve == nil {
+		return e.fail(alertIllegalParameter, fmt.Errorf("%w: server chose unsupported curve %d", ErrHandshakeFailed, skx.curveID))
+	}
+	h, ok := sigHash(skx.sigAlg)
+	if !ok {
+		return e.fail(alertIllegalParameter, fmt.Errorf("%w: server signed with unsupported algorithm %04x", ErrHandshakeFailed, skx.sigAlg))
+	}
+	d := h.New()
+	d.Write(e.clientRandom)
+	d.Write(e.serverRandom)
+	d.Write(skx.params)
+	pub := e.peerCerts[0].PublicKey.(*rsa.PublicKey)
+	if err := rsa.VerifyPKCS1v15(pub, h, d.Sum(nil), skx.sig); err != nil {
+		return e.fail(alertDecryptError, fmt.Errorf("%w: ServerKeyExchange signature invalid: %v", ErrHandshakeFailed, err))
+	}
+	e.curveID = skx.curveID
+	e.ecdhPriv, err = curve.GenerateKey(e.cfg.rand())
+	if err != nil {
+		return fmt.Errorf("tlshake: ECDHE keygen: %w", err)
+	}
+	e.peerPoint = append([]byte(nil), skx.point...)
+	e.transcript.Write(full)
+	e.state = stExpectServerHelloDone
+	return nil
+}
+
+func (e *Engine) clientHandleServerHelloDone(full, body []byte) error {
+	if len(body) != 0 {
+		return errDecode
+	}
+	e.transcript.Write(full)
+
+	point := e.ecdhPriv.PublicKey().Bytes()
+	kb := &builder{}
+	kb.vec(1, func(w *builder) { w.raw(point) })
+	ckx := handshakeMsg(msgClientKeyExchange, kb.bytes())
+	e.transcript.Write(ckx)
+	if err := e.deriveKeys(e.peerPoint); err != nil {
+		return err
+	}
+	verify := prf12(e.masterSecret, "client finished", e.transcript.Sum(nil), finishedLen)
+	fin := handshakeMsg(msgFinished, verify)
+	e.transcript.Write(fin)
+
+	e.out = appendRecords(e.out, tlsrec.TypeHandshake, tlsrec.Version12, ckx)
+	e.out = append(e.out, tlsrec.TypeChangeCipher, 3, 3, 0, 1, 1)
+	e.sentCCS = true
+	rec, err := e.seal.Seal(tlsrec.TypeHandshake, fin)
+	if err != nil {
+		return err
+	}
+	e.out = append(e.out, rec...)
+	e.state = stExpectServerFinished
+	return nil
+}
+
+func (e *Engine) clientHandleFinished(full, body []byte) error {
+	if !e.peerCCS {
+		return e.fail(alertUnexpectedMessage, fmt.Errorf("%w: Finished before ChangeCipherSpec", ErrHandshakeFailed))
+	}
+	expect := prf12(e.masterSecret, "server finished", e.transcript.Sum(nil), finishedLen)
+	if len(body) != finishedLen || !bytes.Equal(body, expect) {
+		return e.fail(alertDecryptError, fmt.Errorf("%w: server Finished verify_data mismatch", ErrHandshakeFailed))
+	}
+	e.transcript.Write(full)
+	e.state = stDone
+	return nil
+}
+
+// ---- shared key schedule ----
+
+// deriveKeys runs ECDH against the peer's point, computes the master
+// secret (extended form when negotiated, RFC 7627 — the transcript must
+// already include the ClientKeyExchange), expands the key block and
+// instantiates the SuiteTLS12 record states for both directions.
+func (e *Engine) deriveKeys(peerPoint []byte) error {
+	peerPub, err := e.ecdhPriv.Curve().NewPublicKey(peerPoint)
+	if err != nil {
+		return e.fail(alertIllegalParameter, fmt.Errorf("%w: bad ECDH point: %v", ErrHandshakeFailed, err))
+	}
+	preMaster, err := e.ecdhPriv.ECDH(peerPub)
+	if err != nil {
+		return e.fail(alertIllegalParameter, fmt.Errorf("%w: ECDH: %v", ErrHandshakeFailed, err))
+	}
+	if e.ems {
+		sessionHash := e.transcript.Sum(nil)
+		e.masterSecret = prf12(preMaster, "extended master secret", sessionHash, masterSecretLen)
+	} else {
+		seed := append(append([]byte(nil), e.clientRandom...), e.serverRandom...)
+		e.masterSecret = prf12(preMaster, "master secret", seed, masterSecretLen)
+	}
+	macLen := tlsrec.SuiteTLS12.MACSize()
+	seed := append(append([]byte(nil), e.serverRandom...), e.clientRandom...)
+	block := prf12(e.masterSecret, "key expansion", seed, 2*macLen+2*16)
+	clientMAC := block[:macLen]
+	serverMAC := block[macLen : 2*macLen]
+	clientKey := block[2*macLen : 2*macLen+16]
+	serverKey := block[2*macLen+16:]
+
+	sealKey, sealMAC, openKey, openMAC := serverKey, serverMAC, clientKey, clientMAC
+	if e.isClient {
+		sealKey, sealMAC, openKey, openMAC = clientKey, clientMAC, serverKey, serverMAC
+	}
+	if e.seal, err = tlsrec.NewSeal(tlsrec.SuiteTLS12, sealKey, sealMAC); err != nil {
+		return err
+	}
+	if e.open, err = tlsrec.NewOpen(tlsrec.SuiteTLS12, openKey, openMAC); err != nil {
+		return err
+	}
+	return nil
+}
+
+// appendRecords frames payload as one or more records of typ (splitting at
+// the record-size limit — certificate chains can exceed one record).
+func appendRecords(dst []byte, typ byte, ver uint16, payload []byte) []byte {
+	for len(payload) > 0 {
+		n := len(payload)
+		if n > tlsrec.MaxPlaintext {
+			n = tlsrec.MaxPlaintext
+		}
+		dst = append(dst, typ, byte(ver>>8), byte(ver))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(n))
+		dst = append(dst, payload[:n]...)
+		payload = payload[n:]
+	}
+	return dst
+}

@@ -1,0 +1,382 @@
+package tlshake
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Handshake message types (RFC 5246 §7.4).
+const (
+	msgClientHello       byte = 1
+	msgServerHello       byte = 2
+	msgCertificate       byte = 11
+	msgServerKeyExchange byte = 12
+	msgCertificateReq    byte = 13
+	msgServerHelloDone   byte = 14
+	msgClientKeyExchange byte = 16
+	msgFinished          byte = 20
+)
+
+// Extension numbers (IANA TLS ExtensionType registry).
+const (
+	extServerName        uint16 = 0
+	extSupportedGroups   uint16 = 10
+	extECPointFormats    uint16 = 11
+	extSignatureAlgs     uint16 = 13
+	extExtendedMasterSec uint16 = 23
+	extRenegotiationInfo uint16 = 0xff01
+)
+
+// suiteECDHERSA is TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA — the one honest
+// ciphersuite this package speaks.
+const suiteECDHERSA uint16 = 0xC013
+
+// scsvRenegotiation is TLS_EMPTY_RENEGOTIATION_INFO_SCSV (RFC 5746).
+const scsvRenegotiation uint16 = 0x00ff
+
+// Named groups (RFC 8422 §5.1.1), in this implementation's support set.
+const (
+	groupP256   uint16 = 23
+	groupP384   uint16 = 24
+	groupX25519 uint16 = 29
+)
+
+// SignatureScheme values this implementation signs/verifies with
+// (hash(1)||sig(1), sig byte 1 = RSA PKCS#1 v1.5).
+const (
+	sigRSASHA1   uint16 = 0x0201
+	sigRSASHA256 uint16 = 0x0401
+	sigRSASHA384 uint16 = 0x0501
+	sigRSASHA512 uint16 = 0x0601
+)
+
+var errDecode = errors.New("tlshake: malformed handshake message")
+
+// builder accumulates wire structures with TLS's length-prefixed vectors.
+type builder struct{ b []byte }
+
+func (w *builder) u8(v byte)     { w.b = append(w.b, v) }
+func (w *builder) u16(v uint16)  { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *builder) raw(p []byte)  { w.b = append(w.b, p...) }
+func (w *builder) u24(v int)     { w.b = append(w.b, byte(v>>16), byte(v>>8), byte(v)) }
+func (w *builder) bytes() []byte { return w.b }
+
+// vec appends a length-prefixed vector: sizeLen is the prefix width in
+// bytes (1, 2 or 3); f fills the contents.
+func (w *builder) vec(sizeLen int, f func(*builder)) {
+	mark := len(w.b)
+	w.b = append(w.b, make([]byte, sizeLen)...)
+	f(w)
+	n := len(w.b) - mark - sizeLen
+	switch sizeLen {
+	case 1:
+		w.b[mark] = byte(n)
+	case 2:
+		binary.BigEndian.PutUint16(w.b[mark:], uint16(n))
+	case 3:
+		w.b[mark] = byte(n >> 16)
+		w.b[mark+1] = byte(n >> 8)
+		w.b[mark+2] = byte(n)
+	}
+}
+
+// handshakeMsg frames body as one handshake message: type(1) length(3) body.
+func handshakeMsg(typ byte, body []byte) []byte {
+	w := &builder{b: make([]byte, 0, 4+len(body))}
+	w.u8(typ)
+	w.u24(len(body))
+	w.raw(body)
+	return w.bytes()
+}
+
+// reader consumes wire structures; every accessor reports ok=false on
+// underflow so parsers can fail without panicking on hostile input.
+type reader struct{ b []byte }
+
+func (r *reader) empty() bool { return len(r.b) == 0 }
+
+func (r *reader) u8() (byte, bool) {
+	if len(r.b) < 1 {
+		return 0, false
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, true
+}
+
+func (r *reader) u16() (uint16, bool) {
+	if len(r.b) < 2 {
+		return 0, false
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v, true
+}
+
+func (r *reader) u24() (int, bool) {
+	if len(r.b) < 3 {
+		return 0, false
+	}
+	v := int(r.b[0])<<16 | int(r.b[1])<<8 | int(r.b[2])
+	r.b = r.b[3:]
+	return v, true
+}
+
+func (r *reader) take(n int) ([]byte, bool) {
+	if n < 0 || len(r.b) < n {
+		return nil, false
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, true
+}
+
+func (r *reader) vec8() ([]byte, bool) {
+	n, ok := r.u8()
+	if !ok {
+		return nil, false
+	}
+	return r.take(int(n))
+}
+
+func (r *reader) vec16() ([]byte, bool) {
+	n, ok := r.u16()
+	if !ok {
+		return nil, false
+	}
+	return r.take(int(n))
+}
+
+func (r *reader) vec24() ([]byte, bool) {
+	n, ok := r.u24()
+	if !ok {
+		return nil, false
+	}
+	return r.take(n)
+}
+
+// clientHello is the parsed subset of a ClientHello this server cares
+// about.
+type clientHello struct {
+	version      uint16
+	random       []byte
+	cipherSuites []uint16
+	compressions []byte
+	groups       []uint16 // supported_groups, client preference order
+	hasGroups    bool
+	pointFormats []byte
+	hasPoints    bool
+	sigAlgs      []uint16
+	hasSigAlgs   bool
+	ems          bool
+	renego       bool // renegotiation_info extension or SCSV present
+	serverName   string
+}
+
+func parseClientHello(body []byte) (*clientHello, error) {
+	ch := &clientHello{}
+	r := &reader{b: body}
+	var ok bool
+	if ch.version, ok = r.u16(); !ok {
+		return nil, errDecode
+	}
+	if ch.random, ok = r.take(32); !ok {
+		return nil, errDecode
+	}
+	if _, ok = r.vec8(); !ok { // session_id, ignored (no resumption)
+		return nil, errDecode
+	}
+	suites, ok := r.vec16()
+	if !ok || len(suites)%2 != 0 {
+		return nil, errDecode
+	}
+	for i := 0; i < len(suites); i += 2 {
+		s := binary.BigEndian.Uint16(suites[i:])
+		if s == scsvRenegotiation {
+			ch.renego = true
+		}
+		ch.cipherSuites = append(ch.cipherSuites, s)
+	}
+	if ch.compressions, ok = r.vec8(); !ok {
+		return nil, errDecode
+	}
+	if r.empty() {
+		return ch, nil // extensions are optional
+	}
+	exts, ok := r.vec16()
+	if !ok {
+		return nil, errDecode
+	}
+	er := &reader{b: exts}
+	for !er.empty() {
+		id, ok1 := er.u16()
+		data, ok2 := er.vec16()
+		if !ok1 || !ok2 {
+			return nil, errDecode
+		}
+		dr := &reader{b: data}
+		switch id {
+		case extSupportedGroups:
+			gs, ok := dr.vec16()
+			if !ok || len(gs)%2 != 0 {
+				return nil, errDecode
+			}
+			ch.hasGroups = true
+			for i := 0; i < len(gs); i += 2 {
+				ch.groups = append(ch.groups, binary.BigEndian.Uint16(gs[i:]))
+			}
+		case extECPointFormats:
+			if ch.pointFormats, ok = dr.vec8(); !ok {
+				return nil, errDecode
+			}
+			ch.hasPoints = true
+		case extSignatureAlgs:
+			as, ok := dr.vec16()
+			if !ok || len(as)%2 != 0 {
+				return nil, errDecode
+			}
+			ch.hasSigAlgs = true
+			for i := 0; i < len(as); i += 2 {
+				ch.sigAlgs = append(ch.sigAlgs, binary.BigEndian.Uint16(as[i:]))
+			}
+		case extExtendedMasterSec:
+			ch.ems = true
+		case extRenegotiationInfo:
+			ch.renego = true
+		case extServerName:
+			// server_name_list: one or more (type(1), name(2-prefixed));
+			// only host_name (0) entries matter.
+			list, ok := dr.vec16()
+			if !ok {
+				return nil, errDecode
+			}
+			lr := &reader{b: list}
+			for !lr.empty() {
+				typ, ok1 := lr.u8()
+				name, ok2 := lr.vec16()
+				if !ok1 || !ok2 {
+					return nil, errDecode
+				}
+				if typ == 0 && ch.serverName == "" {
+					ch.serverName = string(name)
+				}
+			}
+		}
+	}
+	return ch, nil
+}
+
+// serverHello is the parsed subset of a ServerHello this client cares
+// about.
+type serverHello struct {
+	version uint16
+	random  []byte
+	suite   uint16
+	compr   byte
+	ems     bool
+}
+
+func parseServerHello(body []byte) (*serverHello, error) {
+	sh := &serverHello{}
+	r := &reader{b: body}
+	var ok bool
+	if sh.version, ok = r.u16(); !ok {
+		return nil, errDecode
+	}
+	if sh.random, ok = r.take(32); !ok {
+		return nil, errDecode
+	}
+	if _, ok = r.vec8(); !ok { // session_id
+		return nil, errDecode
+	}
+	if sh.suite, ok = r.u16(); !ok {
+		return nil, errDecode
+	}
+	if sh.compr, ok = r.u8(); !ok {
+		return nil, errDecode
+	}
+	if r.empty() {
+		return sh, nil
+	}
+	exts, ok := r.vec16()
+	if !ok {
+		return nil, errDecode
+	}
+	er := &reader{b: exts}
+	for !er.empty() {
+		id, ok1 := er.u16()
+		_, ok2 := er.vec16()
+		if !ok1 || !ok2 {
+			return nil, errDecode
+		}
+		if id == extExtendedMasterSec {
+			sh.ems = true
+		}
+	}
+	return sh, nil
+}
+
+// parseCertificateMsg returns the DER certificates of a Certificate
+// message, leaf first.
+func parseCertificateMsg(body []byte) ([][]byte, error) {
+	r := &reader{b: body}
+	list, ok := r.vec24()
+	if !ok || !r.empty() {
+		return nil, errDecode
+	}
+	lr := &reader{b: list}
+	var certs [][]byte
+	for !lr.empty() {
+		der, ok := lr.vec24()
+		if !ok || len(der) == 0 {
+			return nil, errDecode
+		}
+		certs = append(certs, der)
+	}
+	if len(certs) == 0 {
+		return nil, errDecode
+	}
+	return certs, nil
+}
+
+// serverKeyExchange is a parsed ECDHE ServerKeyExchange (RFC 8422 §5.4).
+type serverKeyExchange struct {
+	curveID uint16
+	point   []byte
+	params  []byte // the signed ServerECDHParams bytes
+	sigAlg  uint16
+	sig     []byte
+}
+
+func parseServerKeyExchange(body []byte) (*serverKeyExchange, error) {
+	skx := &serverKeyExchange{}
+	r := &reader{b: body}
+	curveType, ok := r.u8()
+	if !ok || curveType != 3 { // named_curve
+		return nil, errDecode
+	}
+	if skx.curveID, ok = r.u16(); !ok {
+		return nil, errDecode
+	}
+	if skx.point, ok = r.vec8(); !ok || len(skx.point) == 0 {
+		return nil, errDecode
+	}
+	skx.params = body[:len(body)-len(r.b)]
+	if skx.sigAlg, ok = r.u16(); !ok {
+		return nil, errDecode
+	}
+	if skx.sig, ok = r.vec16(); !ok || !r.empty() {
+		return nil, errDecode
+	}
+	return skx, nil
+}
+
+// parseClientKeyExchange returns the client's ECDH public point.
+func parseClientKeyExchange(body []byte) ([]byte, error) {
+	r := &reader{b: body}
+	point, ok := r.vec8()
+	if !ok || len(point) == 0 || !r.empty() {
+		return nil, errDecode
+	}
+	return point, nil
+}

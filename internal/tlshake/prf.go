@@ -1,0 +1,33 @@
+package tlshake
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// prf12 is the TLS 1.2 pseudo-random function (RFC 5246 §5): P_SHA256
+// expansion of secret over label||seed, truncated to n bytes. All key
+// material and both Finished verify_data values come from it.
+func prf12(secret []byte, label string, seed []byte, n int) []byte {
+	ls := make([]byte, 0, len(label)+len(seed))
+	ls = append(append(ls, label...), seed...)
+	out := make([]byte, 0, n+sha256.Size)
+	h := hmac.New(sha256.New, secret)
+	a := ls
+	for len(out) < n {
+		h.Reset()
+		h.Write(a)
+		a = h.Sum(nil)
+		h.Reset()
+		h.Write(a)
+		h.Write(ls)
+		out = h.Sum(out)
+	}
+	return out[:n]
+}
+
+// masterSecretLen is the fixed TLS master secret size (RFC 5246 §8.1).
+const masterSecretLen = 48
+
+// finishedLen is the verify_data length of a Finished message.
+const finishedLen = 12

@@ -1,0 +1,392 @@
+package tlshake
+
+import (
+	"bytes"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"minion/internal/tlsrec"
+)
+
+// TestPRF12Vector pins P_SHA256 against the published TLS 1.2 PRF test
+// vector (secret/seed/label → 100-byte output).
+func TestPRF12Vector(t *testing.T) {
+	secret, _ := hex.DecodeString("9bbe436ba940f017b17652849a71db35")
+	seed, _ := hex.DecodeString("a0ba9f936cda311827a6f796ffd5198c")
+	want, _ := hex.DecodeString(
+		"e3f229ba727be17b8d122620557cd453c2aab21d07c3d495329b52d4e61edb5a" +
+			"6b301791e90d35c9c9a46b4e14baf9af0fa022f7077def17abfd3797c0564bab" +
+			"4fbc91666e9def9b97fce34f796789baa48082d122ee42c5a72e5a5110fff701" +
+			"87347b66")
+	got := prf12(secret, "test label", seed, 100)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("PRF mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+var certOnce struct {
+	sync.Once
+	cert tls.Certificate
+	pool *x509.CertPool
+	err  error
+}
+
+func testCert(t *testing.T) (tls.Certificate, *x509.CertPool) {
+	t.Helper()
+	certOnce.Do(func() {
+		certOnce.cert, certOnce.pool, certOnce.err = SelfSigned("minion.test", "127.0.0.1")
+	})
+	if certOnce.err != nil {
+		t.Fatalf("SelfSigned: %v", certOnce.err)
+	}
+	return certOnce.cert, certOnce.pool
+}
+
+// splitRecords cuts a concatenation of TLS records into individual
+// records.
+func splitRecords(t *testing.T, b []byte) [][]byte {
+	t.Helper()
+	var recs [][]byte
+	for len(b) > 0 {
+		if len(b) < tlsrec.HeaderSize {
+			t.Fatalf("trailing %d bytes are not a record", len(b))
+		}
+		n := int(binary.BigEndian.Uint16(b[3:5]))
+		if len(b) < tlsrec.HeaderSize+n {
+			t.Fatalf("record truncated: need %d have %d", n, len(b)-tlsrec.HeaderSize)
+		}
+		recs = append(recs, b[:tlsrec.HeaderSize+n])
+		b = b[tlsrec.HeaderSize+n:]
+	}
+	return recs
+}
+
+// shuttle drives two engines against each other in memory until both
+// complete or either fails.
+func shuttle(t *testing.T, cli, srv *Engine) {
+	t.Helper()
+	pending, err := cli.Start()
+	if err != nil {
+		t.Fatalf("client Start: %v", err)
+	}
+	if _, err := srv.Start(); err != nil {
+		t.Fatalf("server Start: %v", err)
+	}
+	to := srv
+	for i := 0; len(pending) > 0 && i < 32; i++ {
+		var next []byte
+		for _, rec := range splitRecords(t, pending) {
+			out, err := to.Feed(rec)
+			if err != nil {
+				t.Fatalf("Feed (isClient=%v): %v", to.isClient, err)
+			}
+			next = append(next, out...)
+		}
+		pending = next
+		if to == srv {
+			to = cli
+		} else {
+			to = srv
+		}
+	}
+	if !cli.Done() || !srv.Done() {
+		t.Fatalf("handshake incomplete: client=%v server=%v", cli.Done(), srv.Done())
+	}
+}
+
+func TestEngineToEngine(t *testing.T) {
+	cert, pool := testCert(t)
+	cli := NewClient(Config{RootCAs: pool, ServerName: "minion.test"})
+	srv := NewServer(Config{Certificate: &cert})
+	shuttle(t, cli, srv)
+
+	if len(cli.PeerCertificates()) != 1 {
+		t.Fatalf("client saw %d peer certs", len(cli.PeerCertificates()))
+	}
+	// Application data flows through the handed-over record states, both
+	// ways, starting at sequence 1 (Finished consumed 0).
+	cs, co := cli.Keys()
+	ss, so := srv.Keys()
+	if cs.Seq() != 1 || co.Seq() != 1 || ss.Seq() != 1 || so.Seq() != 1 {
+		t.Fatalf("post-handshake seqs: %d %d %d %d, want all 1", cs.Seq(), co.Seq(), ss.Seq(), so.Seq())
+	}
+	for i, msg := range [][]byte{[]byte("up"), bytes.Repeat([]byte{7}, 4000)} {
+		rec, err := cs.Seal(tlsrec.TypeAppData, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, pt, err := so.Open(rec)
+		if err != nil || typ != tlsrec.TypeAppData || !bytes.Equal(pt, msg) {
+			t.Fatalf("msg %d client→server: %v", i, err)
+		}
+		rec, err = ss.Seal(tlsrec.TypeAppData, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, pt, err = co.Open(rec)
+		if err != nil || typ != tlsrec.TypeAppData || !bytes.Equal(pt, msg) {
+			t.Fatalf("msg %d server→client: %v", i, err)
+		}
+	}
+}
+
+func TestClientRejectsUntrustedServer(t *testing.T) {
+	cert, _ := testCert(t)
+	cli := NewClient(Config{RootCAs: x509.NewCertPool(), ServerName: "minion.test"})
+	srv := NewServer(Config{Certificate: &cert})
+
+	pending, err := cli.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srvOut []byte
+	for _, rec := range splitRecords(t, pending) {
+		out, err := srv.Feed(rec)
+		if err != nil {
+			t.Fatalf("server Feed: %v", err)
+		}
+		srvOut = append(srvOut, out...)
+	}
+	var cliErr error
+	for _, rec := range splitRecords(t, srvOut) {
+		if _, err := cli.Feed(rec); err != nil {
+			cliErr = err
+			break
+		}
+	}
+	if !errors.Is(cliErr, ErrBadCertificate) {
+		t.Fatalf("client accepted untrusted chain: %v", cliErr)
+	}
+}
+
+func TestServerRequiresCertificate(t *testing.T) {
+	srv := NewServer(Config{})
+	if _, err := srv.Start(); !errors.Is(err, ErrNoCertificate) {
+		t.Fatalf("Start without certificate: %v", err)
+	}
+}
+
+// readRecord pulls one full TLS record off a stream.
+func readRecord(c net.Conn) ([]byte, error) {
+	hdr := make([]byte, tlsrec.HeaderSize)
+	if _, err := io.ReadFull(c, hdr); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr[3:5]))
+	rec := make([]byte, tlsrec.HeaderSize+n)
+	copy(rec, hdr)
+	if _, err := io.ReadFull(c, rec[tlsrec.HeaderSize:]); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// runEngine pumps an engine over a real stream until completion.
+func runEngine(c net.Conn, e *Engine) error {
+	out, err := e.Start()
+	if err != nil {
+		return err
+	}
+	if len(out) > 0 {
+		if _, err := c.Write(out); err != nil {
+			return err
+		}
+	}
+	for !e.Done() {
+		rec, err := readRecord(c)
+		if err != nil {
+			return err
+		}
+		out, ferr := e.Feed(rec)
+		if len(out) > 0 {
+			c.Write(out)
+		}
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+var stockConfigBase = tls.Config{
+	MinVersion:   tls.VersionTLS12,
+	MaxVersion:   tls.VersionTLS12,
+	CipherSuites: []uint16{tls.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA},
+}
+
+// TestStockClientAgainstEngineServer is the wire-compatibility core: an
+// unmodified crypto/tls client handshakes with the Engine server over a
+// kernel loopback socket and exchanges application data both ways.
+func TestStockClientAgainstEngineServer(t *testing.T) {
+	cert, pool := testCert(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	srvDone := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		defer c.Close()
+		e := NewServer(Config{Certificate: &cert})
+		if err := runEngine(c, e); err != nil {
+			srvDone <- err
+			return
+		}
+		seal, open := e.Keys()
+		// Echo one application record, then send a server-initiated one.
+		rec, err := readRecord(c)
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		typ, pt, err := open.Open(rec)
+		if err != nil || typ != tlsrec.TypeAppData {
+			srvDone <- errors.New("bad app record from stock client")
+			return
+		}
+		echo, _ := seal.Seal(tlsrec.TypeAppData, pt)
+		push, _ := seal.Seal(tlsrec.TypeAppData, []byte("server push"))
+		if _, err := c.Write(append(echo, push...)); err != nil {
+			srvDone <- err
+			return
+		}
+		srvDone <- nil
+	}()
+
+	cfg := stockConfigBase.Clone()
+	cfg.RootCAs = pool
+	cfg.ServerName = "minion.test"
+	tc, err := tls.Dial("tcp", ln.Addr().String(), cfg)
+	if err != nil {
+		t.Fatalf("stock crypto/tls client rejected the handshake: %v", err)
+	}
+	defer tc.Close()
+	if v := tc.ConnectionState().Version; v != tls.VersionTLS12 {
+		t.Fatalf("negotiated version %x", v)
+	}
+	if cs := tc.ConnectionState().CipherSuite; cs != tls.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA {
+		t.Fatalf("negotiated suite %04x", cs)
+	}
+	msg := []byte("hello from a stock TLS stack")
+	if _, err := tc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(tc, buf); err != nil {
+		t.Fatalf("reading echo: %v", err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("echo mismatch: %q", buf)
+	}
+	buf = make([]byte, len("server push"))
+	if _, err := io.ReadFull(tc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "server push" {
+		t.Fatalf("push mismatch: %q", buf)
+	}
+	if err := <-srvDone; err != nil {
+		t.Fatalf("engine server: %v", err)
+	}
+}
+
+// TestEngineClientAgainstStockServer runs the Engine's client side against
+// an unmodified crypto/tls server.
+func TestEngineClientAgainstStockServer(t *testing.T) {
+	cert, pool := testCert(t)
+	scfg := stockConfigBase.Clone()
+	scfg.Certificates = []tls.Certificate{cert}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	srvDone := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		defer c.Close()
+		b := make([]byte, 256)
+		n, err := c.Read(b)
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		_, err = c.Write(b[:n]) // echo
+		srvDone <- err
+	}()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	e := NewClient(Config{RootCAs: pool, ServerName: "minion.test"})
+	if err := runEngine(c, e); err != nil {
+		t.Fatalf("engine client vs stock server: %v", err)
+	}
+	seal, open := e.Keys()
+	msg := []byte("hello from the minion engine")
+	rec, _ := seal.Seal(tlsrec.TypeAppData, msg)
+	if _, err := c.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readRecord(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, pt, err := open.Open(back)
+	if err != nil || typ != tlsrec.TypeAppData || !bytes.Equal(pt, msg) {
+		t.Fatalf("echo through stock server: typ=%d err=%v %q", typ, err, pt)
+	}
+	if err := <-srvDone; err != nil {
+		t.Fatalf("stock server: %v", err)
+	}
+}
+
+// TestStockDefaultConfigClient checks a crypto/tls client with only
+// version pinned (no explicit suite list) still lands on our suite.
+func TestStockDefaultConfigClient(t *testing.T) {
+	cert, pool := testCert(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		e := NewServer(Config{Certificate: &cert})
+		runEngine(c, e)
+	}()
+	tc, err := tls.Dial("tcp", ln.Addr().String(), &tls.Config{
+		RootCAs:    pool,
+		ServerName: "minion.test",
+		MinVersion: tls.VersionTLS12,
+		MaxVersion: tls.VersionTLS12,
+	})
+	if err != nil {
+		t.Skipf("default-config crypto/tls client does not enable TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA: %v", err)
+	}
+	tc.Close()
+}

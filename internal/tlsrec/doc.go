@@ -1,0 +1,32 @@
+// Package tlsrec implements a TLS record layer sufficient to reproduce the
+// paper's uTLS design space (§6) and to interoperate with stock TLS
+// implementations: record framing (type, version, length), record MACs
+// computed over the TLS pseudo-header (sequence number, type, version,
+// length), and the ciphersuite classes whose chaining behaviour determines
+// whether out-of-order decryption is possible:
+//
+//   - SuiteNull: no encryption, no MAC — the state during initial key
+//     negotiation; uTLS must disable out-of-order delivery here (§6.1).
+//   - SuiteStreamChained: a stream cipher whose keystream position advances
+//     across records (RC4-like, emulated with AES-CTR); records are
+//     indecipherable out of order.
+//   - SuiteCBCImplicitIV: TLS 1.0 CBC, each record's IV is the previous
+//     record's last ciphertext block; also order-bound.
+//   - SuiteCBCExplicitIV: TLS 1.1 CBC with a per-record explicit IV and an
+//     HMAC-SHA256 record MAC; out-of-order-capable, used by the simulated
+//     design-space experiments.
+//   - SuiteTLS12: genuine TLS 1.2 AES_128_CBC_SHA (explicit IV, HMAC-SHA1,
+//     record version 0x0303) — the record format negotiated by the real
+//     ECDHE_RSA_WITH_AES_128_CBC_SHA handshake in minion/internal/tlshake.
+//     A stock TLS 1.2 peer seals and opens these records; like the TLS 1.1
+//     class, the explicit IV makes every record independently decryptable,
+//     so uTLS's out-of-order machinery works unchanged on top of it.
+//
+// Two key-exchange paths feed this layer. The simulated design-space
+// experiments use a pre-shared secret mixed with exchanged randoms
+// (DeriveKeys — see DESIGN.md §6); real interop uses the TLS 1.2 handshake
+// in minion/internal/tlshake, which derives keys with the TLS 1.2 PRF and
+// hands its Seal/Open pair (sequence state included) to the framing layer.
+// uTLS's algorithms operate purely at the record layer and never depend on
+// handshake internals.
+package tlsrec

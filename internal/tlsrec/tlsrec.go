@@ -1,29 +1,11 @@
-// Package tlsrec implements a TLS record layer sufficient to reproduce the
-// paper's uTLS design space (§6): record framing (type, version, length),
-// an HMAC-SHA256 record MAC computed over the TLS pseudo-header (sequence
-// number, type, version, length), and the four ciphersuite classes whose
-// chaining behaviour determines whether out-of-order decryption is
-// possible:
-//
-//   - SuiteNull: no encryption, no MAC — the state during initial key
-//     negotiation; uTLS must disable out-of-order delivery here (§6.1).
-//   - SuiteStreamChained: a stream cipher whose keystream position advances
-//     across records (RC4-like, emulated with AES-CTR); records are
-//     indecipherable out of order.
-//   - SuiteCBCImplicitIV: TLS 1.0 CBC, each record's IV is the previous
-//     record's last ciphertext block; also order-bound.
-//   - SuiteCBCExplicitIV: TLS 1.1 CBC with a per-record explicit IV; the
-//     only class supporting out-of-order decryption.
-//
-// Key exchange is simulated (a pre-shared secret mixed with exchanged
-// randoms — see DESIGN.md §6): uTLS's algorithms operate purely at the
-// record layer and never depend on handshake internals.
 package tlsrec
 
 import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha1"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -43,6 +25,7 @@ const (
 const (
 	Version10 uint16 = 0x0301 // TLS 1.0: implicit IVs
 	Version11 uint16 = 0x0302 // TLS 1.1: explicit IVs
+	Version12 uint16 = 0x0303 // TLS 1.2: explicit IVs, negotiated MAC/PRF hashes
 )
 
 // HeaderSize is the TLS record header length: type(1) version(2) length(2).
@@ -55,7 +38,7 @@ const MaxPlaintext = 16384
 const MaxCiphertext = MaxPlaintext + 512
 
 const (
-	macSize   = sha256.Size
+	macSize   = sha256.Size // legacy (simulated design-space) suites
 	blockSize = aes.BlockSize
 	keySize   = 16
 )
@@ -78,6 +61,11 @@ const (
 	SuiteStreamChained
 	SuiteCBCImplicitIV
 	SuiteCBCExplicitIV
+	// SuiteTLS12 is the genuine TLS 1.2 AES_128_CBC_SHA record format
+	// (explicit IV, HMAC-SHA1, version 0x0303) that stock implementations
+	// speak; it is selected by the real ECDHE_RSA handshake (tlshake), not
+	// by the simulated negotiation.
+	SuiteTLS12
 )
 
 var suiteNames = map[Suite]string{
@@ -85,6 +73,7 @@ var suiteNames = map[Suite]string{
 	SuiteStreamChained: "STREAM-CHAINED",
 	SuiteCBCImplicitIV: "CBC-IMPLICIT-IV(TLS1.0)",
 	SuiteCBCExplicitIV: "CBC-EXPLICIT-IV(TLS1.1)",
+	SuiteTLS12:         "TLS1.2-AES128-CBC-SHA",
 }
 
 func (s Suite) String() string {
@@ -96,33 +85,63 @@ func (s Suite) String() string {
 
 // SupportsOutOfOrder reports whether records sealed under this suite can be
 // decrypted and authenticated independently of preceding records. Only the
-// TLS 1.1 explicit-IV class qualifies; the null suite is excluded because
-// it carries no MAC to confirm a guessed record boundary (§6.1).
-func (s Suite) SupportsOutOfOrder() bool { return s == SuiteCBCExplicitIV }
+// explicit-IV CBC classes (TLS 1.1 and TLS 1.2) qualify; the null suite is
+// excluded because it carries no MAC to confirm a guessed record boundary
+// (§6.1).
+func (s Suite) SupportsOutOfOrder() bool {
+	return s == SuiteCBCExplicitIV || s == SuiteTLS12
+}
 
 // Version returns the wire version the suite implies.
 func (s Suite) Version() uint16 {
-	if s == SuiteCBCExplicitIV {
+	switch s {
+	case SuiteCBCExplicitIV:
 		return Version11
+	case SuiteTLS12:
+		return Version12
+	default:
+		return Version10
 	}
-	return Version10
 }
 
 // Authenticated reports whether records carry a MAC.
 func (s Suite) Authenticated() bool { return s != SuiteNull }
 
+// MACSize returns the record MAC length in bytes: SHA-1 for the genuine
+// TLS 1.2 AES_128_CBC_SHA suite, SHA-256 for the simulated design-space
+// suites, none under the null suite.
+func (s Suite) MACSize() int {
+	switch s {
+	case SuiteNull:
+		return 0
+	case SuiteTLS12:
+		return sha1.Size
+	default:
+		return macSize
+	}
+}
+
+// macHash returns the keyed-MAC hash constructor for the suite.
+func (s Suite) macHash() func() hash.Hash {
+	if s == SuiteTLS12 {
+		return sha1.New
+	}
+	return sha256.New
+}
+
 // SealedLen returns the exact wire length (header included) of a record
 // sealing n plaintext bytes under this suite.
 func (s Suite) SealedLen(n int) int {
+	mac := s.MACSize()
 	switch s {
 	case SuiteNull:
 		return HeaderSize + n
 	case SuiteStreamChained:
-		return HeaderSize + n + macSize
+		return HeaderSize + n + mac
 	case SuiteCBCImplicitIV:
-		return HeaderSize + n + macSize + padLenFor(n+macSize)
-	case SuiteCBCExplicitIV:
-		return HeaderSize + blockSize + n + macSize + padLenFor(n+macSize)
+		return HeaderSize + n + mac + padLenFor(n+mac)
+	case SuiteCBCExplicitIV, SuiteTLS12:
+		return HeaderSize + blockSize + n + mac + padLenFor(n+mac)
 	}
 	return -1
 }
@@ -137,19 +156,20 @@ func padLenFor(n int) int { return blockSize - n%blockSize }
 // a transport segment so a record never straddles a segment boundary.
 func (s Suite) MaxPlaintextFor(wire int) int {
 	var n int
+	mac := s.MACSize()
 	switch s {
 	case SuiteNull:
 		n = wire - HeaderSize
 	case SuiteStreamChained:
-		n = wire - HeaderSize - macSize
-	case SuiteCBCImplicitIV, SuiteCBCExplicitIV:
+		n = wire - HeaderSize - mac
+	case SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12:
 		body := wire - HeaderSize
-		if s == SuiteCBCExplicitIV {
+		if s != SuiteCBCImplicitIV {
 			body -= blockSize // explicit IV
 		}
 		// The padded (plaintext+MAC+pad) run is a whole number of cipher
 		// blocks with at least one pad byte.
-		n = body/blockSize*blockSize - macSize - 1
+		n = body/blockSize*blockSize - mac - 1
 	default:
 		return -1
 	}
@@ -212,19 +232,19 @@ type Seal struct {
 	ivSrc   func(b []byte) // explicit IV source (tests may override via SetIVSource)
 	ivCtr   uint64
 	// cached per-record machinery
-	hm     *hmacSHA256 // keyed HMAC state, reused across records
-	macBuf []byte      // scratch for hm.Sum
+	hm     *hmacState // keyed HMAC state, reused across records
+	macBuf []byte     // scratch for hm.Sum
 	enc    cipher.BlockMode
 }
 
-// NewSeal creates a sealer. cipherKey/macKey come from DeriveKeys (ignored
-// for SuiteNull).
+// NewSeal creates a sealer. cipherKey/macKey come from DeriveKeys or the
+// TLS 1.2 key expansion (ignored for SuiteNull).
 func NewSeal(suite Suite, cipherKey, macKey []byte) (*Seal, error) {
 	s := &Seal{suite: suite, version: suite.Version(), mac: macKey}
 	if suite == SuiteNull {
 		return s, nil
 	}
-	s.hm = newHMACSHA256(macKey)
+	s.hm = newHMACState(suite.macHash(), macKey)
 	b, err := aes.NewCipher(cipherKey)
 	if err != nil {
 		return nil, fmt.Errorf("tlsrec: %w", err)
@@ -245,11 +265,24 @@ func NewSeal(suite Suite, cipherKey, macKey []byte) (*Seal, error) {
 			binary.BigEndian.PutUint64(iv[8:], s.ivCtr)
 			s.block.Encrypt(iv, iv) // whiten
 		}
+	case SuiteTLS12:
+		// The honest suite draws unpredictable IVs, as RFC 5246 §6.2.3.2
+		// requires of a deployable implementation.
+		s.ivSrc = func(iv []byte) {
+			if _, err := rand.Read(iv); err != nil {
+				panic("tlsrec: crypto/rand failed: " + err.Error())
+			}
+		}
 	default:
 		return nil, ErrUnknownSuite
 	}
 	return s, nil
 }
+
+// SetIVSource overrides the explicit-IV generator (explicit-IV suites
+// only). Tests use it to pin record bytes; fn must fill its argument
+// (blockSize bytes) completely.
+func (s *Seal) SetIVSource(fn func(iv []byte)) { s.ivSrc = fn }
 
 // Seq returns the next record's sequence number.
 func (s *Seal) Seq() uint64 { return s.seq }
@@ -285,7 +318,7 @@ func (s *Seal) seal(recType byte, plaintext []byte, macSeq uint64) ([]byte, erro
 		body = make([]byte, len(padded))
 		s.cbcEncrypter(s.lastCBC).CryptBlocks(body, padded)
 		s.lastCBC = append(s.lastCBC[:0], body[len(body)-blockSize:]...)
-	case SuiteCBCExplicitIV:
+	case SuiteCBCExplicitIV, SuiteTLS12:
 		// Hot path: build header, IV, plaintext, MAC and padding directly
 		// in the output record and encrypt in place — one allocation per
 		// record, which the caller hands to the transport without copying.
@@ -357,22 +390,27 @@ func pad(b []byte) []byte {
 	return b
 }
 
-// hmacSHA256 is a minimal keyed HMAC for the record hot path. crypto/hmac
-// snapshots its keyed inner/outer digests on every Sum by marshaling the
-// hash state — one heap allocation per MAC, on both the seal and open
-// sides of every record. Re-hashing the 64-byte key pads from scratch is
-// a fixed extra compression round and allocation-free, which is the
-// better trade at datagram rates.
-type hmacSHA256 struct {
+// hmacState is a minimal keyed HMAC for the record hot path (SHA-256 for
+// the simulated suites, SHA-1 for the TLS 1.2 interop suite — both have a
+// 64-byte block). crypto/hmac snapshots its keyed inner/outer digests on
+// every Sum by marshaling the hash state — one heap allocation per MAC, on
+// both the seal and open sides of every record. Re-hashing the 64-byte key
+// pads from scratch is a fixed extra compression round and allocation-free,
+// which is the better trade at datagram rates.
+type hmacState struct {
 	inner, outer hash.Hash
 	ipad, opad   [sha256.BlockSize]byte
 }
 
-func newHMACSHA256(key []byte) *hmacSHA256 {
-	h := &hmacSHA256{inner: sha256.New(), outer: sha256.New()}
-	if len(key) > sha256.BlockSize {
-		k := sha256.Sum256(key)
-		key = k[:]
+func newHMACState(newHash func() hash.Hash, key []byte) *hmacState {
+	h := &hmacState{inner: newHash(), outer: newHash()}
+	if h.inner.BlockSize() != len(h.ipad) {
+		panic("tlsrec: unsupported HMAC hash block size")
+	}
+	if len(key) > len(h.ipad) {
+		d := newHash()
+		d.Write(key)
+		key = d.Sum(nil)
 	}
 	for i := range h.ipad {
 		h.ipad[i] = 0x36
@@ -388,8 +426,8 @@ func newHMACSHA256(key []byte) *hmacSHA256 {
 }
 
 // mac computes HMAC(key, hdr || data) into out's storage (grown once to
-// sha256.Size) and returns it; the result is scratch for the next call.
-func (h *hmacSHA256) mac(out []byte, hdr, data []byte) []byte {
+// the hash size) and returns it; the result is scratch for the next call.
+func (h *hmacState) mac(out []byte, hdr, data []byte) []byte {
 	h.inner.Reset()
 	h.inner.Write(h.ipad[:])
 	h.inner.Write(hdr)
@@ -401,13 +439,15 @@ func (h *hmacSHA256) mac(out []byte, hdr, data []byte) []byte {
 	return h.outer.Sum(out[:0])
 }
 
-// unpad validates and strips TLS padding.
+// unpad validates and strips TLS padding. TLS permits up to 255 pad bytes
+// (RFC 5246 §6.2.3.2) even though this package's sealers always pad
+// minimally, so opening accepts the full range — stock peers may pad more.
 func unpad(b []byte) ([]byte, error) {
 	if len(b) == 0 {
 		return nil, ErrBadRecord
 	}
 	padLen := int(b[len(b)-1]) + 1
-	if padLen > len(b) || padLen > blockSize {
+	if padLen > len(b) {
 		return nil, ErrBadRecord
 	}
 	for _, v := range b[len(b)-padLen:] {
@@ -424,11 +464,12 @@ type Open struct {
 	suite   Suite
 	version uint16
 	mac     []byte
+	macLen  int // record MAC length (suite.MACSize())
 	block   cipher.Block
 	seq     uint64 // next expected sequence number (in-order path)
 	stream  cipher.Stream
 	lastCBC []byte
-	hm      *hmacSHA256
+	hm      *hmacState
 	macBuf  []byte
 	dec     cipher.BlockMode
 }
@@ -446,11 +487,11 @@ func (o *Open) cbcDecrypter(iv []byte) cipher.BlockMode {
 
 // NewOpen creates an opener with keys matching the peer's Seal.
 func NewOpen(suite Suite, cipherKey, macKey []byte) (*Open, error) {
-	o := &Open{suite: suite, version: suite.Version(), mac: macKey}
+	o := &Open{suite: suite, version: suite.Version(), mac: macKey, macLen: suite.MACSize()}
 	if suite == SuiteNull {
 		return o, nil
 	}
-	o.hm = newHMACSHA256(macKey)
+	o.hm = newHMACState(suite.macHash(), macKey)
 	b, err := aes.NewCipher(cipherKey)
 	if err != nil {
 		return nil, fmt.Errorf("tlsrec: %w", err)
@@ -462,7 +503,7 @@ func NewOpen(suite Suite, cipherKey, macKey []byte) (*Open, error) {
 		o.stream = cipher.NewCTR(b, iv)
 	case SuiteCBCImplicitIV:
 		o.lastCBC = make([]byte, blockSize)
-	case SuiteCBCExplicitIV:
+	case SuiteCBCExplicitIV, SuiteTLS12:
 	default:
 		return nil, ErrUnknownSuite
 	}
@@ -471,6 +512,9 @@ func NewOpen(suite Suite, cipherKey, macKey []byte) (*Open, error) {
 
 // Seq returns the next in-order record number.
 func (o *Open) Seq() uint64 { return o.seq }
+
+// MACSize returns the record MAC length for the opener's suite.
+func (o *Open) MACSize() int { return o.macLen }
 
 // ParseHeader validates a 5-byte header prefix and returns its fields.
 func ParseHeader(b []byte) (recType byte, version uint16, length int, err error) {
@@ -543,7 +587,7 @@ func (o *Open) OpenAt(record []byte, recNum uint64) (recType byte, plaintext []b
 // which must read the embedded record number before it can verify. The
 // caller MUST complete verification via VerifyMAC before trusting the data.
 func (o *Open) DecryptNoVerify(record []byte) (recType byte, inner []byte, err error) {
-	if o.suite != SuiteCBCExplicitIV {
+	if o.suite != SuiteCBCExplicitIV && o.suite != SuiteTLS12 {
 		return 0, nil, ErrOrderOnly
 	}
 	recType, _, length, err := ParseHeader(record)
@@ -563,7 +607,7 @@ func (o *Open) DecryptNoVerify(record []byte) (recType byte, inner []byte, err e
 	if err != nil {
 		return 0, nil, err
 	}
-	if len(unpadded) < macSize {
+	if len(unpadded) < o.macLen {
 		return 0, nil, ErrBadRecord
 	}
 	return recType, unpadded, nil
@@ -572,11 +616,11 @@ func (o *Open) DecryptNoVerify(record []byte) (recType byte, inner []byte, err e
 // VerifyMAC checks inner = plaintext||mac against the pseudo-header built
 // from (recNum, recType) and returns the plaintext.
 func (o *Open) VerifyMAC(inner []byte, recNum uint64, recType byte) ([]byte, error) {
-	if len(inner) < macSize {
+	if len(inner) < o.macLen {
 		return nil, ErrBadRecord
 	}
-	plaintext := inner[:len(inner)-macSize]
-	gotMAC := inner[len(inner)-macSize:]
+	plaintext := inner[:len(inner)-o.macLen]
+	gotMAC := inner[len(inner)-o.macLen:]
 	want := o.macFor(recNum, recType, plaintext)
 	if !hmac.Equal(gotMAC, want) {
 		return nil, ErrMACFailure
@@ -629,7 +673,7 @@ func (o *Open) openCommon(record []byte, recNum uint64, inOrder bool) (byte, []b
 			return 0, nil, err
 		}
 		return recType, ptOnly, nil
-	case SuiteCBCExplicitIV:
+	case SuiteCBCExplicitIV, SuiteTLS12:
 		recType2, inner, err := o.DecryptNoVerify(record)
 		if err != nil {
 			return 0, nil, err

@@ -3,6 +3,7 @@ package tlsrec
 import (
 	"bytes"
 	"crypto/hmac"
+	"crypto/sha1"
 	"crypto/sha256"
 	"math/rand"
 	"testing"
@@ -23,7 +24,7 @@ func pair(t *testing.T, suite Suite) (*Seal, *Open) {
 	return s, o
 }
 
-var allSuites = []Suite{SuiteNull, SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV}
+var allSuites = []Suite{SuiteNull, SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12}
 
 func TestRoundtripAllSuites(t *testing.T) {
 	msgs := [][]byte{
@@ -65,7 +66,7 @@ func TestSequenceNumbersAdvance(t *testing.T) {
 }
 
 func TestMACRejectsTampering(t *testing.T) {
-	for _, suite := range []Suite{SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV} {
+	for _, suite := range []Suite{SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12} {
 		t.Run(suite.String(), func(t *testing.T) {
 			s, o := pair(t, suite)
 			rec, _ := s.Seal(TypeAppData, []byte("sensitive payload"))
@@ -317,7 +318,7 @@ func TestHMACMatchesStdlib(t *testing.T) {
 		data := make([]byte, rng.Intn(2048))
 		rng.Read(data)
 
-		h := newHMACSHA256(key)
+		h := newHMACState(sha256.New, key)
 		got := h.mac(nil, hdr, data)
 
 		ref := hmac.New(sha256.New, key)
@@ -331,13 +332,22 @@ func TestHMACMatchesStdlib(t *testing.T) {
 		if got2 := h.mac(got, hdr, data); !bytes.Equal(got2, want) {
 			t.Fatalf("case %d: scratch-reuse mismatch", i)
 		}
+
+		// The SHA-1 instantiation backs the TLS 1.2 interop suite.
+		h1 := newHMACState(sha1.New, key)
+		ref1 := hmac.New(sha1.New, key)
+		ref1.Write(hdr)
+		ref1.Write(data)
+		if got1 := h1.mac(nil, hdr, data); !bytes.Equal(got1, ref1.Sum(nil)) {
+			t.Fatalf("case %d: sha1 hmac mismatch", i)
+		}
 	}
 }
 
 // TestSealedLenAndMaxPlaintextFor pins the exact-size arithmetic against
 // the real sealer output for every suite.
 func TestSealedLenAndMaxPlaintextFor(t *testing.T) {
-	for _, suite := range []Suite{SuiteNull, SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV} {
+	for _, suite := range []Suite{SuiteNull, SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12} {
 		s, _ := pair(t, suite)
 		for _, n := range []int{0, 1, 15, 16, 17, 511, 512, 1000, 1391, 1392} {
 			rec, err := s.Seal(TypeAppData, make([]byte, n))

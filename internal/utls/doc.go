@@ -1,0 +1,52 @@
+// Package utls implements uTLS (paper §6): out-of-order datagram delivery
+// coaxed from the standard TCP-oriented TLS wire format.
+//
+// The sender is ordinary TLS: each datagram is sealed as one application-
+// data record. The receiver, when running over uTCP, additionally scans
+// out-of-order stream fragments for byte sequences that could be TLS record
+// headers (§6.1 "Locating record headers out-of-order"), predicts the
+// record's TLS record number from the in-order record count and the average
+// record size ("Record numbers used in MAC computation"), and attempts
+// MAC verification for a window of adjacent numbers. A MAC success both
+// authenticates the record and confirms the guessed boundary; a failure
+// means a false positive and scanning continues. Records a receiver cannot
+// verify out of order are still delivered in order later — uTLS never does
+// worse than TLS.
+//
+// Out-of-order delivery requires a ciphersuite without cross-record
+// chaining (explicit-IV CBC — "Encryption state chaining") and is
+// disabled under the null ciphersuite, which has no MAC to confirm guesses.
+//
+// # Handshakes
+//
+// Two handshakes can establish a connection's keys:
+//
+//   - The genuine TLS 1.2 handshake (Config.Real, backed by
+//     minion/internal/tlshake): ClientHello through Finished for
+//     TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA, certificates and all. The
+//     resulting byte stream is accepted by stock TLS implementations — a
+//     crypto/tls peer completes this handshake — and application data then
+//     travels as standard TLS 1.2 application-data records
+//     (tlsrec.SuiteTLS12). Because that suite uses explicit IVs, the
+//     out-of-order machinery above still works after the Finished
+//     exchange: unordered delivery hides entirely inside record processing
+//     order, with no middlebox-visible difference from TLS.
+//   - The simulated compat handshake (Config.Real == nil): a one-round
+//     hello exchange under the null ciphersuite carrying a random, a
+//     proposed ciphersuite class and extension flags, keyed from a
+//     pre-shared secret (the documented DESIGN.md §6 substitution). It
+//     exists for the deterministic design-space experiments, which sweep
+//     ciphersuite classes (tlsrec.SuiteStreamChained etc.) that no real
+//     peer would negotiate, and for tests that need byte-reproducible
+//     runs. Its hello records are well-formed TLS handshake-type records,
+//     but a stock peer would not complete it — use Config.Real for
+//     interop.
+//
+// The package also implements the paper's proposed future extension
+// (Config.ExplicitRecNum): the sender prepends the record number to the
+// plaintext under encryption, eliminating prediction and enabling
+// send-side prioritization, with no middlebox-visible wire change. The
+// extension is negotiated by the compat handshake only — TLS 1.2 offers
+// no handshake field that could carry it without changing observable
+// bytes.
+package utls

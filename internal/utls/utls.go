@@ -1,26 +1,3 @@
-// Package utls implements uTLS (paper §6): out-of-order datagram delivery
-// coaxed from the standard TCP-oriented TLS wire format.
-//
-// The sender is ordinary TLS: each datagram is sealed as one application-
-// data record. The receiver, when running over uTCP, additionally scans
-// out-of-order stream fragments for byte sequences that could be TLS record
-// headers (§6.1 "Locating record headers out-of-order"), predicts the
-// record's TLS record number from the in-order record count and the average
-// record size ("Record numbers used in MAC computation"), and attempts
-// MAC verification for a window of adjacent numbers. A MAC success both
-// authenticates the record and confirms the guessed boundary; a failure
-// means a false positive and scanning continues. Records a receiver cannot
-// verify out of order are still delivered in order later — uTLS never does
-// worse than TLS.
-//
-// Out-of-order delivery requires a ciphersuite without cross-record
-// chaining (TLS 1.1 explicit-IV CBC — "Encryption state chaining") and is
-// disabled under the null ciphersuite, which has no MAC to confirm guesses.
-//
-// The package also implements the paper's proposed future extension
-// (Config.ExplicitRecNum): the sender prepends the record number to the
-// plaintext under encryption, eliminating prediction and enabling
-// send-side prioritization, with no middlebox-visible wire change.
 package utls
 
 import (
@@ -33,14 +10,29 @@ import (
 	"minion/internal/queue"
 	"minion/internal/stream"
 	"minion/internal/tcp"
+	"minion/internal/tlshake"
 	"minion/internal/tlsrec"
 )
 
 // Errors.
 var (
-	ErrHandshake  = errors.New("utls: handshake failed")
-	ErrNotReady   = errors.New("utls: handshake not complete")
-	ErrTooLarge   = errors.New("utls: message exceeds record capacity")
+	// ErrHandshake reports a failed key establishment on either handshake
+	// path: a malformed compat hello exchange, or any genuine TLS 1.2
+	// failure (certificate rejection, Finished mismatch, peer alert —
+	// the tlshake error is attached as the cause when Config.Real is
+	// set; see Conn.HandshakeErr).
+	ErrHandshake = errors.New("utls: handshake failed")
+	// ErrNotReady is returned while key establishment is still in flight.
+	ErrNotReady = errors.New("utls: handshake not complete")
+	// ErrTooLarge rejects a message that cannot fit one TLS record (or
+	// the MSS-derived record cap).
+	ErrTooLarge = errors.New("utls: message exceeds record capacity")
+	// ErrPriorities rejects Options.Priority/Squash without the
+	// explicit-record-number extension: standard uTLS cannot reorder its
+	// send queue because receivers predict record numbers from stream
+	// position (§6.1). The extension is negotiated by the compat
+	// handshake only, so priorities are never available on genuine
+	// TLS 1.2 (Config.Real) connections.
 	ErrPriorities = errors.New("utls: send priorities require the explicit record number extension")
 )
 
@@ -53,8 +45,12 @@ var defaultPSK = []byte("minion-simulated-master-secret")
 const maxSealOverhead = tlsrec.HeaderSize + 16 + 32 + 16 + 8
 
 // pendingReserve is send-buffer headroom the pre-handshake queue must
-// leave free for the handshake records themselves.
-const pendingReserve = 256
+// leave free for the handshake records themselves: the compat hello is
+// tiny, while a genuine TLS 1.2 flight carries a certificate chain.
+const (
+	pendingReserve     = 256
+	pendingReserveReal = 16 * 1024
+)
 
 // Options mirrors ucobs.Options for the uniform Minion datagram API.
 type Options struct {
@@ -64,21 +60,30 @@ type Options struct {
 
 // Config parameterizes a uTLS endpoint.
 type Config struct {
-	// Suite is the proposed/preferred ciphersuite class. Zero value means
-	// SuiteCBCExplicitIV (TLS 1.1), the class that permits out-of-order
-	// delivery. Negotiation picks the weaker of the two endpoints'
-	// proposals, mirroring "permit older ciphersuites to maximize
-	// interoperability, at the risk of sacrificing out-of-order delivery".
+	// Real, when non-nil, selects the genuine TLS 1.2 handshake
+	// (ECDHE_RSA_WITH_AES_128_CBC_SHA via internal/tlshake) instead of
+	// the simulated compat hello exchange: the connection's bytes are
+	// then accepted by stock TLS peers, and the negotiated suite is
+	// tlsrec.SuiteTLS12. Servers must set Real.Certificate. Suite, PSK
+	// and ExplicitRecNum are ignored in this mode (the extension has no
+	// TLS 1.2 negotiation vehicle).
+	Real *tlshake.Config
+	// Suite is the proposed/preferred ciphersuite class of the compat
+	// handshake. Zero value means SuiteCBCExplicitIV (TLS 1.1), the
+	// class that permits out-of-order delivery. Negotiation picks the
+	// weaker of the two endpoints' proposals, mirroring "permit older
+	// ciphersuites to maximize interoperability, at the risk of
+	// sacrificing out-of-order delivery".
 	Suite tlsrec.Suite
 	// PredictWindow is how many adjacent record numbers are tried around
 	// the estimate (default 3 on each side).
 	PredictWindow int
 	// ExplicitRecNum enables the §6.1 extension on this endpoint; it takes
-	// effect only if both endpoints enable it (negotiated in the
+	// effect only if both endpoints enable it (negotiated in the compat
 	// handshake, invisibly to middleboxes since the number travels under
 	// encryption).
 	ExplicitRecNum bool
-	// PSK overrides the simulated pre-shared secret.
+	// PSK overrides the compat handshake's simulated pre-shared secret.
 	PSK []byte
 }
 
@@ -91,6 +96,9 @@ func (cfg Config) defaults() Config {
 	}
 	if cfg.PSK == nil {
 		cfg.PSK = defaultPSK
+	}
+	if cfg.Real != nil {
+		cfg.ExplicitRecNum = false
 	}
 	return cfg
 }
@@ -129,13 +137,14 @@ type Conn struct {
 	myRandom      []byte
 	seal          *tlsrec.Seal
 	open          *tlsrec.Open
+	hs            *tlshake.Engine // genuine TLS 1.2 handshake (Config.Real)
+	hsErr         error           // terminal handshake failure
 
 	unordered bool // OOO machinery active (uTCP + capable suite)
 	recCap    int  // MSS-aware max message size (0 = no segment guarantee)
 
 	asm        *stream.Assembler
 	inOrderPos uint64 // stream offset of the next in-order record header
-	epochStart uint64 // stream offset where the data epoch begins
 
 	deliveredOOO map[uint64]bool // record numbers delivered ahead of order
 	scanned      stream.IntervalSet
@@ -179,6 +188,13 @@ func newConn(tc tcp.Stream, cfg Config, isClient bool) *Conn {
 		deliveredOOO: make(map[uint64]bool),
 		falsePos:     make(map[uint64]bool),
 	}
+	if c.cfg.Real != nil {
+		if isClient {
+			c.hs = tlshake.NewClient(*c.cfg.Real)
+		} else {
+			c.hs = tlshake.NewServer(*c.cfg.Real)
+		}
+	}
 	tc.OnReadable(c.pump)
 	return c
 }
@@ -212,6 +228,11 @@ func (c *Conn) MaxMessageSize() int {
 // Ready reports handshake completion.
 func (c *Conn) Ready() bool { return c.handshakeDone }
 
+// HandshakeErr returns the terminal handshake failure, if any: the
+// connection sent a fatal alert and closed its transport. Wrapped so
+// errors.Is(err, ErrHandshake) holds alongside the tlshake cause.
+func (c *Conn) HandshakeErr() error { return c.hsErr }
+
 // OnReady registers a callback invoked when the handshake completes.
 func (c *Conn) OnReady(fn func()) {
 	c.onReady = fn
@@ -235,7 +256,10 @@ func (c *Conn) Pending() int { return c.recvQ.Len() }
 // Close closes the underlying stream.
 func (c *Conn) Close() { c.tc.Close() }
 
-// handshake wire format: kind(1) random(16) suite(1) flags(1).
+// Compat handshake wire format: kind(1) random(16) suite(1) flags(1),
+// sealed as a TLS handshake-type record under the null ciphersuite. (The
+// genuine TLS 1.2 handshake — Config.Real — replaces this exchange
+// entirely; see internal/tlshake for its wire format.)
 const (
 	hsClientHello        byte = 1
 	hsServerHello        byte = 2
@@ -244,6 +268,16 @@ const (
 )
 
 func (c *Conn) startHandshake() {
+	if c.hs != nil {
+		out, err := c.hs.Start()
+		if werr := c.writeHandshake(out); err == nil {
+			err = werr
+		}
+		if err != nil {
+			c.failHandshake(err)
+		}
+		return
+	}
 	c.myRandom = make([]byte, 16)
 	// Derive the random from the connection's deterministic environment:
 	// the simulation provides no crypto/rand, and key secrecy is out of
@@ -318,8 +352,16 @@ func (c *Conn) handleHandshake(payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("utls: key setup: %w", err)
 	}
+	c.finishHandshake()
+	return nil
+}
+
+// finishHandshake completes key establishment for either handshake path:
+// arms the out-of-order machinery, derives the MSS-aware record cap, and
+// flushes sends queued while keys were still negotiating. The caller has
+// already installed c.seal/c.open/c.suite/c.explicitOn.
+func (c *Conn) finishHandshake() {
 	c.handshakeDone = true
-	c.epochStart = c.inOrderPos
 	// Out-of-order machinery engages only with uTCP underneath and a
 	// chaining-free, authenticated suite (§6.1: under the null suite or a
 	// chained suite, uTLS "disables out-of-order delivery").
@@ -362,7 +404,56 @@ func (c *Conn) handleHandshake(payload []byte) error {
 		}
 	}
 	c.recCap = savedCap
+}
+
+// failHandshake latches a terminal handshake error and tears the stream
+// down; sends queued behind the handshake are dropped (and counted).
+func (c *Conn) failHandshake(err error) {
+	if c.hsErr != nil {
+		return
+	}
+	c.hsErr = fmt.Errorf("%w: %w", ErrHandshake, err)
+	c.stats.DroppedSends += len(c.pendingSend)
+	c.pendingSend, c.pendingOpts = nil, nil
+	c.pendingBytes = 0
+	c.tc.Close()
+}
+
+// writeHandshake puts a handshake flight on the stream whole. A transport
+// that cannot take every byte (full send buffer) would desynchronize the
+// peer's record stream, so a short write is a handshake failure, not a
+// retry — the pendingReserve headroom makes this unreachable in practice.
+func (c *Conn) writeHandshake(out []byte) error {
+	if len(out) == 0 {
+		return nil
+	}
+	n, err := c.tc.Write(out)
+	if err != nil {
+		return err
+	}
+	if n < len(out) {
+		return fmt.Errorf("utls: handshake flight truncated (%d of %d bytes): %w", n, len(out), tcp.ErrWouldBlock)
+	}
 	return nil
+}
+
+// processHandshakeRecord feeds one complete record to the genuine TLS 1.2
+// engine and writes its response flights (or fatal alert) to the stream.
+func (c *Conn) processHandshakeRecord(record []byte) {
+	out, err := c.hs.Feed(record)
+	if werr := c.writeHandshake(out); err == nil {
+		err = werr
+	}
+	if err != nil {
+		c.failHandshake(err)
+		return
+	}
+	if c.hs.Done() {
+		c.seal, c.open = c.hs.Keys()
+		c.suite = tlsrec.SuiteTLS12
+		c.explicitOn = false
+		c.finishHandshake()
+	}
 }
 
 // pendingLimit bounds messages queued before the handshake completes.
@@ -387,6 +478,9 @@ func (c *Conn) pendingLimit() int {
 // because the receiver predicts record numbers from stream position (§6.1).
 func (c *Conn) Send(msg []byte, opt Options) error {
 	if !c.handshakeDone {
+		if c.hsErr != nil {
+			return c.hsErr
+		}
 		if len(msg) > c.pendingLimit() {
 			return ErrTooLarge
 		}
@@ -394,8 +488,12 @@ func (c *Conn) Send(msg []byte, opt Options) error {
 		// for the handshake records themselves): a Send accepted here is
 		// guaranteed to fit at flush time, so backpressure surfaces now as
 		// ErrWouldBlock instead of a silent drop after the handshake.
+		reserve := pendingReserve
+		if c.hs != nil {
+			reserve = pendingReserveReal
+		}
 		needed := len(msg) + maxSealOverhead
-		if c.pendingBytes+needed > c.tc.SendBufAvailable()-pendingReserve {
+		if c.pendingBytes+needed > c.tc.SendBufAvailable()-reserve {
 			return tcp.ErrWouldBlock
 		}
 		c.pendingBytes += needed
@@ -579,6 +677,10 @@ func (c *Conn) processInOrderRecord(record []byte) {
 	t0 := time.Now()
 	defer func() { c.stats.CPUOpen += time.Since(t0) }()
 	if !c.handshakeDone {
+		if c.hs != nil {
+			c.processHandshakeRecord(record)
+			return
+		}
 		nullOpen, _ := tlsrec.NewOpen(tlsrec.SuiteNull, nil, nil)
 		typ, payload, err := nullOpen.Open(record)
 		if err == nil && typ == tlsrec.TypeHandshake {
@@ -625,16 +727,14 @@ func (c *Conn) openExplicit(record []byte) (uint64, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	if len(inner) < 8+32 {
+	if len(inner) < 8+c.open.MACSize() {
 		return 0, nil, tlsrec.ErrBadRecord
 	}
-	plaintextLen := len(inner) - 32
 	recNum := binary.BigEndian.Uint64(inner[:8])
 	pt, err := c.open.VerifyMAC(inner, recNum, typ)
 	if err != nil {
 		return 0, nil, err
 	}
-	_ = plaintextLen
 	return recNum, pt[8:], nil
 }
 

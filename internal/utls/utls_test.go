@@ -2,8 +2,12 @@ package utls
 
 import (
 	"bytes"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -11,6 +15,7 @@ import (
 	"minion/internal/netem"
 	"minion/internal/sim"
 	"minion/internal/tcp"
+	"minion/internal/tlshake"
 	"minion/internal/tlsrec"
 )
 
@@ -527,5 +532,133 @@ func TestPreHandshakeBackpressureNoSilentLoss(t *testing.T) {
 	}
 	if d := h.cli.Stats().DroppedSends; d != 0 {
 		t.Fatalf("DroppedSends = %d", d)
+	}
+}
+
+// ---- genuine TLS 1.2 handshake (Config.Real) over the simulated substrate ----
+
+var realCertOnce struct {
+	sync.Once
+	cert tls.Certificate
+	pool *x509.CertPool
+	err  error
+}
+
+// realConfigs returns client/server configs running the genuine TLS 1.2
+// handshake with a shared self-signed credential.
+func realConfigs(t *testing.T) (cli, srv Config) {
+	t.Helper()
+	realCertOnce.Do(func() {
+		realCertOnce.cert, realCertOnce.pool, realCertOnce.err = tlshake.SelfSigned("minion.test")
+	})
+	if realCertOnce.err != nil {
+		t.Fatalf("SelfSigned: %v", realCertOnce.err)
+	}
+	return Config{Real: &tlshake.Config{RootCAs: realCertOnce.pool, ServerName: "minion.test"}},
+		Config{Real: &tlshake.Config{Certificate: &realCertOnce.cert}}
+}
+
+func TestRealHandshakeOverSimulatedTCP(t *testing.T) {
+	ccfg, scfg := realConfigs(t)
+	h := newHarness(t, 20, ccfg, scfg, tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	h.s.RunUntil(5 * time.Second)
+	if !h.cli.Ready() || !h.srv.Ready() {
+		t.Fatalf("TLS 1.2 handshake incomplete: cli=%v srv=%v (cliErr=%v srvErr=%v)",
+			h.cli.Ready(), h.srv.Ready(), h.cli.HandshakeErr(), h.srv.HandshakeErr())
+	}
+	if h.cli.Suite() != tlsrec.SuiteTLS12 || h.srv.Suite() != tlsrec.SuiteTLS12 {
+		t.Fatalf("negotiated %v/%v, want TLS1.2 both", h.cli.Suite(), h.srv.Suite())
+	}
+	if h.cli.ExplicitRecNumActive() {
+		t.Fatal("explicit record numbers cannot negotiate over genuine TLS 1.2")
+	}
+	for i := 0; i < 20; i++ {
+		if err := h.cli.Send([]byte(fmt.Sprintf("real-%02d", i)), Options{}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	h.s.RunFor(10 * time.Second)
+	if len(h.got) != 20 {
+		t.Fatalf("delivered %d, want 20", len(h.got))
+	}
+}
+
+// TestRealHandshakeUnorderedDelivery is the paper's claim end to end: a
+// genuine TLS 1.2 handshake, then out-of-order delivery riding the
+// standard TLS 1.2 record format over lossy uTCP.
+func TestRealHandshakeUnorderedDelivery(t *testing.T) {
+	ccfg, scfg := realConfigs(t)
+	fwd := fastLink()
+	fwd.Loss = netem.BernoulliLoss{P: 0.1}
+	h := newHarness(t, 21, ccfg, scfg,
+		tcp.Config{}, tcp.Config{Unordered: true}, fwd, fastLink())
+	h.s.RunUntil(5 * time.Second)
+	if !h.srv.Ready() {
+		t.Fatalf("handshake incomplete: %v", h.srv.HandshakeErr())
+	}
+	// Payloads sized so each record spans a meaningful slice of a segment:
+	// losses then leave later records stranded in out-of-order fragments.
+	const n = 300
+	pad := bytes.Repeat([]byte{'x'}, 180)
+	for i := 0; i < n; i++ {
+		if err := h.cli.Send([]byte(fmt.Sprintf("rec-%04d-%s", i, pad)), Options{}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	h.s.RunFor(2 * time.Minute)
+	if len(h.got) != n {
+		t.Fatalf("delivered %d, want %d", len(h.got), n)
+	}
+	seen := map[string]bool{}
+	for _, m := range h.got {
+		if seen[string(m)] {
+			t.Fatalf("duplicate delivery %q", m)
+		}
+		seen[string(m)] = true
+	}
+	st := h.srv.Stats()
+	if st.DeliveredOOO == 0 {
+		t.Error("no out-of-order deliveries under 10% loss on genuine TLS 1.2 records")
+	}
+	t.Logf("uTLS/TLS1.2 stats: %+v", st)
+}
+
+// TestRealHandshakeQueuesEarlySends mirrors TestSendBeforeHandshakeQueues
+// for the multi-round-trip TLS 1.2 handshake.
+func TestRealHandshakeQueuesEarlySends(t *testing.T) {
+	ccfg, scfg := realConfigs(t)
+	h := newHarness(t, 22, ccfg, scfg, tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	if err := h.cli.Send([]byte("queued before ClientHello answered"), Options{}); err != nil {
+		t.Fatalf("pre-handshake Send: %v", err)
+	}
+	h.s.RunUntil(5 * time.Second)
+	if len(h.got) != 1 || string(h.got[0]) != "queued before ClientHello answered" {
+		t.Fatalf("queued message not delivered: %q", h.got)
+	}
+}
+
+// TestRealHandshakeBadCertificateFails pins the failure path: a client
+// that does not trust the server's certificate aborts, surfaces
+// ErrHandshake, and drops queued sends loudly.
+func TestRealHandshakeBadCertificateFails(t *testing.T) {
+	_, scfg := realConfigs(t)
+	ccfg := Config{Real: &tlshake.Config{RootCAs: x509.NewCertPool(), ServerName: "minion.test"}}
+	h := newHarness(t, 23, ccfg, scfg, tcp.Config{}, tcp.Config{}, fastLink(), fastLink())
+	if err := h.cli.Send([]byte("doomed"), Options{}); err != nil {
+		t.Fatalf("pre-handshake Send: %v", err)
+	}
+	h.s.RunUntil(5 * time.Second)
+	if h.cli.Ready() {
+		t.Fatal("client completed a handshake with an untrusted certificate")
+	}
+	err := h.cli.HandshakeErr()
+	if !errors.Is(err, ErrHandshake) || !errors.Is(err, tlshake.ErrBadCertificate) {
+		t.Fatalf("HandshakeErr = %v, want ErrHandshake wrapping tlshake.ErrBadCertificate", err)
+	}
+	if h.cli.Stats().DroppedSends != 1 {
+		t.Fatalf("DroppedSends = %d, want 1", h.cli.Stats().DroppedSends)
+	}
+	if err := h.cli.Send([]byte("after failure"), Options{}); !errors.Is(err, ErrHandshake) {
+		t.Fatalf("Send after failure = %v, want ErrHandshake", err)
 	}
 }

@@ -12,10 +12,20 @@
 //     inside a stream wire-identical to TLS/HTTPS;
 //   - the UDP shim (minion/internal/udp) for paths where UDP works.
 //
-// Pair constructors wire two endpoints through simulated network paths
-// (minion/internal/netem); Negotiate implements the simple
+// Endpoints run over two substrates: NewPair wires a connected pair
+// through simulated network paths (minion/internal/netem) on the
+// deterministic simulator, while Dial/Listen/DialUDP run the same framing
+// layers over real kernel sockets (see wire.go — LoopGroup/LoopMode pick
+// the event-loop shape at scale). Negotiate implements the simple
 // "try UDP, fall back to the TCP family" selection the paper describes
 // applications using today (§3.2).
+//
+// uTLS stacks speak one of two handshakes: with TCPConfig.TLS set, a
+// genuine TLS 1.2 handshake (certificates, ECDHE, the works) that stock
+// TLS implementations accept — a crypto/tls peer on the far end of a
+// Dial/Listen socket completes it and exchanges data — and with it unset,
+// a simulated pre-shared-key hello used by the deterministic design-space
+// experiments.
 //
 // Internally every protocol stack passes pooled, reference-counted buffers
 // (minion/internal/buf) between layers instead of copying: framing encodes
@@ -26,11 +36,14 @@
 package minion
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 
 	"minion/internal/netem"
 	"minion/internal/rt"
 	"minion/internal/tcp"
+	"minion/internal/tlshake"
 	"minion/internal/ucobs"
 	"minion/internal/udp"
 	"minion/internal/utls"
@@ -110,7 +123,8 @@ const (
 	// ProtoUCOBSuTCP is uCOBS over uTCP: true unordered delivery plus
 	// send-side prioritization.
 	ProtoUCOBSuTCP
-	// ProtoUTLSTCP is uTLS over unmodified TCP (wire-identical to HTTPS).
+	// ProtoUTLSTCP is uTLS over unmodified TCP (wire-identical to HTTPS;
+	// with TCPConfig.TLS it interoperates with stock TLS peers).
 	ProtoUTLSTCP
 	// ProtoUTLSuTCP is uTLS over uTCP: encrypted unordered delivery.
 	ProtoUTLSuTCP
@@ -159,8 +173,16 @@ type PathConstraints struct {
 	// UDPBlocked: middleboxes drop UDP on this path.
 	UDPBlocked bool
 	// TCPOnly443: only TLS-looking traffic on port 443 survives
-	// (the hostile-network case motivating uTLS, §6).
+	// (the hostile-network case motivating uTLS, §6). Record-shape DPI
+	// passes any uTLS stack — even the compat handshake's records are
+	// well-formed TLS.
 	TCPOnly443 bool
+	// DPIValidatesHandshake: middleboxes go beyond record framing and
+	// validate the TLS handshake itself (certificates, ClientHello
+	// structure). Only a uTLS stack running the genuine TLS 1.2
+	// handshake traverses such a path — the caller must supply
+	// TCPConfig.TLS alongside the negotiated protocol.
+	DPIValidatesHandshake bool
 	// PeerSupportsUTCP: the remote OS has the uTCP extensions.
 	PeerSupportsUTCP bool
 }
@@ -168,8 +190,15 @@ type PathConstraints struct {
 // Negotiate picks the best protocol satisfying prefs under the path
 // constraints — Minion's currently-simple protocol selection (§3.2; the
 // dynamic negotiation protocol is future work in the paper too).
+//
+// Negotiate returns the protocol stack only; it does not choose key
+// material. On paths where DPIValidatesHandshake (or any policy) demands
+// genuine TLS, pair the returned uTLS protocol with TCPConfig.TLS — a
+// certificate on the listening side, trust anchors on the dialing side —
+// so the handshake on the wire is one a stock TLS stack (and the DPI)
+// accepts.
 func Negotiate(prefs Preferences, path PathConstraints) Protocol {
-	if path.TCPOnly443 || prefs.RequireSecure {
+	if path.TCPOnly443 || path.DPIValidatesHandshake || prefs.RequireSecure {
 		if path.PeerSupportsUTCP {
 			return ProtoUTLSuTCP
 		}
@@ -184,7 +213,54 @@ func Negotiate(prefs Preferences, path PathConstraints) Protocol {
 	return ProtoUCOBSTCP
 }
 
-// TCPConfig tunes the TCP-family substrates built by NewPair.
+// TLSConfig configures the genuine TLS 1.2 handshake
+// (ECDHE_RSA_WITH_AES_128_CBC_SHA) on uTLS stacks. When TCPConfig.TLS is
+// set, the uTLS endpoint's bytes are accepted by stock TLS
+// implementations: a crypto/tls peer completes the handshake and
+// exchanges application data with it, and middlebox DPI that validates
+// TLS sees an ordinary HTTPS-style session. When nil, uTLS runs the
+// simulated compat handshake (pre-shared keys, deterministic — the
+// design-space experiments' mode), which only another Minion endpoint
+// understands.
+type TLSConfig struct {
+	// Certificate is the server-side identity: its chain travels in the
+	// handshake and its RSA key signs the key exchange. Required on
+	// listeners/servers; unused by dialers.
+	Certificate *tls.Certificate
+	// RootCAs are the client's trust anchors (nil: system pool).
+	RootCAs *x509.CertPool
+	// ServerName is the hostname the client expects the server
+	// certificate to match (also sent as SNI).
+	ServerName string
+	// InsecureSkipVerify disables the client's chain and name checks
+	// (test topologies only).
+	InsecureSkipVerify bool
+}
+
+// SelfSignedTLS generates a throwaway self-signed RSA certificate valid
+// for the given hosts (DNS names or IP addresses) plus a pool trusting
+// it — the quickstart/test credential for the genuine TLS 1.2 handshake:
+// hand the certificate to the listener's TLSConfig.Certificate and the
+// pool to the dialer's TLSConfig.RootCAs (or to a stock TLS client).
+// Production deployments load a real certificate instead.
+func SelfSignedTLS(hosts ...string) (tls.Certificate, *x509.CertPool, error) {
+	return tlshake.SelfSigned(hosts...)
+}
+
+func (tc *TLSConfig) handshake() *tlshake.Config {
+	if tc == nil {
+		return nil
+	}
+	return &tlshake.Config{
+		Certificate:        tc.Certificate,
+		RootCAs:            tc.RootCAs,
+		ServerName:         tc.ServerName,
+		InsecureSkipVerify: tc.InsecureSkipVerify,
+	}
+}
+
+// TCPConfig tunes the TCP-family substrates built by NewPair and
+// Dial/Listen.
 type TCPConfig struct {
 	// NoDelay disables Nagle (recommended for datagram traffic; the
 	// paper's experiments disable it).
@@ -194,7 +270,13 @@ type TCPConfig struct {
 	// SendBufBytes/RecvBufBytes override socket buffer sizes.
 	SendBufBytes, RecvBufBytes int
 	// ExplicitRecNum enables the uTLS §6.1 extension on both endpoints.
+	// It negotiates over the compat handshake only and is ignored when
+	// TLS is set (genuine TLS 1.2 has no field that could carry it
+	// without changing observable bytes).
 	ExplicitRecNum bool
+	// TLS, when non-nil, runs the genuine TLS 1.2 handshake on uTLS
+	// stacks — required for interop with stock TLS peers. See TLSConfig.
+	TLS *TLSConfig
 }
 
 // Pair is a connected pair of Minion endpoints plus access to the
@@ -229,7 +311,7 @@ func NewPair(r rt.Runtime, proto Protocol, cfg TCPConfig, aToB, bToA netem.Eleme
 		return &Pair{A: ucobsConn{ucobs.New(ta)}, B: ucobsConn{ucobs.New(tb)}, TCPA: ta, TCPB: tb}
 	case ProtoUTLSTCP, ProtoUTLSuTCP:
 		ta, tb := tcp.NewPair(r, cfg.tcpConfig(proto.Unordered()), cfg.tcpConfig(proto.Unordered()), aToB, bToA)
-		ucfg := utls.Config{ExplicitRecNum: cfg.ExplicitRecNum}
+		ucfg := utls.Config{ExplicitRecNum: cfg.ExplicitRecNum, Real: cfg.TLS.handshake()}
 		srv := utls.Server(tb, ucfg)
 		cli := utls.Client(ta, ucfg)
 		return &Pair{A: utlsConn{cli}, B: utlsConn{srv}, TCPA: ta, TCPB: tb}

@@ -32,6 +32,10 @@ func TestNegotiateScenarios(t *testing.T) {
 			Preferences{RequireSecure: true}, PathConstraints{PeerSupportsUTCP: true}, ProtoUTLSuTCP},
 		{"secure even where UDP would work",
 			Preferences{RequireSecure: true, PreferUnordered: true}, PathConstraints{}, ProtoUTLSTCP},
+		{"DPI validates handshakes: only genuine TLS traverses",
+			Preferences{}, PathConstraints{DPIValidatesHandshake: true}, ProtoUTLSTCP},
+		{"DPI validates handshakes, peer has uTCP",
+			Preferences{}, PathConstraints{DPIValidatesHandshake: true, PeerSupportsUTCP: true}, ProtoUTLSuTCP},
 		{"no preferences at all: maximal compatibility",
 			Preferences{}, PathConstraints{}, ProtoUCOBSTCP},
 		{"unordered not preferred: UDP never chosen",
@@ -45,11 +49,13 @@ func TestNegotiateScenarios(t *testing.T) {
 }
 
 // TestNegotiateFullMatrix sweeps every Preferences × PathConstraints
-// combination (64 cases) and checks the invariants that define a correct
+// combination (128 cases) and checks the invariants that define a correct
 // selection, independent of which stack wins ties:
 //
 //   - the choice always honors RequireSecure and RequireReliable;
-//   - a TLS-only middlebox forces a uTLS stack;
+//   - a TLS-only middlebox forces a uTLS stack, as does handshake-
+//     validating DPI (which additionally demands TCPConfig.TLS — outside
+//     Negotiate's contract);
 //   - blocked UDP is never selected;
 //   - uTCP variants require peer support;
 //   - UDP is only picked when the app actually prefers unordered delivery
@@ -63,40 +69,46 @@ func TestNegotiateFullMatrix(t *testing.T) {
 				for _, udpBlocked := range bools {
 					for _, tcpOnly := range bools {
 						for _, peerUTCP := range bools {
-							prefs := Preferences{
-								RequireSecure:   requireSecure,
-								RequireReliable: requireReliable,
-								PreferUnordered: preferUnordered,
-							}
-							path := PathConstraints{
-								UDPBlocked:       udpBlocked,
-								TCPOnly443:       tcpOnly,
-								PeerSupportsUTCP: peerUTCP,
-							}
-							got := Negotiate(prefs, path)
-							ctx := func(msg string) string {
-								return msg + " for prefs=" + formatPrefs(prefs) + " path=" + formatPath(path) + " -> " + got.String()
-							}
-							if requireSecure && !got.Secure() {
-								t.Error(ctx("insecure stack despite RequireSecure"))
-							}
-							if requireReliable && !got.Reliable() {
-								t.Error(ctx("unreliable stack despite RequireReliable"))
-							}
-							if tcpOnly && !got.Secure() {
-								t.Error(ctx("non-TLS stack through a TLS-only middlebox"))
-							}
-							if udpBlocked && got == ProtoUDP {
-								t.Error(ctx("UDP selected on a UDP-blocked path"))
-							}
-							if !peerUTCP && (got == ProtoUCOBSuTCP || got == ProtoUTLSuTCP) {
-								t.Error(ctx("uTCP stack without peer support"))
-							}
-							if got == ProtoUDP && !preferUnordered {
-								t.Error(ctx("UDP without an unordered preference"))
-							}
-							if again := Negotiate(prefs, path); again != got {
-								t.Error(ctx("non-deterministic selection"))
+							for _, dpiHS := range bools {
+								prefs := Preferences{
+									RequireSecure:   requireSecure,
+									RequireReliable: requireReliable,
+									PreferUnordered: preferUnordered,
+								}
+								path := PathConstraints{
+									UDPBlocked:            udpBlocked,
+									TCPOnly443:            tcpOnly,
+									DPIValidatesHandshake: dpiHS,
+									PeerSupportsUTCP:      peerUTCP,
+								}
+								got := Negotiate(prefs, path)
+								ctx := func(msg string) string {
+									return msg + " for prefs=" + formatPrefs(prefs) + " path=" + formatPath(path) + " -> " + got.String()
+								}
+								if requireSecure && !got.Secure() {
+									t.Error(ctx("insecure stack despite RequireSecure"))
+								}
+								if requireReliable && !got.Reliable() {
+									t.Error(ctx("unreliable stack despite RequireReliable"))
+								}
+								if tcpOnly && !got.Secure() {
+									t.Error(ctx("non-TLS stack through a TLS-only middlebox"))
+								}
+								if dpiHS && !got.Secure() {
+									t.Error(ctx("non-TLS stack through handshake-validating DPI"))
+								}
+								if udpBlocked && got == ProtoUDP {
+									t.Error(ctx("UDP selected on a UDP-blocked path"))
+								}
+								if !peerUTCP && (got == ProtoUCOBSuTCP || got == ProtoUTLSuTCP) {
+									t.Error(ctx("uTCP stack without peer support"))
+								}
+								if got == ProtoUDP && !preferUnordered {
+									t.Error(ctx("UDP without an unordered preference"))
+								}
+								if again := Negotiate(prefs, path); again != got {
+									t.Error(ctx("non-deterministic selection"))
+								}
 							}
 						}
 					}
@@ -130,6 +142,9 @@ func formatPath(p PathConstraints) string {
 	}
 	if p.TCPOnly443 {
 		s += "t"
+	}
+	if p.DPIValidatesHandshake {
+		s += "d"
 	}
 	if p.PeerSupportsUTCP {
 		s += "u"

@@ -292,7 +292,7 @@ func newWireConn(sc *wire.Conn, proto Protocol, cfg TCPConfig, isClient bool) Co
 		case ProtoUCOBSTCP:
 			w.inner = ucobsConn{ucobs.New(sc)}
 		case ProtoUTLSTCP:
-			ucfg := utls.Config{ExplicitRecNum: cfg.ExplicitRecNum}
+			ucfg := utls.Config{ExplicitRecNum: cfg.ExplicitRecNum, Real: cfg.TLS.handshake()}
 			if isClient {
 				w.inner = utlsConn{utls.Client(sc, ucfg)}
 			} else {
