@@ -23,6 +23,11 @@ import (
 //   - write_syscalls_per_datagram regressions beyond -syscall-tol FAIL
 //     the run — the writev coalescing ratio is load-shaped and
 //     deterministic at a fixed window, so a rise means batching broke;
+//   - accept_imbalance_pct regressions FAIL the run when the new
+//     imbalance exceeds the old by more than 10 points AND exceeds 20% —
+//     the SO_REUSEPORT hash has binomial jitter, so small absolute moves
+//     are noise, but a shard going cold (or hot) is a structural accept
+//     bug the double condition always catches;
 //   - ns_per_op regressions beyond the tolerance are FLAGGED (warnings;
 //     shared CI runners are too noisy for wall time to be a hard gate)
 //     unless -fail-ns promotes them to failures.
@@ -94,6 +99,17 @@ func runBenchDiff(args []string) error {
 			if ns_ > os_*(1+*sysTol/100) && ns_ > os_+0.005 {
 				fmt.Printf("FAIL %s: write_syscalls_per_datagram %.4f -> %.4f (+%.1f%% > %.0f%%: batching regression)\n",
 					name, os_, ns_, (ns_-os_)/os_*100, *sysTol)
+				failures++
+			}
+		}
+		if oi, ni, ok := field(oldRec, newRec, "accept_imbalance_pct"); ok {
+			// Double condition: the kernel hash jitters run to run (σ grows
+			// as counts shrink), so only a jump that is both large relative
+			// to the old run (+10 points) and bad in absolute terms (>20%)
+			// is a distribution regression — e.g. a shard listener that
+			// stopped accepting.
+			if ni > oi+10 && ni > 20 {
+				fmt.Printf("FAIL %s: accept_imbalance_pct %.1f -> %.1f (accept distribution regression)\n", name, oi, ni)
 				failures++
 			}
 		}

@@ -28,10 +28,24 @@ type connScaleResult struct {
 	Conns       int    `json:"conns"`
 	Mode        string `json:"mode"`  // "poll", "shared" or "dedicated" loops
 	Loops       int    `json:"loops"` // loops per side (client and server group each; 0 in dedicated mode)
+	Procs       int    `json:"procs"` // GOMAXPROCS during the run
 	Stack       string `json:"stack"`
 	MsgsPerConn int    `json:"msgs_per_conn"`
 	MsgBytes    int    `json:"msg_bytes"`
 	Window      int    `json:"window"` // self-clocked datagrams in flight per conn
+
+	// Accept-path shape and distribution. AcceptSharded reports the
+	// SO_REUSEPORT per-loop-listener path; AcceptPerLoop is how many
+	// connections each loop's listener took (the kernel's hash
+	// distribution when sharded, the least-loaded assignment otherwise),
+	// and AcceptImbalancePct is the worst per-loop deviation from a
+	// perfectly even split, in percent (0 = exactly even).
+	AcceptSharded      bool     `json:"accept_sharded"`
+	AcceptPerLoop      []uint64 `json:"accept_per_loop,omitempty"`
+	AcceptImbalancePct float64  `json:"accept_imbalance_pct"`
+	// ServerLoads is the server group's per-loop attached-connection
+	// counts at full load — pinned-equal to AcceptPerLoop when sharded.
+	ServerLoads []int `json:"server_loads,omitempty"`
 
 	Iterations        int     `json:"iterations"` // total echo round trips
 	NsPerOp           float64 `json:"ns_per_op"`  // wall time per round trip
@@ -63,13 +77,14 @@ type connScaleResult struct {
 func runConnScale(args []string) error {
 	fs := flag.NewFlagSet("connscale", flag.ExitOnError)
 	dir := fs.String("benchdir", filepath.Join("bench-out", "connscale"), "output directory for BENCH_<conns>.json")
-	connsList := fs.String("conns", "1,4,16,64,256,1024", "comma-separated connection counts (up to 4096)")
+	connsList := fs.String("conns", "1,4,16,64,256,1024", "comma-separated connection counts (up to 131072)")
 	msgBytes := fs.Int("msgbytes", 200, "datagram payload size")
 	loops := fs.Int("loops", 0, "event loops per side (0 = GOMAXPROCS)")
 	window := fs.Int("window", 16, "self-clocked datagrams in flight per connection")
 	totalOps := fs.Int("ops", 65536, "target total round trips per count (min 8 per conn)")
 	mode := fs.String("mode", "poll", "loop mode: poll (falls back to shared off-Linux), shared, dedicated")
 	dedicated := fs.Bool("dedicated", false, "alias for -mode dedicated (the PR-2 baseline shape)")
+	procsList := fs.String("procs", "", "comma-separated GOMAXPROCS values to sweep (multi-core scaling); empty = current setting only")
 	udp := fs.Bool("udp", false, "measure the UDP shim instead (sendmmsg/recvmmsg batching), writing BENCH_udp_<conns>.json")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the whole sweep")
 	memprofile := fs.String("memprofile", "", "write an allocation profile covering the whole sweep")
@@ -107,22 +122,39 @@ func runConnScale(args []string) error {
 		return fmt.Errorf("bad -mode %q (want poll, shared or dedicated)", *mode)
 	}
 	var counts []int
+	maxConns := 0
 	for _, f := range strings.Split(*connsList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 || n > 4096 {
-			return fmt.Errorf("bad -conns entry %q (want 1..4096)", f)
+		if err != nil || n < 1 || n > 131072 {
+			return fmt.Errorf("bad -conns entry %q (want 1..131072)", f)
 		}
 		counts = append(counts, n)
+		if n > maxConns {
+			maxConns = n
+		}
+	}
+	var procs []int
+	if *procsList != "" {
+		for _, f := range strings.Split(*procsList, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || p < 1 || p > 1024 {
+				return fmt.Errorf("bad -procs entry %q", f)
+			}
+			procs = append(procs, p)
+		}
+	}
+	// Fail fast, before any sockets open: the whole sweep needs its fd
+	// budget — exactly two sockets per loopback connection (both ends
+	// live in-process), plus headroom for pollers, listener shards and
+	// profiles — or it will die mid-run in an EMFILE storm. raiseFDLimit
+	// lifts the soft — and if permitted the hard — limit first.
+	if err := raiseFDLimit(uint64(2*maxConns + 512)); err != nil {
+		return fmt.Errorf("connscale: %d conns: %w", maxConns, err)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	for _, n := range counts {
-		// Two sockets per connection plus listener/std fds.
-		if err := raiseFDLimit(uint64(4*n + 64)); err != nil {
-			fmt.Fprintf(os.Stderr, "connscale: %d conns: fd limit: %v (skipping)\n", n, err)
-			continue
-		}
+	runPoint := func(n, procOverride int) error {
 		var res connScaleResult
 		var err error
 		if *udp {
@@ -133,9 +165,14 @@ func runConnScale(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%d conns: %w", n, err)
 		}
-		name := fmt.Sprintf("BENCH_%d.json", n)
-		if *udp {
+		var name string
+		switch {
+		case *udp:
 			name = fmt.Sprintf("BENCH_udp_%d.json", n)
+		case procOverride > 0:
+			name = fmt.Sprintf("BENCH_p%d_%d.json", procOverride, n)
+		default:
+			name = fmt.Sprintf("BENCH_%d.json", n)
 		}
 		path := filepath.Join(*dir, name)
 		data, err := json.MarshalIndent(res, "", "  ")
@@ -146,11 +183,34 @@ func runConnScale(args []string) error {
 			return err
 		}
 		if *udp {
-			fmt.Printf("%5d conns %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f snd-syscalls/dgram %6.1f dgrams/sendmmsg -> %s\n",
+			fmt.Printf("%6d conns %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f snd-syscalls/dgram %6.1f dgrams/sendmmsg -> %s\n",
 				res.Conns, res.NsPerOp, res.AllocsPerOp, res.Goroutines, res.UDPSendSyscallsPerDatagram, res.UDPDatagramsPerSendCall, path)
 		} else {
-			fmt.Printf("%5d conns [%s] %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f wr-syscalls/dgram %6.1f bufs/writev %6.3f wakeups/dgram -> %s\n",
-				res.Conns, res.Mode, res.NsPerOp, res.AllocsPerOp, res.Goroutines, res.WriteSyscallsPerDatagram, res.WriteBufsPerCall, res.PollWakeupsPerDatagram, path)
+			shard := "single"
+			if res.AcceptSharded {
+				shard = "sharded"
+			}
+			fmt.Printf("%6d conns [%s/%s p%d] %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f wr-syscalls/dgram %6.1f bufs/writev %6.3f wakeups/dgram %5.1f%% accept-imbalance -> %s\n",
+				res.Conns, res.Mode, shard, res.Procs, res.NsPerOp, res.AllocsPerOp, res.Goroutines,
+				res.WriteSyscallsPerDatagram, res.WriteBufsPerCall, res.PollWakeupsPerDatagram, res.AcceptImbalancePct, path)
+		}
+		return nil
+	}
+	if len(procs) == 0 {
+		for _, n := range counts {
+			if err := runPoint(n, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0)) // restore on exit
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		for _, n := range counts {
+			if err := runPoint(n, p); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -178,12 +238,29 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 		lnLoops = 0 // per-connection loops on both sides
 	}
 
-	ln, err := minion.ListenConfig{TCPConfig: minion.TCPConfig{NoDelay: true}, Loops: lnLoops, Mode: lnMode}.
-		Listen(minion.ProtoUCOBSTCP, "tcp", "127.0.0.1:0")
+	// The server group is explicit (not listener-owned) so its per-loop
+	// loads are observable next to the listener's accept distribution.
+	var sg *minion.LoopGroup
+	lcfg := minion.ListenConfig{TCPConfig: minion.TCPConfig{NoDelay: true}}
+	if !dedicated {
+		sg = minion.NewLoopGroupMode(lnLoops, lnMode)
+		defer sg.Close()
+		lcfg.Group = sg
+	}
+	// Listen on the wildcard: past ~20k connections a single loopback
+	// destination exhausts the ephemeral source-port range, so clients
+	// spread their dials across 127.0.0.x aliases — each destination IP
+	// gets its own 4-tuple space.
+	ln, err := lcfg.Listen(minion.ProtoUCOBSTCP, "tcp", ":0")
 	if err != nil {
 		return connScaleResult{}, err
 	}
 	defer ln.Close()
+	lnPort := ln.Addr().(*net.TCPAddr).Port
+	dialDsts := 1 + nConns/20000
+	dialAddr := func(i int) string {
+		return fmt.Sprintf("127.0.0.%d:%d", 1+i%dialDsts, lnPort)
+	}
 	var srvMu sync.Mutex
 	var srvConns []minion.Conn
 	defer func() {
@@ -220,11 +297,14 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 		sent     atomic.Int64
 		received atomic.Int64
 	}
-	clients := make([]*client, nConns)
+	// One arena allocation for all per-connection bookkeeping: at 100k
+	// connections, per-client heap objects would make the harness itself
+	// a measurable allocation and cache load.
+	clients := make([]client, nConns)
 	defer func() {
-		for _, cl := range clients {
-			if cl != nil && cl.c != nil {
-				cl.c.Close()
+		for i := range clients {
+			if clients[i].c != nil {
+				clients[i].c.Close()
 			}
 		}
 	}()
@@ -238,12 +318,12 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 		go func(i int) {
 			defer dialWG.Done()
 			defer func() { <-dialSem }()
-			c, err := dc.Dial(minion.ProtoUCOBSTCP, "tcp", ln.Addr().String())
+			c, err := dc.Dial(minion.ProtoUCOBSTCP, "tcp", dialAddr(i))
 			if err != nil {
 				dialErr.Store(err)
 				return
 			}
-			clients[i] = &client{c: c}
+			clients[i].c = c
 		}(i)
 	}
 	dialWG.Wait()
@@ -254,8 +334,8 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 	msg := make([]byte, msgBytes)
 	var done sync.WaitGroup
 	done.Add(nConns)
-	for _, cl := range clients {
-		cl := cl
+	for i := range clients {
+		cl := &clients[i]
 		cl.c.OnMessage(func([]byte) {
 			n := cl.received.Add(1)
 			switch {
@@ -280,7 +360,8 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 	ioBefore := wire.ReadIOStats()
 	t0 := time.Now()
 	// Seed each connection's window; the echo stream self-clocks the rest.
-	for _, cl := range clients {
+	for i := range clients {
+		cl := &clients[i]
 		cl.sent.Store(int64(window))
 		for j := 0; j < window; j++ {
 			if err := cl.c.TrySend(msg, minion.Options{}); err != nil {
@@ -289,6 +370,7 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 		}
 	}
 	goroutines := runtime.NumGoroutine() // sampled at full load
+	accepts := ln.ShardAccepts()         // nil for a single-socket listener
 	waitDone := make(chan struct{})
 	go func() { done.Wait(); close(waitDone) }()
 	select {
@@ -300,6 +382,13 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 	ioAfter := wire.ReadIOStats()
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
+	// Server loads are read after the run, when every accepted connection
+	// has necessarily been attached (each one echoed its stream); sampling
+	// earlier races the Accept loop's attach.
+	var srvLoads []int
+	if sg != nil {
+		srvLoads = sg.Loads()
+	}
 
 	ops := nConns * msgs // round trips
 	dgrams := float64(2 * ops)
@@ -307,10 +396,25 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 	if dedicated {
 		resLoops = 0
 	}
+	// Imbalance over the listener's own per-shard counters when sharded;
+	// over the server group's attached-connection loads otherwise (the
+	// least-loaded path has no per-listener counters to read).
+	imbCounts := accepts
+	if imbCounts == nil && len(srvLoads) > 0 {
+		imbCounts = make([]uint64, len(srvLoads))
+		for i, n := range srvLoads {
+			imbCounts[i] = uint64(n)
+		}
+	}
 	return connScaleResult{
 		Conns:                    nConns,
 		Mode:                     resMode,
 		Loops:                    resLoops,
+		Procs:                    runtime.GOMAXPROCS(0),
+		AcceptSharded:            ln.Sharded(),
+		AcceptPerLoop:            accepts,
+		AcceptImbalancePct:       imbalancePct(imbCounts),
+		ServerLoads:              srvLoads,
 		Stack:                    minion.ProtoUCOBSTCP.String(),
 		MsgsPerConn:              msgs,
 		MsgBytes:                 msgBytes,
@@ -458,6 +562,7 @@ func connScaleUDPOnce(nConns, msgBytes, window, totalOps int) (connScaleResult, 
 		Conns:             nConns,
 		Mode:              "dedicated",
 		Loops:             0,
+		Procs:             runtime.GOMAXPROCS(0),
 		Stack:             "udp",
 		MsgsPerConn:       msgs,
 		MsgBytes:          msgBytes,
@@ -483,4 +588,33 @@ func safeDiv(a, b float64) float64 {
 		return 0
 	}
 	return a / b
+}
+
+// imbalancePct is the worst per-loop deviation from a perfectly even
+// split, in percent of the fair share: 0 = exactly even, 100 = some loop
+// took double (or none of) its share. Zero-length or all-zero counts
+// report 0.
+func imbalancePct(counts []uint64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(counts))
+	var worst float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return 100 * worst / mean
 }

@@ -26,15 +26,21 @@
 //
 // Two further subcommands track the real-socket substrate:
 //
-//	connscale  drive 1→4096 loopback connections in poll, shared, or
+//	connscale  drive 1→131072 loopback connections in poll, shared, or
 //	           dedicated mode (-mode; poll is the Linux default) and
 //	           write BENCH_<conns>.json (ns/op, goroutines, allocs/op,
-//	           syscalls per datagram, poll wakeups); -udp measures the
-//	           UDP shim's sendmmsg/recvmmsg batching instead, writing
-//	           BENCH_udp_<conns>.json; flags follow the subcommand
+//	           syscalls per datagram, poll wakeups, accept sharding and
+//	           per-loop distribution). Raises RLIMIT_NOFILE to the
+//	           sweep's budget up front (2 fds per loopback connection)
+//	           and fails fast if it can't. -procs sweeps GOMAXPROCS
+//	           values, writing BENCH_p<procs>_<conns>.json per point;
+//	           -udp measures the UDP shim's sendmmsg/recvmmsg batching
+//	           instead, writing BENCH_udp_<conns>.json; flags follow
+//	           the subcommand
 //	benchdiff  compare two BENCH_*.json directories (-old/-new): fail on
-//	           allocs/op, goroutine-count, and write-syscalls/datagram
-//	           regressions, flag ns_per_op beyond -ns-tol
+//	           allocs/op, goroutine-count, write-syscalls/datagram, and
+//	           accept-imbalance regressions, flag ns_per_op beyond
+//	           -ns-tol
 //
 // By default experiments run at a reduced "quick" scale; -full runs
 // paper-scale durations (minutes of CPU time).

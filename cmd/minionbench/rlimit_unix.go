@@ -8,7 +8,14 @@ import (
 )
 
 // raiseFDLimit lifts RLIMIT_NOFILE to at least need descriptors (the
-// connscale sweep opens two sockets per loopback connection).
+// connscale sweep opens two sockets per loopback connection, with
+// netpoller headroom on top). The soft limit is raised within the hard
+// limit first; when the hard limit itself is short — the usual state on
+// 100k-scale sweeps, where distro defaults sit at 1024–65536 — the hard
+// limit is raised too, which the kernel permits for root or
+// CAP_SYS_RESOURCE (CI runners, most containers). Failure reports every
+// number involved so the caller can fail fast with an actionable error
+// instead of drowning in EMFILE.
 func raiseFDLimit(need uint64) error {
 	var lim syscall.Rlimit
 	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
@@ -17,9 +24,20 @@ func raiseFDLimit(need uint64) error {
 	if lim.Cur >= need {
 		return nil
 	}
-	if lim.Max < need {
-		return fmt.Errorf("need %d fds, hard limit is %d", need, lim.Max)
+	if lim.Max >= need {
+		lim.Cur = need
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+			return fmt.Errorf("raising RLIMIT_NOFILE soft limit %d -> %d (hard %d): %w",
+				lim.Cur, need, lim.Max, err)
+		}
+		return nil
 	}
-	lim.Cur = need
-	return syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+	try := lim
+	try.Cur, try.Max = need, need
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &try); err == nil {
+		return nil
+	}
+	return fmt.Errorf("RLIMIT_NOFILE too low: need %d fds, soft limit %d, hard limit %d "+
+		"(raise it with `ulimit -Hn`/LimitNOFILE= or grant CAP_SYS_RESOURCE)",
+		need, lim.Cur, lim.Max)
 }

@@ -59,6 +59,18 @@ func (g *LoopGroup) Assign() *Loop {
 	return g.loops[best]
 }
 
+// AssignLoop counts a connection against loop i specifically, bypassing
+// least-loaded selection — the sharded-accept path, where the kernel
+// (SO_REUSEPORT) already routed the connection to the loop that owns the
+// accepting socket and reassigning it elsewhere would migrate the
+// connection off its loop. Pair with Release exactly like Assign.
+func (g *LoopGroup) AssignLoop(i int) *Loop {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.load[i]++
+	return g.loops[i]
+}
+
 // Release returns a connection's slot on l to the group.
 func (g *LoopGroup) Release(l *Loop) {
 	g.mu.Lock()

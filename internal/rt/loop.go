@@ -44,6 +44,13 @@ type Parker interface {
 // parkerBox wraps a Parker for atomic publication.
 type parkerBox struct{ p Parker }
 
+// pad64 separates fields written by different goroutines onto distinct
+// cache lines (64 bytes on amd64/arm64), so a producer hammering its
+// side of a structure never invalidates the line the event goroutine is
+// spinning on — the false-sharing guard applied to the runtime's
+// per-loop hot state.
+type pad64 [64]byte
+
 // Loop is the wall-clock Runtime: a monotonic clock (time since NewLoop),
 // a hashed timer wheel ordered by (deadline, schedule sequence) exactly
 // like the simulator's event queue, and one event goroutine that executes
@@ -68,6 +75,13 @@ type Loop struct {
 	goid     int64           // event goroutine id, for Do reentrancy detection (slow path)
 	marker   labelPointer    // address of the installed marker label map (fast identity check)
 	labelCtx context.Context // carries the marker label; reinstalls after clobbering
+
+	// The identity fields above are written once at startup and then only
+	// read (by Do's fast path, from every posting goroutine); the mutex
+	// region below is written constantly. Keep them on separate lines so
+	// the read-mostly identity check never misses on a line the lock
+	// traffic keeps invalidating.
+	_ pad64
 
 	mu      sync.Mutex
 	wheel   wheel
@@ -222,7 +236,11 @@ type Lane struct {
 	l      *Loop
 	q      []func() // guarded by l.mu
 	queued bool     // lane is in l.runq; guarded by l.mu
-	spare  []func() // drained slice recycled for the next batch; event-goroutine only
+	// spare is touched only by the event goroutine (batch recycling); the
+	// pad keeps it off the line producers dirty on every Post, so the
+	// drain path's slice reuse never contends with concurrent posters.
+	_     pad64
+	spare []func() // drained slice recycled for the next batch; event-goroutine only
 }
 
 // NewLane returns a fresh FIFO lane into the loop. Lanes are cheap: a

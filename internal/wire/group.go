@@ -139,17 +139,23 @@ func (g *Group) pollRegistrations() int {
 	return n
 }
 
-// assign attaches a connection: least-loaded loop, that loop's writer and
-// poller (nil outside poll mode), and a detach func. ok is false once the
-// group is closed.
-func (g *Group) assign() (loop *rt.Loop, nw *netWriter, pl *poller, release func(), ok bool) {
+// assign attaches a connection: a loop, that loop's writer and poller
+// (nil outside poll mode), and a detach func. shard >= 0 pins the
+// connection to that loop (sharded accept: the kernel already picked the
+// loop by picking its listener socket); shard < 0 is least-loaded
+// placement. ok is false once the group is closed.
+func (g *Group) assign(shard int) (loop *rt.Loop, nw *netWriter, pl *poller, release func(), ok bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.closed {
 		return nil, nil, nil, nil, false
 	}
 	g.refs++
-	loop = g.lg.Assign()
+	if shard >= 0 && shard < g.lg.Len() {
+		loop = g.lg.AssignLoop(shard)
+	} else {
+		loop = g.lg.Assign()
+	}
 	nw = g.writers[loop]
 	pl = g.pollers[loop]
 	var once sync.Once
@@ -166,6 +172,43 @@ func (g *Group) assign() (loop *rt.Loop, nw *netWriter, pl *poller, release func
 		})
 	}
 	return loop, nw, pl, release, true
+}
+
+// retain takes a non-connection reference on the group's runtime — the
+// sharded listener's hold, which keeps the loops and pollers alive while
+// listener fds are registered on them without counting against any
+// loop's connection load. The returned release is idempotent; ok is
+// false once the group is closed.
+func (g *Group) retain() (release func(), ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, false
+	}
+	g.refs++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.refs--
+			shutdown := g.closed && g.refs == 0
+			g.mu.Unlock()
+			if shutdown {
+				g.shutdown()
+			}
+		})
+	}, true
+}
+
+// loopShard returns loop i and its poller (nil outside poll mode) — the
+// sharded listener's wiring view. It takes no reference; pair with
+// retain.
+func (g *Group) loopShard(i int) (*rt.Loop, *poller) {
+	loop := g.lg.Loop(i)
+	g.mu.Lock()
+	pl := g.pollers[loop]
+	g.mu.Unlock()
+	return loop, pl
 }
 
 // Close stops accepting attachments and shuts the loops, writers, and

@@ -1,6 +1,8 @@
 package wire
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+)
 
 // IOStats is a process-wide snapshot of socket-boundary activity, the
 // denominator-free side of the "syscalls per datagram" metric the
@@ -39,27 +41,61 @@ type IOStats struct {
 	UDPRecvDatagrams uint64
 }
 
-var iostats struct {
+// ioCounters is one shard of the I/O statistics. At c100k scale every
+// socket read and write bumps these counters from whichever loop owns
+// the connection, so a single process-wide struct of atomics becomes a
+// cache line ping-ponging between every core (measured as a hard
+// scaling ceiling on multi-loop sweeps). Counters are therefore sharded:
+// each connection, UDP socket, and poller holds a pointer to one shard,
+// assigned round-robin at construction, and ReadIOStats sums the shards.
+// The trailing pad rounds the struct past two 64-byte cache lines so
+// adjacent shards in the backing array never share a line (11 × 8 = 88
+// bytes of counters + 40 pad = 128).
+type ioCounters struct {
 	tcpWriteCalls, tcpWriteBufs, tcpWriteBytes atomic.Uint64
 	tcpReadCalls, tcpReadBytes                 atomic.Uint64
 	pollWakeups, pollEvents                    atomic.Uint64
 	udpSendCalls, udpSendDatagrams             atomic.Uint64
 	udpRecvCalls, udpRecvDatagrams             atomic.Uint64
+	_                                          [40]byte
 }
 
-// ReadIOStats returns the current counters.
+// ioShards is sized to comfortably exceed any realistic loop count while
+// keeping the summing loop in ReadIOStats trivial (32 × 128 B = 4 KiB).
+const ioShards = 32
+
+var iostatShards [ioShards]ioCounters
+
+// ioNext is the round-robin cursor for shard assignment. Assignment
+// happens once per connection/poller construction — never on the I/O
+// path — so a single shared atomic is fine here.
+var ioNext atomic.Uint32
+
+// nextIO hands out the next stat shard round-robin. Distinct loops'
+// pollers and the connections they own tend to land on distinct shards,
+// which is all the de-contention needed: exact affinity doesn't matter,
+// only that two cores rarely hammer the same line.
+func nextIO() *ioCounters {
+	n := ioNext.Add(1)
+	return &iostatShards[n%ioShards]
+}
+
+// ReadIOStats returns the current counters, summed across shards.
 func ReadIOStats() IOStats {
-	return IOStats{
-		TCPWriteCalls:    iostats.tcpWriteCalls.Load(),
-		TCPWriteBufs:     iostats.tcpWriteBufs.Load(),
-		TCPWriteBytes:    iostats.tcpWriteBytes.Load(),
-		TCPReadCalls:     iostats.tcpReadCalls.Load(),
-		TCPReadBytes:     iostats.tcpReadBytes.Load(),
-		PollWakeups:      iostats.pollWakeups.Load(),
-		PollEvents:       iostats.pollEvents.Load(),
-		UDPSendCalls:     iostats.udpSendCalls.Load(),
-		UDPSendDatagrams: iostats.udpSendDatagrams.Load(),
-		UDPRecvCalls:     iostats.udpRecvCalls.Load(),
-		UDPRecvDatagrams: iostats.udpRecvDatagrams.Load(),
+	var s IOStats
+	for i := range iostatShards {
+		c := &iostatShards[i]
+		s.TCPWriteCalls += c.tcpWriteCalls.Load()
+		s.TCPWriteBufs += c.tcpWriteBufs.Load()
+		s.TCPWriteBytes += c.tcpWriteBytes.Load()
+		s.TCPReadCalls += c.tcpReadCalls.Load()
+		s.TCPReadBytes += c.tcpReadBytes.Load()
+		s.PollWakeups += c.pollWakeups.Load()
+		s.PollEvents += c.pollEvents.Load()
+		s.UDPSendCalls += c.udpSendCalls.Load()
+		s.UDPSendDatagrams += c.udpSendDatagrams.Load()
+		s.UDPRecvCalls += c.udpRecvCalls.Load()
+		s.UDPRecvDatagrams += c.udpRecvDatagrams.Load()
 	}
+	return s
 }

@@ -1,0 +1,96 @@
+package wire
+
+import "net"
+
+// Listener accepts wire connections. It runs in one of two shapes:
+//
+//   - Single-socket (the portable default): one kernel listening socket,
+//     Accept blocks in net.Listener.Accept, and each accepted connection
+//     is placed on the least-loaded group loop (or its own dedicated
+//     loop without a Group).
+//   - SO_REUSEPORT-sharded (Linux poll-mode groups): every loop in the
+//     group owns its own listening socket bound to the same address,
+//     registered edge-triggered on that loop's poller. The kernel hashes
+//     each incoming 4-tuple to one of the sockets, so accepts are
+//     distributed across loops without a shared accept lock, and the
+//     accepted connection is pinned to the loop whose socket produced it
+//     — it never migrates, so its cache-hot protocol state stays on one
+//     core. See listener_linux.go.
+//
+// Sharding engages automatically in Listen when the config carries a
+// poll-mode Group on a platform with SO_REUSEPORT support; any setup
+// failure falls back to the single-socket shape, which is always
+// correct, just serialized.
+type Listener struct {
+	ln     net.Listener // single-socket shape; nil when sharded
+	shards *shardSet    // sharded shape; nil otherwise
+	cfg    Config
+}
+
+// Listen announces on addr and returns a Listener whose accepted
+// connections use cfg (including its Group, for shared-loop accepting).
+func Listen(network, addr string, cfg Config) (*Listener, error) {
+	if cfg.Group != nil && cfg.Group.Mode() == ModePoll {
+		switch network {
+		case "tcp", "tcp4", "tcp6":
+			if ss, ok := listenSharded(network, addr, cfg); ok {
+				return &Listener{shards: ss, cfg: cfg}, nil
+			}
+		}
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{ln: ln, cfg: cfg}, nil
+}
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (*Conn, error) {
+	if l.shards != nil {
+		nc, shard, err := l.shards.accept()
+		if err != nil {
+			return nil, err
+		}
+		return newConn(nc, l.cfg, shard), nil
+	}
+	nc, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc, l.cfg), nil
+}
+
+// Addr returns the listening address (with the bound port).
+func (l *Listener) Addr() net.Addr {
+	if l.shards != nil {
+		return l.shards.addr
+	}
+	return l.ln.Addr()
+}
+
+// Sharded reports whether this listener runs the SO_REUSEPORT-sharded
+// accept path (one listening socket per group loop).
+func (l *Listener) Sharded() bool { return l.shards != nil }
+
+// ShardAccepts returns the number of connections each per-loop listener
+// socket has accepted, index-aligned with the group's loops — the
+// observable side of the kernel's SO_REUSEPORT distribution. Nil for a
+// single-socket listener.
+func (l *Listener) ShardAccepts() []uint64 {
+	if l.shards == nil {
+		return nil
+	}
+	return l.shards.acceptCounts()
+}
+
+// Close stops the listener (established connections are unaffected). In
+// the sharded shape it drains every per-loop socket: each shard
+// unregisters from its poller and closes its fd on its own loop, and
+// Close returns only after all of them are down.
+func (l *Listener) Close() error {
+	if l.shards != nil {
+		return l.shards.close()
+	}
+	return l.ln.Close()
+}

@@ -1,0 +1,361 @@
+//go:build linux
+
+package wire
+
+import (
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"minion/internal/rt"
+)
+
+// SO_REUSEPORT-sharded accept: one listening socket per group loop, all
+// bound to the same address. The kernel hashes each incoming 4-tuple to
+// one of the sockets, so the accept path has no shared lock and no
+// thundering herd, and — because each socket is registered edge-
+// triggered on its own loop's poller — the connection is accepted on,
+// and pinned to, the loop that will run its protocol work. The
+// distribution is the kernel's (approximately uniform over source
+// ports), observable through Listener.ShardAccepts.
+//
+// Accepting happens on the loop's event goroutine, like all other
+// poll-mode I/O: a readability edge on the listener raises its accept
+// signal, and the service pass drains the kernel queue with non-blocking
+// accept4 until EAGAIN, converting each fd into a *net.TCPConn
+// (net.FileConn dups the fd into the runtime's netpoller, so the
+// accepted socket behaves exactly like one from net.Listener) and
+// handing it to the blocking Accept caller through a small queue.
+
+// soReusePort is SO_REUSEPORT, which the stdlib syscall package does not
+// declare on Linux.
+const soReusePort = 0xf
+
+const (
+	// acceptBatch bounds accepts per service pass; a longer kernel queue
+	// re-raises the signal and continues behind other loop work.
+	acceptBatch = 64
+	// acceptQueueCap bounds connections accepted but not yet claimed by
+	// Accept — the userspace analogue of the listen backlog. At the cap
+	// the shards stop accepting (the kernel queue, then SYN drops, take
+	// over) until Accept drains below half.
+	acceptQueueCap = 4096
+	// acceptBackoff delays retry after EMFILE/ENFILE: accepting is
+	// impossible until some fd frees, and the edge won't re-fire for a
+	// connection already waiting in the kernel queue.
+	acceptBackoff = 10 * time.Millisecond
+)
+
+// shardAccepted is one accepted connection en route to Accept, tagged
+// with the loop that owns it.
+type shardAccepted struct {
+	nc    net.Conn
+	shard int
+}
+
+// shardSet is the sharded listener: per-loop listening sockets plus the
+// queue that feeds the blocking Accept API.
+type shardSet struct {
+	addr    net.Addr
+	shards  []*shardListener
+	release func() // group retain; runtime stays up while listener fds are registered
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []shardAccepted
+	paused bool // at cap: accept passes idle until Accept drains below half
+	closed bool
+}
+
+// shardListener is one loop's listening socket.
+type shardListener struct {
+	set  *shardSet
+	idx  int // loop index, and the shard tag on accepted conns
+	lfd  int
+	loop *rt.Loop
+	lane *rt.Lane
+	pl   *poller
+	tok  int32
+	sig  *rt.Signal // readability edge / continuation -> acceptPass
+
+	dead bool // loop-confined: no further syscalls on lfd
+
+	accepts atomic.Uint64
+}
+
+// readEdge implements pollTarget: connections are waiting in the kernel
+// queue.
+func (s *shardListener) readEdge(hup bool) { s.sig.Raise() }
+
+// writeEdge implements pollTarget: meaningless for a listening socket
+// (registered read-only; only error edges could land here).
+func (s *shardListener) writeEdge() {}
+
+// acceptPass drains the shard's kernel accept queue on the event
+// goroutine: non-blocking accept4 until EAGAIN, the per-pass batch
+// bound, the userspace queue cap, or an fd-exhaustion backoff.
+func (s *shardListener) acceptPass() {
+	if s.dead {
+		return
+	}
+	for i := 0; i < acceptBatch; i++ {
+		nfd, _, err := syscall.Accept4(s.lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
+		switch err {
+		case nil:
+		case syscall.EAGAIN:
+			return // queue drained; the next SYN raises a fresh edge
+		case syscall.EINTR, syscall.ECONNABORTED:
+			continue // peer gave up between SYN and accept
+		case syscall.EMFILE, syscall.ENFILE:
+			// Out of descriptors. The connection stays in the kernel queue
+			// and will not re-edge, so spinning would pin the loop; retry
+			// on a timer instead.
+			s.loop.Schedule(acceptBackoff, func() { s.sig.Raise() })
+			return
+		default:
+			return // teardown closed the socket, or a hard listener error
+		}
+		f := os.NewFile(uintptr(nfd), "wire-accept")
+		nc, ferr := net.FileConn(f)
+		f.Close() // FileConn dup'd the fd; the original must go
+		if ferr != nil {
+			continue
+		}
+		s.accepts.Add(1)
+		if !s.set.push(nc, s.idx) {
+			return // listener closed, or queue at cap (Accept resumes us)
+		}
+	}
+	// Full batch with possibly more pending: the kernel edge is consumed,
+	// so self-raise to continue behind whatever else queued on the loop.
+	s.sig.Raise()
+}
+
+// teardown unregisters and closes the shard's socket. Runs on the
+// shard's loop (or inline once the loop is gone); after it returns no
+// code path issues a syscall on lfd.
+func (s *shardListener) teardown() {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.pl.unregister(s.tok, s.lfd)
+	syscall.Close(s.lfd)
+}
+
+// push hands an accepted connection to Accept. It reports whether the
+// shard should keep accepting; false means the listener closed (the
+// connection is closed too) or the queue hit its cap.
+func (ss *shardSet) push(nc net.Conn, shard int) bool {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		nc.Close()
+		return false
+	}
+	ss.q = append(ss.q, shardAccepted{nc: nc, shard: shard})
+	full := len(ss.q) >= acceptQueueCap
+	if full {
+		ss.paused = true
+	}
+	ss.cond.Signal()
+	ss.mu.Unlock()
+	return !full
+}
+
+// accept blocks for the next connection from any shard.
+func (ss *shardSet) accept() (net.Conn, int, error) {
+	ss.mu.Lock()
+	for len(ss.q) == 0 && !ss.closed {
+		ss.cond.Wait()
+	}
+	if len(ss.q) == 0 {
+		ss.mu.Unlock()
+		return nil, 0, net.ErrClosed
+	}
+	a := ss.q[0]
+	ss.q[0] = shardAccepted{}
+	ss.q = ss.q[1:]
+	resume := ss.paused && len(ss.q) < acceptQueueCap/2
+	if resume {
+		ss.paused = false
+	}
+	ss.mu.Unlock()
+	if resume {
+		for _, s := range ss.shards {
+			s.sig.Raise()
+		}
+	}
+	return a.nc, a.shard, nil
+}
+
+// acceptCounts snapshots per-shard accepted-connection counts.
+func (ss *shardSet) acceptCounts() []uint64 {
+	out := make([]uint64, len(ss.shards))
+	for i, s := range ss.shards {
+		out[i] = s.accepts.Load()
+	}
+	return out
+}
+
+// close drains every per-loop listener: pending unclaimed connections
+// are closed, blocked Accept callers unblock with net.ErrClosed, and
+// each shard tears its socket down on its own loop. Returns after all
+// shards are down and the group reference is released.
+func (ss *shardSet) close() error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return nil
+	}
+	ss.closed = true
+	pending := ss.q
+	ss.q = nil
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+	for _, a := range pending {
+		a.nc.Close()
+	}
+	done := make(chan struct{}, len(ss.shards))
+	for _, s := range ss.shards {
+		s := s
+		if !s.lane.Post(func() { s.teardown(); done <- struct{}{} }) {
+			// Loop already closed (group shutdown): the event goroutine is
+			// gone, so the teardown runs inline safely.
+			s.teardown()
+			done <- struct{}{}
+		}
+	}
+	for range ss.shards {
+		<-done
+	}
+	ss.release()
+	return nil
+}
+
+// listenSharded builds the per-loop SO_REUSEPORT listener set. ok is
+// false on any setup failure — unresolvable address, no poller on a
+// loop, a refused socket option — and the caller falls back to the
+// single-socket shape, which is always correct.
+func listenSharded(network, addr string, cfg Config) (*shardSet, bool) {
+	g := cfg.Group
+	backlog := cfg.defaults().Backlog
+	ta, err := net.ResolveTCPAddr(network, addr)
+	if err != nil || ta == nil {
+		return nil, false
+	}
+	release, ok := g.retain()
+	if !ok {
+		return nil, false
+	}
+	ss := &shardSet{release: release}
+	ss.cond = sync.NewCond(&ss.mu)
+	port := ta.Port
+	for i := 0; i < g.Len(); i++ {
+		loop, pl := g.loopShard(i)
+		if pl == nil {
+			ss.close()
+			return nil, false
+		}
+		lfd, bound, err := listenShardFD(network, ta, port, backlog)
+		if err != nil {
+			ss.close()
+			return nil, false
+		}
+		if port == 0 {
+			// First shard bound an ephemeral port; the rest join it.
+			port = bound
+		}
+		s := &shardListener{set: ss, idx: i, lfd: lfd, loop: loop, pl: pl}
+		s.lane = loop.NewLane()
+		s.sig = s.lane.NewSignal(s.acceptPass)
+		tok, ok := pl.registerRead(lfd, s)
+		if !ok {
+			syscall.Close(lfd)
+			ss.close()
+			return nil, false
+		}
+		s.tok = tok
+		ss.shards = append(ss.shards, s)
+	}
+	ss.addr = shardAddr(ss.shards[0].lfd, port)
+	return ss, true
+}
+
+// listenShardFD opens, binds (SO_REUSEADDR + SO_REUSEPORT), and listens
+// one shard socket. It returns the fd and the bound port (meaningful
+// when the requested port was 0).
+func listenShardFD(network string, ta *net.TCPAddr, port, backlog int) (int, int, error) {
+	v4 := ta.IP.To4()
+	family := syscall.AF_INET6
+	if network == "tcp4" || v4 != nil {
+		family = syscall.AF_INET
+	}
+	fd, err := syscall.Socket(family, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, syscall.IPPROTO_TCP)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1); err != nil {
+		syscall.Close(fd)
+		return 0, 0, err
+	}
+	if err := syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, soReusePort, 1); err != nil {
+		syscall.Close(fd)
+		return 0, 0, err
+	}
+	var sa syscall.Sockaddr
+	if family == syscall.AF_INET {
+		sa4 := &syscall.SockaddrInet4{Port: port}
+		copy(sa4.Addr[:], v4)
+		sa = sa4
+	} else {
+		sa6 := &syscall.SockaddrInet6{Port: port}
+		if ip16 := ta.IP.To16(); ip16 != nil {
+			copy(sa6.Addr[:], ip16)
+		}
+		sa = sa6
+	}
+	if err := syscall.Bind(fd, sa); err != nil {
+		syscall.Close(fd)
+		return 0, 0, err
+	}
+	if err := syscall.Listen(fd, backlog); err != nil {
+		syscall.Close(fd)
+		return 0, 0, err
+	}
+	if port == 0 {
+		sn, err := syscall.Getsockname(fd)
+		if err != nil {
+			syscall.Close(fd)
+			return 0, 0, err
+		}
+		switch a := sn.(type) {
+		case *syscall.SockaddrInet4:
+			port = a.Port
+		case *syscall.SockaddrInet6:
+			port = a.Port
+		}
+	}
+	return fd, port, nil
+}
+
+// shardAddr reconstructs the listening net.Addr from the kernel's view
+// of the first shard socket.
+func shardAddr(fd, port int) net.Addr {
+	if sn, err := syscall.Getsockname(fd); err == nil {
+		switch a := sn.(type) {
+		case *syscall.SockaddrInet4:
+			ip := make(net.IP, 4)
+			copy(ip, a.Addr[:])
+			return &net.TCPAddr{IP: ip, Port: a.Port}
+		case *syscall.SockaddrInet6:
+			ip := make(net.IP, 16)
+			copy(ip, a.Addr[:])
+			return &net.TCPAddr{IP: ip, Port: a.Port}
+		}
+	}
+	return &net.TCPAddr{Port: port}
+}

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package wire
+
+import "net"
+
+// Sharded accept needs SO_REUSEPORT with kernel 4-tuple distribution and
+// the epoll poller; elsewhere Listen always takes the single-socket
+// shape. The stubs keep listener.go platform-free.
+
+type shardSet struct{ addr net.Addr }
+
+func listenSharded(network, addr string, cfg Config) (*shardSet, bool) { return nil, false }
+
+func (ss *shardSet) accept() (net.Conn, int, error) { return nil, 0, net.ErrClosed }
+func (ss *shardSet) acceptCounts() []uint64         { return nil }
+func (ss *shardSet) close() error                   { return nil }

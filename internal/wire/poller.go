@@ -47,6 +47,36 @@ import (
 //   - No syscall may touch the fd after pollTeardown: the fd number is
 //     recycled by the kernel the moment the socket closes.
 
+// pollTarget is anything a poller routes readiness edges to: wire
+// connections (both directions) and sharded-accept listener sockets
+// (read edges only — a new connection in the accept queue is a
+// readability event). Edge methods are called from the poller's dispatch
+// loop on the owning loop's event goroutine and must be cheap and
+// non-blocking; raising a coalescing rt.Signal is the intended shape.
+type pollTarget interface {
+	// readEdge reports readability (EPOLLIN) or a hangup/error condition;
+	// hup is true when the edge carried a hangup or error bit.
+	readEdge(hup bool)
+	// writeEdge reports writability (EPOLLOUT) or a hangup/error
+	// condition that must unpark a parked writer.
+	writeEdge()
+}
+
+// readEdge implements pollTarget: a readability or hangup edge raises the
+// read-service signal. The sticky rHup mark disables the short-read drain
+// shortcut — an already-arrived FIN never re-edges, so the drain must
+// reach the EOF itself.
+func (c *Conn) readEdge(hup bool) {
+	if hup {
+		c.rHup.Store(true)
+	}
+	c.rSig.Raise()
+}
+
+// writeEdge implements pollTarget: the kernel drained the socket buffer
+// (or the connection died); unpark and push.
+func (c *Conn) writeEdge() { c.woSig.Raise() }
+
 // pollInit attaches c to loop poller p: extracts the raw fd, builds the
 // three readiness signals, and registers the fd edge-triggered. It
 // reports false (leaving c untouched) when the socket cannot be polled —
@@ -60,7 +90,7 @@ func (c *Conn) pollInit(p *poller) bool {
 	c.rSig = c.lane.NewSignal(c.pollRead)
 	c.wSig = c.lane.NewSignal(c.pollWrite)
 	c.woSig = c.lane.NewSignal(c.pollWritable)
-	tok, ok := p.register(c)
+	tok, ok := p.register(fd, c)
 	if !ok {
 		return false
 	}
@@ -103,13 +133,13 @@ func (c *Conn) pollRead() {
 		}
 		b := buf.Get(readChunk)
 		n, again, err := c.pollReadFd(b.Bytes())
-		iostats.tcpReadCalls.Add(1)
+		c.io.tcpReadCalls.Add(1)
 		if again {
 			b.Release()
 			break
 		}
 		if n > 0 {
-			iostats.tcpReadBytes.Add(uint64(n))
+			c.io.tcpReadBytes.Add(uint64(n))
 			chunk := b.RightSize(n)
 			c.recvQ = append(c.recvQ, chunk)
 			c.rBudget += n
@@ -219,7 +249,7 @@ func (c *Conn) pollWriteBatch() {
 			break
 		}
 	}
-	iostats.tcpWriteBytes.Add(uint64(wrote))
+	c.io.tcpWriteBytes.Add(uint64(wrote))
 
 	c.wmu.Lock()
 	c.wqBytes -= int(wrote)
@@ -253,7 +283,7 @@ func (c *Conn) consumePend(n int) {
 	if consumed == 0 {
 		return
 	}
-	iostats.tcpWriteBufs.Add(uint64(consumed))
+	c.io.tcpWriteBufs.Add(uint64(consumed))
 	for i := 0; i < consumed; i++ {
 		c.pendOwned[i].Release()
 	}

@@ -61,9 +61,16 @@ type poller struct {
 	epfd         int
 	wakeR, wakeW int
 	events       []syscall.EpollEvent // Park-only scratch
-	targets      []*Conn              // Park-only scratch, index-aligned with events
+	targets      []pollTarget         // Park-only scratch, index-aligned with events
 	epf          *os.File             // wraps epfd: netpoller-based parking
 	eprc         syscall.RawConn
+	io           *ioCounters // this loop's I/O stat shard
+
+	// Pad between the event goroutine's Park-only scratch above and the
+	// cross-goroutine atomics below: registering goroutines flip
+	// wakePending on every Wake, and sharing that line with the scratch
+	// slice headers would invalidate it under the dispatch loop.
+	_ [64]byte
 
 	// dispatching is true while Park delivers events on the event
 	// goroutine: a Wake arriving then may skip the pipe write, because
@@ -73,9 +80,11 @@ type poller struct {
 	// to keep the epoll set readable until the next Park drains it.
 	wakePending atomic.Bool
 
+	_ [64]byte // atomics above, mutex-guarded registration table below
+
 	mu     sync.Mutex
-	conns  map[int32]*Conn // registration token -> connection
-	next   int32           // last token issued (wakeTok reserved)
+	conns  map[int32]pollTarget // registration token -> edge target
+	next   int32                // last token issued (wakeTok reserved)
 	closed bool
 }
 
@@ -97,7 +106,8 @@ func newPoller() (*poller, bool) {
 		wakeR:  pipefds[0],
 		wakeW:  pipefds[1],
 		events: make([]syscall.EpollEvent, pollEventBuf),
-		conns:  make(map[int32]*Conn),
+		conns:  make(map[int32]pollTarget),
+		io:     nextIO(),
 	}
 	// The wake pipe is level-triggered: a pending byte keeps the epoll
 	// set readable until Park drains it.
@@ -173,29 +183,24 @@ func (p *poller) Park(d time.Duration) {
 	p.targets = targets
 	for i := 0; i < n; i++ {
 		ev := &p.events[i]
-		c := targets[i]
-		if c == nil {
+		t := targets[i]
+		if t == nil {
 			continue // wake token, or unregistered between epoll_wait and dispatch
 		}
 		dispatched++
 		// Error and hangup conditions surface through the read path (a
 		// read returns the terminal state) and unpark the write path (a
-		// write returns the error instead of parking forever). The
-		// sticky rHup mark disables the short-read drain shortcut: a FIN
-		// that already arrived will never edge again.
-		if ev.Events&(epRDHUP|epHUP|epERR) != 0 {
-			c.rHup.Store(true)
-		}
+		// write returns the error instead of parking forever).
 		if ev.Events&(epIN|epRDHUP|epHUP|epERR) != 0 {
-			c.rSig.Raise()
+			t.readEdge(ev.Events&(epRDHUP|epHUP|epERR) != 0)
 		}
 		if ev.Events&(epOUT|epHUP|epERR) != 0 {
-			c.woSig.Raise()
+			t.writeEdge()
 		}
 	}
 	if dispatched > 0 {
-		iostats.pollWakeups.Add(1)
-		iostats.pollEvents.Add(uint64(dispatched))
+		p.io.pollWakeups.Add(1)
+		p.io.pollEvents.Add(uint64(dispatched))
 	}
 	if woken {
 		var drain [16]byte
@@ -206,7 +211,7 @@ func (p *poller) Park(d time.Duration) {
 	p.dispatching.Store(false)
 }
 
-func clearConns(s []*Conn) {
+func clearConns(s []pollTarget) {
 	for i := range s {
 		s[i] = nil
 	}
@@ -226,12 +231,24 @@ func (p *poller) Wake() {
 	}
 }
 
-// register adds c's fd to the epoll set, edge-triggered for both
-// directions, and returns the routing token. Registering both edges once
-// means the steady state never re-arms interest: EPOLLOUT fires only on
+// register adds fd to the epoll set, edge-triggered for both directions,
+// and returns the routing token. Registering both edges once means the
+// steady state never re-arms interest: EPOLLOUT fires only on
 // full-to-drained transitions, which only happen after a write actually
 // hit EAGAIN.
-func (p *poller) register(c *Conn) (int32, bool) {
+func (p *poller) register(fd int, t pollTarget) (int32, bool) {
+	return p.registerEvents(fd, t, epIN|epOUT|epRDHUP|epET)
+}
+
+// registerRead adds fd edge-triggered for readability only — the shape
+// for sharded-accept listener sockets, where writability is meaningless
+// and registering for it would deliver one spurious EPOLLOUT edge per
+// listener at attach.
+func (p *poller) registerRead(fd int, t pollTarget) (int32, bool) {
+	return p.registerEvents(fd, t, epIN|epRDHUP|epET)
+}
+
+func (p *poller) registerEvents(fd int, t pollTarget, events uint32) (int32, bool) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -242,10 +259,10 @@ func (p *poller) register(c *Conn) (int32, bool) {
 		p.next++
 	}
 	tok := p.next
-	p.conns[tok] = c
+	p.conns[tok] = t
 	p.mu.Unlock()
-	ev := syscall.EpollEvent{Events: epIN | epOUT | epRDHUP | epET, Fd: tok}
-	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, c.fd, &ev); err != nil {
+	ev := syscall.EpollEvent{Events: events, Fd: tok}
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
 		p.mu.Lock()
 		delete(p.conns, tok)
 		p.mu.Unlock()
@@ -370,7 +387,7 @@ func (c *Conn) pollWritev() (n int, again bool, err error) {
 		if e != 0 {
 			return 0, false, e
 		}
-		iostats.tcpWriteCalls.Add(1)
+		c.io.tcpWriteCalls.Add(1)
 		return int(r1), false, nil
 	}
 }

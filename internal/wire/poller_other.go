@@ -21,7 +21,9 @@ type poller struct{}
 
 func newPoller() (*poller, bool) { return nil, false }
 
-func (p *poller) register(c *Conn) (int32, bool) { return 0, false }
+func (p *poller) register(fd int, t pollTarget) (int32, bool) { return 0, false }
+
+func (p *poller) registerRead(fd int, t pollTarget) (int32, bool) { return 0, false }
 
 func (p *poller) unregister(tok int32, fd int) {}
 

@@ -1,0 +1,98 @@
+//go:build linux
+
+package wire
+
+import (
+	"net"
+	"syscall"
+	"testing"
+)
+
+// rcvBuf reads the socket's effective SO_RCVBUF via its raw fd.
+func rcvBuf(t *testing.T, sc syscall.Conn) int {
+	t.Helper()
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		t.Fatalf("SyscallConn: %v", err)
+	}
+	var val int
+	var gerr error
+	raw.Control(func(fd uintptr) {
+		val, gerr = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF)
+	})
+	if gerr != nil {
+		t.Fatalf("getsockopt SO_RCVBUF: %v", gerr)
+	}
+	return val
+}
+
+// TestSockBufOptsApplied pins that the Config socket-buffer knobs reach
+// the kernel: a Conn built with SockRecvBufBytes must carry at least
+// that much SO_RCVBUF (Linux reports double the requested value to
+// cover bookkeeping overhead, so >= is the portable assertion), and the
+// zero value must leave kernel autotuning untouched rather than forcing
+// a size.
+func TestSockBufOptsApplied(t *testing.T) {
+	const want = 256 * 1024
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+
+	dial := func(cfg Config) (*Conn, *net.TCPConn) {
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		return NewConn(nc, cfg), nc.(*net.TCPConn)
+	}
+
+	tuned, tc := dial(Config{SockRecvBufBytes: want, SockSendBufBytes: want})
+	defer tuned.Close()
+	if got := rcvBuf(t, tc); got < want {
+		t.Errorf("SO_RCVBUF = %d after SockRecvBufBytes=%d, want >= %d", got, want, want)
+	}
+
+	plain, pc := dial(Config{})
+	defer plain.Close()
+	// Autotuning default: whatever the kernel picked, the zero config
+	// must not have forced it to our explicit size.
+	if got := rcvBuf(t, pc); got >= 2*want {
+		t.Errorf("SO_RCVBUF = %d with zero config — expected the (smaller) kernel default, not a forced size", got)
+	}
+}
+
+// TestUDPSockBufDefault pins the UDP shim's buffer policy: zero config
+// applies the 1 MiB default (datagram bursts drop without it), while a
+// negative value opts out and keeps the kernel default.
+func TestUDPSockBufDefault(t *testing.T) {
+	mk := func(cfg UDPConfig) (*UDPConn, *net.UDPConn) {
+		nc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatalf("ListenUDP: %v", err)
+		}
+		return NewUDPConnConfig(nc, nc.LocalAddr(), cfg), nc
+	}
+
+	dflt, dn := mk(UDPConfig{})
+	defer dflt.Close()
+	if got := rcvBuf(t, dn); got < udpSockBufDefault {
+		t.Errorf("SO_RCVBUF = %d with zero UDPConfig, want >= the %d default", got, udpSockBufDefault)
+	}
+
+	optOut, on := mk(UDPConfig{SockRecvBufBytes: -1, SockSendBufBytes: -1})
+	defer optOut.Close()
+	if got := rcvBuf(t, on); got >= udpSockBufDefault {
+		t.Errorf("SO_RCVBUF = %d with SockRecvBufBytes=-1 — the opt-out still resized the buffer", got)
+	}
+}

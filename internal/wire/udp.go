@@ -13,6 +13,36 @@ import (
 	"minion/internal/udp"
 )
 
+// UDPConfig parameterizes the UDP shim's socket. The zero value is
+// usable.
+type UDPConfig struct {
+	// SockSendBufBytes sets the kernel socket send buffer (SO_SNDBUF).
+	// Zero means the 1 MiB default below; negative leaves the kernel
+	// default untouched.
+	SockSendBufBytes int
+	// SockRecvBufBytes sets the kernel socket receive buffer (SO_RCVBUF).
+	// Zero means the 1 MiB default; negative leaves the kernel default.
+	// Unlike TCP, UDP has no autotuning and no flow control: once the
+	// socket queue fills, the kernel drops datagrams silently, so a
+	// high-rate recvmmsg consumer needs real headroom here — the stock
+	// rmem_default (~200 KiB) is a few hundred datagrams.
+	SockRecvBufBytes int
+}
+
+// udpSockBufDefault is the kernel buffer sizing applied when the config
+// leaves it at zero (clamped by the kernel to net.core.{r,w}mem_max).
+const udpSockBufDefault = 1 << 20
+
+func (cfg UDPConfig) defaults() UDPConfig {
+	if cfg.SockSendBufBytes == 0 {
+		cfg.SockSendBufBytes = udpSockBufDefault
+	}
+	if cfg.SockRecvBufBytes == 0 {
+		cfg.SockRecvBufBytes = udpSockBufDefault
+	}
+	return cfg
+}
+
 // UDPConn is the trivial Minion shim (internal/udp) bound to a real
 // net.UDPConn instead of an emulated link: the deployable "UDP works
 // here" substrate (paper §3.2). Like Conn it owns an rt.Loop so the
@@ -29,7 +59,8 @@ type UDPConn struct {
 	lane    *rt.Lane
 	nc      *net.UDPConn
 	u       *udp.Conn
-	writeTo net.Addr // nil when nc is connected
+	io      *ioCounters // this socket's I/O stat shard
+	writeTo net.Addr    // nil when nc is connected
 
 	// Loop-confined send coalescing: datagrams the shim emits during one
 	// stretch of loop work accumulate here and flush in one batch.
@@ -49,10 +80,25 @@ type UDPConn struct {
 // destination for Send on an unconnected socket (nc from net.ListenUDP);
 // a nil remote requires a connected socket (nc from net.DialUDP).
 func NewUDPConn(nc *net.UDPConn, remote net.Addr) *UDPConn {
+	return NewUDPConnConfig(nc, remote, UDPConfig{})
+}
+
+// NewUDPConnConfig is NewUDPConn with socket tuning.
+func NewUDPConnConfig(nc *net.UDPConn, remote net.Addr, cfg UDPConfig) *UDPConn {
+	cfg = cfg.defaults()
+	// Size the kernel queues before any traffic: errors degrade to the
+	// kernel default, never to a broken socket.
+	if cfg.SockSendBufBytes > 0 {
+		nc.SetWriteBuffer(cfg.SockSendBufBytes)
+	}
+	if cfg.SockRecvBufBytes > 0 {
+		nc.SetReadBuffer(cfg.SockRecvBufBytes)
+	}
 	c := &UDPConn{
 		loop:       rt.NewLoop(),
 		nc:         nc,
 		u:          udp.New(),
+		io:         nextIO(),
 		writeTo:    remote,
 		readerDone: make(chan struct{}),
 	}
@@ -74,6 +120,11 @@ func NewUDPConn(nc *net.UDPConn, remote net.Addr) *UDPConn {
 
 // DialUDP opens a connected UDP socket to addr ("udp", "udp4", "udp6").
 func DialUDP(network, addr string) (*UDPConn, error) {
+	return DialUDPConfig(network, addr, UDPConfig{})
+}
+
+// DialUDPConfig is DialUDP with socket tuning.
+func DialUDPConfig(network, addr string, cfg UDPConfig) (*UDPConn, error) {
 	raddr, err := net.ResolveUDPAddr(network, addr)
 	if err != nil {
 		return nil, err
@@ -82,7 +133,7 @@ func DialUDP(network, addr string) (*UDPConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewUDPConn(nc, nil), nil
+	return NewUDPConnConfig(nc, nil, cfg), nil
 }
 
 // LocalAddr returns the socket's local address.
@@ -199,8 +250,8 @@ func (c *UDPConn) flushSend() {
 // sendOne is the portable single-datagram send (also the non-batch
 // fallback on Linux). It consumes b.
 func (c *UDPConn) sendOne(b *buf.Buffer) {
-	iostats.udpSendCalls.Add(1)
-	iostats.udpSendDatagrams.Add(1)
+	c.io.udpSendCalls.Add(1)
+	c.io.udpSendDatagrams.Add(1)
 	if c.writeTo != nil {
 		c.nc.WriteTo(b.Bytes(), c.writeTo)
 	} else {
@@ -227,9 +278,9 @@ func (c *UDPConn) readLoop() {
 func (c *UDPConn) readOne() bool {
 	b := buf.Get(udp.MaxDatagram)
 	n, _, err := c.nc.ReadFrom(b.Bytes())
-	iostats.udpRecvCalls.Add(1)
+	c.io.udpRecvCalls.Add(1)
 	if err == nil {
-		iostats.udpRecvDatagrams.Add(1)
+		c.io.udpRecvDatagrams.Add(1)
 		// RightSize: a burst of small datagrams must not pin a full
 		// 64 KiB arena each while queued in the loop.
 		dg := b.RightSize(n)

@@ -143,8 +143,8 @@ func (c *UDPConn) readBatch() bool {
 		time.Sleep(time.Millisecond)
 		return true
 	}
-	iostats.udpRecvCalls.Add(1)
-	iostats.udpRecvDatagrams.Add(uint64(n))
+	c.io.udpRecvCalls.Add(1)
+	c.io.udpRecvDatagrams.Add(uint64(n))
 	if n <= 0 {
 		return true
 	}
@@ -212,8 +212,8 @@ func (c *UDPConn) sendBatch(bufs []*buf.Buffer) {
 					sent++ // per-datagram failure: drop it, keep the rest
 					continue
 				}
-				iostats.udpSendCalls.Add(1)
-				iostats.udpSendDatagrams.Add(uint64(r1))
+				c.io.udpSendCalls.Add(1)
+				c.io.udpSendDatagrams.Add(uint64(r1))
 				if r1 == 0 {
 					return true
 				}

@@ -31,6 +31,19 @@ type Config struct {
 	// NoDelay disables Nagle on TCP sockets (recommended for datagram
 	// traffic, like the paper's experiments).
 	NoDelay bool
+	// SockSendBufBytes, when positive, sets the kernel socket send buffer
+	// (SO_SNDBUF). Zero leaves the kernel's autotuning in place — the
+	// right default on Linux, where tcp_wmem adapts per connection and a
+	// fixed SO_SNDBUF disables that adaptation.
+	SockSendBufBytes int
+	// SockRecvBufBytes, when positive, sets the kernel socket receive
+	// buffer (SO_RCVBUF). Zero leaves autotuning in place (see
+	// SockSendBufBytes).
+	SockRecvBufBytes int
+	// Backlog is the listen(2) backlog for wire listeners (default 4096,
+	// clamped by the kernel's somaxconn). At c10k+ accept rates the
+	// stock net.Listen backlog drops SYNs during accept bursts.
+	Backlog int
 	// Group, when non-nil, runs the connection in shared-loop mode on one
 	// of the group's event loops instead of a dedicated loop — see the
 	// package comment for the goroutine economics.
@@ -47,7 +60,29 @@ func (cfg Config) defaults() Config {
 	if cfg.WriteLowWater == 0 {
 		cfg.WriteLowWater = cfg.SendBufBytes / 2
 	}
+	if cfg.Backlog == 0 {
+		cfg.Backlog = 4096
+	}
 	return cfg
+}
+
+// applySockOpts sizes the kernel socket buffers per cfg. Errors are
+// ignored: a refused SO_SNDBUF/SO_RCVBUF (or a non-TCP nc in tests)
+// degrades to the kernel default, never to a broken connection.
+func applySockOpts(nc net.Conn, cfg Config) {
+	tcpc, ok := nc.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	if cfg.NoDelay {
+		tcpc.SetNoDelay(true)
+	}
+	if cfg.SockSendBufBytes > 0 {
+		tcpc.SetWriteBuffer(cfg.SockSendBufBytes)
+	}
+	if cfg.SockRecvBufBytes > 0 {
+		tcpc.SetReadBuffer(cfg.SockRecvBufBytes)
+	}
 }
 
 // readChunk is the pooled buffer size the reader goroutine fills from the
@@ -71,9 +106,10 @@ type Conn struct {
 	lane    *rt.Lane // the connection's FIFO lane into its loop
 	nc      net.Conn
 	cfg     Config
-	ownLoop bool       // dedicated mode: loop (and writer goroutine) are ours
-	nw      *netWriter // shared-loop writer; nil in dedicated and poll modes
-	release func()     // group detach; nil in dedicated mode
+	io      *ioCounters // this connection's I/O stat shard
+	ownLoop bool        // dedicated mode: loop (and writer goroutine) are ours
+	nw      *netWriter  // shared-loop writer; nil in dedicated and poll modes
+	release func()      // group detach; nil in dedicated mode
 
 	// Poll mode (nil pl elsewhere): the loop's poller drives this
 	// connection's I/O through three coalescing signals; no reader or
@@ -108,6 +144,13 @@ type Conn struct {
 	rInFlight int // bytes posted into the loop, not yet consumed by Read
 	rclosed   bool
 
+	// Pad between the read side (reader goroutine + loop) and the write
+	// side (producer goroutines + servicing writer): the two sides are
+	// driven by different goroutines at full rate, and sharing a cache
+	// line between rmu/rInFlight and wmu/wqBytes makes every send
+	// invalidate the receive path's line and vice versa.
+	_ [64]byte
+
 	// Writer queue (any goroutine -> servicing writer).
 	wmu        sync.Mutex
 	wcond      *sync.Cond // dedicated-writer wakeup
@@ -140,19 +183,26 @@ var _ tcp.Stream = (*Conn)(nil)
 // socket with the loop's poller and starts nothing at all. The caller
 // must Close the returned Conn to release them.
 func NewConn(nc net.Conn, cfg Config) *Conn {
+	return newConn(nc, cfg, -1)
+}
+
+// newConn is NewConn with loop placement control: shard >= 0 pins the
+// connection to that group loop — the sharded-accept path, where the
+// kernel already routed the connection to the loop that owns the
+// accepting socket — while shard < 0 uses least-loaded assignment.
+func newConn(nc net.Conn, cfg Config, shard int) *Conn {
 	cfg = cfg.defaults()
-	if tcpc, ok := nc.(*net.TCPConn); ok && cfg.NoDelay {
-		tcpc.SetNoDelay(true)
-	}
+	applySockOpts(nc, cfg)
 	c := &Conn{
 		nc:         nc,
 		cfg:        cfg,
+		io:         nextIO(),
 		writerDone: make(chan struct{}),
 		readerDone: make(chan struct{}),
 	}
 	var pl *poller
 	if cfg.Group != nil {
-		if loop, nw, p, release, ok := cfg.Group.assign(); ok {
+		if loop, nw, p, release, ok := cfg.Group.assign(shard); ok {
 			c.loop, c.nw, c.release = loop, nw, release
 			pl = p
 		}
@@ -498,9 +548,9 @@ func (c *Conn) readLoop() {
 	for {
 		b := buf.Get(readChunk)
 		n, err := c.nc.Read(b.Bytes())
-		iostats.tcpReadCalls.Add(1)
+		c.io.tcpReadCalls.Add(1)
 		if n > 0 {
-			iostats.tcpReadBytes.Add(uint64(n))
+			c.io.tcpReadBytes.Add(uint64(n))
 			// RightSize keeps the flow-control budget honest: short reads
 			// are copied into a right-sized arena instead of pinning the
 			// whole read buffer for n accounted bytes.
@@ -551,34 +601,3 @@ func (c *Conn) readLoop() {
 		}
 	}
 }
-
-// Listener accepts wire connections.
-type Listener struct {
-	ln  net.Listener
-	cfg Config
-}
-
-// Listen announces on addr and returns a Listener whose accepted
-// connections use cfg (including its Group, for shared-loop accepting).
-func Listen(network, addr string, cfg Config) (*Listener, error) {
-	ln, err := net.Listen(network, addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Listener{ln: ln, cfg: cfg}, nil
-}
-
-// Accept waits for the next connection.
-func (l *Listener) Accept() (*Conn, error) {
-	nc, err := l.ln.Accept()
-	if err != nil {
-		return nil, err
-	}
-	return NewConn(nc, l.cfg), nil
-}
-
-// Addr returns the listening address (with the bound port).
-func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
-
-// Close stops the listener (established connections are unaffected).
-func (l *Listener) Close() error { return l.ln.Close() }

@@ -79,9 +79,9 @@ func (c *Conn) writeBatch(deadline time.Time) (idle bool, wrote int64) {
 	pre := len(c.pend)
 	n, err := c.pend.WriteTo(c.nc)
 	consumed := pre - len(c.pend)
-	iostats.tcpWriteCalls.Add(uint64(1 + (pre-1)/writevMaxIOV))
-	iostats.tcpWriteBufs.Add(uint64(consumed))
-	iostats.tcpWriteBytes.Add(uint64(n))
+	c.io.tcpWriteCalls.Add(uint64(1 + (pre-1)/writevMaxIOV))
+	c.io.tcpWriteBufs.Add(uint64(consumed))
+	c.io.tcpWriteBytes.Add(uint64(n))
 	for i := 0; i < consumed; i++ {
 		c.pendOwned[i].Release()
 	}

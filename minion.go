@@ -269,6 +269,14 @@ type TCPConfig struct {
 	CoalesceWrites bool
 	// SendBufBytes/RecvBufBytes override socket buffer sizes.
 	SendBufBytes, RecvBufBytes int
+	// SockSendBufBytes/SockRecvBufBytes, when positive, set the kernel
+	// socket buffers (SO_SNDBUF/SO_RCVBUF) on real-socket substrates
+	// (Dial/Listen, including ProtoUDP). Zero leaves the kernel's
+	// tuning in place — on Linux TCP that is per-connection autotuning,
+	// which a fixed size would disable, so zero is the right default
+	// unless profiling shows the kernel queue as the bottleneck.
+	// Ignored by simulated substrates (NewPair).
+	SockSendBufBytes, SockRecvBufBytes int
 	// ExplicitRecNum enables the uTLS §6.1 extension on both endpoints.
 	// It negotiates over the compat handshake only and is ignored when
 	// TLS is set (genuine TLS 1.2 has no field that could carry it

@@ -1,0 +1,5 @@
+//go:build !race
+
+package minion
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package minion
+
+// raceEnabled lets scale tests clamp their connection counts when the
+// race detector multiplies memory and per-op cost.
+const raceEnabled = true

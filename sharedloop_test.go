@@ -125,12 +125,16 @@ func TestLoopbackSharedLoops512(t *testing.T) {
 }
 
 // TestListenConfigLoadBalance: accepted connections spread across the
-// group's loops within ±1.
+// group's loops within ±1. The ±1 guarantee belongs to the single-socket
+// least-loaded accept path, so the mode is pinned to LoopShared (a
+// poll-mode listener shards accept across per-loop SO_REUSEPORT sockets,
+// where the spread is the kernel's hash — covered statistically by
+// TestShardedAcceptDistribution).
 func TestListenConfigLoadBalance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-socket test")
 	}
-	g := NewLoopGroup(4)
+	g := NewLoopGroupMode(4, LoopShared)
 	defer g.Close()
 	ln, err := ListenConfig{TCPConfig: TCPConfig{NoDelay: true}, Group: g}.Listen(ProtoUCOBSTCP, "tcp", "127.0.0.1:0")
 	if err != nil {

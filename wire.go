@@ -133,6 +133,10 @@ type ListenConfig struct {
 	// Group, when non-nil, overrides Loops with an external group whose
 	// lifecycle the caller owns.
 	Group *LoopGroup
+	// Backlog is the listen(2) backlog (default 4096, clamped by the
+	// kernel's somaxconn) — sized for accept bursts at c10k+, where the
+	// stock default drops SYNs.
+	Backlog int
 }
 
 func (dc DialConfig) group() *wire.Group {
@@ -174,8 +178,13 @@ func (dc DialConfig) Dial(proto Protocol, network, addr string) (Conn, error) {
 	switch proto {
 	case ProtoUDP:
 		// The UDP shim is loop-cheap already (no writer goroutine); it
-		// keeps a dedicated loop regardless of group settings.
-		uc, err := wire.DialUDP(network, addr)
+		// keeps a dedicated loop regardless of group settings. The kernel
+		// buffer knobs apply — UDP drops silently once its socket queue
+		// fills, so sizing matters more here than on TCP.
+		uc, err := wire.DialUDPConfig(network, addr, wire.UDPConfig{
+			SockSendBufBytes: dc.SockSendBufBytes,
+			SockRecvBufBytes: dc.SockRecvBufBytes,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -223,6 +232,7 @@ func (lc ListenConfig) Listen(proto Protocol, network, addr string) (*Listener, 
 		return nil, fmt.Errorf("minion: unknown protocol %v", proto)
 	}
 	wcfg := lc.TCPConfig.wireConfig()
+	wcfg.Backlog = lc.Backlog
 	var owned *wire.Group
 	switch {
 	case lc.Group != nil:
@@ -253,6 +263,19 @@ func (l *Listener) Accept() (Conn, error) {
 // Addr returns the bound listening address.
 func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
 
+// Sharded reports whether the listener runs the SO_REUSEPORT-sharded
+// accept path: one listening socket per group loop, with the kernel
+// distributing incoming connections across them and each connection
+// pinned to the loop that accepted it. Engages automatically for
+// poll-mode groups on Linux; false means the single-socket least-loaded
+// shape.
+func (l *Listener) Sharded() bool { return l.ln.Sharded() }
+
+// ShardAccepts returns per-loop accepted-connection counts for a sharded
+// listener (nil otherwise) — the observable kernel accept distribution,
+// index-aligned with the group's loops.
+func (l *Listener) ShardAccepts() []uint64 { return l.ln.ShardAccepts() }
+
 // Close stops the listener. Established connections are unaffected: a
 // listener-owned loop group keeps running until the last of its
 // connections closes.
@@ -271,9 +294,11 @@ func DialUDP(network, addr string) (Conn, error) {
 
 func (cfg TCPConfig) wireConfig() wire.Config {
 	return wire.Config{
-		SendBufBytes: cfg.SendBufBytes,
-		RecvBufBytes: cfg.RecvBufBytes,
-		NoDelay:      cfg.NoDelay,
+		SendBufBytes:     cfg.SendBufBytes,
+		RecvBufBytes:     cfg.RecvBufBytes,
+		NoDelay:          cfg.NoDelay,
+		SockSendBufBytes: cfg.SockSendBufBytes,
+		SockRecvBufBytes: cfg.SockRecvBufBytes,
 	}
 }
 
