@@ -16,6 +16,8 @@ import (
 //   - any allocs_per_op regression (beyond float jitter) FAILS the run —
 //     allocation counts are deterministic, a rise is a real leak of the
 //     zero-copy discipline;
+//   - any allocs_per_record regression (the tlsbench shape) FAILS the
+//     run — the TLS record path is required to stay allocation-free;
 //   - goroutines regressions beyond -goroutine-tol FAIL the run —
 //     goroutine counts at full load are structural (readers per
 //     connection, loops per core), so growth means a runtime-shape
@@ -83,6 +85,15 @@ func runBenchDiff(args []string) error {
 				failures++
 			}
 		}
+		if oa, na, ok := field(oldRec, newRec, "allocs_per_record"); ok {
+			// The TLS record path is required to stay allocation-free in
+			// steady state (pooled buffers, cached cipher state): any rise
+			// beyond float jitter is a hard failure.
+			if na > oa+0.5 {
+				fmt.Printf("FAIL %s: allocs_per_record %.1f -> %.1f (record path must stay allocation-free)\n", name, oa, na)
+				failures++
+			}
+		}
 		if og, ng, ok := field(oldRec, newRec, "goroutines"); ok && og > 0 {
 			// A couple of goroutines of absolute slack: the count is
 			// sampled at full load and accept/test scaffolding can drift
@@ -113,16 +124,20 @@ func runBenchDiff(args []string) error {
 				failures++
 			}
 		}
-		if on, nn, ok := field(oldRec, newRec, "ns_per_op"); ok && on > 0 {
+		for _, key := range []string{"ns_per_op", "ns_per_record"} {
+			on, nn, ok := field(oldRec, newRec, key)
+			if !ok || on <= 0 {
+				continue
+			}
 			pct := (nn - on) / on * 100
 			if pct > *nsTol {
 				if *failNS {
-					fmt.Printf("FAIL %s: ns_per_op %.0f -> %.0f (+%.1f%% > %.0f%%)\n", name, on, nn, pct, *nsTol)
+					fmt.Printf("FAIL %s: %s %.0f -> %.0f (+%.1f%% > %.0f%%)\n", name, key, on, nn, pct, *nsTol)
 					failures++
 				} else {
 					// GitHub Actions annotation syntax; plain text elsewhere.
-					fmt.Printf("::warning title=bench trend::%s ns_per_op %.0f -> %.0f (+%.1f%% > %.0f%%)\n",
-						name, on, nn, pct, *nsTol)
+					fmt.Printf("::warning title=bench trend::%s %s %.0f -> %.0f (+%.1f%% > %.0f%%)\n",
+						name, key, on, nn, pct, *nsTol)
 				}
 			}
 		}
@@ -149,6 +164,9 @@ func readBenchFile(path string) (map[string]any, error) {
 func benchName(rec map[string]any, fallback string) string {
 	name := fallback
 	if s, ok := rec["stack"].(string); ok {
+		name = s
+	}
+	if s, ok := rec["suite"].(string); ok {
 		name = s
 	}
 	if c, ok := rec["conns"].(float64); ok {

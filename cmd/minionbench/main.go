@@ -37,10 +37,15 @@
 //	           -udp measures the UDP shim's sendmmsg/recvmmsg batching
 //	           instead, writing BENCH_udp_<conns>.json; flags follow
 //	           the subcommand
+//	tlsbench   measure the TLS record path (SealInto + OpenInPlace on a
+//	           preallocated wire buffer) for the CBC and GCM suites at
+//	           -recbytes plaintext bytes, writing BENCH_tls_cbc.json and
+//	           BENCH_tls_gcm.json (ns/record, allocs/record, MB/s) into
+//	           -benchdir
 //	benchdiff  compare two BENCH_*.json directories (-old/-new): fail on
-//	           allocs/op, goroutine-count, write-syscalls/datagram, and
-//	           accept-imbalance regressions, flag ns_per_op beyond
-//	           -ns-tol
+//	           allocs/op, allocs/record, goroutine-count,
+//	           write-syscalls/datagram, and accept-imbalance regressions,
+//	           flag ns_per_op and ns/record beyond -ns-tol
 //
 // By default experiments run at a reduced "quick" scale; -full runs
 // paper-scale durations (minutes of CPU time).
@@ -77,6 +82,12 @@ func main() {
 	case "connscale":
 		if err := runConnScale(flag.Args()[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "minionbench: connscale: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "tlsbench":
+		if err := runTLSBench(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "minionbench: tlsbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"minion/internal/tlsrec"
+)
+
+// tlsSuites are the record-path suites the tlsbench subcommand measures,
+// with the file stem each one is emitted under (BENCH_tls_<stem>.json).
+var tlsSuites = []struct {
+	stem  string
+	suite tlsrec.Suite
+}{
+	{"cbc", tlsrec.SuiteTLS12},
+	{"gcm", tlsrec.SuiteTLS12GCM},
+}
+
+// tlsBenchResult is the machine-readable record CI tracks per suite: the
+// steady-state cost of sealing one application-data record into a
+// preallocated wire buffer and opening it again in place — the uTLS data
+// path with the handshake and transport factored out.
+type tlsBenchResult struct {
+	Suite           string  `json:"suite"`
+	RecordBytes     int     `json:"record_bytes"`
+	Iterations      int     `json:"iterations"`
+	NsPerRecord     float64 `json:"ns_per_record"`
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+	MBPerSec        float64 `json:"mb_per_sec"`
+}
+
+// runTLSBench measures the TLS record path for every suite and writes one
+// BENCH_tls_<stem>.json per suite into -benchdir.
+func runTLSBench(args []string) error {
+	fs := flag.NewFlagSet("tlsbench", flag.ExitOnError)
+	dir := fs.String("benchdir", "bench-out", "output directory for BENCH_tls_*.json files")
+	recBytes := fs.Int("recbytes", 1024, "plaintext bytes per record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range tlsSuites {
+		res, err := benchTLSSuite(s.suite, *recBytes)
+		if err != nil {
+			return fmt.Errorf("suite %v: %w", s.suite, err)
+		}
+		path := filepath.Join(*dir, fmt.Sprintf("BENCH_tls_%s.json", s.stem))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-26s %10.0f ns/record %6.1f allocs/record %9.2f MB/s  -> %s\n",
+			res.Suite, res.NsPerRecord, res.AllocsPerRecord, res.MBPerSec, path)
+	}
+	return nil
+}
+
+// benchTLSSuite measures one SealInto+OpenInPlace roundtrip per iteration
+// on a single preallocated wire buffer, mirroring the pooled-buffer data
+// path (seal into a buf.Get slice, decrypt in place on receive).
+func benchTLSSuite(suite tlsrec.Suite, size int) (tlsBenchResult, error) {
+	r := testing.Benchmark(func(b *testing.B) {
+		kb := tlsrec.DeriveKeys([]byte("tlsbench-secret"), []byte("client-random-tlsbench01"), []byte("server-random-tlsbench01"))
+		seal, err := tlsrec.NewSeal(suite, kb.ClientWriteKey, kb.ClientWriteMAC)
+		if err != nil {
+			b.Fatalf("NewSeal: %v", err)
+		}
+		open, err := tlsrec.NewOpen(suite, kb.ClientWriteKey, kb.ClientWriteMAC)
+		if err != nil {
+			b.Fatalf("NewOpen: %v", err)
+		}
+		msg := make([]byte, size)
+		rec := make([]byte, suite.SealedLen(size))
+		roundtrip := func() {
+			if _, err := seal.SealInto(rec, tlsrec.TypeAppData, msg); err != nil {
+				b.Fatalf("SealInto: %v", err)
+			}
+			typ, pt, err := open.OpenInPlace(rec)
+			if err != nil || typ != tlsrec.TypeAppData || len(pt) != size {
+				b.Fatalf("OpenInPlace: typ=%v len=%d err=%v", typ, len(pt), err)
+			}
+		}
+		for i := 0; i < 64; i++ { // warm the cipher state and IV pool
+			roundtrip()
+		}
+		b.ReportAllocs()
+		b.SetBytes(int64(size))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			roundtrip()
+		}
+	})
+	if r.N == 0 {
+		return tlsBenchResult{}, fmt.Errorf("benchmark aborted (seal/open error)")
+	}
+	return tlsBenchResult{
+		Suite:           suite.String(),
+		RecordBytes:     size,
+		Iterations:      r.N,
+		NsPerRecord:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerRecord: float64(r.MemAllocs) / float64(r.N),
+		BytesPerRecord:  float64(r.MemBytes) / float64(r.N),
+		MBPerSec:        float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds(),
+	}, nil
+}

@@ -1,18 +1,21 @@
 // Package tlshake implements a genuine TLS 1.2 handshake
-// (RFC 5246 + RFC 8422) for exactly one honest ciphersuite —
-// TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA — so that a Minion uTLS endpoint's
-// bytes are accepted by stock TLS implementations: a crypto/tls peer (or
-// any middlebox DPI applying stock record/handshake parsing) completes the
-// handshake and exchanges application data with it. This is the paper's
-// headline wire-compatibility claim (§6) made literal, replacing the
-// simulated pre-shared-key hello exchange that the design-space
-// experiments still use.
+// (RFC 5246 + RFC 8422) for two honest ciphersuites —
+// TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 (preferred) and
+// TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA (fallback; Config.CipherSuites
+// restricts/orders the set) — so that a Minion uTLS endpoint's bytes are
+// accepted by stock TLS implementations: a crypto/tls peer (or any
+// middlebox DPI applying stock record/handshake parsing) completes the
+// handshake and exchanges application data with it, including GCM-only
+// peers that refuse CBC. This is the paper's headline wire-compatibility
+// claim (§6) made literal, replacing the simulated pre-shared-key hello
+// exchange that the design-space experiments still use.
 //
 // The package deliberately implements the narrowest interoperable slice:
 //
-//   - protocol version: TLS 1.2 only (the newest version whose CBC
-//     explicit-IV record format permits the paper's out-of-order record
-//     trick; TLS 1.3 encrypts record types and AEAD-chains nonces);
+//   - protocol version: TLS 1.2 only (the newest version whose record
+//     formats — CBC explicit IV, or GCM with the explicit nonce on the
+//     wire — permit the paper's out-of-order record trick; TLS 1.3
+//     encrypts record types and derives nonces implicitly);
 //   - key exchange: ECDHE over X25519, P-256 or P-384 (crypto/ecdh),
 //     signed with RSA PKCS#1 v1.5 (SHA-256/384/512/1 as negotiated via
 //     signature_algorithms);
@@ -26,10 +29,11 @@
 // Engine returns. It never touches a socket, so the same engine serves the
 // real-socket wire substrate and the deterministic simulator. On
 // completion it hands over the record-layer states (tlsrec.Seal/Open under
-// tlsrec.SuiteTLS12) with the Finished exchange's sequence numbers already
-// consumed — application records continue seamlessly at sequence 1, and
-// because the suite's explicit IVs make every record independently
-// decryptable, uTLS's out-of-order machinery (utls) runs unchanged on top.
+// tlsrec.SuiteTLS12GCM or tlsrec.SuiteTLS12 — NegotiatedSuite reports
+// which) with the Finished exchange's sequence numbers already consumed —
+// application records continue seamlessly at sequence 1, and because both
+// suites are self-describing per record (explicit nonce / explicit IV),
+// uTLS's out-of-order machinery (utls) runs unchanged on top.
 //
 // SelfSigned generates the throwaway RSA credential that tests, examples
 // and quickstarts use on the server side.

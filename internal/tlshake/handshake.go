@@ -47,6 +47,12 @@ type Config struct {
 	Rand io.Reader
 	// Time overrides the verification clock (default time.Now).
 	Time func() time.Time
+	// CipherSuites restricts and orders the TLS ciphersuite IDs this
+	// endpoint offers (client) or accepts (server), from the supported
+	// set {TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+	// TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA}. Empty means both, GCM
+	// preferred. Unsupported IDs are ignored.
+	CipherSuites []uint16
 }
 
 func (cfg Config) rand() io.Reader {
@@ -54,6 +60,36 @@ func (cfg Config) rand() io.Reader {
 		return cfg.Rand
 	}
 	return rand.Reader
+}
+
+// supportedSuites is the implementation's preference order: the AEAD GCM
+// suite first (faster records, CBC-refusing peers interop), CBC second.
+var supportedSuites = []uint16{suiteECDHERSAGCM, suiteECDHERSA}
+
+// suites returns the configured ciphersuite preference list, filtered to
+// the supported set.
+func (cfg Config) suites() []uint16 {
+	if len(cfg.CipherSuites) == 0 {
+		return supportedSuites
+	}
+	out := make([]uint16, 0, len(cfg.CipherSuites))
+	for _, id := range cfg.CipherSuites {
+		for _, s := range supportedSuites {
+			if id == s {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// recSuite maps a negotiated ciphersuite ID to its record-layer class.
+func recSuite(id uint16) tlsrec.Suite {
+	if id == suiteECDHERSAGCM {
+		return tlsrec.SuiteTLS12GCM
+	}
+	return tlsrec.SuiteTLS12
 }
 
 // Engine states.
@@ -119,12 +155,14 @@ type Engine struct {
 
 	clientRandom, serverRandom []byte
 	curveID                    uint16
+	suite                      uint16   // negotiated ciphersuite ID
+	offered                    []uint16 // client: suites in our ClientHello
 	ecdhPriv                   *ecdh.PrivateKey
 	peerPoint                  []byte // server's ECDH point (client side)
 	ems                        bool
 	masterSecret               []byte
 
-	seal *tlsrec.Seal // our write direction (SuiteTLS12)
+	seal *tlsrec.Seal // our write direction (negotiated suite)
 	open *tlsrec.Open // peer write direction
 
 	peerCerts []*x509.Certificate
@@ -159,6 +197,15 @@ func (e *Engine) Err() error { return e.err }
 // would.
 func (e *Engine) Keys() (*tlsrec.Seal, *tlsrec.Open) { return e.seal, e.open }
 
+// NegotiatedSuite returns the record-layer suite class the handshake
+// selected (meaningful once the ServerHello has been processed):
+// tlsrec.SuiteTLS12GCM for the AEAD suite, tlsrec.SuiteTLS12 for CBC.
+func (e *Engine) NegotiatedSuite() tlsrec.Suite { return recSuite(e.suite) }
+
+// CipherSuiteID returns the negotiated TLS ciphersuite ID (0xC02F for
+// ECDHE_RSA_WITH_AES_128_GCM_SHA256, 0xC013 for .._CBC_SHA).
+func (e *Engine) CipherSuiteID() uint16 { return e.suite }
+
 // PeerCertificates returns the peer's verified certificate chain (clients
 // only; empty for servers, which do not request client certificates).
 func (e *Engine) PeerCertificates() []*x509.Certificate { return e.peerCerts }
@@ -176,6 +223,10 @@ func (e *Engine) Start() ([]byte, error) {
 			return nil, e.err
 		}
 		return nil, nil
+	}
+	if len(e.cfg.suites()) == 0 {
+		e.err = fmt.Errorf("%w: CipherSuites lists no supported suite", ErrHandshakeFailed)
+		return nil, e.err
 	}
 	e.clientRandom = make([]byte, 32)
 	if _, err := io.ReadFull(e.cfg.rand(), e.clientRandom); err != nil {
@@ -355,15 +406,22 @@ func (e *Engine) serverHandleClientHello(full, body []byte) error {
 	if ch.version < tlsrec.Version12 {
 		return e.fail(alertHandshakeFailure, fmt.Errorf("%w: client offers %04x, need TLS 1.2", ErrHandshakeFailed, ch.version))
 	}
-	suiteOK := false
-	for _, s := range ch.cipherSuites {
-		if s == suiteECDHERSA {
-			suiteOK = true
+	// Ciphersuite: first of our preference order (GCM before CBC, or the
+	// configured restriction) present in the client's offer.
+	e.suite = 0
+	for _, pref := range e.cfg.suites() {
+		for _, s := range ch.cipherSuites {
+			if s == pref {
+				e.suite = pref
+				break
+			}
+		}
+		if e.suite != 0 {
 			break
 		}
 	}
-	if !suiteOK {
-		return e.fail(alertHandshakeFailure, fmt.Errorf("%w: client does not offer ECDHE_RSA_WITH_AES_128_CBC_SHA", ErrHandshakeFailed))
+	if e.suite == 0 {
+		return e.fail(alertHandshakeFailure, fmt.Errorf("%w: no common ciphersuite (client offers none of ECDHE_RSA AES_128 GCM/CBC)", ErrHandshakeFailed))
 	}
 	if !bytes.ContainsRune(ch.compressions, 0) {
 		return e.fail(alertHandshakeFailure, fmt.Errorf("%w: client refuses null compression", ErrHandshakeFailed))
@@ -419,7 +477,7 @@ func (e *Engine) serverHandleClientHello(full, body []byte) error {
 	sh.u16(tlsrec.Version12)
 	sh.raw(e.serverRandom)
 	sh.u8(0) // empty session_id: no resumption
-	sh.u16(suiteECDHERSA)
+	sh.u16(e.suite)
 	sh.u8(0) // null compression
 	sh.vec(2, func(w *builder) {
 		if ch.renego {
@@ -534,8 +592,11 @@ func (e *Engine) buildClientHello() []byte {
 	b.u16(tlsrec.Version12)
 	b.raw(e.clientRandom)
 	b.u8(0) // empty session_id
+	e.offered = e.cfg.suites()
 	b.vec(2, func(w *builder) {
-		w.u16(suiteECDHERSA)
+		for _, s := range e.offered {
+			w.u16(s)
+		}
 		w.u16(scsvRenegotiation)
 	})
 	b.vec(1, func(w *builder) { w.u8(0) }) // null compression only
@@ -583,9 +644,17 @@ func (e *Engine) clientHandleServerHello(full, body []byte) error {
 	if sh.version != tlsrec.Version12 {
 		return e.fail(alertIllegalParameter, fmt.Errorf("%w: server negotiated %04x, need TLS 1.2", ErrHandshakeFailed, sh.version))
 	}
-	if sh.suite != suiteECDHERSA {
-		return e.fail(alertIllegalParameter, fmt.Errorf("%w: server selected suite %04x", ErrHandshakeFailed, sh.suite))
+	offered := false
+	for _, s := range e.offered {
+		if sh.suite == s {
+			offered = true
+			break
+		}
 	}
+	if !offered {
+		return e.fail(alertIllegalParameter, fmt.Errorf("%w: server selected suite %04x we did not offer", ErrHandshakeFailed, sh.suite))
+	}
+	e.suite = sh.suite
 	if sh.compr != 0 {
 		return e.fail(alertIllegalParameter, fmt.Errorf("%w: server selected compression", ErrHandshakeFailed))
 	}
@@ -715,7 +784,7 @@ func (e *Engine) clientHandleFinished(full, body []byte) error {
 // deriveKeys runs ECDH against the peer's point, computes the master
 // secret (extended form when negotiated, RFC 7627 — the transcript must
 // already include the ClientKeyExchange), expands the key block and
-// instantiates the SuiteTLS12 record states for both directions.
+// instantiates the negotiated suite's record states for both directions.
 func (e *Engine) deriveKeys(peerPoint []byte) error {
 	peerPub, err := e.ecdhPriv.Curve().NewPublicKey(peerPoint)
 	if err != nil {
@@ -732,22 +801,35 @@ func (e *Engine) deriveKeys(peerPoint []byte) error {
 		seed := append(append([]byte(nil), e.clientRandom...), e.serverRandom...)
 		e.masterSecret = prf12(preMaster, "master secret", seed, masterSecretLen)
 	}
-	macLen := tlsrec.SuiteTLS12.MACSize()
+	rs := recSuite(e.suite)
 	seed := append(append([]byte(nil), e.serverRandom...), e.clientRandom...)
-	block := prf12(e.masterSecret, "key expansion", seed, 2*macLen+2*16)
-	clientMAC := block[:macLen]
-	serverMAC := block[macLen : 2*macLen]
-	clientKey := block[2*macLen : 2*macLen+16]
-	serverKey := block[2*macLen+16:]
+	var clientKey, serverKey, clientMAC, serverMAC []byte
+	if rs == tlsrec.SuiteTLS12GCM {
+		// RFC 5246 §6.3 with mac_key_length = 0: the block is the two
+		// 16-byte write keys followed by the two 4-byte implicit nonce
+		// salts, which ride the MAC-key parameter of the record layer.
+		block := prf12(e.masterSecret, "key expansion", seed, 2*16+2*4)
+		clientKey = block[:16]
+		serverKey = block[16:32]
+		clientMAC = block[32:36] // client_write_IV
+		serverMAC = block[36:40] // server_write_IV
+	} else {
+		macLen := rs.MACSize()
+		block := prf12(e.masterSecret, "key expansion", seed, 2*macLen+2*16)
+		clientMAC = block[:macLen]
+		serverMAC = block[macLen : 2*macLen]
+		clientKey = block[2*macLen : 2*macLen+16]
+		serverKey = block[2*macLen+16:]
+	}
 
 	sealKey, sealMAC, openKey, openMAC := serverKey, serverMAC, clientKey, clientMAC
 	if e.isClient {
 		sealKey, sealMAC, openKey, openMAC = clientKey, clientMAC, serverKey, serverMAC
 	}
-	if e.seal, err = tlsrec.NewSeal(tlsrec.SuiteTLS12, sealKey, sealMAC); err != nil {
+	if e.seal, err = tlsrec.NewSeal(rs, sealKey, sealMAC); err != nil {
 		return err
 	}
-	if e.open, err = tlsrec.NewOpen(tlsrec.SuiteTLS12, openKey, openMAC); err != nil {
+	if e.open, err = tlsrec.NewOpen(rs, openKey, openMAC); err != nil {
 		return err
 	}
 	return nil

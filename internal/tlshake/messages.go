@@ -27,9 +27,13 @@ const (
 	extRenegotiationInfo uint16 = 0xff01
 )
 
-// suiteECDHERSA is TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA — the one honest
-// ciphersuite this package speaks.
-const suiteECDHERSA uint16 = 0xC013
+// The honest ciphersuites this package speaks.
+const (
+	// suiteECDHERSA is TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA.
+	suiteECDHERSA uint16 = 0xC013
+	// suiteECDHERSAGCM is TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 (RFC 5289).
+	suiteECDHERSAGCM uint16 = 0xC02F
+)
 
 // scsvRenegotiation is TLS_EMPTY_RENEGOTIATION_INFO_SCSV (RFC 5746).
 const scsvRenegotiation uint16 = 0x00ff

@@ -390,3 +390,162 @@ func TestStockDefaultConfigClient(t *testing.T) {
 	}
 	tc.Close()
 }
+
+// TestEngineToEngineGCMDefault: with no CipherSuites restriction both
+// engines prefer and land on TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256, and
+// application data flows over GCM records both ways.
+func TestEngineToEngineGCMDefault(t *testing.T) {
+	cert, pool := testCert(t)
+	cli := NewClient(Config{RootCAs: pool, ServerName: "minion.test"})
+	srv := NewServer(Config{Certificate: &cert})
+	shuttle(t, cli, srv)
+	if cli.CipherSuiteID() != suiteECDHERSAGCM || srv.CipherSuiteID() != suiteECDHERSAGCM {
+		t.Fatalf("negotiated %04x / %04x, want %04x both sides", cli.CipherSuiteID(), srv.CipherSuiteID(), suiteECDHERSAGCM)
+	}
+	if cli.NegotiatedSuite() != tlsrec.SuiteTLS12GCM || srv.NegotiatedSuite() != tlsrec.SuiteTLS12GCM {
+		t.Fatalf("record suites %v / %v, want SuiteTLS12GCM", cli.NegotiatedSuite(), srv.NegotiatedSuite())
+	}
+	cs, co := cli.Keys()
+	ss, so := srv.Keys()
+	for i, msg := range [][]byte{[]byte("up over gcm"), bytes.Repeat([]byte{9}, 4000)} {
+		rec, err := cs.Seal(tlsrec.TypeAppData, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, pt, err := so.Open(rec)
+		if err != nil || typ != tlsrec.TypeAppData || !bytes.Equal(pt, msg) {
+			t.Fatalf("msg %d client→server: %v", i, err)
+		}
+		rec, err = ss.Seal(tlsrec.TypeAppData, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, pt, err = co.Open(rec)
+		if err != nil || typ != tlsrec.TypeAppData || !bytes.Equal(pt, msg) {
+			t.Fatalf("msg %d server→client: %v", i, err)
+		}
+	}
+}
+
+// TestCipherSuiteRestriction: pinning CipherSuites to CBC on either side
+// steers the negotiation off the GCM default.
+func TestCipherSuiteRestriction(t *testing.T) {
+	cert, pool := testCert(t)
+	for _, tc := range []struct {
+		name     string
+		cli, srv []uint16
+		want     uint16
+	}{
+		{"client-cbc-only", []uint16{suiteECDHERSA}, nil, suiteECDHERSA},
+		{"server-cbc-only", nil, []uint16{suiteECDHERSA}, suiteECDHERSA},
+		{"both-gcm-only", []uint16{suiteECDHERSAGCM}, []uint16{suiteECDHERSAGCM}, suiteECDHERSAGCM},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cli := NewClient(Config{RootCAs: pool, ServerName: "minion.test", CipherSuites: tc.cli})
+			srv := NewServer(Config{Certificate: &cert, CipherSuites: tc.srv})
+			shuttle(t, cli, srv)
+			if cli.CipherSuiteID() != tc.want || srv.CipherSuiteID() != tc.want {
+				t.Fatalf("negotiated %04x / %04x, want %04x", cli.CipherSuiteID(), srv.CipherSuiteID(), tc.want)
+			}
+		})
+	}
+}
+
+// TestNoCommonCipherSuite: disjoint restrictions must fail the handshake
+// with a handshake_failure alert, not negotiate something unoffered.
+func TestNoCommonCipherSuite(t *testing.T) {
+	cert, pool := testCert(t)
+	cli := NewClient(Config{RootCAs: pool, ServerName: "minion.test", CipherSuites: []uint16{suiteECDHERSA}})
+	srv := NewServer(Config{Certificate: &cert, CipherSuites: []uint16{suiteECDHERSAGCM}})
+	pending, err := cli.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var srvErr error
+	for _, rec := range splitRecords(t, pending) {
+		if _, srvErr = srv.Feed(rec); srvErr != nil {
+			break
+		}
+	}
+	if !errors.Is(srvErr, ErrHandshakeFailed) {
+		t.Fatalf("disjoint suites: %v, want ErrHandshakeFailed", srvErr)
+	}
+}
+
+// TestStockGCMOnlyClientAgainstEngineServer is the CBC-refusing peer from
+// the roadmap: a stock crypto/tls client that only enables the GCM suite
+// — which could not connect before the AEAD suite landed — completes the
+// handshake and exchanges data.
+func TestStockGCMOnlyClientAgainstEngineServer(t *testing.T) {
+	cert, pool := testCert(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	srvDone := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		defer c.Close()
+		e := NewServer(Config{Certificate: &cert})
+		if err := runEngine(c, e); err != nil {
+			srvDone <- err
+			return
+		}
+		if e.CipherSuiteID() != suiteECDHERSAGCM {
+			srvDone <- errors.New("engine server did not land on the GCM suite")
+			return
+		}
+		seal, open := e.Keys()
+		rec, err := readRecord(c)
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		typ, pt, err := open.Open(rec)
+		if err != nil || typ != tlsrec.TypeAppData {
+			srvDone <- errors.New("bad app record from GCM-only stock client")
+			return
+		}
+		echo, _ := seal.Seal(tlsrec.TypeAppData, pt)
+		_, err = c.Write(echo)
+		srvDone <- err
+	}()
+
+	tc, err := tls.Dial("tcp", ln.Addr().String(), &tls.Config{
+		RootCAs:      pool,
+		ServerName:   "minion.test",
+		MinVersion:   tls.VersionTLS12,
+		MaxVersion:   tls.VersionTLS12,
+		CipherSuites: []uint16{tls.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}, // refuses CBC
+	})
+	if err != nil {
+		t.Fatalf("GCM-only stock client rejected the handshake: %v", err)
+	}
+	defer tc.Close()
+	if cs := tc.ConnectionState().CipherSuite; cs != tls.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 {
+		t.Fatalf("negotiated suite %04x", cs)
+	}
+	msg := []byte("hello from a CBC-refusing stock stack")
+	if _, err := tc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(tc, buf); err != nil {
+		t.Fatalf("reading echo: %v", err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("echo mismatch: %q", buf)
+	}
+	if err := <-srvDone; err != nil {
+		t.Fatalf("engine server: %v", err)
+	}
+}

@@ -21,6 +21,25 @@
 //     A stock TLS 1.2 peer seals and opens these records; like the TLS 1.1
 //     class, the explicit IV makes every record independently decryptable,
 //     so uTLS's out-of-order machinery works unchanged on top of it.
+//     Pad+MAC verification is constant time (crypto/subtle, equal-work
+//     reject path — Lucky13), and explicit IVs come from a buffered
+//     crypto/rand source (one read per 64 records).
+//   - SuiteTLS12GCM: genuine TLS 1.2 AES_128_GCM_SHA256 (RFC 5288 AEAD,
+//     record version 0x0303) — the preferred suite of the real handshake.
+//     No MAC key and no padding; the per-record nonce is a 4-byte
+//     implicit salt from the key block plus the 8-byte explicit nonce on
+//     the wire, which (crypto/tls convention) is the record sequence
+//     number — records are self-numbering, so out-of-order receivers read
+//     the record number off the wire (ExplicitNonce) instead of guessing.
+//
+// The data path is allocation-free in steady state: SealInto encrypts
+// directly into a caller-provided (pooled) buffer of SealedLen size,
+// OpenInPlace decrypts inside the record's own bytes on the in-order
+// path, and OpenAt decrypts into reusable scratch on the out-of-order
+// path (a failed guess must leave the record bytes intact for the next
+// guess — Go's GCM zeroes the destination on authentication failure).
+// Cipher, HMAC and AEAD states plus nonce/AAD/header scratch live on the
+// Seal/Open structs.
 //
 // Two key-exchange paths feed this layer. The simulated design-space
 // experiments use a pre-shared secret mixed with exchanged randoms

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tlsrec
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package tlsrec
+
+// raceEnabled relaxes strict allocation assertions under the race
+// detector, whose instrumentation allocates.
+const raceEnabled = true

@@ -7,6 +7,7 @@ import (
 	"crypto/rand"
 	"crypto/sha1"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -41,6 +42,18 @@ const (
 	macSize   = sha256.Size // legacy (simulated design-space) suites
 	blockSize = aes.BlockSize
 	keySize   = 16
+
+	// AES-GCM record geometry (RFC 5288): each record body carries an
+	// 8-byte explicit nonce up front and a 16-byte tag at the end. The
+	// full 12-byte GCM nonce is a 4-byte implicit salt from the key block
+	// followed by the explicit part.
+	gcmExplicitNonceLen = 8
+	gcmTagSize          = 16
+	gcmSaltLen          = 4
+
+	// ivPoolRecords sizes the buffered CSPRNG pool for explicit CBC IVs:
+	// one crypto/rand read per this many records instead of one per record.
+	ivPoolRecords = 64
 )
 
 // Errors.
@@ -50,6 +63,7 @@ var (
 	ErrTooLarge     = errors.New("tlsrec: plaintext exceeds maximum record size")
 	ErrOrderOnly    = errors.New("tlsrec: ciphersuite cannot decrypt out of order")
 	ErrUnknownSuite = errors.New("tlsrec: unknown ciphersuite")
+	ErrShortBuffer  = errors.New("tlsrec: destination buffer too small for sealed record")
 )
 
 // Suite identifies a ciphersuite class.
@@ -66,6 +80,14 @@ const (
 	// speak; it is selected by the real ECDHE_RSA handshake (tlshake), not
 	// by the simulated negotiation.
 	SuiteTLS12
+	// SuiteTLS12GCM is the genuine TLS 1.2 AES_128_GCM_SHA256 record
+	// format (RFC 5288: 8-byte explicit counter nonce, 16-byte tag, no MAC
+	// key, no padding). The explicit nonce plays exactly the role the
+	// explicit CBC IV plays for §6.1: every record is self-describing, so
+	// out-of-order decryption works — and because the nonce is the record
+	// sequence number, a receiver can read a record's number straight off
+	// the wire instead of predicting it.
+	SuiteTLS12GCM
 )
 
 var suiteNames = map[Suite]string{
@@ -74,6 +96,7 @@ var suiteNames = map[Suite]string{
 	SuiteCBCImplicitIV: "CBC-IMPLICIT-IV(TLS1.0)",
 	SuiteCBCExplicitIV: "CBC-EXPLICIT-IV(TLS1.1)",
 	SuiteTLS12:         "TLS1.2-AES128-CBC-SHA",
+	SuiteTLS12GCM:      "TLS1.2-AES128-GCM-SHA256",
 }
 
 func (s Suite) String() string {
@@ -84,12 +107,12 @@ func (s Suite) String() string {
 }
 
 // SupportsOutOfOrder reports whether records sealed under this suite can be
-// decrypted and authenticated independently of preceding records. Only the
-// explicit-IV CBC classes (TLS 1.1 and TLS 1.2) qualify; the null suite is
-// excluded because it carries no MAC to confirm a guessed record boundary
-// (§6.1).
+// decrypted and authenticated independently of preceding records. The
+// explicit-IV CBC classes (TLS 1.1 and TLS 1.2) and the AEAD GCM suite
+// (explicit nonce) qualify; the null suite is excluded because it carries
+// no MAC to confirm a guessed record boundary (§6.1).
 func (s Suite) SupportsOutOfOrder() bool {
-	return s == SuiteCBCExplicitIV || s == SuiteTLS12
+	return s == SuiteCBCExplicitIV || s == SuiteTLS12 || s == SuiteTLS12GCM
 }
 
 // Version returns the wire version the suite implies.
@@ -97,22 +120,23 @@ func (s Suite) Version() uint16 {
 	switch s {
 	case SuiteCBCExplicitIV:
 		return Version11
-	case SuiteTLS12:
+	case SuiteTLS12, SuiteTLS12GCM:
 		return Version12
 	default:
 		return Version10
 	}
 }
 
-// Authenticated reports whether records carry a MAC.
+// Authenticated reports whether records carry a MAC (or AEAD tag).
 func (s Suite) Authenticated() bool { return s != SuiteNull }
 
 // MACSize returns the record MAC length in bytes: SHA-1 for the genuine
-// TLS 1.2 AES_128_CBC_SHA suite, SHA-256 for the simulated design-space
-// suites, none under the null suite.
+// TLS 1.2 CBC suite, SHA-256 for the simulated design-space suites, none
+// under the null suite or the AEAD suite (GCM authenticates via its tag,
+// which SealedLen accounts for separately).
 func (s Suite) MACSize() int {
 	switch s {
-	case SuiteNull:
+	case SuiteNull, SuiteTLS12GCM:
 		return 0
 	case SuiteTLS12:
 		return sha1.Size
@@ -142,6 +166,8 @@ func (s Suite) SealedLen(n int) int {
 		return HeaderSize + n + mac + padLenFor(n+mac)
 	case SuiteCBCExplicitIV, SuiteTLS12:
 		return HeaderSize + blockSize + n + mac + padLenFor(n+mac)
+	case SuiteTLS12GCM:
+		return HeaderSize + gcmExplicitNonceLen + n + gcmTagSize
 	}
 	return -1
 }
@@ -162,6 +188,8 @@ func (s Suite) MaxPlaintextFor(wire int) int {
 		n = wire - HeaderSize
 	case SuiteStreamChained:
 		n = wire - HeaderSize - mac
+	case SuiteTLS12GCM:
+		n = wire - HeaderSize - gcmExplicitNonceLen - gcmTagSize
 	case SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12:
 		body := wire - HeaderSize
 		if s != SuiteCBCImplicitIV {
@@ -180,6 +208,18 @@ func (s Suite) MaxPlaintextFor(wire int) int {
 		return -1
 	}
 	return n
+}
+
+// ExplicitNonce reads the 8-byte explicit GCM nonce of a record as a
+// big-endian counter. Conforming TLS 1.2 GCM implementations (including
+// crypto/tls and this package) use the record sequence number, which makes
+// GCM records self-numbering: an out-of-order receiver can take the nonce
+// as the record number directly instead of predicting it.
+func ExplicitNonce(record []byte) (uint64, bool) {
+	if len(record) < HeaderSize+gcmExplicitNonceLen {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(record[HeaderSize:]), true
 }
 
 // DeriveKeys expands a shared secret and both parties' randoms into the
@@ -218,12 +258,12 @@ type KeyBlock struct {
 }
 
 // Seal produces records for one direction of a connection. It is not safe
-// for concurrent use: the HMAC and CBC states are cached across records to
-// keep per-record allocation constant.
+// for concurrent use: the HMAC, CBC, and AEAD states are cached across
+// records to keep per-record allocation at zero in steady state.
 type Seal struct {
 	suite   Suite
 	version uint16
-	mac     []byte // MAC key
+	mac     []byte // MAC key (CBC/stream suites) or implicit nonce salt (GCM)
 	block   cipher.Block
 	seq     uint64
 	// chaining state
@@ -231,25 +271,36 @@ type Seal struct {
 	lastCBC []byte         // SuiteCBCImplicitIV: previous record's last ciphertext block
 	ivSrc   func(b []byte) // explicit IV source (tests may override via SetIVSource)
 	ivCtr   uint64
+	ivPool  []byte // buffered crypto/rand output for explicit CBC IVs
+	ivOff   int
 	// cached per-record machinery
-	hm     *hmacState // keyed HMAC state, reused across records
-	macBuf []byte     // scratch for hm.Sum
-	enc    cipher.BlockMode
+	hm       *hmacState // keyed HMAC state, reused across records
+	macBuf   []byte     // scratch for hm.Sum
+	hdrBuf   [13]byte   // MAC pseudo-header scratch (on the struct so it never escapes)
+	enc      cipher.BlockMode
+	aead     cipher.AEAD // SuiteTLS12GCM
+	nonceBuf [gcmSaltLen + gcmExplicitNonceLen]byte
+	aadBuf   [13]byte
 }
 
 // NewSeal creates a sealer. cipherKey/macKey come from DeriveKeys or the
-// TLS 1.2 key expansion (ignored for SuiteNull).
+// TLS 1.2 key expansion (ignored for SuiteNull). For SuiteTLS12GCM, which
+// has no MAC key, macKey carries the 4-byte implicit nonce salt from the
+// key block (longer inputs are truncated to the first 4 bytes, so the
+// simulated DeriveKeys output works unchanged).
 func NewSeal(suite Suite, cipherKey, macKey []byte) (*Seal, error) {
 	s := &Seal{suite: suite, version: suite.Version(), mac: macKey}
 	if suite == SuiteNull {
 		return s, nil
 	}
-	s.hm = newHMACState(suite.macHash(), macKey)
 	b, err := aes.NewCipher(cipherKey)
 	if err != nil {
 		return nil, fmt.Errorf("tlsrec: %w", err)
 	}
 	s.block = b
+	if suite != SuiteTLS12GCM {
+		s.hm = newHMACState(suite.macHash(), macKey)
+	}
 	switch suite {
 	case SuiteStreamChained:
 		iv := make([]byte, blockSize)
@@ -267,16 +318,41 @@ func NewSeal(suite Suite, cipherKey, macKey []byte) (*Seal, error) {
 		}
 	case SuiteTLS12:
 		// The honest suite draws unpredictable IVs, as RFC 5246 §6.2.3.2
-		// requires of a deployable implementation.
-		s.ivSrc = func(iv []byte) {
-			if _, err := rand.Read(iv); err != nil {
-				panic("tlsrec: crypto/rand failed: " + err.Error())
-			}
+		// requires of a deployable implementation. randIV buffers the
+		// crypto/rand reads so the per-record cost amortizes away.
+		s.ivSrc = s.randIV
+	case SuiteTLS12GCM:
+		if len(macKey) < gcmSaltLen {
+			return nil, fmt.Errorf("tlsrec: GCM implicit nonce salt needs %d bytes, got %d", gcmSaltLen, len(macKey))
 		}
+		aead, err := cipher.NewGCM(b)
+		if err != nil {
+			return nil, fmt.Errorf("tlsrec: %w", err)
+		}
+		s.aead = aead
+		copy(s.nonceBuf[:gcmSaltLen], macKey)
 	default:
 		return nil, ErrUnknownSuite
 	}
 	return s, nil
+}
+
+// randIV fills iv from a buffered CSPRNG pool, refilled from crypto/rand
+// one bulk read per ivPoolRecords records. Each pool byte is consumed
+// exactly once, so records still get independent unpredictable IVs — the
+// buffering only amortizes the syscall-shaped read cost.
+func (s *Seal) randIV(iv []byte) {
+	if s.ivOff+blockSize > len(s.ivPool) {
+		if s.ivPool == nil {
+			s.ivPool = make([]byte, ivPoolRecords*blockSize)
+		}
+		if _, err := rand.Read(s.ivPool); err != nil {
+			panic("tlsrec: crypto/rand failed: " + err.Error())
+		}
+		s.ivOff = 0
+	}
+	copy(iv, s.ivPool[s.ivOff:s.ivOff+blockSize])
+	s.ivOff += blockSize
 }
 
 // SetIVSource overrides the explicit-IV generator (explicit-IV suites
@@ -301,6 +377,65 @@ func (s *Seal) SealWithSeq(recType byte, plaintext []byte, seq uint64) ([]byte, 
 	return s.seal(recType, plaintext, seq)
 }
 
+// SealInto seals plaintext as one record directly into dst — typically a
+// pooled buffer sized with SealedLen — and returns the record length. No
+// allocation occurs in steady state. Only the self-describing suites
+// (explicit-IV CBC and GCM) support it; others return ErrOrderOnly. dst
+// must not overlap plaintext.
+func (s *Seal) SealInto(dst []byte, recType byte, plaintext []byte) (int, error) {
+	return s.sealInto(dst, recType, plaintext, s.seq)
+}
+
+// SealIntoWithSeq is SealInto with an explicit record number for the MAC
+// pseudo-header / AEAD nonce (the explicit-record-number extension).
+func (s *Seal) SealIntoWithSeq(dst []byte, recType byte, plaintext []byte, seq uint64) (int, error) {
+	return s.sealInto(dst, recType, plaintext, seq)
+}
+
+func (s *Seal) sealInto(dst []byte, recType byte, plaintext []byte, macSeq uint64) (int, error) {
+	if len(plaintext) > MaxPlaintext {
+		return 0, ErrTooLarge
+	}
+	if !s.suite.SupportsOutOfOrder() {
+		return 0, ErrOrderOnly
+	}
+	recLen := s.suite.SealedLen(len(plaintext))
+	if len(dst) < recLen {
+		return 0, ErrShortBuffer
+	}
+	rec := dst[:recLen]
+	rec[0] = recType
+	binary.BigEndian.PutUint16(rec[1:], s.version)
+	binary.BigEndian.PutUint16(rec[3:], uint16(recLen-HeaderSize))
+	if s.suite == SuiteTLS12GCM {
+		// Explicit nonce = record number, as RFC 5288 suggests and
+		// crypto/tls does. That makes records self-numbering for the
+		// out-of-order receiver.
+		binary.BigEndian.PutUint64(rec[HeaderSize:], macSeq)
+		copy(s.nonceBuf[gcmSaltLen:], rec[HeaderSize:HeaderSize+gcmExplicitNonceLen])
+		gcmAAD(&s.aadBuf, macSeq, recType, s.version, len(plaintext))
+		ct := rec[HeaderSize+gcmExplicitNonceLen:]
+		s.aead.Seal(ct[:0], s.nonceBuf[:], plaintext, s.aadBuf[:])
+		s.seq++
+		return recLen, nil
+	}
+	// Explicit-IV CBC: build IV, plaintext, MAC and padding directly in
+	// the output record and encrypt in place.
+	mac := s.computeMAC(macSeq, recType, plaintext)
+	padLen := padLenFor(len(plaintext) + len(mac))
+	iv := rec[HeaderSize : HeaderSize+blockSize]
+	s.ivSrc(iv)
+	inner := rec[HeaderSize+blockSize:]
+	n := copy(inner, plaintext)
+	n += copy(inner[n:], mac)
+	for i := 0; i < padLen; i++ {
+		inner[n+i] = byte(padLen - 1)
+	}
+	s.cbcEncrypter(iv).CryptBlocks(inner, inner)
+	s.seq++
+	return recLen, nil
+}
+
 func (s *Seal) seal(recType byte, plaintext []byte, macSeq uint64) ([]byte, error) {
 	if len(plaintext) > MaxPlaintext {
 		return nil, ErrTooLarge
@@ -318,28 +453,13 @@ func (s *Seal) seal(recType byte, plaintext []byte, macSeq uint64) ([]byte, erro
 		body = make([]byte, len(padded))
 		s.cbcEncrypter(s.lastCBC).CryptBlocks(body, padded)
 		s.lastCBC = append(s.lastCBC[:0], body[len(body)-blockSize:]...)
-	case SuiteCBCExplicitIV, SuiteTLS12:
-		// Hot path: build header, IV, plaintext, MAC and padding directly
-		// in the output record and encrypt in place — one allocation per
-		// record, which the caller hands to the transport without copying.
-		mac := s.computeMAC(macSeq, recType, plaintext)
-		inLen := len(plaintext) + len(mac)
-		padLen := blockSize - inLen%blockSize
-		bodyLen := blockSize + inLen + padLen
-		rec := make([]byte, HeaderSize+bodyLen)
-		rec[0] = recType
-		binary.BigEndian.PutUint16(rec[1:], s.version)
-		binary.BigEndian.PutUint16(rec[3:], uint16(bodyLen))
-		iv := rec[HeaderSize : HeaderSize+blockSize]
-		s.ivSrc(iv)
-		inner := rec[HeaderSize+blockSize:]
-		n := copy(inner, plaintext)
-		n += copy(inner[n:], mac)
-		for i := 0; i < padLen; i++ {
-			inner[n+i] = byte(padLen - 1)
+	case SuiteCBCExplicitIV, SuiteTLS12, SuiteTLS12GCM:
+		// One allocation per record, which the caller hands to the
+		// transport without copying; the zero-allocation path is SealInto.
+		rec := make([]byte, s.suite.SealedLen(len(plaintext)))
+		if _, err := s.sealInto(rec, recType, plaintext, macSeq); err != nil {
+			return nil, err
 		}
-		s.cbcEncrypter(iv).CryptBlocks(inner, inner)
-		s.seq++
 		return rec, nil
 	}
 	s.seq++
@@ -366,18 +486,28 @@ func (s *Seal) cbcEncrypter(iv []byte) cipher.BlockMode {
 	return s.enc
 }
 
-// computeMAC computes HMAC-SHA256 over the TLS pseudo-header and plaintext:
+// computeMAC computes the keyed MAC over the TLS pseudo-header and plaintext:
 // seq(8) || type(1) || version(2) || length(2) || plaintext. The length in
 // the pseudo-header is the plaintext length, as in TLS.
-// The returned slice is scratch reused by the next computeMAC call.
+// The returned slice is scratch reused by the next computeMAC call. The
+// pseudo-header lives on the Seal struct: a stack array passed through the
+// hash.Hash interface escapes, costing one heap allocation per MAC.
 func (s *Seal) computeMAC(seq uint64, recType byte, plaintext []byte) []byte {
-	var hdr [13]byte
-	binary.BigEndian.PutUint64(hdr[:], seq)
-	hdr[8] = recType
-	binary.BigEndian.PutUint16(hdr[9:], s.version)
-	binary.BigEndian.PutUint16(hdr[11:], uint16(len(plaintext)))
-	s.macBuf = s.hm.mac(s.macBuf, hdr[:], plaintext)
+	binary.BigEndian.PutUint64(s.hdrBuf[:], seq)
+	s.hdrBuf[8] = recType
+	binary.BigEndian.PutUint16(s.hdrBuf[9:], s.version)
+	binary.BigEndian.PutUint16(s.hdrBuf[11:], uint16(len(plaintext)))
+	s.macBuf = s.hm.mac(s.macBuf, s.hdrBuf[:], plaintext)
 	return s.macBuf
+}
+
+// gcmAAD builds the RFC 5246 §6.2.3.3 additional data for an AEAD record:
+// seq(8) || type(1) || version(2) || plaintext length(2).
+func gcmAAD(buf *[13]byte, seq uint64, recType byte, version uint16, ptLen int) {
+	binary.BigEndian.PutUint64(buf[:], seq)
+	buf[8] = recType
+	binary.BigEndian.PutUint16(buf[9:], version)
+	binary.BigEndian.PutUint16(buf[11:], uint16(ptLen))
 }
 
 // pad applies TLS-style padding to a whole number of blocks: n bytes each
@@ -442,6 +572,9 @@ func (h *hmacState) mac(out []byte, hdr, data []byte) []byte {
 // unpad validates and strips TLS padding. TLS permits up to 255 pad bytes
 // (RFC 5246 §6.2.3.2) even though this package's sealers always pad
 // minimally, so opening accepts the full range — stock peers may pad more.
+// This early-return form leaks padding validity through timing, so it is
+// used only by DecryptNoVerify (the simulation-only explicit-record-number
+// extension); verified opens go through the constant-time extractPadding.
 func unpad(b []byte) ([]byte, error) {
 	if len(b) == 0 {
 		return nil, ErrBadRecord
@@ -458,8 +591,52 @@ func unpad(b []byte) ([]byte, error) {
 	return b[:len(b)-padLen], nil
 }
 
+// extractPadding checks TLS CBC padding in constant time and returns the
+// number of bytes to strip (padding length + 1 for the length byte) and a
+// validity flag (1 = good). It follows the crypto/tls idiom: all 256
+// candidate pad positions are examined unconditionally with masked
+// compares, and on bad padding the strip count collapses to 1 so the
+// unchecked bytes stay covered by the MAC check (the POODLE rationale).
+func extractPadding(payload []byte) (toRemove int, good int) {
+	if len(payload) < 1 {
+		return 0, 0
+	}
+	paddingLen := payload[len(payload)-1]
+	t := uint(len(payload)-1) - uint(paddingLen)
+	// If len(payload) >= paddingLen+1 the MSB of t is zero.
+	good255 := byte(int32(^t) >> 31)
+
+	// The maximum possible padding length plus the length byte is 256.
+	toCheck := 256
+	if toCheck > len(payload) {
+		toCheck = len(payload)
+	}
+	for i := 0; i < toCheck; i++ {
+		t := uint(paddingLen) - uint(i)
+		// mask is all-ones when i <= paddingLen, else zero.
+		mask := byte(int32(^t) >> 31)
+		b := payload[len(payload)-1-i]
+		good255 &^= mask&paddingLen ^ mask&b
+	}
+	// AND the bits of good255 together, replicated across the byte.
+	good255 &= good255 << 4
+	good255 &= good255 << 2
+	good255 &= good255 << 1
+	good255 = byte(int8(good255) >> 7)
+
+	// Zero the padding length on failure; only the length byte is removed
+	// and everything else stays under the MAC.
+	paddingLen &= good255
+	return int(paddingLen) + 1, int(good255 & 1)
+}
+
 // Open decrypts and authenticates records for one direction. Like Seal it
-// is not safe for concurrent use (cached HMAC/CBC state).
+// is not safe for concurrent use (cached HMAC/CBC/AEAD state).
+//
+// Plaintext returned by Open, OpenAt, OpenInPlace, and DecryptNoVerify is
+// valid only until the next call on the same Open: it aliases either an
+// internal scratch buffer or (OpenInPlace) the record's own storage.
+// Callers that keep data across records must copy it.
 type Open struct {
 	suite   Suite
 	version uint16
@@ -471,7 +648,18 @@ type Open struct {
 	lastCBC []byte
 	hm      *hmacState
 	macBuf  []byte
+	hdrBuf  [13]byte // MAC pseudo-header scratch (on the struct so it never escapes)
 	dec     cipher.BlockMode
+	// ptBuf is decrypt scratch. The out-of-order scan path (OpenAt) MUST
+	// decrypt into it rather than in place: a candidate record may fail
+	// authentication and be retried at another record number, and GCM's
+	// Open zeroes its destination on failure — in-place decryption would
+	// corrupt the reassembly buffer under an unverified guess.
+	ptBuf    []byte
+	eqWork   hash.Hash // equal-work sink for the constant-time CBC reject path
+	aead     cipher.AEAD
+	nonceBuf [gcmSaltLen + gcmExplicitNonceLen]byte
+	aadBuf   [13]byte
 }
 
 func (o *Open) cbcDecrypter(iv []byte) cipher.BlockMode {
@@ -485,18 +673,31 @@ func (o *Open) cbcDecrypter(iv []byte) cipher.BlockMode {
 	return o.dec
 }
 
-// NewOpen creates an opener with keys matching the peer's Seal.
+// scratch returns n bytes of decrypt scratch, growing the buffer only when
+// a larger record than any before arrives (zero steady-state allocation).
+func (o *Open) scratch(n int) []byte {
+	if cap(o.ptBuf) < n {
+		o.ptBuf = make([]byte, n)
+	}
+	return o.ptBuf[:n]
+}
+
+// NewOpen creates an opener with keys matching the peer's Seal. The macKey
+// convention matches NewSeal (for SuiteTLS12GCM it carries the peer
+// direction's 4-byte implicit nonce salt).
 func NewOpen(suite Suite, cipherKey, macKey []byte) (*Open, error) {
 	o := &Open{suite: suite, version: suite.Version(), mac: macKey, macLen: suite.MACSize()}
 	if suite == SuiteNull {
 		return o, nil
 	}
-	o.hm = newHMACState(suite.macHash(), macKey)
 	b, err := aes.NewCipher(cipherKey)
 	if err != nil {
 		return nil, fmt.Errorf("tlsrec: %w", err)
 	}
 	o.block = b
+	if suite != SuiteTLS12GCM {
+		o.hm = newHMACState(suite.macHash(), macKey)
+	}
 	switch suite {
 	case SuiteStreamChained:
 		iv := make([]byte, blockSize)
@@ -504,6 +705,17 @@ func NewOpen(suite Suite, cipherKey, macKey []byte) (*Open, error) {
 	case SuiteCBCImplicitIV:
 		o.lastCBC = make([]byte, blockSize)
 	case SuiteCBCExplicitIV, SuiteTLS12:
+		o.eqWork = suite.macHash()()
+	case SuiteTLS12GCM:
+		if len(macKey) < gcmSaltLen {
+			return nil, fmt.Errorf("tlsrec: GCM implicit nonce salt needs %d bytes, got %d", gcmSaltLen, len(macKey))
+		}
+		aead, err := cipher.NewGCM(b)
+		if err != nil {
+			return nil, fmt.Errorf("tlsrec: %w", err)
+		}
+		o.aead = aead
+		copy(o.nonceBuf[:gcmSaltLen], macKey)
 	default:
 		return nil, ErrUnknownSuite
 	}
@@ -552,7 +764,24 @@ func PlausibleHeader(b []byte, version uint16) bool {
 // Open processes the next record in stream order (header included),
 // advancing the in-order sequence counter and any chaining state.
 func (o *Open) Open(record []byte) (recType byte, plaintext []byte, err error) {
-	recType, plaintext, err = o.openCommon(record, o.seq, true)
+	recType, plaintext, err = o.openCommon(record, o.seq, true, false)
+	if err == nil {
+		o.seq++
+	}
+	return recType, plaintext, err
+}
+
+// OpenInPlace is Open decrypting inside the record's own storage: the
+// returned plaintext aliases record and no scratch copy is made. Only the
+// self-describing suites support in-place decryption; for others it falls
+// back to Open. On error the record's bytes may be clobbered (GCM zeroes
+// its destination on authentication failure), so callers must treat a
+// failed record as consumed — which the in-order delivery path does anyway.
+func (o *Open) OpenInPlace(record []byte) (recType byte, plaintext []byte, err error) {
+	if !o.suite.SupportsOutOfOrder() {
+		return o.Open(record)
+	}
+	recType, plaintext, err = o.openCommon(record, o.seq, true, true)
 	if err == nil {
 		o.seq++
 	}
@@ -574,12 +803,13 @@ func (o *Open) SkipSeq() error {
 // OpenAt decrypts and authenticates a record independently of stream
 // position, authenticating against the given record number. Only valid for
 // out-of-order-capable suites. Chaining state and the in-order counter are
-// untouched.
+// untouched, and the record's bytes are never modified — a failed guess
+// leaves the data intact for a retry at another record number.
 func (o *Open) OpenAt(record []byte, recNum uint64) (recType byte, plaintext []byte, err error) {
 	if !o.suite.SupportsOutOfOrder() {
 		return 0, nil, ErrOrderOnly
 	}
-	return o.openCommon(record, recNum, false)
+	return o.openCommon(record, recNum, false, false)
 }
 
 // DecryptNoVerify decrypts an explicit-IV record without authenticating,
@@ -598,10 +828,10 @@ func (o *Open) DecryptNoVerify(record []byte) (recType byte, inner []byte, err e
 	if len(body) != length {
 		return 0, nil, ErrBadRecord
 	}
-	if len(body) < blockSize || (len(body)-blockSize)%blockSize != 0 || len(body) == blockSize {
+	if len(body) < 2*blockSize || (len(body)-blockSize)%blockSize != 0 {
 		return 0, nil, ErrBadRecord
 	}
-	pt := make([]byte, len(body)-blockSize)
+	pt := o.scratch(len(body) - blockSize)
 	o.cbcDecrypter(body[:blockSize]).CryptBlocks(pt, body[blockSize:])
 	unpadded, err := unpad(pt)
 	if err != nil {
@@ -628,7 +858,35 @@ func (o *Open) VerifyMAC(inner []byte, recNum uint64, recType byte) ([]byte, err
 	return plaintext, nil
 }
 
-func (o *Open) openCommon(record []byte, recNum uint64, inOrder bool) (byte, []byte, error) {
+// verifyCBC runs the constant-time padding + MAC check over a decrypted
+// explicit-IV CBC record body (plaintext||MAC||padding). Padding validity
+// and MAC validity are folded into a single reject so an attacker cannot
+// distinguish which failed (Lucky13 shape), and the reject path hashes the
+// bytes a valid record of the same length would have hashed (equal work).
+func (o *Open) verifyCBC(dec []byte, recNum uint64, recType byte) ([]byte, error) {
+	// Too short to hold a MAC plus the mandatory padding-length byte:
+	// record length is public, so an early return here leaks nothing.
+	if len(dec) < o.macLen+1 {
+		return nil, ErrBadRecord
+	}
+	toRemove, padGood := extractPadding(dec)
+	n := len(dec) - o.macLen - toRemove
+	// Clamp a (secret-dependent) negative length to zero without branching.
+	n = subtle.ConstantTimeSelect(int(uint32(int32(n))>>31), 0, n)
+	plaintext := dec[:n]
+	want := o.macFor(recNum, recType, plaintext)
+	macGood := subtle.ConstantTimeCompare(dec[n:n+o.macLen], want)
+	// Equal-work sink: hash the bytes beyond the MAC so total hash work
+	// depends only on the public record length, not the padding value.
+	o.eqWork.Reset()
+	o.eqWork.Write(dec[n+o.macLen:])
+	if macGood&padGood != 1 {
+		return nil, ErrMACFailure
+	}
+	return plaintext, nil
+}
+
+func (o *Open) openCommon(record []byte, recNum uint64, inOrder, inPlace bool) (byte, []byte, error) {
 	recType, version, length, err := ParseHeader(record)
 	if err != nil {
 		return 0, nil, err
@@ -674,26 +932,48 @@ func (o *Open) openCommon(record []byte, recNum uint64, inOrder bool) (byte, []b
 		}
 		return recType, ptOnly, nil
 	case SuiteCBCExplicitIV, SuiteTLS12:
-		recType2, inner, err := o.DecryptNoVerify(record)
+		if len(body) < 2*blockSize || len(body)%blockSize != 0 {
+			return 0, nil, ErrBadRecord
+		}
+		ct := body[blockSize:]
+		dec := ct
+		if !inPlace {
+			dec = o.scratch(len(ct))
+		}
+		o.cbcDecrypter(body[:blockSize]).CryptBlocks(dec, ct)
+		pt, err := o.verifyCBC(dec, recNum, recType)
 		if err != nil {
 			return 0, nil, err
 		}
-		pt, err := o.VerifyMAC(inner, recNum, recType2)
-		if err != nil {
-			return 0, nil, err
+		return recType, pt, nil
+	case SuiteTLS12GCM:
+		if len(body) < gcmExplicitNonceLen+gcmTagSize {
+			return 0, nil, ErrBadRecord
 		}
-		return recType2, pt, nil
+		copy(o.nonceBuf[gcmSaltLen:], body[:gcmExplicitNonceLen])
+		ct := body[gcmExplicitNonceLen:]
+		ptLen := len(ct) - gcmTagSize
+		gcmAAD(&o.aadBuf, recNum, recType, o.version, ptLen)
+		dst := ct[:0]
+		if !inPlace {
+			dst = o.scratch(ptLen)[:0]
+		}
+		pt, err := o.aead.Open(dst, o.nonceBuf[:], ct, o.aadBuf[:])
+		if err != nil {
+			return 0, nil, ErrMACFailure
+		}
+		return recType, pt, nil
 	}
 	return 0, nil, ErrUnknownSuite
 }
 
-// The returned slice is scratch reused by the next macFor call.
+// The returned slice is scratch reused by the next macFor call. See
+// computeMAC for why the pseudo-header lives on the struct.
 func (o *Open) macFor(seq uint64, recType byte, plaintext []byte) []byte {
-	var hdr [13]byte
-	binary.BigEndian.PutUint64(hdr[:], seq)
-	hdr[8] = recType
-	binary.BigEndian.PutUint16(hdr[9:], o.version)
-	binary.BigEndian.PutUint16(hdr[11:], uint16(len(plaintext)))
-	o.macBuf = o.hm.mac(o.macBuf, hdr[:], plaintext)
+	binary.BigEndian.PutUint64(o.hdrBuf[:], seq)
+	o.hdrBuf[8] = recType
+	binary.BigEndian.PutUint16(o.hdrBuf[9:], o.version)
+	binary.BigEndian.PutUint16(o.hdrBuf[11:], uint16(len(plaintext)))
+	o.macBuf = o.hm.mac(o.macBuf, o.hdrBuf[:], plaintext)
 	return o.macBuf
 }

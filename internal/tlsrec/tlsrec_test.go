@@ -2,9 +2,12 @@ package tlsrec
 
 import (
 	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/sha1"
 	"crypto/sha256"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -24,7 +27,7 @@ func pair(t *testing.T, suite Suite) (*Seal, *Open) {
 	return s, o
 }
 
-var allSuites = []Suite{SuiteNull, SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12}
+var allSuites = []Suite{SuiteNull, SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12, SuiteTLS12GCM}
 
 func TestRoundtripAllSuites(t *testing.T) {
 	msgs := [][]byte{
@@ -66,7 +69,7 @@ func TestSequenceNumbersAdvance(t *testing.T) {
 }
 
 func TestMACRejectsTampering(t *testing.T) {
-	for _, suite := range []Suite{SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12} {
+	for _, suite := range []Suite{SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12, SuiteTLS12GCM} {
 		t.Run(suite.String(), func(t *testing.T) {
 			s, o := pair(t, suite)
 			rec, _ := s.Seal(TypeAppData, []byte("sensitive payload"))
@@ -347,7 +350,7 @@ func TestHMACMatchesStdlib(t *testing.T) {
 // TestSealedLenAndMaxPlaintextFor pins the exact-size arithmetic against
 // the real sealer output for every suite.
 func TestSealedLenAndMaxPlaintextFor(t *testing.T) {
-	for _, suite := range []Suite{SuiteNull, SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12} {
+	for _, suite := range []Suite{SuiteNull, SuiteStreamChained, SuiteCBCImplicitIV, SuiteCBCExplicitIV, SuiteTLS12, SuiteTLS12GCM} {
 		s, _ := pair(t, suite)
 		for _, n := range []int{0, 1, 15, 16, 17, 511, 512, 1000, 1391, 1392} {
 			rec, err := s.Seal(TypeAppData, make([]byte, n))
@@ -379,3 +382,332 @@ func TestSealedLenAndMaxPlaintextFor(t *testing.T) {
 		}
 	}
 }
+
+// --- GCM (RFC 5288) and zero-copy seal/open paths ---
+
+// TestGCMOpenAfterReorder is the tlsrec-level half of the §6.1 claim on
+// AEAD records: GCM records decrypt and authenticate in any order, a wrong
+// record number is rejected, and a failed out-of-order attempt leaves the
+// record bytes intact for the retry (the scan path depends on that).
+func TestGCMOpenAfterReorder(t *testing.T) {
+	s, o := pair(t, SuiteTLS12GCM)
+	var recs [][]byte
+	for i := 0; i < 10; i++ {
+		r, err := s.Seal(TypeAppData, []byte{byte('a' + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	for i := 9; i >= 0; i-- {
+		_, pt, err := o.OpenAt(recs[i], uint64(i))
+		if err != nil {
+			t.Fatalf("OpenAt(%d): %v", i, err)
+		}
+		if pt[0] != byte('a'+i) {
+			t.Fatalf("OpenAt(%d) = %q", i, pt)
+		}
+	}
+	// Wrong record number must fail without clobbering the record.
+	snap := append([]byte(nil), recs[3]...)
+	if _, _, err := o.OpenAt(recs[3], 4); err != ErrMACFailure {
+		t.Fatalf("wrong recnum: got %v, want ErrMACFailure", err)
+	}
+	if !bytes.Equal(snap, recs[3]) {
+		t.Fatal("failed OpenAt modified the record bytes")
+	}
+	if _, pt, err := o.OpenAt(recs[3], 3); err != nil || pt[0] != 'd' {
+		t.Fatalf("retry after failed guess: %v %q", err, pt)
+	}
+	// The in-order path still works interleaved with random access.
+	for i := 0; i < 10; i++ {
+		if _, _, err := o.Open(recs[i]); err != nil {
+			t.Fatalf("in-order Open(%d): %v", i, err)
+		}
+	}
+}
+
+// TestGCMExplicitNonceIsRecordNumber pins the self-numbering property: the
+// explicit nonce on the wire is the record sequence number (as crypto/tls
+// sends), so an out-of-order receiver can read it instead of predicting.
+func TestGCMExplicitNonceIsRecordNumber(t *testing.T) {
+	s, _ := pair(t, SuiteTLS12GCM)
+	for i := uint64(0); i < 5; i++ {
+		rec, err := s.Seal(TypeAppData, []byte("n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonce, ok := ExplicitNonce(rec)
+		if !ok || nonce != i {
+			t.Fatalf("record %d: ExplicitNonce = %d, %v", i, nonce, ok)
+		}
+	}
+	if _, ok := ExplicitNonce([]byte{1, 2, 3}); ok {
+		t.Fatal("short record yielded a nonce")
+	}
+}
+
+func TestSealInto(t *testing.T) {
+	for _, suite := range []Suite{SuiteCBCExplicitIV, SuiteTLS12, SuiteTLS12GCM} {
+		t.Run(suite.String(), func(t *testing.T) {
+			s, o := pair(t, suite)
+			msg := []byte("sealinto roundtrip payload")
+			dst := make([]byte, suite.SealedLen(len(msg)))
+			// Undersized destination: rejected without consuming a seq.
+			if _, err := s.SealInto(dst[:len(dst)-1], TypeAppData, msg); err != ErrShortBuffer {
+				t.Fatalf("short dst: %v, want ErrShortBuffer", err)
+			}
+			if s.Seq() != 0 {
+				t.Fatalf("failed SealInto advanced seq to %d", s.Seq())
+			}
+			n, err := s.SealInto(dst, TypeAppData, msg)
+			if err != nil || n != len(dst) {
+				t.Fatalf("SealInto = %d, %v (want %d)", n, err, len(dst))
+			}
+			typ, pt, err := o.Open(dst[:n])
+			if err != nil || typ != TypeAppData || !bytes.Equal(pt, msg) {
+				t.Fatalf("roundtrip: %v %q", err, pt)
+			}
+		})
+	}
+	// Chained suites cannot seal into caller storage out of order.
+	s, _ := pair(t, SuiteStreamChained)
+	if _, err := s.SealInto(make([]byte, 256), TypeAppData, []byte("x")); err != ErrOrderOnly {
+		t.Fatalf("chained SealInto: %v, want ErrOrderOnly", err)
+	}
+}
+
+func TestOpenInPlaceAliasesRecord(t *testing.T) {
+	for _, tc := range []struct {
+		suite Suite
+		off   int // plaintext offset within the record body
+	}{
+		{SuiteTLS12, blockSize},
+		{SuiteCBCExplicitIV, blockSize},
+		{SuiteTLS12GCM, gcmExplicitNonceLen},
+	} {
+		t.Run(tc.suite.String(), func(t *testing.T) {
+			s, o := pair(t, tc.suite)
+			msg := []byte("decrypted where it landed")
+			rec, err := s.Seal(TypeAppData, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			typ, pt, err := o.OpenInPlace(rec)
+			if err != nil || typ != TypeAppData || !bytes.Equal(pt, msg) {
+				t.Fatalf("OpenInPlace: %v %q", err, pt)
+			}
+			if &pt[0] != &rec[HeaderSize+tc.off] {
+				t.Fatal("plaintext does not alias the record storage")
+			}
+		})
+	}
+}
+
+// --- constant-time CBC verification ---
+
+// cbcRecord hand-builds a SuiteTLS12 record with an arbitrary padding run
+// so tests can exercise paddings the package's own sealer never emits.
+func cbcRecord(t *testing.T, s *Seal, seq uint64, plaintext []byte, padLen int, corruptPad bool) []byte {
+	t.Helper()
+	kb := DeriveKeys([]byte("test-secret"), []byte("client-random-01"), []byte("server-random-01"))
+	mac := s.computeMAC(seq, TypeAppData, plaintext)
+	inner := append(append([]byte{}, plaintext...), mac...)
+	for i := 0; i < padLen; i++ {
+		inner = append(inner, byte(padLen-1))
+	}
+	if corruptPad {
+		inner[len(inner)-2] ^= 0x01 // a pad byte that is not the length byte
+	}
+	if len(inner)%blockSize != 0 {
+		t.Fatalf("bad test geometry: inner = %d bytes", len(inner))
+	}
+	iv := bytes.Repeat([]byte{0x42}, blockSize)
+	rec := make([]byte, HeaderSize+blockSize+len(inner))
+	rec[0] = TypeAppData
+	binary.BigEndian.PutUint16(rec[1:], Version12)
+	binary.BigEndian.PutUint16(rec[3:], uint16(blockSize+len(inner)))
+	copy(rec[HeaderSize:], iv)
+	block, err := aes.NewCipher(kb.ClientWriteKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(rec[HeaderSize+blockSize:], inner)
+	return rec
+}
+
+// TestCBCNonMinimalPaddingAccepted: stock peers may pad up to 255 bytes
+// (crypto/tls accepts any valid run); the constant-time path must too.
+func TestCBCNonMinimalPaddingAccepted(t *testing.T) {
+	s, o := pair(t, SuiteTLS12)
+	plaintext := []byte("generous padding")
+	// Pad out to three extra blocks beyond the minimal run.
+	padLen := padLenFor(len(plaintext)+sha1.Size) + 3*blockSize
+	rec := cbcRecord(t, s, 0, plaintext, padLen, false)
+	typ, pt, err := o.Open(rec)
+	if err != nil || typ != TypeAppData || !bytes.Equal(pt, plaintext) {
+		t.Fatalf("non-minimal padding rejected: %v %q", err, pt)
+	}
+}
+
+// TestCBCBadPaddingRejected: a corrupted pad byte must reject with the same
+// error as a MAC failure (no padding/MAC oracle distinction).
+func TestCBCBadPaddingRejected(t *testing.T) {
+	s, o := pair(t, SuiteTLS12)
+	plaintext := []byte("oracle-shaped padding")
+	padLen := padLenFor(len(plaintext)+sha1.Size) + blockSize
+	rec := cbcRecord(t, s, 0, plaintext, padLen, true)
+	if _, _, err := o.Open(rec); err != ErrMACFailure {
+		t.Fatalf("bad padding: %v, want ErrMACFailure (indistinguishable from MAC)", err)
+	}
+}
+
+// TestCBCPaddingClaimBeyondRecord: a decrypted length byte larger than the
+// record must fail cleanly (toRemove collapses to 1; MAC check fails).
+func TestCBCPaddingClaimBeyondRecord(t *testing.T) {
+	_, o := pair(t, SuiteTLS12)
+	kb := DeriveKeys([]byte("test-secret"), []byte("client-random-01"), []byte("server-random-01"))
+	// Two blocks whose decryption ends in 0xC8 = pad length 201 > record.
+	inner := bytes.Repeat([]byte{0x11}, 2*blockSize)
+	inner[len(inner)-1] = 0xC8
+	iv := bytes.Repeat([]byte{0x24}, blockSize)
+	rec := make([]byte, HeaderSize+blockSize+len(inner))
+	rec[0] = TypeAppData
+	binary.BigEndian.PutUint16(rec[1:], Version12)
+	binary.BigEndian.PutUint16(rec[3:], uint16(blockSize+len(inner)))
+	copy(rec[HeaderSize:], iv)
+	block, _ := aes.NewCipher(kb.ClientWriteKey)
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(rec[HeaderSize+blockSize:], inner)
+	if _, _, err := o.Open(rec); err != ErrMACFailure {
+		t.Fatalf("overlong padding claim: %v, want ErrMACFailure", err)
+	}
+}
+
+// TestExtractPaddingMatchesUnpad cross-checks the constant-time padding
+// scan against the straightforward unpad on random paddings.
+func TestExtractPaddingMatchesUnpad(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(300) + 1
+		payload := make([]byte, n)
+		rng.Read(payload)
+		if rng.Intn(2) == 0 {
+			// Make it valid padding half the time.
+			padLen := rng.Intn(n)
+			if padLen > 255 {
+				padLen = 255
+			}
+			for j := 0; j <= padLen && j < n; j++ {
+				payload[n-1-j] = byte(padLen)
+			}
+		}
+		toRemove, good := extractPadding(payload)
+		stripped, err := unpad(payload)
+		if err == nil {
+			if good != 1 || toRemove != n-len(stripped) {
+				t.Fatalf("case %d: extractPadding = (%d,%d), unpad stripped %d", i, toRemove, good, n-len(stripped))
+			}
+		} else {
+			if good != 0 || toRemove != 1 {
+				t.Fatalf("case %d: extractPadding = (%d,%d) on invalid padding", i, toRemove, good)
+			}
+		}
+	}
+}
+
+// TestBufferedIVsUnique: the pooled CSPRNG must still give every record a
+// distinct IV across multiple pool refills.
+func TestBufferedIVsUnique(t *testing.T) {
+	s, _ := pair(t, SuiteTLS12)
+	seen := make(map[string]bool)
+	for i := 0; i < 3*ivPoolRecords; i++ {
+		rec, err := s.Seal(TypeAppData, []byte("iv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv := string(rec[HeaderSize : HeaderSize+blockSize])
+		if seen[iv] {
+			t.Fatalf("record %d: IV repeated", i)
+		}
+		seen[iv] = true
+	}
+}
+
+// --- allocation discipline and record-path benchmarks ---
+
+// TestAllocsGCMRecordPath pins the tentpole: the steady-state GCM record
+// path (SealInto + OpenInPlace) allocates nothing.
+func TestAllocsGCMRecordPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	s, o := pair(t, SuiteTLS12GCM)
+	msg := make([]byte, 1024)
+	dst := make([]byte, SuiteTLS12GCM.SealedLen(len(msg)))
+	roundtrip := func() {
+		n, err := s.SealInto(dst, TypeAppData, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := o.OpenInPlace(dst[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundtrip() // warm caches
+	if avg := testing.AllocsPerRun(200, roundtrip); avg != 0 {
+		t.Fatalf("GCM seal+open allocates %.2f/record, want 0", avg)
+	}
+}
+
+// TestAllocsCBCRecordPath: the CBC path allows only the amortized buffered
+// IV refill (one crypto/rand read per ivPoolRecords records).
+func TestAllocsCBCRecordPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	s, o := pair(t, SuiteTLS12)
+	msg := make([]byte, 1024)
+	dst := make([]byte, SuiteTLS12.SealedLen(len(msg)))
+	roundtrip := func() {
+		n, err := s.SealInto(dst, TypeAppData, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := o.OpenInPlace(dst[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundtrip()
+	if avg := testing.AllocsPerRun(256, roundtrip); avg > 0.5 {
+		t.Fatalf("CBC seal+open allocates %.2f/record, want ≤ 0.5", avg)
+	}
+}
+
+func benchmarkRecordPath(b *testing.B, suite Suite, size int) {
+	kb := DeriveKeys([]byte("bench-secret"), []byte("client-random-01"), []byte("server-random-01"))
+	s, err := NewSeal(suite, kb.ClientWriteKey, kb.ClientWriteMAC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := NewOpen(suite, kb.ClientWriteKey, kb.ClientWriteMAC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, size)
+	dst := make([]byte, suite.SealedLen(size))
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := s.SealInto(dst, TypeAppData, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := o.OpenInPlace(dst[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordCBC1K(b *testing.B) { benchmarkRecordPath(b, SuiteTLS12, 1024) }
+func BenchmarkRecordGCM1K(b *testing.B) { benchmarkRecordPath(b, SuiteTLS12GCM, 1024) }

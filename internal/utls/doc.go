@@ -14,8 +14,10 @@
 // worse than TLS.
 //
 // Out-of-order delivery requires a ciphersuite without cross-record
-// chaining (explicit-IV CBC — "Encryption state chaining") and is
-// disabled under the null ciphersuite, which has no MAC to confirm guesses.
+// chaining — explicit-IV CBC ("Encryption state chaining") or an AEAD
+// suite with an explicit per-record nonce (AES-128-GCM, RFC 5288, where
+// the nonce even names the record number outright) — and is disabled
+// under the null ciphersuite, which has no MAC to confirm guesses.
 //
 // # Handshakes
 //
@@ -23,11 +25,13 @@
 //
 //   - The genuine TLS 1.2 handshake (Config.Real, backed by
 //     minion/internal/tlshake): ClientHello through Finished for
+//     TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 (preferred) or
 //     TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA, certificates and all. The
 //     resulting byte stream is accepted by stock TLS implementations — a
 //     crypto/tls peer completes this handshake — and application data then
 //     travels as standard TLS 1.2 application-data records
-//     (tlsrec.SuiteTLS12). Because that suite uses explicit IVs, the
+//     (tlsrec.SuiteTLS12GCM or tlsrec.SuiteTLS12). Both suites are
+//     self-describing per record (explicit nonce / explicit IV), so the
 //     out-of-order machinery above still works after the Finished
 //     exchange: unordered delivery hides entirely inside record processing
 //     order, with no middlebox-visible difference from TLS.

@@ -60,11 +60,13 @@ type Options struct {
 
 // Config parameterizes a uTLS endpoint.
 type Config struct {
-	// Real, when non-nil, selects the genuine TLS 1.2 handshake
-	// (ECDHE_RSA_WITH_AES_128_CBC_SHA via internal/tlshake) instead of
-	// the simulated compat hello exchange: the connection's bytes are
-	// then accepted by stock TLS peers, and the negotiated suite is
-	// tlsrec.SuiteTLS12. Servers must set Real.Certificate. Suite, PSK
+	// Real, when non-nil, selects the genuine TLS 1.2 handshake (via
+	// internal/tlshake) instead of the simulated compat hello exchange:
+	// the connection's bytes are then accepted by stock TLS peers, and
+	// the negotiated suite is tlsrec.SuiteTLS12GCM
+	// (ECDHE_RSA_WITH_AES_128_GCM_SHA256, preferred) or tlsrec.SuiteTLS12
+	// (ECDHE_RSA_WITH_AES_128_CBC_SHA), restrictable via
+	// Real.CipherSuites. Servers must set Real.Certificate. Suite, PSK
 	// and ExplicitRecNum are ignored in this mode (the extension has no
 	// TLS 1.2 negotiation vehicle).
 	Real *tlshake.Config
@@ -450,7 +452,7 @@ func (c *Conn) processHandshakeRecord(record []byte) {
 	}
 	if c.hs.Done() {
 		c.seal, c.open = c.hs.Keys()
-		c.suite = tlsrec.SuiteTLS12
+		c.suite = c.hs.NegotiatedSuite()
 		c.explicitOn = false
 		c.finishHandshake()
 	}
@@ -537,6 +539,22 @@ func (c *Conn) Send(msg []byte, opt Options) error {
 	}
 	if opt.Priority != 0 || opt.Squash {
 		return ErrPriorities
+	}
+	if c.suite.SupportsOutOfOrder() {
+		// Allocation-free path: seal directly into a pooled buffer of the
+		// exact wire size. WriteMsgBuf takes ownership of the buffer.
+		b := buf.Get(c.suite.SealedLen(len(msg)))
+		t0 := time.Now()
+		_, err := c.seal.SealInto(b.Bytes(), tlsrec.TypeAppData, msg)
+		c.stats.CPUSeal += time.Since(t0)
+		if err != nil {
+			b.Release()
+			return err
+		}
+		c.stats.BytesSealed += int64(b.Len())
+		c.stats.MessagesSent++
+		_, werr := c.tc.WriteMsgBuf(b, tcp.WriteOptions{Tag: tcp.TagDefault})
+		return werr
 	}
 	t0 := time.Now()
 	rec, err = c.seal.Seal(tlsrec.TypeAppData, msg)
@@ -714,7 +732,11 @@ func (c *Conn) processInOrderRecord(record []byte) {
 			return
 		}
 	}
-	typ, msg, err := c.open.Open(record)
+	// In-order records decrypt in place inside the delivery/assembler
+	// bytes (no copy into the opener's scratch). Safe here because a
+	// record that fails to open is dropped and the parser moves past its
+	// bytes — nothing re-reads them.
+	typ, msg, err := c.open.OpenInPlace(record)
 	if err != nil || typ != tlsrec.TypeAppData {
 		return
 	}
@@ -812,6 +834,15 @@ func (c *Conn) tryVerify(record []byte, absOff uint64) (uint64, []byte, bool) {
 		return recNum, msg, true
 	}
 	est := c.predictRecNum(absOff)
+	if c.suite == tlsrec.SuiteTLS12GCM {
+		// GCM records carry their record number on the wire as the RFC
+		// 5288 explicit nonce (crypto/tls convention: nonce = seq), so a
+		// conforming peer is verified on the first attempt; the window
+		// below still arbitrates for peers with other nonce schemes.
+		if n, ok := tlsrec.ExplicitNonce(record); ok {
+			est = n
+		}
+	}
 	for k := 0; k <= c.cfg.PredictWindow; k++ {
 		for _, sign := range []int64{1, -1} {
 			if k == 0 && sign == -1 {

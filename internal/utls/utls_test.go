@@ -566,8 +566,8 @@ func TestRealHandshakeOverSimulatedTCP(t *testing.T) {
 		t.Fatalf("TLS 1.2 handshake incomplete: cli=%v srv=%v (cliErr=%v srvErr=%v)",
 			h.cli.Ready(), h.srv.Ready(), h.cli.HandshakeErr(), h.srv.HandshakeErr())
 	}
-	if h.cli.Suite() != tlsrec.SuiteTLS12 || h.srv.Suite() != tlsrec.SuiteTLS12 {
-		t.Fatalf("negotiated %v/%v, want TLS1.2 both", h.cli.Suite(), h.srv.Suite())
+	if h.cli.Suite() != tlsrec.SuiteTLS12GCM || h.srv.Suite() != tlsrec.SuiteTLS12GCM {
+		t.Fatalf("negotiated %v/%v, want TLS1.2 GCM both (default preference)", h.cli.Suite(), h.srv.Suite())
 	}
 	if h.cli.ExplicitRecNumActive() {
 		t.Fatal("explicit record numbers cannot negotiate over genuine TLS 1.2")
@@ -585,9 +585,12 @@ func TestRealHandshakeOverSimulatedTCP(t *testing.T) {
 
 // TestRealHandshakeUnorderedDelivery is the paper's claim end to end: a
 // genuine TLS 1.2 handshake, then out-of-order delivery riding the
-// standard TLS 1.2 record format over lossy uTCP.
+// standard TLS 1.2 record format over lossy uTCP. Pinned to the CBC
+// suite so explicit-IV OOO coverage survives the GCM-first default.
 func TestRealHandshakeUnorderedDelivery(t *testing.T) {
 	ccfg, scfg := realConfigs(t)
+	ccfg.Real.CipherSuites = []uint16{tls.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA}
+	scfg.Real.CipherSuites = []uint16{tls.TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA}
 	fwd := fastLink()
 	fwd.Loss = netem.BernoulliLoss{P: 0.1}
 	h := newHarness(t, 21, ccfg, scfg,
@@ -595,6 +598,9 @@ func TestRealHandshakeUnorderedDelivery(t *testing.T) {
 	h.s.RunUntil(5 * time.Second)
 	if !h.srv.Ready() {
 		t.Fatalf("handshake incomplete: %v", h.srv.HandshakeErr())
+	}
+	if h.srv.Suite() != tlsrec.SuiteTLS12 {
+		t.Fatalf("negotiated %v, want pinned CBC suite", h.srv.Suite())
 	}
 	// Payloads sized so each record spans a meaningful slice of a segment:
 	// losses then leave later records stranded in out-of-order fragments.
@@ -621,6 +627,53 @@ func TestRealHandshakeUnorderedDelivery(t *testing.T) {
 		t.Error("no out-of-order deliveries under 10% loss on genuine TLS 1.2 records")
 	}
 	t.Logf("uTLS/TLS1.2 stats: %+v", st)
+}
+
+// TestRealHandshakeGCMUnorderedDelivery mirrors the CBC test above on the
+// default-negotiated GCM suite: out-of-order delivery on real-format RFC
+// 5288 records, where the explicit nonce doubles as the record number.
+func TestRealHandshakeGCMUnorderedDelivery(t *testing.T) {
+	ccfg, scfg := realConfigs(t)
+	fwd := fastLink()
+	fwd.Loss = netem.BernoulliLoss{P: 0.1}
+	h := newHarness(t, 24, ccfg, scfg,
+		tcp.Config{}, tcp.Config{Unordered: true}, fwd, fastLink())
+	h.s.RunUntil(5 * time.Second)
+	if !h.srv.Ready() {
+		t.Fatalf("handshake incomplete: %v", h.srv.HandshakeErr())
+	}
+	if h.srv.Suite() != tlsrec.SuiteTLS12GCM {
+		t.Fatalf("negotiated %v, want GCM (default preference)", h.srv.Suite())
+	}
+	const n = 300
+	pad := bytes.Repeat([]byte{'x'}, 180)
+	for i := 0; i < n; i++ {
+		if err := h.cli.Send([]byte(fmt.Sprintf("rec-%04d-%s", i, pad)), Options{}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	h.s.RunFor(2 * time.Minute)
+	if len(h.got) != n {
+		t.Fatalf("delivered %d, want %d", len(h.got), n)
+	}
+	seen := map[string]bool{}
+	for _, m := range h.got {
+		if seen[string(m)] {
+			t.Fatalf("duplicate delivery %q", m)
+		}
+		seen[string(m)] = true
+	}
+	st := h.srv.Stats()
+	if st.DeliveredOOO == 0 {
+		t.Error("no out-of-order deliveries under 10% loss on GCM records")
+	}
+	if st.DeliveredOOO > 0 && st.PredictExact < st.DeliveredOOO {
+		// The explicit nonce names the record number outright: every OOO
+		// verification should land on the first MAC attempt.
+		t.Errorf("PredictExact = %d < DeliveredOOO = %d; GCM nonce fast path not engaged",
+			st.PredictExact, st.DeliveredOOO)
+	}
+	t.Logf("uTLS/GCM stats: %+v", st)
 }
 
 // TestRealHandshakeQueuesEarlySends mirrors TestSendBeforeHandshakeQueues

@@ -50,6 +50,14 @@ func stockTLSConfig(cert tls.Certificate, pool *x509.CertPool) *tls.Config {
 	}
 }
 
+// stockGCMConfig is a CBC-refusing stock peer: GCM is the only suite it
+// accepts, the posture of modern TLS deployments that have disabled CBC.
+func stockGCMConfig(cert tls.Certificate, pool *x509.CertPool) *tls.Config {
+	cfg := stockTLSConfig(cert, pool)
+	cfg.CipherSuites = []uint16{tls.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256}
+	return cfg
+}
+
 // TestInteropStockClientToMinionListener: an unmodified crypto/tls client
 // dials a Minion uTLS listener, completes the genuine TLS 1.2 handshake,
 // and exchanges application data both ways. Each stock Write is one TLS
@@ -104,6 +112,144 @@ func TestInteropStockClientToMinionListener(t *testing.T) {
 		c.Close()
 	case <-time.After(5 * time.Second):
 		t.Fatal("accept never surfaced")
+	}
+}
+
+// TestInteropStockGCMClientToMinionListener: a GCM-only (CBC-refusing)
+// stock crypto/tls client — which could not connect before SuiteTLS12GCM
+// existed — completes the handshake on
+// TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 and round-trips data.
+func TestInteropStockGCMClientToMinionListener(t *testing.T) {
+	srvTLS, _, cert, pool := interopTLS(t)
+	ln, err := Listen(ProtoUTLSTCP, "tcp", "127.0.0.1:0", TCPConfig{NoDelay: true, TLS: srvTLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.OnMessage(func(msg []byte) { c.Send(msg, Options{}) }) // echo
+		accepted <- c
+	}()
+
+	tc, err := tls.Dial("tcp", ln.Addr().String(), stockGCMConfig(cert, pool))
+	if err != nil {
+		t.Fatalf("GCM-only stock client rejected the Minion listener: %v", err)
+	}
+	defer tc.Close()
+	if cs := tc.ConnectionState().CipherSuite; cs != tls.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 {
+		t.Fatalf("negotiated suite %04x, want AES_128_GCM_SHA256", cs)
+	}
+
+	for i := 0; i < 50; i++ {
+		msg := []byte(fmt.Sprintf("gcm-stock-to-minion %03d %s", i, bytes.Repeat([]byte{byte(i)}, i*7%200)))
+		if _, err := tc.Write(msg); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		echo := make([]byte, len(msg))
+		tc.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := io.ReadFull(tc, echo); err != nil {
+			t.Fatalf("echo %d: %v", i, err)
+		}
+		if !bytes.Equal(echo, msg) {
+			t.Fatalf("echo %d mismatch", i)
+		}
+	}
+	select {
+	case c := <-accepted:
+		c.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept never surfaced")
+	}
+}
+
+// TestInteropMinionDialerToStockGCMServer: a Minion uTLS dialer against a
+// stock server that only accepts the GCM suite — the dialer's default
+// preference (GCM first) lands on it without configuration.
+func TestInteropMinionDialerToStockGCMServer(t *testing.T) {
+	_, cliTLS, cert, pool := interopTLS(t)
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", stockGCMConfig(cert, pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const rounds = 40
+	srvErr := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 64*1024)
+		echoed := 0
+		for echoed < rounds {
+			n, err := c.Read(buf)
+			if err != nil {
+				srvErr <- fmt.Errorf("stock server read: %w", err)
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				srvErr <- fmt.Errorf("stock server write: %w", err)
+				return
+			}
+			echoed++
+		}
+		if cs := c.(*tls.Conn).ConnectionState().CipherSuite; cs != tls.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 {
+			srvErr <- fmt.Errorf("negotiated suite %04x, want AES_128_GCM_SHA256", cs)
+			return
+		}
+		srvErr <- nil
+	}()
+
+	mc, err := Dial(ProtoUTLSTCP, "tcp", ln.Addr().String(), TCPConfig{NoDelay: true, TLS: cliTLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	var mu sync.Mutex
+	var got [][]byte
+	done := make(chan struct{}, 1)
+	mc.OnMessage(func(msg []byte) {
+		mu.Lock()
+		got = append(got, append([]byte(nil), msg...))
+		n := len(got)
+		mu.Unlock()
+		if n == rounds {
+			done <- struct{}{}
+		}
+	})
+	var want [][]byte
+	for i := 0; i < rounds; i++ {
+		msg := []byte(fmt.Sprintf("minion-to-gcm-stock %03d %s", i, bytes.Repeat([]byte{'g'}, i*11%300)))
+		want = append(want, msg)
+		if err := mc.Send(msg, Options{}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		mu.Lock()
+		t.Fatalf("timeout: %d/%d echoes", len(got), rounds)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("echo %d mismatch: got %q want %q", i, got[i], want[i])
+		}
 	}
 }
 

@@ -213,8 +213,11 @@ func Negotiate(prefs Preferences, path PathConstraints) Protocol {
 	return ProtoUCOBSTCP
 }
 
-// TLSConfig configures the genuine TLS 1.2 handshake
-// (ECDHE_RSA_WITH_AES_128_CBC_SHA) on uTLS stacks. When TCPConfig.TLS is
+// TLSConfig configures the genuine TLS 1.2 handshake on uTLS stacks
+// (ECDHE_RSA_WITH_AES_128_GCM_SHA256 preferred, with
+// ECDHE_RSA_WITH_AES_128_CBC_SHA as the compatibility fallback; both
+// keep the per-record self-description that out-of-order delivery
+// rides). When TCPConfig.TLS is
 // set, the uTLS endpoint's bytes are accepted by stock TLS
 // implementations: a crypto/tls peer completes the handshake and
 // exchanges application data with it, and middlebox DPI that validates
@@ -235,6 +238,11 @@ type TLSConfig struct {
 	// InsecureSkipVerify disables the client's chain and name checks
 	// (test topologies only).
 	InsecureSkipVerify bool
+	// CipherSuites restricts and orders the offered/accepted TLS 1.2
+	// ciphersuites (crypto/tls constants, e.g.
+	// tls.TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256). Empty means both
+	// supported suites, GCM preferred. Unsupported IDs are ignored.
+	CipherSuites []uint16
 }
 
 // SelfSignedTLS generates a throwaway self-signed RSA certificate valid
@@ -256,6 +264,7 @@ func (tc *TLSConfig) handshake() *tlshake.Config {
 		RootCAs:            tc.RootCAs,
 		ServerName:         tc.ServerName,
 		InsecureSkipVerify: tc.InsecureSkipVerify,
+		CipherSuites:       tc.CipherSuites,
 	}
 }
 
