@@ -30,6 +30,12 @@ import (
 //     the SO_REUSEPORT hash has binomial jitter, so small absolute moves
 //     are noise, but a shard going cold (or hot) is a structural accept
 //     bug the double condition always catches;
+//   - drain_ms regressions FAIL the run when the new drain time exceeds
+//     4x the old plus 200ms of absolute slack — graceful shutdown is
+//     allowed to jitter with runner load, but an order-of-magnitude
+//     slowdown means connections stopped flushing promptly (a watchdog,
+//     linger, or drain-path regression). A softer 1.5x + 20ms threshold
+//     warns;
 //   - ns_per_op regressions beyond the tolerance are FLAGGED (warnings;
 //     shared CI runners are too noisy for wall time to be a hard gate)
 //     unless -fail-ns promotes them to failures.
@@ -122,6 +128,18 @@ func runBenchDiff(args []string) error {
 			if ni > oi+10 && ni > 20 {
 				fmt.Printf("FAIL %s: accept_imbalance_pct %.1f -> %.1f (accept distribution regression)\n", name, oi, ni)
 				failures++
+			}
+		}
+		if od, nd, ok := field(oldRec, newRec, "drain_ms"); ok && od > 0 {
+			// Generous multiplicative and absolute slack: drain wall time
+			// rides runner load, but a graceful shutdown that got 4x slower
+			// (past 200ms of grace) stopped being graceful.
+			switch {
+			case nd > od*4+200:
+				fmt.Printf("FAIL %s: drain_ms %.1f -> %.1f (graceful-drain regression)\n", name, od, nd)
+				failures++
+			case nd > od*1.5+20:
+				fmt.Printf("::warning title=bench trend::%s drain_ms %.1f -> %.1f\n", name, od, nd)
 			}
 		}
 		for _, key := range []string{"ns_per_op", "ns_per_record"} {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +47,16 @@ type connScaleResult struct {
 	// ServerLoads is the server group's per-loop attached-connection
 	// counts at full load — pinned-equal to AcceptPerLoop when sharded.
 	ServerLoads []int `json:"server_loads,omitempty"`
+	// Accept-path robustness counters over the whole run (dial storm
+	// included): transient accept failures absorbed by the retry loop,
+	// and EMFILE/ENFILE backoff sleeps taken. Nonzero backoffs on a
+	// healthy host mean the fd budget is too tight for the sweep.
+	AcceptErrors   uint64 `json:"accept_errors"`
+	AcceptBackoffs uint64 `json:"accept_backoffs"`
+	// DrainMs is the wall time of a graceful client-group Shutdown after
+	// the measured echoes: queued writes flushed, close sequences sent,
+	// sockets closed. 0 in dedicated mode (no group to drain).
+	DrainMs float64 `json:"drain_ms"`
 
 	Iterations        int     `json:"iterations"` // total echo round trips
 	NsPerOp           float64 `json:"ns_per_op"`  // wall time per round trip
@@ -190,9 +201,9 @@ func runConnScale(args []string) error {
 			if res.AcceptSharded {
 				shard = "sharded"
 			}
-			fmt.Printf("%6d conns [%s/%s p%d] %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f wr-syscalls/dgram %6.1f bufs/writev %6.3f wakeups/dgram %5.1f%% accept-imbalance -> %s\n",
+			fmt.Printf("%6d conns [%s/%s p%d] %10.0f ns/op %7.1f allocs/op %6d goroutines %6.3f wr-syscalls/dgram %6.1f bufs/writev %6.3f wakeups/dgram %5.1f%% accept-imbalance %6.1fms drain -> %s\n",
 				res.Conns, res.Mode, shard, res.Procs, res.NsPerOp, res.AllocsPerOp, res.Goroutines,
-				res.WriteSyscallsPerDatagram, res.WriteBufsPerCall, res.PollWakeupsPerDatagram, res.AcceptImbalancePct, path)
+				res.WriteSyscallsPerDatagram, res.WriteBufsPerCall, res.PollWakeupsPerDatagram, res.AcceptImbalancePct, res.DrainMs, path)
 		}
 		return nil
 	}
@@ -237,6 +248,11 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 	if dedicated {
 		lnLoops = 0 // per-connection loops on both sides
 	}
+
+	// Accept counters are read across the whole run — the dial storm is
+	// exactly when accept-path stress (EMFILE backoffs, transient errors)
+	// happens, well before the echo interval's ioBefore snapshot.
+	ioStart := wire.ReadIOStats()
 
 	// The server group is explicit (not listener-owned) so its per-loop
 	// loads are observable next to the listener's accept distribution.
@@ -390,6 +406,18 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 		srvLoads = sg.Loads()
 	}
 
+	// Graceful drain, timed: the client group flushes every connection's
+	// queue, sends the close sequences, and closes the sockets. The
+	// deferred per-connection Closes then find nothing left to do.
+	var drainMs float64
+	if dc.Group != nil {
+		dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		t1 := time.Now()
+		dc.Group.Shutdown(dctx)
+		drainMs = float64(time.Since(t1).Nanoseconds()) / 1e6
+		cancel()
+	}
+
 	ops := nConns * msgs // round trips
 	dgrams := float64(2 * ops)
 	resLoops := loopCount
@@ -415,6 +443,9 @@ func connScaleOnce(nConns, loops, msgBytes, window, totalOps int, mode string) (
 		AcceptPerLoop:            accepts,
 		AcceptImbalancePct:       imbalancePct(imbCounts),
 		ServerLoads:              srvLoads,
+		AcceptErrors:             ioAfter.AcceptErrors - ioStart.AcceptErrors,
+		AcceptBackoffs:           ioAfter.AcceptBackoffs - ioStart.AcceptBackoffs,
+		DrainMs:                  drainMs,
 		Stack:                    minion.ProtoUCOBSTCP.String(),
 		MsgsPerConn:              msgs,
 		MsgBytes:                 msgBytes,

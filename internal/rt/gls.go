@@ -1,0 +1,48 @@
+package rt
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Goroutine-identity check for Loop.Do's reentrancy detection.
+//
+// Do must know whether the caller already is the loop's event goroutine
+// (run fn inline) or not (marshal it in and wait). Getting this wrong in
+// the inline direction is a correctness bug, not a performance bug: a
+// goroutine misidentified as the event goroutine runs loop-confined code
+// concurrently with the real event goroutine — a data race on every
+// protocol object attached to the loop.
+//
+// An earlier design marked the event goroutine through its pprof
+// label slot and treated a pointer match as definitive. That is unsound:
+// the runtime copies the parent's label slot into every goroutine it
+// spawns, so any goroutine started from inside a loop callback — a
+// teardown helper, a user goroutine forked in OnMessage — inherits the
+// marker and passes the check while the event goroutine is still
+// running. The chaos suite caught exactly that shape (a lingering close
+// goroutine, spawned by a watchdog callback, tearing down poller state
+// under a live event loop).
+//
+// Identity therefore compares real goroutine ids: fastGoid (gls_goid.go)
+// reads the id out of the runtime's g struct in a few nanoseconds where
+// an assembly getg stub exists, and falls back to parsing the stack
+// header elsewhere. Goroutine ids are never reused across live
+// goroutines and never inherited, so the comparison is sound in both
+// directions.
+//
+// The profiler label survives purely as observability: event goroutines
+// show up in CPU and goroutine profiles labeled rt-loop=event. Nothing
+// reads it back.
+
+// markEventGoroutine is called once by the event goroutine: it labels
+// the goroutine for profiles.
+func (l *Loop) markEventGoroutine() {
+	if l.labelCtx == nil {
+		l.labelCtx = pprof.WithLabels(context.Background(), pprof.Labels("rt-loop", "event"))
+	}
+	pprof.SetGoroutineLabels(l.labelCtx)
+}
+
+// onEventGoroutine reports whether the caller is l's event goroutine.
+func (l *Loop) onEventGoroutine() bool { return fastGoid() == l.goid }

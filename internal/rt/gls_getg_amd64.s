@@ -1,0 +1,8 @@
+#include "textflag.h"
+
+// func getg() unsafe.Pointer
+// The g pointer lives in the TLS slot on amd64.
+TEXT ·getg(SB), NOSPLIT, $0-8
+	MOVQ (TLS), AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,8 @@
+#include "textflag.h"
+
+// func getg() unsafe.Pointer
+// The g pointer lives in the dedicated g register (R28) on arm64.
+TEXT ·getg(SB), NOSPLIT, $0-8
+	MOVD g, R0
+	MOVD R0, ret+0(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build amd64 || arm64
+
+package rt
+
+import "unsafe"
+
+// getg returns the current goroutine's runtime g pointer (assembly,
+// gls_getg_*.s). The pointer is stable for the goroutine's lifetime and
+// only ever used as a base for the discovered goid offset — never
+// dereferenced as a typed runtime structure.
+func getg() unsafe.Pointer

@@ -1,0 +1,9 @@
+//go:build !amd64 && !arm64
+
+package rt
+
+import "unsafe"
+
+// getg has no assembly stub on this architecture; fastGoid falls back to
+// parsing the stack header.
+func getg() unsafe.Pointer { return nil }

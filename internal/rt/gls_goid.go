@@ -1,0 +1,89 @@
+package rt
+
+import "unsafe"
+
+// Fast goroutine ids.
+//
+// The runtime's g struct stores the goroutine id, but exposes no cheap
+// accessor — the portable route is parsing the header line runtime.Stack
+// prints, which costs on the order of a microsecond and would dominate
+// the marshal-free Do fast path (Send from inside an OnMessage callback,
+// the echo/relay shape). Where an assembly getg stub exists (amd64,
+// arm64) the id is instead read straight out of the g struct: two loads.
+//
+// The goid field's offset inside g varies across Go releases and build
+// modes (the race detector grows the struct), so it is not hardcoded.
+// init discovers it empirically: take the current goroutine's id the
+// slow way, scan the first goidScanWindow bytes of its g for 8-byte
+// words holding that value, then winnow the candidate offsets on freshly
+// spawned goroutines (each with a different id) until exactly one offset
+// survives. A coincidental match at a wrong offset would have to track
+// every probe goroutine's own id to survive — only the real field does
+// that. If discovery fails (no stub on this architecture, or no unique
+// offset), fastGoid permanently falls back to the slow parse, which is
+// correct just not cheap.
+
+// goidOff is the discovered byte offset of goid within the g struct;
+// -1 means unavailable. Written once by init, read-only afterwards.
+var goidOff int64 = -1
+
+func init() { goidOff = findGoidOffset() }
+
+// fastGoid returns the current goroutine's id.
+func fastGoid() int64 {
+	if off := goidOff; off >= 0 {
+		return *(*int64)(unsafe.Add(getg(), uintptr(off)))
+	}
+	return goid()
+}
+
+// goidScanWindow bounds the initial scan. The goid field sits a couple
+// hundred bytes into g on current runtimes; 1KiB leaves generous slack
+// (the allocation behind a g is far larger, so the reads stay in
+// bounds).
+const goidScanWindow = 1024
+
+func findGoidOffset() int64 {
+	if getg() == nil {
+		return -1
+	}
+	cands := goidCandidates(nil)
+	// Winnow on fresh goroutines: ids are strictly increasing, so each
+	// round re-tests the survivors against a value never seen before.
+	for round := 0; round < 8 && len(cands) > 1; round++ {
+		ch := make(chan []int64, 1)
+		prev := cands
+		go func() { ch <- goidCandidates(prev) }()
+		cands = <-ch
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	return -1
+}
+
+// goidCandidates returns the offsets at which the calling goroutine's g
+// struct holds its own id — all 8-byte-aligned offsets in the window
+// when prev is nil, otherwise the surviving subset of prev.
+func goidCandidates(prev []int64) []int64 {
+	gp := getg()
+	id := goid()
+	if gp == nil || id <= 0 {
+		return nil
+	}
+	var out []int64
+	if prev == nil {
+		for off := int64(0); off <= goidScanWindow; off += 8 {
+			if *(*int64)(unsafe.Add(gp, uintptr(off))) == id {
+				out = append(out, off)
+			}
+		}
+		return out
+	}
+	for _, off := range prev {
+		if *(*int64)(unsafe.Add(gp, uintptr(off))) == id {
+			out = append(out, off)
+		}
+	}
+	return out
+}

@@ -8,13 +8,56 @@ import (
 	"time"
 )
 
-// TestEventGoroutineMarkerIsValidProfLabel guards the goroutine-identity
-// fast path's contract with the runtime: the marker planted in the
-// event goroutine's profiler-label slot must be a genuine pprof label
-// map, because every profile consumer dereferences the slot. A goroutine
-// profile at debug level 1 walks the labels of every goroutine — with a
-// bogus pointer in the slot this crashes or fabricates labels; with the
-// real label it must print the loop marker.
+// TestFastGoidMatchesSlowPath: the discovered-offset read and the stack
+// header parse must agree, on the test goroutine and on fresh ones.
+func TestFastGoidMatchesSlowPath(t *testing.T) {
+	if fastGoid() != goid() {
+		t.Fatalf("fastGoid() = %d, goid() = %d", fastGoid(), goid())
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if fastGoid() != goid() {
+			t.Errorf("spawned goroutine: fastGoid() = %d, goid() = %d", fastGoid(), goid())
+		}
+	}()
+	<-done
+}
+
+// TestGoidOffsetDiscovered: on architectures with a getg stub the
+// empirical scan must find the goid field, or every identity check in
+// the process silently pays the slow parse.
+func TestGoidOffsetDiscovered(t *testing.T) {
+	if getg() == nil {
+		t.Skip("no getg stub on this architecture")
+	}
+	if goidOff < 0 {
+		t.Fatalf("goid offset not discovered despite getg stub")
+	}
+}
+
+// TestSpawnedGoroutineIsNotEventGoroutine guards the soundness hole that
+// motivated the goid-based identity check: the runtime copies profiler
+// labels into child goroutines, so a goroutine forked from inside a loop
+// callback carries the event goroutine's label set. It must still be
+// identified as an outsider — running its Do inline would race the live
+// event goroutine.
+func TestSpawnedGoroutineIsNotEventGoroutine(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	verdict := make(chan bool, 1)
+	l.Do(func() {
+		go func() { verdict <- l.onEventGoroutine() }()
+	})
+	if <-verdict {
+		t.Fatal("goroutine spawned from a loop callback misidentified as the event goroutine")
+	}
+}
+
+// TestEventGoroutineMarkerIsValidProfLabel: the rt-loop=event label the
+// event goroutine installs is pure observability now, but it must still
+// be a genuine pprof label map (profile consumers dereference the slot)
+// and must show up when the goroutine profile walks labels.
 func TestEventGoroutineMarkerIsValidProfLabel(t *testing.T) {
 	l := NewLoop()
 	defer l.Close()
@@ -41,29 +84,25 @@ func TestEventGoroutineMarkerIsValidProfLabel(t *testing.T) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("event goroutine's rt-loop marker label never visible in the goroutine profile:\n%.2000s", buf.String())
+			t.Fatalf("event goroutine's rt-loop label never visible in the goroutine profile:\n%.2000s", buf.String())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 }
 
 // TestDoInlineAfterLabelClobber: user code replacing the goroutine's
-// profiler labels must only slow the identity check down, never break
-// it — and the marker must be reinstalled for the next call.
+// profiler labels must not disturb the identity check — goroutine ids
+// do not live in the label slot.
 func TestDoInlineAfterLabelClobber(t *testing.T) {
 	l := NewLoop()
 	defer l.Close()
 	ran := false
 	l.Do(func() {
-		// Clobber the marker with an ordinary user label set.
+		// Clobber the observability label with an ordinary user label set.
 		pprof.SetGoroutineLabels(pprof.WithLabels(t.Context(), pprof.Labels("user", "labels")))
-		// The reentrant Do must still detect the event goroutine (slow
-		// path) and run inline rather than deadlocking on a marshalled
-		// post to ourselves.
+		// The reentrant Do must still detect the event goroutine and run
+		// inline rather than deadlocking on a marshalled post to ourselves.
 		l.Do(func() { ran = true })
-		if profLabelGet() != l.marker {
-			t.Error("marker not reinstalled after slow-path detection")
-		}
 	})
 	if !ran {
 		t.Fatal("reentrant Do did not run after label clobber")

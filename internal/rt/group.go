@@ -41,6 +41,17 @@ func (g *LoopGroup) Len() int { return len(g.loops) }
 // Loop returns the i'th loop.
 func (g *LoopGroup) Loop(i int) *Loop { return g.loops[i] }
 
+// Index returns l's position in the group, or -1 for a foreign loop. The
+// loops slice is written once at construction, so no lock is needed.
+func (g *LoopGroup) Index(l *Loop) int {
+	for i, lp := range g.loops {
+		if lp == l {
+			return i
+		}
+	}
+	return -1
+}
+
 // Assign picks the least-loaded loop (ties broken round-robin) and counts
 // a connection against it. Pair with Release when the connection closes.
 func (g *LoopGroup) Assign() *Loop {

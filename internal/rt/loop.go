@@ -72,9 +72,8 @@ type pad64 [64]byte
 // connections across a loop per core.
 type Loop struct {
 	start    time.Time
-	goid     int64           // event goroutine id, for Do reentrancy detection (slow path)
-	marker   labelPointer    // address of the installed marker label map (fast identity check)
-	labelCtx context.Context // carries the marker label; reinstalls after clobbering
+	goid     int64           // event goroutine id, for Do/Close reentrancy detection
+	labelCtx context.Context // rt-loop=event profiler label for the event goroutine
 
 	// The identity fields above are written once at startup and then only
 	// read (by Do's fast path, from every posting goroutine); the mutex
@@ -278,7 +277,7 @@ func (ln *Lane) Loop() *Loop { return ln.l }
 // still Stop a later same-batch timer), then drain one lane's batch;
 // otherwise sleep until the next deadline or a poke.
 func (l *Loop) run(ready chan<- struct{}) {
-	l.goid = goid()
+	l.goid = fastGoid()
 	l.markEventGoroutine()
 	close(ready)
 	defer close(l.done)

@@ -141,6 +141,7 @@ type Conn struct {
 	open          *tlsrec.Open
 	hs            *tlshake.Engine // genuine TLS 1.2 handshake (Config.Real)
 	hsErr         error           // terminal handshake failure
+	closeSent     bool            // close_notify already written
 
 	unordered bool // OOO machinery active (uTCP + capable suite)
 	recCap    int  // MSS-aware max message size (0 = no segment guarantee)
@@ -255,8 +256,31 @@ func (c *Conn) Recv() (msg []byte, ok bool) {
 // Pending returns queued received messages.
 func (c *Conn) Pending() int { return c.recvQ.Len() }
 
-// Close closes the underlying stream.
-func (c *Conn) Close() { c.tc.Close() }
+// Close closes the connection. On an established connection it first
+// sends a close_notify alert (best-effort: a full send queue or dead
+// stream skips it), so wire-compatible peers — stock crypto/tls included
+// — observe a clean TLS end-of-stream instead of a bare FIN, then closes
+// the underlying stream. Idempotent.
+func (c *Conn) Close() {
+	c.sendCloseNotify()
+	c.tc.Close()
+}
+
+// sendCloseNotify seals and writes the close_notify alert, once.
+// Incoming close_notify needs no handling here: record processing drops
+// non-AppData types after decryption, and the peer's FIN delivers EOF.
+func (c *Conn) sendCloseNotify() {
+	if c.closeSent || !c.handshakeDone || c.hsErr != nil || c.seal == nil {
+		return
+	}
+	c.closeSent = true
+	// Alert payload: level warning(1), description close_notify(0).
+	rec, err := c.seal.Seal(tlsrec.TypeAlert, []byte{1, 0})
+	if err != nil {
+		return
+	}
+	c.tc.Write(rec)
+}
 
 // Compat handshake wire format: kind(1) random(16) suite(1) flags(1),
 // sealed as a TLS handshake-type record under the null ciphersuite. (The

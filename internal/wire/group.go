@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"context"
 	"sync"
+	"time"
 
 	"minion/internal/rt"
 )
@@ -59,6 +61,7 @@ type Group struct {
 	lg      *rt.LoopGroup
 	writers map[*rt.Loop]*netWriter
 	pollers map[*rt.Loop]*poller
+	conns   map[*Conn]struct{} // attached connections, for Shutdown's drain
 	mode    Mode
 	refs    int
 	closed  bool
@@ -81,6 +84,7 @@ func NewGroupMode(n int, mode Mode) *Group {
 		lg:      lg,
 		writers: make(map[*rt.Loop]*netWriter, lg.Len()),
 		pollers: make(map[*rt.Loop]*poller, lg.Len()),
+		conns:   make(map[*Conn]struct{}),
 		mode:    mode,
 	}
 	for i := 0; i < lg.Len(); i++ {
@@ -236,4 +240,104 @@ func (g *Group) shutdown() {
 	for _, p := range g.pollers {
 		p.close()
 	}
+}
+
+// track registers an attached connection for Shutdown's drain sweep;
+// untrack (wired into the connection's release) removes it.
+func (g *Group) track(c *Conn) {
+	g.mu.Lock()
+	g.conns[c] = struct{}{}
+	g.mu.Unlock()
+}
+
+func (g *Group) untrack(c *Conn) {
+	g.mu.Lock()
+	delete(g.conns, c)
+	g.mu.Unlock()
+}
+
+// DrainStats reports what Group.Shutdown did with the connections it
+// found attached.
+type DrainStats struct {
+	// Conns is how many connections were attached when the drain began.
+	Conns int
+	// Flushed counts connections whose queued writes fully reached the
+	// kernel before their FIN.
+	Flushed int
+	// Aborted counts connections the context deadline cut off: their
+	// remaining queue was failed with ErrTimeout and reported through the
+	// OnError/OnResult accounting path rather than delivered.
+	Aborted int
+	// PerLoop is the drain-start connection count per group loop,
+	// index-aligned with Loop(i)/Loads().
+	PerLoop []int
+}
+
+// Shutdown gracefully drains the group: it stops new attachments, runs
+// every attached connection's drain hook (upper-layer flush, TLS
+// close_notify) followed by a graceful Close, and waits — bounded by ctx
+// — for each connection's queued writes to reach the kernel before the
+// FIN. Connections still undrained at the context deadline are aborted
+// with ErrTimeout, which releases their buffers and reports their queued
+// datagrams through the usual accounting hooks. The loops, writers, and
+// pollers shut down once the last connection detaches (exactly as with
+// Close). Must not be called from a loop callback: it blocks on loop
+// work.
+func (g *Group) Shutdown(ctx context.Context) DrainStats {
+	g.mu.Lock()
+	g.closed = true
+	snapshot := make([]*Conn, 0, len(g.conns))
+	for c := range g.conns {
+		snapshot = append(snapshot, c)
+	}
+	g.mu.Unlock()
+
+	st := DrainStats{Conns: len(snapshot), PerLoop: make([]int, g.lg.Len())}
+	for _, c := range snapshot {
+		if i := g.lg.Index(c.loop); i >= 0 {
+			st.PerLoop[i]++
+		}
+	}
+	// Start every drain before waiting on any: the flushes proceed in
+	// parallel across loops, so the wall clock is the slowest connection,
+	// not the sum.
+	for _, c := range snapshot {
+		c.beginDrain()
+	}
+	for _, c := range snapshot {
+		// Fairness on a spent deadline: an already-flushed connection
+		// counts as flushed even when ctx is also done.
+		select {
+		case <-c.writerDone:
+			st.Flushed++
+			continue
+		default:
+		}
+		select {
+		case <-c.writerDone:
+			st.Flushed++
+		case <-ctx.Done():
+			c.Abort(ErrTimeout)
+			st.Aborted++
+		}
+	}
+	if st.Aborted > 0 {
+		// Bounded courtesy wait: aborted writers finish failing their
+		// queues almost immediately, and waiting lets callers assert
+		// buffer balances right after Shutdown returns.
+		dl := time.After(time.Second)
+		for _, c := range snapshot {
+			select {
+			case <-c.writerDone:
+			case <-dl:
+			}
+		}
+	}
+	g.mu.Lock()
+	shutdown := g.refs == 0
+	g.mu.Unlock()
+	if shutdown {
+		g.shutdown()
+	}
+	return st
 }

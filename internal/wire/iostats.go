@@ -39,6 +39,15 @@ type IOStats struct {
 	UDPSendDatagrams uint64
 	UDPRecvCalls     uint64 // receive syscalls (recvmmsg counts once per call)
 	UDPRecvDatagrams uint64
+
+	// AcceptErrors counts accept calls that failed for a reason other
+	// than fd exhaustion or benign churn (ECONNABORTED is counted here
+	// too, though the accept path retries past it); AcceptBackoffs counts
+	// EMFILE/ENFILE episodes — each is one backoff sleep during which the
+	// listener stopped accepting. Both were previously invisible: an
+	// fd-exhausted listener just went quiet.
+	AcceptErrors   uint64
+	AcceptBackoffs uint64
 }
 
 // ioCounters is one shard of the I/O statistics. At c100k scale every
@@ -49,15 +58,16 @@ type IOStats struct {
 // each connection, UDP socket, and poller holds a pointer to one shard,
 // assigned round-robin at construction, and ReadIOStats sums the shards.
 // The trailing pad rounds the struct past two 64-byte cache lines so
-// adjacent shards in the backing array never share a line (11 × 8 = 88
-// bytes of counters + 40 pad = 128).
+// adjacent shards in the backing array never share a line (13 × 8 = 104
+// bytes of counters + 24 pad = 128).
 type ioCounters struct {
 	tcpWriteCalls, tcpWriteBufs, tcpWriteBytes atomic.Uint64
 	tcpReadCalls, tcpReadBytes                 atomic.Uint64
 	pollWakeups, pollEvents                    atomic.Uint64
 	udpSendCalls, udpSendDatagrams             atomic.Uint64
 	udpRecvCalls, udpRecvDatagrams             atomic.Uint64
-	_                                          [40]byte
+	acceptErrors, acceptBackoffs               atomic.Uint64
+	_                                          [24]byte
 }
 
 // ioShards is sized to comfortably exceed any realistic loop count while
@@ -96,6 +106,8 @@ func ReadIOStats() IOStats {
 		s.UDPSendDatagrams += c.udpSendDatagrams.Load()
 		s.UDPRecvCalls += c.udpRecvCalls.Load()
 		s.UDPRecvDatagrams += c.udpRecvDatagrams.Load()
+		s.AcceptErrors += c.acceptErrors.Load()
+		s.AcceptBackoffs += c.acceptBackoffs.Load()
 	}
 	return s
 }

@@ -1,6 +1,12 @@
 package wire
 
-import "net"
+import (
+	"context"
+	"errors"
+	"net"
+	"syscall"
+	"time"
+)
 
 // Listener accepts wire connections. It runs in one of two shapes:
 //
@@ -25,7 +31,12 @@ type Listener struct {
 	ln     net.Listener // single-socket shape; nil when sharded
 	shards *shardSet    // sharded shape; nil otherwise
 	cfg    Config
+	io     *ioCounters
 }
+
+// acceptRetry delays the single-socket accept retry after fd exhaustion
+// (the sharded shape's analogue is acceptBackoff in listener_linux.go).
+const acceptRetry = 10 * time.Millisecond
 
 // Listen announces on addr and returns a Listener whose accepted
 // connections use cfg (including its Group, for shared-loop accepting).
@@ -34,7 +45,7 @@ func Listen(network, addr string, cfg Config) (*Listener, error) {
 		switch network {
 		case "tcp", "tcp4", "tcp6":
 			if ss, ok := listenSharded(network, addr, cfg); ok {
-				return &Listener{shards: ss, cfg: cfg}, nil
+				return &Listener{shards: ss, cfg: cfg, io: nextIO()}, nil
 			}
 		}
 	}
@@ -42,10 +53,23 @@ func Listen(network, addr string, cfg Config) (*Listener, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Listener{ln: ln, cfg: cfg}, nil
+	return &Listener{ln: ln, cfg: cfg, io: nextIO()}, nil
 }
 
-// Accept waits for the next connection.
+// fdExhausted reports the out-of-descriptors accept failures
+// (EMFILE/ENFILE), which are transient: retrying after a backoff is the
+// only correct response, since the pending connection stays in the
+// kernel queue and failing the accept loop would kill the server over a
+// recoverable condition.
+func fdExhausted(err error) bool {
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE)
+}
+
+// Accept waits for the next connection. Transient fd exhaustion
+// (EMFILE/ENFILE) is retried after a backoff rather than surfaced —
+// accept loops treat a returned error as fatal — and counted in
+// IOStats.AcceptBackoffs; other failures count in IOStats.AcceptErrors
+// (except the listener's own Close, which is not an error).
 func (l *Listener) Accept() (*Conn, error) {
 	if l.shards != nil {
 		nc, shard, err := l.shards.accept()
@@ -54,11 +78,30 @@ func (l *Listener) Accept() (*Conn, error) {
 		}
 		return newConn(nc, l.cfg, shard), nil
 	}
-	nc, err := l.ln.Accept()
-	if err != nil {
-		return nil, err
+	for {
+		if ferr := faultAccept(); ferr != nil {
+			if fdExhausted(ferr) {
+				l.io.acceptBackoffs.Add(1)
+				time.Sleep(acceptRetry)
+				continue
+			}
+			l.io.acceptErrors.Add(1)
+			return nil, ferr
+		}
+		nc, err := l.ln.Accept()
+		if err != nil {
+			if fdExhausted(err) {
+				l.io.acceptBackoffs.Add(1)
+				time.Sleep(acceptRetry)
+				continue
+			}
+			if !errors.Is(err, net.ErrClosed) {
+				l.io.acceptErrors.Add(1)
+			}
+			return nil, err
+		}
+		return NewConn(nc, l.cfg), nil
 	}
-	return NewConn(nc, l.cfg), nil
 }
 
 // Addr returns the listening address (with the bound port).
@@ -91,6 +134,19 @@ func (l *Listener) ShardAccepts() []uint64 {
 func (l *Listener) Close() error {
 	if l.shards != nil {
 		return l.shards.close()
+	}
+	return l.ln.Close()
+}
+
+// Drain is Close bounded by ctx: it stops accepting immediately in both
+// shapes; in the sharded shape, where Close blocks until every per-loop
+// socket has torn down on its own loop, an expired context returns
+// ctx.Err() while the remaining teardowns finish in the background
+// (accepting has already stopped either way). Established connections
+// are unaffected — drain them with Group.Shutdown.
+func (l *Listener) Drain(ctx context.Context) error {
+	if l.shards != nil {
+		return l.shards.drain(ctx)
 	}
 	return l.ln.Close()
 }

@@ -3,6 +3,7 @@
 package wire
 
 import (
+	"context"
 	"net"
 	"os"
 	"sync"
@@ -80,6 +81,7 @@ type shardListener struct {
 	pl   *poller
 	tok  int32
 	sig  *rt.Signal // readability edge / continuation -> acceptPass
+	io   *ioCounters
 
 	dead bool // loop-confined: no further syscalls on lfd
 
@@ -102,20 +104,40 @@ func (s *shardListener) acceptPass() {
 		return
 	}
 	for i := 0; i < acceptBatch; i++ {
+		if ferr := faultAccept(); ferr != nil {
+			if fdExhausted(ferr) {
+				s.io.acceptBackoffs.Add(1)
+				s.loop.Schedule(acceptBackoff, func() { s.sig.Raise() })
+				return
+			}
+			// An injected hard error: count it, but retry on a timer — the
+			// real socket is healthy, and a consumed edge never re-fires
+			// for connections already waiting in the kernel queue.
+			s.io.acceptErrors.Add(1)
+			s.loop.Schedule(acceptBackoff, func() { s.sig.Raise() })
+			return
+		}
 		nfd, _, err := syscall.Accept4(s.lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
 		switch err {
 		case nil:
 		case syscall.EAGAIN:
 			return // queue drained; the next SYN raises a fresh edge
-		case syscall.EINTR, syscall.ECONNABORTED:
+		case syscall.EINTR:
+			continue
+		case syscall.ECONNABORTED:
+			s.io.acceptErrors.Add(1)
 			continue // peer gave up between SYN and accept
 		case syscall.EMFILE, syscall.ENFILE:
 			// Out of descriptors. The connection stays in the kernel queue
 			// and will not re-edge, so spinning would pin the loop; retry
 			// on a timer instead.
+			s.io.acceptBackoffs.Add(1)
 			s.loop.Schedule(acceptBackoff, func() { s.sig.Raise() })
 			return
 		default:
+			if !s.dead {
+				s.io.acceptErrors.Add(1)
+			}
 			return // teardown closed the socket, or a hard listener error
 		}
 		f := os.NewFile(uintptr(nfd), "wire-accept")
@@ -205,7 +227,14 @@ func (ss *shardSet) acceptCounts() []uint64 {
 // are closed, blocked Accept callers unblock with net.ErrClosed, and
 // each shard tears its socket down on its own loop. Returns after all
 // shards are down and the group reference is released.
-func (ss *shardSet) close() error {
+func (ss *shardSet) close() error { return ss.drain(context.Background()) }
+
+// drain is close bounded by ctx. Accepting stops and queued unclaimed
+// connections close before any waiting; only the per-shard socket
+// teardowns — loop round-trips — are waited on, and an expired context
+// leaves them (and the group-reference release) to finish in the
+// background.
+func (ss *shardSet) drain(ctx context.Context) error {
 	ss.mu.Lock()
 	if ss.closed {
 		ss.mu.Unlock()
@@ -219,21 +248,30 @@ func (ss *shardSet) close() error {
 	for _, a := range pending {
 		a.nc.Close()
 	}
-	done := make(chan struct{}, len(ss.shards))
-	for _, s := range ss.shards {
-		s := s
-		if !s.lane.Post(func() { s.teardown(); done <- struct{}{} }) {
-			// Loop already closed (group shutdown): the event goroutine is
-			// gone, so the teardown runs inline safely.
-			s.teardown()
-			done <- struct{}{}
+	done := make(chan struct{})
+	go func() {
+		shardDone := make(chan struct{}, len(ss.shards))
+		for _, s := range ss.shards {
+			s := s
+			if !s.lane.Post(func() { s.teardown(); shardDone <- struct{}{} }) {
+				// Loop already closed (group shutdown): the event goroutine
+				// is gone, so the teardown runs inline safely.
+				s.teardown()
+				shardDone <- struct{}{}
+			}
 		}
+		for range ss.shards {
+			<-shardDone
+		}
+		ss.release()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	for range ss.shards {
-		<-done
-	}
-	ss.release()
-	return nil
 }
 
 // listenSharded builds the per-loop SO_REUSEPORT listener set. ok is
@@ -269,7 +307,7 @@ func listenSharded(network, addr string, cfg Config) (*shardSet, bool) {
 			// First shard bound an ephemeral port; the rest join it.
 			port = bound
 		}
-		s := &shardListener{set: ss, idx: i, lfd: lfd, loop: loop, pl: pl}
+		s := &shardListener{set: ss, idx: i, lfd: lfd, loop: loop, pl: pl, io: nextIO()}
 		s.lane = loop.NewLane()
 		s.sig = s.lane.NewSignal(s.acceptPass)
 		tok, ok := pl.registerRead(lfd, s)

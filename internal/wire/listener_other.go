@@ -2,7 +2,10 @@
 
 package wire
 
-import "net"
+import (
+	"context"
+	"net"
+)
 
 // Sharded accept needs SO_REUSEPORT with kernel 4-tuple distribution and
 // the epoll poller; elsewhere Listen always takes the single-socket
@@ -12,6 +15,7 @@ type shardSet struct{ addr net.Addr }
 
 func listenSharded(network, addr string, cfg Config) (*shardSet, bool) { return nil, false }
 
-func (ss *shardSet) accept() (net.Conn, int, error) { return nil, 0, net.ErrClosed }
-func (ss *shardSet) acceptCounts() []uint64         { return nil }
-func (ss *shardSet) close() error                   { return nil }
+func (ss *shardSet) accept() (net.Conn, int, error)  { return nil, 0, net.ErrClosed }
+func (ss *shardSet) acceptCounts() []uint64          { return nil }
+func (ss *shardSet) close() error                    { return nil }
+func (ss *shardSet) drain(ctx context.Context) error { return nil }

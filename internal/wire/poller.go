@@ -2,6 +2,7 @@ package wire
 
 import (
 	"io"
+	"net"
 
 	"minion/internal/buf"
 	"minion/internal/tcp"
@@ -132,13 +133,33 @@ func (c *Conn) pollRead() {
 			break
 		}
 		b := buf.Get(readChunk)
-		n, again, err := c.pollReadFd(b.Bytes())
+		space := b.Bytes()
+		capped := false
+		if capN, ferr, ok := faultRead(len(space)); ok {
+			if ferr != nil {
+				b.Release()
+				if faultAgain(ferr) {
+					// Injected spurious edge: the real edge was consumed, so
+					// the retry must be self-raised.
+					c.loop.Schedule(faultRetryDelay, func() { c.rSig.Raise() })
+					break
+				}
+				c.rerr = tcp.ErrClosed
+				c.rdone.Do(func() { close(c.readerDone) })
+				c.fireError(c.rerr)
+				delivered = true
+				break
+			}
+			space, capped = space[:capN], true
+		}
+		n, again, err := c.pollReadFd(space)
 		c.io.tcpReadCalls.Add(1)
 		if again {
 			b.Release()
 			break
 		}
 		if n > 0 {
+			c.noteRead()
 			c.io.tcpReadBytes.Add(uint64(n))
 			chunk := b.RightSize(n)
 			c.recvQ = append(c.recvQ, chunk)
@@ -146,6 +167,11 @@ func (c *Conn) pollRead() {
 			passed += n
 			delivered = true
 			if n < readChunk && !c.rHup.Load() {
+				if capped {
+					// An injected short read proves nothing about the
+					// socket buffer; keep draining on the next service.
+					c.rSig.Raise()
+				}
 				// Socket buffer emptied; the next arrival re-edges. With a
 				// hangup pending the shortcut is unsound — a FIN that
 				// already arrived never re-edges — so keep draining to the
@@ -161,7 +187,10 @@ func (c *Conn) pollRead() {
 		if err == nil {
 			c.rerr = io.EOF
 		} else {
+			// A hard read error is terminal both ways (only a graceful EOF
+			// leaves the send side usable); report it now, not at teardown.
 			c.rerr = tcp.ErrClosed
+			c.fireError(c.rerr)
 		}
 		c.rdone.Do(func() { close(c.readerDone) })
 		delivered = true
@@ -235,7 +264,7 @@ func (c *Conn) pollWriteBatch() {
 	var wrote int64
 	var werr error
 	for len(c.pend) > 0 {
-		n, again, err := c.pollWritev()
+		n, again, err := c.pollWritevFault()
 		if n > 0 {
 			wrote += int64(n)
 			c.consumePend(n)
@@ -253,17 +282,71 @@ func (c *Conn) pollWriteBatch() {
 
 	c.wmu.Lock()
 	c.wqBytes -= int(wrote)
-	if werr != nil {
+	died := werr != nil && c.werr == nil
+	if died {
 		c.werr = werr
 		c.failWritesLocked()
 	}
+	c.noteWriteProgressLocked(c.wqBytes > 0 && c.werr == nil, wrote > 0)
 	c.notifyWritableLocked()
 	flushed := len(c.pend) == 0 && len(c.wq) == 0
 	finished := c.werr != nil || (c.wclosed && flushed)
 	c.wmu.Unlock()
+	if died {
+		// Terminal for the layers above; report now, not a linger later.
+		// pollWriteBatch runs on the event loop, so the call is direct.
+		c.fireError(werr)
+	}
 	if finished {
 		c.writerFinish()
 	}
+}
+
+// pollWritevFault interposes the fault seam on the poll path's vectored
+// write. Pass-through costs one atomic load. An injected EAGAIN parks the
+// connection like real kernel backpressure and self-raises a synthetic
+// EPOLLOUT after a beat (the kernel owes no edge for pressure it never
+// applied); a partial-write cap issues the real writev on a prefix of the
+// in-flight vector, exercising consumePend's mid-buffer arithmetic.
+func (c *Conn) pollWritevFault() (int, bool, error) {
+	h := faultHooks.Load()
+	if h == nil || h.Write == nil {
+		return c.pollWritev()
+	}
+	size := 0
+	for _, p := range c.pend {
+		size += len(p)
+	}
+	capN, ferr, ok := faultWrite(size)
+	if !ok {
+		return c.pollWritev()
+	}
+	if ferr != nil {
+		if faultAgain(ferr) {
+			c.loop.Schedule(faultRetryDelay, func() { c.woSig.Raise() })
+			return 0, true, nil
+		}
+		return 0, false, ferr
+	}
+	saved := c.pend
+	pfx := make(net.Buffers, 0, len(saved))
+	left := capN
+	for _, p := range saved {
+		if left <= 0 {
+			break
+		}
+		if len(p) > left {
+			pfx = append(pfx, p[:left])
+			left = 0
+			break
+		}
+		pfx = append(pfx, p)
+		left -= len(p)
+	}
+	c.pend = pfx
+	n, again, err := c.pollWritev()
+	c.pend = saved
+	return n, again, err
 }
 
 // consumePend advances the in-flight vector past n kernel-consumed bytes,
@@ -307,6 +390,7 @@ func (c *Conn) pollAbortWrites() {
 		c.werr = tcp.ErrClosed
 	}
 	c.failWritesLocked()
+	c.notifyWritableLocked()
 	c.wmu.Unlock()
 	c.writerFinish()
 }
@@ -322,6 +406,7 @@ func (c *Conn) pollTeardown() {
 		return
 	}
 	c.pollDead = true
+	c.watchStop.Store(true)
 	c.pl.unregister(c.pollTok, c.fd)
 	c.wmu.Lock()
 	if c.werr == nil {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,10 @@ type UDPConfig struct {
 	// high-rate recvmmsg consumer needs real headroom here — the stock
 	// rmem_default (~200 KiB) is a few hundred datagrams.
 	SockRecvBufBytes int
+	// DialTimeout bounds DialUDPConfig's name resolution (connecting a
+	// UDP socket is otherwise local and synchronous). Zero means no
+	// bound. A timeout surfaces wrapped around ErrTimeout.
+	DialTimeout time.Duration
 }
 
 // udpSockBufDefault is the kernel buffer sizing applied when the config
@@ -125,15 +130,20 @@ func DialUDP(network, addr string) (*UDPConn, error) {
 
 // DialUDPConfig is DialUDP with socket tuning.
 func DialUDPConfig(network, addr string, cfg UDPConfig) (*UDPConn, error) {
-	raddr, err := net.ResolveUDPAddr(network, addr)
+	d := net.Dialer{Timeout: cfg.DialTimeout}
+	nc, err := d.Dial(network, addr)
 	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			err = fmt.Errorf("%w: dial %s %s", ErrTimeout, network, addr)
+		}
 		return nil, err
 	}
-	nc, err := net.DialUDP(network, nil, raddr)
-	if err != nil {
-		return nil, err
+	unc, ok := nc.(*net.UDPConn)
+	if !ok {
+		nc.Close()
+		return nil, net.UnknownNetworkError(network)
 	}
-	return NewUDPConnConfig(nc, nil, cfg), nil
+	return NewUDPConnConfig(unc, nil, cfg), nil
 }
 
 // LocalAddr returns the socket's local address.
@@ -277,6 +287,14 @@ func (c *UDPConn) readLoop() {
 // fallback on Linux). It reports whether the reader should continue.
 func (c *UDPConn) readOne() bool {
 	b := buf.Get(udp.MaxDatagram)
+	if _, ferr, ok := faultRead(b.Len()); ok && ferr != nil {
+		// Injected receive fault: UDP treats everything short of a closed
+		// socket as transient (exactly the ICMP-error shape below), so the
+		// seam exercises the retry path rather than killing the reader.
+		b.Release()
+		time.Sleep(faultRetryDelay)
+		return true
+	}
 	n, _, err := c.nc.ReadFrom(b.Bytes())
 	c.io.udpRecvCalls.Add(1)
 	if err == nil {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -44,6 +45,28 @@ type Config struct {
 	// clamped by the kernel's somaxconn). At c10k+ accept rates the
 	// stock net.Listen backlog drops SYNs during accept bursts.
 	Backlog int
+	// ReadIdleTimeout, when positive, aborts the connection with
+	// ErrTimeout after that long with no bytes arriving from the peer.
+	// Driven by the loop's timer wheel (no per-connection goroutine or
+	// timer churn); detection granularity is the timeout itself, so a
+	// dead peer is evicted between T and ~2T after its last byte.
+	ReadIdleTimeout time.Duration
+	// WriteStallTimeout, when positive, bounds how long queued send bytes
+	// may sit with no kernel progress before StallPolicy applies — the
+	// slow-client guard: a peer that stopped reading is pinning pooled
+	// buffers in this connection's send queue.
+	WriteStallTimeout time.Duration
+	// StallPolicy selects eviction (default) or shed-then-evict when
+	// WriteStallTimeout expires. See the StallPolicy constants.
+	StallPolicy StallPolicy
+	// KeepAlive configures TCP keepalive probing: positive enables it
+	// with that period, negative disables it, zero keeps the Go runtime
+	// default (enabled, 15s). Keepalive detects peers that vanished
+	// without a FIN even on connections with no read deadline.
+	KeepAlive time.Duration
+	// DialTimeout bounds the TCP connect in Dial (default: no bound). A
+	// timeout surfaces wrapped around ErrTimeout.
+	DialTimeout time.Duration
 	// Group, when non-nil, runs the connection in shared-loop mode on one
 	// of the group's event loops instead of a dedicated loop — see the
 	// package comment for the goroutine economics.
@@ -83,6 +106,13 @@ func applySockOpts(nc net.Conn, cfg Config) {
 	if cfg.SockRecvBufBytes > 0 {
 		tcpc.SetReadBuffer(cfg.SockRecvBufBytes)
 	}
+	switch {
+	case cfg.KeepAlive > 0:
+		tcpc.SetKeepAlive(true)
+		tcpc.SetKeepAlivePeriod(cfg.KeepAlive)
+	case cfg.KeepAlive < 0:
+		tcpc.SetKeepAlive(false)
+	}
 }
 
 // readChunk is the pooled buffer size the reader goroutine fills from the
@@ -90,8 +120,12 @@ func applySockOpts(nc net.Conn, cfg Config) {
 const readChunk = 32 * 1024
 
 // closeLinger bounds how long Close waits for the peer to drain and close
-// its half before the socket is torn down hard.
-const closeLinger = 5 * time.Second
+// its half before the socket is torn down hard. An atomic only so
+// lifecycle tests can shorten the bound while background teardowns read
+// it; production code treats it as a constant.
+var closeLinger atomic.Int64
+
+func init() { closeLinger.Store(int64(5 * time.Second)) }
 
 // ErrTooLarge is returned by WriteMsgBuf for a message that exceeds the
 // whole send budget — it can never be queued, so retrying is futile
@@ -136,7 +170,17 @@ type Conn struct {
 	// Loop-confined state.
 	onReadable func()
 	recvQ      []*buf.Buffer
-	rerr       error // terminal read status (io.EOF on clean peer close)
+	rerr       error       // terminal read status (io.EOF on clean peer close)
+	onStall    func() int  // StallShed hook (lifecycle.go)
+	onDrain    func()      // Group.Shutdown graceful-flush hook
+	onError    func(error) // terminal-error hook; fires exactly once
+	errFired   bool
+
+	// Lifecycle clocks and latches (lifecycle.go).
+	lastRead  atomic.Int64          // loop-time nanos of the last peer byte
+	watchStop atomic.Bool           // watchdog must not re-arm
+	aborted   atomic.Bool           // Abort ran: Close skips the linger drain
+	failCause atomic.Pointer[error] // overrides readLoop's error mapping
 
 	// Reader flow control (reader goroutine <-> loop).
 	rmu       sync.Mutex
@@ -159,7 +203,8 @@ type Conn struct {
 	werr       error
 	wclosed    bool
 	onWritable func()
-	wNotify    bool // a rejected WriteMsgBuf armed OnWritable
+	wNotify    bool          // a rejected WriteMsgBuf armed OnWritable
+	wStall     time.Duration // write-stall clock, loop time (0 = off)
 
 	// In-flight vectored-write state; owned by the goroutine currently
 	// servicing the connection (see writer.go).
@@ -216,24 +261,40 @@ func newConn(nc net.Conn, cfg Config, shard int) *Conn {
 	c.lane = c.loop.NewLane()
 	c.rcond = sync.NewCond(&c.rmu)
 	c.wcond = sync.NewCond(&c.wmu)
+	c.lastRead.Store(int64(c.loop.Now()))
+	if g := cfg.Group; g != nil && c.release != nil {
+		g.track(c)
+		detach := c.release
+		c.release = func() {
+			g.untrack(c)
+			detach()
+		}
+	}
 	// The lane and conds must exist before registration: the initial
 	// readiness edges can fire the moment the fd enters the epoll set.
 	if pl != nil && c.pollInit(pl) {
 		c.nw = nil // the poll path owns the write side
+		c.armWatchdog()
 		return c
 	}
 	go c.readLoop()
 	if c.ownLoop {
 		go c.writeLoop()
 	}
+	c.armWatchdog()
 	return c
 }
 
 // Dial opens a TCP connection to addr and wraps it. network is "tcp",
-// "tcp4" or "tcp6".
+// "tcp4" or "tcp6". Config.DialTimeout bounds the connect; on expiry the
+// returned error wraps ErrTimeout.
 func Dial(network, addr string, cfg Config) (*Conn, error) {
-	nc, err := net.Dial(network, addr)
+	d := net.Dialer{Timeout: cfg.DialTimeout}
+	nc, err := d.Dial(network, addr)
 	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			err = fmt.Errorf("%w: dial %s %s", ErrTimeout, network, addr)
+		}
 		return nil, err
 	}
 	return NewConn(nc, cfg), nil
@@ -377,6 +438,7 @@ func (c *Conn) WriteMsgBuf(b *buf.Buffer, opt tcp.WriteOptions) (int, error) {
 	}
 	c.wq = append(c.wq, b)
 	c.wqBytes += n
+	c.noteWriteProgressLocked(true, false)
 	if c.wqBytes >= c.cfg.WriteLowWater {
 		// Crossing the low-water mark arms the next OnWritable edge, so a
 		// sender that gates on SendBufAvailable (rather than a rejected
@@ -431,6 +493,7 @@ func (c *Conn) SendBufAvailable() int {
 // and safe from any goroutine, including loop callbacks.
 func (c *Conn) Close() {
 	c.closeOnce.Do(func() {
+		c.watchStop.Store(true) // the linger bound owns teardown now
 		c.wmu.Lock()
 		c.wclosed = true
 		c.wcond.Broadcast()
@@ -453,12 +516,18 @@ func (c *Conn) Close() {
 			// connection is parked — so the queue is aborted explicitly
 			// on the loop when the linger expires. Either way the writer
 			// finishes releasing its buffers within the linger.
-			if c.pl == nil {
-				c.nc.SetWriteDeadline(time.Now().Add(closeLinger))
+			linger := time.Duration(closeLinger.Load())
+			if c.aborted.Load() {
+				// Abort already failed both directions; don't re-extend
+				// the write deadline it set to the past, and don't wait
+				// the graceful linger for a drain that cannot happen.
+				linger = 10 * time.Millisecond
+			} else if c.pl == nil {
+				c.nc.SetWriteDeadline(time.Now().Add(linger))
 			}
 			select {
 			case <-c.writerDone:
-			case <-time.After(closeLinger):
+			case <-time.After(linger):
 				if c.pl != nil {
 					c.lane.Post(c.pollAbortWrites)
 				}
@@ -472,7 +541,7 @@ func (c *Conn) Close() {
 			}
 			select {
 			case <-c.readerDone:
-			case <-time.After(closeLinger):
+			case <-time.After(linger):
 			}
 			c.teardown()
 		}()
@@ -487,13 +556,12 @@ func (c *Conn) Close() {
 // race the kernel recycling the fd.
 func (c *Conn) teardown() {
 	if c.pl != nil {
-		done := make(chan struct{})
-		if c.lane.Post(func() { c.pollTeardown(); close(done) }) {
-			<-done
-		} else {
-			// Loop already closed (group shutdown): the event goroutine is
-			// gone and nothing else touches loop-confined state, so the
-			// teardown runs inline safely.
+		// Do, not Post: a racing group shutdown can close the loop after
+		// the post is queued but before it runs — Post-and-wait would hang
+		// forever on work the dying loop dropped. Do detects that (returns
+		// false without running), and with the event goroutine gone the
+		// teardown runs inline safely.
+		if !c.loop.Do(c.pollTeardown) {
 			c.pollTeardown()
 		}
 		c.nc.Close()
@@ -518,10 +586,12 @@ func (c *Conn) teardown() {
 		return
 	}
 	// Every reader post was laned before readerDone closed, so this runs
-	// after the last delivery. If the loop itself already closed (group
-	// shut down) the event goroutine is gone and nothing else can touch
-	// loop-confined state, so cleaning up inline is safe.
-	if !c.lane.Post(c.cleanupRecv) {
+	// after the last delivery. Do, not Post: a racing group shutdown can
+	// close the loop after the post is queued but before it runs, and a
+	// dropped cleanup leaks every chunk still in recvQ. Do either runs it
+	// on the (live) loop or reports the loop gone — at which point the
+	// event goroutine is too, and cleaning up inline is safe.
+	if !c.loop.Do(c.cleanupRecv) {
 		c.cleanupRecv()
 	}
 	if c.release != nil {
@@ -534,10 +604,17 @@ func (c *Conn) cleanupRecv() {
 		b.Release()
 	}
 	c.recvQ = nil
-	c.onReadable = nil
 	if c.rerr == nil {
 		c.rerr = tcp.ErrClosed
 	}
+	// Terminal-state backstop: any teardown funnels through here, so a
+	// connection that died without an explicit abort still reports its
+	// fate exactly once before the hooks are dropped.
+	c.fireError(c.rerr)
+	c.onReadable = nil
+	c.onError = nil
+	c.onStall = nil
+	c.onDrain = nil
 }
 
 // readLoop is the reader goroutine: socket bytes enter pooled buffers and
@@ -547,9 +624,25 @@ func (c *Conn) readLoop() {
 	defer close(c.readerDone)
 	for {
 		b := buf.Get(readChunk)
-		n, err := c.nc.Read(b.Bytes())
+		space := b.Bytes()
+		if capN, ferr, ok := faultRead(len(space)); ok {
+			if ferr != nil {
+				if faultAgain(ferr) {
+					// Injected spurious wakeup: retry after a beat.
+					b.Release()
+					time.Sleep(faultRetryDelay)
+					continue
+				}
+				b.Release()
+				c.readFail(ferr)
+				return
+			}
+			space = space[:capN] // injected short read
+		}
+		n, err := c.nc.Read(space)
 		c.io.tcpReadCalls.Add(1)
 		if n > 0 {
+			c.noteRead()
 			c.io.tcpReadBytes.Add(uint64(n))
 			// RightSize keeps the flow-control budget honest: short reads
 			// are copied into a right-sized arena instead of pinning the
@@ -583,21 +676,37 @@ func (c *Conn) readLoop() {
 			b.Release()
 		}
 		if err != nil {
-			rerr := err
-			if rerr != io.EOF {
-				// A reset or a local hard close surface the same way to the
-				// framing layers: terminal error after queued data drains.
-				rerr = tcp.ErrClosed
-			}
-			c.lane.Post(func() {
-				if c.rerr == nil {
-					c.rerr = rerr
-				}
-				if c.onReadable != nil {
-					c.onReadable()
-				}
-			})
+			c.readFail(err)
 			return
 		}
 	}
+}
+
+// readFail posts the reader goroutine's terminal status into the loop. A
+// cause latched by Abort (the typed ErrTimeout, a chaos fault) overrides
+// the socket-level error the kicked-out read surfaced; otherwise a reset
+// or a local hard close map to tcp.ErrClosed, exactly as before — the
+// framing layers see a terminal error after queued data drains.
+func (c *Conn) readFail(err error) {
+	rerr := err
+	if p := c.failCause.Load(); p != nil {
+		rerr = *p
+	} else if rerr != io.EOF {
+		rerr = tcp.ErrClosed
+	}
+	c.lane.Post(func() {
+		if c.rerr == nil {
+			c.rerr = rerr
+		}
+		if c.onReadable != nil {
+			c.onReadable()
+		}
+		if rerr != io.EOF {
+			// A hard read error (reset, kicked-out socket) is terminal in
+			// both directions — only a peer's graceful EOF leaves the send
+			// side usable. Report it now; teardown's backstop would be a
+			// linger away.
+			c.fireError(rerr)
+		}
+	})
 }

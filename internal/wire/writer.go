@@ -73,6 +73,33 @@ func (c *Conn) writeBatch(deadline time.Time) (idle bool, wrote int64) {
 	}
 	c.wmu.Unlock()
 
+	if h := faultHooks.Load(); h != nil && h.Write != nil {
+		size := 0
+		for _, p := range c.pend {
+			size += len(p)
+		}
+		if _, ferr, ok := faultWrite(size); ok && ferr != nil {
+			if faultAgain(ferr) {
+				// Injected backpressure: hold the in-flight vector and let
+				// the servicing writer retry after a beat (the dedicated
+				// loop spins right back; the shared writer's zero-progress
+				// backoff re-enqueues).
+				time.Sleep(faultRetryDelay)
+				return false, 0
+			}
+			c.wmu.Lock()
+			if c.werr == nil {
+				c.werr = ferr
+			}
+			c.failWritesLocked()
+			c.wmu.Unlock()
+			c.writerFinish()
+			c.postError(ferr)
+			return true, 0
+		}
+		// Partial-write caps are a poll-mode injection; the blocking
+		// shapes ignore them (net.Buffers.WriteTo offers no clean seam).
+	}
 	if !deadline.IsZero() {
 		c.nc.SetWriteDeadline(deadline)
 	}
@@ -91,14 +118,22 @@ func (c *Conn) writeBatch(deadline time.Time) (idle bool, wrote int64) {
 
 	c.wmu.Lock()
 	c.wqBytes -= int(n)
-	if err != nil && !isTimeout(err) {
+	died := err != nil && !isTimeout(err) && c.werr == nil
+	if died {
 		c.werr = err
 		c.failWritesLocked()
 	}
+	c.noteWriteProgressLocked(c.wqBytes > 0 && c.werr == nil, n > 0)
 	c.notifyWritableLocked()
 	flushed := len(c.pend) == 0 && len(c.wq) == 0
 	finished := c.werr != nil || (c.wclosed && flushed)
 	c.wmu.Unlock()
+	if died {
+		// A dead write side is terminal for the layers above — their
+		// queued datagrams can never send. Report it now rather than at
+		// teardown, which may be a linger away.
+		c.postError(err)
+	}
 	if finished {
 		c.writerFinish()
 		return true, n
@@ -120,6 +155,7 @@ func (c *Conn) failWritesLocked() {
 	clearBufs(c.wq)
 	c.wq = c.wq[:0]
 	c.wqBytes = 0
+	c.wStall = 0
 }
 
 // notifyWritableLocked fires the OnWritable callback (onto the event

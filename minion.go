@@ -39,6 +39,7 @@ import (
 	"crypto/tls"
 	"crypto/x509"
 	"errors"
+	"time"
 
 	"minion/internal/netem"
 	"minion/internal/rt"
@@ -294,6 +295,27 @@ type TCPConfig struct {
 	// TLS, when non-nil, runs the genuine TLS 1.2 handshake on uTLS
 	// stacks — required for interop with stock TLS peers. See TLSConfig.
 	TLS *TLSConfig
+	// ReadIdleTimeout, when positive, closes a real-socket connection
+	// with ErrTimeout after that long without bytes from the peer. Driven
+	// by the connection's event-loop timer wheel (no extra goroutines);
+	// detection granularity is the timeout itself, so a dead peer is
+	// evicted between T and ~2T after its last byte. Zero (the default)
+	// never times out. Ignored by simulated substrates.
+	ReadIdleTimeout time.Duration
+	// WriteStallTimeout, when positive, bounds how long queued send bytes
+	// may sit with no kernel progress — the slow-client guard: a peer
+	// that stopped reading is pinning pooled buffers. On expiry the Evict
+	// policy applies. Zero never stalls out. Ignored by simulated
+	// substrates.
+	WriteStallTimeout time.Duration
+	// Evict selects what WriteStallTimeout expiry does: close the
+	// connection (default) or shed lowest-priority queued datagrams
+	// first. See EvictPolicy.
+	Evict EvictPolicy
+	// KeepAlive tunes TCP keepalive on real sockets: positive sets the
+	// probe period, negative disables probing, zero keeps the Go runtime
+	// default (enabled, 15s). Ignored by simulated substrates and UDP.
+	KeepAlive time.Duration
 }
 
 // Pair is a connected pair of Minion endpoints plus access to the

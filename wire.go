@@ -1,11 +1,14 @@
 package minion
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"minion/internal/buf"
 	"minion/internal/tcp"
@@ -19,6 +22,47 @@ import (
 // variants): they exist only on the simulated substrate until a uTCP
 // kernel exists (paper §4/§7).
 var ErrSimOnly = fmt.Errorf("minion: protocol requires uTCP kernel support (simulated substrate only)")
+
+// ErrTimeout is the typed error a real-socket connection reports when a
+// configured deadline expires: DialConfig.Timeout on establishment,
+// TCPConfig.ReadIdleTimeout on a silent peer, TCPConfig.WriteStallTimeout
+// on a peer that stopped reading, or a LoopGroup.Shutdown context cutting
+// a drain short. Compare with errors.Is; it also satisfies net.Error with
+// Timeout() == true.
+var ErrTimeout = wire.ErrTimeout
+
+// ErrSlowClient reports — through Options.OnResult — a queued datagram
+// shed by EvictShed when its connection stalled past
+// TCPConfig.WriteStallTimeout.
+var ErrSlowClient = errors.New("minion: datagram shed on write-stalled connection")
+
+// EvictPolicy selects what happens to a real-socket connection whose
+// queued send bytes make no progress for TCPConfig.WriteStallTimeout.
+type EvictPolicy int
+
+const (
+	// EvictClose closes the stalled connection with ErrTimeout — the
+	// default: a peer that stopped reading is holding pooled buffers
+	// hostage, and every datagram still queued reports through OnResult.
+	EvictClose EvictPolicy = iota
+	// EvictShed sheds first: each time the stall deadline passes, the
+	// lowest-priority class of queued TrySend datagrams (the highest
+	// numeric Options.Priority present) is dropped and reported with
+	// ErrSlowClient, keeping the connection alive for higher-priority
+	// traffic — the paper's priority semantics applied to overload. When
+	// nothing sheddable remains, the policy escalates to EvictClose.
+	// Bytes already framed into the transport queue are never shed (a
+	// TLS stream cannot skip a record mid-sequence); only whole queued
+	// datagrams are.
+	EvictShed
+)
+
+func (p EvictPolicy) stallPolicy() wire.StallPolicy {
+	if p == EvictShed {
+		return wire.StallShed
+	}
+	return wire.StallEvict
+}
 
 // LoopMode selects how a LoopGroup's event loops move bytes between
 // sockets and protocol state.
@@ -88,6 +132,40 @@ func (g *LoopGroup) Loads() []int { return g.g.Loads() }
 // connection detaches.
 func (g *LoopGroup) Close() { g.g.Close() }
 
+// DrainStats reports what a graceful LoopGroup.Shutdown accomplished.
+type DrainStats struct {
+	// Conns is the number of attached connections the drain covered.
+	Conns int
+	// Flushed counts connections whose queued writes reached the kernel
+	// (and whose close sequence — uTLS close_notify, TCP FIN — was sent)
+	// before the context expired.
+	Flushed int
+	// Aborted counts connections cut short by the context deadline; their
+	// remaining datagrams were reported through OnResult with ErrTimeout.
+	Aborted int
+	// PerLoop is the per-loop connection count at drain start, index-
+	// aligned with Loads().
+	PerLoop []int
+}
+
+// Shutdown drains the group gracefully: it stops tracking new
+// connections, flushes every attached connection's queued writes, sends
+// each protocol's close sequence (uTLS close_notify, then FIN), and
+// closes the sockets. Connections that cannot finish before ctx expires
+// are aborted with ErrTimeout — their undelivered datagrams report
+// through OnResult. Callers should close their Listeners first so no new
+// connections race the drain. Must not be called from a connection
+// callback (it waits on the loops it would be running on).
+func (g *LoopGroup) Shutdown(ctx context.Context) DrainStats {
+	st := g.g.Shutdown(ctx)
+	return DrainStats{
+		Conns:   st.Conns,
+		Flushed: st.Flushed,
+		Aborted: st.Aborted,
+		PerLoop: st.PerLoop,
+	}
+}
+
 // defaultGroup is the process-wide LoopGroup used by DialConfig{Loops: n}
 // when no explicit Group is supplied, sized loop-per-core at first use.
 var defaultGroup struct {
@@ -113,6 +191,14 @@ type DialConfig struct {
 	Loops int
 	// Group attaches the connection to an explicit shared LoopGroup.
 	Group *LoopGroup
+	// Timeout bounds connection establishment end to end: TCP connect
+	// (and name resolution) plus, on ProtoUTLSTCP, the TLS handshake.
+	// Zero — the default — means no bound, preserving the historical
+	// behavior that a Dial can wait as long as the kernel does. A connect
+	// that times out returns an error wrapping ErrTimeout; a handshake
+	// that times out aborts the connection with ErrTimeout, which
+	// surfaces through Send/OnResult and the connection's error paths.
+	Timeout time.Duration
 }
 
 // ListenConfig parameterizes accepted real-socket connections.
@@ -184,6 +270,7 @@ func (dc DialConfig) Dial(proto Protocol, network, addr string) (Conn, error) {
 		uc, err := wire.DialUDPConfig(network, addr, wire.UDPConfig{
 			SockSendBufBytes: dc.SockSendBufBytes,
 			SockRecvBufBytes: dc.SockRecvBufBytes,
+			DialTimeout:      dc.Timeout,
 		})
 		if err != nil {
 			return nil, err
@@ -192,11 +279,31 @@ func (dc DialConfig) Dial(proto Protocol, network, addr string) (Conn, error) {
 	case ProtoUCOBSTCP, ProtoUTLSTCP:
 		wcfg := dc.TCPConfig.wireConfig()
 		wcfg.Group = dc.group()
+		wcfg.DialTimeout = dc.Timeout
+		start := time.Now()
 		sc, err := wire.Dial(network, addr, wcfg)
 		if err != nil {
 			return nil, err
 		}
-		return newWireConn(sc, proto, dc.TCPConfig, true), nil
+		c := newWireConn(sc, proto, dc.TCPConfig, true)
+		if dc.Timeout > 0 && proto == ProtoUTLSTCP {
+			// The connect spent part of the budget; the handshake gets the
+			// rest. The timer rides the connection's loop wheel and aborts
+			// with the typed ErrTimeout only if the handshake is still in
+			// flight when it fires — a completed or already-failed
+			// handshake makes it a no-op.
+			remaining := dc.Timeout - time.Since(start)
+			if remaining < time.Millisecond {
+				remaining = time.Millisecond
+			}
+			w := c.(*wireConn)
+			sc.Loop().Schedule(remaining, func() {
+				if u, ok := w.inner.(utlsConn); ok && !u.c.Ready() && u.c.HandshakeErr() == nil {
+					sc.Abort(wire.ErrTimeout)
+				}
+			})
+		}
+		return c, nil
 	case ProtoUCOBSuTCP, ProtoUTLSuTCP:
 		return nil, ErrSimOnly
 	default:
@@ -276,6 +383,20 @@ func (l *Listener) Sharded() bool { return l.ln.Sharded() }
 // index-aligned with the group's loops.
 func (l *Listener) ShardAccepts() []uint64 { return l.ln.ShardAccepts() }
 
+// Drain stops the listener gracefully: it stops accepting, tears down the
+// accept machinery (for a sharded listener that means unwinding one epoll
+// registration per loop), and waits for the teardown to complete or ctx
+// to expire — in which case the teardown finishes in the background and
+// ctx.Err() is returned. Established connections are unaffected; drain
+// them with LoopGroup.Shutdown afterwards.
+func (l *Listener) Drain(ctx context.Context) error {
+	err := l.ln.Drain(ctx)
+	if l.owned != nil {
+		l.owned.Close()
+	}
+	return err
+}
+
 // Close stops the listener. Established connections are unaffected: a
 // listener-owned loop group keeps running until the last of its
 // connections closes.
@@ -294,11 +415,15 @@ func DialUDP(network, addr string) (Conn, error) {
 
 func (cfg TCPConfig) wireConfig() wire.Config {
 	return wire.Config{
-		SendBufBytes:     cfg.SendBufBytes,
-		RecvBufBytes:     cfg.RecvBufBytes,
-		NoDelay:          cfg.NoDelay,
-		SockSendBufBytes: cfg.SockSendBufBytes,
-		SockRecvBufBytes: cfg.SockRecvBufBytes,
+		SendBufBytes:      cfg.SendBufBytes,
+		RecvBufBytes:      cfg.RecvBufBytes,
+		NoDelay:           cfg.NoDelay,
+		SockSendBufBytes:  cfg.SockSendBufBytes,
+		SockRecvBufBytes:  cfg.SockRecvBufBytes,
+		ReadIdleTimeout:   cfg.ReadIdleTimeout,
+		WriteStallTimeout: cfg.WriteStallTimeout,
+		StallPolicy:       cfg.Evict.stallPolicy(),
+		KeepAlive:         cfg.KeepAlive,
 	}
 }
 
@@ -323,6 +448,22 @@ func newWireConn(sc *wire.Conn, proto Protocol, cfg TCPConfig, isClient bool) Co
 			} else {
 				w.inner = utlsConn{utls.Server(sc, ucfg)}
 			}
+		}
+		// Lifecycle hooks (all loop-confined). OnError maps the wire
+		// layer's terminal error onto queued TrySend datagrams so their
+		// OnResult fires exactly once with a meaningful cause: typed
+		// timeouts pass through, everything else (peer reset, EOF, local
+		// close) collapses to ErrConnClosed, matching Close's contract.
+		sc.OnError(func(err error) {
+			switch {
+			case err == nil, errors.Is(err, tcp.ErrClosed), errors.Is(err, io.EOF):
+				err = ErrConnClosed
+			}
+			w.failAsync(err)
+		})
+		sc.OnDrain(w.drain)
+		if cfg.Evict == EvictShed {
+			sc.OnStall(w.shedLowest)
 		}
 	})
 	return w
@@ -467,6 +608,56 @@ func (w *wireConn) Close() {
 		// but with their fate reported instead of silent.
 		w.failAsync(ErrConnClosed)
 	})
+}
+
+// drain runs on the loop when the group begins a graceful shutdown: it
+// pushes whatever queued TrySend datagrams still fit into the transport
+// (so the wire layer can flush them), sends the protocol's close
+// sequence (uTLS close_notify / TCP FIN via the framing Close), and
+// reports any datagram that did not make it. The wire layer then waits —
+// bounded by the Shutdown context — for the flushed bytes to reach the
+// kernel before closing the socket.
+func (w *wireConn) drain() {
+	w.flushAsync()
+	w.inner.Close()
+	w.failAsync(ErrConnClosed)
+}
+
+// shedLowest implements EvictShed, on the loop: drop the lowest-priority
+// class of queued TrySend datagrams (the highest numeric Options.Priority
+// present), report each through OnResult with ErrSlowClient, and return
+// the payload bytes freed. Returning 0 (nothing sheddable) tells the wire
+// layer to escalate to eviction. Only never-framed datagrams are shed —
+// bytes already in the transport queue may sit mid-TLS-record and cannot
+// be skipped.
+func (w *wireConn) shedLowest() int {
+	if len(w.asyncQ) == 0 {
+		return 0
+	}
+	worst := w.asyncQ[0].opt.Priority
+	for _, m := range w.asyncQ[1:] {
+		if m.opt.Priority > worst {
+			worst = m.opt.Priority
+		}
+	}
+	freed, kept := 0, w.asyncQ[:0]
+	for _, m := range w.asyncQ {
+		if m.opt.Priority != worst {
+			kept = append(kept, m)
+			continue
+		}
+		freed += m.b.Len()
+		w.asyncBytes.Add(-int64(m.b.Len()))
+		m.b.Release()
+		if m.opt.OnResult != nil {
+			m.opt.OnResult(ErrSlowClient)
+		}
+	}
+	for i := len(kept); i < len(w.asyncQ); i++ {
+		w.asyncQ[i] = asyncMsg{}
+	}
+	w.asyncQ = kept
+	return freed
 }
 
 // failAsync drops every queued TrySend datagram with err, reporting each
