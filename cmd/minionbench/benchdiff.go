@@ -142,6 +142,42 @@ func runBenchDiff(args []string) error {
 				fmt.Printf("::warning title=bench trend::%s drain_ms %.1f -> %.1f\n", name, od, nd)
 			}
 		}
+		if osh, nsh, ok := field(oldRec, newRec, "shed_count"); ok {
+			// Shedding volume rides load and storm timing, so only a
+			// multiplicative blow-out (past real absolute slack) fails: a
+			// relay that sheds 5x more datagrams at the same offered load
+			// lost forwarding capacity. VoIP shedding is gated separately
+			// and much tighter — the class order says it should be ~0.
+			switch {
+			case nsh > osh*5+1000:
+				fmt.Printf("FAIL %s: shed_count %.0f -> %.0f (load-shedding regression)\n", name, osh, nsh)
+				failures++
+			case nsh > osh*2+200:
+				fmt.Printf("::warning title=bench trend::%s shed_count %.0f -> %.0f\n", name, osh, nsh)
+			}
+		}
+		if ov, nv, ok := field(oldRec, newRec, "shed_voip"); ok {
+			if nv > ov*4+100 {
+				fmt.Printf("FAIL %s: shed_voip %.0f -> %.0f (highest class must shed last)\n", name, ov, nv)
+				failures++
+			}
+		}
+		for _, key := range []string{"voip_p99_ms", "web_p99_ms", "bulk_p99_ms"} {
+			op, np, ok := field(oldRec, newRec, key)
+			if !ok || op <= 0 {
+				continue
+			}
+			// Tail latency under chaos jitters with runner load; the hard
+			// gate only trips on a 4x blow-out past 100ms of absolute
+			// slack (the soak's stalls alone produce tens of ms).
+			switch {
+			case np > op*4+100:
+				fmt.Printf("FAIL %s: %s %.1f -> %.1f (tail-latency regression)\n", name, key, op, np)
+				failures++
+			case np > op*1.5+25:
+				fmt.Printf("::warning title=bench trend::%s %s %.1f -> %.1f\n", name, key, op, np)
+			}
+		}
 		for _, key := range []string{"ns_per_op", "ns_per_record"} {
 			on, nn, ok := field(oldRec, newRec, key)
 			if !ok || on <= 0 {
@@ -181,6 +217,9 @@ func readBenchFile(path string) (map[string]any, error) {
 
 func benchName(rec map[string]any, fallback string) string {
 	name := fallback
+	if s, ok := rec["experiment"].(string); ok {
+		name = s
+	}
 	if s, ok := rec["stack"].(string); ok {
 		name = s
 	}

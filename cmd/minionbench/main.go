@@ -42,10 +42,16 @@
 //	           -recbytes plaintext bytes, writing BENCH_tls_cbc.json and
 //	           BENCH_tls_gcm.json (ns/record, allocs/record, MB/s) into
 //	           -benchdir
+//	relaysoak  run the multi-tenant relay gateway for minutes (-short:
+//	           ~60s) under middlebox loss shaping, TLS DPI inspection,
+//	           and periodic FaultHooks error storms, asserting ledger
+//	           balance, goroutine return, bounded per-class p99 latency,
+//	           and zero cross-tenant starvation; writes BENCH_relay.json
 //	benchdiff  compare two BENCH_*.json directories (-old/-new): fail on
 //	           allocs/op, allocs/record, goroutine-count,
-//	           write-syscalls/datagram, and accept-imbalance regressions,
-//	           flag ns_per_op and ns/record beyond -ns-tol
+//	           write-syscalls/datagram, accept-imbalance, relay
+//	           shed-count, and relay p99 regressions, flag ns_per_op and
+//	           ns/record beyond -ns-tol
 //
 // By default experiments run at a reduced "quick" scale; -full runs
 // paper-scale durations (minutes of CPU time).
@@ -94,6 +100,12 @@ func main() {
 	case "benchdiff":
 		if err := runBenchDiff(flag.Args()[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "minionbench: benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "relaysoak":
+		if err := runRelaySoak(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "minionbench: relaysoak: %v\n", err)
 			os.Exit(1)
 		}
 		return

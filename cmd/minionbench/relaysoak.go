@@ -1,0 +1,578 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"minion"
+	"minion/internal/buf"
+	"minion/internal/relay"
+	"minion/internal/wire"
+)
+
+// relaysoak is the overload chaos soak: a multi-tenant relay gateway
+// terminating dozens of uTLS flows on a shared loop group, driven for
+// minutes through the inspecting TLS-DPI middlebox (with its stall-based
+// loss shaping) while periodic FaultHooks storms inject EAGAIN floods,
+// short reads/writes, resets, and accept-time fd exhaustion underneath.
+// Flows that die reconnect through DialConfig.Retry and rejoin — the
+// full client lifecycle under hostile conditions.
+//
+// The soak is an experiment AND an assertion harness. It fails (exit 1)
+// unless, at teardown:
+//
+//   - the governor ledger drains to zero and the buffer pool balances
+//     (puts ≥ gets − unpooled over the run);
+//   - goroutines return to the pre-soak baseline;
+//   - per-class end-to-end latency distributions stay bounded (p99, not
+//     means — the paper's own framing for tail latency);
+//   - no tenant's VoIP traffic was starved by another tenant's flood;
+//   - VoIP was never shed while bulk traffic was (the class order).
+//
+// Results land in BENCH_relay.json for benchdiff's trend gates
+// (shed_count growth, p99 regressions).
+func runRelaySoak(args []string) error {
+	fs := flag.NewFlagSet("relaysoak", flag.ExitOnError)
+	short := fs.Bool("short", false, "~60s CI soak instead of the full multi-minute run")
+	dur := fs.Duration("dur", 3*time.Minute, "soak duration (overridden by -short)")
+	benchDir := fs.String("benchdir", "bench-out", "output directory for BENCH_relay.json")
+	tenants := fs.Int("tenants", 3, "tenant count (one VoIP+web+bulk room set each)")
+	flows := fs.Int("flows", 4, "flows per room")
+	loss := fs.Float64("loss", 0.3, "middlebox stall probability per forwarded chunk")
+	stall := fs.Duration("stall", 15*time.Millisecond, "middlebox per-stall duration (the latency shape loss imposes)")
+	govMB := fs.Int("govmb", 2, "governor memory budget, MiB (small enough to overload)")
+	faults := fs.Bool("faults", true, "run periodic FaultHooks error storms")
+	seed := fs.Int64("seed", 0x6d696e696f6e, "deterministic seed for loss and storms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := *dur
+	if *short {
+		d = 60 * time.Second
+	}
+
+	bufBefore := buf.Stats()
+	goroBase := runtime.NumGoroutine()
+
+	h := &soakHarness{epoch: time.Now()}
+	gov := buf.NewGovernor(buf.GovernorConfig{LimitBytes: int64(*govMB) << 20})
+	tl := make(map[string]buf.TenantLimits, *tenants)
+	for i := 0; i < *tenants; i++ {
+		// Generous per-tenant quotas: isolation comes from per-flow
+		// budgets; the quota is the hard wall a hostile tenant hits.
+		tl[tenantName(i)] = buf.TenantLimits{
+			MaxConns: int64(*flows*int(relayClasses) + 4),
+			MaxBytes: int64(*govMB) << 19, // half the global budget each
+		}
+	}
+
+	srvCfg := minion.TCPConfig{
+		NoDelay:        true,
+		Governor:       gov,
+		ExplicitRecNum: true, // negotiate priorities where the suite allows
+	}
+	ln, err := minion.ListenConfig{TCPConfig: srvCfg, Loops: -1}.Listen(minion.ProtoUTLSTCP, "tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	// A deep per-flow budget makes the GOVERNOR the binding constraint:
+	// with the default 64KiB budget the per-flow fairness wall caps
+	// aggregate queueing below the watermarks and the admission-control
+	// path would never fire.
+	r := relay.New(relay.Config{Governor: gov, Tenants: tl, MaxFlowBytes: 256 << 10})
+	go r.Serve(ln)
+
+	mb, err := relay.NewMiddlebox("127.0.0.1:0", relay.MiddleboxConfig{
+		Upstream:   ln.Addr().String(),
+		InspectTLS: true,
+		StallProb:  *loss,
+		Stall:      *stall,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return fmt.Errorf("middlebox: %w", err)
+	}
+
+	// Clients live on their own shared group so teardown is observable:
+	// the process-wide group's loops never retire.
+	cg := minion.NewLoopGroup(runtime.NumCPU())
+	cliCfg := minion.TCPConfig{NoDelay: true, ExplicitRecNum: true}
+
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	id := 0
+	for t := 0; t < *tenants; t++ {
+		for class := relay.ClassVoIP; class <= relay.ClassBulk; class++ {
+			for i := 0; i < *flows; i++ {
+				f := &soakFlow{
+					h:      h,
+					tenant: tenantName(t),
+					room:   fmt.Sprintf("%s-%s", tenantName(t), class),
+					class:  class,
+					group:  cg,
+					cfg:    cliCfg,
+					// Alternate flows between the hostile path and a
+					// direct one: the same rooms mix shaped and clean
+					// members, so stalls upstream exercise per-flow
+					// budgets rather than slowing everyone equally.
+					addr: ln.Addr().String(),
+				}
+				if id%2 == 0 {
+					f.addr = mb.Addr().String()
+				}
+				id++
+				wg.Add(1)
+				go func() { defer wg.Done(); f.run(ctx) }()
+			}
+		}
+	}
+	totalFlows := id
+
+	// Periodic fault storms: 1.5s of probabilistic injection every 10s.
+	// EAGAIN floods and short reads/writes are non-terminal (the paths
+	// must absorb them); rare resets and accept EMFILE kill flows and
+	// stall admission, which the reconnect loops then ride out.
+	stormCtx, stopStorms := context.WithCancel(context.Background())
+	var stormWG sync.WaitGroup
+	if *faults {
+		stormWG.Add(1)
+		go func() {
+			defer stormWG.Done()
+			runFaultStorms(stormCtx, *seed, h)
+		}()
+	}
+
+	// Sample peak goroutines while loaded.
+	peakDone := make(chan struct{})
+	go func() {
+		defer close(peakDone)
+		for ctx.Err() == nil {
+			if n := runtime.NumGoroutine(); n > int(h.peakGoroutines.Load()) {
+				h.peakGoroutines.Store(int64(n))
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+	}()
+
+	wg.Wait() // senders exit when ctx expires
+	stopStorms()
+	stormWG.Wait()
+	wire.SetFaultHooks(nil)
+	<-peakDone
+
+	// Teardown in dependency order; every wait is the assertion that the
+	// corresponding resource actually returns.
+	failures := 0
+	fail := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "relaysoak: FAIL: "+format+"\n", a...)
+		failures++
+	}
+
+	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	cg.Shutdown(shCtx)
+	shCancel()
+	drCtx, drCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ln.Drain(drCtx)
+	drCancel()
+	ln.Close()
+	r.Close()
+	mb.Close()
+
+	if !waitSoak(10*time.Second, func() bool { return gov.Stats().Used == 0 }) {
+		fail("governor ledger did not drain: %+v", gov.Stats())
+	}
+	if !waitSoak(10*time.Second, func() bool {
+		now := buf.Stats()
+		g, p, u := now.Gets-bufBefore.Gets, now.Puts-bufBefore.Puts, now.Unpooled-bufBefore.Unpooled
+		return p >= g-u
+	}) {
+		now := buf.Stats()
+		fail("buffer ledger unbalanced: ΔGets=%d ΔPuts=%d ΔUnpooled=%d",
+			now.Gets-bufBefore.Gets, now.Puts-bufBefore.Puts, now.Unpooled-bufBefore.Unpooled)
+	}
+	if !waitSoak(10*time.Second, func() bool { return runtime.NumGoroutine() <= goroBase+4 }) {
+		fail("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), goroBase)
+	}
+
+	st := r.Stats()
+	ios := wire.ReadIOStats()
+	mbs := mb.Stats()
+
+	// Latency distributions (ms). VoIP must stay bounded even under the
+	// storms — the generous absolute ceiling catches priority inversion
+	// and nothing subtler; benchdiff's trend gate catches creep.
+	q := func(c relay.Class, p float64) float64 { return h.lat[c].quantile(p) }
+	voipP99 := q(relay.ClassVoIP, 0.99)
+	if n := h.lat[relay.ClassVoIP].count(); n == 0 {
+		fail("no VoIP datagrams delivered at all")
+	} else if voipP99 > 2000 {
+		fail("VoIP p99 latency %.1fms (ceiling 2000ms)", voipP99)
+	}
+
+	// Cross-tenant starvation: every tenant's VoIP must have moved, and
+	// no tenant may be starved below a quarter of the mean.
+	var minV, sumV uint64
+	minV = ^uint64(0)
+	for t := 0; t < *tenants; t++ {
+		v := h.tenantVoIP.get(tenantName(t)).Load()
+		sumV += v
+		if v < minV {
+			minV = v
+		}
+	}
+	meanV := float64(sumV) / float64(*tenants)
+	if minV == 0 {
+		fail("a tenant's VoIP was fully starved (deliveries per tenant: min 0)")
+	} else if float64(minV) < meanV/4 {
+		fail("cross-tenant starvation: min tenant VoIP %d vs mean %.0f", minV, meanV)
+	}
+
+	// Shed ordering: the soak overloads on purpose, so bulk MUST have
+	// been shed; VoIP shed while bulk was still being relayed untouched
+	// would invert the class order (tolerate hard-limit VoIP sheds up to
+	// 1% of its deliveries).
+	shedTotal := st.Shed[relay.ClassVoIP] + st.Shed[relay.ClassWeb] + st.Shed[relay.ClassBulk]
+	if st.Shed[relay.ClassBulk] == 0 && shedTotal > 0 {
+		fail("shedding bypassed bulk: %+v", st.Shed)
+	}
+	if v := st.Shed[relay.ClassVoIP]; v > 0 && float64(v) > 0.01*float64(st.Relayed[relay.ClassVoIP])+10 {
+		fail("VoIP shed %d times against %d deliveries", v, st.Relayed[relay.ClassVoIP])
+	}
+
+	rec := map[string]any{
+		"experiment":         "relaysoak",
+		"dur_s":              d.Seconds(),
+		"flows":              totalFlows,
+		"tenants":            *tenants,
+		"joins":              st.Joins,
+		"rejects":            st.Rejects,
+		"reconnects":         h.reconnects.Load(),
+		"join_refused":       h.joinRefused.Load(),
+		"send_backpressure":  h.backpressure.Load(),
+		"relayed_voip":       st.Relayed[relay.ClassVoIP],
+		"relayed_web":        st.Relayed[relay.ClassWeb],
+		"relayed_bulk":       st.Relayed[relay.ClassBulk],
+		"shed_voip":          st.Shed[relay.ClassVoIP],
+		"shed_web":           st.Shed[relay.ClassWeb],
+		"shed_bulk":          st.Shed[relay.ClassBulk],
+		"shed_count":         shedTotal,
+		"voip_p50_ms":        q(relay.ClassVoIP, 0.50),
+		"voip_p99_ms":        voipP99,
+		"web_p99_ms":         q(relay.ClassWeb, 0.99),
+		"bulk_p99_ms":        q(relay.ClassBulk, 0.99),
+		"accept_pauses":      ios.AcceptPauses,
+		"accept_resumes":     ios.AcceptResumes,
+		"accept_backoffs":    ios.AcceptBackoffs,
+		"mb_records":         mbs.Records,
+		"mb_violations":      mbs.Violations,
+		"goroutines":         h.peakGoroutines.Load(),
+		"governor_overloads": gov.Stats().Overloads,
+		"governor_rejects":   gov.Stats().Rejects,
+	}
+	if mbs.Violations > 0 {
+		fail("middlebox flagged %d uTLS records as invalid", mbs.Violations)
+	}
+	if err := os.MkdirAll(*benchDir, 0o755); err != nil {
+		return err
+	}
+	data, _ := json.MarshalIndent(rec, "", "  ")
+	path := filepath.Join(*benchDir, "BENCH_relay.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("relaysoak: %s\n%s\n", path, data)
+	if failures > 0 {
+		return fmt.Errorf("%d soak assertion(s) failed", failures)
+	}
+	return nil
+}
+
+const relayClasses = relay.ClassBulk + 1
+
+func tenantName(i int) string { return fmt.Sprintf("tenant%d", i) }
+
+// soakHarness aggregates cross-flow observations.
+type soakHarness struct {
+	epoch          time.Time
+	lat            [relayClasses]latDist
+	tenantVoIP     tenantCounters
+	reconnects     atomic.Uint64
+	joinRefused    atomic.Uint64
+	backpressure   atomic.Uint64
+	dialFailures   atomic.Uint64
+	stormWindows   atomic.Uint64
+	peakGoroutines atomic.Int64
+}
+
+// tenantCounters is a fixed map of per-tenant VoIP delivery counts,
+// created on first touch under a lock (reads are atomic).
+type tenantCounters struct {
+	mu sync.Mutex
+	m  map[string]*atomic.Uint64
+}
+
+func (tc *tenantCounters) get(name string) *atomic.Uint64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.m == nil {
+		tc.m = make(map[string]*atomic.Uint64)
+	}
+	c := tc.m[name]
+	if c == nil {
+		c = new(atomic.Uint64)
+		tc.m[name] = c
+	}
+	return c
+}
+
+// latDist is a bounded latency sample set: appends are cheap (mutex +
+// slice), quantiles exact. Past the cap samples are dropped and counted
+// — a soak's tail estimate from two million points is plenty.
+type latDist struct {
+	mu      sync.Mutex
+	ms      []float64
+	dropped uint64
+}
+
+const latCap = 2 << 20
+
+func (l *latDist) add(ms float64) {
+	l.mu.Lock()
+	if len(l.ms) < latCap {
+		l.ms = append(l.ms, ms)
+	} else {
+		l.dropped++
+	}
+	l.mu.Unlock()
+}
+
+func (l *latDist) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ms)
+}
+
+func (l *latDist) quantile(p float64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ms) == 0 {
+		return 0
+	}
+	sort.Float64s(l.ms)
+	i := int(p * float64(len(l.ms)-1))
+	return l.ms[i]
+}
+
+// soakFlow is one client: dial (with retry), join, send at the class
+// rate, measure delivery latency, reconnect on death.
+type soakFlow struct {
+	h      *soakHarness
+	tenant string
+	room   string
+	class  relay.Class
+	addr   string
+	group  *minion.LoopGroup
+	cfg    minion.TCPConfig
+}
+
+func (f *soakFlow) run(ctx context.Context) {
+	for ctx.Err() == nil {
+		c, err := minion.DialConfig{
+			TCPConfig: f.cfg,
+			Group:     f.group,
+			Timeout:   5 * time.Second,
+			Retry: minion.RetryConfig{
+				Attempts:    8,
+				BaseBackoff: 25 * time.Millisecond,
+				MaxBackoff:  500 * time.Millisecond,
+				Jitter:      0.5,
+			},
+		}.Dial(minion.ProtoUTLSTCP, "tcp", f.addr)
+		if err != nil {
+			f.h.dialFailures.Add(1)
+			select {
+			case <-ctx.Done():
+			case <-time.After(250 * time.Millisecond):
+			}
+			continue
+		}
+		f.session(ctx, c)
+		c.Close()
+		if ctx.Err() == nil {
+			f.h.reconnects.Add(1)
+		}
+	}
+}
+
+// session joins and pumps traffic until the connection dies or the soak
+// ends. Returns to run for the reconnect.
+func (f *soakFlow) session(ctx context.Context, c minion.Conn) {
+	dead := make(chan struct{})
+	joined := make(chan byte, 1)
+	minion.OnConnError(c, func(error) { close(dead) })
+	voip := f.h.tenantVoIP.get(f.tenant)
+	c.OnMessage(func(msg []byte) {
+		if len(msg) == 0 {
+			return
+		}
+		switch msg[0] {
+		case relay.MsgAccept, relay.MsgReject:
+			select {
+			case joined <- msg[0]:
+			default:
+			}
+		case relay.MsgData:
+			body := msg[1:]
+			if len(body) < 9 {
+				return
+			}
+			sent := time.Duration(binary.BigEndian.Uint64(body))
+			lat := time.Since(f.h.epoch) - sent
+			cls := relay.Class(body[8])
+			if cls < relayClasses {
+				f.h.lat[cls].add(float64(lat) / float64(time.Millisecond))
+				if cls == relay.ClassVoIP {
+					voip.Add(1)
+				}
+			}
+		}
+	})
+	if err := c.Send(relay.JoinMsg(f.tenant, f.room, f.class), minion.Options{}); err != nil {
+		return
+	}
+	select {
+	case <-ctx.Done():
+		return
+	case <-dead:
+		return
+	case <-time.After(10 * time.Second):
+		return
+	case verdict := <-joined:
+		if verdict != relay.MsgAccept {
+			// Admission control refused (overload or quota): back off
+			// before the reconnect loop tries again.
+			f.h.joinRefused.Add(1)
+			select {
+			case <-ctx.Done():
+			case <-dead:
+			case <-time.After(300 * time.Millisecond):
+			}
+			return
+		}
+	}
+
+	var period time.Duration
+	var size int
+	switch f.class {
+	case relay.ClassVoIP:
+		period, size = 20*time.Millisecond, 160 // a 50 Hz codec frame
+	case relay.ClassWeb:
+		period, size = 50*time.Millisecond, 2048
+	case relay.ClassBulk:
+		period, size = 2*time.Millisecond, 8192 // a deliberate flood
+	}
+	payload := make([]byte, size)
+	payload[8] = byte(f.class)
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-dead:
+			return
+		case <-tick.C:
+			binary.BigEndian.PutUint64(payload, uint64(time.Since(f.h.epoch)))
+			err := c.Send(relay.DataMsg(payload), minion.Options{})
+			switch {
+			case err == nil:
+			case minionWouldBlock(err):
+				f.h.backpressure.Add(1)
+			default:
+				return
+			}
+		}
+	}
+}
+
+func minionWouldBlock(err error) bool {
+	return errors.Is(err, minion.ErrWouldBlock)
+}
+
+// runFaultStorms toggles process-wide fault injection in windows: 1.5s
+// of weighted faults, 8.5s of calm, until ctx ends.
+func runFaultStorms(ctx context.Context, seed int64, h *soakHarness) {
+	for ctx.Err() == nil {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(8500 * time.Millisecond):
+		}
+		h.stormWindows.Add(1)
+		var n atomic.Uint64
+		wire.SetFaultHooks(&wire.FaultHooks{
+			Read: func(size int) (int, error) {
+				switch v := n.Add(1); {
+				case v%2000 == 1999:
+					return 0, syscall.ECONNRESET
+				case v%17 == 0:
+					return 0, syscall.EAGAIN
+				case v%5 == 0 && size > 1:
+					return size / 2, nil // short read
+				}
+				return 0, nil
+			},
+			Write: func(size int) (int, error) {
+				switch v := n.Add(1); {
+				case v%2500 == 2499:
+					return 0, syscall.ECONNRESET
+				case v%13 == 0:
+					return 0, syscall.EAGAIN
+				case v%7 == 0 && size > 1:
+					return size / 2, nil // partial write
+				}
+				return 0, nil
+			},
+			Accept: func() error {
+				if n.Add(1)%4 == 0 {
+					return syscall.EMFILE
+				}
+				return nil
+			},
+		})
+		select {
+		case <-ctx.Done():
+		case <-time.After(1500 * time.Millisecond):
+		}
+		wire.SetFaultHooks(nil)
+	}
+}
+
+// waitSoak polls cond until it holds or the deadline passes.
+func waitSoak(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return cond()
+}

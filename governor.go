@@ -1,0 +1,46 @@
+package minion
+
+import "minion/internal/buf"
+
+// Resource governance: the public surface of the pool-wide overload
+// machinery (internal/buf.Governor). A Governor is one shared byte
+// ledger: wire connections configured with it (TCPConfig.Governor) meter
+// their queued send and receive bytes against it, listeners pause
+// accepting while it reports overload, and admission layers — the relay
+// gateway, or application code — reserve headroom and enforce per-tenant
+// quotas against the same account. The types are aliases, so values move
+// freely between this package and internal consumers.
+
+// Governor is a shared resource ledger with a hard byte budget, latched
+// high/low overload watermarks, and per-tenant quotas. See NewGovernor.
+type Governor = buf.Governor
+
+// GovernorConfig parameterizes NewGovernor. The zero value yields an
+// unlimited ledger that meters usage but never overloads or rejects.
+type GovernorConfig = buf.GovernorConfig
+
+// GovernorStats is a point-in-time ledger snapshot.
+type GovernorStats = buf.GovernorStats
+
+// Tenant is one client account under a Governor: a connection count and
+// an in-flight byte reservation, each checked against the tenant's
+// quota.
+type Tenant = buf.Tenant
+
+// TenantLimits caps one tenant's footprint; zero fields are unlimited.
+type TenantLimits = buf.TenantLimits
+
+// TenantStats is a point-in-time tenant snapshot.
+type TenantStats = buf.TenantStats
+
+// OverloadError is the typed rejection budget and quota checks return;
+// it wraps ErrOverload and names the exhausted resource.
+type OverloadError = buf.OverloadError
+
+// ErrOverload identifies "refused for resource pressure" across the
+// global ledger and every tenant quota (compare with errors.Is).
+var ErrOverload = buf.ErrOverload
+
+// NewGovernor builds a resource governor. Share one instance across
+// every listener, dialer, and relay that should feel the same pressure.
+func NewGovernor(cfg GovernorConfig) *Governor { return buf.NewGovernor(cfg) }

@@ -1,0 +1,350 @@
+package buf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Governor is the pool-wide resource ledger the overload-protection
+// machinery hangs off: an explicit byte account with a hard limit, a
+// high/low watermark pair, and per-tenant quotas. It does not sit inside
+// Get/Release — the arena pool stays policy-free and allocation-hot —
+// but is charged explicitly by the layers that pin pooled memory for
+// unbounded time: wire connections meter their queued send and receive
+// bytes through Adjust, and admission points (relays, listeners) ask for
+// headroom through Reserve, which fails with a typed ErrOverload instead
+// of letting demand balloon the pool.
+//
+// Two account styles coexist on the one ledger on purpose:
+//
+//   - Adjust is unconditional. The wire layer must keep its own
+//     invariants (a connection's queued bytes are already bounded by its
+//     SendBufBytes/RecvBufBytes) and cannot refuse bytes mid-stream, so
+//     it records usage without asking. Aggregate pressure from these
+//     charges is what moves the watermarks.
+//   - Reserve is conditional. Work that can be refused before it starts
+//     — admitting a datagram into a relay, growing a tenant's in-flight
+//     window — reserves against the hard limit and handles ErrOverload.
+//
+// Crossing the high watermark flips Overloaded() on (and fires Notify
+// callbacks); it latches until usage drains below the low watermark, so
+// admission control does not flap at the boundary. Listeners configured
+// with this governor pause accepting while Overloaded() holds.
+type Governor struct {
+	limit int64
+	high  int64
+	low   int64
+
+	used atomic.Int64
+	over atomic.Bool // fast-path mirror of overState
+
+	rejects   atomic.Uint64
+	overloads atomic.Uint64
+
+	mu        sync.Mutex // serializes watermark transitions + registries
+	overState bool
+	notify    []func(over bool)
+	tenants   map[string]*Tenant
+}
+
+// GovernorConfig parameterizes a Governor.
+type GovernorConfig struct {
+	// LimitBytes is the hard budget Reserve enforces. Zero means no hard
+	// limit (Reserve always succeeds); watermarks still require it, so a
+	// zero limit also disables overload detection.
+	LimitBytes int64
+	// HighWaterFrac is the fraction of LimitBytes at which Overloaded()
+	// flips on (default 0.8).
+	HighWaterFrac float64
+	// LowWaterFrac is the fraction of LimitBytes usage must drain below
+	// before Overloaded() clears (default 0.6). Clamped below
+	// HighWaterFrac.
+	LowWaterFrac float64
+}
+
+// NewGovernor builds a Governor. The zero-value config yields an
+// unlimited ledger that meters usage but never overloads or rejects.
+func NewGovernor(cfg GovernorConfig) *Governor {
+	g := &Governor{limit: cfg.LimitBytes, tenants: make(map[string]*Tenant)}
+	if g.limit > 0 {
+		hf, lf := cfg.HighWaterFrac, cfg.LowWaterFrac
+		if hf <= 0 || hf > 1 {
+			hf = 0.8
+		}
+		if lf <= 0 || lf >= hf {
+			lf = hf * 0.75
+		}
+		g.high = int64(float64(g.limit) * hf)
+		g.low = int64(float64(g.limit) * lf)
+		if g.high < 1 {
+			g.high = 1
+		}
+	}
+	return g
+}
+
+// ErrOverload is the sentinel all quota and budget rejections wrap:
+// errors.Is(err, ErrOverload) identifies "refused for resource pressure"
+// across the global ledger and every tenant quota. The concrete error is
+// an *OverloadError naming the exhausted resource.
+var ErrOverload = errors.New("buf: resource budget exceeded")
+
+// OverloadError is the typed rejection Reserve and the tenant quotas
+// return; it wraps ErrOverload.
+type OverloadError struct {
+	Resource string // "memory", "tenant-conns", "tenant-bytes"
+	Tenant   string // empty for the global ledger
+	Limit    int64  // the budget that was exhausted
+}
+
+func (e *OverloadError) Error() string {
+	if e.Tenant == "" {
+		return fmt.Sprintf("buf: %s budget exceeded (limit %d): %v", e.Resource, e.Limit, ErrOverload)
+	}
+	return fmt.Sprintf("buf: tenant %q %s quota exceeded (limit %d): %v", e.Tenant, e.Resource, e.Limit, ErrOverload)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverload }
+
+// Adjust records d bytes of usage (negative to release) without
+// admission: the metering entry point for layers that bound themselves
+// and only need their pressure to reach the watermarks. Safe from any
+// goroutine; nil-receiver safe so callers can charge unconditionally.
+func (g *Governor) Adjust(d int64) {
+	if g == nil || d == 0 {
+		return
+	}
+	u := g.used.Add(d)
+	g.checkWatermarks(u)
+}
+
+// Reserve asks for n bytes of headroom against the hard limit,
+// returning a typed *OverloadError (wrapping ErrOverload) when the
+// ledger cannot take it. A successful Reserve must be paired with
+// Release. Safe from any goroutine; a nil Governor admits everything.
+func (g *Governor) Reserve(n int64) error {
+	if g == nil || n <= 0 {
+		return nil
+	}
+	for {
+		u := g.used.Load()
+		if g.limit > 0 && u+n > g.limit {
+			g.rejects.Add(1)
+			return &OverloadError{Resource: "memory", Limit: g.limit}
+		}
+		if g.used.CompareAndSwap(u, u+n) {
+			g.checkWatermarks(u + n)
+			return nil
+		}
+	}
+}
+
+// Release returns n reserved bytes to the ledger.
+func (g *Governor) Release(n int64) { g.Adjust(-n) }
+
+// Used returns the current charged bytes.
+func (g *Governor) Used() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.used.Load()
+}
+
+// Overloaded reports whether usage crossed the high watermark and has
+// not yet drained below the low one — the latched pressure signal
+// admission control keys off. One atomic load; nil-receiver safe.
+func (g *Governor) Overloaded() bool { return g != nil && g.over.Load() }
+
+// Notify registers fn to run on every overload transition (true when the
+// high watermark is crossed, false when usage drains below the low one).
+// Callbacks run on whatever goroutine performed the crossing charge —
+// possibly under a connection's queue lock — and must not block.
+func (g *Governor) Notify(fn func(over bool)) {
+	if g == nil || fn == nil {
+		return
+	}
+	g.mu.Lock()
+	g.notify = append(g.notify, fn)
+	g.mu.Unlock()
+}
+
+// checkWatermarks latches overload transitions. The atomic pre-check
+// keeps the common no-transition case to one load; the mutex serializes
+// actual transitions so Notify observers see a strict alternation.
+func (g *Governor) checkWatermarks(u int64) {
+	if g.high <= 0 {
+		return
+	}
+	if g.over.Load() {
+		if u > g.low {
+			return
+		}
+	} else if u < g.high {
+		return
+	}
+	var fire []func(bool)
+	var to bool
+	g.mu.Lock()
+	u = g.used.Load()
+	switch {
+	case !g.overState && u >= g.high:
+		g.overState = true
+		g.over.Store(true)
+		g.overloads.Add(1)
+		to = true
+		fire = append(fire, g.notify...)
+	case g.overState && u <= g.low:
+		g.overState = false
+		g.over.Store(false)
+		to = false
+		fire = append(fire, g.notify...)
+	}
+	g.mu.Unlock()
+	for _, fn := range fire {
+		fn(to)
+	}
+}
+
+// GovernorStats is a point-in-time ledger snapshot.
+type GovernorStats struct {
+	Used       int64
+	Limit      int64
+	HighWater  int64
+	LowWater   int64
+	Overloaded bool
+	// Overloads counts high-watermark crossings since construction.
+	Overloads uint64
+	// Rejects counts Reserve refusals (global ledger only; tenant quota
+	// refusals count in TenantStats).
+	Rejects uint64
+}
+
+// Stats snapshots the governor.
+func (g *Governor) Stats() GovernorStats {
+	if g == nil {
+		return GovernorStats{}
+	}
+	return GovernorStats{
+		Used:       g.used.Load(),
+		Limit:      g.limit,
+		HighWater:  g.high,
+		LowWater:   g.low,
+		Overloaded: g.over.Load(),
+		Overloads:  g.overloads.Load(),
+		Rejects:    g.rejects.Load(),
+	}
+}
+
+// TenantLimits caps one tenant's footprint. Zero fields are unlimited.
+type TenantLimits struct {
+	// MaxConns bounds concurrently admitted connections.
+	MaxConns int64
+	// MaxBytes bounds reserved in-flight bytes.
+	MaxBytes int64
+}
+
+// Tenant is one client account under the governor: a connection count
+// and an in-flight byte reservation, each checked against the tenant's
+// quota. Tenant byte reservations are quota bookkeeping only — they do
+// not double-charge the global ledger, which already meters the real
+// queue bytes through the wire layer's Adjust calls.
+type Tenant struct {
+	name string
+	lim  TenantLimits
+
+	conns   atomic.Int64
+	bytes   atomic.Int64
+	rejects atomic.Uint64
+}
+
+// Tenant returns the named tenant account, creating it with lim on
+// first use (an existing tenant keeps its original limits).
+func (g *Governor) Tenant(name string, lim TenantLimits) *Tenant {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t, ok := g.tenants[name]; ok {
+		return t
+	}
+	t := &Tenant{name: name, lim: lim}
+	g.tenants[name] = t
+	return t
+}
+
+// Tenants snapshots every registered tenant account.
+func (g *Governor) Tenants() []*Tenant {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Tenant, 0, len(g.tenants))
+	for _, t := range g.tenants {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Name returns the tenant's account name.
+func (t *Tenant) Name() string { return t.name }
+
+// AcquireConn admits one connection against the tenant's MaxConns
+// quota; pair with ReleaseConn.
+func (t *Tenant) AcquireConn() error {
+	for {
+		c := t.conns.Load()
+		if t.lim.MaxConns > 0 && c+1 > t.lim.MaxConns {
+			t.rejects.Add(1)
+			return &OverloadError{Resource: "tenant-conns", Tenant: t.name, Limit: t.lim.MaxConns}
+		}
+		if t.conns.CompareAndSwap(c, c+1) {
+			return nil
+		}
+	}
+}
+
+// ReleaseConn returns one admitted connection.
+func (t *Tenant) ReleaseConn() { t.conns.Add(-1) }
+
+// Reserve admits n in-flight bytes against the tenant's MaxBytes quota;
+// pair with Release.
+func (t *Tenant) Reserve(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	for {
+		b := t.bytes.Load()
+		if t.lim.MaxBytes > 0 && b+n > t.lim.MaxBytes {
+			t.rejects.Add(1)
+			return &OverloadError{Resource: "tenant-bytes", Tenant: t.name, Limit: t.lim.MaxBytes}
+		}
+		if t.bytes.CompareAndSwap(b, b+n) {
+			return nil
+		}
+	}
+}
+
+// Release returns n reserved bytes to the tenant quota.
+func (t *Tenant) Release(n int64) {
+	if n > 0 {
+		t.bytes.Add(-n)
+	}
+}
+
+// TenantStats is a point-in-time tenant snapshot.
+type TenantStats struct {
+	Name    string
+	Conns   int64
+	Bytes   int64
+	Limits  TenantLimits
+	Rejects uint64 // quota refusals (conns + bytes)
+}
+
+// Stats snapshots the tenant account.
+func (t *Tenant) Stats() TenantStats {
+	return TenantStats{
+		Name:    t.name,
+		Conns:   t.conns.Load(),
+		Bytes:   t.bytes.Load(),
+		Limits:  t.lim,
+		Rejects: t.rejects.Load(),
+	}
+}

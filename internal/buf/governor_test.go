@@ -1,0 +1,193 @@
+package buf
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGovernorReserveRelease(t *testing.T) {
+	g := NewGovernor(GovernorConfig{LimitBytes: 1000})
+	if err := g.Reserve(600); err != nil {
+		t.Fatalf("Reserve(600): %v", err)
+	}
+	if err := g.Reserve(500); err == nil {
+		t.Fatal("Reserve over limit succeeded")
+	} else if !errors.Is(err, ErrOverload) {
+		t.Fatalf("rejection does not wrap ErrOverload: %v", err)
+	}
+	var oe *OverloadError
+	if err := g.Reserve(500); !errors.As(err, &oe) || oe.Resource != "memory" {
+		t.Fatalf("rejection not a memory OverloadError: %v", err)
+	}
+	if err := g.Reserve(400); err != nil {
+		t.Fatalf("Reserve(400) at the limit: %v", err)
+	}
+	g.Release(1000)
+	if got := g.Used(); got != 0 {
+		t.Fatalf("Used after full release = %d", got)
+	}
+	if st := g.Stats(); st.Rejects != 2 {
+		t.Fatalf("Rejects = %d, want 2", st.Rejects)
+	}
+}
+
+func TestGovernorWatermarkLatch(t *testing.T) {
+	g := NewGovernor(GovernorConfig{LimitBytes: 1000, HighWaterFrac: 0.8, LowWaterFrac: 0.5})
+	var transitions []bool
+	var mu sync.Mutex
+	g.Notify(func(over bool) {
+		mu.Lock()
+		transitions = append(transitions, over)
+		mu.Unlock()
+	})
+
+	g.Adjust(700)
+	if g.Overloaded() {
+		t.Fatal("overloaded below high water")
+	}
+	g.Adjust(100) // 800 = high water
+	if !g.Overloaded() {
+		t.Fatal("not overloaded at high water")
+	}
+	g.Adjust(-250) // 550: between low (500) and high — must stay latched
+	if !g.Overloaded() {
+		t.Fatal("overload unlatched between watermarks")
+	}
+	g.Adjust(-100) // 450: below low water
+	if g.Overloaded() {
+		t.Fatal("still overloaded below low water")
+	}
+	g.Adjust(400) // 850: second crossing
+	if !g.Overloaded() {
+		t.Fatal("second high-water crossing missed")
+	}
+	g.Adjust(-850)
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []bool{true, false, true, false}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i, v := range want {
+		if transitions[i] != v {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+	if st := g.Stats(); st.Overloads != 2 {
+		t.Fatalf("Overloads = %d, want 2", st.Overloads)
+	}
+}
+
+func TestGovernorUnlimited(t *testing.T) {
+	g := NewGovernor(GovernorConfig{})
+	if err := g.Reserve(1 << 40); err != nil {
+		t.Fatalf("unlimited Reserve: %v", err)
+	}
+	if g.Overloaded() {
+		t.Fatal("unlimited governor overloaded")
+	}
+	g.Release(1 << 40)
+
+	var nilGov *Governor
+	if err := nilGov.Reserve(1); err != nil {
+		t.Fatalf("nil governor Reserve: %v", err)
+	}
+	nilGov.Adjust(5)
+	nilGov.Release(1)
+	if nilGov.Overloaded() || nilGov.Used() != 0 {
+		t.Fatal("nil governor reports usage")
+	}
+}
+
+func TestTenantQuotas(t *testing.T) {
+	g := NewGovernor(GovernorConfig{LimitBytes: 1 << 20})
+	ten := g.Tenant("acme", TenantLimits{MaxConns: 2, MaxBytes: 100})
+	if again := g.Tenant("acme", TenantLimits{MaxConns: 99}); again != ten {
+		t.Fatal("Tenant not idempotent")
+	}
+	if err := ten.AcquireConn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ten.AcquireConn(); err != nil {
+		t.Fatal(err)
+	}
+	err := ten.AcquireConn()
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("conn quota rejection: %v", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Resource != "tenant-conns" || oe.Tenant != "acme" {
+		t.Fatalf("wrong OverloadError: %v", err)
+	}
+	ten.ReleaseConn()
+	if err := ten.AcquireConn(); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+
+	if err := ten.Reserve(80); err != nil {
+		t.Fatal(err)
+	}
+	if err := ten.Reserve(30); !errors.Is(err, ErrOverload) {
+		t.Fatalf("byte quota rejection: %v", err)
+	}
+	ten.Release(80)
+	if err := ten.Reserve(100); err != nil {
+		t.Fatalf("reserve after release: %v", err)
+	}
+	st := ten.Stats()
+	if st.Conns != 2 || st.Bytes != 100 || st.Rejects != 2 {
+		t.Fatalf("tenant stats = %+v", st)
+	}
+	if len(g.Tenants()) != 1 {
+		t.Fatalf("Tenants() = %d entries", len(g.Tenants()))
+	}
+}
+
+// TestGovernorConcurrent hammers the ledger from many goroutines and
+// checks it balances and never wedges in an overloaded state.
+func TestGovernorConcurrent(t *testing.T) {
+	g := NewGovernor(GovernorConfig{LimitBytes: 1 << 20, HighWaterFrac: 0.7, LowWaterFrac: 0.3})
+	ten := g.Tenant("load", TenantLimits{MaxConns: 64, MaxBytes: 1 << 18})
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				g.Adjust(512)
+				if err := g.Reserve(4096); err == nil {
+					granted.Add(1)
+					g.Release(4096)
+				}
+				if err := ten.Reserve(128); err == nil {
+					ten.Release(128)
+				}
+				if err := ten.AcquireConn(); err == nil {
+					ten.ReleaseConn()
+				}
+				g.Adjust(-512)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Used(); got != 0 {
+		t.Fatalf("ledger unbalanced: Used = %d", got)
+	}
+	st := ten.Stats()
+	if st.Conns != 0 || st.Bytes != 0 {
+		t.Fatalf("tenant unbalanced: %+v", st)
+	}
+	// With all charges released the governor must not stay latched.
+	g.Adjust(1)
+	g.Adjust(-1)
+	if g.Overloaded() {
+		t.Fatal("governor latched overloaded at zero usage")
+	}
+	if granted.Load() == 0 {
+		t.Fatal("no Reserve ever granted")
+	}
+}

@@ -93,8 +93,14 @@ const maxTLSCiphertext = 16384 + 2048
 // tlsRecordHeaderLen is the TLS record header size.
 const tlsRecordHeaderLen = 5
 
-// stockRecordCheck applies a stock TLS record parser's header checks.
-func stockRecordCheck(hdr []byte, first bool) bool {
+// StockTLSRecordCheck applies a stock TLS record parser's checks to one
+// 5-byte record header: known content type, 3.x protocol version, body
+// length within RFC 5246 §6.2.3's ciphertext bound, and — when first is
+// true, i.e. this is the flow's first record — the handshake type every
+// TLS session opens with. Exported so real-socket middlebox models (the
+// relay soak's DPI proxy) apply byte-identical checks to the simulated
+// TLSDPI element.
+func StockTLSRecordCheck(hdr []byte, first bool) bool {
 	typ := hdr[0]
 	if typ < 20 || typ > 23 { // change_cipher_spec .. application_data
 		return false
@@ -171,7 +177,7 @@ func (d *TLSDPI) scan(f *dpiFlow) bool {
 		if !ok {
 			return true
 		}
-		if !stockRecordCheck(hdr, f.first) {
+		if !StockTLSRecordCheck(hdr, f.first) {
 			f.badByte = f.pos
 			return false
 		}

@@ -1,0 +1,242 @@
+package relay
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minion/internal/netem"
+)
+
+// Middlebox is a real-socket model of the paper's hostile network
+// element: a TCP forwarding proxy that deep-inspects the client→upstream
+// byte stream as TLS records — the same stock-parser checks as the
+// simulated netem.TLSDPI, via netem.StockTLSRecordCheck — and kills any
+// flow whose bytes a stock TLS implementation would reject. Minion's
+// uTLS stacks must traverse it without a violation; that is the
+// wire-compatibility claim on a real socket path.
+//
+// Adversity knob: TCP is reliable end-to-end through a proxy, so packet
+// loss cannot be reproduced as vanished bytes; what loss does to a
+// TCP-carried flow is delay — retransmission and head-of-line stalls.
+// StallProb/Stall emulate exactly that, as random per-chunk forwarding
+// stalls. This is an honest emulation of loss's latency effect, not of
+// loss itself (the soak layers FaultHooks error storms on top for
+// kernel-level failures).
+type Middlebox struct {
+	ln  net.Listener
+	cfg MiddleboxConfig
+
+	flows      atomic.Uint64
+	records    atomic.Uint64
+	violations atomic.Uint64
+	killed     atomic.Uint64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// MiddleboxConfig parameterizes a Middlebox.
+type MiddleboxConfig struct {
+	// Upstream is the address each accepted flow is proxied to.
+	Upstream string
+	// InspectTLS runs the stock TLS record checks on client→upstream
+	// bytes; a violating flow is cut on both sides. Leave false for
+	// non-TLS traffic (uCOBS streams are valid TCP but not valid TLS).
+	InspectTLS bool
+	// StallProb is the per-forwarded-chunk probability of an added stall
+	// of Stall — the latency shape loss imposes on TCP-carried flows.
+	StallProb float64
+	// Stall is the stall duration (default 2ms when StallProb > 0).
+	Stall time.Duration
+	// Seed makes the stall pattern reproducible (0: fixed default).
+	Seed int64
+}
+
+// MiddleboxStats counts proxy activity.
+type MiddleboxStats struct {
+	Flows      uint64 // accepted client flows
+	Records    uint64 // complete TLS records validated
+	Violations uint64 // records a stock parser would reject
+	Killed     uint64 // flows cut after a violation
+}
+
+// NewMiddlebox listens on addr (e.g. "127.0.0.1:0") and proxies every
+// accepted flow to cfg.Upstream.
+func NewMiddlebox(addr string, cfg MiddleboxConfig) (*Middlebox, error) {
+	if cfg.Stall <= 0 {
+		cfg.Stall = 2 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Middlebox{ln: ln, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the middlebox's listening address — what clients dial.
+func (m *Middlebox) Addr() net.Addr { return m.ln.Addr() }
+
+// Stats snapshots the counters.
+func (m *Middlebox) Stats() MiddleboxStats {
+	return MiddleboxStats{
+		Flows:      m.flows.Load(),
+		Records:    m.records.Load(),
+		Violations: m.violations.Load(),
+		Killed:     m.killed.Load(),
+	}
+}
+
+// Close stops accepting, cuts every proxied flow, and waits for the
+// pumps to exit.
+func (m *Middlebox) Close() {
+	m.mu.Lock()
+	m.closed = true
+	conns := make([]net.Conn, 0, len(m.conns))
+	for c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.mu.Unlock()
+	m.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	m.wg.Wait()
+}
+
+func (m *Middlebox) track(c net.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.conns[c] = struct{}{}
+	return true
+}
+
+func (m *Middlebox) untrack(c net.Conn) {
+	m.mu.Lock()
+	delete(m.conns, c)
+	m.mu.Unlock()
+}
+
+func (m *Middlebox) acceptLoop() {
+	defer m.wg.Done()
+	seed := m.cfg.Seed
+	if seed == 0 {
+		seed = 0x6d696e696f6e // deterministic by default
+	}
+	for {
+		cc, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		uc, err := net.Dial("tcp", m.cfg.Upstream)
+		if err != nil {
+			cc.Close()
+			continue
+		}
+		if !m.track(cc) || !m.track(uc) {
+			cc.Close()
+			uc.Close()
+			return
+		}
+		m.flows.Add(1)
+		seed++
+		m.wg.Add(2)
+		// Inspection applies to the client's bytes; the upstream's answer
+		// direction is forwarded with the stall shaping only.
+		go m.pump(cc, uc, m.cfg.InspectTLS, seed)
+		go m.pump(uc, cc, false, seed+1)
+	}
+}
+
+// pump copies src→dst in chunks, optionally validating the stream as TLS
+// records and injecting forwarding stalls. Either side failing (or a DPI
+// violation) cuts both directions — a middlebox reset.
+func (m *Middlebox) pump(src, dst net.Conn, inspect bool, seed int64) {
+	defer m.wg.Done()
+	defer m.untrack(src)
+	defer src.Close()
+	defer dst.Close()
+	rng := rand.New(rand.NewSource(seed))
+	var scan recordScanner
+	scan.first = true
+	chunk := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(chunk)
+		if n > 0 {
+			if inspect {
+				recs, ok := scan.feed(chunk[:n])
+				m.records.Add(uint64(recs))
+				if !ok {
+					m.violations.Add(1)
+					m.killed.Add(1)
+					return
+				}
+			}
+			if m.cfg.StallProb > 0 && rng.Float64() < m.cfg.StallProb {
+				time.Sleep(m.cfg.Stall)
+			}
+			if _, werr := dst.Write(chunk[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// recordScanner incrementally validates a byte stream as TLS records,
+// carrying header fragments and body remainders across chunks.
+type recordScanner struct {
+	hdr   [5]byte
+	have  int
+	body  int // body bytes of the current record still to pass
+	first bool
+}
+
+// feed scans p, returning the number of records completed and whether
+// the stream is still a valid TLS record stream.
+func (s *recordScanner) feed(p []byte) (records int, ok bool) {
+	for len(p) > 0 {
+		if s.body > 0 {
+			skip := s.body
+			if skip > len(p) {
+				skip = len(p)
+			}
+			s.body -= skip
+			p = p[skip:]
+			if s.body == 0 {
+				records++
+			}
+			continue
+		}
+		need := len(s.hdr) - s.have
+		if need > len(p) {
+			copy(s.hdr[s.have:], p)
+			s.have += len(p)
+			return records, true
+		}
+		copy(s.hdr[s.have:], p[:need])
+		p = p[need:]
+		s.have = 0
+		if !netem.StockTLSRecordCheck(s.hdr[:], s.first) {
+			return records, false
+		}
+		s.first = false
+		s.body = int(s.hdr[3])<<8 | int(s.hdr[4])
+		if s.body == 0 {
+			records++
+		}
+	}
+	return records, true
+}

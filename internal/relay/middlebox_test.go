@@ -1,0 +1,150 @@
+package relay
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"minion"
+)
+
+// TestMiddleboxPassesUTLS drives the relay's join/data exchange over
+// genuine uTLS records through the inspecting proxy: every record must
+// pass the stock parser's checks (the paper's wire-compatibility claim
+// on a real socket path), with the stall shaping active.
+func TestMiddleboxPassesUTLS(t *testing.T) {
+	_, ln := newServer(t, Config{}, minion.ProtoUTLSTCP, minion.TCPConfig{NoDelay: true})
+	mb, err := NewMiddlebox("127.0.0.1:0", MiddleboxConfig{
+		Upstream:   ln.Addr().String(),
+		InspectTLS: true,
+		StallProb:  0.2,
+		Stall:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewMiddlebox: %v", err)
+	}
+	t.Cleanup(mb.Close)
+
+	// One flow through the middlebox, its peer direct to the relay.
+	suspect := dialClient(t, minion.ProtoUTLSTCP, mb.Addr().String())
+	direct := dialClient(t, minion.ProtoUTLSTCP, ln.Addr().String())
+	suspect.join(t, "t", "dpi", ClassWeb, true)
+	direct.join(t, "t", "dpi", ClassWeb, true)
+
+	payload := bytes.Repeat([]byte("records"), 512) // spans several TLS records
+	if err := suspect.c.Send(DataMsg(payload), minion.Options{}); err != nil {
+		t.Fatalf("send through middlebox: %v", err)
+	}
+	if got := direct.recvData(t); !bytes.Equal(got, payload) {
+		t.Fatalf("relayed payload mismatch (%d bytes vs %d)", len(got), len(payload))
+	}
+	st := mb.Stats()
+	if st.Flows != 1 || st.Records == 0 {
+		t.Fatalf("middlebox stats = %+v, want 1 flow with validated records", st)
+	}
+	if st.Violations != 0 || st.Killed != 0 {
+		t.Fatalf("uTLS flow violated DPI: %+v", st)
+	}
+}
+
+// TestMiddleboxKillsNonTLS asserts the inspector cuts a flow whose bytes
+// a stock TLS parser rejects — the hostile-middlebox behavior the uTLS
+// stack must survive and plaintext protocols must not.
+func TestMiddleboxKillsNonTLS(t *testing.T) {
+	// Upstream is a plain sink so only the inspector can object.
+	up, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("upstream listen: %v", err)
+	}
+	t.Cleanup(func() { up.Close() })
+	go func() {
+		for {
+			c, err := up.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	mb, err := NewMiddlebox("127.0.0.1:0", MiddleboxConfig{
+		Upstream:   up.Addr().String(),
+		InspectTLS: true,
+	})
+	if err != nil {
+		t.Fatalf("NewMiddlebox: %v", err)
+	}
+	t.Cleanup(mb.Close)
+
+	nc, err := net.Dial("tcp", mb.Addr().String())
+	if err != nil {
+		t.Fatalf("dial middlebox: %v", err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("GET / HTTP/1.1\r\nHost: example\r\n\r\n")); err != nil {
+		t.Fatalf("write garbage: %v", err)
+	}
+	// The middlebox must cut the flow: our read side reaches EOF/reset.
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatalf("read succeeded through a killed flow")
+	}
+	st := mb.Stats()
+	if st.Violations != 1 || st.Killed != 1 {
+		t.Fatalf("middlebox stats = %+v, want exactly one violation/kill", st)
+	}
+}
+
+// TestRecordScannerFragmentation feeds a synthetic TLS record stream
+// through every chunking of its bytes: the scanner must count the same
+// records regardless of fragmentation, and reject a corrupted header at
+// any position.
+func TestRecordScannerFragmentation(t *testing.T) {
+	rec := func(typ byte, n int) []byte {
+		h := []byte{typ, 3, 3, byte(n >> 8), byte(n & 0xff)}
+		return append(h, bytes.Repeat([]byte{0xcc}, n)...)
+	}
+	stream := append(rec(22, 70), rec(23, 0)...) // handshake, empty appdata
+	stream = append(stream, rec(23, 300)...)
+	const wantRecords = 3
+	for size := 1; size <= len(stream); size++ {
+		var s recordScanner
+		s.first = true
+		total := 0
+		for off := 0; off < len(stream); off += size {
+			end := off + size
+			if end > len(stream) {
+				end = len(stream)
+			}
+			n, ok := s.feed(stream[off:end])
+			if !ok {
+				t.Fatalf("chunk size %d: valid stream rejected at offset %d", size, off)
+			}
+			total += n
+		}
+		if total != wantRecords {
+			t.Fatalf("chunk size %d: %d records, want %d", size, total, wantRecords)
+		}
+	}
+	// First record must be a handshake.
+	var s recordScanner
+	s.first = true
+	if _, ok := s.feed(rec(23, 4)); ok {
+		t.Fatalf("appdata-first stream accepted")
+	}
+	// Corrupt type mid-stream.
+	var s2 recordScanner
+	s2.first = true
+	bad := append(rec(22, 8), rec(99, 4)...)
+	if _, ok := s2.feed(bad); ok {
+		t.Fatalf("corrupt record type accepted")
+	}
+}

@@ -1,0 +1,441 @@
+// Package relay implements a multi-tenant datagram forwarding gateway on
+// Minion's unordered datagram interface: many client flows terminate on
+// one shared LoopGroup and exchange datagrams through named rooms, with
+// the cross-connection hops running over TrySend — the non-blocking relay
+// pattern that cannot deadlock two event loops against each other.
+//
+// The relay is where the overload-protection substrate composes into
+// policy. A shared resource governor (internal/buf.Governor) supplies the
+// pressure signal: the wire layer meters every connection's queued bytes
+// into it, listeners pause accepting while it is overloaded, and the
+// relay applies admission control (joins refused under overload, tenant
+// connection quotas) plus priority-aware load shedding on the forwarding
+// path. Shedding engages strictly in class order — bulk is dropped the
+// moment the governor latches overload, web when an overloaded flow is
+// through half its in-flight budget, VoIP only at hard limits (a full
+// per-flow budget, transport backpressure, or an exhausted tenant byte
+// quota) — so interactive traffic survives pressure that bulk transfers
+// caused, and no tenant's flood can starve another flow's budget.
+package relay
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"minion"
+	"minion/internal/buf"
+)
+
+// Class is a flow's traffic class, declared at join time. Lower value =
+// higher priority; the relay maps it onto Options.Priority for the
+// substrate's send-side prioritization and sheds in reverse class order
+// under overload.
+type Class uint8
+
+const (
+	// ClassVoIP is interactive real-time traffic: shed last.
+	ClassVoIP Class = iota
+	// ClassWeb is interactive request/response traffic.
+	ClassWeb
+	// ClassBulk is background transfer traffic: shed first.
+	ClassBulk
+
+	numClasses = 3
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassVoIP:
+		return "voip"
+	case ClassWeb:
+		return "web"
+	case ClassBulk:
+		return "bulk"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// The relay's datagram protocol, deliberately trivial (every datagram is
+// already delimited by the substrate): a flow's first datagram is a join
+// — 'J' tenant '|' room '|' class-digit — answered with 'A' (admitted)
+// or 'E' reason (refused, connection closed). Every subsequent 'D'
+// payload datagram is forwarded verbatim to the room's other members.
+const (
+	MsgJoin   = 'J'
+	MsgData   = 'D'
+	MsgAccept = 'A'
+	MsgReject = 'E'
+)
+
+// JoinMsg encodes a join datagram. tenant and room must not contain '|'.
+func JoinMsg(tenant, room string, class Class) []byte {
+	return []byte(fmt.Sprintf("%c%s|%s|%d", MsgJoin, tenant, room, class))
+}
+
+// DataMsg encodes a data datagram around payload (copied).
+func DataMsg(payload []byte) []byte {
+	m := make([]byte, 1+len(payload))
+	m[0] = MsgData
+	copy(m[1:], payload)
+	return m
+}
+
+// Config parameterizes a Relay. The zero value relays with no governor:
+// nothing is refused or shed, per-flow budgets still apply.
+type Config struct {
+	// Governor is the shared resource ledger admission control and
+	// shedding key off (nil: never overloaded, no tenant quotas).
+	Governor *buf.Governor
+	// Tenants maps tenant names to their quotas, applied when the tenant
+	// account is first seen. Unlisted tenants are unlimited.
+	Tenants map[string]buf.TenantLimits
+	// MaxFlowBytes bounds one flow's relayed-but-undelivered bytes — the
+	// per-flow fairness budget: a flow at its budget sheds its own
+	// traffic instead of consuming other flows' downstream queue space.
+	// Default 64 KiB.
+	MaxFlowBytes int
+}
+
+// Stats is a point-in-time relay snapshot. The per-class arrays index by
+// Class.
+type Stats struct {
+	Flows int // attached flows (joined or awaiting join)
+	Rooms int // rooms with at least one member
+	// Joins counts admitted flows; Rejects counts refused joins
+	// (malformed, overload, tenant quota).
+	Joins, Rejects uint64
+	// Relayed counts datagrams accepted into a member's send path;
+	// Shed counts datagrams dropped by class-order shedding, per-flow
+	// budget, tenant byte quota, or transport backpressure.
+	Relayed, Shed [numClasses]uint64
+}
+
+// Relay is the gateway. Attach connections (or Serve a listener) and
+// close when done; it is safe for concurrent use.
+type Relay struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rooms  map[string]*room
+	flows  map[*flow]struct{}
+	closed bool
+
+	joins   atomic.Uint64
+	rejects atomic.Uint64
+	relayed [numClasses]atomic.Uint64
+	shed    [numClasses]atomic.Uint64
+}
+
+type room struct {
+	name string
+	mu   sync.RWMutex
+	// members is append-mostly and snapshot-read on every forward.
+	members map[*flow]struct{}
+}
+
+// flow is one attached connection. Fields below c are written on the
+// connection's event loop during join, before any forward can read them
+// there; detach runs either on the same loop (terminal-error callback)
+// or strictly after it stopped (inline teardown), so the loop-confined
+// fields need no lock.
+type flow struct {
+	r *Relay
+	c minion.Conn
+
+	tenant *buf.Tenant
+	class  Class
+	room   atomic.Pointer[room]
+	// prioOK records whether this flow's substrate honors send
+	// priorities (stock uTLS without the explicit record-number
+	// extension does not). Written in join before the flow is published
+	// into a room's member set; the room mutex orders the read.
+	prioOK bool
+
+	inflight atomic.Int64 // relayed-but-undelivered bytes, as source
+	detached atomic.Bool
+}
+
+// New builds a relay.
+func New(cfg Config) *Relay {
+	if cfg.MaxFlowBytes <= 0 {
+		cfg.MaxFlowBytes = 64 * 1024
+	}
+	return &Relay{
+		cfg:   cfg,
+		rooms: make(map[string]*room),
+		flows: make(map[*flow]struct{}),
+	}
+}
+
+// Serve accepts connections from ln and attaches each until Accept
+// fails (listener closed or drained); it returns Accept's error.
+func (r *Relay) Serve(ln *minion.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		r.Attach(c)
+	}
+}
+
+// Attach adopts one connection: the relay owns its message handling and
+// closes it on detach. The flow must send its join datagram first.
+func (r *Relay) Attach(c minion.Conn) {
+	f := &flow{r: r, c: c}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		c.Close()
+		return
+	}
+	r.flows[f] = struct{}{}
+	r.mu.Unlock()
+	// Registration order matters: the error hook must be live before
+	// messages flow, so a flow that dies mid-join still detaches.
+	minion.OnConnError(c, func(error) { r.detach(f) })
+	c.OnMessage(f.onMessage)
+}
+
+// onMessage runs on the flow's connection loop.
+func (f *flow) onMessage(msg []byte) {
+	if len(msg) == 0 {
+		return
+	}
+	switch msg[0] {
+	case MsgJoin:
+		f.r.join(f, msg[1:])
+	case MsgData:
+		if f.room.Load() != nil {
+			f.r.forward(f, msg)
+		}
+	}
+}
+
+// join admits or refuses a flow; runs on the flow's connection loop.
+func (r *Relay) join(f *flow, spec []byte) {
+	if f.room.Load() != nil {
+		return // duplicate join: ignore
+	}
+	tenant, roomName, class, ok := parseJoin(spec)
+	if !ok {
+		r.refuse(f, "malformed join")
+		return
+	}
+	g := r.cfg.Governor
+	if g.Overloaded() {
+		// Admission control: a relay over its memory watermark stops
+		// taking on flows before it stops serving the ones it has.
+		r.refuse(f, "overload")
+		return
+	}
+	var ten *buf.Tenant
+	if g != nil {
+		ten = g.Tenant(tenant, r.cfg.Tenants[tenant])
+		if err := ten.AcquireConn(); err != nil {
+			r.refuse(f, err.Error())
+			return
+		}
+	}
+	// Probe the substrate's priority capability once, on the flow's own
+	// loop, before publishing the flow into the room: relayed sends to a
+	// flow that cannot express priorities degrade to the unprioritized
+	// path instead of failing every datagram.
+	f.prioOK = minion.SupportsPriorities(f.c)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		if ten != nil {
+			ten.ReleaseConn()
+		}
+		f.c.Close()
+		return
+	}
+	rm := r.rooms[roomName]
+	if rm == nil {
+		rm = &room{name: roomName, members: make(map[*flow]struct{})}
+		r.rooms[roomName] = rm
+	}
+	// Membership changes happen under r.mu (then rm.mu), the same order
+	// detach uses for its empty-room sweep, so a join can never land in a
+	// room the sweep just unlinked.
+	rm.mu.Lock()
+	rm.members[f] = struct{}{}
+	rm.mu.Unlock()
+	r.mu.Unlock()
+	f.tenant = ten
+	f.class = class
+	f.room.Store(rm)
+	r.joins.Add(1)
+	// On the flow's own loop, Send runs inline and the ack rides the
+	// transport queue ahead of any relayed traffic. An ack that cannot
+	// be delivered means the client never learns it was admitted, so the
+	// flow is detached rather than left joined and silent.
+	if err := f.c.Send([]byte{MsgAccept}, minion.Options{Priority: f.sendPrio(class)}); err != nil {
+		r.detach(f)
+	}
+}
+
+// sendPrio maps a traffic class onto the wire priority tag a send to
+// this flow may carry: the class itself, or 0 when the flow's substrate
+// cannot express priorities.
+func (f *flow) sendPrio(class Class) uint32 {
+	if !f.prioOK {
+		return 0
+	}
+	return uint32(class)
+}
+
+// refuse answers a join with the reason and closes the flow; runs on the
+// flow's connection loop (Send and Close are inline there).
+func (r *Relay) refuse(f *flow, reason string) {
+	r.rejects.Add(1)
+	f.c.Send(append([]byte{MsgReject}, reason...), minion.Options{})
+	f.c.Close()
+}
+
+// forward fans msg (a full 'D' datagram) out to the room's other
+// members; runs on the source flow's connection loop, sending with
+// TrySend — the only safe cross-loop send.
+func (r *Relay) forward(f *flow, msg []byte) {
+	g := r.cfg.Governor
+	budget := int64(r.cfg.MaxFlowBytes)
+	if g.Overloaded() {
+		// Class-ordered shedding, cheapest signal first: bulk drops on
+		// the latched overload alone; web drops once this flow is
+		// through half its budget; VoIP proceeds to the hard limits.
+		switch {
+		case f.class == ClassBulk:
+			r.shed[ClassBulk].Add(1)
+			return
+		case f.class == ClassWeb && f.inflight.Load()*2 > budget:
+			r.shed[ClassWeb].Add(1)
+			return
+		}
+	}
+	rm := f.room.Load()
+	rm.mu.RLock()
+	members := make([]*flow, 0, len(rm.members))
+	for m := range rm.members {
+		if m != f {
+			members = append(members, m)
+		}
+	}
+	rm.mu.RUnlock()
+	n := int64(len(msg))
+	for _, m := range members {
+		// Per-flow fairness: the SOURCE pays for undelivered bytes, so a
+		// flooding flow exhausts its own budget, never the room's.
+		if f.inflight.Add(n) > budget {
+			f.inflight.Add(-n)
+			r.shed[f.class].Add(1)
+			continue
+		}
+		if f.tenant != nil {
+			if err := f.tenant.Reserve(n); err != nil {
+				f.inflight.Add(-n)
+				r.shed[f.class].Add(1)
+				continue
+			}
+		}
+		err := m.c.TrySend(msg, minion.Options{
+			Priority: m.sendPrio(f.class),
+			OnResult: func(error) {
+				// Runs on the destination's loop once the datagram's
+				// fate is known — delivery and teardown drops both
+				// return the budget.
+				f.inflight.Add(-n)
+				if f.tenant != nil {
+					f.tenant.Release(n)
+				}
+			},
+		})
+		if err != nil {
+			// Backpressure or a dead member: shed this hop. A closed
+			// member is detached by its own error hook.
+			f.inflight.Add(-n)
+			if f.tenant != nil {
+				f.tenant.Release(n)
+			}
+			r.shed[f.class].Add(1)
+			continue
+		}
+		r.relayed[f.class].Add(1)
+	}
+}
+
+// detach unlinks a dead flow; idempotent, runs from the connection's
+// terminal-error hook (its loop) or from Close.
+func (r *Relay) detach(f *flow) {
+	if f.detached.Swap(true) {
+		return
+	}
+	r.mu.Lock()
+	delete(r.flows, f)
+	rm := f.room.Load()
+	if rm != nil {
+		rm.mu.Lock()
+		delete(rm.members, f)
+		empty := len(rm.members) == 0
+		rm.mu.Unlock()
+		if empty && r.rooms[rm.name] == rm {
+			delete(r.rooms, rm.name)
+		}
+	}
+	r.mu.Unlock()
+	if f.tenant != nil {
+		f.tenant.ReleaseConn()
+	}
+	f.c.Close()
+}
+
+// Close shuts the relay down: every attached flow is closed (their
+// terminal-error hooks run the detach bookkeeping) and new attaches are
+// refused. The listener feeding Serve is the caller's to drain.
+func (r *Relay) Close() {
+	r.mu.Lock()
+	r.closed = true
+	fs := make([]*flow, 0, len(r.flows))
+	for f := range r.flows {
+		fs = append(fs, f)
+	}
+	r.mu.Unlock()
+	for _, f := range fs {
+		f.c.Close()
+	}
+}
+
+// Stats snapshots the relay counters.
+func (r *Relay) Stats() Stats {
+	var st Stats
+	r.mu.Lock()
+	st.Flows = len(r.flows)
+	st.Rooms = len(r.rooms)
+	r.mu.Unlock()
+	st.Joins = r.joins.Load()
+	st.Rejects = r.rejects.Load()
+	for i := 0; i < numClasses; i++ {
+		st.Relayed[i] = r.relayed[i].Load()
+		st.Shed[i] = r.shed[i].Load()
+	}
+	return st
+}
+
+func parseJoin(spec []byte) (tenant, room string, class Class, ok bool) {
+	i := bytes.IndexByte(spec, '|')
+	if i <= 0 {
+		return "", "", 0, false
+	}
+	j := bytes.IndexByte(spec[i+1:], '|')
+	if j <= 0 {
+		return "", "", 0, false
+	}
+	j += i + 1
+	cls := spec[j+1:]
+	if len(cls) != 1 || cls[0] < '0' || cls[0] > '2' {
+		return "", "", 0, false
+	}
+	return string(spec[:i]), string(spec[i+1 : j]), Class(cls[0] - '0'), true
+}

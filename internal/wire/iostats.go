@@ -48,6 +48,16 @@ type IOStats struct {
 	// fd-exhausted listener just went quiet.
 	AcceptErrors   uint64
 	AcceptBackoffs uint64
+
+	// AcceptPauses counts admission-control pause episodes: a listener
+	// whose Config.Governor crossed its high watermark stopped accepting
+	// (new connections wait in the kernel backlog) until usage drained
+	// below the low watermark; AcceptResumes counts the matching
+	// releases. In the sharded accept shape each per-loop socket pauses
+	// and resumes independently, so one overload episode counts once per
+	// shard that had intake during it.
+	AcceptPauses  uint64
+	AcceptResumes uint64
 }
 
 // ioCounters is one shard of the I/O statistics. At c100k scale every
@@ -58,8 +68,8 @@ type IOStats struct {
 // each connection, UDP socket, and poller holds a pointer to one shard,
 // assigned round-robin at construction, and ReadIOStats sums the shards.
 // The trailing pad rounds the struct past two 64-byte cache lines so
-// adjacent shards in the backing array never share a line (13 × 8 = 104
-// bytes of counters + 24 pad = 128).
+// adjacent shards in the backing array never share a line (15 × 8 = 120
+// bytes of counters + 8 pad = 128).
 type ioCounters struct {
 	tcpWriteCalls, tcpWriteBufs, tcpWriteBytes atomic.Uint64
 	tcpReadCalls, tcpReadBytes                 atomic.Uint64
@@ -67,7 +77,8 @@ type ioCounters struct {
 	udpSendCalls, udpSendDatagrams             atomic.Uint64
 	udpRecvCalls, udpRecvDatagrams             atomic.Uint64
 	acceptErrors, acceptBackoffs               atomic.Uint64
-	_                                          [24]byte
+	acceptPauses, acceptResumes                atomic.Uint64
+	_                                          [8]byte
 }
 
 // ioShards is sized to comfortably exceed any realistic loop count while
@@ -108,6 +119,8 @@ func ReadIOStats() IOStats {
 		s.UDPRecvDatagrams += c.udpRecvDatagrams.Load()
 		s.AcceptErrors += c.acceptErrors.Load()
 		s.AcceptBackoffs += c.acceptBackoffs.Load()
+		s.AcceptPauses += c.acceptPauses.Load()
+		s.AcceptResumes += c.acceptResumes.Load()
 	}
 	return s
 }

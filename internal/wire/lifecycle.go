@@ -70,6 +70,15 @@ func (c *Conn) OnDrain(fn func()) { c.onDrain = fn }
 // loop is gone). Must be called on the loop.
 func (c *Conn) OnError(fn func(error)) { c.onError = fn }
 
+// OnEOF registers a loop-confined callback fired at most once when the
+// peer closes its send direction gracefully (the read side reaches EOF
+// with no error). It fires after the last delivered byte, and only then
+// — a connection torn down by error or abort reports through OnError
+// instead. The send side remains usable; servers that treat a client's
+// FIN as departure (relays) close from the hook. Must be called on the
+// loop.
+func (c *Conn) OnEOF(fn func()) { c.onEOF = fn }
+
 // fireError delivers the terminal error to the OnError hook, once.
 // Loop-confined (or post-loop teardown).
 func (c *Conn) fireError(err error) {

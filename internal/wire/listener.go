@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -32,6 +33,7 @@ type Listener struct {
 	shards *shardSet    // sharded shape; nil otherwise
 	cfg    Config
 	io     *ioCounters
+	closed atomic.Bool // unblocks a governor-paused Accept on Close/Drain
 }
 
 // acceptRetry delays the single-socket accept retry after fd exhaustion
@@ -79,6 +81,7 @@ func (l *Listener) Accept() (*Conn, error) {
 		return newConn(nc, l.cfg, shard), nil
 	}
 	for {
+		l.governorPause()
 		if ferr := faultAccept(); ferr != nil {
 			if fdExhausted(ferr) {
 				l.io.acceptBackoffs.Add(1)
@@ -102,6 +105,25 @@ func (l *Listener) Accept() (*Conn, error) {
 		}
 		return NewConn(nc, l.cfg), nil
 	}
+}
+
+// governorPause holds the single-socket accept loop while the configured
+// resource governor is over its high watermark: new connections wait in
+// the kernel backlog (then SYN drops take over) instead of adding queue
+// memory to an already-overloaded process. The pause is polled — the
+// accept path is a plain blocking loop with no edge to wait on — and
+// releases when usage drains below the low watermark or the listener
+// closes. Episodes count in IOStats.AcceptPauses/AcceptResumes.
+func (l *Listener) governorPause() {
+	g := l.cfg.Governor
+	if g == nil || !g.Overloaded() {
+		return
+	}
+	l.io.acceptPauses.Add(1)
+	for g.Overloaded() && !l.closed.Load() {
+		time.Sleep(acceptRetry)
+	}
+	l.io.acceptResumes.Add(1)
 }
 
 // Addr returns the listening address (with the bound port).
@@ -132,6 +154,7 @@ func (l *Listener) ShardAccepts() []uint64 {
 // unregisters from its poller and closes its fd on its own loop, and
 // Close returns only after all of them are down.
 func (l *Listener) Close() error {
+	l.closed.Store(true)
 	if l.shards != nil {
 		return l.shards.close()
 	}
@@ -145,6 +168,7 @@ func (l *Listener) Close() error {
 // (accepting has already stopped either way). Established connections
 // are unaffected — drain them with Group.Shutdown.
 func (l *Listener) Drain(ctx context.Context) error {
+	l.closed.Store(true)
 	if l.shards != nil {
 		return l.shards.drain(ctx)
 	}

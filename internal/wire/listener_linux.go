@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"minion/internal/buf"
 	"minion/internal/rt"
 )
 
@@ -62,7 +63,8 @@ type shardAccepted struct {
 type shardSet struct {
 	addr    net.Addr
 	shards  []*shardListener
-	release func() // group retain; runtime stays up while listener fds are registered
+	gov     *buf.Governor // admission control; nil = always accept
+	release func()        // group retain; runtime stays up while listener fds are registered
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -83,7 +85,8 @@ type shardListener struct {
 	sig  *rt.Signal // readability edge / continuation -> acceptPass
 	io   *ioCounters
 
-	dead bool // loop-confined: no further syscalls on lfd
+	dead      bool // loop-confined: no further syscalls on lfd
+	govPaused bool // loop-confined: inside a governor pause episode
 
 	accepts atomic.Uint64
 }
@@ -102,6 +105,23 @@ func (s *shardListener) writeEdge() {}
 func (s *shardListener) acceptPass() {
 	if s.dead {
 		return
+	}
+	if g := s.set.gov; g != nil && g.Overloaded() {
+		// Admission control: over the high watermark the shard stops
+		// draining its kernel queue (backlog, then SYN drops, take over).
+		// The consumed edge never re-fires for waiting connections, so
+		// resumption is polled on the backoff timer until usage drains
+		// below the low watermark.
+		if !s.govPaused {
+			s.govPaused = true
+			s.io.acceptPauses.Add(1)
+		}
+		s.loop.Schedule(acceptBackoff, func() { s.sig.Raise() })
+		return
+	}
+	if s.govPaused {
+		s.govPaused = false
+		s.io.acceptResumes.Add(1)
 	}
 	for i := 0; i < acceptBatch; i++ {
 		if ferr := faultAccept(); ferr != nil {
@@ -289,7 +309,7 @@ func listenSharded(network, addr string, cfg Config) (*shardSet, bool) {
 	if !ok {
 		return nil, false
 	}
-	ss := &shardSet{release: release}
+	ss := &shardSet{gov: cfg.Governor, release: release}
 	ss.cond = sync.NewCond(&ss.mu)
 	port := ta.Port
 	for i := 0; i < g.Len(); i++ {

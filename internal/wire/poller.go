@@ -116,6 +116,7 @@ func (c *Conn) pollRead() {
 		return
 	}
 	delivered := false
+	eof := false
 	passed := 0
 	for {
 		if c.rBudget >= c.cfg.RecvBufBytes {
@@ -163,6 +164,7 @@ func (c *Conn) pollRead() {
 			c.io.tcpReadBytes.Add(uint64(n))
 			chunk := b.RightSize(n)
 			c.recvQ = append(c.recvQ, chunk)
+			c.govCharge(n)
 			c.rBudget += n
 			passed += n
 			delivered = true
@@ -186,6 +188,7 @@ func (c *Conn) pollRead() {
 		// on the receive side.
 		if err == nil {
 			c.rerr = io.EOF
+			eof = true
 		} else {
 			// A hard read error is terminal both ways (only a graceful EOF
 			// leaves the send side usable); report it now, not at teardown.
@@ -198,6 +201,11 @@ func (c *Conn) pollRead() {
 	}
 	if delivered && c.onReadable != nil {
 		c.onReadable()
+	}
+	if eof && c.onEOF != nil {
+		// After the batch's OnReadable: the framing layer has drained
+		// every byte ahead of the FIN before the peer-close notification.
+		c.onEOF()
 	}
 }
 
@@ -282,6 +290,7 @@ func (c *Conn) pollWriteBatch() {
 
 	c.wmu.Lock()
 	c.wqBytes -= int(wrote)
+	c.govCharge(-int(wrote))
 	died := werr != nil && c.werr == nil
 	if died {
 		c.werr = werr

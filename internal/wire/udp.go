@@ -258,8 +258,14 @@ func (c *UDPConn) flushSend() {
 }
 
 // sendOne is the portable single-datagram send (also the non-batch
-// fallback on Linux). It consumes b.
+// fallback on Linux). It consumes b. An injected send fault drops the
+// datagram exactly like a kernel send error would — UDP is lossy by
+// contract, so the seam exercises the drop path, not a retry.
 func (c *UDPConn) sendOne(b *buf.Buffer) {
+	if _, ferr, ok := faultWrite(b.Len()); ok && ferr != nil {
+		b.Release()
+		return
+	}
 	c.io.udpSendCalls.Add(1)
 	c.io.udpSendDatagrams.Add(1)
 	if c.writeTo != nil {
@@ -279,6 +285,10 @@ func (c *UDPConn) sendOne(b *buf.Buffer) {
 // socket does.
 func (c *UDPConn) readLoop() {
 	defer close(c.readerDone)
+	// The batch path keeps spare receive arenas pinned between rounds;
+	// they must go back to the pool when the reader exits or every
+	// closed socket costs a batch of leaked arenas.
+	defer c.releaseBatch()
 	for c.readBatch() {
 	}
 }

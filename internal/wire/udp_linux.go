@@ -100,12 +100,31 @@ func encodeSockaddr(sa *syscall.RawSockaddrAny, ua *net.UDPAddr) (uint32, bool) 
 	return 0, false
 }
 
+// releaseBatch returns the spare receive arenas readBatch keeps between
+// rounds. Runs on the reader goroutine as it exits (nothing else touches
+// rbufs).
+func (c *UDPConn) releaseBatch() {
+	for i := range c.mm.rbufs {
+		if c.mm.rbufs[i] != nil {
+			c.mm.rbufs[i].Release()
+			c.mm.rbufs[i] = nil
+		}
+	}
+}
+
 // readBatch receives up to udpBatch datagrams with one recvmmsg and posts
 // the whole batch into the loop as a single hand-off. It reports whether
 // the reader should continue.
 func (c *UDPConn) readBatch() bool {
 	if !c.batchOK {
 		return c.readOne()
+	}
+	if _, ferr, ok := faultRead(udp.MaxDatagram); ok && ferr != nil {
+		// Injected receive fault on the batch path: same policy as the
+		// portable loop — everything short of a closed socket is
+		// transient for UDP, so back off and keep reading.
+		time.Sleep(faultRetryDelay)
+		return true
 	}
 	m := &c.mm
 	for i := 0; i < udpBatch; i++ {
@@ -181,6 +200,18 @@ func (c *UDPConn) sendBatch(bufs []*buf.Buffer) {
 		k := len(bufs) - off
 		if k > udpBatch {
 			k = udpBatch
+		}
+		if h := faultHooks.Load(); h != nil && h.Write != nil {
+			size := 0
+			for _, b := range bufs[off : off+k] {
+				size += b.Len()
+			}
+			if _, ferr, ok := faultWrite(size); ok && ferr != nil {
+				// Injected send fault: this sendmmsg's datagrams drop (the
+				// lossy contract), their buffers released with the rest of
+				// the burst below.
+				continue
+			}
 		}
 		for i := 0; i < k; i++ {
 			bs := bufs[off+i].Bytes()

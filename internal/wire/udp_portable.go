@@ -13,6 +13,8 @@ type mmsgState struct{}
 
 func (c *UDPConn) initBatch() {}
 
+func (c *UDPConn) releaseBatch() {}
+
 func (c *UDPConn) readBatch() bool { return c.readOne() }
 
 func (c *UDPConn) sendBatch(bufs []*buf.Buffer) {

@@ -71,6 +71,13 @@ type Config struct {
 	// of the group's event loops instead of a dedicated loop — see the
 	// package comment for the goroutine economics.
 	Group *Group
+	// Governor, when non-nil, meters this connection's queued send and
+	// receive bytes in the pool-wide resource governor (buf.Governor).
+	// Listeners carrying the same config pause accepting while the
+	// governor is over its high watermark — admission control for the
+	// overload the per-connection budgets cannot see: many connections,
+	// each individually within bounds, collectively ballooning the pool.
+	Governor *buf.Governor
 }
 
 func (cfg Config) defaults() Config {
@@ -174,6 +181,7 @@ type Conn struct {
 	onStall    func() int  // StallShed hook (lifecycle.go)
 	onDrain    func()      // Group.Shutdown graceful-flush hook
 	onError    func(error) // terminal-error hook; fires exactly once
+	onEOF      func()      // graceful peer-close hook; fires at most once
 	errFired   bool
 
 	// Lifecycle clocks and latches (lifecycle.go).
@@ -361,6 +369,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		}
 	}
 	if n > 0 {
+		c.govCharge(-n)
 		c.creditRead(n)
 		return n, nil
 	}
@@ -368,6 +377,17 @@ func (c *Conn) Read(p []byte) (int, error) {
 		return 0, c.rerr
 	}
 	return 0, tcp.ErrWouldBlock
+}
+
+// govCharge records d bytes (negative to release) in the configured
+// resource governor. The charge discipline mirrors the existing byte
+// accounting exactly — send-side calls happen under wmu alongside
+// wqBytes changes, receive-side calls are loop-confined alongside recvQ
+// changes — so the governor ledger balances to zero when the queues do.
+func (c *Conn) govCharge(d int) {
+	if c.cfg.Governor != nil && d != 0 {
+		c.cfg.Governor.Adjust(int64(d))
+	}
 }
 
 // creditRead returns consumed bytes to the receive flow-control budget:
@@ -438,6 +458,7 @@ func (c *Conn) WriteMsgBuf(b *buf.Buffer, opt tcp.WriteOptions) (int, error) {
 	}
 	c.wq = append(c.wq, b)
 	c.wqBytes += n
+	c.govCharge(n)
 	c.noteWriteProgressLocked(true, false)
 	if c.wqBytes >= c.cfg.WriteLowWater {
 		// Crossing the low-water mark arms the next OnWritable edge, so a
@@ -601,6 +622,7 @@ func (c *Conn) teardown() {
 
 func (c *Conn) cleanupRecv() {
 	for _, b := range c.recvQ {
+		c.govCharge(-b.Len())
 		b.Release()
 	}
 	c.recvQ = nil
@@ -613,6 +635,7 @@ func (c *Conn) cleanupRecv() {
 	c.fireError(c.rerr)
 	c.onReadable = nil
 	c.onError = nil
+	c.onEOF = nil
 	c.onStall = nil
 	c.onDrain = nil
 }
@@ -663,6 +686,7 @@ func (c *Conn) readLoop() {
 			}
 			if !c.lane.Post(func() {
 				c.recvQ = append(c.recvQ, chunk)
+				c.govCharge(chunk.Len())
 				if c.onReadable != nil {
 					c.onReadable()
 				}
@@ -707,6 +731,12 @@ func (c *Conn) readFail(err error) {
 			// side usable. Report it now; teardown's backstop would be a
 			// linger away.
 			c.fireError(rerr)
+		} else if c.onEOF != nil {
+			// Graceful peer close: every datagram the peer sent has been
+			// delivered (this post is behind the last data post on the
+			// lane). The send side stays open; the hook is notification,
+			// not teardown.
+			c.onEOF()
 		}
 	})
 }

@@ -118,6 +118,7 @@ func (c *Conn) writeBatch(deadline time.Time) (idle bool, wrote int64) {
 
 	c.wmu.Lock()
 	c.wqBytes -= int(n)
+	c.govCharge(-int(n))
 	died := err != nil && !isTimeout(err) && c.werr == nil
 	if died {
 		c.werr = err
@@ -154,6 +155,7 @@ func (c *Conn) failWritesLocked() {
 	}
 	clearBufs(c.wq)
 	c.wq = c.wq[:0]
+	c.govCharge(-c.wqBytes)
 	c.wqBytes = 0
 	c.wStall = 0
 }

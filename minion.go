@@ -316,6 +316,14 @@ type TCPConfig struct {
 	// probe period, negative disables probing, zero keeps the Go runtime
 	// default (enabled, 15s). Ignored by simulated substrates and UDP.
 	KeepAlive time.Duration
+	// Governor, when non-nil, meters this connection's queued send and
+	// receive bytes against a shared resource ledger (see NewGovernor).
+	// Listeners configured with a governor additionally pause accepting
+	// while it reports overload — admission control at the front door.
+	// Metering never rejects mid-stream bytes; shedding and refusal are
+	// the business of admission layers reading the same governor. Ignored
+	// by simulated substrates.
+	Governor *Governor
 }
 
 // Pair is a connected pair of Minion endpoints plus access to the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -199,7 +200,47 @@ type DialConfig struct {
 	// that times out aborts the connection with ErrTimeout, which
 	// surfaces through Send/OnResult and the connection's error paths.
 	Timeout time.Duration
+	// Retry re-attempts transient dial failures with exponential
+	// backoff. The zero value (Attempts <= 1) preserves single-shot
+	// dialing exactly. With Attempts > 1 a uTLS dial additionally waits
+	// for the handshake to settle before returning, so handshake
+	// failures are retried too, and success means a ready connection.
+	Retry RetryConfig
 }
+
+// RetryConfig shapes DialConfig's retry loop. Every attempt's failure is
+// treated as transient — connect refusals, resets, timeouts, and uTLS
+// handshake failures all retry; configuration errors (unknown protocol,
+// ErrSimOnly) never reach the loop. When the attempts are exhausted the
+// dial returns a *DialRetryError wrapping the last attempt's error.
+type RetryConfig struct {
+	// Attempts is the total attempt count, first try included; 0 or 1
+	// disables retrying.
+	Attempts int
+	// BaseBackoff is the sleep before the second attempt; each later
+	// attempt doubles it. Default 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubled backoff. Default 1s.
+	MaxBackoff time.Duration
+	// Jitter, in [0, 1], adds up to that fraction of each backoff as a
+	// uniformly random extra sleep — desynchronizing a thundering herd
+	// of reconnecting clients. 0 keeps the backoff deterministic.
+	Jitter float64
+}
+
+// DialRetryError is the typed give-up error a retrying dial returns once
+// every attempt has failed. It wraps the final attempt's error, so
+// errors.Is/As reach the underlying cause.
+type DialRetryError struct {
+	Attempts int   // attempts made
+	Last     error // the final attempt's error
+}
+
+func (e *DialRetryError) Error() string {
+	return fmt.Sprintf("minion: dial failed after %d attempts: %v", e.Attempts, e.Last)
+}
+
+func (e *DialRetryError) Unwrap() error { return e.Last }
 
 // ListenConfig parameterizes accepted real-socket connections.
 //
@@ -259,8 +300,107 @@ func Dial(proto Protocol, network, addr string, cfg TCPConfig) (Conn, error) {
 }
 
 // Dial connects with this configuration; see the package Dial for the
-// protocol semantics.
+// protocol semantics. With Retry.Attempts > 1 transient failures are
+// re-attempted under exponential backoff, and a uTLS dial returns only
+// once its handshake has settled.
 func (dc DialConfig) Dial(proto Protocol, network, addr string) (Conn, error) {
+	switch proto {
+	case ProtoUDP, ProtoUCOBSTCP, ProtoUTLSTCP:
+	case ProtoUCOBSuTCP, ProtoUTLSuTCP:
+		return nil, ErrSimOnly
+	default:
+		return nil, fmt.Errorf("minion: unknown protocol %v", proto)
+	}
+	if dc.Retry.Attempts <= 1 {
+		return dc.dialOnce(proto, network, addr)
+	}
+	r := dc.Retry
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 50 * time.Millisecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = time.Second
+	}
+	backoff := r.BaseBackoff
+	var last error
+	for i := 0; i < r.Attempts; i++ {
+		if i > 0 {
+			d := backoff
+			if r.Jitter > 0 {
+				d += time.Duration(float64(d) * r.Jitter * rand.Float64())
+			}
+			time.Sleep(d)
+			backoff *= 2
+			if backoff > r.MaxBackoff {
+				backoff = r.MaxBackoff
+			}
+		}
+		c, err := dc.dialOnce(proto, network, addr)
+		if err == nil {
+			c, err = awaitHandshake(proto, c)
+			if err == nil {
+				return c, nil
+			}
+		}
+		last = err
+	}
+	return nil, &DialRetryError{Attempts: r.Attempts, Last: last}
+}
+
+// awaitHandshake blocks a retrying uTLS dial until the handshake
+// settles: the retry loop has to classify handshake failures, which are
+// otherwise reported asynchronously through the connection's error
+// paths. Other protocols pass through untouched. On failure the
+// connection is closed and the handshake (or terminal) error returned.
+func awaitHandshake(proto Protocol, c Conn) (Conn, error) {
+	if proto != ProtoUTLSTCP {
+		return c, nil
+	}
+	w, ok := c.(*wireConn)
+	if !ok {
+		return c, nil
+	}
+	hs := make(chan error, 2)
+	done := w.sc.Do(func() {
+		u, ok := w.inner.(utlsConn)
+		if !ok {
+			hs <- nil
+			return
+		}
+		if err := u.c.HandshakeErr(); err != nil {
+			hs <- err
+			return
+		}
+		if u.c.Ready() {
+			hs <- nil
+			return
+		}
+		u.c.OnReady(func() { hs <- nil })
+	})
+	if !done {
+		c.Close()
+		return nil, ErrConnClosed
+	}
+	// The terminal-error hook runs on the loop (or inline once the loop
+	// is gone), where reading the handshake error is safe; it upgrades
+	// the generic mapped cause to the specific handshake failure.
+	OnConnError(c, func(err error) {
+		if u, ok := w.inner.(utlsConn); ok {
+			if herr := u.c.HandshakeErr(); herr != nil {
+				err = herr
+			}
+		}
+		hs <- err
+	})
+	if err := <-hs; err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// dialOnce is a single dial attempt.
+func (dc DialConfig) dialOnce(proto Protocol, network, addr string) (Conn, error) {
 	switch proto {
 	case ProtoUDP:
 		// The UDP shim is loop-cheap already (no writer goroutine); it
@@ -424,6 +564,7 @@ func (cfg TCPConfig) wireConfig() wire.Config {
 		WriteStallTimeout: cfg.WriteStallTimeout,
 		StallPolicy:       cfg.Evict.stallPolicy(),
 		KeepAlive:         cfg.KeepAlive,
+		Governor:          cfg.Governor,
 	}
 }
 
@@ -460,7 +601,12 @@ func newWireConn(sc *wire.Conn, proto Protocol, cfg TCPConfig, isClient bool) Co
 				err = ErrConnClosed
 			}
 			w.failAsync(err)
+			w.reportError(err)
 		})
+		// A graceful peer FIN is a departure, not an error, but it is
+		// terminal for OnConnError observers (servers reaping clients);
+		// the send side stays usable for half-close protocols.
+		sc.OnEOF(func() { w.reportError(ErrConnClosed) })
 		sc.OnDrain(w.drain)
 		if cfg.Evict == EvictShed {
 			sc.OnStall(w.shedLowest)
@@ -485,6 +631,12 @@ type wireConn struct {
 	asyncBytes  atomic.Int64
 	asyncQ      []asyncMsg
 	flushArmed  bool
+
+	// Terminal-error reporting for OnConnError: both fields are
+	// loop-confined. termErr latches the mapped terminal cause so a
+	// callback registered after the connection died still fires.
+	onError func(error)
+	termErr error
 }
 
 type asyncMsg struct {
@@ -660,6 +812,20 @@ func (w *wireConn) shedLowest() int {
 	return freed
 }
 
+// reportError latches the first terminal cause and delivers it to the
+// OnConnError observer exactly once. Runs on the loop (or inline during
+// post-loop teardown).
+func (w *wireConn) reportError(err error) {
+	if w.termErr == nil {
+		w.termErr = err
+	}
+	if w.onError != nil {
+		fn := w.onError
+		w.onError = nil
+		fn(w.termErr)
+	}
+}
+
 // failAsync drops every queued TrySend datagram with err, reporting each
 // through its OnResult. Runs on the loop.
 func (w *wireConn) failAsync(err error) {
@@ -677,6 +843,63 @@ func (w *wireConn) failAsync(err error) {
 // Inner returns the framing-layer connection for instrumentation; use it
 // only via the connection's event loop (wire.Conn.Do).
 func (w *wireConn) Inner() Conn { return w.inner }
+
+// OnConnError registers fn to run exactly once when c reaches a terminal
+// state — peer close, socket error, eviction, or local Close — with the
+// same mapped cause TrySend's OnResult reports (ErrConnClosed for
+// ordinary closure, typed errors such as ErrTimeout passed through). fn
+// runs on the connection's event loop; if the connection is already dead
+// at registration, fn fires immediately with the latched cause. This is
+// how servers holding many accepted connections (the relay pattern)
+// learn a client left without polling. Reports false — and never calls
+// fn — when c's substrate has no terminal-error reporting (simulated
+// endpoints, UDP shims).
+func OnConnError(c Conn, fn func(error)) bool {
+	w, ok := c.(*wireConn)
+	if !ok {
+		return false
+	}
+	if fn == nil {
+		return true
+	}
+	if !w.sc.Do(func() {
+		if w.termErr != nil {
+			fn(w.termErr)
+			return
+		}
+		w.onError = fn
+	}) {
+		// Loop already gone: the connection is dead and its terminal
+		// error was delivered (or discarded) during teardown.
+		fn(ErrConnClosed)
+	}
+	return true
+}
+
+// SupportsPriorities reports whether c's substrate honors
+// Options.Priority and Options.Squash on sends. Stock uTLS cannot
+// reorder its ciphertext stream — priorities there require the explicit
+// record-number extension (TCPConfig.ExplicitRecNum, and both endpoints
+// must negotiate it) — so a prioritized send on a stock flow fails with
+// a typed error instead of silently corrupting record order. Callers
+// that degrade gracefully (the relay) probe once per connection and
+// drop the priority tag when the answer is false. For uTLS the answer
+// is settled only once the handshake completes; probing from a message
+// callback (any delivered datagram implies a finished handshake) is
+// always safe.
+func SupportsPriorities(c Conn) bool {
+	w, ok := c.(*wireConn)
+	if !ok {
+		return true // simulated substrates accept (and ignore) the tag
+	}
+	sup := true
+	w.sc.Do(func() {
+		if u, ok := w.inner.(utlsConn); ok {
+			sup = u.c.ExplicitRecNumActive()
+		}
+	})
+	return sup
+}
 
 // ErrConnClosed is returned by operations on a closed wire connection.
 var ErrConnClosed = fmt.Errorf("minion: connection closed")
