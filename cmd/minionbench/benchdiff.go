@@ -18,6 +18,15 @@ import (
 //     zero-copy discipline;
 //   - any allocs_per_record regression (the tlsbench shape) FAILS the
 //     run — the TLS record path is required to stay allocation-free;
+//   - allocs_per_datagram regressions (the utcpbench shape) FAIL the run
+//     past half an alloc and 5% relative slack — same discipline, counted
+//     process-wide around a real-socket transfer;
+//   - retransmit_ratio regressions FAIL the run past 1.5x plus 0.02
+//     absolute — the loss schedule is seeded, so more retransmissions at
+//     the same drop rate means ARQ recovery got sloppier;
+//   - ooo_ratio FALLING below half the old value (past 0.02 absolute)
+//     FAILS the run — unordered delivery under loss is uTCP's purpose,
+//     and a collapse means the out-of-order path disengaged;
 //   - goroutines regressions beyond -goroutine-tol FAIL the run —
 //     goroutine counts at full load are structural (readers per
 //     connection, loops per core), so growth means a runtime-shape
@@ -97,6 +106,36 @@ func runBenchDiff(args []string) error {
 			// beyond float jitter is a hard failure.
 			if na > oa+0.5 {
 				fmt.Printf("FAIL %s: allocs_per_record %.1f -> %.1f (record path must stay allocation-free)\n", name, oa, na)
+				failures++
+			}
+		}
+		if oa, na, ok := field(oldRec, newRec, "allocs_per_datagram"); ok {
+			// The utcpbench shape: allocations are counted process-wide
+			// around a real-socket transfer, so grant a sliver of relative
+			// slack for scheduler noise on top of the half-alloc absolute
+			// rule the other alloc gates use.
+			if na > oa+0.5 && na > oa*1.05 {
+				fmt.Printf("FAIL %s: allocs_per_datagram %.2f -> %.2f (datagram path allocation regression)\n", name, oa, na)
+				failures++
+			}
+		}
+		if or_, nr_, ok := field(oldRec, newRec, "retransmit_ratio"); ok {
+			// The loss schedule is seeded, so the retransmission volume at
+			// a fixed drop rate is a property of the ARQ: a 1.5x rise past
+			// two points of absolute slack means recovery got sloppier
+			// (spurious RTOs, broken SACK accounting).
+			if nr_ > or_*1.5+0.02 {
+				fmt.Printf("FAIL %s: retransmit_ratio %.3f -> %.3f (ARQ recovery regression)\n", name, or_, nr_)
+				failures++
+			}
+		}
+		if oo, no_, ok := field(oldRec, newRec, "ooo_ratio"); ok && oo > 0 {
+			// Gated against FALLING: out-of-order deliveries under seeded
+			// loss are the whole point of uTCP — a collapse toward zero
+			// means the unordered path quietly stopped engaging (HOL
+			// blocking came back) even though data still arrives.
+			if no_ < oo*0.5 && no_ < oo-0.02 {
+				fmt.Printf("FAIL %s: ooo_ratio %.3f -> %.3f (unordered delivery disengaged)\n", name, oo, no_)
 				failures++
 			}
 		}

@@ -42,16 +42,21 @@
 //	           -recbytes plaintext bytes, writing BENCH_tls_cbc.json and
 //	           BENCH_tls_gcm.json (ns/record, allocs/record, MB/s) into
 //	           -benchdir
+//	utcpbench  stream -msgs messages over a real loopback uTCP-over-UDP
+//	           pair under -loss seeded datagram loss, writing
+//	           BENCH_utcp.json (ns/msg, allocs/datagram, retransmit and
+//	           out-of-order ratios) into -benchdir
 //	relaysoak  run the multi-tenant relay gateway for minutes (-short:
 //	           ~60s) under middlebox loss shaping, TLS DPI inspection,
 //	           and periodic FaultHooks error storms, asserting ledger
 //	           balance, goroutine return, bounded per-class p99 latency,
 //	           and zero cross-tenant starvation; writes BENCH_relay.json
 //	benchdiff  compare two BENCH_*.json directories (-old/-new): fail on
-//	           allocs/op, allocs/record, goroutine-count,
+//	           allocs/op, allocs/record, allocs/datagram, goroutine-count,
 //	           write-syscalls/datagram, accept-imbalance, relay
-//	           shed-count, and relay p99 regressions, flag ns_per_op and
-//	           ns/record beyond -ns-tol
+//	           shed-count, relay p99, retransmit-ratio, and falling
+//	           ooo-ratio regressions, flag ns_per_op and ns/record
+//	           beyond -ns-tol
 //
 // By default experiments run at a reduced "quick" scale; -full runs
 // paper-scale durations (minutes of CPU time).
@@ -94,6 +99,12 @@ func main() {
 	case "tlsbench":
 		if err := runTLSBench(flag.Args()[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "minionbench: tlsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "utcpbench":
+		if err := runUTCPBench(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "minionbench: utcpbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -305,6 +305,17 @@ func (c *Conn) Close() {
 	case StateClosed, StateListen:
 		c.teardown(nil)
 		return
+	case StateSynSent:
+		// RFC 793: close in SYN-SENT deletes the TCB — nothing was
+		// established, nothing needs a FIN. Wall-clock callers (uTCP over
+		// real sockets) hit this when an application gives up mid-dial.
+		// Queued data keeps the legacy deferral: establishment will
+		// deliver it, and the caller closes again afterwards (the
+		// write-then-close pattern the sim tests pin).
+		if c.sendQBytes == 0 {
+			c.teardown(nil)
+		}
+		return
 	case StateEstablished:
 		c.setState(StateFinWait1)
 	case StateCloseWait:

@@ -37,10 +37,11 @@ type Stats struct {
 // SetOutput/InputBuf like a tcp.Conn, or use Wire. Datagrams travel the
 // emulated network as pooled buffers (one copy at Send, zero after).
 type Conn struct {
-	out       func(b *buf.Buffer, wireSize int)
-	onMessage func(msg []byte)
-	recvQ     queue.FIFO[[]byte]
-	stats     Stats
+	out          func(b *buf.Buffer, wireSize int)
+	onMessage    func(msg []byte)
+	onMessageBuf func(b *buf.Buffer)
+	recvQ        queue.FIFO[[]byte]
+	stats        Stats
 }
 
 // New returns an unwired UDP endpoint.
@@ -63,6 +64,10 @@ func (c *Conn) Input(payload []byte) {
 // detached for Recv.
 func (c *Conn) InputBuf(b *buf.Buffer) {
 	c.stats.Received++
+	if c.onMessageBuf != nil {
+		c.onMessageBuf(b)
+		return
+	}
 	if c.onMessage != nil {
 		c.onMessage(b.Bytes())
 		b.Release()
@@ -88,6 +93,31 @@ func (c *Conn) Send(msg []byte) error {
 // OnMessage registers the delivery callback; without one, datagrams queue.
 // The callback's msg is valid until it returns; copy to keep.
 func (c *Conn) OnMessage(fn func(msg []byte)) { c.onMessage = fn }
+
+// OnMessageBuf registers a pooled-buffer delivery callback that takes
+// ownership of each arriving datagram's buffer (the callback must Release
+// or hand the reference on). It takes precedence over OnMessage; layers
+// that slice datagrams into longer-lived references (uTCP's zero-copy
+// receive path) use this instead of the copying callback.
+func (c *Conn) OnMessageBuf(fn func(b *buf.Buffer)) { c.onMessageBuf = fn }
+
+// SendBuf transmits one datagram from a pooled buffer, taking ownership
+// of b — the zero-copy counterpart of Send for producers that already
+// assemble datagrams in pooled memory (uTCP's segment encoder). Oversized
+// datagrams are rejected and the buffer released.
+func (c *Conn) SendBuf(b *buf.Buffer) error {
+	if b.Len() > MaxDatagram {
+		b.Release()
+		return ErrTooLarge
+	}
+	c.stats.Sent++
+	if c.out != nil {
+		c.out(b, b.Len()+HeaderOverhead)
+	} else {
+		b.Release()
+	}
+	return nil
+}
 
 // Recv pops a queued datagram.
 func (c *Conn) Recv() (msg []byte, ok bool) {

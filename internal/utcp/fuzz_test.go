@@ -1,0 +1,167 @@
+package utcp
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"minion/internal/buf"
+	"minion/internal/sim"
+	"minion/internal/tcp"
+	"minion/internal/udp"
+)
+
+// mkPacket assembles a syntactically valid wire packet for seeding.
+func mkPacket(flags byte, seq, ack uint64, window uint32, sack [][2]uint64, payload []byte) []byte {
+	p := make([]byte, HeaderLen, HeaderLen+len(sack)*sackBlockLen+len(payload))
+	p[0], p[1], p[2], p[3] = Magic, Version, flags, byte(len(sack))
+	binary.BigEndian.PutUint32(p[4:], window)
+	binary.BigEndian.PutUint64(p[8:], seq)
+	binary.BigEndian.PutUint64(p[16:], ack)
+	for _, blk := range sack {
+		var b [sackBlockLen]byte
+		binary.BigEndian.PutUint64(b[0:], blk[0])
+		binary.BigEndian.PutUint64(b[8:], blk[1])
+		p = append(p, b[:]...)
+	}
+	return append(p, payload...)
+}
+
+// chunk frames pkt into the fuzz input's [len16][bytes] packet stream.
+func chunk(pkts ...[]byte) []byte {
+	var out []byte
+	for _, p := range pkts {
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(p)))
+		out = append(out, l[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// FuzzReceiver throws adversarial packet streams at a listening uTCP
+// receiver: arbitrary bytes, truncations, bogus SACK geometry, spoofed
+// sequence space. Invariants: no panic, the in-order delivery path never
+// regresses or tears a byte, the codec's accounting covers every packet,
+// and the pooled-buffer ledger balances once the connection is torn down.
+func FuzzReceiver(f *testing.F) {
+	const syn = byte(tcp.FlagSYN)
+	const ack = byte(tcp.FlagACK)
+	f.Add([]byte{})
+	f.Add(chunk(mkPacket(syn, 100, 0, 65535, nil, nil)))
+	f.Add(chunk(
+		mkPacket(syn, 100, 0, 65535, nil, nil),
+		mkPacket(ack, 101, 1, 65535, nil, []byte("hello unordered world")),
+	))
+	f.Add(chunk(
+		mkPacket(syn, 0, 0, 0, nil, nil),
+		mkPacket(ack, 1, 1, 4096, [][2]uint64{{64, 128}, {256, 300}}, []byte("sacked")),
+		mkPacket(ack|byte(tcp.FlagFIN), 30, 1, 4096, nil, nil),
+	))
+	f.Add(chunk(
+		[]byte{Magic, Version, 0xff, 0},                          // unknown flags
+		[]byte{Magic, 9, ack, 0},                                 // bad version
+		[]byte("short"),                                          // truncated
+		mkPacket(ack, 5, 5, 1, [][2]uint64{{10, 10}}, nil),       // empty SACK block
+		mkPacket(ack, 1<<63, 1<<62, 1<<31, nil, []byte("wrap?")), // huge seq space
+		mkPacket(ack, 3, 3, 0, [][2]uint64{{900, 4}}, []byte{1}), // inverted SACK
+	))
+	f.Add(chunk(mkPacket(byte(tcp.FlagRST), 7, 7, 0, nil, nil)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		before := buf.Stats()
+		s := sim.New(1)
+		shim := udp.New()
+		shim.SetOutput(func(b *buf.Buffer, _ int) { b.Release() })
+		cfg := tcp.Config{}.Defaults()
+		cfg.Unordered = true
+		cfg.MSS = DefaultMSS
+		b := Bind(s, shim, cfg)
+		tc := b.Conn()
+		tc.Listen()
+
+		// Drain every delivery, checking the in-order path's contract: the
+		// cumulative point only advances, contiguously.
+		var nextInOrder uint64
+		haveInOrder := false
+		tc.OnReadable(func() {
+			for {
+				d, err := tc.ReadUnordered()
+				if err != nil {
+					return
+				}
+				if d.InOrder {
+					if haveInOrder && d.Offset != nextInOrder {
+						t.Errorf("in-order path tore: delivery at %d, cumulative point %d", d.Offset, nextInOrder)
+					}
+					nextInOrder = d.Offset + uint64(len(d.Data))
+					haveInOrder = true
+				}
+				d.Release()
+			}
+		})
+
+		fed := int64(0)
+		for off := 0; off+2 <= len(data); {
+			n := int(binary.BigEndian.Uint16(data[off:])) % 2048
+			off += 2
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			b.Input(buf.From(data[off : off+n]))
+			off += n
+			fed++
+			s.RunFor(5 * time.Millisecond)
+		}
+
+		st := b.Stats()
+		if st.PacketsIn+st.Malformed != fed {
+			t.Errorf("codec accounting: %d in + %d malformed != %d fed", st.PacketsIn, st.Malformed, fed)
+		}
+
+		tc.Abort()
+		s.RunFor(time.Second)
+		after := buf.Stats()
+		g := after.Gets - before.Gets
+		p := after.Puts - before.Puts
+		u := after.Unpooled - before.Unpooled
+		if p < g-u {
+			t.Errorf("buffer ledger unbalanced: gets=%d puts=%d unpooled=%d", g, p, u)
+		}
+	})
+}
+
+// FuzzDecode checks the codec alone: Decode never panics, and any packet
+// it accepts survives a re-encode/re-decode round trip with identical
+// header fields and payload.
+func FuzzDecode(f *testing.F) {
+	f.Add(mkPacket(byte(tcp.FlagSYN), 100, 0, 65535, nil, nil))
+	f.Add(mkPacket(byte(tcp.FlagACK), 1, 1, 4096, [][2]uint64{{64, 128}}, []byte("payload")))
+	f.Add([]byte{Magic, Version})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var seg tcp.Segment
+		var sack [tcp.MaxSACKBlocks]tcp.SACKBlock
+		if err := Decode(data, &seg, &sack); err != nil {
+			return
+		}
+		enc := Encode(&seg)
+		defer enc.Release()
+		var seg2 tcp.Segment
+		var sack2 [tcp.MaxSACKBlocks]tcp.SACKBlock
+		if err := Decode(enc.Bytes(), &seg2, &sack2); err != nil {
+			t.Fatalf("re-decode of encoded packet failed: %v", err)
+		}
+		if seg2.Seq != seg.Seq || seg2.Ack != seg.Ack || seg2.Flags != seg.Flags ||
+			seg2.Window != seg.Window || len(seg2.SACK) != len(seg.SACK) ||
+			string(seg2.Payload) != string(seg.Payload) {
+			t.Fatalf("round trip diverged:\n  first  %+v\n  second %+v", seg, seg2)
+		}
+		for i := range seg.SACK {
+			if seg.SACK[i] != seg2.SACK[i] {
+				t.Fatalf("SACK block %d diverged: %+v vs %+v", i, seg.SACK[i], seg2.SACK[i])
+			}
+		}
+	})
+}

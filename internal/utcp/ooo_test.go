@@ -1,0 +1,215 @@
+package utcp
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"minion/internal/tcp"
+	"minion/internal/wire"
+)
+
+// lossHook installs a seeded Bernoulli datagram-drop fault on the wire
+// write path (process-wide, both directions). The rng is mutex-guarded:
+// hooks run on every loop goroutine issuing sends.
+func lossHook(seed int64, p float64) *wire.FaultHooks {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return &wire.FaultHooks{
+		Write: func(size int) (int, error) {
+			mu.Lock()
+			drop := rng.Float64() < p
+			mu.Unlock()
+			if drop {
+				return 0, syscall.ECONNREFUSED
+			}
+			return 0, nil
+		},
+	}
+}
+
+// mkMsg builds a position-independent message: 4-byte big-endian id, then
+// a deterministic byte pattern keyed by the id. Messages carry their own
+// identity because priority insertion reassigns stream positions — the
+// receiver learns which message occupies a slot from the payload itself.
+func mkMsg(id, msgLen int) []byte {
+	msg := make([]byte, msgLen)
+	binary.BigEndian.PutUint32(msg, uint32(id))
+	for j := 4; j < msgLen; j++ {
+		msg[j] = byte(id*31 + j ^ (j >> 5))
+	}
+	return msg
+}
+
+// TestUnorderedDeliveryUnderLoss is the PR's acceptance criterion on real
+// sockets: a loopback uTCP connection under ~8% injected datagram loss
+// must (a) deliver segments out of order — DeliveredOOO > 0 on the
+// receiver, observed as InOrder=false deliveries ahead of the cumulative
+// point — and (b) honor send priorities: a high-priority message queued
+// behind ~200 KB of default-priority backlog is inserted ahead of the
+// untransmitted part of it, landing at an early position in the
+// transmitted stream (the fig-10 effect carried over a real network).
+func TestUnorderedDeliveryUnderLoss(t *testing.T) {
+	leakCheck(t)
+
+	const (
+		msgLen = 1000
+		bulkN  = 200 // default-priority messages, ids 0..bulkN-1
+		nMsgs  = bulkN + 1
+		total  = nMsgs * msgLen
+		hiID   = bulkN // the high-priority message, queued last
+		dropP  = 0.08
+		seed   = 42
+	)
+
+	cli, ep, _ := dialLoopback(t,
+		tcp.Config{UnorderedSend: true, NoDelay: true},
+		tcp.Config{Unordered: true},
+	)
+
+	// Receiver state, loop-confined: the reassembled stream, per-byte
+	// coverage, and the first-coverage order of each 1000-byte slot.
+	data := make([]byte, total)
+	covered := make([]bool, total)
+	coveredBytes := 0
+	slotArrival := make([]int, nMsgs)
+	for i := range slotArrival {
+		slotArrival[i] = -1
+	}
+	arrivals := 0
+	oooSeen := 0
+	stray := 0
+	done := make(chan struct{})
+	ep.Do(func() {
+		sc := ep.Conn()
+		sc.OnReadable(func() {
+			for {
+				d, err := sc.ReadUnordered()
+				if err != nil {
+					break
+				}
+				if !d.InOrder {
+					oooSeen++
+				}
+				for i, bb := range d.Data {
+					off := int(d.Offset) + i
+					if off >= total {
+						stray++
+						continue
+					}
+					if !covered[off] {
+						covered[off] = true
+						coveredBytes++
+						data[off] = bb
+						if slot := off / msgLen; slotArrival[slot] < 0 {
+							slotArrival[slot] = arrivals
+							arrivals++
+						}
+					}
+				}
+				d.Release()
+			}
+			if coveredBytes >= total {
+				select {
+				case <-done:
+				default:
+					close(done)
+				}
+			}
+		})
+	})
+
+	wire.SetFaultHooks(lossHook(seed, dropP))
+	defer wire.SetFaultHooks(nil)
+
+	// Sender: queue the whole bulk backlog and then one high-priority
+	// message inside a single serial-executor stretch — no ACK can be
+	// processed mid-loop, so when the high-priority write is inserted the
+	// congestion window has transmitted only the first few messages and
+	// the insertion point is deterministically near the stream's front.
+	cli.Do(func() {
+		cc := cli.Conn()
+		for m := 0; m < nMsgs; m++ {
+			id, opt := m, tcp.WriteOptions{Tag: tcp.TagDefault}
+			if m == bulkN {
+				id, opt = hiID, tcp.WriteOptions{Tag: 0}
+			}
+			if _, err := cc.WriteMsg(mkMsg(id, msgLen), opt); err != nil {
+				t.Errorf("WriteMsg %d: %v", m, err)
+				return
+			}
+		}
+	})
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("timeout: %d/%d bytes covered", coveredBytes, total)
+	}
+	wire.SetFaultHooks(nil)
+
+	// Verify content: every slot holds a complete, uncorrupted message,
+	// and the ids form a permutation of 0..bulkN.
+	var hiSlot int
+	var badBytes, raced int
+	seen := make([]bool, nMsgs)
+	ep.Do(func() {
+		hiSlot = -1
+		for slot := 0; slot < nMsgs; slot++ {
+			msg := data[slot*msgLen : (slot+1)*msgLen]
+			id := int(binary.BigEndian.Uint32(msg))
+			if id >= nMsgs || seen[id] {
+				raced++
+				continue
+			}
+			seen[id] = true
+			if id == hiID {
+				hiSlot = slot
+			}
+			want := mkMsg(id, msgLen)
+			for j := 4; j < msgLen; j++ {
+				if msg[j] != want[j] {
+					badBytes++
+				}
+			}
+		}
+	})
+	if raced != 0 || badBytes != 0 || stray != 0 {
+		t.Fatalf("delivery corrupt: %d bad ids, %d bad bytes, %d stray bytes", raced, badBytes, stray)
+	}
+
+	var st tcp.Stats
+	var ooo int
+	ep.Do(func() { st = ep.Conn().Stats(); ooo = oooSeen })
+	if st.DeliveredOOO == 0 || ooo == 0 {
+		t.Fatalf("no out-of-order deliveries under %.0f%% loss (stats=%d observed=%d)",
+			dropP*100, st.DeliveredOOO, ooo)
+	}
+
+	// Priority: the high-priority message was the last of 201 queued
+	// writes, yet must occupy one of the first stream slots — only the
+	// messages already transmitted when it was inserted (the initial
+	// congestion window, plus generous slack for ACKs racing the enqueue
+	// loop's own flushes) may precede it.
+	if hiSlot < 0 {
+		t.Fatal("high-priority message never found in the stream")
+	}
+	if hiSlot > bulkN/4 {
+		t.Errorf("priority not honored: high-priority message landed at stream slot %d of %d", hiSlot, nMsgs)
+	}
+
+	// Graceful close both ways so leakCheck sees a drained world.
+	closed := make(chan struct{})
+	ep.Do(func() { ep.Conn().OnClose(func(error) { close(closed) }) })
+	cli.Do(func() { cli.Conn().Close() })
+	ep.Do(func() { ep.Conn().Close() })
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Error("graceful close did not complete")
+	}
+	ep.Detach()
+}

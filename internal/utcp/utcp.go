@@ -1,0 +1,99 @@
+package utcp
+
+import (
+	"minion/internal/buf"
+	"minion/internal/rt"
+	"minion/internal/tcp"
+	"minion/internal/udp"
+)
+
+// WireStats counts the codec boundary's activity for one binding.
+type WireStats struct {
+	// PacketsOut is segments encoded and handed to the shim.
+	PacketsOut int64
+	// PacketsIn is packets that decoded cleanly and reached the ARQ.
+	PacketsIn int64
+	// Malformed is packets rejected by Decode (truncation, bad magic,
+	// unknown flags, bogus SACK). The ARQ never sees them; loss recovery
+	// retransmits whatever they carried.
+	Malformed int64
+}
+
+// Binding is a tcp.Conn attached to a datagram shim through the packet
+// codec: segments out become UDP datagrams, datagrams in become segments.
+// All of it is confined to the runtime the connection was bound on — the
+// shim must deliver on that runtime's executor and the Binding must only
+// be touched there.
+type Binding struct {
+	tc   *tcp.Conn
+	shim *udp.Conn
+
+	// Decode scratch, reused per packet: Input is serial on the loop and
+	// the ARQ retains payload only via refcounted buffer slices, never
+	// the Segment struct itself.
+	seg   tcp.Segment
+	sack  [tcp.MaxSACKBlocks]tcp.SACKBlock
+	stats WireStats
+}
+
+// Bind creates a uTCP connection on runtime r carried by shim. The same
+// call hosts both worlds: a simulator runtime with an emulated link
+// (conformance tests) or a wire.UDPConn's loop and internal shim (real
+// sockets). cfg.MSS zero defaults to DefaultMSS, sized for UDP carriage.
+//
+// Bind wires the shim's receive callback; the caller wires the shim's
+// output (wire.UDPConn already has, netem topologies use udp.Wire) and
+// then drives the returned binding's Conn — Listen or Connect — on the
+// runtime's executor. Datagrams the shim queued before Bind are flushed
+// through the codec in arrival order.
+func Bind(r rt.Runtime, shim *udp.Conn, cfg tcp.Config) *Binding {
+	if cfg.MSS == 0 {
+		cfg.MSS = DefaultMSS
+	}
+	b := &Binding{shim: shim}
+	b.tc = tcp.New(r, cfg, func(seg *tcp.Segment) {
+		b.stats.PacketsOut++
+		shim.SendBuf(Encode(seg))
+	})
+	shim.OnMessageBuf(b.Input)
+	for {
+		m, ok := shim.Recv()
+		if !ok {
+			break
+		}
+		b.Input(buf.From(m))
+	}
+	return b
+}
+
+// Conn returns the bound connection (use it only on the runtime's
+// executor, like any tcp.Conn).
+func (b *Binding) Conn() *tcp.Conn { return b.tc }
+
+// Stats returns a copy of the codec counters.
+func (b *Binding) Stats() WireStats { return b.stats }
+
+// Input feeds one arrived datagram through the codec into the ARQ,
+// taking ownership of pb. Malformed packets count and drop — to the
+// sender they are indistinguishable from network loss, and retransmission
+// recovers the data. Payload-bearing packets hand the receiver a
+// refcounted slice of pb so in-window bytes are retained without a copy.
+func (b *Binding) Input(pb *buf.Buffer) {
+	seg := &b.seg
+	*seg = tcp.Segment{}
+	if err := Decode(pb.Bytes(), seg, &b.sack); err != nil {
+		b.stats.Malformed++
+		pb.Release()
+		return
+	}
+	b.stats.PacketsIn++
+	if len(seg.Payload) > 0 {
+		seg.Buf = pb.Slice(pb.Len()-len(seg.Payload), pb.Len())
+	}
+	b.tc.Input(seg)
+	if seg.Buf != nil {
+		seg.Buf.Release()
+		seg.Buf = nil
+	}
+	pb.Release()
+}

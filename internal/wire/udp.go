@@ -152,6 +152,16 @@ func (c *UDPConn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
 // Do runs fn on the shim's event loop (false once closed).
 func (c *UDPConn) Do(fn func()) bool { return c.loop.Do(fn) }
 
+// Loop exposes the event loop so protocol machinery (uTCP's ARQ) can be
+// hosted on it — rt.Loop implements rt.Runtime, so the same state
+// machines the simulator drives run here on wall-clock timers.
+func (c *UDPConn) Loop() *rt.Loop { return c.loop }
+
+// Shim exposes the internal UDP endpoint for layers that ride the
+// datagram path directly (uTCP binds its segment codec to it). All
+// access must happen on the event loop (via Do/Post).
+func (c *UDPConn) Shim() *udp.Conn { return c.u }
+
 // Post queues fn on the shim's event loop without waiting (false once
 // closed) — the non-blocking door used by cross-connection relays.
 func (c *UDPConn) Post(fn func()) bool { return c.lane.Post(fn) }
@@ -244,6 +254,12 @@ func (c *UDPConn) Close() {
 	c.closeOnce.Do(func() {
 		c.nc.Close()
 		<-c.readerDone
+		// Drain work already handed to the loop before stopping it
+		// (Loop.Close drains nothing, and posted closures own pooled
+		// buffers): first the reader's final datagram batch, then any
+		// flush it armed — sends on the closed socket fail and release.
+		c.loop.Do(func() {})
+		c.loop.Do(c.flushSend)
 		c.loop.Close()
 	})
 }
@@ -297,7 +313,8 @@ func (c *UDPConn) readLoop() {
 // fallback on Linux). It reports whether the reader should continue.
 func (c *UDPConn) readOne() bool {
 	b := buf.Get(udp.MaxDatagram)
-	if _, ferr, ok := faultRead(b.Len()); ok && ferr != nil {
+	capN, ferr, ok := faultRead(b.Len())
+	if ok && ferr != nil {
 		// Injected receive fault: UDP treats everything short of a closed
 		// socket as transient (exactly the ICMP-error shape below), so the
 		// seam exercises the retry path rather than killing the reader.
@@ -309,6 +326,11 @@ func (c *UDPConn) readOne() bool {
 	c.io.udpRecvCalls.Add(1)
 	if err == nil {
 		c.io.udpRecvDatagrams.Add(1)
+		if ok && capN > 0 && capN < n {
+			// Injected short read: deliver only the datagram's head, as if
+			// the kernel truncated it into an undersized receive buffer.
+			n = capN
+		}
 		// RightSize: a burst of small datagrams must not pin a full
 		// 64 KiB arena each while queued in the loop.
 		dg := b.RightSize(n)

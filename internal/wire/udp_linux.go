@@ -119,7 +119,8 @@ func (c *UDPConn) readBatch() bool {
 	if !c.batchOK {
 		return c.readOne()
 	}
-	if _, ferr, ok := faultRead(udp.MaxDatagram); ok && ferr != nil {
+	capN, ferr, fok := faultRead(udp.MaxDatagram)
+	if fok && ferr != nil {
 		// Injected receive fault on the batch path: same policy as the
 		// portable loop — everything short of a closed socket is
 		// transient for UDP, so back off and keep reading.
@@ -169,7 +170,13 @@ func (c *UDPConn) readBatch() bool {
 	}
 	dgs := make([]*buf.Buffer, n)
 	for i := 0; i < n; i++ {
-		dgs[i] = m.rbufs[i].RightSize(int(m.rhdrs[i].nlen))
+		nlen := int(m.rhdrs[i].nlen)
+		if fok && capN > 0 && capN < nlen {
+			// Injected short read applies to every datagram in the round:
+			// each is truncated as if received into an undersized buffer.
+			nlen = capN
+		}
+		dgs[i] = m.rbufs[i].RightSize(nlen)
 		m.rbufs[i] = nil
 	}
 	if !c.lane.Post(func() {
@@ -195,23 +202,27 @@ func (c *UDPConn) sendBatch(bufs []*buf.Buffer) {
 		}
 		return
 	}
+	if h := faultHooks.Load(); h != nil && h.Write != nil {
+		// Per-datagram fault consultation, matching the portable path: an
+		// injected fault drops exactly one datagram (the lossy contract),
+		// leaving the rest of the burst to travel — the granularity a
+		// Bernoulli loss schedule needs to punch reorder-producing holes
+		// inside a batch instead of erasing whole flights.
+		kept := bufs[:0]
+		for _, b := range bufs {
+			if _, ferr, ok := faultWrite(b.Len()); ok && ferr != nil {
+				b.Release()
+				continue
+			}
+			kept = append(kept, b)
+		}
+		bufs = kept
+	}
 	m := &c.mm
 	for off := 0; off < len(bufs); off += udpBatch {
 		k := len(bufs) - off
 		if k > udpBatch {
 			k = udpBatch
-		}
-		if h := faultHooks.Load(); h != nil && h.Write != nil {
-			size := 0
-			for _, b := range bufs[off : off+k] {
-				size += b.Len()
-			}
-			if _, ferr, ok := faultWrite(size); ok && ferr != nil {
-				// Injected send fault: this sendmmsg's datagrams drop (the
-				// lossy contract), their buffers released with the rest of
-				// the burst below.
-				continue
-			}
 		}
 		for i := 0; i < k; i++ {
 			bs := bufs[off+i].Bytes()

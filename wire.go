@@ -14,14 +14,16 @@ import (
 	"minion/internal/buf"
 	"minion/internal/tcp"
 	"minion/internal/ucobs"
+	"minion/internal/utcp"
 	"minion/internal/utls"
 	"minion/internal/wire"
 )
 
-// ErrSimOnly is returned by Dial/Listen for protocol stacks that need
-// kernel extensions real operating systems do not ship (the uTCP
-// variants): they exist only on the simulated substrate until a uTCP
-// kernel exists (paper §4/§7).
+// ErrSimOnly is returned by Dial/Listen for the uTCP protocol stacks on
+// "tcp" networks: kernel TCP cannot deliver out of order, and no shipping
+// OS has the uTCP extensions (paper §4/§7). On "udp" networks the same
+// stacks work — userspace uTCP carried datagram-per-segment over a UDP
+// socket (see utcp_wire.go and NegotiateTransport).
 var ErrSimOnly = fmt.Errorf("minion: protocol requires uTCP kernel support (simulated substrate only)")
 
 // ErrTimeout is the typed error a real-socket connection reports when a
@@ -307,7 +309,9 @@ func (dc DialConfig) Dial(proto Protocol, network, addr string) (Conn, error) {
 	switch proto {
 	case ProtoUDP, ProtoUCOBSTCP, ProtoUTLSTCP:
 	case ProtoUCOBSuTCP, ProtoUTLSuTCP:
-		return nil, ErrSimOnly
+		if !udpNetwork(network) {
+			return nil, ErrSimOnly
+		}
 	default:
 		return nil, fmt.Errorf("minion: unknown protocol %v", proto)
 	}
@@ -445,16 +449,21 @@ func (dc DialConfig) dialOnce(proto Protocol, network, addr string) (Conn, error
 		}
 		return c, nil
 	case ProtoUCOBSuTCP, ProtoUTLSuTCP:
-		return nil, ErrSimOnly
+		if !udpNetwork(network) {
+			return nil, ErrSimOnly
+		}
+		return dc.dialUTCP(proto, network, addr)
 	default:
 		return nil, fmt.Errorf("minion: unknown protocol %v", proto)
 	}
 }
 
 // Listener accepts Minion connections of one protocol stack over real
-// TCP sockets.
+// sockets: TCP streams for the kernel-TCP stacks, or one shared UDP
+// socket demuxed into userspace uTCP connections for the uTCP stacks.
 type Listener struct {
 	ln    *wire.Listener
+	uln   *utcp.Listener // uTCP-over-UDP mode (ln nil)
 	proto Protocol
 	cfg   TCPConfig
 	owned *wire.Group // listener-owned shared group (ListenConfig.Loops)
@@ -472,7 +481,25 @@ func (lc ListenConfig) Listen(proto Protocol, network, addr string) (*Listener, 
 	switch proto {
 	case ProtoUCOBSTCP, ProtoUTLSTCP:
 	case ProtoUCOBSuTCP, ProtoUTLSuTCP:
-		return nil, ErrSimOnly
+		if !udpNetwork(network) {
+			return nil, ErrSimOnly
+		}
+		// Userspace uTCP: one shared UDP socket, demuxed per peer. The
+		// listener owns the socket, so — unlike the TCP listeners — closing
+		// it also tears down the connections accepted from it. Loops/Group
+		// are ignored: every endpoint shares the socket's event loop.
+		uln, err := utcp.Listen(network, addr, utcp.ListenerConfig{
+			Config:  lc.TCPConfig.tcpConfig(true),
+			Backlog: lc.Backlog,
+			UDP: wire.UDPConfig{
+				SockSendBufBytes: lc.SockSendBufBytes,
+				SockRecvBufBytes: lc.SockRecvBufBytes,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Listener{uln: uln, proto: proto, cfg: lc.TCPConfig}, nil
 	case ProtoUDP:
 		return nil, fmt.Errorf("minion: Listen does not support UDP; use DialUDP on both peers")
 	default:
@@ -500,6 +527,13 @@ func (lc ListenConfig) Listen(proto Protocol, network, addr string) (*Listener, 
 
 // Accept waits for and returns the next connection.
 func (l *Listener) Accept() (Conn, error) {
+	if l.uln != nil {
+		ep, err := l.uln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		return newUTCPConn(ep, l.proto, l.cfg, false, ep.Detach), nil
+	}
 	sc, err := l.ln.Accept()
 	if err != nil {
 		return nil, err
@@ -508,20 +542,30 @@ func (l *Listener) Accept() (Conn, error) {
 }
 
 // Addr returns the bound listening address.
-func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+func (l *Listener) Addr() net.Addr {
+	if l.uln != nil {
+		return l.uln.Addr()
+	}
+	return l.ln.Addr()
+}
 
 // Sharded reports whether the listener runs the SO_REUSEPORT-sharded
 // accept path: one listening socket per group loop, with the kernel
 // distributing incoming connections across them and each connection
 // pinned to the loop that accepted it. Engages automatically for
 // poll-mode groups on Linux; false means the single-socket least-loaded
-// shape.
-func (l *Listener) Sharded() bool { return l.ln.Sharded() }
+// shape (uTCP listeners always answer false — one shared socket).
+func (l *Listener) Sharded() bool { return l.ln != nil && l.ln.Sharded() }
 
 // ShardAccepts returns per-loop accepted-connection counts for a sharded
 // listener (nil otherwise) — the observable kernel accept distribution,
 // index-aligned with the group's loops.
-func (l *Listener) ShardAccepts() []uint64 { return l.ln.ShardAccepts() }
+func (l *Listener) ShardAccepts() []uint64 {
+	if l.ln == nil {
+		return nil
+	}
+	return l.ln.ShardAccepts()
+}
 
 // Drain stops the listener gracefully: it stops accepting, tears down the
 // accept machinery (for a sharded listener that means unwinding one epoll
@@ -530,6 +574,10 @@ func (l *Listener) ShardAccepts() []uint64 { return l.ln.ShardAccepts() }
 // ctx.Err() is returned. Established connections are unaffected; drain
 // them with LoopGroup.Shutdown afterwards.
 func (l *Listener) Drain(ctx context.Context) error {
+	if l.uln != nil {
+		l.uln.Close()
+		return nil
+	}
 	err := l.ln.Drain(ctx)
 	if l.owned != nil {
 		l.owned.Close()
@@ -537,10 +585,16 @@ func (l *Listener) Drain(ctx context.Context) error {
 	return err
 }
 
-// Close stops the listener. Established connections are unaffected: a
-// listener-owned loop group keeps running until the last of its
-// connections closes.
+// Close stops the listener. For the TCP stacks established connections
+// are unaffected: a listener-owned loop group keeps running until the
+// last of its connections closes. A uTCP listener owns the shared UDP
+// socket its connections ride, so closing it aborts them too — drain the
+// connections first for a graceful exit.
 func (l *Listener) Close() error {
+	if l.uln != nil {
+		l.uln.Close()
+		return nil
+	}
 	err := l.ln.Close()
 	if l.owned != nil {
 		l.owned.Close()
@@ -855,25 +909,40 @@ func (w *wireConn) Inner() Conn { return w.inner }
 // fn — when c's substrate has no terminal-error reporting (simulated
 // endpoints, UDP shims).
 func OnConnError(c Conn, fn func(error)) bool {
-	w, ok := c.(*wireConn)
-	if !ok {
+	switch w := c.(type) {
+	case *wireConn:
+		if fn == nil {
+			return true
+		}
+		if !w.sc.Do(func() {
+			if w.termErr != nil {
+				fn(w.termErr)
+				return
+			}
+			w.onError = fn
+		}) {
+			// Loop already gone: the connection is dead and its terminal
+			// error was delivered (or discarded) during teardown.
+			fn(ErrConnClosed)
+		}
+		return true
+	case *utcpConn:
+		if fn == nil {
+			return true
+		}
+		if !w.tr.Do(func() {
+			if w.termErr != nil {
+				fn(w.termErr)
+				return
+			}
+			w.onError = fn
+		}) {
+			fn(ErrConnClosed)
+		}
+		return true
+	default:
 		return false
 	}
-	if fn == nil {
-		return true
-	}
-	if !w.sc.Do(func() {
-		if w.termErr != nil {
-			fn(w.termErr)
-			return
-		}
-		w.onError = fn
-	}) {
-		// Loop already gone: the connection is dead and its terminal
-		// error was delivered (or discarded) during teardown.
-		fn(ErrConnClosed)
-	}
-	return true
 }
 
 // SupportsPriorities reports whether c's substrate honors
@@ -888,17 +957,28 @@ func OnConnError(c Conn, fn func(error)) bool {
 // callback (any delivered datagram implies a finished handshake) is
 // always safe.
 func SupportsPriorities(c Conn) bool {
-	w, ok := c.(*wireConn)
-	if !ok {
+	switch w := c.(type) {
+	case *wireConn:
+		sup := true
+		w.sc.Do(func() {
+			if u, ok := w.inner.(utlsConn); ok {
+				sup = u.c.ExplicitRecNumActive()
+			}
+		})
+		return sup
+	case *utcpConn:
+		// uCOBS over uTCP reorders natively; uTLS still needs the explicit
+		// record-number extension to decrypt out of order.
+		sup := true
+		w.tr.Do(func() {
+			if u, ok := w.inner.(utlsConn); ok {
+				sup = u.c.ExplicitRecNumActive()
+			}
+		})
+		return sup
+	default:
 		return true // simulated substrates accept (and ignore) the tag
 	}
-	sup := true
-	w.sc.Do(func() {
-		if u, ok := w.inner.(utlsConn); ok {
-			sup = u.c.ExplicitRecNumActive()
-		}
-	})
-	return sup
 }
 
 // ErrConnClosed is returned by operations on a closed wire connection.
